@@ -1,0 +1,195 @@
+// Package-level benchmarks regenerating the paper's evaluation artifacts
+// (one benchmark per table and figure; see DESIGN.md's experiment index).
+// Each iteration runs the full experiment at quick scale and reports the
+// headline metric as custom benchmark units. cmd/ecbench runs the same
+// experiments at full scale with complete rendered output.
+package ecstore
+
+import (
+	"strings"
+	"testing"
+
+	"ecstore/internal/bench"
+)
+
+const benchSeed = 42
+
+func reportConfigMetric(b *testing.B, results map[string]float64, unit string) {
+	b.Helper()
+	for cfg, v := range results {
+		b.ReportMetric(v, cfg+"_"+unit)
+	}
+}
+
+// BenchmarkFig1Breakdown regenerates Figure 1 (R vs EC breakdown).
+func BenchmarkFig1Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results, err := bench.Fig1(bench.QuickScale(benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range results {
+				b.ReportMetric(r.Mean.Retrieve*1000, r.Config+"_retrieve_ms")
+			}
+		}
+	}
+}
+
+// BenchmarkFig4aTimeline regenerates Figure 4a (latency over time).
+func BenchmarkFig4aTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results, err := bench.Fig4a(bench.QuickScale(benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range results {
+				tl := r.Metrics.Timeline()
+				if len(tl) > 0 {
+					b.ReportMetric(tl[len(tl)-1]*1000, r.Config+"_final_ms")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig4bYCSB100KB regenerates Figure 4b (YCSB 100 KB, 6 configs).
+func BenchmarkFig4bYCSB100KB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results, err := bench.Fig4b(bench.QuickScale(benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range results {
+				b.ReportMetric(r.Mean.Total()*1000, r.Config+"_ms")
+			}
+		}
+	}
+}
+
+// BenchmarkFig4cTailCDF regenerates Figure 4c (tail latency CDF).
+func BenchmarkFig4cTailCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results, err := bench.Fig4c(bench.QuickScale(benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range results {
+				b.ReportMetric(r.Metrics.Percentile(99)*1000, r.Config+"_p99_ms")
+			}
+		}
+	}
+}
+
+// BenchmarkFig4dSiteIO regenerates Figure 4d (per-site read I/O).
+func BenchmarkFig4dSiteIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results, err := bench.Fig4d(bench.QuickScale(benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range results {
+				var total float64
+				for _, rate := range r.SiteReadRate {
+					total += rate
+				}
+				b.ReportMetric(total/1e6, r.Config+"_MBps")
+			}
+		}
+	}
+}
+
+// BenchmarkFig4eYCSB1MB regenerates Figure 4e (YCSB 1 MB, 6 configs).
+func BenchmarkFig4eYCSB1MB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results, err := bench.Fig4e(bench.QuickScale(benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range results {
+				b.ReportMetric(r.Mean.Total()*1000, r.Config+"_ms")
+			}
+		}
+	}
+}
+
+// BenchmarkFig4fFailures regenerates Figure 4f (1-2 failed sites).
+func BenchmarkFig4fFailures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := bench.Fig4f(bench.QuickScale(benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			flat := make(map[string]float64, len(rows))
+			for cfg, row := range rows {
+				flat[cfg] = row[2] * 1000 // 2-failure latency
+			}
+			reportConfigMetric(b, flat, "2fail_ms")
+		}
+	}
+}
+
+// BenchmarkFig4gWikipedia regenerates Figure 4g (Wikipedia breakdown).
+func BenchmarkFig4gWikipedia(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results, err := bench.Fig4g(bench.QuickScale(benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range results {
+				b.ReportMetric(r.Mean.Total()*1000, r.Config+"_ms")
+			}
+		}
+	}
+}
+
+// BenchmarkFig4hWikiCDF regenerates Figure 4h (Wikipedia tail CDF).
+func BenchmarkFig4hWikiCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results, err := bench.Fig4h(bench.QuickScale(benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range results {
+				b.ReportMetric(r.Metrics.Percentile(99)*1000, r.Config+"_p99_ms")
+			}
+		}
+	}
+}
+
+// BenchmarkTable2Imbalance regenerates Table II (λ imbalance factors).
+func BenchmarkTable2Imbalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, lambdas, err := bench.Table2(bench.QuickScale(benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportConfigMetric(b, lambdas, "lambda")
+		}
+	}
+}
+
+// BenchmarkTable3Resources regenerates Table III (service resource usage).
+func BenchmarkTable3Resources(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := bench.Table3(bench.QuickScale(benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				name := strings.ReplaceAll(r.Service, " ", "_")
+				b.ReportMetric(r.MemoryMB, name+"_MB")
+			}
+		}
+	}
+}

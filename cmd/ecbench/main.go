@@ -1,0 +1,162 @@
+// Command ecbench regenerates the paper's tables and figures on the
+// deterministic EC-Store simulator.
+//
+// Usage:
+//
+//	ecbench -exp fig4b                # one experiment, full scale
+//	ecbench -exp all -scale quick     # everything, fast
+//	ecbench -list                     # list experiment ids
+//
+// Experiment ids follow the paper: fig1, fig4a ... fig4h, tab2, tab3,
+// plus the ablations ab-delta, ab-k, ab-w2, ab-mrate, ab-plan.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"ecstore/internal/bench"
+)
+
+type runner func(bench.Scale) (*bench.Report, error)
+
+func runners() map[string]runner {
+	return map[string]runner{
+		"fig1": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.Fig1(sc)
+			return r, err
+		},
+		"fig4a": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.Fig4a(sc)
+			return r, err
+		},
+		"fig4b": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.Fig4b(sc)
+			return r, err
+		},
+		"fig4c": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.Fig4c(sc)
+			return r, err
+		},
+		"fig4d": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.Fig4d(sc)
+			return r, err
+		},
+		"fig4e": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.Fig4e(sc)
+			return r, err
+		},
+		"fig4f": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.Fig4f(sc)
+			return r, err
+		},
+		"fig4g": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.Fig4g(sc)
+			return r, err
+		},
+		"fig4h": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.Fig4h(sc)
+			return r, err
+		},
+		"tab2": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.Table2(sc)
+			return r, err
+		},
+		"tab3": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.Table3(sc)
+			return r, err
+		},
+		"ab-delta": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.AblationDelta(sc)
+			return r, err
+		},
+		"ab-k": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.AblationK(sc)
+			return r, err
+		},
+		"ab-w2": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.AblationW2(sc)
+			return r, err
+		},
+		"ab-mrate": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.AblationMoverRate(sc)
+			return r, err
+		},
+		"ab-plan": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.AblationPlanQuality(sc)
+			return r, err
+		},
+		"ab-size": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.AblationBlockSize(sc)
+			return r, err
+		},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ecbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ecbench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment id (or 'all')")
+	scaleName := fs.String("scale", "full", "experiment scale: quick | mid | full")
+	seed := fs.Int64("seed", 42, "simulation seed")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	all := runners()
+	ids := make([]string, 0, len(all))
+	for id := range all {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return nil
+	}
+
+	var sc bench.Scale
+	switch *scaleName {
+	case "quick":
+		sc = bench.QuickScale(*seed)
+	case "mid":
+		sc = bench.MidScale(*seed)
+	case "full":
+		sc = bench.FullScale(*seed)
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	var selected []string
+	if *exp == "all" {
+		selected = ids
+	} else {
+		if _, ok := all[*exp]; !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", *exp)
+		}
+		selected = []string{*exp}
+	}
+
+	for _, id := range selected {
+		start := time.Now()
+		report, err := all[id](sc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(report)
+		fmt.Printf("(%s scale, seed %d, %s)\n\n", sc.Name, sc.Seed, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunnersCoverExperimentIndex(t *testing.T) {
+	// Every experiment id promised by DESIGN.md's index must exist.
+	want := []string{
+		"fig1", "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f",
+		"fig4g", "fig4h", "tab2", "tab3",
+		"ab-delta", "ab-k", "ab-w2", "ab-mrate", "ab-plan", "ab-size",
+	}
+	all := runners()
+	if len(all) != len(want) {
+		t.Fatalf("have %d runners, want %d", len(all), len(want))
+	}
+	for _, id := range want {
+		if _, ok := all[id]; !ok {
+			t.Errorf("missing runner %q", id)
+		}
+	}
+}
+
+func TestRunArgumentValidation(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+	if err := run([]string{"-exp", "nope"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-scale", "galactic", "-exp", "fig1"}); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}

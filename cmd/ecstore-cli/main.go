@@ -1,0 +1,146 @@
+// Command ecstore-cli is a client for a distributed EC-Store deployment:
+// it connects to a metadata server and a set of storage sites over TCP and
+// performs put/get/delete/stat operations.
+//
+//	ecstore-cli -meta 127.0.0.1:7100 -sites 127.0.0.1:7101,127.0.0.1:7102,... put key file
+//	ecstore-cli ... get key            # prints the block to stdout
+//	ecstore-cli ... del key
+//	ecstore-cli ... stat               # cluster health and plan stats
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"ecstore/internal/core"
+	"ecstore/internal/metadata"
+	"ecstore/internal/model"
+	"ecstore/internal/rpc"
+	"ecstore/internal/storage"
+	"ecstore/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ecstore-cli", flag.ContinueOnError)
+	metaAddr := fs.String("meta", "127.0.0.1:7100", "metadata server address")
+	sitesCSV := fs.String("sites", "", "comma-separated storage site addresses (site 1 first)")
+	k := fs.Int("k", 2, "RS data chunks")
+	r := fs.Int("r", 2, "RS parity chunks")
+	delta := fs.Int("delta", 0, "late-binding surplus chunk requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return errors.New("usage: ecstore-cli [flags] put|get|del|stat ...")
+	}
+	if *sitesCSV == "" {
+		return errors.New("-sites is required")
+	}
+
+	tcp := &transport.TCP{}
+
+	conn, err := tcp.Dial(*metaAddr)
+	if err != nil {
+		return fmt.Errorf("connect metadata: %w", err)
+	}
+	metaRPC := rpc.NewClient(conn)
+	defer func() { _ = metaRPC.Close() }()
+	meta := metadata.NewClient(metaRPC)
+
+	sites := make(map[model.SiteID]storage.SiteAPI)
+	var rpcClients []*rpc.Client
+	defer func() {
+		for _, c := range rpcClients {
+			_ = c.Close()
+		}
+	}()
+	for i, addr := range strings.Split(*sitesCSV, ",") {
+		conn, err := tcp.Dial(strings.TrimSpace(addr))
+		if err != nil {
+			return fmt.Errorf("connect site %d (%s): %w", i+1, addr, err)
+		}
+		rc := rpc.NewClient(conn)
+		rpcClients = append(rpcClients, rc)
+		sites[model.SiteID(i+1)] = storage.NewRPCClient(rc)
+	}
+
+	client, err := core.NewClient(core.Config{
+		K:     *k,
+		R:     *r,
+		Delta: *delta,
+	}, core.Deps{Meta: meta, Sites: sites})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	switch rest[0] {
+	case "put":
+		if len(rest) != 3 {
+			return errors.New("usage: put <key> <file>")
+		}
+		data, err := os.ReadFile(rest[2])
+		if err != nil {
+			return err
+		}
+		if err := client.Put(model.BlockID(rest[1]), data); err != nil {
+			return err
+		}
+		fmt.Printf("stored %s (%d bytes, RS(%d,%d))\n", rest[1], len(data), *k, *r)
+		return nil
+
+	case "get":
+		if len(rest) != 2 {
+			return errors.New("usage: get <key>")
+		}
+		blocks, bd, err := client.GetMulti([]model.BlockID{model.BlockID(rest[1])})
+		if err != nil {
+			return err
+		}
+		if _, err := os.Stdout.Write(blocks[model.BlockID(rest[1])]); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "\nbreakdown: meta=%.2fms plan=%.2fms retrieve=%.2fms decode=%.2fms\n",
+			bd.Metadata*1000, bd.Planning*1000, bd.Retrieve*1000, bd.Decode*1000)
+		return nil
+
+	case "del":
+		if len(rest) != 2 {
+			return errors.New("usage: del <key>")
+		}
+		if err := client.Delete(model.BlockID(rest[1])); err != nil {
+			return err
+		}
+		fmt.Printf("deleted %s\n", rest[1])
+		return nil
+
+	case "stat":
+		client.ProbeAll()
+		fmt.Printf("sites: %d configured\n", len(sites))
+		for id, api := range sites {
+			status := "up"
+			if api.Probe() != nil {
+				status = "DOWN"
+			}
+			fmt.Printf("  site %d: %s\n", id, status)
+		}
+		st := client.PlannerStats()
+		fmt.Printf("plan cache: %d hits, %d misses (%.0f%% hit rate)\n",
+			st.Hits, st.Misses, 100*st.HitRate())
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", rest[0])
+	}
+}

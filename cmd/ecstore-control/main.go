@@ -1,0 +1,155 @@
+// Command ecstore-control runs EC-Store's control plane for a distributed
+// deployment: the statistics service (served over RPC for clients to
+// report accesses), periodic load collection and o_j probing of every
+// storage site, the chunk mover, and the repair service.
+//
+//	ecstore-control -addr 127.0.0.1:7105 \
+//	  -meta 127.0.0.1:7100 \
+//	  -sites 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103,127.0.0.1:7104 \
+//	  -mover -repair
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ecstore/internal/core"
+	"ecstore/internal/metadata"
+	"ecstore/internal/model"
+	"ecstore/internal/repair"
+	"ecstore/internal/rpc"
+	"ecstore/internal/stats"
+	"ecstore/internal/storage"
+	"ecstore/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ecstore-control", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7105", "statistics service listen address")
+	metaAddr := fs.String("meta", "127.0.0.1:7100", "metadata server address")
+	sitesCSV := fs.String("sites", "", "comma-separated storage site addresses (site 1 first)")
+	enableMover := fs.Bool("mover", false, "run the chunk mover")
+	enableRepair := fs.Bool("repair", false, "run the repair service")
+	moverInterval := fs.Duration("mover-interval", time.Second, "pause between movement attempts")
+	statsInterval := fs.Duration("stats-interval", 5*time.Second, "load report collection period")
+	repairGrace := fs.Duration("repair-grace", 15*time.Minute, "grace before reconstructing a failed site")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sitesCSV == "" {
+		return errors.New("-sites is required")
+	}
+
+	tcp := &transport.TCP{}
+
+	// Metadata client.
+	conn, err := tcp.Dial(*metaAddr)
+	if err != nil {
+		return fmt.Errorf("connect metadata: %w", err)
+	}
+	metaRPC := rpc.NewClient(conn)
+	defer func() { _ = metaRPC.Close() }()
+	meta := metadata.NewClient(metaRPC)
+
+	// Storage site clients.
+	sites := make(map[model.SiteID]storage.SiteAPI)
+	var rpcClients []*rpc.Client
+	defer func() {
+		for _, c := range rpcClients {
+			_ = c.Close()
+		}
+	}()
+	for i, siteAddr := range strings.Split(*sitesCSV, ",") {
+		conn, err := tcp.Dial(strings.TrimSpace(siteAddr))
+		if err != nil {
+			return fmt.Errorf("connect site %d (%s): %w", i+1, siteAddr, err)
+		}
+		rc := rpc.NewClient(conn)
+		rpcClients = append(rpcClients, rc)
+		sites[model.SiteID(i+1)] = storage.NewRPCClient(rc)
+	}
+
+	// Statistics service: local aggregator + RPC server for clients.
+	agg := stats.NewAggregator(0)
+	l, err := tcp.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	statsSrv := rpc.NewServer(stats.NewServer(agg))
+	go func() { _ = statsSrv.Serve(l) }()
+	defer func() { _ = statsSrv.Close() }()
+
+	// Periodic load collection + probing (the storage services report
+	// their windows when polled; Section V-A).
+	stop := make(chan struct{})
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		ticker := time.NewTicker(*statsInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				for id, api := range sites {
+					start := time.Now()
+					if err := api.Probe(); err != nil {
+						continue
+					}
+					agg.Probes.Observe(id, time.Since(start).Seconds())
+					if load, err := api.LoadReport(); err == nil {
+						agg.Loads.Report(id, load)
+					}
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	// Mover and repair.
+	var mover *core.MoverRunner
+	if *enableMover {
+		mover = core.NewMoverRunner(core.MoverRunnerConfig{
+			Interval: *moverInterval,
+		}, meta, sites, agg.CoAccess, agg.Loads, agg.Probes)
+		mover.Start()
+		defer mover.Stop()
+	}
+	var repairSvc *repair.Service
+	if *enableRepair {
+		repairSvc = repair.NewService(repair.Config{Grace: *repairGrace}, meta, sites, agg.Loads)
+		repairSvc.Start()
+		defer repairSvc.Stop()
+	}
+
+	fmt.Printf("ecstore-control: stats on %s, %d sites, mover=%v repair=%v\n",
+		l.Addr(), len(sites), *enableMover, *enableRepair)
+
+	// Run until interrupted.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stop)
+	<-collectorDone
+	if mover != nil {
+		moved, failed := mover.Moves()
+		fmt.Printf("mover: %d moved, %d failed\n", moved, failed)
+	}
+	if repairSvc != nil {
+		fmt.Printf("repair: %d chunks reconstructed\n", repairSvc.Repaired())
+	}
+	return nil
+}

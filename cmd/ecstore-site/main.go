@@ -1,0 +1,62 @@
+// Command ecstore-site runs one storage service of the EC-Store data
+// plane over TCP.
+//
+//	ecstore-site -addr 127.0.0.1:7101 -site 1            # in-memory chunks
+//	ecstore-site -addr 127.0.0.1:7102 -site 2 -dir /data # disk-backed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ecstore/internal/model"
+	"ecstore/internal/rpc"
+	"ecstore/internal/storage"
+	"ecstore/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ecstore-site", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7101", "listen address")
+	siteID := fs.Int("site", 1, "site id (must be unique across the cluster)")
+	dir := fs.String("dir", "", "chunk directory (empty = in-memory)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var store storage.Store
+	if *dir == "" {
+		store = storage.NewMemStore()
+	} else {
+		var err error
+		store, err = storage.NewDiskStore(*dir)
+		if err != nil {
+			return err
+		}
+	}
+	svc := storage.NewService(storage.ServiceConfig{Site: model.SiteID(*siteID)}, store)
+
+	tcp := &transport.TCP{}
+	l, err := tcp.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ecstore-site %d serving on %s (store: %s)\n", *siteID, l.Addr(), storeKind(*dir))
+	srv := rpc.NewServer(storage.NewRPCServer(svc))
+	return srv.Serve(l)
+}
+
+func storeKind(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return dir
+}

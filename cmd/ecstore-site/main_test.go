@@ -1,0 +1,76 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ecstore/internal/model"
+	"ecstore/internal/rpc"
+	"ecstore/internal/storage"
+	"ecstore/internal/transport"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+	if err := run([]string{"-addr", "999.999.999.999:1"}); err == nil {
+		t.Fatal("invalid address accepted")
+	}
+}
+
+func TestRunServesStorageRPC(t *testing.T) {
+	// Pick a free port first.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	_ = l.Close()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- run([]string{"-addr", addr, "-site", "7", "-dir", t.TempDir()}) }()
+
+	// Dial with retry while the server binds.
+	tcp := &transport.TCP{DialTimeout: time.Second}
+	var conn net.Conn
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err = tcp.Dial(addr)
+		if err == nil {
+			break
+		}
+		select {
+		case e := <-errCh:
+			t.Fatalf("server exited early: %v", e)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	client := storage.NewRPCClient(rpc.NewClient(conn))
+	ref := model.ChunkRef{Block: "smoke", Chunk: 0}
+	if err := client.PutChunk(ref, []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.GetChunk(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "over tcp" {
+		t.Fatalf("got %q", got)
+	}
+	if err := client.Probe(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreKind(t *testing.T) {
+	if storeKind("") != "memory" || !strings.Contains(storeKind("/x"), "/x") {
+		t.Fatal("storeKind rendering")
+	}
+}

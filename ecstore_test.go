@@ -1,0 +1,189 @@
+package ecstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func open(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestOpenDefaults(t *testing.T) {
+	c := open(t, Config{})
+	data := []byte("hello ec-store")
+	if err := c.Put("blk", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("blk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	st := c.Stats()
+	if st.StorageOverhead != 2.0 {
+		t.Fatalf("default overhead = %v, want 2.0 (RS(2,2))", st.StorageOverhead)
+	}
+	if st.StoredBytes != 2*int64(len(data)) {
+		t.Fatalf("stored bytes = %d", st.StoredBytes)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{Scheme: Scheme(42)}); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+	if _, err := Open(Config{Strategy: AccessStrategy(42)}); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
+	if _, err := Open(Config{NumSites: 1}); err == nil {
+		t.Fatal("1-site cluster accepted")
+	}
+}
+
+func TestReplicatedScheme(t *testing.T) {
+	c := open(t, Config{Scheme: Replicated, Strategy: RandomAccess})
+	if err := c.Put("b", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().StorageOverhead; got != 3.0 {
+		t.Fatalf("replication overhead = %v", got)
+	}
+	locs, err := c.ChunkLocations("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 3 {
+		t.Fatalf("replica count = %d", len(locs))
+	}
+}
+
+func TestGetMultiBreakdown(t *testing.T) {
+	c := open(t, Config{})
+	ids := make([]BlockID, 4)
+	for i := range ids {
+		ids[i] = BlockID(fmt.Sprintf("m%d", i))
+		if err := c.Put(ids[i], []byte{byte(i), 1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks, bd, err := c.GetMulti(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 4 {
+		t.Fatalf("got %d blocks", len(blocks))
+	}
+	if bd.Total() <= 0 {
+		t.Fatalf("breakdown = %+v", bd)
+	}
+}
+
+func TestFailRecoverAndDegradedRead(t *testing.T) {
+	c := open(t, Config{NumSites: 8})
+	payload := bytes.Repeat([]byte{7}, 4096)
+	if err := c.Put("blk", payload); err != nil {
+		t.Fatal(err)
+	}
+	locs, err := c.ChunkLocations("blk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailSite(locs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailSite(locs[3]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("blk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("degraded read mismatch")
+	}
+	if err := c.RecoverSite(locs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailSite(99); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+	if err := c.RecoverSite(99); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+}
+
+func TestMoverTick(t *testing.T) {
+	c := open(t, Config{NumSites: 10, EnableMover: true, Seed: 3})
+	for i := 0; i < 4; i++ {
+		if err := c.Put(BlockID(fmt.Sprintf("b%d", i)), bytes.Repeat([]byte{byte(i)}, 512)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if _, _, err := c.GetMulti([]BlockID{"b0", "b1"}); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 9 {
+			c.Tick()
+		}
+	}
+	// Data intact regardless of movement.
+	got, err := c.Get("b0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{0}, 512)) {
+		t.Fatal("data corrupted")
+	}
+	_ = c.Stats().ChunksMoved // may be zero; must not panic
+}
+
+func TestLateBinding(t *testing.T) {
+	c := open(t, Config{LateBindingDelta: 1})
+	if err := c.Put("lb", []byte("late binding payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("lb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "late binding payload" {
+		t.Fatal("LB read mismatch")
+	}
+}
+
+func TestBackgroundMode(t *testing.T) {
+	c := open(t, Config{Background: true, EnableMover: true, EnableRepair: true})
+	if err := c.Put("bg", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("bg"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteViaFacade(t *testing.T) {
+	c := open(t, Config{})
+	if err := c.Put("d", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("d"); err == nil {
+		t.Fatal("read after delete succeeded")
+	}
+	if _, err := c.ChunkLocations("d"); err == nil {
+		t.Fatal("locations after delete succeeded")
+	}
+}

@@ -1,0 +1,60 @@
+package ecstore_test
+
+import (
+	"fmt"
+
+	"ecstore"
+)
+
+// ExampleOpen stores a block on an in-process cluster and reads it back.
+func ExampleOpen() {
+	cluster, err := ecstore.Open(ecstore.Config{NumSites: 8})
+	if err != nil {
+		fmt.Println("open:", err)
+		return
+	}
+	defer cluster.Close()
+
+	if err := cluster.Put("hello", []byte("erasure-coded world")); err != nil {
+		fmt.Println("put:", err)
+		return
+	}
+	data, err := cluster.Get("hello")
+	if err != nil {
+		fmt.Println("get:", err)
+		return
+	}
+	fmt.Println(string(data))
+	fmt.Printf("storage overhead: %.1fx\n", cluster.Stats().StorageOverhead)
+	// Output:
+	// erasure-coded world
+	// storage overhead: 2.0x
+}
+
+// ExampleCluster_GetMulti shows a planned multi-block read with its
+// response-time breakdown.
+func ExampleCluster_GetMulti() {
+	cluster, err := ecstore.Open(ecstore.Config{NumSites: 8})
+	if err != nil {
+		fmt.Println("open:", err)
+		return
+	}
+	defer cluster.Close()
+
+	for _, id := range []ecstore.BlockID{"a", "b", "c"} {
+		if err := cluster.Put(id, []byte("block "+string(id))); err != nil {
+			fmt.Println("put:", err)
+			return
+		}
+	}
+	blocks, bd, err := cluster.GetMulti([]ecstore.BlockID{"a", "b", "c"})
+	if err != nil {
+		fmt.Println("get:", err)
+		return
+	}
+	fmt.Println(len(blocks), "blocks in one request")
+	fmt.Println(bd.Total() > 0)
+	// Output:
+	// 3 blocks in one request
+	// true
+}

@@ -1,0 +1,48 @@
+// Benchmark: a miniature version of the paper's evaluation, comparing the
+// six configurations (R, EC, EC+LB, EC+C, EC+C+M, EC+C+M+LB) on the
+// deterministic simulator under the YCSB-E scan workload.
+//
+// For the full reproduction of every figure and table, run:
+//
+//	go run ./cmd/ecbench -exp all
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecstore/internal/bench"
+	"ecstore/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sc := bench.QuickScale(42)
+	fmt.Printf("YCSB-E, 100 KB blocks, %d blocks, %gs measured (quick scale)\n\n",
+		sc.Blocks, sc.Measure)
+
+	var results []*sim.Result
+	for _, opt := range bench.Configs() {
+		res, err := bench.RunYCSB(opt, sc, bench.BlockSize100KB)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+		fmt.Printf("%-11s mean=%6.2fms  p99=%6.2fms  λ=%5.1f  visits/req=%4.1f  storage=%.1fx\n",
+			res.Config,
+			res.Mean.Total()*1000,
+			res.Metrics.Percentile(99)*1000,
+			res.Lambda,
+			res.VisitsPerRequest,
+			res.StorageOverhead)
+	}
+
+	fmt.Println("\nresponse-time breakdown (the paper's Figure 4b):")
+	fmt.Print(sim.FormatBreakdownTable(results))
+	return nil
+}

@@ -1,0 +1,155 @@
+// Package bench is the experiment harness regenerating every table and
+// figure of the paper's evaluation (Section VI). Each experiment has a
+// runner returning both the raw simulation results (for tests and
+// assertions) and a rendered text report (for cmd/ecbench and
+// EXPERIMENTS.md).
+//
+// Experiments run on the deterministic simulator at two scales: Quick
+// (seconds of wall-clock time, for go test -bench) and Full (minutes,
+// approximating the paper's 20-minute measurement windows after time
+// compression).
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ecstore/internal/model"
+	"ecstore/internal/placement"
+	"ecstore/internal/sim"
+	"ecstore/internal/workload"
+)
+
+// Scale fixes the population and durations of an experiment run.
+type Scale struct {
+	// Name labels the scale in reports.
+	Name string
+	// Blocks is the loaded block population (the paper loads 1M; the
+	// simulator preserves the popularity shape at smaller populations).
+	Blocks int
+	// Warmup, Adapt and Measure are the phase durations in simulated
+	// seconds (uniform warm-up, post-workload-change adaptation,
+	// measurement).
+	Warmup  float64
+	Adapt   float64
+	Measure float64
+	// WikiPages sizes the Wikipedia trace.
+	WikiPages int
+	// Seed drives the whole run.
+	Seed int64
+}
+
+// QuickScale is sized for go test -bench: a few wall-clock seconds per
+// configuration.
+func QuickScale(seed int64) Scale {
+	return Scale{
+		Name:      "quick",
+		Blocks:    4000,
+		Warmup:    2,
+		Adapt:     10,
+		Measure:   6,
+		WikiPages: 300,
+		Seed:      seed,
+	}
+}
+
+// MidScale balances fidelity and wall-clock time: large enough for the
+// movement dynamics to converge, small enough that one six-configuration
+// experiment finishes in minutes on a laptop core.
+func MidScale(seed int64) Scale {
+	return Scale{
+		Name:      "mid",
+		Blocks:    12000,
+		Warmup:    5,
+		Adapt:     40,
+		Measure:   15,
+		WikiPages: 1200,
+		Seed:      seed,
+	}
+}
+
+// FullScale approximates the paper's runs after time compression
+// (20 simulated minutes -> 20+60 simulated seconds with a proportionally
+// faster mover).
+func FullScale(seed int64) Scale {
+	return Scale{
+		Name:      "full",
+		Blocks:    20000,
+		Warmup:    10,
+		Adapt:     60,
+		Measure:   20,
+		WikiPages: 2000,
+		Seed:      seed,
+	}
+}
+
+// Configs returns the paper's six evaluated configurations in Figure 4's
+// order: R, EC, EC+LB, EC+C, EC+C+M, EC+C+M+LB.
+func Configs() []sim.Options {
+	return []sim.Options{
+		{Scheme: model.SchemeReplicated, Strategy: placement.StrategyRandom},
+		{Scheme: model.SchemeErasure, Strategy: placement.StrategyRandom},
+		{Scheme: model.SchemeErasure, Strategy: placement.StrategyRandom, Delta: 1},
+		{Scheme: model.SchemeErasure, Strategy: placement.StrategyCost},
+		{Scheme: model.SchemeErasure, Strategy: placement.StrategyCost, Mover: true},
+		{Scheme: model.SchemeErasure, Strategy: placement.StrategyCost, Mover: true, Delta: 1},
+	}
+}
+
+// Report is a rendered experiment.
+type Report struct {
+	ID    string
+	Title string
+	Body  string
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	b.WriteString(r.Body)
+	return b.String()
+}
+
+// RunYCSB executes one configuration under the YCSB-E workload with the
+// given block size.
+func RunYCSB(opt sim.Options, sc Scale, blockSize int64) (*sim.Result, error) {
+	cl, err := sim.New(sim.DefaultParams(sc.Seed), opt)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cl.Populate(sc.Blocks, func(int) int64 { return blockSize }); err != nil {
+		return nil, err
+	}
+	wl := workload.NewYCSBE(sc.Blocks, 20, 1.0)
+	return cl.Run(wl, sc.Warmup, sc.Adapt, sc.Measure), nil
+}
+
+// RunWikipedia executes one configuration under the synthetic Wikipedia
+// image trace.
+func RunWikipedia(opt sim.Options, sc Scale) (*sim.Result, error) {
+	trace := workload.NewWikipedia(workload.WikipediaConfig{
+		NumPages: sc.WikiPages,
+		Seed:     sc.Seed + 17,
+	})
+	cl, err := sim.New(sim.DefaultParams(sc.Seed), opt)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cl.Populate(trace.NumBlocks(), trace.SizeFor); err != nil {
+		return nil, err
+	}
+	return cl.Run(trace, sc.Warmup, sc.Adapt, sc.Measure), nil
+}
+
+// runAll runs every configuration through the given runner.
+func runAll(sc Scale, runner func(sim.Options) (*sim.Result, error)) ([]*sim.Result, error) {
+	var out []*sim.Result
+	for _, opt := range Configs() {
+		res, err := runner(opt)
+		if err != nil {
+			return nil, fmt.Errorf("config %s: %w", opt.Name(), err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

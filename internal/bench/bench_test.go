@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"ecstore/internal/model"
+	"ecstore/internal/placement"
+	"ecstore/internal/sim"
+)
+
+// tinyScale keeps unit tests fast: enough traffic for stable means, small
+// enough to run in seconds.
+func tinyScale(seed int64) Scale {
+	return Scale{
+		Name:      "tiny",
+		Blocks:    1000,
+		Warmup:    1,
+		Adapt:     3,
+		Measure:   3,
+		WikiPages: 80,
+		Seed:      seed,
+	}
+}
+
+func TestConfigsCoverPaperMatrix(t *testing.T) {
+	cfgs := Configs()
+	want := []string{"R", "EC", "EC+LB", "EC+C", "EC+C+M", "EC+C+M+LB"}
+	if len(cfgs) != len(want) {
+		t.Fatalf("got %d configs", len(cfgs))
+	}
+	for i, opt := range cfgs {
+		if got := opt.Name(); got != want[i] {
+			t.Errorf("config %d = %s, want %s", i, got, want[i])
+		}
+	}
+}
+
+func TestFig1RetrievalDominates(t *testing.T) {
+	rep, results, err := Fig1(tinyScale(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "fig1" || rep.Body == "" {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	for _, r := range results {
+		bd := r.Mean
+		if bd.Retrieve < bd.Metadata || bd.Retrieve < bd.Planning || bd.Retrieve < bd.Decode {
+			t.Errorf("%s: retrieval (%.4f) does not dominate breakdown %+v", r.Config, bd.Retrieve, bd)
+		}
+	}
+	// Erasure coding slower than replication under random access, and
+	// replication stores 50% more data (the paper's motivating gap).
+	r, ec := results[0], results[1]
+	if ec.Mean.Total() <= r.Mean.Total() {
+		t.Errorf("EC (%.4f) not slower than R (%.4f)", ec.Mean.Total(), r.Mean.Total())
+	}
+	if r.StorageOverhead != 3.0 || ec.StorageOverhead != 2.0 {
+		t.Errorf("overheads = %v, %v", r.StorageOverhead, ec.StorageOverhead)
+	}
+	// Replication never decodes.
+	if r.Mean.Decode != 0 {
+		t.Errorf("replication decode = %v", r.Mean.Decode)
+	}
+	if ec.Mean.Decode <= 0 {
+		t.Errorf("erasure decode = %v", ec.Mean.Decode)
+	}
+}
+
+func TestFig4aTimelineShape(t *testing.T) {
+	rep, results, err := Fig4a(tinyScale(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Body, "EC+C+M") {
+		t.Fatal("report missing EC+C+M column")
+	}
+	for _, r := range results {
+		if len(r.Metrics.Timeline()) == 0 {
+			t.Fatalf("%s: empty timeline", r.Config)
+		}
+	}
+}
+
+func TestFig4fFailuresIncreaseLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("18 simulation runs; skipped in -short mode")
+	}
+	sc := tinyScale(3)
+	rep, rows, err := Fig4f(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "fig4f" {
+		t.Fatal("bad report id")
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for cfg, row := range rows {
+		if len(row) != 3 {
+			t.Fatalf("%s: %d columns", cfg, len(row))
+		}
+		for _, v := range row {
+			if v <= 0 {
+				t.Fatalf("%s: non-positive latency %v", cfg, v)
+			}
+		}
+		// Two failures should not be cheaper than none (allowing a
+		// little simulation noise).
+		if row[2] < row[0]*0.9 {
+			t.Errorf("%s: 2-failure latency %.4f markedly below 0-failure %.4f", cfg, row[2], row[0])
+		}
+	}
+}
+
+func TestTable2Lambdas(t *testing.T) {
+	rep, lambdas, err := Table2(tinyScale(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lambdas) != 6 {
+		t.Fatalf("lambdas = %v", lambdas)
+	}
+	for cfg, l := range lambdas {
+		if l < 0 {
+			t.Errorf("%s: negative λ %v", cfg, l)
+		}
+	}
+	if !strings.Contains(rep.Body, "EC+C+M") {
+		t.Fatal("report missing configs")
+	}
+}
+
+func TestTable3Rows(t *testing.T) {
+	rep, rows, err := Table3(tinyScale(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Service] = true
+		if r.MemoryMB < 0 {
+			t.Errorf("%s: negative memory", r.Service)
+		}
+	}
+	if !names["Statistics"] || !names["Chunk read optimizer"] || !names["Chunk mover"] {
+		t.Fatalf("services = %v", names)
+	}
+	if rep.Body == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestWikipediaRun(t *testing.T) {
+	sc := tinyScale(6)
+	res, err := RunWikipedia(sim.Options{
+		Scheme:   model.SchemeErasure,
+		Strategy: placement.StrategyCost,
+	}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests measured")
+	}
+}
+
+func TestAblationDelta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3 simulation runs; skipped in -short mode")
+	}
+	_, out, err := AblationDelta(tinyScale(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("deltas = %v", out)
+	}
+}
+
+func TestAblationK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4 simulation runs; skipped in -short mode")
+	}
+	_, out, err := AblationK(tinyScale(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("ks = %v", out)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{ID: "x", Title: "t", Body: "b\n"}
+	s := rep.String()
+	if !strings.Contains(s, "x") || !strings.Contains(s, "b") {
+		t.Fatalf("report rendering: %q", s)
+	}
+}

@@ -1,0 +1,503 @@
+// Package core implements the EC-Store client service (Section V,
+// Figure 3): the write path W1-W3 (decide placement, encode, store chunks +
+// register metadata) and the read path R1-R3 (look up metadata, plan the
+// access, retrieve chunks in parallel and decode), including late binding
+// and per-phase response-time breakdowns.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ecstore/internal/erasure"
+	"ecstore/internal/metadata"
+	"ecstore/internal/model"
+	"ecstore/internal/placement"
+	"ecstore/internal/stats"
+	"ecstore/internal/storage"
+)
+
+// Errors returned by the client.
+var (
+	ErrNoSites          = errors.New("core: no storage sites")
+	ErrBlockUnavailable = errors.New("core: block unavailable")
+)
+
+// Config selects the client's fault-tolerance scheme and strategies. Each
+// of the paper's six evaluated configurations is expressible:
+//
+//	R           {Scheme: Replicated, Strategy: Random}
+//	EC          {Scheme: Erasure, Strategy: Random}
+//	EC+LB       {Scheme: Erasure, Strategy: Random, Delta: 1}
+//	EC+C        {Scheme: Erasure, Strategy: Cost}
+//	EC+C+M      {Scheme: Erasure, Strategy: Cost} + a running Mover
+//	EC+C+M+LB   {Scheme: Erasure, Strategy: Cost, Delta: 1} + Mover
+type Config struct {
+	// Scheme is erasure coding or replication.
+	Scheme model.Scheme
+	// K and R are the RS parameters (ignored K for replication: stored
+	// copies are R+1 full replicas). Defaults: K=2, R=2.
+	K int
+	R int
+	// Strategy picks random or cost-model access planning.
+	Strategy placement.Strategy
+	// Delta enables late binding: fetch k+Delta chunks, use the first k.
+	Delta int
+	// PlaceStrategy governs where new chunks land.
+	PlaceStrategy placement.PlaceStrategy
+	// InlineExact makes the planner solve ILPs synchronously (tests and
+	// simulation); production uses the background worker.
+	InlineExact bool
+	// Seed drives all client-side randomness.
+	Seed int64
+	// DefaultO and DefaultM seed the cost model before probes exist
+	// (the paper's calibration: m_j = 1 when o_j = 5).
+	DefaultO float64
+	DefaultM float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scheme == 0 {
+		c.Scheme = model.SchemeErasure
+	}
+	if c.K == 0 {
+		c.K = 2
+	}
+	if c.R == 0 {
+		c.R = 2
+	}
+	if c.Strategy == 0 {
+		c.Strategy = placement.StrategyCost
+	}
+	if c.PlaceStrategy == 0 {
+		c.PlaceStrategy = placement.PlaceRandom
+	}
+	if c.DefaultO == 0 {
+		c.DefaultO = 5
+	}
+	if c.DefaultM == 0 {
+		c.DefaultM = 1.0 / (100 * 1024) // m_j=1 per 100 KB chunk at o_j=5
+	}
+	return c
+}
+
+// Client is the EC-Store client service.
+type Client struct {
+	cfg    Config
+	codec  *erasure.Codec // nil for replication
+	meta   metadata.Service
+	sites  map[model.SiteID]storage.SiteAPI
+	plan   *placement.Planner
+	placer *placement.Placer
+
+	coaccess *stats.CoAccessTracker
+	probes   *stats.ProbeEstimator
+	sink     AccessSink
+
+	mu     sync.Mutex
+	failed map[model.SiteID]bool
+}
+
+// AccessSink receives sampled multi-block requests, e.g. a remote
+// statistics service in a distributed deployment.
+type AccessSink interface {
+	RecordAccess(ids []model.BlockID) error
+}
+
+// Deps wires the client to the rest of the system.
+type Deps struct {
+	Meta  metadata.Service
+	Sites map[model.SiteID]storage.SiteAPI
+	// CoAccess receives sampled multi-block requests; shared with the
+	// chunk mover. Nil creates a private tracker.
+	CoAccess *stats.CoAccessTracker
+	// Probes supplies o_j estimates; nil creates a private estimator.
+	Probes *stats.ProbeEstimator
+	// Loads supports load-aware placement; may be nil for PlaceRandom.
+	Loads *stats.LoadTracker
+	// Sink additionally receives each request's block set (optional),
+	// feeding a remote statistics service.
+	Sink AccessSink
+}
+
+// NewClient builds a client service.
+func NewClient(cfg Config, deps Deps) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if len(deps.Sites) == 0 {
+		return nil, ErrNoSites
+	}
+	var codec *erasure.Codec
+	if cfg.Scheme == model.SchemeErasure {
+		var err error
+		codec, err = erasure.NewCodec(cfg.K, cfg.R)
+		if err != nil {
+			return nil, fmt.Errorf("build codec: %w", err)
+		}
+	}
+	placer, err := placement.NewPlacer(cfg.PlaceStrategy, deps.Loads, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	coaccess := deps.CoAccess
+	if coaccess == nil {
+		coaccess = stats.NewCoAccessTracker(0)
+	}
+	probes := deps.Probes
+	if probes == nil {
+		probes = stats.NewProbeEstimator(0.3)
+	}
+	return &Client{
+		cfg:   cfg,
+		codec: codec,
+		meta:  deps.Meta,
+		sites: deps.Sites,
+		plan: placement.NewPlanner(placement.PlannerConfig{
+			Strategy:    cfg.Strategy,
+			Delta:       cfg.Delta,
+			InlineExact: cfg.InlineExact,
+			Seed:        cfg.Seed,
+		}),
+		placer:   placer,
+		coaccess: coaccess,
+		probes:   probes,
+		sink:     deps.Sink,
+		failed:   make(map[model.SiteID]bool),
+	}, nil
+}
+
+// Close releases planner resources.
+func (c *Client) Close() { c.plan.Close() }
+
+// Codec exposes the erasure codec (nil under replication).
+func (c *Client) Codec() *erasure.Codec { return c.codec }
+
+// PlannerStats returns plan-cache statistics.
+func (c *Client) PlannerStats() placement.PlannerStats { return c.plan.Stats() }
+
+// StorageOverhead returns the configured scheme's storage expansion factor.
+func (c *Client) StorageOverhead() float64 {
+	if c.cfg.Scheme == model.SchemeReplicated {
+		return float64(c.cfg.R + 1)
+	}
+	return float64(c.cfg.K+c.cfg.R) / float64(c.cfg.K)
+}
+
+// MarkFailed records a site as unavailable for planning.
+func (c *Client) MarkFailed(s model.SiteID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failed[s] = true
+}
+
+// MarkAvailable clears a site's failed mark.
+func (c *Client) MarkAvailable(s model.SiteID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.failed, s)
+}
+
+// available reports whether a site is believed reachable.
+func (c *Client) available(s model.SiteID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.failed[s]
+}
+
+// costs materializes the current cost model from probe estimates.
+func (c *Client) costs() *model.SiteCosts {
+	return c.probes.Costs(c.cfg.DefaultO, c.cfg.DefaultM)
+}
+
+// totalChunks returns how many chunks (or copies) each block stores.
+func (c *Client) totalChunks() int {
+	if c.cfg.Scheme == model.SchemeReplicated {
+		return c.cfg.R + 1
+	}
+	return c.cfg.K + c.cfg.R
+}
+
+// Put stores a block under id (write path W1-W3).
+func (c *Client) Put(id model.BlockID, data []byte) error {
+	if id == "" {
+		return errors.New("core: empty block id")
+	}
+	siteList := c.siteIDs()
+	chosen, err := c.placer.Place(siteList, c.totalChunks())
+	if err != nil {
+		return fmt.Errorf("place %s: %w", id, err)
+	}
+
+	var chunks [][]byte
+	var chunkSize int64
+	if c.cfg.Scheme == model.SchemeReplicated {
+		chunks = make([][]byte, c.cfg.R+1)
+		for i := range chunks {
+			chunks[i] = data
+		}
+		chunkSize = int64(len(data))
+	} else {
+		chunks, err = c.codec.Encode(data)
+		if err != nil {
+			return fmt.Errorf("encode %s: %w", id, err)
+		}
+		chunkSize = int64(len(chunks[0]))
+	}
+
+	// Store chunks in parallel.
+	var wg sync.WaitGroup
+	errs := make([]error, len(chunks))
+	for i := range chunks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			site := c.sites[chosen[i]]
+			if site == nil {
+				errs[i] = fmt.Errorf("%w: site %d", ErrNoSites, chosen[i])
+				return
+			}
+			errs[i] = site.PutChunk(model.ChunkRef{Block: id, Chunk: i}, chunks[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("store chunk %d of %s: %w", i, id, err)
+		}
+	}
+
+	k := c.cfg.K
+	if c.cfg.Scheme == model.SchemeReplicated {
+		k = 1
+	}
+	meta := &model.BlockMeta{
+		ID:        id,
+		Scheme:    c.cfg.Scheme,
+		Size:      int64(len(data)),
+		K:         k,
+		R:         c.cfg.R,
+		ChunkSize: chunkSize,
+		Sites:     chosen,
+	}
+	if err := c.meta.Register(meta); err != nil {
+		return fmt.Errorf("register %s: %w", id, err)
+	}
+	return nil
+}
+
+// Get retrieves one block.
+func (c *Client) Get(id model.BlockID) ([]byte, error) {
+	res, _, err := c.GetMulti([]model.BlockID{id})
+	if err != nil {
+		return nil, err
+	}
+	return res[id], nil
+}
+
+// GetMulti retrieves a set of blocks (read path R1-R3) and returns the
+// per-phase response-time breakdown the paper's evaluation reports.
+func (c *Client) GetMulti(ids []model.BlockID) (map[model.BlockID][]byte, model.Breakdown, error) {
+	var bd model.Breakdown
+	if len(ids) == 0 {
+		return nil, bd, nil
+	}
+
+	// R1: metadata access.
+	t0 := time.Now()
+	metas, err := c.meta.Lookup(ids)
+	if err != nil {
+		return nil, bd, fmt.Errorf("metadata lookup: %w", err)
+	}
+	bd.Metadata = time.Since(t0).Seconds()
+
+	// Feed co-access statistics (sampled request stream); statistics
+	// loss must never fail a read, so sink errors degrade silently.
+	c.coaccess.Record(ids)
+	if c.sink != nil {
+		_ = c.sink.RecordAccess(ids)
+	}
+
+	// R2: access planning.
+	t1 := time.Now()
+	plan, _, err := c.plan.Plan(placement.PlanRequest{Metas: metas, Available: c.available}, c.costs())
+	if err != nil {
+		return nil, bd, fmt.Errorf("plan access: %w", err)
+	}
+	bd.Planning = time.Since(t1).Seconds()
+
+	// R3: retrieval and decode. Site failures are discovered one fetch
+	// at a time (an RPC error marks the site), so replanning retries
+	// until the request succeeds or the failure set stops growing the
+	// feasible space.
+	t2 := time.Now()
+	chunks, err := c.fetch(plan, metas)
+	for attempt := 0; err != nil && attempt < len(c.sites); attempt++ {
+		var planErr error
+		plan, _, planErr = c.plan.Plan(placement.PlanRequest{Metas: metas, Available: c.available}, c.costs())
+		if planErr != nil {
+			return nil, bd, fmt.Errorf("replan access: %w", planErr)
+		}
+		chunks, err = c.fetch(plan, metas)
+	}
+	if err != nil {
+		return nil, bd, err
+	}
+	bd.Retrieve = time.Since(t2).Seconds()
+
+	t3 := time.Now()
+	out := make(map[model.BlockID][]byte, len(ids))
+	for id, meta := range metas {
+		data, err := c.assemble(meta, chunks[id])
+		if err != nil {
+			return nil, bd, fmt.Errorf("decode %s: %w", id, err)
+		}
+		out[id] = data
+	}
+	bd.Decode = time.Since(t3).Seconds()
+	return out, bd, nil
+}
+
+// fetchResult carries one chunk retrieval outcome.
+type fetchResult struct {
+	ref  model.ChunkRef
+	site model.SiteID
+	data []byte
+	err  error
+}
+
+// fetch executes an access plan: one goroutine per accessed site issues
+// that site's chunk reads sequentially (modelling one connection per site),
+// and the caller completes as soon as every block has k chunks — surplus
+// late-binding responses are discarded as they trickle in.
+func (c *Client) fetch(plan *model.AccessPlan, metas map[model.BlockID]*model.BlockMeta) (map[model.BlockID]map[int][]byte, error) {
+	total := plan.ChunkCount()
+	results := make(chan fetchResult, total)
+	for _, site := range plan.SortedSites() {
+		refs := plan.Reads[site]
+		go func(site model.SiteID, refs []model.ChunkRef) {
+			api := c.sites[site]
+			for _, ref := range refs {
+				if api == nil {
+					results <- fetchResult{ref: ref, site: site, err: fmt.Errorf("%w: site %d", ErrNoSites, site)}
+					continue
+				}
+				data, err := api.GetChunk(ref)
+				results <- fetchResult{ref: ref, site: site, data: data, err: err}
+			}
+		}(site, refs)
+	}
+
+	need := make(map[model.BlockID]int, len(metas))
+	for id, meta := range metas {
+		need[id] = meta.RequiredChunks()
+	}
+	got := make(map[model.BlockID]map[int][]byte, len(metas))
+	satisfied := 0
+	failures := 0
+
+	for received := 0; received < total && satisfied < len(metas); received++ {
+		res := <-results
+		if res.err != nil {
+			failures++
+			if isSiteFailure(res.err) {
+				c.MarkFailed(res.site)
+			}
+			continue
+		}
+		m := got[res.ref.Block]
+		if m == nil {
+			m = make(map[int][]byte)
+			got[res.ref.Block] = m
+		}
+		if _, dup := m[res.ref.Chunk]; dup {
+			continue
+		}
+		m[res.ref.Chunk] = res.data
+		if len(m) == need[res.ref.Block] {
+			satisfied++
+		}
+	}
+
+	if satisfied < len(metas) {
+		for id := range metas {
+			if len(got[id]) < need[id] {
+				return nil, fmt.Errorf("%w: %s has %d of %d chunks", ErrBlockUnavailable, id, len(got[id]), need[id])
+			}
+		}
+	}
+	return got, nil
+}
+
+// assemble turns fetched chunks into the original block.
+func (c *Client) assemble(meta *model.BlockMeta, chunks map[int][]byte) ([]byte, error) {
+	if meta.Scheme == model.SchemeReplicated {
+		for _, data := range chunks {
+			return data, nil
+		}
+		return nil, fmt.Errorf("%w: no replica fetched", ErrBlockUnavailable)
+	}
+	return c.codec.Decode(chunks, int(meta.Size))
+}
+
+// Delete removes a block and its chunks.
+func (c *Client) Delete(id model.BlockID) error {
+	meta, err := c.meta.Delete(id)
+	if err != nil {
+		return fmt.Errorf("unregister %s: %w", id, err)
+	}
+	var wg sync.WaitGroup
+	for chunk, site := range meta.Sites {
+		api := c.sites[site]
+		if api == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(api storage.SiteAPI, ref model.ChunkRef) {
+			defer wg.Done()
+			// Best effort: repair garbage-collects orphans.
+			_ = api.DeleteChunk(ref)
+		}(api, model.ChunkRef{Block: id, Chunk: chunk})
+	}
+	wg.Wait()
+	return nil
+}
+
+// ProbeAll measures a load-status round trip to every site, feeding o_j
+// estimates and availability marks (Section V-B3).
+func (c *Client) ProbeAll() {
+	for _, id := range c.siteIDs() {
+		api := c.sites[id]
+		start := time.Now()
+		err := api.Probe()
+		rtt := time.Since(start).Seconds()
+		if err != nil {
+			c.MarkFailed(id)
+			continue
+		}
+		c.MarkAvailable(id)
+		c.probes.Observe(id, scaleRTT(rtt, c.cfg.DefaultO))
+	}
+}
+
+// scaleRTT converts a measured probe RTT in seconds into cost-model units,
+// normalizing so an idle-probe RTT of ~1ms maps near DefaultO.
+func scaleRTT(rttSeconds, defaultO float64) float64 {
+	return rttSeconds / 0.001 * defaultO
+}
+
+func (c *Client) siteIDs() []model.SiteID {
+	out := make([]model.SiteID, 0, len(c.sites))
+	for id := range c.sites {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// isSiteFailure classifies an error as a site-level failure (as opposed to
+// a missing chunk, which indicates stale metadata rather than an outage).
+func isSiteFailure(err error) bool {
+	return !errors.Is(err, storage.ErrChunkNotFound)
+}

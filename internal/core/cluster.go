@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ecstore/internal/metadata"
+	"ecstore/internal/model"
+	"ecstore/internal/placement"
+	"ecstore/internal/repair"
+	"ecstore/internal/stats"
+	"ecstore/internal/storage"
+)
+
+// ClusterConfig assembles a complete single-process EC-Store deployment:
+// N storage services, a metadata catalog, the statistics trackers, a
+// client, and optionally the chunk mover and repair service.
+type ClusterConfig struct {
+	// NumSites is the data-plane size (the paper's testbed uses 32).
+	NumSites int
+	// Client configures scheme and strategies.
+	Client Config
+	// EnableMover runs the background chunk mover (the +M configs).
+	EnableMover bool
+	// MoverInterval throttles movement; zero means 1s.
+	MoverInterval time.Duration
+	// EnableRepair runs the repair service.
+	EnableRepair bool
+	// RepairGrace overrides the 15-minute default grace period.
+	RepairGrace time.Duration
+	// StatsInterval is the load-report collection period; zero means 2s.
+	StatsInterval time.Duration
+	// ReadDelayPerByte/ReadDelayFixed emulate storage media on each site.
+	ReadDelayPerByte time.Duration
+	ReadDelayFixed   time.Duration
+}
+
+// Cluster is a fully wired in-process EC-Store instance. Examples and
+// integration tests use it directly; cmd/ binaries wire the same pieces
+// over RPC instead.
+type Cluster struct {
+	Catalog  *metadata.Catalog
+	Services map[model.SiteID]*storage.Service
+	Client   *Client
+	CoAccess *stats.CoAccessTracker
+	Loads    *stats.LoadTracker
+	Probes   *stats.ProbeEstimator
+	Mover    *MoverRunner
+	Repair   *repair.Service
+
+	statsInterval time.Duration
+	stop          chan struct{}
+	done          chan struct{}
+	started       bool
+}
+
+// NewCluster builds and wires a cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.NumSites < 2 {
+		return nil, fmt.Errorf("core: need at least 2 sites, got %d", cfg.NumSites)
+	}
+	siteIDs := make([]model.SiteID, cfg.NumSites)
+	for i := range siteIDs {
+		siteIDs[i] = model.SiteID(i + 1)
+	}
+
+	catalog := metadata.NewCatalog(siteIDs)
+	services := make(map[model.SiteID]*storage.Service, cfg.NumSites)
+	apis := make(map[model.SiteID]storage.SiteAPI, cfg.NumSites)
+	for _, id := range siteIDs {
+		svc := storage.NewService(storage.ServiceConfig{
+			Site:             id,
+			ReadDelayPerByte: cfg.ReadDelayPerByte,
+			ReadDelayFixed:   cfg.ReadDelayFixed,
+		}, storage.NewMemStore())
+		services[id] = svc
+		apis[id] = svc
+	}
+
+	coaccess := stats.NewCoAccessTracker(0)
+	loads := stats.NewLoadTracker()
+	probes := stats.NewProbeEstimator(0.3)
+
+	client, err := NewClient(cfg.Client, Deps{
+		Meta:     catalog,
+		Sites:    apis,
+		CoAccess: coaccess,
+		Probes:   probes,
+		Loads:    loads,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{
+		Catalog:       catalog,
+		Services:      services,
+		Client:        client,
+		CoAccess:      coaccess,
+		Loads:         loads,
+		Probes:        probes,
+		statsInterval: cfg.StatsInterval,
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+	}
+	if c.statsInterval == 0 {
+		c.statsInterval = 2 * time.Second
+	}
+
+	if cfg.EnableMover {
+		c.Mover = NewMoverRunner(MoverRunnerConfig{
+			Interval: cfg.MoverInterval,
+			DefaultO: cfg.Client.DefaultO,
+			DefaultM: cfg.Client.DefaultM,
+		}, catalog, apis, coaccess, loads, probes)
+	}
+	if cfg.EnableRepair {
+		c.Repair = repair.NewService(repair.Config{
+			Grace: cfg.RepairGrace,
+		}, catalog, apis, loads)
+	}
+	return c, nil
+}
+
+// Start launches the background control loops (stats collection, mover,
+// repair). The cluster is usable without Start; Tick drives the loops
+// synchronously instead.
+func (c *Cluster) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	go func() {
+		defer close(c.done)
+		ticker := time.NewTicker(c.statsInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				c.CollectStats()
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+	if c.Mover != nil {
+		c.Mover.Start()
+	}
+	if c.Repair != nil {
+		c.Repair.Start()
+	}
+}
+
+// Close stops all background loops and releases resources.
+func (c *Cluster) Close() {
+	if c.started {
+		close(c.stop)
+		<-c.done
+		c.started = false
+	}
+	if c.Mover != nil {
+		c.Mover.Stop()
+	}
+	if c.Repair != nil {
+		c.Repair.Stop()
+	}
+	c.Client.Close()
+}
+
+// CollectStats performs one statistics round: every live site's load
+// report feeds the load tracker, and a probe round refreshes o_j.
+func (c *Cluster) CollectStats() {
+	for id, svc := range c.Services {
+		load, err := svc.LoadReport()
+		if err != nil {
+			continue // failed sites keep their last report
+		}
+		c.Loads.Report(id, load)
+	}
+	c.Client.ProbeAll()
+}
+
+// Tick drives one synchronous control-plane round: stats collection, one
+// movement attempt (if the mover is enabled), and one repair check (if
+// repair is enabled). Deterministic alternative to Start for tests.
+func (c *Cluster) Tick() {
+	c.CollectStats()
+	if c.Mover != nil {
+		_, _ = c.Mover.MoveOnce()
+	}
+	if c.Repair != nil {
+		_ = c.Repair.CheckOnce()
+	}
+}
+
+// FailSite injects a failure at a site.
+func (c *Cluster) FailSite(id model.SiteID) {
+	if svc, ok := c.Services[id]; ok {
+		svc.Fail()
+		c.Client.MarkFailed(id)
+	}
+}
+
+// RecoverSite heals a previously failed site.
+func (c *Cluster) RecoverSite(id model.SiteID) {
+	if svc, ok := c.Services[id]; ok {
+		svc.Recover()
+		c.Client.MarkAvailable(id)
+	}
+}
+
+// TotalStoredBytes sums stored bytes across sites.
+func (c *Cluster) TotalStoredBytes() int64 {
+	var total int64
+	for _, svc := range c.Services {
+		n, err := svc.StoredBytes()
+		if err == nil {
+			total += n
+		}
+	}
+	return total
+}
+
+// SiteChunkCounts returns the number of chunks per site.
+func (c *Cluster) SiteChunkCounts() map[model.SiteID]int {
+	out := make(map[model.SiteID]int, len(c.Services))
+	for id, svc := range c.Services {
+		refs, err := svc.ListChunks()
+		if err != nil {
+			out[id] = 0
+			continue
+		}
+		out[id] = len(refs)
+	}
+	return out
+}
+
+// Strategy returns the client's access strategy (for reporting).
+func (c *Cluster) Strategy() placement.Strategy { return c.Client.plan.Strategy() }

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ecstore/internal/metadata"
+	"ecstore/internal/model"
+	"ecstore/internal/placement"
+	"ecstore/internal/stats"
+	"ecstore/internal/storage"
+)
+
+// ErrNoBeneficialMove reports that the mover found no positive-score plan.
+var ErrNoBeneficialMove = errors.New("core: no beneficial movement plan")
+
+// MoverRunnerConfig tunes the background chunk mover (Section V-B2).
+type MoverRunnerConfig struct {
+	// Mover parameterizes the movement strategy itself.
+	Mover placement.MoverConfig
+	// Interval is the pause between movement attempts: the paper
+	// throttles the mover to under one chunk per second. Zero means 1s.
+	Interval time.Duration
+	// RequestRate is the observed client request rate fed to load-shift
+	// estimation; zero means 100 req/s.
+	RequestRate float64
+	// DefaultO and DefaultM seed the cost model.
+	DefaultO float64
+	DefaultM float64
+}
+
+// MoverRunner asynchronously relocates chunks: it selects a movement plan
+// with the placement.Mover, copies the chunk to its destination, updates
+// the metadata (CAS), then deletes the source copy so concurrent readers
+// never lose access.
+type MoverRunner struct {
+	cfg    MoverRunnerConfig
+	mover  *placement.Mover
+	meta   metadata.Service
+	sites  map[model.SiteID]storage.SiteAPI
+	co     *stats.CoAccessTracker
+	loads  *stats.LoadTracker
+	probes *stats.ProbeEstimator
+
+	mu     sync.Mutex
+	moved  int64
+	failed int64
+
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+	started bool
+}
+
+// NewMoverRunner wires a runner. All dependencies are required.
+func NewMoverRunner(cfg MoverRunnerConfig, meta metadata.Service, sites map[model.SiteID]storage.SiteAPI,
+	co *stats.CoAccessTracker, loads *stats.LoadTracker, probes *stats.ProbeEstimator) *MoverRunner {
+	if cfg.Interval == 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.RequestRate == 0 {
+		cfg.RequestRate = 100
+	}
+	if cfg.DefaultO == 0 {
+		cfg.DefaultO = 5
+	}
+	if cfg.DefaultM == 0 {
+		cfg.DefaultM = 1.0 / (100 * 1024)
+	}
+	return &MoverRunner{
+		cfg:    cfg,
+		mover:  placement.NewMover(cfg.Mover),
+		meta:   meta,
+		sites:  sites,
+		co:     co,
+		loads:  loads,
+		probes: probes,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Start launches the periodic mover goroutine.
+func (r *MoverRunner) Start() {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.mu.Unlock()
+	go func() {
+		defer close(r.done)
+		ticker := time.NewTicker(r.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				_, _ = r.MoveOnce()
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop signals the goroutine and waits for it to exit. Safe to call even
+// if Start was never invoked.
+func (r *MoverRunner) Stop() {
+	r.once.Do(func() { close(r.stop) })
+	r.mu.Lock()
+	started := r.started
+	r.mu.Unlock()
+	if started {
+		<-r.done
+	}
+}
+
+// Moves returns (successful, failed) movement counts.
+func (r *MoverRunner) Moves() (int64, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.moved, r.failed
+}
+
+// env snapshots the mover's inputs.
+func (r *MoverRunner) env() placement.MoverEnv {
+	catalog := catalogAdapter{meta: r.meta}
+	return placement.MoverEnv{
+		Catalog:     catalog,
+		CoAccess:    r.co,
+		Loads:       r.loads,
+		Costs:       r.probes.Costs(r.cfg.DefaultO, r.cfg.DefaultM),
+		RequestRate: r.cfg.RequestRate,
+		Available: func(s model.SiteID) bool {
+			api := r.sites[s]
+			return api != nil && api.Probe() == nil
+		},
+	}
+}
+
+// MoveOnce selects and executes one movement plan.
+func (r *MoverRunner) MoveOnce() (model.MovePlan, error) {
+	plan, ok := r.mover.SelectMovementPlan(r.env())
+	if !ok {
+		return model.MovePlan{}, ErrNoBeneficialMove
+	}
+	if err := r.Execute(plan); err != nil {
+		r.mu.Lock()
+		r.failed++
+		r.mu.Unlock()
+		return plan, err
+	}
+	r.mu.Lock()
+	r.moved++
+	r.mu.Unlock()
+	return plan, nil
+}
+
+// Execute performs the copy -> CAS -> delete protocol for one plan.
+func (r *MoverRunner) Execute(plan model.MovePlan) error {
+	metas, err := r.meta.Lookup([]model.BlockID{plan.Block})
+	if err != nil {
+		return fmt.Errorf("lookup %s: %w", plan.Block, err)
+	}
+	meta := metas[plan.Block]
+	if plan.Chunk < 0 || plan.Chunk >= len(meta.Sites) || meta.Sites[plan.Chunk] != plan.From {
+		return fmt.Errorf("core: movement plan is stale for %s", plan.Block)
+	}
+	src := r.sites[plan.From]
+	dst := r.sites[plan.To]
+	if src == nil || dst == nil {
+		return fmt.Errorf("%w: move %d -> %d", ErrNoSites, plan.From, plan.To)
+	}
+
+	ref := model.ChunkRef{Block: plan.Block, Chunk: plan.Chunk}
+	data, err := src.GetChunk(ref)
+	if err != nil {
+		return fmt.Errorf("read source chunk: %w", err)
+	}
+	if err := dst.PutChunk(ref, data); err != nil {
+		return fmt.Errorf("write destination chunk: %w", err)
+	}
+	if _, err := r.meta.UpdatePlacement(plan.Block, plan.Chunk, plan.To, meta.Version); err != nil {
+		// Roll back the copy; the move lost a race.
+		_ = dst.DeleteChunk(ref)
+		return fmt.Errorf("commit placement: %w", err)
+	}
+	// Old copy is unreachable once metadata points at the destination.
+	_ = src.DeleteChunk(ref)
+	return nil
+}
+
+// catalogAdapter exposes a metadata.Service as a placement.CatalogView.
+type catalogAdapter struct {
+	meta metadata.Service
+}
+
+var _ placement.CatalogView = catalogAdapter{}
+
+func (a catalogAdapter) BlockMeta(id model.BlockID) (*model.BlockMeta, bool) {
+	metas, err := a.meta.Lookup([]model.BlockID{id})
+	if err != nil {
+		return nil, false
+	}
+	return metas[id], true
+}
+
+func (a catalogAdapter) Sites() []model.SiteID { return a.meta.Sites() }

@@ -1,0 +1,250 @@
+// Package erasure implements a systematic Reed-Solomon erasure codec over
+// GF(2^8), the coding substrate of EC-Store (the paper uses Jerasure 2.0).
+//
+// A Codec for RS(k, r) splits a block into k data chunks and derives r
+// parity chunks. Any k of the k+r chunks reconstruct the block; the code is
+// maximum distance separable, so the system tolerates the loss of any r
+// chunks (r-fault tolerance in the paper's terminology).
+//
+// The generator matrix is the (k+r) x k Vandermonde matrix normalized so
+// its top k x k block is the identity (right-multiplication by the inverse
+// of the top block). Right-multiplying by an invertible matrix preserves
+// the rank of every row subset, so the "any k rows invertible" Vandermonde
+// property carries over to the systematic form.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+
+	"ecstore/internal/gf256"
+	"ecstore/internal/matrix"
+)
+
+var (
+	// ErrInvalidParams reports unusable (k, r) parameters.
+	ErrInvalidParams = errors.New("erasure: invalid coding parameters")
+	// ErrNotEnoughChunks reports fewer than k available chunks at decode.
+	ErrNotEnoughChunks = errors.New("erasure: not enough chunks to reconstruct")
+	// ErrChunkSizeMismatch reports chunks of inconsistent length.
+	ErrChunkSizeMismatch = errors.New("erasure: chunk size mismatch")
+)
+
+// MaxTotalChunks bounds k+r: evaluation points of the Vandermonde matrix
+// must be distinct elements of GF(2^8).
+const MaxTotalChunks = 256
+
+// Codec encodes and decodes blocks with a fixed RS(k, r) scheme. It is
+// immutable after construction and safe for concurrent use.
+type Codec struct {
+	k int
+	r int
+	// encode is the full (k+r) x k systematic generator matrix.
+	encode *matrix.Matrix
+}
+
+// NewCodec constructs a systematic RS(k, r) codec. k must be at least 2 (a
+// single data chunk is replication, which the paper treats separately) and
+// r at least 1.
+func NewCodec(k, r int) (*Codec, error) {
+	if k < 2 || r < 1 || k+r > MaxTotalChunks {
+		return nil, fmt.Errorf("%w: k=%d r=%d", ErrInvalidParams, k, r)
+	}
+	vand := matrix.Vandermonde(k+r, k)
+	top, err := vand.SubMatrix(0, k, 0, k)
+	if err != nil {
+		return nil, fmt.Errorf("extract top block: %w", err)
+	}
+	topInv, err := top.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("normalize generator: %w", err)
+	}
+	enc, err := vand.Mul(topInv)
+	if err != nil {
+		return nil, fmt.Errorf("build generator: %w", err)
+	}
+	return &Codec{k: k, r: r, encode: enc}, nil
+}
+
+// K returns the number of data chunks.
+func (c *Codec) K() int { return c.k }
+
+// R returns the number of parity chunks.
+func (c *Codec) R() int { return c.r }
+
+// TotalChunks returns k+r.
+func (c *Codec) TotalChunks() int { return c.k + c.r }
+
+// ChunkSize returns the per-chunk size for a block of blockLen bytes:
+// ceil(blockLen / k).
+func (c *Codec) ChunkSize(blockLen int) int {
+	return (blockLen + c.k - 1) / c.k
+}
+
+// StorageOverhead returns the storage expansion factor (k+r)/k.
+func (c *Codec) StorageOverhead() float64 {
+	return float64(c.k+c.r) / float64(c.k)
+}
+
+// Split partitions block data into k equally sized data chunks, zero-padding
+// the final chunk. The returned chunks do not alias data.
+func (c *Codec) Split(data []byte) [][]byte {
+	size := c.ChunkSize(len(data))
+	if size == 0 {
+		size = 1 // encode empty blocks as a single zero byte per chunk
+	}
+	chunks := make([][]byte, c.k)
+	for i := range chunks {
+		chunks[i] = make([]byte, size)
+		lo := i * size
+		if lo < len(data) {
+			hi := lo + size
+			if hi > len(data) {
+				hi = len(data)
+			}
+			copy(chunks[i], data[lo:hi])
+		}
+	}
+	return chunks
+}
+
+// Join concatenates data chunks and truncates to blockLen, the inverse of
+// Split.
+func (c *Codec) Join(chunks [][]byte, blockLen int) ([]byte, error) {
+	if len(chunks) < c.k {
+		return nil, fmt.Errorf("%w: have %d data chunks, want %d", ErrNotEnoughChunks, len(chunks), c.k)
+	}
+	size := len(chunks[0])
+	out := make([]byte, 0, c.k*size)
+	for i := 0; i < c.k; i++ {
+		if len(chunks[i]) != size {
+			return nil, fmt.Errorf("%w: chunk %d has %d bytes, want %d", ErrChunkSizeMismatch, i, len(chunks[i]), size)
+		}
+		out = append(out, chunks[i]...)
+	}
+	if blockLen > len(out) {
+		return nil, fmt.Errorf("%w: joined %d bytes, block needs %d", ErrChunkSizeMismatch, len(out), blockLen)
+	}
+	return out[:blockLen], nil
+}
+
+// Encode splits a block into k data chunks and computes its r parity
+// chunks, returning all k+r chunks indexed by chunk id: ids [0, k) are data
+// chunks, ids [k, k+r) are parity chunks.
+func (c *Codec) Encode(data []byte) ([][]byte, error) {
+	dataChunks := c.Split(data)
+	size := len(dataChunks[0])
+	chunks := make([][]byte, c.k+c.r)
+	copy(chunks, dataChunks)
+	for p := 0; p < c.r; p++ {
+		parity := make([]byte, size)
+		row := c.encode.Row(c.k + p)
+		for j := 0; j < c.k; j++ {
+			gf256.MulAddSlice(row[j], dataChunks[j], parity)
+		}
+		chunks[c.k+p] = parity
+	}
+	return chunks, nil
+}
+
+// Decode reconstructs the original block of blockLen bytes from any k
+// available chunks. available maps chunk id -> chunk data; entries may be
+// nil or absent for missing chunks. Extra chunks beyond k are ignored
+// (lowest chunk ids are preferred, so all-data-chunk decodes skip matrix
+// work entirely).
+func (c *Codec) Decode(available map[int][]byte, blockLen int) ([]byte, error) {
+	dataChunks, err := c.reconstructData(available)
+	if err != nil {
+		return nil, err
+	}
+	return c.Join(dataChunks, blockLen)
+}
+
+// ReconstructChunk recomputes the single chunk with the given id from any k
+// available chunks, as done by the repair service after a site failure.
+func (c *Codec) ReconstructChunk(available map[int][]byte, id int) ([]byte, error) {
+	if id < 0 || id >= c.k+c.r {
+		return nil, fmt.Errorf("%w: chunk id %d out of range [0,%d)", ErrInvalidParams, id, c.k+c.r)
+	}
+	if chunk, ok := available[id]; ok && chunk != nil {
+		out := make([]byte, len(chunk))
+		copy(out, chunk)
+		return out, nil
+	}
+	dataChunks, err := c.reconstructData(available)
+	if err != nil {
+		return nil, err
+	}
+	if id < c.k {
+		return dataChunks[id], nil
+	}
+	parity := make([]byte, len(dataChunks[0]))
+	row := c.encode.Row(id)
+	for j := 0; j < c.k; j++ {
+		gf256.MulAddSlice(row[j], dataChunks[j], parity)
+	}
+	return parity, nil
+}
+
+// reconstructData returns the k data chunks, decoding through the inverted
+// generator sub-matrix when any data chunk is missing.
+func (c *Codec) reconstructData(available map[int][]byte) ([][]byte, error) {
+	ids := c.pickChunks(available)
+	if len(ids) < c.k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrNotEnoughChunks, len(ids), c.k)
+	}
+	size := len(available[ids[0]])
+	for _, id := range ids {
+		if len(available[id]) != size {
+			return nil, fmt.Errorf("%w: chunk %d has %d bytes, want %d", ErrChunkSizeMismatch, id, len(available[id]), size)
+		}
+	}
+
+	allData := true
+	for i, id := range ids {
+		if id != i {
+			allData = false
+			break
+		}
+	}
+	if allData {
+		out := make([][]byte, c.k)
+		for i := 0; i < c.k; i++ {
+			out[i] = make([]byte, size)
+			copy(out[i], available[i])
+		}
+		return out, nil
+	}
+
+	sub, err := c.encode.SelectRows(ids)
+	if err != nil {
+		return nil, fmt.Errorf("select generator rows: %w", err)
+	}
+	dec, err := sub.Invert()
+	if err != nil {
+		// Cannot happen for a correct MDS construction; surface it
+		// rather than panic so a corrupted codec fails loudly upstream.
+		return nil, fmt.Errorf("invert decode matrix: %w", err)
+	}
+	out := make([][]byte, c.k)
+	for i := 0; i < c.k; i++ {
+		out[i] = make([]byte, size)
+		row := dec.Row(i)
+		for j, id := range ids {
+			gf256.MulAddSlice(row[j], available[id], out[i])
+		}
+	}
+	return out, nil
+}
+
+// pickChunks returns up to k available chunk ids in ascending order,
+// preferring data chunks (lower ids) to minimize decode work.
+func (c *Codec) pickChunks(available map[int][]byte) []int {
+	ids := make([]int, 0, c.k)
+	for id := 0; id < c.k+c.r && len(ids) < c.k; id++ {
+		if chunk, ok := available[id]; ok && chunk != nil {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}

@@ -1,0 +1,168 @@
+// Package gf256 implements arithmetic over the finite field GF(2^8).
+//
+// The field is constructed with the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the same polynomial used by the
+// Reed-Solomon codes in storage systems such as Jerasure and ISA-L. All
+// operations are table-driven: multiplication and division go through
+// logarithm and exponential tables so that the hot encoding paths reduce to
+// table lookups and XORs.
+package gf256
+
+// Polynomial is the primitive polynomial used to construct GF(2^8),
+// expressed with the implicit x^8 term included (0x11D).
+const Polynomial = 0x11D
+
+// Order is the number of elements in the field.
+const Order = 256
+
+// tables holds the precomputed log/exp tables for the field.
+type tables struct {
+	// exp holds alpha^i for i in [0, 510) so products of logs can be
+	// looked up without a modular reduction.
+	exp [2 * (Order - 1)]byte
+	// log holds log_alpha(x) for x in [1, 256). log[0] is unused.
+	log [Order]byte
+	// mul is the full 256x256 multiplication table, laid out row-major.
+	// Row a holds a*b for all b. Flat layout keeps it in one allocation.
+	mul []byte
+	// inv holds multiplicative inverses; inv[0] is 0 as a sentinel.
+	inv [Order]byte
+}
+
+// _tables is computed once at package load. The computation is pure and
+// deterministic (no I/O, no environment access).
+var _tables = buildTables()
+
+func buildTables() *tables {
+	t := &tables{mul: make([]byte, Order*Order)}
+	x := 1
+	for i := 0; i < Order-1; i++ {
+		t.exp[i] = byte(x)
+		t.log[x] = byte(i)
+		x <<= 1
+		if x >= Order {
+			x ^= Polynomial
+		}
+	}
+	// Duplicate the exp table so Mul can skip the mod-255 reduction.
+	for i := Order - 1; i < 2*(Order-1); i++ {
+		t.exp[i] = t.exp[i-(Order-1)]
+	}
+	for a := 1; a < Order; a++ {
+		la := int(t.log[a])
+		row := t.mul[a*Order:]
+		for b := 1; b < Order; b++ {
+			row[b] = t.exp[la+int(t.log[b])]
+		}
+	}
+	for a := 1; a < Order; a++ {
+		t.inv[a] = t.exp[(Order-1)-int(t.log[a])]
+	}
+	return t
+}
+
+// Add returns a+b in GF(2^8). Addition is XOR.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a-b in GF(2^8). Subtraction equals addition (XOR).
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte {
+	return _tables.mul[int(a)*Order+int(b)]
+}
+
+// Div returns a/b in GF(2^8). Division by zero returns 0; callers that can
+// receive an attacker- or data-controlled divisor must check for zero first.
+func Div(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	la := int(_tables.log[a])
+	lb := int(_tables.log[b])
+	d := la - lb
+	if d < 0 {
+		d += Order - 1
+	}
+	return _tables.exp[d]
+}
+
+// Inv returns the multiplicative inverse of a. Inv(0) returns 0 as a
+// sentinel; zero has no inverse.
+func Inv(a byte) byte { return _tables.inv[a] }
+
+// Exp returns alpha^n where alpha is the generator of the field's
+// multiplicative group. n may be any non-negative integer.
+func Exp(n int) byte {
+	return _tables.exp[n%(Order-1)]
+}
+
+// Log returns log_alpha(a) for a != 0. Log(0) returns 0 as a sentinel.
+func Log(a byte) byte { return _tables.log[a] }
+
+// Pow returns a raised to the power n in GF(2^8).
+func Pow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	ln := (int(_tables.log[a]) * n) % (Order - 1)
+	return _tables.exp[ln]
+}
+
+// MulSlice computes dst[i] = c*src[i] for all i. dst and src must have the
+// same length; the function panics otherwise, as mismatched shard lengths
+// indicate a programming error in the codec layer.
+func MulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	row := _tables.mul[int(c)*Order : int(c)*Order+Order]
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+}
+
+// MulAddSlice computes dst[i] ^= c*src[i] for all i, the fused
+// multiply-accumulate at the heart of Reed-Solomon encoding. dst and src
+// must have the same length.
+func MulAddSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulAddSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	row := _tables.mul[int(c)*Order : int(c)*Order+Order]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// AddSlice computes dst[i] ^= src[i] for all i.
+func AddSlice(src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: AddSlice length mismatch")
+	}
+	for i, s := range src {
+		dst[i] ^= s
+	}
+}

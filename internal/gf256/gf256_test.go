@@ -1,0 +1,262 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXOR(t *testing.T) {
+	cases := []struct {
+		a, b, want byte
+	}{
+		{0, 0, 0},
+		{1, 1, 0},
+		{0x53, 0xCA, 0x99},
+		{0xFF, 0x0F, 0xF0},
+	}
+	for _, tc := range cases {
+		if got := Add(tc.a, tc.b); got != tc.want {
+			t.Errorf("Add(%#x, %#x) = %#x, want %#x", tc.a, tc.b, got, tc.want)
+		}
+		if got := Sub(tc.a, tc.b); got != tc.want {
+			t.Errorf("Sub(%#x, %#x) = %#x, want %#x", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	// Values checked against long-hand carry-less multiplication with
+	// reduction by 0x11D.
+	cases := []struct {
+		a, b, want byte
+	}{
+		{0, 5, 0},
+		{5, 0, 0},
+		{1, 0xAB, 0xAB},
+		{2, 0x80, 0x1D}, // 0x100 ^ 0x11D = 0x1D
+		{2, 2, 4},
+		{0x53, 0xCA, 0x8F},
+	}
+	for _, tc := range cases {
+		if got := Mul(tc.a, tc.b); got != tc.want {
+			t.Errorf("Mul(%#x, %#x) = %#x, want %#x", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestMulBruteForceAgreement(t *testing.T) {
+	// Carry-less multiply + polynomial reduction, the definitional form.
+	slowMul := func(a, b byte) byte {
+		var prod int
+		ai := int(a)
+		for bi := int(b); bi > 0; bi >>= 1 {
+			if bi&1 == 1 {
+				prod ^= ai
+			}
+			ai <<= 1
+			if ai&0x100 != 0 {
+				ai ^= Polynomial
+			}
+		}
+		return byte(prod)
+	}
+	for a := 0; a < Order; a++ {
+		for b := 0; b < Order; b++ {
+			if got, want := Mul(byte(a), byte(b)), slowMul(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%#x, %#x) = %#x, want %#x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFieldAxiomsProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+
+	commutative := func(a, b byte) bool {
+		return Mul(a, b) == Mul(b, a) && Add(a, b) == Add(b, a)
+	}
+	if err := quick.Check(commutative, cfg); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+
+	associative := func(a, b, c byte) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) &&
+			Add(Add(a, b), c) == Add(a, Add(b, c))
+	}
+	if err := quick.Check(associative, cfg); err != nil {
+		t.Errorf("associativity: %v", err)
+	}
+
+	distributive := func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(distributive, cfg); err != nil {
+		t.Errorf("distributivity: %v", err)
+	}
+
+	identity := func(a byte) bool {
+		return Mul(a, 1) == a && Add(a, 0) == a
+	}
+	if err := quick.Check(identity, cfg); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+
+	inverse := func(a byte) bool {
+		if a == 0 {
+			return Inv(a) == 0
+		}
+		return Mul(a, Inv(a)) == 1
+	}
+	if err := quick.Check(inverse, cfg); err != nil {
+		t.Errorf("inverse: %v", err)
+	}
+
+	divMulRoundTrip := func(a, b byte) bool {
+		if b == 0 {
+			return Div(a, b) == 0
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(divMulRoundTrip, cfg); err != nil {
+		t.Errorf("div/mul round trip: %v", err)
+	}
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for a := 1; a < Order; a++ {
+		if got := Exp(int(Log(byte(a)))); got != byte(a) {
+			t.Fatalf("Exp(Log(%#x)) = %#x", a, got)
+		}
+	}
+}
+
+func TestExpGeneratesWholeGroup(t *testing.T) {
+	seen := make(map[byte]bool, Order-1)
+	for i := 0; i < Order-1; i++ {
+		seen[Exp(i)] = true
+	}
+	if len(seen) != Order-1 {
+		t.Fatalf("generator produced %d distinct elements, want %d", len(seen), Order-1)
+	}
+	if seen[0] {
+		t.Fatal("generator produced 0")
+	}
+}
+
+func TestPow(t *testing.T) {
+	cases := []struct {
+		a    byte
+		n    int
+		want byte
+	}{
+		{0, 0, 1},
+		{0, 3, 0},
+		{5, 0, 1},
+		{2, 1, 2},
+		{2, 8, 0x1D},
+		{3, 255, 1}, // a^(q-1) = 1 for a != 0
+	}
+	for _, tc := range cases {
+		if got := Pow(tc.a, tc.n); got != tc.want {
+			t.Errorf("Pow(%#x, %d) = %#x, want %#x", tc.a, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestPowMatchesRepeatedMul(t *testing.T) {
+	for a := 0; a < Order; a += 7 {
+		acc := byte(1)
+		for n := 0; n < 20; n++ {
+			if got := Pow(byte(a), n); got != acc {
+				t.Fatalf("Pow(%#x, %d) = %#x, want %#x", a, n, got, acc)
+			}
+			acc = Mul(acc, byte(a))
+		}
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{1, 2, 3, 0xFF, 0}
+	dst := make([]byte, len(src))
+
+	MulSlice(0, src, dst)
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("MulSlice(0)[%d] = %d, want 0", i, v)
+		}
+	}
+
+	MulSlice(1, src, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("MulSlice(1)[%d] = %d, want %d", i, dst[i], src[i])
+		}
+	}
+
+	MulSlice(7, src, dst)
+	for i := range src {
+		if want := Mul(7, src[i]); dst[i] != want {
+			t.Fatalf("MulSlice(7)[%d] = %d, want %d", i, dst[i], want)
+		}
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	src := []byte{1, 2, 3, 4}
+	dst := []byte{10, 20, 30, 40}
+	orig := append([]byte(nil), dst...)
+
+	MulAddSlice(0, src, dst)
+	for i := range dst {
+		if dst[i] != orig[i] {
+			t.Fatalf("MulAddSlice(0) modified dst[%d]", i)
+		}
+	}
+
+	MulAddSlice(3, src, dst)
+	for i := range dst {
+		if want := orig[i] ^ Mul(3, src[i]); dst[i] != want {
+			t.Fatalf("MulAddSlice(3)[%d] = %d, want %d", i, dst[i], want)
+		}
+	}
+}
+
+func TestAddSlice(t *testing.T) {
+	src := []byte{0xF0, 0x0F}
+	dst := []byte{0x0F, 0x0F}
+	AddSlice(src, dst)
+	if dst[0] != 0xFF || dst[1] != 0 {
+		t.Fatalf("AddSlice = %v, want [0xFF 0]", dst)
+	}
+}
+
+func TestSliceOpsPanicOnLengthMismatch(t *testing.T) {
+	fns := map[string]func(){
+		"MulSlice":    func() { MulSlice(2, []byte{1}, []byte{1, 2}) },
+		"MulAddSlice": func() { MulAddSlice(2, []byte{1}, []byte{1, 2}) },
+		"AddSlice":    func() { AddSlice([]byte{1}, []byte{1, 2}) },
+	}
+	for name, fn := range fns {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkMulAddSlice(b *testing.B) {
+	src := make([]byte, 64*1024)
+	dst := make([]byte, 64*1024)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x1D, src, dst)
+	}
+}

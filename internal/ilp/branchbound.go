@@ -1,0 +1,239 @@
+package ilp
+
+import (
+	"math"
+	"sort"
+)
+
+// IntSolution is the result of an integer solve.
+type IntSolution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// SolveOptions tunes the branch-and-bound search.
+type SolveOptions struct {
+	// MaxNodes caps the number of explored nodes. Zero means the
+	// default of 20000. When the cap is hit the best incumbent found so
+	// far is returned with StatusNodeLimit (or StatusInfeasible if none).
+	MaxNodes int
+	// IntTolerance is the distance from an integer at which a value is
+	// considered integral. Zero means the default of 1e-6.
+	IntTolerance float64
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 20000
+	}
+	if o.IntTolerance == 0 {
+		o.IntTolerance = 1e-6
+	}
+	return o
+}
+
+// bbNode is one branch-and-bound subproblem, described by additional
+// variable bounds layered over the root problem.
+type bbNode struct {
+	lower map[int]float64 // variable -> lower bound
+	upper map[int]float64 // variable -> upper bound
+	bound float64         // parent LP objective (lower bound on this node)
+}
+
+// SolveInt minimizes p subject to the additional requirement that every
+// variable listed in intVars takes an integral value. It runs best-first
+// branch and bound over LP relaxations.
+func SolveInt(p *Problem, intVars []int, opts SolveOptions) (*IntSolution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+
+	intSet := make(map[int]bool, len(intVars))
+	for _, v := range intVars {
+		intSet[v] = true
+	}
+
+	incumbent := math.Inf(1)
+	var incumbentX []float64
+	nodes := 0
+	limited := false
+
+	// Best-first queue ordered by parent bound; ties are fine.
+	queue := []bbNode{{bound: math.Inf(-1)}}
+	for len(queue) > 0 {
+		if nodes >= opts.MaxNodes {
+			limited = true
+			break
+		}
+		// Pop the node with the smallest bound.
+		bestIdx := 0
+		for i := 1; i < len(queue); i++ {
+			if queue[i].bound < queue[bestIdx].bound {
+				bestIdx = i
+			}
+		}
+		node := queue[bestIdx]
+		queue[bestIdx] = queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		if node.bound >= incumbent-1e-9 {
+			continue // cannot improve
+		}
+		nodes++
+
+		sub := applyBounds(p, node)
+		sol, err := SolveLP(sub)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status == StatusUnbounded {
+			return &IntSolution{Status: StatusUnbounded, Nodes: nodes}, nil
+		}
+		if sol.Status != StatusOptimal || sol.Objective >= incumbent-1e-9 {
+			continue
+		}
+
+		branchVar, frac := mostFractional(sol.X, intSet, opts.IntTolerance)
+		if branchVar < 0 {
+			// Integral: new incumbent.
+			incumbent = sol.Objective
+			incumbentX = roundIntegral(sol.X, intSet)
+			continue
+		}
+		_ = frac
+
+		val := sol.X[branchVar]
+		down := cloneNode(node, sol.Objective)
+		setUpper(&down, branchVar, math.Floor(val))
+		up := cloneNode(node, sol.Objective)
+		setLower(&up, branchVar, math.Ceil(val))
+		queue = append(queue, down, up)
+	}
+
+	if incumbentX == nil {
+		status := StatusInfeasible
+		if limited {
+			status = StatusNodeLimit
+		}
+		return &IntSolution{Status: status, Nodes: nodes}, nil
+	}
+	status := StatusOptimal
+	if limited {
+		status = StatusNodeLimit
+	}
+	return &IntSolution{Status: status, Objective: incumbent, X: incumbentX, Nodes: nodes}, nil
+}
+
+// applyBounds returns a copy of p with the node's extra bounds folded in:
+// upper bounds tighten UpperBounds, lower bounds become GE rows.
+func applyBounds(p *Problem, node bbNode) *Problem {
+	sub := &Problem{
+		NumVars:     p.NumVars,
+		Objective:   p.Objective,
+		Constraints: p.Constraints,
+	}
+	if p.UpperBounds != nil || len(node.upper) > 0 {
+		ub := make([]float64, p.NumVars)
+		for i := range ub {
+			if p.UpperBounds != nil {
+				ub[i] = p.UpperBounds[i]
+			} else {
+				ub[i] = math.Inf(1)
+			}
+		}
+		for v, b := range node.upper {
+			if b < ub[v] {
+				ub[v] = b
+			}
+		}
+		sub.UpperBounds = ub
+	}
+	if len(node.lower) > 0 {
+		cons := make([]Constraint, len(p.Constraints), len(p.Constraints)+len(node.lower))
+		copy(cons, p.Constraints)
+		// Deterministic order keeps solves reproducible.
+		vars := make([]int, 0, len(node.lower))
+		for v := range node.lower {
+			vars = append(vars, v)
+		}
+		sort.Ints(vars)
+		for _, v := range vars {
+			cons = append(cons, Constraint{Vars: []int{v}, Coeffs: []float64{1}, Op: GE, RHS: node.lower[v]})
+		}
+		sub.Constraints = cons
+	}
+	return sub
+}
+
+// mostFractional returns the integer-constrained variable farthest from an
+// integer, or -1 if all are integral within tol.
+func mostFractional(x []float64, intSet map[int]bool, tol float64) (int, float64) {
+	best := -1
+	bestDist := tol
+	for v := range x {
+		if !intSet[v] {
+			continue
+		}
+		f := x[v] - math.Floor(x[v])
+		dist := math.Min(f, 1-f)
+		if dist > bestDist {
+			bestDist = dist
+			best = v
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, bestDist
+}
+
+// roundIntegral snaps near-integral entries of integer variables exactly.
+func roundIntegral(x []float64, intSet map[int]bool) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	for v := range out {
+		if intSet[v] {
+			out[v] = math.Round(out[v])
+		}
+	}
+	return out
+}
+
+func cloneNode(n bbNode, bound float64) bbNode {
+	c := bbNode{bound: bound}
+	if len(n.lower) > 0 {
+		c.lower = make(map[int]float64, len(n.lower))
+		for k, v := range n.lower {
+			c.lower[k] = v
+		}
+	}
+	if len(n.upper) > 0 {
+		c.upper = make(map[int]float64, len(n.upper))
+		for k, v := range n.upper {
+			c.upper[k] = v
+		}
+	}
+	return c
+}
+
+func setUpper(n *bbNode, v int, b float64) {
+	if n.upper == nil {
+		n.upper = map[int]float64{}
+	}
+	if cur, ok := n.upper[v]; !ok || b < cur {
+		n.upper[v] = b
+	}
+}
+
+func setLower(n *bbNode, v int, b float64) {
+	if n.lower == nil {
+		n.lower = map[int]float64{}
+	}
+	if cur, ok := n.lower[v]; !ok || b > cur {
+		n.lower[v] = b
+	}
+}

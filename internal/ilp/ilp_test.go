@@ -1,0 +1,486 @@
+package ilp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Problem
+		ok   bool
+	}{
+		{
+			name: "valid",
+			p: Problem{
+				NumVars:   2,
+				Objective: []float64{1, 1},
+				Constraints: []Constraint{
+					{Vars: []int{0, 1}, Coeffs: []float64{1, 1}, Op: GE, RHS: 1},
+				},
+			},
+			ok: true,
+		},
+		{name: "no vars", p: Problem{NumVars: 0}, ok: false},
+		{
+			name: "objective length",
+			p:    Problem{NumVars: 2, Objective: []float64{1}},
+			ok:   false,
+		},
+		{
+			name: "bad var index",
+			p: Problem{
+				NumVars:   1,
+				Objective: []float64{1},
+				Constraints: []Constraint{
+					{Vars: []int{1}, Coeffs: []float64{1}, Op: LE, RHS: 1},
+				},
+			},
+			ok: false,
+		},
+		{
+			name: "duplicate var",
+			p: Problem{
+				NumVars:   1,
+				Objective: []float64{1},
+				Constraints: []Constraint{
+					{Vars: []int{0, 0}, Coeffs: []float64{1, 1}, Op: LE, RHS: 1},
+				},
+			},
+			ok: false,
+		},
+		{
+			name: "ragged constraint",
+			p: Problem{
+				NumVars:   1,
+				Objective: []float64{1},
+				Constraints: []Constraint{
+					{Vars: []int{0}, Coeffs: []float64{1, 2}, Op: LE, RHS: 1},
+				},
+			},
+			ok: false,
+		},
+		{
+			name: "invalid op",
+			p: Problem{
+				NumVars:   1,
+				Objective: []float64{1},
+				Constraints: []Constraint{
+					{Vars: []int{0}, Coeffs: []float64{1}, Op: 0, RHS: 1},
+				},
+			},
+			ok: false,
+		},
+		{
+			name: "bounds length",
+			p:    Problem{NumVars: 2, Objective: []float64{1, 1}, UpperBounds: []float64{1}},
+			ok:   false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate()
+			if ok := err == nil; ok != tc.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+			if err != nil && !errors.Is(err, ErrBadProblem) {
+				t.Fatalf("err = %v, want ErrBadProblem", err)
+			}
+		})
+	}
+}
+
+func TestSolveLPSimple(t *testing.T) {
+	// min x+y s.t. x+y >= 3, x <= 2 -> optimum 3 (e.g. x=2, y=1).
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Vars: []int{0, 1}, Coeffs: []float64{1, 1}, Op: GE, RHS: 3},
+		},
+		UpperBounds: []float64{2, math.Inf(1)},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-3) > 1e-6 {
+		t.Fatalf("objective = %v, want 3", sol.Objective)
+	}
+	if sol.X[0] > 2+1e-9 {
+		t.Fatalf("x exceeds upper bound: %v", sol.X[0])
+	}
+}
+
+func TestSolveLPClassic(t *testing.T) {
+	// Maximize 3x+5y s.t. x<=4, 2y<=12, 3x+2y<=18 (classic Dantzig
+	// example): optimum 36 at (2, 6). We minimize the negation.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{-3, -5},
+		Constraints: []Constraint{
+			{Vars: []int{0}, Coeffs: []float64{1}, Op: LE, RHS: 4},
+			{Vars: []int{1}, Coeffs: []float64{2}, Op: LE, RHS: 12},
+			{Vars: []int{0, 1}, Coeffs: []float64{3, 2}, Op: LE, RHS: 18},
+		},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective+36) > 1e-6 {
+		t.Fatalf("objective = %v, want -36", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-6 || math.Abs(sol.X[1]-6) > 1e-6 {
+		t.Fatalf("x = %v, want (2, 6)", sol.X)
+	}
+}
+
+func TestSolveLPEquality(t *testing.T) {
+	// min 2x+y s.t. x+y = 5, x >= 1 -> x=1? No: min 2x+y with x+y=5
+	// means y=5-x, objective x+5, minimized at smallest x => x=1 gives 6.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{2, 1},
+		Constraints: []Constraint{
+			{Vars: []int{0, 1}, Coeffs: []float64{1, 1}, Op: EQ, RHS: 5},
+			{Vars: []int{0}, Coeffs: []float64{1}, Op: GE, RHS: 1},
+		},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || math.Abs(sol.Objective-6) > 1e-6 {
+		t.Fatalf("got %v obj=%v, want optimal 6", sol.Status, sol.Objective)
+	}
+}
+
+func TestSolveLPInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Vars: []int{0}, Coeffs: []float64{1}, Op: GE, RHS: 5},
+			{Vars: []int{0}, Coeffs: []float64{1}, Op: LE, RHS: 2},
+		},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveLPUnbounded(t *testing.T) {
+	// min -x with x unbounded above.
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Vars: []int{0}, Coeffs: []float64{1}, Op: GE, RHS: 0},
+		},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveLPNegativeRHS(t *testing.T) {
+	// x - y <= -2 with min x+y: flipping to -x + y >= 2 => y=2, x=0.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Vars: []int{0, 1}, Coeffs: []float64{1, -1}, Op: LE, RHS: -2},
+		},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || math.Abs(sol.Objective-2) > 1e-6 {
+		t.Fatalf("got %v obj=%v, want optimal 2", sol.Status, sol.Objective)
+	}
+}
+
+func TestSolveIntKnapsack(t *testing.T) {
+	// Maximize 10a+13b+7c s.t. 3a+4b+2c <= 6, binary.
+	// Optima: a+c: 3+2=5 weight -> 17; b+c: 4+2=6 -> 20. Want 20.
+	p := &Problem{
+		NumVars:   3,
+		Objective: []float64{-10, -13, -7},
+		Constraints: []Constraint{
+			{Vars: []int{0, 1, 2}, Coeffs: []float64{3, 4, 2}, Op: LE, RHS: 6},
+		},
+		UpperBounds: []float64{1, 1, 1},
+	}
+	sol, err := SolveInt(p, []int{0, 1, 2}, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective+20) > 1e-6 {
+		t.Fatalf("objective = %v, want -20", sol.Objective)
+	}
+	if sol.X[1] != 1 || sol.X[2] != 1 || sol.X[0] != 0 {
+		t.Fatalf("x = %v, want (0,1,1)", sol.X)
+	}
+}
+
+func TestSolveIntSetCover(t *testing.T) {
+	// Elements {1,2,3}; sets A={1,2} cost 3, B={2,3} cost 3, C={1,2,3}
+	// cost 5, D={3} cost 1. Optimal: A+D cost 4.
+	p := &Problem{
+		NumVars:   4,
+		Objective: []float64{3, 3, 5, 1},
+		Constraints: []Constraint{
+			{Vars: []int{0, 2}, Coeffs: []float64{1, 1}, Op: GE, RHS: 1},       // element 1
+			{Vars: []int{0, 1, 2}, Coeffs: []float64{1, 1, 1}, Op: GE, RHS: 1}, // element 2
+			{Vars: []int{1, 2, 3}, Coeffs: []float64{1, 1, 1}, Op: GE, RHS: 1}, // element 3
+		},
+		UpperBounds: []float64{1, 1, 1, 1},
+	}
+	sol, err := SolveInt(p, []int{0, 1, 2, 3}, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || math.Abs(sol.Objective-4) > 1e-6 {
+		t.Fatalf("got %v obj=%v, want optimal 4", sol.Status, sol.Objective)
+	}
+}
+
+func TestSolveIntInfeasible(t *testing.T) {
+	// Binary x with x >= 2 is infeasible.
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Vars: []int{0}, Coeffs: []float64{1}, Op: GE, RHS: 2},
+		},
+		UpperBounds: []float64{1},
+	}
+	sol, err := SolveInt(p, []int{0}, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveIntFractionalRelaxation(t *testing.T) {
+	// min -(x+y) s.t. 2x+2y <= 3, binary: LP relaxation is fractional
+	// (x+y = 1.5); integer optimum is 1 (either var).
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{-1, -1},
+		Constraints: []Constraint{
+			{Vars: []int{0, 1}, Coeffs: []float64{2, 2}, Op: LE, RHS: 3},
+		},
+		UpperBounds: []float64{1, 1},
+	}
+	sol, err := SolveInt(p, []int{0, 1}, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || math.Abs(sol.Objective+1) > 1e-6 {
+		t.Fatalf("got %v obj=%v, want optimal -1", sol.Status, sol.Objective)
+	}
+	if sol.Nodes < 2 {
+		t.Fatalf("expected branching, explored %d nodes", sol.Nodes)
+	}
+}
+
+func TestSolveIntNodeLimit(t *testing.T) {
+	// A problem that needs branching, with MaxNodes=1 so the limit hits
+	// before an incumbent is found.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{-1, -1},
+		Constraints: []Constraint{
+			{Vars: []int{0, 1}, Coeffs: []float64{2, 2}, Op: LE, RHS: 3},
+		},
+		UpperBounds: []float64{1, 1},
+	}
+	sol, err := SolveInt(p, []int{0, 1}, SolveOptions{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusNodeLimit {
+		t.Fatalf("status = %v, want node-limit", sol.Status)
+	}
+}
+
+// TestSolveIntMatchesExhaustive cross-checks branch and bound against
+// exhaustive enumeration on random binary covering problems of the same
+// shape as the paper's access-planning ILP.
+func TestSolveIntMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	check := func(seedRaw uint16) bool {
+		seed := int64(seedRaw)
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(5)  // 3..7 binary variables
+		mc := 1 + r.Intn(4) // 1..4 GE cover constraints
+		p := &Problem{
+			NumVars:     n,
+			Objective:   make([]float64, n),
+			UpperBounds: make([]float64, n),
+		}
+		for i := 0; i < n; i++ {
+			p.Objective[i] = float64(1 + r.Intn(20))
+			p.UpperBounds[i] = 1
+		}
+		for c := 0; c < mc; c++ {
+			var vars []int
+			var coeffs []float64
+			for v := 0; v < n; v++ {
+				if r.Intn(2) == 1 {
+					vars = append(vars, v)
+					coeffs = append(coeffs, 1)
+				}
+			}
+			if len(vars) == 0 {
+				continue
+			}
+			rhs := float64(1 + r.Intn(len(vars)))
+			p.Constraints = append(p.Constraints, Constraint{Vars: vars, Coeffs: coeffs, Op: GE, RHS: rhs})
+		}
+
+		got, err := SolveInt(p, allVars(n), SolveOptions{})
+		if err != nil {
+			return false
+		}
+		want, feasible := exhaustiveBinaryMin(p)
+		if !feasible {
+			return got.Status == StatusInfeasible
+		}
+		return got.Status == StatusOptimal && math.Abs(got.Objective-want) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func exhaustiveBinaryMin(p *Problem) (float64, bool) {
+	n := p.NumVars
+	best := math.Inf(1)
+	feasible := false
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for _, c := range p.Constraints {
+			var sum float64
+			for i, v := range c.Vars {
+				if mask&(1<<v) != 0 {
+					sum += c.Coeffs[i]
+				}
+			}
+			switch c.Op {
+			case LE:
+				ok = ok && sum <= c.RHS+1e-9
+			case GE:
+				ok = ok && sum >= c.RHS-1e-9
+			case EQ:
+				ok = ok && math.Abs(sum-c.RHS) < 1e-9
+			}
+		}
+		if !ok {
+			continue
+		}
+		var obj float64
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				obj += p.Objective[v]
+			}
+		}
+		if obj < best {
+			best = obj
+			feasible = true
+		}
+	}
+	return best, feasible
+}
+
+func allVars(n int) []int {
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = i
+	}
+	return vs
+}
+
+func TestOpString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Fatal("Op.String mismatch")
+	}
+	if StatusOptimal.String() != "optimal" || StatusInfeasible.String() != "infeasible" {
+		t.Fatal("Status.String mismatch")
+	}
+}
+
+func BenchmarkSolveIntAccessShaped(b *testing.B) {
+	// 10 blocks x 4 candidate sites each, 16 site variables: the shape
+	// of a typical EC-Store access-planning instance.
+	rng := rand.New(rand.NewSource(5))
+	const blocks, sitesPerBlock, sites = 10, 4, 16
+	nVars := blocks*sitesPerBlock + sites
+	p := &Problem{
+		NumVars:     nVars,
+		Objective:   make([]float64, nVars),
+		UpperBounds: make([]float64, nVars),
+	}
+	for i := range p.UpperBounds {
+		p.UpperBounds[i] = 1
+	}
+	for bI := 0; bI < blocks; bI++ {
+		vars := make([]int, sitesPerBlock)
+		coeffs := make([]float64, sitesPerBlock)
+		for c := 0; c < sitesPerBlock; c++ {
+			v := bI*sitesPerBlock + c
+			vars[c] = v
+			coeffs[c] = 1
+			p.Objective[v] = 1 + rng.Float64()
+		}
+		p.Constraints = append(p.Constraints, Constraint{Vars: vars, Coeffs: coeffs, Op: GE, RHS: 2})
+	}
+	for s := 0; s < sites; s++ {
+		v := blocks*sitesPerBlock + s
+		p.Objective[v] = 5 * (1 + rng.Float64())
+		var vars []int
+		var coeffs []float64
+		for bI := 0; bI < blocks; bI++ {
+			cv := bI*sitesPerBlock + s%sitesPerBlock
+			vars = append(vars, cv)
+			coeffs = append(coeffs, -1)
+		}
+		vars = append(vars, v)
+		coeffs = append(coeffs, float64(blocks))
+		p.Constraints = append(p.Constraints, Constraint{Vars: vars, Coeffs: coeffs, Op: GE, RHS: 0})
+	}
+	ints := allVars(nVars)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveInt(p, ints, SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

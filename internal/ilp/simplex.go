@@ -1,0 +1,441 @@
+// Package ilp provides a small exact optimization substrate: a dense
+// two-phase simplex solver for linear programs and a branch-and-bound
+// integer solver layered on top of it. EC-Store's access planner (the
+// paper uses the SCIP solver) formulates Equations 1-4 of the paper as an
+// integer program over binary chunk-selection and site-access variables and
+// solves it here.
+//
+// The solver is intentionally dense and simple: access-planning instances
+// have tens of variables (one per existing chunk of a requested block plus
+// one per candidate site), so robustness and exactness matter far more
+// than asymptotics.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op int
+
+// Constraint relations.
+const (
+	LE Op = iota + 1 // sum <= rhs
+	GE               // sum >= rhs
+	EQ               // sum == rhs
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	StatusOptimal Status = iota + 1
+	StatusInfeasible
+	StatusUnbounded
+	StatusNodeLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusNodeLimit:
+		return "node-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Errors returned by the solvers.
+var (
+	ErrInfeasible = errors.New("ilp: problem is infeasible")
+	ErrUnbounded  = errors.New("ilp: problem is unbounded")
+	ErrBadProblem = errors.New("ilp: malformed problem")
+)
+
+// Constraint is a single linear constraint sum_j Coeffs[Vars[j]]*x_j Op RHS.
+// Vars and Coeffs are parallel slices; a variable may appear at most once.
+type Constraint struct {
+	Vars   []int
+	Coeffs []float64
+	Op     Op
+	RHS    float64
+}
+
+// Problem is a minimization linear program over non-negative variables.
+// Upper bounds are expressed via UpperBounds (one entry per variable;
+// math.Inf(1) means unbounded above).
+type Problem struct {
+	// NumVars is the number of structural variables.
+	NumVars int
+	// Objective holds the cost coefficient of each variable (minimized).
+	Objective []float64
+	// Constraints is the constraint set.
+	Constraints []Constraint
+	// UpperBounds optionally bounds variables above. Nil means all
+	// variables are unbounded above.
+	UpperBounds []float64
+}
+
+// Validate checks structural consistency of the problem.
+func (p *Problem) Validate() error {
+	if p.NumVars <= 0 {
+		return fmt.Errorf("%w: NumVars = %d", ErrBadProblem, p.NumVars)
+	}
+	if len(p.Objective) != p.NumVars {
+		return fmt.Errorf("%w: objective has %d coefficients, want %d", ErrBadProblem, len(p.Objective), p.NumVars)
+	}
+	if p.UpperBounds != nil && len(p.UpperBounds) != p.NumVars {
+		return fmt.Errorf("%w: upper bounds has %d entries, want %d", ErrBadProblem, len(p.UpperBounds), p.NumVars)
+	}
+	for ci, c := range p.Constraints {
+		if len(c.Vars) != len(c.Coeffs) {
+			return fmt.Errorf("%w: constraint %d has %d vars but %d coeffs", ErrBadProblem, ci, len(c.Vars), len(c.Coeffs))
+		}
+		if c.Op != LE && c.Op != GE && c.Op != EQ {
+			return fmt.Errorf("%w: constraint %d has invalid op", ErrBadProblem, ci)
+		}
+		seen := make(map[int]bool, len(c.Vars))
+		for _, v := range c.Vars {
+			if v < 0 || v >= p.NumVars {
+				return fmt.Errorf("%w: constraint %d references variable %d", ErrBadProblem, ci, v)
+			}
+			if seen[v] {
+				return fmt.Errorf("%w: constraint %d references variable %d twice", ErrBadProblem, ci, v)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+// LPSolution is the result of an LP solve.
+type LPSolution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+}
+
+const eps = 1e-9
+
+// SolveLP solves the linear relaxation of p (ignoring any integrality
+// intent) with a two-phase dense simplex using Bland's anti-cycling rule.
+func SolveLP(p *Problem) (*LPSolution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t, err := newTableau(p)
+	if err != nil {
+		return nil, err
+	}
+	return t.solve()
+}
+
+// tableau is a dense simplex tableau in standard form:
+// minimize c*x subject to Ax = b, x >= 0, with b >= 0.
+type tableau struct {
+	m, n int // constraints, total columns (structural+slack+artificial)
+
+	nStruct int   // structural variable count
+	art     []int // artificial variable column indices
+
+	a     [][]float64 // m x n coefficient rows
+	b     []float64   // m right-hand sides (>= 0)
+	c     []float64   // n phase-2 costs
+	basis []int       // m basic-variable column indices
+}
+
+// newTableau converts a Problem into standard form. Each structural upper
+// bound becomes an explicit <= row; GE rows get surplus+artificial columns;
+// EQ rows get an artificial column.
+func newTableau(p *Problem) (*tableau, error) {
+	rows := make([]Constraint, 0, len(p.Constraints)+p.NumVars)
+	rows = append(rows, p.Constraints...)
+	if p.UpperBounds != nil {
+		for v, ub := range p.UpperBounds {
+			if math.IsInf(ub, 1) {
+				continue
+			}
+			if ub < 0 {
+				return nil, fmt.Errorf("%w: variable %d has negative upper bound %v", ErrBadProblem, v, ub)
+			}
+			rows = append(rows, Constraint{Vars: []int{v}, Coeffs: []float64{1}, Op: LE, RHS: ub})
+		}
+	}
+
+	m := len(rows)
+	// Count extra columns.
+	nSlack := 0
+	nArt := 0
+	for _, r := range rows {
+		rhs := r.RHS
+		op := r.Op
+		if rhs < 0 { // flipping the row flips the relation
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		switch op {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	n := p.NumVars + nSlack + nArt
+
+	t := &tableau{
+		m:       m,
+		n:       n,
+		nStruct: p.NumVars,
+		a:       make([][]float64, m),
+		b:       make([]float64, m),
+		c:       make([]float64, n),
+		basis:   make([]int, m),
+	}
+	copy(t.c, p.Objective)
+
+	slackCol := p.NumVars
+	artCol := p.NumVars + nSlack
+	for i, r := range rows {
+		row := make([]float64, n)
+		sign := 1.0
+		rhs := r.RHS
+		op := r.Op
+		if rhs < 0 {
+			sign = -1
+			rhs = -rhs
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		for j, v := range r.Vars {
+			row[v] = sign * r.Coeffs[j]
+		}
+		switch op {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			t.art = append(t.art, artCol)
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			t.art = append(t.art, artCol)
+			artCol++
+		}
+		t.a[i] = row
+		t.b[i] = rhs
+	}
+	return t, nil
+}
+
+// solve runs phase 1 (if artificials exist) then phase 2, returning the
+// structural solution.
+func (t *tableau) solve() (*LPSolution, error) {
+	if len(t.art) > 0 {
+		phase1 := make([]float64, t.n)
+		for _, col := range t.art {
+			phase1[col] = 1
+		}
+		obj, status := t.optimize(phase1)
+		if status == StatusUnbounded {
+			// Phase-1 objective is bounded below by 0; unbounded
+			// indicates a numerical breakdown.
+			return nil, fmt.Errorf("ilp: phase-1 simplex reported unbounded")
+		}
+		if obj > 1e-7 {
+			return &LPSolution{Status: StatusInfeasible}, nil
+		}
+		t.driveOutArtificials()
+	}
+	obj, status := t.optimize(t.c)
+	if status == StatusUnbounded {
+		return &LPSolution{Status: StatusUnbounded}, nil
+	}
+	x := make([]float64, t.nStruct)
+	for i, col := range t.basis {
+		if col < t.nStruct {
+			x[col] = t.b[i]
+		}
+	}
+	return &LPSolution{Status: StatusOptimal, Objective: obj, X: x}, nil
+}
+
+// optimize runs primal simplex minimizing cost over the current basis.
+// It returns the final objective value.
+func (t *tableau) optimize(cost []float64) (float64, Status) {
+	// reduced[j] = cost[j] - cB * B^-1 A_j, maintained implicitly by
+	// recomputing from the tableau rows each iteration; with m,n in the
+	// low hundreds this is fast enough and numerically transparent.
+	for iter := 0; iter < 50000; iter++ {
+		// y = cB applied to rows; reduced cost r_j = cost_j - sum_i cB_i a_ij.
+		entering := -1
+		for j := 0; j < t.n; j++ {
+			if t.isBasic(j) {
+				continue
+			}
+			rj := cost[j]
+			for i := 0; i < t.m; i++ {
+				cb := cost[t.basis[i]]
+				if cb != 0 {
+					rj -= cb * t.a[i][j]
+				}
+			}
+			if rj < -eps {
+				entering = j // Bland: first improving column
+				break
+			}
+		}
+		if entering < 0 {
+			var obj float64
+			for i := 0; i < t.m; i++ {
+				obj += cost[t.basis[i]] * t.b[i]
+			}
+			return obj, StatusOptimal
+		}
+
+		// Ratio test, Bland tie-break on smallest basis column.
+		leaving := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][entering]
+			if aij > eps {
+				ratio := t.b[i] / aij
+				if ratio < best-eps || (ratio < best+eps && (leaving < 0 || t.basis[i] < t.basis[leaving])) {
+					best = ratio
+					leaving = i
+				}
+			}
+		}
+		if leaving < 0 {
+			return 0, StatusUnbounded
+		}
+		t.pivot(leaving, entering)
+	}
+	// Iteration limit: treat as numerical failure; report current value.
+	var obj float64
+	for i := 0; i < t.m; i++ {
+		obj += cost[t.basis[i]] * t.b[i]
+	}
+	return obj, StatusOptimal
+}
+
+// driveOutArtificials pivots remaining artificial variables out of the
+// basis (or verifies their rows are redundant) after phase 1.
+func (t *tableau) driveOutArtificials() {
+	artSet := make(map[int]bool, len(t.art))
+	for _, col := range t.art {
+		artSet[col] = true
+	}
+	for i := 0; i < t.m; i++ {
+		if !artSet[t.basis[i]] {
+			continue
+		}
+		// The artificial is basic at value 0; pivot in any
+		// non-artificial column with a non-zero coefficient.
+		pivoted := false
+		for j := 0; j < t.n; j++ {
+			if artSet[j] || t.isBasic(j) {
+				continue
+			}
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: zero it so the artificial stays basic
+			// at 0 and can never re-enter with non-zero value.
+			for j := range t.a[i] {
+				if !artSet[j] {
+					t.a[i][j] = 0
+				}
+			}
+			t.b[i] = 0
+		}
+	}
+	// Make artificial columns unattractive for phase 2.
+	for _, col := range t.art {
+		for i := 0; i < t.m; i++ {
+			if t.basis[i] != col {
+				t.a[i][col] = 0
+			}
+		}
+	}
+}
+
+func (t *tableau) isBasic(col int) bool {
+	for _, b := range t.basis {
+		if b == col {
+			return true
+		}
+	}
+	return false
+}
+
+// pivot performs a Gauss-Jordan pivot making column `col` basic in row `row`.
+func (t *tableau) pivot(row, col int) {
+	t.basis[row] = col
+	pv := t.a[row][col]
+	inv := 1 / pv
+	for j := 0; j < t.n; j++ {
+		t.a[row][j] *= inv
+	}
+	t.b[row] *= inv
+	t.a[row][col] = 1 // exact
+
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			t.a[i][j] -= f * t.a[row][j]
+		}
+		t.b[i] -= f * t.b[row]
+		t.a[i][col] = 0 // exact
+		if t.b[i] < 0 && t.b[i] > -1e-9 {
+			t.b[i] = 0
+		}
+	}
+}

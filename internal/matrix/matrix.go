@@ -1,0 +1,231 @@
+// Package matrix provides dense matrix algebra over GF(2^8) as required by
+// the Reed-Solomon codec: construction, multiplication, row reduction and
+// inversion. Matrices are small (on the order of (k+r) x k), so the
+// implementation favours clarity and exact arithmetic over blocking or
+// vectorization.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"ecstore/internal/gf256"
+)
+
+// ErrSingular is returned when attempting to invert a singular matrix.
+var ErrSingular = errors.New("matrix is singular")
+
+// Matrix is a dense, row-major matrix over GF(2^8).
+type Matrix struct {
+	rows int
+	cols int
+	data []byte
+}
+
+// New returns a zero matrix with the given dimensions. It panics if either
+// dimension is non-positive, since a zero-dimension matrix is always a
+// programming error in the codec layer.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows. The data is
+// copied.
+func FromRows(rows [][]byte) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("matrix: empty row set")
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("matrix: row %d has %d columns, want %d", i, len(r), cols)
+		}
+		copy(m.Row(i), r)
+	}
+	return m, nil
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Vandermonde returns the rows x cols Vandermonde matrix with entry (i, j)
+// equal to i^j in GF(2^8). Any k rows of a Vandermonde matrix with distinct
+// evaluation points are linearly independent, which is the property the
+// erasure codec relies on.
+func Vandermonde(rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, gf256.Pow(byte(i), j))
+		}
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) byte { return m.data[r*m.cols+c] }
+
+// Set assigns the element at (r, c).
+func (m *Matrix) Set(r, c int, v byte) { m.data[r*m.cols+c] = v }
+
+// Row returns a mutable view of row r.
+func (m *Matrix) Row(r int) []byte { return m.data[r*m.cols : (r+1)*m.cols] }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Equal reports whether two matrices have identical shape and contents.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.data {
+		if m.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul returns the matrix product m * o.
+func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
+	if m.cols != o.rows {
+		return nil, fmt.Errorf("matrix: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols)
+	}
+	p := New(m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		mrow := m.Row(i)
+		prow := p.Row(i)
+		for kk := 0; kk < m.cols; kk++ {
+			a := mrow[kk]
+			if a == 0 {
+				continue
+			}
+			gf256.MulAddSlice(a, o.Row(kk), prow)
+		}
+	}
+	return p, nil
+}
+
+// SubMatrix returns a copy of the rectangular region [r0, r1) x [c0, c1).
+func (m *Matrix) SubMatrix(r0, r1, c0, c1 int) (*Matrix, error) {
+	if r0 < 0 || c0 < 0 || r1 > m.rows || c1 > m.cols || r0 >= r1 || c0 >= c1 {
+		return nil, fmt.Errorf("matrix: invalid sub-matrix [%d:%d, %d:%d) of %dx%d", r0, r1, c0, c1, m.rows, m.cols)
+	}
+	s := New(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(s.Row(i-r0), m.Row(i)[c0:c1])
+	}
+	return s, nil
+}
+
+// SelectRows returns a new matrix assembled from the given row indices,
+// in order. Duplicate indices are allowed.
+func (m *Matrix) SelectRows(idx []int) (*Matrix, error) {
+	if len(idx) == 0 {
+		return nil, errors.New("matrix: no rows selected")
+	}
+	s := New(len(idx), m.cols)
+	for i, r := range idx {
+		if r < 0 || r >= m.rows {
+			return nil, fmt.Errorf("matrix: row index %d out of range [0,%d)", r, m.rows)
+		}
+		copy(s.Row(i), m.Row(r))
+	}
+	return s, nil
+}
+
+// SwapRows exchanges rows i and j in place.
+func (m *Matrix) SwapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri, rj := m.Row(i), m.Row(j)
+	for c := range ri {
+		ri[c], rj[c] = rj[c], ri[c]
+	}
+}
+
+// Invert returns the inverse of a square matrix via Gauss-Jordan
+// elimination over GF(2^8). It returns ErrSingular if no inverse exists.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("matrix: cannot invert non-square %dx%d matrix", m.rows, m.cols)
+	}
+	n := m.rows
+	work := m.Clone()
+	inv := Identity(n)
+
+	for col := 0; col < n; col++ {
+		// Find a pivot at or below the diagonal.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		work.SwapRows(col, pivot)
+		inv.SwapRows(col, pivot)
+
+		// Scale the pivot row so the diagonal entry is 1.
+		if p := work.At(col, col); p != 1 {
+			ip := gf256.Inv(p)
+			gf256.MulSlice(ip, work.Row(col), work.Row(col))
+			gf256.MulSlice(ip, inv.Row(col), inv.Row(col))
+		}
+
+		// Eliminate the column from every other row.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := work.At(r, col)
+			if f == 0 {
+				continue
+			}
+			gf256.MulAddSlice(f, work.Row(col), work.Row(r))
+			gf256.MulAddSlice(f, inv.Row(col), inv.Row(r))
+		}
+	}
+	return inv, nil
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for r := 0; r < m.rows; r++ {
+		for c := 0; c < m.cols; c++ {
+			if c > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%02x", m.At(r, c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

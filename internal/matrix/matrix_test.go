@@ -1,0 +1,255 @@
+package matrix
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecstore/internal/gf256"
+)
+
+func TestNewPanicsOnInvalidDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]byte{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("unexpected contents:\n%s", m)
+	}
+
+	if _, err := FromRows([][]byte{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Fatal("empty rows accepted")
+	}
+}
+
+func TestFromRowsCopies(t *testing.T) {
+	row := []byte{1, 2}
+	m, err := FromRows([][]byte{row})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("FromRows aliased caller data")
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	id := Identity(4)
+	m := randomMatrix(rand.New(rand.NewSource(1)), 4, 4)
+	p, err := id.Mul(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(m) {
+		t.Fatal("I*M != M")
+	}
+	p2, err := m.Mul(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Equal(m) {
+		t.Fatal("M*I != M")
+	}
+}
+
+func TestMulShapeMismatch(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestMulAgainstScalarDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomMatrix(rng, 3, 5)
+	b := randomMatrix(rng, 5, 2)
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			var want byte
+			for kk := 0; kk < 5; kk++ {
+				want ^= gf256.Mul(a.At(i, kk), b.At(kk, j))
+			}
+			if p.At(i, j) != want {
+				t.Fatalf("product (%d,%d) = %#x, want %#x", i, j, p.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestInvertIdentity(t *testing.T) {
+	id := Identity(5)
+	inv, err := id.Invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.Equal(id) {
+		t.Fatal("I^-1 != I")
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m, err := FromRows([][]byte{
+		{1, 2, 3},
+		{2, 4, 6}, // 2 * row 0 in GF(2^8): Mul(2,1)=2, Mul(2,2)=4, Mul(2,3)=6
+		{0, 0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Invert(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Invert singular = %v, want ErrSingular", err)
+	}
+}
+
+func TestInvertNonSquare(t *testing.T) {
+	if _, err := New(2, 3).Invert(); err == nil {
+		t.Fatal("non-square invert accepted")
+	}
+}
+
+func TestInvertRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	check := func(nRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		m := randomInvertibleMatrix(rng, n)
+		inv, err := m.Invert()
+		if err != nil {
+			return false
+		}
+		p, err := m.Mul(inv)
+		if err != nil {
+			return false
+		}
+		return p.Equal(Identity(n))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVandermondeAnyKRowsInvertible(t *testing.T) {
+	// The defining property used by the erasure codec: any k rows of a
+	// Vandermonde matrix with distinct evaluation points are independent.
+	const k, n = 3, 6
+	v := Vandermonde(n, k)
+	idx := []int{0, 1, 2}
+	var rec func(pos, start int)
+	rec = func(pos, start int) {
+		if pos == k {
+			sub, err := v.SelectRows(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sub.Invert(); err != nil {
+				t.Fatalf("rows %v not invertible: %v", idx, err)
+			}
+			return
+		}
+		for r := start; r < n; r++ {
+			idx[pos] = r
+			rec(pos+1, r+1)
+		}
+	}
+	rec(0, 0)
+}
+
+func TestSubMatrix(t *testing.T) {
+	m := Vandermonde(4, 4)
+	s, err := m.SubMatrix(1, 3, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows() != 2 || s.Cols() != 2 {
+		t.Fatalf("sub-matrix shape %dx%d", s.Rows(), s.Cols())
+	}
+	if s.At(0, 0) != m.At(1, 0) || s.At(1, 1) != m.At(2, 1) {
+		t.Fatal("sub-matrix contents wrong")
+	}
+	if _, err := m.SubMatrix(0, 5, 0, 1); err == nil {
+		t.Fatal("out-of-range sub-matrix accepted")
+	}
+}
+
+func TestSelectRows(t *testing.T) {
+	m := Vandermonde(4, 2)
+	s, err := m.SelectRows([]int{3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(0, 1) != m.At(3, 1) || s.At(1, 1) != m.At(0, 1) {
+		t.Fatal("selected rows wrong")
+	}
+	if _, err := m.SelectRows([]int{4}); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+	if _, err := m.SelectRows(nil); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+func TestSwapRows(t *testing.T) {
+	m, err := FromRows([][]byte{{1, 1}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SwapRows(0, 1)
+	if m.At(0, 0) != 2 || m.At(1, 0) != 1 {
+		t.Fatal("rows not swapped")
+	}
+	m.SwapRows(1, 1) // no-op must not corrupt
+	if m.At(1, 0) != 1 {
+		t.Fatal("self-swap corrupted row")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := Identity(2)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases data")
+	}
+}
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = byte(rng.Intn(256))
+		}
+	}
+	return m
+}
+
+func randomInvertibleMatrix(rng *rand.Rand, n int) *Matrix {
+	for {
+		m := randomMatrix(rng, n, n)
+		if _, err := m.Invert(); err == nil {
+			return m
+		}
+	}
+}

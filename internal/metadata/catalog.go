@@ -1,0 +1,248 @@
+// Package metadata implements EC-Store's metadata service (Section V): the
+// authoritative catalog mapping each block to the sites storing its encoded
+// chunks, with compare-and-swap placement updates so the chunk mover and
+// repair service can relocate chunks without racing readers.
+package metadata
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ecstore/internal/model"
+)
+
+// Errors returned by the catalog.
+var (
+	ErrNotFound       = errors.New("metadata: block not found")
+	ErrExists         = errors.New("metadata: block already registered")
+	ErrStaleVersion   = errors.New("metadata: placement version conflict")
+	ErrChunkConflict  = errors.New("metadata: destination already holds a chunk of this block")
+	ErrInvalidChunk   = errors.New("metadata: invalid chunk id")
+	ErrInvalidBlock   = errors.New("metadata: invalid block metadata")
+	ErrUnknownSite    = errors.New("metadata: unknown site")
+)
+
+// Catalog is the in-memory metadata store. It is safe for concurrent use
+// and implements placement.CatalogView.
+type Catalog struct {
+	mu     sync.RWMutex
+	blocks map[model.BlockID]*model.BlockMeta
+	// bySite indexes blocks by the sites storing their chunks, for
+	// repair scans after a site failure.
+	bySite map[model.SiteID]map[model.BlockID]bool
+	sites  map[model.SiteID]bool
+}
+
+// NewCatalog returns an empty catalog aware of the given sites.
+func NewCatalog(sites []model.SiteID) *Catalog {
+	c := &Catalog{
+		blocks: make(map[model.BlockID]*model.BlockMeta),
+		bySite: make(map[model.SiteID]map[model.BlockID]bool),
+		sites:  make(map[model.SiteID]bool, len(sites)),
+	}
+	for _, s := range sites {
+		c.sites[s] = true
+	}
+	return c
+}
+
+// AddSite registers an additional site.
+func (c *Catalog) AddSite(s model.SiteID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sites[s] = true
+}
+
+// Sites lists every known site in ascending order.
+func (c *Catalog) Sites() []model.SiteID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]model.SiteID, 0, len(c.sites))
+	for s := range c.sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Register adds a new block. Every chunk site must be known, chunks of one
+// block must land on distinct sites, and the id must be unused.
+func (c *Catalog) Register(meta *model.BlockMeta) error {
+	if meta == nil || meta.ID == "" || len(meta.Sites) == 0 {
+		return ErrInvalidBlock
+	}
+	if len(meta.Sites) != meta.TotalChunks() {
+		return fmt.Errorf("%w: %d sites for %d chunks", ErrInvalidBlock, len(meta.Sites), meta.TotalChunks())
+	}
+	seen := make(map[model.SiteID]bool, len(meta.Sites))
+	for _, s := range meta.Sites {
+		if seen[s] {
+			return fmt.Errorf("%w: duplicate site %d", ErrInvalidBlock, s)
+		}
+		seen[s] = true
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range meta.Sites {
+		if !c.sites[s] {
+			return fmt.Errorf("%w: site %d", ErrUnknownSite, s)
+		}
+	}
+	if _, exists := c.blocks[meta.ID]; exists {
+		return fmt.Errorf("%w: %s", ErrExists, meta.ID)
+	}
+	stored := meta.Clone()
+	c.blocks[meta.ID] = stored
+	for _, s := range stored.Sites {
+		c.indexLocked(s, stored.ID)
+	}
+	return nil
+}
+
+func (c *Catalog) indexLocked(s model.SiteID, id model.BlockID) {
+	m := c.bySite[s]
+	if m == nil {
+		m = make(map[model.BlockID]bool)
+		c.bySite[s] = m
+	}
+	m[id] = true
+}
+
+func (c *Catalog) unindexLocked(s model.SiteID, id model.BlockID) {
+	if m := c.bySite[s]; m != nil {
+		delete(m, id)
+		if len(m) == 0 {
+			delete(c.bySite, s)
+		}
+	}
+}
+
+// BlockMeta returns a copy of a block's metadata. The boolean reports
+// existence (satisfying placement.CatalogView).
+func (c *Catalog) BlockMeta(id model.BlockID) (*model.BlockMeta, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	meta, ok := c.blocks[id]
+	if !ok {
+		return nil, false
+	}
+	return meta.Clone(), true
+}
+
+// Lookup returns copies of the metadata for the given ids; missing blocks
+// yield ErrNotFound.
+func (c *Catalog) Lookup(ids []model.BlockID) (map[model.BlockID]*model.BlockMeta, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[model.BlockID]*model.BlockMeta, len(ids))
+	for _, id := range ids {
+		meta, ok := c.blocks[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		out[id] = meta.Clone()
+	}
+	return out, nil
+}
+
+// Delete removes a block, returning its final metadata so callers can
+// delete the chunks.
+func (c *Catalog) Delete(id model.BlockID) (*model.BlockMeta, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	meta, ok := c.blocks[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	delete(c.blocks, id)
+	for _, s := range meta.Sites {
+		c.unindexLocked(s, id)
+	}
+	return meta, nil
+}
+
+// UpdatePlacement atomically relocates one chunk: it verifies the expected
+// version (optimistic concurrency for the mover), rejects destinations
+// already holding a chunk of the block (r-fault tolerance), updates the
+// index, and returns the new version.
+func (c *Catalog) UpdatePlacement(id model.BlockID, chunk int, to model.SiteID, expectVersion uint64) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	meta, ok := c.blocks[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if chunk < 0 || chunk >= len(meta.Sites) {
+		return 0, fmt.Errorf("%w: %d", ErrInvalidChunk, chunk)
+	}
+	if meta.Version != expectVersion {
+		return 0, fmt.Errorf("%w: have %d, expected %d", ErrStaleVersion, meta.Version, expectVersion)
+	}
+	if !c.sites[to] {
+		return 0, fmt.Errorf("%w: site %d", ErrUnknownSite, to)
+	}
+	for ci, s := range meta.Sites {
+		if s == to && ci != chunk {
+			return 0, fmt.Errorf("%w: site %d", ErrChunkConflict, to)
+		}
+	}
+	from := meta.Sites[chunk]
+	if from == to {
+		return meta.Version, nil
+	}
+	meta.Sites[chunk] = to
+	meta.Version++
+	c.unindexLocked(from, id)
+	// Keep the index entry if another chunk still lives at `from`.
+	for ci, s := range meta.Sites {
+		if s == from && ci != chunk {
+			c.indexLocked(from, id)
+			break
+		}
+	}
+	c.indexLocked(to, id)
+	return meta.Version, nil
+}
+
+// BlocksOnSite lists blocks with at least one chunk at the site, in sorted
+// order (used by the repair service).
+func (c *Catalog) BlocksOnSite(s model.SiteID) []model.BlockID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]model.BlockID, 0, len(c.bySite[s]))
+	for id := range c.bySite[s] {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of registered blocks.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.blocks)
+}
+
+// ForEach invokes fn with a copy of every block's metadata until fn
+// returns false. Iteration order is unspecified.
+func (c *Catalog) ForEach(fn func(*model.BlockMeta) bool) {
+	c.mu.RLock()
+	ids := make([]model.BlockID, 0, len(c.blocks))
+	for id := range c.blocks {
+		ids = append(ids, id)
+	}
+	c.mu.RUnlock()
+	for _, id := range ids {
+		meta, ok := c.BlockMeta(id)
+		if !ok {
+			continue
+		}
+		if !fn(meta) {
+			return
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package metadata
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"ecstore/internal/model"
+)
+
+func sites(n int) []model.SiteID {
+	out := make([]model.SiteID, n)
+	for i := range out {
+		out[i] = model.SiteID(i + 1)
+	}
+	return out
+}
+
+func blockMeta(id model.BlockID, ss ...model.SiteID) *model.BlockMeta {
+	return &model.BlockMeta{
+		ID:        id,
+		Scheme:    model.SchemeErasure,
+		K:         2,
+		R:         len(ss) - 2,
+		Size:      200,
+		ChunkSize: 100,
+		Sites:     ss,
+	}
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	c := NewCatalog(sites(6))
+	if err := c.Register(blockMeta("a", 1, 2, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Lookup([]model.BlockID{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["a"].Sites[2] != 3 {
+		t.Fatalf("lookup sites = %v", got["a"].Sites)
+	}
+	// Returned metadata is a copy.
+	got["a"].Sites[0] = 99
+	again, _ := c.BlockMeta("a")
+	if again.Sites[0] != 1 {
+		t.Fatal("Lookup aliases catalog state")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	c := NewCatalog(sites(4))
+	cases := []struct {
+		name string
+		meta *model.BlockMeta
+		want error
+	}{
+		{"nil", nil, ErrInvalidBlock},
+		{"empty id", blockMeta("", 1, 2, 3), ErrInvalidBlock},
+		{"no sites", &model.BlockMeta{ID: "x", Scheme: model.SchemeErasure, K: 2, R: 1}, ErrInvalidBlock},
+		{"wrong site count", &model.BlockMeta{ID: "x", Scheme: model.SchemeErasure, K: 2, R: 2, Sites: []model.SiteID{1, 2}}, ErrInvalidBlock},
+		{"duplicate site", blockMeta("x", 1, 1, 2), ErrInvalidBlock},
+		{"unknown site", blockMeta("x", 1, 2, 9), ErrUnknownSite},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := c.Register(tc.meta); !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+
+	if err := c.Register(blockMeta("dup", 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(blockMeta("dup", 1, 2, 3)); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate register err = %v", err)
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	c := NewCatalog(sites(3))
+	if _, err := c.Lookup([]model.BlockID{"ghost"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := NewCatalog(sites(4))
+	if err := c.Register(blockMeta("a", 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := c.Delete("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ID != "a" {
+		t.Fatalf("deleted meta id = %s", meta.ID)
+	}
+	if _, err := c.Delete("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete err = %v", err)
+	}
+	if got := c.BlocksOnSite(1); len(got) != 0 {
+		t.Fatalf("site index not cleaned: %v", got)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestUpdatePlacement(t *testing.T) {
+	c := NewCatalog(sites(6))
+	if err := c.Register(blockMeta("a", 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := c.UpdatePlacement("a", 0, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("version = %d, want 1", v)
+	}
+	meta, _ := c.BlockMeta("a")
+	if meta.Sites[0] != 5 {
+		t.Fatalf("sites = %v", meta.Sites)
+	}
+	// Index moved.
+	if got := c.BlocksOnSite(1); len(got) != 0 {
+		t.Fatalf("old site still indexed: %v", got)
+	}
+	if got := c.BlocksOnSite(5); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("new site not indexed: %v", got)
+	}
+}
+
+func TestUpdatePlacementErrors(t *testing.T) {
+	c := NewCatalog(sites(6))
+	if err := c.Register(blockMeta("a", 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.UpdatePlacement("ghost", 0, 5, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing block err = %v", err)
+	}
+	if _, err := c.UpdatePlacement("a", 9, 5, 0); !errors.Is(err, ErrInvalidChunk) {
+		t.Fatalf("bad chunk err = %v", err)
+	}
+	if _, err := c.UpdatePlacement("a", 0, 5, 7); !errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("stale version err = %v", err)
+	}
+	// Destination holds another chunk of the block.
+	if _, err := c.UpdatePlacement("a", 0, 2, 0); !errors.Is(err, ErrChunkConflict) {
+		t.Fatalf("conflict err = %v", err)
+	}
+	if _, err := c.UpdatePlacement("a", 0, 42, 0); !errors.Is(err, ErrUnknownSite) {
+		t.Fatalf("unknown site err = %v", err)
+	}
+	// Same-site move is a no-op preserving version.
+	v, err := c.UpdatePlacement("a", 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("no-op move bumped version to %d", v)
+	}
+}
+
+func TestUpdatePlacementKeepsIndexWhenOtherChunkRemains(t *testing.T) {
+	// Two blocks so a site hosts chunks from both.
+	c := NewCatalog(sites(6))
+	if err := c.Register(blockMeta("a", 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(blockMeta("b", 1, 4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.UpdatePlacement("a", 0, 6, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Site 1 still hosts a chunk of b.
+	if got := c.BlocksOnSite(1); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("site 1 index = %v", got)
+	}
+}
+
+func TestBlocksOnSiteSorted(t *testing.T) {
+	c := NewCatalog(sites(6))
+	_ = c.Register(blockMeta("zed", 1, 2, 3))
+	_ = c.Register(blockMeta("abc", 1, 4, 5))
+	got := c.BlocksOnSite(1)
+	if len(got) != 2 || got[0] != "abc" || got[1] != "zed" {
+		t.Fatalf("BlocksOnSite = %v", got)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	c := NewCatalog(sites(6))
+	_ = c.Register(blockMeta("a", 1, 2, 3))
+	_ = c.Register(blockMeta("b", 2, 3, 4))
+	count := 0
+	c.ForEach(func(m *model.BlockMeta) bool {
+		count++
+		return true
+	})
+	if count != 2 {
+		t.Fatalf("ForEach visited %d", count)
+	}
+	// Early stop.
+	count = 0
+	c.ForEach(func(m *model.BlockMeta) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("ForEach early-stop visited %d", count)
+	}
+}
+
+func TestConcurrentPlacementUpdates(t *testing.T) {
+	c := NewCatalog(sites(32))
+	if err := c.Register(blockMeta("a", 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Many goroutines race CAS updates; exactly the winners chain
+	// versions, and the final state must be consistent.
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				meta, ok := c.BlockMeta("a")
+				if !ok {
+					return
+				}
+				target := model.SiteID(4 + (g*20+i)%28)
+				_, _ = c.UpdatePlacement("a", 0, target, meta.Version)
+			}
+		}(g)
+	}
+	wg.Wait()
+	meta, _ := c.BlockMeta("a")
+	seen := map[model.SiteID]bool{}
+	for _, s := range meta.Sites {
+		if seen[s] {
+			t.Fatalf("fault tolerance violated: %v", meta.Sites)
+		}
+		seen[s] = true
+	}
+	// Index agrees with placement.
+	for _, s := range meta.Sites {
+		found := false
+		for _, id := range c.BlocksOnSite(s) {
+			if id == "a" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("site %d missing from index", s)
+		}
+	}
+}
+
+func TestAddSite(t *testing.T) {
+	c := NewCatalog(sites(2))
+	if err := c.Register(blockMeta("a", 1, 2, 3)); !errors.Is(err, ErrUnknownSite) {
+		t.Fatalf("err = %v", err)
+	}
+	c.AddSite(3)
+	if err := c.Register(blockMeta("a", 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Sites()
+	if len(got) != 3 {
+		t.Fatalf("Sites = %v", got)
+	}
+}

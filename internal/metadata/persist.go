@@ -1,0 +1,132 @@
+package metadata
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"ecstore/internal/model"
+	"ecstore/internal/wire"
+)
+
+// Snapshot format: a magic header, the site list, then one encoded
+// BlockMeta per frame. Length-prefixed frames reuse the wire codec so the
+// snapshot survives partial writes detectably (a truncated trailing frame
+// fails to decode).
+var snapshotMagic = []byte("ECSTORE-META-V1\n")
+
+// ErrBadSnapshot reports a corrupt or foreign snapshot file.
+var ErrBadSnapshot = errors.New("metadata: bad snapshot")
+
+// Save writes the catalog's full state to w.
+func (c *Catalog) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic); err != nil {
+		return fmt.Errorf("write snapshot header: %w", err)
+	}
+
+	sites := c.Sites()
+	e := wire.NewEncoder(8 * len(sites))
+	e.Uint32(uint32(len(sites)))
+	for _, s := range sites {
+		e.Int64(int64(s))
+	}
+	if err := wire.WriteFrame(bw, e.Bytes()); err != nil {
+		return fmt.Errorf("write site list: %w", err)
+	}
+
+	var saveErr error
+	count := 0
+	c.ForEach(func(meta *model.BlockMeta) bool {
+		be := wire.NewEncoder(64)
+		EncodeBlockMeta(be, meta)
+		if err := wire.WriteFrame(bw, be.Bytes()); err != nil {
+			saveErr = fmt.Errorf("write block %s: %w", meta.ID, err)
+			return false
+		}
+		count++
+		return true
+	})
+	if saveErr != nil {
+		return saveErr
+	}
+	return bw.Flush()
+}
+
+// Load reads a snapshot produced by Save into a fresh catalog.
+func Load(r io.Reader) (*Catalog, error) {
+	br := bufio.NewReader(r)
+	header := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("%w: short header", ErrBadSnapshot)
+	}
+	if string(header) != string(snapshotMagic) {
+		return nil, fmt.Errorf("%w: wrong magic", ErrBadSnapshot)
+	}
+
+	frame, err := wire.ReadFrame(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: site list: %v", ErrBadSnapshot, err)
+	}
+	d := wire.NewDecoder(frame)
+	n := int(d.Uint32())
+	sites := make([]model.SiteID, 0, n)
+	for i := 0; i < n; i++ {
+		sites = append(sites, model.SiteID(d.Int64()))
+	}
+	if d.Err() != nil {
+		return nil, fmt.Errorf("%w: site list: %v", ErrBadSnapshot, d.Err())
+	}
+	catalog := NewCatalog(sites)
+
+	for {
+		frame, err := wire.ReadFrame(br)
+		if errors.Is(err, io.EOF) {
+			return catalog, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: block frame: %v", ErrBadSnapshot, err)
+		}
+		meta, err := DecodeBlockMeta(wire.NewDecoder(frame))
+		if err != nil {
+			return nil, fmt.Errorf("%w: block meta: %v", ErrBadSnapshot, err)
+		}
+		if err := catalog.Register(meta); err != nil {
+			return nil, fmt.Errorf("%w: register %s: %v", ErrBadSnapshot, meta.ID, err)
+		}
+	}
+}
+
+// SaveFile atomically writes a snapshot to path (write temp + rename).
+func (c *Catalog) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("create snapshot: %w", err)
+	}
+	if err := c.Save(f); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("commit snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a snapshot from path.
+func LoadFile(path string) (*Catalog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open snapshot: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return Load(f)
+}

@@ -1,0 +1,142 @@
+package metadata
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ecstore/internal/model"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := NewCatalog(sites(8))
+	if err := c.Register(blockMeta("alpha", 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(blockMeta("beta", 4, 5, 6, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.UpdatePlacement("alpha", 0, 8, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d blocks", loaded.Len())
+	}
+	got, ok := loaded.BlockMeta("alpha")
+	if !ok {
+		t.Fatal("alpha missing")
+	}
+	if got.Sites[0] != 8 || got.Version != 1 {
+		t.Fatalf("alpha state = %+v", got)
+	}
+	if gotSites := loaded.Sites(); len(gotSites) != 8 {
+		t.Fatalf("sites = %v", gotSites)
+	}
+	// Indexes rebuilt.
+	if ids := loaded.BlocksOnSite(8); len(ids) != 1 || ids[0] != "alpha" {
+		t.Fatalf("BlocksOnSite(8) = %v", ids)
+	}
+}
+
+func TestSnapshotEmptyCatalog(t *testing.T) {
+	c := NewCatalog(sites(3))
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 0 {
+		t.Fatalf("loaded %d blocks from empty snapshot", loaded.Len())
+	}
+}
+
+func TestLoadRejectsCorruptSnapshots(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"wrong magic": []byte("NOT-A-SNAPSHOT--\n plus data"),
+		"truncated": func() []byte {
+			c := NewCatalog(sites(3))
+			_ = c.Register(blockMeta("a", 1, 2, 3))
+			var buf bytes.Buffer
+			_ = c.Save(&buf)
+			return buf.Bytes()[:buf.Len()-3]
+		}(),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("err = %v, want ErrBadSnapshot", err)
+			}
+		})
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "meta.snap")
+
+	c := NewCatalog(sites(4))
+	if err := c.Register(blockMeta("x", 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// No temp file left behind.
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temp file left behind")
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := loaded.BlockMeta("x"); !ok {
+		t.Fatal("block lost through file round trip")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.snap")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestSnapshotPreservesReplicatedBlocks(t *testing.T) {
+	c := NewCatalog(sites(5))
+	meta := &model.BlockMeta{
+		ID:        "rep",
+		Scheme:    model.SchemeReplicated,
+		Size:      100,
+		K:         1,
+		R:         2,
+		ChunkSize: 100,
+		Sites:     []model.SiteID{1, 3, 5},
+	}
+	if err := c.Register(meta); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := loaded.BlockMeta("rep")
+	if got.Scheme != model.SchemeReplicated || got.RequiredChunks() != 1 {
+		t.Fatalf("replicated block mangled: %+v", got)
+	}
+}

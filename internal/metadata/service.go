@@ -1,0 +1,282 @@
+package metadata
+
+import (
+	"fmt"
+
+	"ecstore/internal/model"
+	"ecstore/internal/rpc"
+	"ecstore/internal/wire"
+)
+
+// Service is the metadata API shared by the in-process Catalog and the
+// RPC-backed Client, so the client service works identically in
+// single-process and distributed deployments.
+type Service interface {
+	Register(meta *model.BlockMeta) error
+	Lookup(ids []model.BlockID) (map[model.BlockID]*model.BlockMeta, error)
+	Delete(id model.BlockID) (*model.BlockMeta, error)
+	UpdatePlacement(id model.BlockID, chunk int, to model.SiteID, expectVersion uint64) (uint64, error)
+	BlocksOnSite(s model.SiteID) []model.BlockID
+	Sites() []model.SiteID
+}
+
+var (
+	_ Service = (*Catalog)(nil)
+	_ Service = (*Client)(nil)
+)
+
+// RPC method numbers of the metadata service.
+const (
+	methodRegister rpc.Method = iota + 1
+	methodLookup
+	methodDelete
+	methodUpdatePlacement
+	methodBlocksOnSite
+	methodSites
+)
+
+// EncodeBlockMeta serializes block metadata.
+func EncodeBlockMeta(e *wire.Encoder, m *model.BlockMeta) {
+	e.String(string(m.ID))
+	e.Uint8(uint8(m.Scheme))
+	e.Int64(m.Size)
+	e.Uint32(uint32(m.K))
+	e.Uint32(uint32(m.R))
+	e.Int64(m.ChunkSize)
+	e.Uint64(m.Version)
+	e.Uint32(uint32(len(m.Sites)))
+	for _, s := range m.Sites {
+		e.Int64(int64(s))
+	}
+}
+
+// DecodeBlockMeta deserializes block metadata.
+func DecodeBlockMeta(d *wire.Decoder) (*model.BlockMeta, error) {
+	m := &model.BlockMeta{
+		ID:     model.BlockID(d.String()),
+		Scheme: model.Scheme(d.Uint8()),
+	}
+	m.Size = d.Int64()
+	m.K = int(d.Uint32())
+	m.R = int(d.Uint32())
+	m.ChunkSize = d.Int64()
+	m.Version = d.Uint64()
+	n := int(d.Uint32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("metadata: absurd site count %d", n)
+	}
+	m.Sites = make([]model.SiteID, n)
+	for i := range m.Sites {
+		m.Sites[i] = model.SiteID(d.Int64())
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Server exposes a Catalog over RPC.
+type Server struct {
+	catalog *Catalog
+}
+
+// NewServer wraps a catalog.
+func NewServer(c *Catalog) *Server { return &Server{catalog: c} }
+
+var _ rpc.Handler = (*Server)(nil)
+
+// Handle dispatches one metadata RPC.
+func (s *Server) Handle(method rpc.Method, body []byte) ([]byte, error) {
+	d := wire.NewDecoder(body)
+	switch method {
+	case methodRegister:
+		meta, err := DecodeBlockMeta(d)
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.catalog.Register(meta)
+
+	case methodLookup:
+		n := int(d.Uint32())
+		ids := make([]model.BlockID, 0, n)
+		for i := 0; i < n; i++ {
+			ids = append(ids, model.BlockID(d.String()))
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		metas, err := s.catalog.Lookup(ids)
+		if err != nil {
+			return nil, err
+		}
+		e := wire.NewEncoder(64 * len(metas))
+		e.Uint32(uint32(len(ids)))
+		for _, id := range ids {
+			EncodeBlockMeta(e, metas[id])
+		}
+		return e.Bytes(), nil
+
+	case methodDelete:
+		id := model.BlockID(d.String())
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		meta, err := s.catalog.Delete(id)
+		if err != nil {
+			return nil, err
+		}
+		e := wire.NewEncoder(64)
+		EncodeBlockMeta(e, meta)
+		return e.Bytes(), nil
+
+	case methodUpdatePlacement:
+		id := model.BlockID(d.String())
+		chunk := int(d.Uint32())
+		to := model.SiteID(d.Int64())
+		expect := d.Uint64()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		v, err := s.catalog.UpdatePlacement(id, chunk, to, expect)
+		if err != nil {
+			return nil, err
+		}
+		e := wire.NewEncoder(8)
+		e.Uint64(v)
+		return e.Bytes(), nil
+
+	case methodBlocksOnSite:
+		site := model.SiteID(d.Int64())
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		ids := s.catalog.BlocksOnSite(site)
+		e := wire.NewEncoder(16 * len(ids))
+		e.Uint32(uint32(len(ids)))
+		for _, id := range ids {
+			e.String(string(id))
+		}
+		return e.Bytes(), nil
+
+	case methodSites:
+		sites := s.catalog.Sites()
+		e := wire.NewEncoder(8 * len(sites))
+		e.Uint32(uint32(len(sites)))
+		for _, s := range sites {
+			e.Int64(int64(s))
+		}
+		return e.Bytes(), nil
+
+	default:
+		return nil, fmt.Errorf("metadata: unknown method %d", method)
+	}
+}
+
+// Client is an RPC-backed Service implementation.
+type Client struct {
+	rc *rpc.Client
+}
+
+// NewClient wraps an RPC client connected to a metadata server.
+func NewClient(rc *rpc.Client) *Client { return &Client{rc: rc} }
+
+// Register implements Service.
+func (c *Client) Register(meta *model.BlockMeta) error {
+	e := wire.NewEncoder(64)
+	EncodeBlockMeta(e, meta)
+	_, err := c.rc.Call(methodRegister, e.Bytes())
+	return err
+}
+
+// Lookup implements Service.
+func (c *Client) Lookup(ids []model.BlockID) (map[model.BlockID]*model.BlockMeta, error) {
+	e := wire.NewEncoder(16 * len(ids))
+	e.Uint32(uint32(len(ids)))
+	for _, id := range ids {
+		e.String(string(id))
+	}
+	resp, err := c.rc.Call(methodLookup, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(resp)
+	n := int(d.Uint32())
+	out := make(map[model.BlockID]*model.BlockMeta, n)
+	for i := 0; i < n; i++ {
+		meta, err := DecodeBlockMeta(d)
+		if err != nil {
+			return nil, err
+		}
+		out[meta.ID] = meta
+	}
+	return out, nil
+}
+
+// Delete implements Service.
+func (c *Client) Delete(id model.BlockID) (*model.BlockMeta, error) {
+	e := wire.NewEncoder(16)
+	e.String(string(id))
+	resp, err := c.rc.Call(methodDelete, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return DecodeBlockMeta(wire.NewDecoder(resp))
+}
+
+// UpdatePlacement implements Service.
+func (c *Client) UpdatePlacement(id model.BlockID, chunk int, to model.SiteID, expectVersion uint64) (uint64, error) {
+	e := wire.NewEncoder(32)
+	e.String(string(id))
+	e.Uint32(uint32(chunk))
+	e.Int64(int64(to))
+	e.Uint64(expectVersion)
+	resp, err := c.rc.Call(methodUpdatePlacement, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	d := wire.NewDecoder(resp)
+	v := d.Uint64()
+	return v, d.Err()
+}
+
+// BlocksOnSite implements Service. RPC failures yield an empty list, as
+// this path is advisory (repair rescans).
+func (c *Client) BlocksOnSite(s model.SiteID) []model.BlockID {
+	e := wire.NewEncoder(8)
+	e.Int64(int64(s))
+	resp, err := c.rc.Call(methodBlocksOnSite, e.Bytes())
+	if err != nil {
+		return nil
+	}
+	d := wire.NewDecoder(resp)
+	n := int(d.Uint32())
+	out := make([]model.BlockID, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, model.BlockID(d.String()))
+	}
+	if d.Err() != nil {
+		return nil
+	}
+	return out
+}
+
+// Sites implements Service. RPC failures yield an empty list.
+func (c *Client) Sites() []model.SiteID {
+	resp, err := c.rc.Call(methodSites, nil)
+	if err != nil {
+		return nil
+	}
+	d := wire.NewDecoder(resp)
+	n := int(d.Uint32())
+	out := make([]model.SiteID, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, model.SiteID(d.Int64()))
+	}
+	if d.Err() != nil {
+		return nil
+	}
+	return out
+}

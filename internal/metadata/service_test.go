@@ -1,0 +1,139 @@
+package metadata
+
+import (
+	"testing"
+
+	"ecstore/internal/model"
+	"ecstore/internal/rpc"
+	"ecstore/internal/transport"
+	"ecstore/internal/wire"
+)
+
+func startMetadataRPC(t *testing.T, catalog *Catalog) (*Client, func()) {
+	t.Helper()
+	net := transport.NewMemory()
+	l, err := net.Listen("meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer(NewServer(catalog))
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(l) }()
+	conn, err := net.Dial("meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := rpc.NewClient(conn)
+	cleanup := func() {
+		_ = rc.Close()
+		_ = srv.Close()
+		<-done
+		net.Close()
+	}
+	return NewClient(rc), cleanup
+}
+
+func TestBlockMetaCodecRoundTrip(t *testing.T) {
+	in := &model.BlockMeta{
+		ID:        "block-7",
+		Scheme:    model.SchemeErasure,
+		Size:      102400,
+		K:         2,
+		R:         2,
+		ChunkSize: 51200,
+		Version:   9,
+		Sites:     []model.SiteID{4, 8, 15, 16},
+	}
+	e := wire.NewEncoder(64)
+	EncodeBlockMeta(e, in)
+	out, err := DecodeBlockMeta(wire.NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Scheme != in.Scheme || out.Size != in.Size ||
+		out.K != in.K || out.R != in.R || out.ChunkSize != in.ChunkSize ||
+		out.Version != in.Version || len(out.Sites) != len(in.Sites) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+	for i := range in.Sites {
+		if out.Sites[i] != in.Sites[i] {
+			t.Fatalf("site %d: %d != %d", i, out.Sites[i], in.Sites[i])
+		}
+	}
+}
+
+func TestDecodeBlockMetaTruncated(t *testing.T) {
+	e := wire.NewEncoder(8)
+	e.String("id")
+	if _, err := DecodeBlockMeta(wire.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("truncated meta decoded")
+	}
+}
+
+func TestRPCRegisterLookupDelete(t *testing.T) {
+	catalog := NewCatalog(sites(8))
+	client, cleanup := startMetadataRPC(t, catalog)
+	defer cleanup()
+
+	if err := client.Register(blockMeta("a", 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Lookup([]model.BlockID{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["a"].Sites[1] != 2 {
+		t.Fatalf("lookup = %+v", got["a"])
+	}
+
+	meta, err := client.Delete("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ID != "a" {
+		t.Fatalf("deleted id = %s", meta.ID)
+	}
+	if _, err := client.Lookup([]model.BlockID{"a"}); err == nil {
+		t.Fatal("lookup succeeded after delete")
+	}
+}
+
+func TestRPCUpdatePlacementAndIndexes(t *testing.T) {
+	catalog := NewCatalog(sites(8))
+	client, cleanup := startMetadataRPC(t, catalog)
+	defer cleanup()
+
+	if err := client.Register(blockMeta("a", 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := client.UpdatePlacement("a", 2, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("version = %d", v)
+	}
+	if _, err := client.UpdatePlacement("a", 2, 1, 0); err == nil {
+		t.Fatal("stale CAS accepted over RPC")
+	}
+
+	ids := client.BlocksOnSite(7)
+	if len(ids) != 1 || ids[0] != "a" {
+		t.Fatalf("BlocksOnSite = %v", ids)
+	}
+	got := client.Sites()
+	if len(got) != 8 {
+		t.Fatalf("Sites = %v", got)
+	}
+}
+
+func TestRPCRegisterValidationError(t *testing.T) {
+	catalog := NewCatalog(sites(2))
+	client, cleanup := startMetadataRPC(t, catalog)
+	defer cleanup()
+
+	err := client.Register(blockMeta("a", 1, 2, 9))
+	if err == nil {
+		t.Fatal("unknown-site register accepted over RPC")
+	}
+}

@@ -1,0 +1,252 @@
+// Package placement implements EC-Store's primary contribution: the
+// cost-model-driven data access strategy (Section IV-B, Equations 1-4), the
+// plan cache with greedy fallback and background exact solves (Section
+// V-B1), late binding integration (Section IV-B1), and the chunk movement
+// strategy (Sections IV-C and IV-D, Equations 5-8 and Algorithm 1).
+package placement
+
+import (
+	"math"
+	"sort"
+
+	"ecstore/internal/model"
+)
+
+// PlanCost evaluates Equation 1 for a concrete access plan:
+//
+//	cost(Q) = Σ_j ( o_j·a_j + Σ_{Bi∈Q} s_ij·m_j·z_i )
+//
+// metas supplies z_i (chunk sizes) per block; costs supplies o_j and m_j.
+func PlanCost(plan *model.AccessPlan, metas map[model.BlockID]*model.BlockMeta, costs *model.SiteCosts) float64 {
+	var total float64
+	for site, refs := range plan.Reads {
+		if len(refs) == 0 {
+			continue
+		}
+		total += costs.OCost(site)
+		m := costs.MCost(site)
+		for _, ref := range refs {
+			meta := metas[ref.Block]
+			if meta == nil {
+				continue
+			}
+			total += m * float64(meta.ChunkSize)
+		}
+	}
+	return total
+}
+
+// ValidatePlan checks the paper's feasibility constraints: every requested
+// block has at least RequiredChunks()+delta distinct chunks selected, every
+// selected chunk actually exists at the chosen site, and no chunk is
+// selected twice.
+func ValidatePlan(plan *model.AccessPlan, metas map[model.BlockID]*model.BlockMeta, delta int) error {
+	selected := make(map[model.ChunkRef]bool)
+	perBlock := make(map[model.BlockID]int, len(metas))
+	for site, refs := range plan.Reads {
+		for _, ref := range refs {
+			meta := metas[ref.Block]
+			if meta == nil {
+				return &PlanError{Ref: ref, Reason: "block not in request"}
+			}
+			if ref.Chunk < 0 || ref.Chunk >= len(meta.Sites) {
+				return &PlanError{Ref: ref, Reason: "chunk id out of range"}
+			}
+			if meta.Sites[ref.Chunk] != site {
+				return &PlanError{Ref: ref, Reason: "chunk not stored at selected site"}
+			}
+			if selected[ref] {
+				return &PlanError{Ref: ref, Reason: "chunk selected twice"}
+			}
+			selected[ref] = true
+			perBlock[ref.Block]++
+		}
+	}
+	for id, meta := range metas {
+		need := meta.RequiredChunks() + delta
+		if avail := meta.TotalChunks(); need > avail {
+			need = avail
+		}
+		if perBlock[id] < need {
+			return &PlanError{
+				Ref:    model.ChunkRef{Block: id},
+				Reason: "not enough chunks selected",
+			}
+		}
+	}
+	return nil
+}
+
+// PlanError describes an invalid access plan.
+type PlanError struct {
+	Ref    model.ChunkRef
+	Reason string
+}
+
+func (e *PlanError) Error() string {
+	return "placement: invalid plan at " + e.Ref.String() + ": " + e.Reason
+}
+
+// candidate is one selectable chunk of one block.
+type candidate struct {
+	ref  model.ChunkRef
+	site model.SiteID
+}
+
+// requestCandidates lists, per block, the chunks that exist on available
+// sites. Blocks are returned in sorted id order for determinism.
+type requestCandidates struct {
+	blocks []model.BlockID
+	metas  map[model.BlockID]*model.BlockMeta
+	cands  map[model.BlockID][]candidate
+	sites  []model.SiteID // union of candidate sites, sorted
+}
+
+func buildCandidates(metas map[model.BlockID]*model.BlockMeta, available func(model.SiteID) bool) *requestCandidates {
+	rc := &requestCandidates{
+		metas: metas,
+		cands: make(map[model.BlockID][]candidate, len(metas)),
+	}
+	siteSet := make(map[model.SiteID]bool)
+	for id := range metas {
+		rc.blocks = append(rc.blocks, id)
+	}
+	sort.Slice(rc.blocks, func(i, j int) bool { return rc.blocks[i] < rc.blocks[j] })
+	for _, id := range rc.blocks {
+		meta := metas[id]
+		for chunk, site := range meta.Sites {
+			if site == model.NoSite {
+				continue
+			}
+			if available != nil && !available(site) {
+				continue
+			}
+			rc.cands[id] = append(rc.cands[id], candidate{
+				ref:  model.ChunkRef{Block: id, Chunk: chunk},
+				site: site,
+			})
+			siteSet[site] = true
+		}
+	}
+	rc.sites = make([]model.SiteID, 0, len(siteSet))
+	for s := range siteSet {
+		rc.sites = append(rc.sites, s)
+	}
+	sort.Slice(rc.sites, func(i, j int) bool { return rc.sites[i] < rc.sites[j] })
+	return rc
+}
+
+// need returns the chunk count to fetch for a block: k+delta capped at the
+// number of available candidates.
+func (rc *requestCandidates) need(id model.BlockID, delta int) int {
+	meta := rc.metas[id]
+	need := meta.RequiredChunks() + delta
+	if n := len(rc.cands[id]); need > n {
+		need = n
+	}
+	return need
+}
+
+// feasible reports whether every block can still be reconstructed (at least
+// RequiredChunks candidates remain available).
+func (rc *requestCandidates) feasible() bool {
+	for _, id := range rc.blocks {
+		if len(rc.cands[id]) < rc.metas[id].RequiredChunks() {
+			return false
+		}
+	}
+	return true
+}
+
+// bruteForceMaxSites bounds the exhaustive site-subset search used for
+// exact cost estimates on small queries (the mover's two-block queries
+// touch at most 2·(k+r) sites).
+const bruteForceMaxSites = 14
+
+// ExactCost computes cost(C, Q) of Equation 4 exactly when the candidate
+// site set is small, by enumerating accessed-site subsets and assigning
+// each block its cheapest chunks within the subset. For larger instances it
+// falls back to the greedy planner's cost. The second return value reports
+// whether the result is exact.
+func ExactCost(metas map[model.BlockID]*model.BlockMeta, costs *model.SiteCosts, available func(model.SiteID) bool, delta int) (float64, bool) {
+	rc := buildCandidates(metas, available)
+	if !rc.feasible() {
+		return math.Inf(1), true
+	}
+	if len(rc.sites) > bruteForceMaxSites {
+		plan := greedyPlan(rc, costs, delta, nil)
+		return PlanCost(plan, metas, costs), false
+	}
+
+	// Flatten to index-based arrays so the 2^n mask loop stays tight:
+	// the mover evaluates thousands of two-block queries per round.
+	n := len(rc.sites)
+	oCost := make([]float64, n)
+	siteIdx := make(map[model.SiteID]int, n)
+	for i, s := range rc.sites {
+		oCost[i] = costs.OCost(s)
+		siteIdx[s] = i
+	}
+	type flatBlock struct {
+		need      int
+		candSite  []int     // site index per candidate chunk
+		candCost  []float64 // m_j * z_i per candidate chunk
+	}
+	blocks := make([]flatBlock, 0, len(rc.blocks))
+	for _, id := range rc.blocks {
+		fb := flatBlock{need: rc.need(id, delta)}
+		for _, c := range rc.cands[id] {
+			fb.candSite = append(fb.candSite, siteIdx[c.site])
+			fb.candCost = append(fb.candCost, costs.MCost(c.site)*float64(rc.metas[id].ChunkSize))
+		}
+		// Sort candidates by cost once so per-mask selection is a
+		// single in-order scan.
+		sort.Sort(&candSorter{sites: fb.candSite, costs: fb.candCost})
+		blocks = append(blocks, fb)
+	}
+
+	best := math.Inf(1)
+	for mask := 1; mask < 1<<n; mask++ {
+		var cost float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				cost += oCost[i]
+			}
+		}
+		if cost >= best {
+			continue
+		}
+		ok := true
+		for bi := range blocks {
+			fb := &blocks[bi]
+			taken := 0
+			for ci := 0; ci < len(fb.candSite) && taken < fb.need; ci++ {
+				if mask&(1<<fb.candSite[ci]) != 0 {
+					cost += fb.candCost[ci]
+					taken++
+				}
+			}
+			if taken < fb.need || cost >= best {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			best = cost
+		}
+	}
+	return best, true
+}
+
+// candSorter sorts parallel candidate arrays by ascending cost.
+type candSorter struct {
+	sites []int
+	costs []float64
+}
+
+func (s *candSorter) Len() int           { return len(s.sites) }
+func (s *candSorter) Less(i, j int) bool { return s.costs[i] < s.costs[j] }
+func (s *candSorter) Swap(i, j int) {
+	s.sites[i], s.sites[j] = s.sites[j], s.sites[i]
+	s.costs[i], s.costs[j] = s.costs[j], s.costs[i]
+}

@@ -1,0 +1,106 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ecstore/internal/model"
+	"ecstore/internal/stats"
+)
+
+// PlaceStrategy selects how chunks of new blocks are placed (step W1 of
+// Figure 3).
+type PlaceStrategy int
+
+// Placement strategies for writes.
+const (
+	// PlaceRandom scatters chunks uniformly at random (baselines).
+	PlaceRandom PlaceStrategy = iota + 1
+	// PlaceLoadAware prefers lightly loaded sites for new chunks while
+	// still spreading across failure domains.
+	PlaceLoadAware
+)
+
+func (s PlaceStrategy) String() string {
+	switch s {
+	case PlaceRandom:
+		return "random"
+	case PlaceLoadAware:
+		return "load-aware"
+	default:
+		return fmt.Sprintf("PlaceStrategy(%d)", int(s))
+	}
+}
+
+// Placer chooses sites for the chunks of newly written blocks. Chunks of
+// one block always land on distinct sites to preserve r-fault tolerance.
+type Placer struct {
+	strategy PlaceStrategy
+	rng      *rand.Rand
+	loads    *stats.LoadTracker // may be nil for PlaceRandom
+}
+
+// NewPlacer returns a placer. loads may be nil unless strategy is
+// PlaceLoadAware.
+func NewPlacer(strategy PlaceStrategy, loads *stats.LoadTracker, seed int64) (*Placer, error) {
+	if strategy == PlaceLoadAware && loads == nil {
+		return nil, fmt.Errorf("placement: load-aware placer requires a load tracker")
+	}
+	if strategy != PlaceRandom && strategy != PlaceLoadAware {
+		return nil, fmt.Errorf("placement: unknown place strategy %d", strategy)
+	}
+	return &Placer{strategy: strategy, rng: rand.New(rand.NewSource(seed)), loads: loads}, nil
+}
+
+// Place selects `chunks` distinct sites from the candidate list. It
+// returns an error when fewer than `chunks` distinct sites are available.
+func (p *Placer) Place(sites []model.SiteID, chunks int) ([]model.SiteID, error) {
+	if chunks <= 0 {
+		return nil, fmt.Errorf("placement: invalid chunk count %d", chunks)
+	}
+	uniq := dedupSites(sites)
+	if len(uniq) < chunks {
+		return nil, fmt.Errorf("placement: need %d distinct sites, have %d", chunks, len(uniq))
+	}
+	switch p.strategy {
+	case PlaceLoadAware:
+		sort.Slice(uniq, func(i, j int) bool {
+			wi := p.loads.Omega(uniq[i])
+			wj := p.loads.Omega(uniq[j])
+			if wi != wj {
+				return wi < wj
+			}
+			return uniq[i] < uniq[j]
+		})
+		// Sample from the lightly loaded half so concurrent writers do
+		// not all stampede the single coldest site.
+		pool := len(uniq) / 2
+		if pool < chunks {
+			pool = chunks
+		}
+		if pool > len(uniq) {
+			pool = len(uniq)
+		}
+		cand := append([]model.SiteID(nil), uniq[:pool]...)
+		p.rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+		return cand[:chunks], nil
+	default:
+		cand := append([]model.SiteID(nil), uniq...)
+		p.rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+		return cand[:chunks], nil
+	}
+}
+
+func dedupSites(sites []model.SiteID) []model.SiteID {
+	seen := make(map[model.SiteID]bool, len(sites))
+	out := make([]model.SiteID, 0, len(sites))
+	for _, s := range sites {
+		if s == model.NoSite || seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	return out
+}

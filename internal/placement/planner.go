@@ -1,0 +1,325 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ecstore/internal/ilp"
+	"ecstore/internal/model"
+)
+
+// Strategy selects how access plans are generated.
+type Strategy int
+
+// Access-plan strategies, matching the paper's evaluated configurations.
+const (
+	// StrategyRandom picks random chunks/replicas: the R and EC
+	// baselines (Section VI-A, "random data placement and access").
+	StrategyRandom Strategy = iota + 1
+	// StrategyCost minimizes Equation 1 (configurations EC+C and
+	// EC+C+M) via the plan cache, greedy fallback and exact solver.
+	StrategyCost
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyRandom:
+		return "random"
+	case StrategyCost:
+		return "cost"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// PlanSource reports how a returned plan was produced, for instrumentation
+// (the paper reports a ~90% plan-cache hit rate).
+type PlanSource int
+
+// Plan provenance.
+const (
+	SourceRandom PlanSource = iota + 1
+	SourceGreedy
+	SourceCache
+	SourceExact
+)
+
+func (s PlanSource) String() string {
+	switch s {
+	case SourceRandom:
+		return "random"
+	case SourceGreedy:
+		return "greedy"
+	case SourceCache:
+		return "cache"
+	case SourceExact:
+		return "exact"
+	default:
+		return fmt.Sprintf("PlanSource(%d)", int(s))
+	}
+}
+
+// PlanRequest describes one multi-block read to plan.
+type PlanRequest struct {
+	// Metas holds the metadata of every requested block.
+	Metas map[model.BlockID]*model.BlockMeta
+	// Delta is the late-binding surplus: plans fetch k+Delta chunks per
+	// block (capped at the available chunk count). Zero disables late
+	// binding.
+	Delta int
+	// Available filters sites; nil means every site is reachable.
+	Available func(model.SiteID) bool
+}
+
+// ErrInfeasible is returned when some block cannot be reconstructed from
+// the available sites.
+var ErrInfeasible = fmt.Errorf("placement: request is infeasible")
+
+// RandomPlan implements the baseline strategy: for each block choose
+// RequiredChunks()+delta chunks uniformly at random among available sites.
+func RandomPlan(req PlanRequest, rng *rand.Rand) (*model.AccessPlan, error) {
+	rc := buildCandidates(req.Metas, req.Available)
+	if !rc.feasible() {
+		return nil, ErrInfeasible
+	}
+	plan := model.NewAccessPlan()
+	for _, id := range rc.blocks {
+		cands := append([]candidate(nil), rc.cands[id]...)
+		rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		for _, c := range cands[:rc.need(id, req.Delta)] {
+			plan.Add(c.site, c.ref)
+		}
+	}
+	return plan, nil
+}
+
+// GreedyPlan implements the paper's cache-miss heuristic: chunks at sites
+// already present in the plan are preferred (their o_j is already paid);
+// remaining chunks are chosen by marginal cost with random tie-breaking.
+func GreedyPlan(req PlanRequest, costs *model.SiteCosts, rng *rand.Rand) (*model.AccessPlan, error) {
+	rc := buildCandidates(req.Metas, req.Available)
+	if !rc.feasible() {
+		return nil, ErrInfeasible
+	}
+	return greedyPlan(rc, costs, req.Delta, rng), nil
+}
+
+// greedyPlan builds a plan over precomputed candidates. rng may be nil for
+// deterministic tie-breaking by site id.
+func greedyPlan(rc *requestCandidates, costs *model.SiteCosts, delta int, rng *rand.Rand) *model.AccessPlan {
+	plan := model.NewAccessPlan()
+	accessed := make(map[model.SiteID]bool)
+
+	// Sites holding chunks of many requested blocks are better targets:
+	// paying their o_j once amortizes over several blocks.
+	shared := make(map[model.SiteID]int)
+	for _, id := range rc.blocks {
+		for _, c := range rc.cands[id] {
+			shared[c.site]++
+		}
+	}
+
+	// Process blocks with the fewest candidates first so constrained
+	// blocks are not starved of co-location opportunities.
+	order := append([]model.BlockID(nil), rc.blocks...)
+	sort.SliceStable(order, func(i, j int) bool {
+		return len(rc.cands[order[i]]) < len(rc.cands[order[j]])
+	})
+
+	for _, id := range order {
+		meta := rc.metas[id]
+		need := rc.need(id, delta)
+		type scored struct {
+			c      candidate
+			cost   float64
+			shared int
+			tie    float64
+		}
+		scoredCands := make([]scored, 0, len(rc.cands[id]))
+		for _, c := range rc.cands[id] {
+			cost := costs.MCost(c.site) * float64(meta.ChunkSize)
+			if !accessed[c.site] {
+				cost += costs.OCost(c.site)
+			}
+			tie := float64(c.site)
+			if rng != nil {
+				tie = rng.Float64()
+			}
+			scoredCands = append(scoredCands, scored{c: c, cost: cost, shared: shared[c.site], tie: tie})
+		}
+		sort.Slice(scoredCands, func(i, j int) bool {
+			if scoredCands[i].cost != scoredCands[j].cost {
+				return scoredCands[i].cost < scoredCands[j].cost
+			}
+			if scoredCands[i].shared != scoredCands[j].shared {
+				return scoredCands[i].shared > scoredCands[j].shared
+			}
+			return scoredCands[i].tie < scoredCands[j].tie
+		})
+		for _, sc := range scoredCands[:need] {
+			plan.Add(sc.c.site, sc.c.ref)
+			accessed[sc.c.site] = true
+		}
+	}
+	return plan
+}
+
+// ExactPlan solves the access-planning ILP of Equation 4 exactly with
+// branch and bound. Variables: one s_ij per existing chunk on an available
+// site, one a_j per candidate site. Objective and constraints follow
+// Equations 1-3, with Equation 2's right-hand side raised by Delta for late
+// binding (Section IV-B1).
+func ExactPlan(req PlanRequest, costs *model.SiteCosts) (*model.AccessPlan, error) {
+	return ExactPlanWithNodes(req, costs, 5000)
+}
+
+// ExactPlanWithNodes is ExactPlan with an explicit branch-and-bound node
+// budget; maxNodes <= 0 uses the default.
+func ExactPlanWithNodes(req PlanRequest, costs *model.SiteCosts, maxNodes int) (*model.AccessPlan, error) {
+	if maxNodes <= 0 {
+		maxNodes = 5000
+	}
+	rc := buildCandidates(req.Metas, req.Available)
+	if !rc.feasible() {
+		return nil, ErrInfeasible
+	}
+
+	// Variable layout: chunk-selection variables first, then site vars.
+	type chunkVar struct {
+		c     candidate
+		block model.BlockID
+	}
+	var chunkVars []chunkVar
+	chunkIdx := make(map[model.ChunkRef]int)
+	for _, id := range rc.blocks {
+		for _, c := range rc.cands[id] {
+			chunkIdx[c.ref] = len(chunkVars)
+			chunkVars = append(chunkVars, chunkVar{c: c, block: id})
+		}
+	}
+	siteVarBase := len(chunkVars)
+	siteIdx := make(map[model.SiteID]int, len(rc.sites))
+	for i, s := range rc.sites {
+		siteIdx[s] = siteVarBase + i
+	}
+	nVars := siteVarBase + len(rc.sites)
+
+	p := &ilp.Problem{
+		NumVars:     nVars,
+		Objective:   make([]float64, nVars),
+		UpperBounds: make([]float64, nVars),
+	}
+	for i := range p.UpperBounds {
+		p.UpperBounds[i] = 1
+	}
+	for i, cv := range chunkVars {
+		p.Objective[i] = costs.MCost(cv.c.site) * float64(rc.metas[cv.block].ChunkSize)
+	}
+	for _, s := range rc.sites {
+		p.Objective[siteIdx[s]] = costs.OCost(s)
+	}
+
+	// Equation 2: sum of selected chunks per block >= k_i (+ delta).
+	for _, id := range rc.blocks {
+		vars := make([]int, 0, len(rc.cands[id]))
+		coeffs := make([]float64, 0, len(rc.cands[id]))
+		for _, c := range rc.cands[id] {
+			vars = append(vars, chunkIdx[c.ref])
+			coeffs = append(coeffs, 1)
+		}
+		p.Constraints = append(p.Constraints, ilp.Constraint{
+			Vars: vars, Coeffs: coeffs, Op: ilp.GE, RHS: float64(rc.need(id, req.Delta)),
+		})
+	}
+
+	// Equation 3: |Q|·a_j - Σ_i s_ij >= 0 for every candidate site.
+	q := float64(len(rc.blocks))
+	for _, s := range rc.sites {
+		vars := []int{siteIdx[s]}
+		coeffs := []float64{q}
+		for _, id := range rc.blocks {
+			for _, c := range rc.cands[id] {
+				if c.site == s {
+					vars = append(vars, chunkIdx[c.ref])
+					coeffs = append(coeffs, -1)
+				}
+			}
+		}
+		p.Constraints = append(p.Constraints, ilp.Constraint{Vars: vars, Coeffs: coeffs, Op: ilp.GE, RHS: 0})
+	}
+
+	ints := make([]int, nVars)
+	for i := range ints {
+		ints[i] = i
+	}
+	sol, err := ilp.SolveInt(p, ints, ilp.SolveOptions{MaxNodes: maxNodes})
+	if err != nil {
+		return nil, fmt.Errorf("solve access ILP: %w", err)
+	}
+	if sol.Status == ilp.StatusInfeasible {
+		return nil, ErrInfeasible
+	}
+	if sol.X == nil {
+		// Node limit without incumbent: callers fall back to greedy.
+		return nil, fmt.Errorf("placement: ILP node limit reached without incumbent")
+	}
+
+	plan := model.NewAccessPlan()
+	for i, cv := range chunkVars {
+		if sol.X[i] > 0.5 {
+			plan.Add(cv.c.site, cv.c.ref)
+		}
+	}
+	// Branch and bound can select more chunks than needed when ties are
+	// free; trim any surplus beyond need to keep plans minimal.
+	trimSurplus(plan, rc, req.Delta, costs)
+	return plan, nil
+}
+
+// trimSurplus removes selected chunks beyond each block's requirement,
+// dropping the most expensive first, and prunes now-empty sites.
+func trimSurplus(plan *model.AccessPlan, rc *requestCandidates, delta int, costs *model.SiteCosts) {
+	counts := make(map[model.BlockID]int)
+	for _, refs := range plan.Reads {
+		for _, ref := range refs {
+			counts[ref.Block]++
+		}
+	}
+	for _, id := range rc.blocks {
+		need := rc.need(id, delta)
+		for counts[id] > need {
+			// Drop the selected chunk of this block whose site read
+			// cost is highest, preferring sites with multiple reads
+			// (so site overheads stay amortized).
+			var worstSite model.SiteID = model.NoSite
+			worstIdx := -1
+			worstCost := -1.0
+			for site, refs := range plan.Reads {
+				for i, ref := range refs {
+					if ref.Block != id {
+						continue
+					}
+					c := costs.MCost(site) * float64(rc.metas[id].ChunkSize)
+					if len(refs) == 1 {
+						c += costs.OCost(site)
+					}
+					if c > worstCost {
+						worstCost = c
+						worstSite = site
+						worstIdx = i
+					}
+				}
+			}
+			if worstIdx < 0 {
+				break
+			}
+			refs := plan.Reads[worstSite]
+			plan.Reads[worstSite] = append(refs[:worstIdx], refs[worstIdx+1:]...)
+			if len(plan.Reads[worstSite]) == 0 {
+				delete(plan.Reads, worstSite)
+			}
+			counts[id]--
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package placement
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecstore/internal/model"
+)
+
+// testState builds a small system: blocks placed across sites with RS(k,r).
+func makeMeta(id model.BlockID, k, r int, chunkSize int64, sites ...model.SiteID) *model.BlockMeta {
+	return &model.BlockMeta{
+		ID:        id,
+		Scheme:    model.SchemeErasure,
+		K:         k,
+		R:         r,
+		Size:      chunkSize * int64(k),
+		ChunkSize: chunkSize,
+		Sites:     sites,
+	}
+}
+
+func uniformCosts(o, m float64) *model.SiteCosts {
+	return &model.SiteCosts{DefaultO: o, DefaultM: m}
+}
+
+func TestPlanCost(t *testing.T) {
+	metas := map[model.BlockID]*model.BlockMeta{
+		"a": makeMeta("a", 2, 1, 100, 1, 2, 3),
+	}
+	plan := model.NewAccessPlan()
+	plan.Add(1, model.ChunkRef{Block: "a", Chunk: 0})
+	plan.Add(2, model.ChunkRef{Block: "a", Chunk: 1})
+	costs := uniformCosts(5, 0.01)
+	// 2 sites * 5 + 2 chunks * 0.01*100 = 10 + 2 = 12.
+	if got := PlanCost(plan, metas, costs); math.Abs(got-12) > 1e-9 {
+		t.Fatalf("PlanCost = %v, want 12", got)
+	}
+}
+
+func TestRandomPlanValidAndRandom(t *testing.T) {
+	metas := map[model.BlockID]*model.BlockMeta{
+		"a": makeMeta("a", 2, 2, 100, 1, 2, 3, 4),
+		"b": makeMeta("b", 2, 2, 100, 2, 3, 4, 5),
+	}
+	req := PlanRequest{Metas: metas}
+	rng := rand.New(rand.NewSource(1))
+	distinct := make(map[string]bool)
+	for i := 0; i < 20; i++ {
+		plan, err := RandomPlan(req, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidatePlan(plan, metas, 0); err != nil {
+			t.Fatalf("invalid random plan: %v", err)
+		}
+		key := ""
+		for _, s := range plan.SortedSites() {
+			key += string(rune('A' + int(s)))
+		}
+		distinct[key] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("random planner produced identical plans every time")
+	}
+}
+
+func TestRandomPlanInfeasible(t *testing.T) {
+	metas := map[model.BlockID]*model.BlockMeta{
+		"a": makeMeta("a", 2, 1, 100, 1, 2, 3),
+	}
+	avail := func(s model.SiteID) bool { return s == 1 } // only 1 chunk reachable
+	_, err := RandomPlan(PlanRequest{Metas: metas, Available: avail}, rand.New(rand.NewSource(1)))
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestGreedyPlanPrefersCoLocation(t *testing.T) {
+	// Blocks a and b overlap on sites 1 and 2; greedy should access
+	// exactly those two sites rather than spreading to 3..6.
+	metas := map[model.BlockID]*model.BlockMeta{
+		"a": makeMeta("a", 2, 1, 100, 1, 2, 3),
+		"b": makeMeta("b", 2, 1, 100, 1, 2, 6),
+	}
+	plan, err := GreedyPlan(PlanRequest{Metas: metas}, uniformCosts(5, 0.001), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePlan(plan, metas, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.SitesAccessed(); got != 2 {
+		t.Fatalf("greedy accessed %d sites, want 2 (plan %+v)", got, plan.Reads)
+	}
+}
+
+func TestGreedyPlanAvoidsExpensiveSite(t *testing.T) {
+	metas := map[model.BlockID]*model.BlockMeta{
+		"a": makeMeta("a", 2, 1, 100, 1, 2, 3),
+	}
+	costs := &model.SiteCosts{
+		O:        map[model.SiteID]float64{3: 100},
+		DefaultO: 5, DefaultM: 0.001,
+	}
+	plan, err := GreedyPlan(PlanRequest{Metas: metas}, costs, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hit := plan.Reads[3]; hit {
+		t.Fatalf("greedy used overloaded site 3: %+v", plan.Reads)
+	}
+}
+
+func TestExactPlanOptimal(t *testing.T) {
+	metas := map[model.BlockID]*model.BlockMeta{
+		"a": makeMeta("a", 2, 2, 100, 1, 2, 3, 4),
+		"b": makeMeta("b", 2, 2, 100, 3, 4, 5, 6),
+	}
+	costs := uniformCosts(5, 0.001)
+	plan, err := ExactPlan(PlanRequest{Metas: metas}, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePlan(plan, metas, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: read both blocks from sites 3 and 4 only.
+	if got := plan.SitesAccessed(); got != 2 {
+		t.Fatalf("exact plan accessed %d sites, want 2: %+v", got, plan.Reads)
+	}
+	wantCost, exact := ExactCost(metas, costs, nil, 0)
+	if !exact {
+		t.Fatal("ExactCost fell back to greedy unexpectedly")
+	}
+	if got := PlanCost(plan, metas, costs); math.Abs(got-wantCost) > 1e-6 {
+		t.Fatalf("ILP cost %v != brute-force cost %v", got, wantCost)
+	}
+}
+
+func TestExactPlanRespectsAvailability(t *testing.T) {
+	metas := map[model.BlockID]*model.BlockMeta{
+		"a": makeMeta("a", 2, 2, 100, 1, 2, 3, 4),
+	}
+	avail := func(s model.SiteID) bool { return s != 3 && s != 4 }
+	plan, err := ExactPlan(PlanRequest{Metas: metas, Available: avail}, uniformCosts(5, 0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for site := range plan.Reads {
+		if site == 3 || site == 4 {
+			t.Fatalf("plan used unavailable site %d", site)
+		}
+	}
+}
+
+func TestExactPlanInfeasible(t *testing.T) {
+	metas := map[model.BlockID]*model.BlockMeta{
+		"a": makeMeta("a", 2, 1, 100, 1, 2, 3),
+	}
+	avail := func(s model.SiteID) bool { return s == 2 }
+	if _, err := ExactPlan(PlanRequest{Metas: metas, Available: avail}, uniformCosts(5, 0.001)); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestLateBindingDelta(t *testing.T) {
+	metas := map[model.BlockID]*model.BlockMeta{
+		"a": makeMeta("a", 2, 2, 100, 1, 2, 3, 4),
+	}
+	costs := uniformCosts(5, 0.001)
+	for _, delta := range []int{0, 1, 2} {
+		plan, err := ExactPlan(PlanRequest{Metas: metas, Delta: delta}, costs)
+		if err != nil {
+			t.Fatalf("delta %d: %v", delta, err)
+		}
+		if got := plan.ChunksFor("a"); got != 2+delta {
+			t.Fatalf("delta %d: plan fetches %d chunks, want %d", delta, got, 2+delta)
+		}
+		if err := ValidatePlan(plan, metas, delta); err != nil {
+			t.Fatalf("delta %d: %v", delta, err)
+		}
+	}
+	// Delta beyond available chunks is capped.
+	plan, err := ExactPlan(PlanRequest{Metas: metas, Delta: 5}, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.ChunksFor("a"); got != 4 {
+		t.Fatalf("capped delta: %d chunks, want 4", got)
+	}
+}
+
+// TestExactPlanMatchesBruteForceProperty is the core solver correctness
+// property: on random small instances, the ILP's plan cost equals the
+// exhaustive optimum.
+func TestExactPlanMatchesBruteForceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		numSites := 4 + r.Intn(5) // 4..8
+		numBlocks := 1 + r.Intn(3)
+		metas := make(map[model.BlockID]*model.BlockMeta, numBlocks)
+		for b := 0; b < numBlocks; b++ {
+			k := 2
+			rr := 1 + r.Intn(2)
+			perm := r.Perm(numSites)
+			sites := make([]model.SiteID, k+rr)
+			for c := range sites {
+				sites[c] = model.SiteID(perm[c] + 1)
+			}
+			id := model.BlockID(string(rune('a' + b)))
+			metas[id] = makeMeta(id, k, rr, int64(50+r.Intn(200)), sites...)
+		}
+		costs := &model.SiteCosts{
+			O:        map[model.SiteID]float64{},
+			M:        map[model.SiteID]float64{},
+			DefaultO: 5, DefaultM: 0.01,
+		}
+		for s := 1; s <= numSites; s++ {
+			costs.O[model.SiteID(s)] = 1 + 10*r.Float64()
+			costs.M[model.SiteID(s)] = 0.001 + 0.02*r.Float64()
+		}
+
+		plan, err := ExactPlan(PlanRequest{Metas: metas}, costs)
+		if err != nil {
+			return false
+		}
+		if err := ValidatePlan(plan, metas, 0); err != nil {
+			return false
+		}
+		want, exact := ExactCost(metas, costs, nil, 0)
+		if !exact {
+			return true // instance too large for brute force; skip
+		}
+		got := PlanCost(plan, metas, costs)
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGreedyNeverBeatsExactProperty: greedy cost is an upper bound on the
+// exact optimum.
+func TestGreedyNeverBeatsExactProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		metas := map[model.BlockID]*model.BlockMeta{
+			"a": makeMeta("a", 2, 2, 100,
+				model.SiteID(r.Intn(4)+1), model.SiteID(r.Intn(4)+5), 9, 10),
+			"b": makeMeta("b", 2, 2, 100,
+				model.SiteID(r.Intn(4)+1), model.SiteID(r.Intn(4)+5), 11, 12),
+		}
+		costs := uniformCosts(5, 0.001)
+		gp, err := GreedyPlan(PlanRequest{Metas: metas}, costs, r)
+		if err != nil {
+			return false
+		}
+		want, _ := ExactCost(metas, costs, nil, 0)
+		return PlanCost(gp, metas, costs) >= want-1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidatePlanCatchesBadPlans(t *testing.T) {
+	metas := map[model.BlockID]*model.BlockMeta{
+		"a": makeMeta("a", 2, 1, 100, 1, 2, 3),
+	}
+	// Missing chunks.
+	p1 := model.NewAccessPlan()
+	p1.Add(1, model.ChunkRef{Block: "a", Chunk: 0})
+	if err := ValidatePlan(p1, metas, 0); err == nil {
+		t.Fatal("under-filled plan validated")
+	}
+	// Wrong site.
+	p2 := model.NewAccessPlan()
+	p2.Add(9, model.ChunkRef{Block: "a", Chunk: 0})
+	p2.Add(2, model.ChunkRef{Block: "a", Chunk: 1})
+	if err := ValidatePlan(p2, metas, 0); err == nil {
+		t.Fatal("wrong-site plan validated")
+	}
+	// Duplicate chunk.
+	p3 := model.NewAccessPlan()
+	p3.Add(1, model.ChunkRef{Block: "a", Chunk: 0})
+	p3.Add(1, model.ChunkRef{Block: "a", Chunk: 0})
+	if err := ValidatePlan(p3, metas, 0); err == nil {
+		t.Fatal("duplicate-chunk plan validated")
+	}
+	// Unknown block.
+	p4 := model.NewAccessPlan()
+	p4.Add(1, model.ChunkRef{Block: "zz", Chunk: 0})
+	if err := ValidatePlan(p4, metas, 0); err == nil {
+		t.Fatal("unknown-block plan validated")
+	}
+	// Chunk id out of range.
+	p5 := model.NewAccessPlan()
+	p5.Add(1, model.ChunkRef{Block: "a", Chunk: 7})
+	if err := ValidatePlan(p5, metas, 0); err == nil {
+		t.Fatal("out-of-range chunk validated")
+	}
+	var pe *PlanError
+	err := ValidatePlan(p5, metas, 0)
+	if !errors.As(err, &pe) {
+		t.Fatalf("error type = %T, want *PlanError", err)
+	}
+	if pe.Error() == "" {
+		t.Fatal("empty PlanError message")
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if StrategyRandom.String() != "random" || StrategyCost.String() != "cost" {
+		t.Fatal("Strategy.String mismatch")
+	}
+	if SourceCache.String() != "cache" || SourceGreedy.String() != "greedy" ||
+		SourceExact.String() != "exact" || SourceRandom.String() != "random" {
+		t.Fatal("PlanSource.String mismatch")
+	}
+}

@@ -1,0 +1,353 @@
+// Package repair implements EC-Store's repair service (Section V-C): it
+// polls every storage service, marks unresponsive sites unavailable, waits
+// a grace period (15 minutes in GFS and the paper; configurable here), and
+// then reconstructs the lost chunks on healthy sites, choosing destinations
+// with the same load-aware logic as the chunk mover.
+package repair
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ecstore/internal/erasure"
+	"ecstore/internal/metadata"
+	"ecstore/internal/model"
+	"ecstore/internal/stats"
+	"ecstore/internal/storage"
+)
+
+// Errors returned by the repair service.
+var (
+	ErrUnrepairable = errors.New("repair: not enough surviving chunks")
+	ErrNoDestination = errors.New("repair: no eligible destination site")
+)
+
+// Config tunes the repair service.
+type Config struct {
+	// Grace is how long a site must stay unresponsive before repair
+	// begins (the paper waits 15 minutes, following GFS). Zero means
+	// 15 minutes.
+	Grace time.Duration
+	// ProbeInterval is the polling period. Zero means 5 seconds.
+	ProbeInterval time.Duration
+	// Clock abstracts time for tests; nil uses time.Now.
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Grace == 0 {
+		c.Grace = 15 * time.Minute
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 5 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Service is the repair daemon.
+type Service struct {
+	cfg   Config
+	meta  metadata.Service
+	sites map[model.SiteID]storage.SiteAPI
+	loads *stats.LoadTracker
+
+	mu          sync.Mutex
+	failedSince map[model.SiteID]time.Time
+	repaired    int64
+	codecs      map[[2]int]*erasure.Codec
+
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+	started bool
+}
+
+// NewService wires a repair service. loads may be nil (destinations then
+// fall back to chunk-count balancing only).
+func NewService(cfg Config, meta metadata.Service, sites map[model.SiteID]storage.SiteAPI, loads *stats.LoadTracker) *Service {
+	return &Service{
+		cfg:         cfg.withDefaults(),
+		meta:        meta,
+		sites:       sites,
+		loads:       loads,
+		failedSince: make(map[model.SiteID]time.Time),
+		codecs:      make(map[[2]int]*erasure.Codec),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+}
+
+// Start launches the polling goroutine.
+func (s *Service) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(s.cfg.ProbeInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				_ = s.CheckOnce()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop terminates the polling goroutine and waits for it.
+func (s *Service) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if started {
+		<-s.done
+	}
+}
+
+// Repaired returns the number of chunks reconstructed so far.
+func (s *Service) Repaired() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repaired
+}
+
+// FailedSites lists sites currently marked unavailable.
+func (s *Service) FailedSites() []model.SiteID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]model.SiteID, 0, len(s.failedSince))
+	for id := range s.failedSince {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CheckOnce probes every site, updates failure marks, and repairs sites
+// whose grace period has expired. It returns the first repair error, if
+// any; probing continues regardless.
+func (s *Service) CheckOnce() error {
+	now := s.cfg.Clock()
+	var due []model.SiteID
+
+	s.mu.Lock()
+	for id, api := range s.sites {
+		if api.Probe() != nil {
+			if _, already := s.failedSince[id]; !already {
+				s.failedSince[id] = now
+			}
+			if now.Sub(s.failedSince[id]) >= s.cfg.Grace {
+				due = append(due, id)
+			}
+		} else {
+			delete(s.failedSince, id)
+		}
+	}
+	s.mu.Unlock()
+
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	var firstErr error
+	for _, id := range due {
+		if _, err := s.RepairSite(id); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.mu.Lock()
+		// Reset the clock so the site is not re-repaired every probe
+		// while still down.
+		s.failedSince[id] = now
+		s.mu.Unlock()
+	}
+	return firstErr
+}
+
+// RepairSite reconstructs every chunk the failed site held onto healthy
+// sites. It returns the number of chunks reconstructed.
+func (s *Service) RepairSite(failed model.SiteID) (int, error) {
+	ids := s.meta.BlocksOnSite(failed)
+	repaired := 0
+	var firstErr error
+	for _, id := range ids {
+		n, err := s.repairBlock(id, failed)
+		repaired += n
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("repair %s: %w", id, err)
+		}
+	}
+	s.mu.Lock()
+	s.repaired += int64(repaired)
+	s.mu.Unlock()
+	return repaired, firstErr
+}
+
+// repairBlock reconstructs the chunks of one block lost at `failed`.
+func (s *Service) repairBlock(id model.BlockID, failed model.SiteID) (int, error) {
+	metas, err := s.meta.Lookup([]model.BlockID{id})
+	if err != nil {
+		return 0, err
+	}
+	meta := metas[id]
+
+	lost := meta.ChunksAt(failed)
+	if len(lost) == 0 {
+		return 0, nil
+	}
+
+	// Gather surviving chunks (k suffice; fetch opportunistically).
+	available := make(map[int][]byte)
+	for chunk, site := range meta.Sites {
+		if site == failed || len(available) >= meta.RequiredChunks() {
+			continue
+		}
+		api := s.sites[site]
+		if api == nil {
+			continue
+		}
+		data, err := api.GetChunk(model.ChunkRef{Block: id, Chunk: chunk})
+		if err != nil {
+			continue
+		}
+		available[chunk] = data
+	}
+	if len(available) < meta.RequiredChunks() {
+		return 0, fmt.Errorf("%w: %d of %d", ErrUnrepairable, len(available), meta.RequiredChunks())
+	}
+
+	repaired := 0
+	for _, chunk := range lost {
+		data, err := s.reconstruct(meta, available, chunk)
+		if err != nil {
+			return repaired, err
+		}
+		dst, err := s.pickDestination(meta)
+		if err != nil {
+			return repaired, err
+		}
+		ref := model.ChunkRef{Block: id, Chunk: chunk}
+		if err := s.sites[dst].PutChunk(ref, data); err != nil {
+			return repaired, fmt.Errorf("store reconstructed chunk: %w", err)
+		}
+		newVersion, err := s.meta.UpdatePlacement(id, chunk, dst, meta.Version)
+		if err != nil {
+			_ = s.sites[dst].DeleteChunk(ref)
+			return repaired, fmt.Errorf("commit reconstructed chunk: %w", err)
+		}
+		meta.Sites[chunk] = dst
+		meta.Version = newVersion
+		repaired++
+	}
+	return repaired, nil
+}
+
+// reconstruct rebuilds one chunk from survivors.
+func (s *Service) reconstruct(meta *model.BlockMeta, available map[int][]byte, chunk int) ([]byte, error) {
+	if meta.Scheme == model.SchemeReplicated {
+		for _, data := range available {
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			return cp, nil
+		}
+		return nil, ErrUnrepairable
+	}
+	codec, err := s.codec(meta.K, meta.R)
+	if err != nil {
+		return nil, err
+	}
+	return codec.ReconstructChunk(available, chunk)
+}
+
+func (s *Service) codec(k, r int) (*erasure.Codec, error) {
+	key := [2]int{k, r}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.codecs[key]; ok {
+		return c, nil
+	}
+	c, err := erasure.NewCodec(k, r)
+	if err != nil {
+		return nil, err
+	}
+	s.codecs[key] = c
+	return c, nil
+}
+
+// GCOnce scans every healthy site for orphaned chunks — chunks whose block
+// no longer exists or whose placement no longer references the site (e.g.
+// after a best-effort delete raced a failure, or a mover rollback) — and
+// removes them. It returns the number of chunks collected.
+func (s *Service) GCOnce() (int, error) {
+	collected := 0
+	var firstErr error
+	for siteID, api := range s.sites {
+		refs, err := api.ListChunks()
+		if err != nil {
+			continue // failed sites are repaired, not collected
+		}
+		for _, ref := range refs {
+			metas, err := s.meta.Lookup([]model.BlockID{ref.Block})
+			orphan := false
+			if err != nil {
+				// Block unknown: deleted.
+				orphan = true
+			} else {
+				meta := metas[ref.Block]
+				orphan = ref.Chunk < 0 || ref.Chunk >= len(meta.Sites) ||
+					meta.Sites[ref.Chunk] != siteID
+			}
+			if !orphan {
+				continue
+			}
+			if err := api.DeleteChunk(ref); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("gc %s at site %d: %w", ref, siteID, err)
+				}
+				continue
+			}
+			collected++
+		}
+	}
+	return collected, firstErr
+}
+
+// pickDestination chooses a healthy site that holds no chunk of the block,
+// preferring lightly loaded sites.
+func (s *Service) pickDestination(meta *model.BlockMeta) (model.SiteID, error) {
+	holding := meta.SiteSet()
+	var candidates []model.SiteID
+	for id, api := range s.sites {
+		if holding[id] {
+			continue
+		}
+		if api.Probe() != nil {
+			continue
+		}
+		candidates = append(candidates, id)
+	}
+	if len(candidates) == 0 {
+		return model.NoSite, ErrNoDestination
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if s.loads != nil {
+			wi := s.loads.Omega(candidates[i])
+			wj := s.loads.Omega(candidates[j])
+			if wi != wj {
+				return wi < wj
+			}
+		}
+		return candidates[i] < candidates[j]
+	})
+	return candidates[0], nil
+}

@@ -1,0 +1,319 @@
+// Package rpc implements the remote-procedure-call substrate connecting
+// EC-Store's services (the paper's deployment uses Apache Thrift). It
+// provides a concurrent client with request pipelining/multiplexing and a
+// server that dispatches method handlers, both over any net.Conn.
+//
+// Protocol (all frames produced by package wire):
+//
+//	request frame:  uint64 request id | uint8 method | body...
+//	response frame: uint64 request id | uint8 status | body-or-error...
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"ecstore/internal/wire"
+)
+
+// Method identifies an RPC endpoint within a service.
+type Method uint8
+
+// Status bytes in response frames.
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// Errors returned by the client.
+var (
+	ErrClientClosed = errors.New("rpc: client closed")
+	ErrShortFrame   = errors.New("rpc: malformed frame")
+)
+
+// RemoteError is an application error transported from the server.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "rpc: remote error: " + e.Msg }
+
+// Handler dispatches one request. Implementations must be safe for
+// concurrent use; the server invokes handlers from multiple goroutines.
+type Handler interface {
+	Handle(method Method, body []byte) ([]byte, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(method Method, body []byte) ([]byte, error)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(method Method, body []byte) ([]byte, error) {
+	return f(method, body)
+}
+
+var _ Handler = (HandlerFunc)(nil)
+
+// Server accepts connections and serves requests against a Handler.
+type Server struct {
+	handler Handler
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server for the handler.
+func NewServer(h Handler) *Server {
+	return &Server{handler: h, conns: make(map[net.Conn]bool)}
+}
+
+// Serve accepts connections from l until Close is called or the listener
+// fails. It blocks; run it in a goroutine the caller owns.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("rpc: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		s.conns[conn] = true
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes every connection, and waits for in-flight
+// requests to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// serveConn processes requests from one connection until it closes.
+// Requests are handled concurrently; responses are serialized by a write
+// mutex so interleaved handlers cannot corrupt framing.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	var writeMu sync.Mutex
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if len(frame) < 9 {
+			return // malformed peer; drop the connection
+		}
+		d := wire.NewDecoder(frame)
+		reqID := d.Uint64()
+		method := Method(d.Uint8())
+		body := frame[9:]
+
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			result, herr := s.handler.Handle(method, body)
+			e := wire.NewEncoder(16 + len(result))
+			e.Uint64(reqID)
+			if herr != nil {
+				e.Uint8(statusErr)
+				e.String(herr.Error())
+			} else {
+				e.Uint8(statusOK)
+				e.Raw(result)
+			}
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			_ = wire.WriteFrame(conn, e.Bytes())
+		}()
+	}
+}
+
+// Client is a concurrent RPC client over a single connection. Multiple
+// goroutines may Call simultaneously; requests are pipelined and responses
+// are matched by request id.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan response
+	closed  bool
+	readErr error
+
+	done chan struct{}
+}
+
+type response struct {
+	body []byte
+	err  error
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan response),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close terminates the connection and fails all pending calls.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+// Call sends one request and waits for its response.
+func (c *Client) Call(method Method, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan response, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	e := wire.NewEncoder(16 + len(body))
+	e.Uint64(id)
+	e.Uint8(uint8(method))
+	e.Raw(body)
+
+	c.writeMu.Lock()
+	err := wire.WriteFrame(c.conn, e.Bytes())
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("send request: %w", err)
+	}
+
+	resp := <-ch
+	return resp.body, resp.err
+}
+
+// readLoop dispatches responses to waiting callers until the connection
+// fails or the client closes.
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		frame, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		if len(frame) < 9 {
+			c.failAll(ErrShortFrame)
+			return
+		}
+		d := wire.NewDecoder(frame)
+		id := d.Uint64()
+		status := d.Uint8()
+		body := frame[9:]
+
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		if ok {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if !ok {
+			continue // stale response for an abandoned request
+		}
+		if status == statusOK {
+			ch <- response{body: body}
+		} else {
+			msg := wire.NewDecoder(body).String()
+			ch <- response{err: &RemoteError{Msg: msg}}
+		}
+	}
+}
+
+// failAll fails every pending call with err and marks the client closed.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+	}
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	for id, ch := range c.pending {
+		ch <- response{err: fmt.Errorf("rpc: connection failed: %w", err)}
+		delete(c.pending, id)
+	}
+}

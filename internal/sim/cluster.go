@@ -1,0 +1,706 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ecstore/internal/metadata"
+	"ecstore/internal/model"
+	"ecstore/internal/placement"
+	"ecstore/internal/stats"
+)
+
+// Params model the simulated hardware and control-plane cadence. The
+// defaults approximate the paper's testbed: a 10 GbE LAN, commodity SATA
+// disks, 32 storage sites and dedicated control machines (Section VI-A).
+type Params struct {
+	Seed       int64
+	NumSites   int
+	NumClients int
+
+	// NetOneWay is the one-way network latency in seconds; NetJitter is
+	// the half-width of its uniform jitter.
+	NetOneWay float64
+	NetJitter float64
+
+	// SiteOverhead is the per-site-visit request processing time; a
+	// visit retrieving several chunks pays it once, which is why
+	// co-locating co-accessed data reduces total work (Section III).
+	SiteOverhead float64
+	// DiskBytesPerSec is the per-server storage read rate.
+	DiskBytesPerSec float64
+	// ServersPerSite is the site's service parallelism (cores + disk
+	// queue depth); the testbed machines have 12 cores.
+	ServersPerSite int
+	// ServiceJitter is the multiplicative service-time noise half-width.
+	ServiceJitter float64
+	// SlowProb is the per-visit probability of a service hiccup of
+	// U[SlowMin, SlowMax] seconds (seeks, cache misses, OS noise):
+	// the unpredictable component of straggling chunks.
+	SlowProb float64
+	SlowMin  float64
+	SlowMax  float64
+
+	// Degraded phases are the predictable component: a site entering a
+	// degraded phase serves everything DegradedFactor times slower for
+	// U[DegradedMin, DegradedMax] seconds (compactions, co-located
+	// compute bursts). Phases start per site as a Poisson process with
+	// mean inter-arrival DegradedEvery seconds; load-aware strategies
+	// detect them through o_j probes and route around them.
+	DegradedEvery  float64
+	DegradedMin    float64
+	DegradedMax    float64
+	DegradedFactor float64
+
+	// MetaAccessTime is the full metadata access latency (RTT +
+	// lookup); the paper measures ~1.6-1.9 ms.
+	MetaAccessTime float64
+	// PlanTime is the access-planning latency (~0.8-0.9 ms measured).
+	PlanTime float64
+	// DecodeBytesPerSec is the erasure-decode throughput (~0.8 ms per
+	// 1 MB in Figure 1).
+	DecodeBytesPerSec float64
+
+	// StatsInterval is the statistics reporting period (5-10 s in the
+	// paper; compressed runs use a shorter one).
+	StatsInterval float64
+	// ProbeInterval is the load-status probe period feeding o_j.
+	ProbeInterval float64
+	// MoverInterval throttles the chunk mover (<1 chunk/s in the
+	// paper).
+	MoverInterval float64
+	// MoverW2 is the movement load-balance weight relative to avg(o_j)
+	// (the paper's w2=3 at avg(o_j)=5, i.e. 0.6); zero means 0.6.
+	MoverW2 float64
+	// MoverBatch is how many movement plans execute per mover tick; the
+	// compressed timescale scales the paper's <1 chunk/s throttle.
+	// Zero means 4.
+	MoverBatch int
+	// ExactSolvesPerInterval bounds background ILP solves per stats
+	// interval, modelling the background worker's finite throughput.
+	ExactSolvesPerInterval int
+	// CoAccessSampleEvery records every Nth request into the co-access
+	// tracker (the statistics service samples requests, Section V-A);
+	// zero means 4.
+	CoAccessSampleEvery int
+
+	// TimelineBucket is the Figure-4a bucket width in seconds.
+	TimelineBucket float64
+}
+
+// DefaultParams returns the calibrated testbed model.
+func DefaultParams(seed int64) Params {
+	return Params{
+		Seed:                   seed,
+		NumSites:               32,
+		NumClients:             100,
+		NetOneWay:              0.00015,
+		NetJitter:              0.00005,
+		SiteOverhead:           0.0004,
+		DiskBytesPerSec:        150e6,
+		ServersPerSite:         12,
+		ServiceJitter:          0.3,
+		SlowProb:               0.05,
+		SlowMin:                0.004,
+		SlowMax:                0.025,
+		DegradedEvery:          80,
+		DegradedMin:            2,
+		DegradedMax:            6,
+		DegradedFactor:         1.4,
+		MetaAccessTime:         0.0016,
+		PlanTime:               0.0008,
+		DecodeBytesPerSec:      2.5e9,
+		StatsInterval:          1.0,
+		ProbeInterval:          0.5,
+		MoverInterval:          0.1,
+		ExactSolvesPerInterval: 6,
+		CoAccessSampleEvery:    4,
+		TimelineBucket:         5,
+	}
+}
+
+// Options pick one of the paper's evaluated configurations.
+type Options struct {
+	// Scheme is erasure coding or replication.
+	Scheme model.Scheme
+	// K, R are the coding parameters (RS(2,2) and 3-way replication by
+	// default, as in Section VI-A).
+	K, R int
+	// Strategy selects random (baselines) or cost-model access.
+	Strategy placement.Strategy
+	// Delta enables late binding.
+	Delta int
+	// Mover enables dynamic chunk movement.
+	Mover bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scheme == 0 {
+		o.Scheme = model.SchemeErasure
+	}
+	if o.K == 0 {
+		o.K = 2
+	}
+	if o.R == 0 {
+		o.R = 2
+	}
+	if o.Strategy == 0 {
+		o.Strategy = placement.StrategyRandom
+	}
+	return o
+}
+
+// Name returns the paper's label for the configuration (R, EC, EC+LB,
+// EC+C, EC+C+M, EC+C+M+LB).
+func (o Options) Name() string {
+	if o.Scheme == model.SchemeReplicated {
+		return "R"
+	}
+	name := "EC"
+	if o.Strategy == placement.StrategyCost {
+		name += "+C"
+	}
+	if o.Mover {
+		name += "+M"
+	}
+	if o.Delta > 0 {
+		name += "+LB"
+	}
+	return name
+}
+
+// Cluster is one simulated EC-Store deployment running real strategy code
+// over modelled hardware.
+type Cluster struct {
+	eng *Engine
+	p   Params
+	opt Options
+
+	rng     *rand.Rand
+	netRNG  *rand.Rand
+	sites   map[model.SiteID]*site
+	siteIDs []model.SiteID
+
+	catalog *metadata.Catalog
+	planner *placement.Planner
+	co      *stats.CoAccessTracker
+	loads   *stats.LoadTracker
+	probes  *stats.ProbeEstimator
+	mover   *placement.Mover
+
+	metrics *Metrics
+
+	// measured-window accounting.
+	siteBytesAt map[model.SiteID]float64
+	measureFrom float64
+	reqInWindow int
+	moves       int
+	lastWindow  float64
+	reqRate     float64
+	visitsTotal int64
+	fetchTotal  int64
+	reqSeen      int64
+	statsReports int64
+
+	sizes map[model.BlockID]int64
+}
+
+// New builds a simulated cluster.
+func New(p Params, opt Options) (*Cluster, error) {
+	opt = opt.withDefaults()
+	if p.NumSites < opt.K+opt.R {
+		return nil, fmt.Errorf("sim: %d sites cannot hold %d chunks", p.NumSites, opt.K+opt.R)
+	}
+	c := &Cluster{
+		eng:         NewEngine(),
+		p:           p,
+		opt:         opt,
+		rng:         rand.New(rand.NewSource(p.Seed)),
+		netRNG:      rand.New(rand.NewSource(p.Seed + 1)),
+		sites:       make(map[model.SiteID]*site, p.NumSites),
+		co:          stats.NewCoAccessTracker(0),
+		loads:       stats.NewLoadTracker(),
+		probes:      stats.NewProbeEstimator(0.3),
+		metrics:     newMetrics(p.TimelineBucket),
+		siteBytesAt: make(map[model.SiteID]float64),
+		sizes:       make(map[model.BlockID]int64),
+		measureFrom: math.Inf(1),
+	}
+	servers := p.ServersPerSite
+	if servers <= 0 {
+		servers = 1
+	}
+	for i := 0; i < p.NumSites; i++ {
+		id := model.SiteID(i + 1)
+		c.siteIDs = append(c.siteIDs, id)
+		c.sites[id] = &site{
+			id:       id,
+			overhead: p.SiteOverhead,
+			diskRate: p.DiskBytesPerSec,
+			jitter:   p.ServiceJitter,
+			slowProb: p.SlowProb,
+			slowMin:  p.SlowMin,
+			slowMax:  p.SlowMax,
+			rng:      rand.New(rand.NewSource(p.Seed + 1000 + int64(i))),
+			servers:  make([]float64, servers),
+		}
+	}
+	c.catalog = metadata.NewCatalog(c.siteIDs)
+	c.planner = placement.NewPlanner(placement.PlannerConfig{
+		Strategy:          opt.Strategy,
+		Delta:             opt.Delta,
+		ManualExact:       true,
+		CacheGreedyOnMiss: true,
+		MaxExactNodes:     12,
+		CacheSize:         1 << 15,
+		Seed:              p.Seed + 2,
+	})
+	if opt.Mover {
+		// Paper calibration: w2 = 3 when avg(o_j) = 5, i.e. w2 =
+		// 0.6*avg(o_j); adaptive scaling tracks o_j in seconds.
+		w2 := p.MoverW2
+		if w2 == 0 {
+			w2 = 0.6
+		}
+		c.mover = placement.NewMover(placement.MoverConfig{
+			W1:                 placement.DefaultW1,
+			W2:                 w2,
+			W2Adaptive:         true,
+			MaxCandidateBlocks: 8,
+			MaxPartners:        4,
+			MaxEvaluations:     48,
+			MinScoreFracOfAvgO: 0.1,
+			Seed:               p.Seed + 3,
+		})
+	}
+	if c.p.CoAccessSampleEvery <= 0 {
+		c.p.CoAccessSampleEvery = 1
+	}
+	return c, nil
+}
+
+// defaultO is the unloaded probe round trip in seconds, the seed value of
+// every o_j estimate.
+func (c *Cluster) defaultO() float64 {
+	return 2*c.p.NetOneWay + c.p.SiteOverhead
+}
+
+// defaultM is the per-byte read cost in seconds.
+func (c *Cluster) defaultM() float64 { return 1 / c.p.DiskBytesPerSec }
+
+// costs materializes the current cost model, dithering o_j slightly so
+// concurrent planners do not herd onto the momentarily cheapest sites (the
+// probe signal in a real deployment is likewise noisy per client).
+func (c *Cluster) costs() *model.SiteCosts {
+	sc := c.probes.Costs(c.defaultO(), c.defaultM())
+	// Deterministic iteration: dither consumes the cluster RNG, so the
+	// order must not depend on map layout.
+	for _, id := range c.siteIDs {
+		if o, ok := sc.O[id]; ok {
+			sc.O[id] = o * (1 + 0.3*(c.rng.Float64()-0.5))
+		}
+	}
+	return sc
+}
+
+// available reports whether a site is up.
+func (c *Cluster) available(s model.SiteID) bool {
+	st := c.sites[s]
+	return st != nil && !st.failed
+}
+
+// net samples a one-way network latency.
+func (c *Cluster) net() float64 {
+	if c.p.NetJitter == 0 {
+		return c.p.NetOneWay
+	}
+	return c.p.NetOneWay + c.p.NetJitter*(2*c.netRNG.Float64()-1)
+}
+
+// Populate registers n blocks of the given sizes with random placement
+// (all configurations start from the same random layout, as in Section
+// VI-A). sizeFor(i) returns block i's size in bytes.
+func (c *Cluster) Populate(n int, sizeFor func(int) int64) ([]model.BlockID, error) {
+	placer, err := placement.NewPlacer(placement.PlaceRandom, nil, c.p.Seed+4)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]model.BlockID, n)
+	total := c.opt.K + c.opt.R
+	k := c.opt.K
+	if c.opt.Scheme == model.SchemeReplicated {
+		total = c.opt.R + 1
+		k = 1
+	}
+	for i := 0; i < n; i++ {
+		id := model.BlockID(fmt.Sprintf("b%07d", i))
+		ids[i] = id
+		size := sizeFor(i)
+		chunkSize := (size + int64(k) - 1) / int64(k)
+		sites, err := placer.Place(c.siteIDs, total)
+		if err != nil {
+			return nil, err
+		}
+		meta := &model.BlockMeta{
+			ID:        id,
+			Scheme:    c.opt.Scheme,
+			Size:      size,
+			K:         k,
+			R:         c.opt.R,
+			ChunkSize: chunkSize,
+			Sites:     sites,
+		}
+		if c.opt.Scheme == model.SchemeReplicated {
+			meta.R = total - 1
+		}
+		if err := c.catalog.Register(meta); err != nil {
+			return nil, err
+		}
+		for _, s := range sites {
+			c.sites[s].chunkCount++
+		}
+		c.sizes[id] = size
+	}
+	return ids, nil
+}
+
+// FailSites marks n distinct sites failed (Figure 4f), chosen by the
+// cluster's deterministic RNG.
+func (c *Cluster) FailSites(n int) []model.SiteID {
+	perm := c.rng.Perm(len(c.siteIDs))
+	failed := make([]model.SiteID, 0, n)
+	for _, idx := range perm[:n] {
+		id := c.siteIDs[idx]
+		c.sites[id].failed = true
+		failed = append(failed, id)
+	}
+	sort.Slice(failed, func(i, j int) bool { return failed[i] < failed[j] })
+	return failed
+}
+
+// Workload produces multi-block read requests.
+type Workload interface {
+	// NextRequest returns the block ids of one client request.
+	NextRequest(rng *rand.Rand) []model.BlockID
+}
+
+// request tracks one in-flight client read.
+type request struct {
+	start     float64
+	planDone  float64
+	needs     map[model.BlockID]int // remaining chunks per block
+	remaining int                   // blocks not yet satisfied
+	bytes     float64               // total logical block bytes (decode cost)
+}
+
+// Run executes the simulation in the paper's three phases: `warmup`
+// seconds of unmeasured traffic with the workload as constructed (the
+// uniform warm-up scan of Section VI-B), then a workload change (the
+// measured skewed phase begins), then `adapt` unmeasured seconds for the
+// control plane to react, then `measure` measured seconds.
+//
+// Figure 4a passes adapt=0 to expose the adaptation transient; the
+// steady-state comparisons (Figures 4b-4h) give the mover time to
+// converge, standing in for the paper's 20-minute runs.
+func (c *Cluster) Run(wl Workload, warmup, adapt, measure float64) *Result {
+	// Control-plane processes.
+	c.scheduleStats()
+	if c.mover != nil {
+		c.scheduleMover()
+	}
+	c.scheduleDegradedPhases()
+	// Clients.
+	for i := 0; i < c.p.NumClients; i++ {
+		clientRNG := rand.New(rand.NewSource(c.p.Seed + 100 + int64(i)))
+		// Stagger arrival to avoid a thundering herd at t=0.
+		c.eng.At(float64(i)*0.001, func() { c.issue(wl, clientRNG) })
+	}
+
+	c.eng.Run(warmup)
+	// Workload change: uniform warm-up ends, skewed access begins.
+	if pa, ok := wl.(phaseAware); ok {
+		pa.OnMeasureStart()
+	}
+	c.eng.Run(warmup + adapt)
+
+	c.measureFrom = c.eng.Now()
+	c.metrics.startMeasuring(c.measureFrom)
+	for id, s := range c.sites {
+		c.siteBytesAt[id] = s.totalBytes
+	}
+	c.eng.Run(warmup + adapt + measure)
+	return c.result(measure)
+}
+
+// phaseAware mirrors workload.PhaseAware without importing the package.
+type phaseAware interface {
+	OnMeasureStart()
+}
+
+// scheduleStats runs the statistics service (load reports, request rate,
+// background ILP budget) and the faster probe loop feeding o_j.
+func (c *Cluster) scheduleStats() {
+	var tick func()
+	tick = func() {
+		now := c.eng.Now()
+		for _, id := range c.siteIDs {
+			s := c.sites[id]
+			cpu, io := s.drainWindow(now)
+			if s.failed {
+				continue
+			}
+			c.loads.Report(id, stats.SiteLoad{CPU: cpu, IOBytesPerSec: io, Chunks: s.chunkCount})
+			c.statsReports++
+		}
+		if dt := now - c.lastWindow; dt > 0 {
+			c.reqRate = float64(c.reqInWindow) / dt
+		}
+		c.reqInWindow = 0
+		c.lastWindow = now
+		c.planner.UpgradePending(c.p.ExactSolvesPerInterval)
+		c.eng.After(c.p.StatsInterval, tick)
+	}
+	c.eng.After(c.p.StatsInterval, tick)
+
+	probeInterval := c.p.ProbeInterval
+	if probeInterval <= 0 {
+		probeInterval = c.p.StatsInterval
+	}
+	lastO := make(map[model.SiteID]float64, len(c.siteIDs))
+	var probe func()
+	probe = func() {
+		now := c.eng.Now()
+		reload := false
+		for _, id := range c.siteIDs {
+			s := c.sites[id]
+			if s.failed {
+				continue
+			}
+			// The probe experiences the site's current queue and
+			// degradation, like any other request.
+			factor := s.slowFactor
+			if factor < 1 {
+				factor = 1
+			}
+			rtt := 2*c.p.NetOneWay + s.queueDelay(now) + s.overhead*factor
+			c.probes.Observe(id, rtt)
+			o := c.probes.O(id, c.defaultO())
+			if prev, ok := lastO[id]; ok && (o > 1.3*prev || prev > 1.3*o) {
+				reload = true
+			}
+			lastO[id] = o
+		}
+		// "When the cost parameters in the ILP problem change as a
+		// result of new system state, we dynamically reload
+		// solutions" (Section V-B1).
+		if reload {
+			c.planner.InvalidateAll()
+		}
+		c.eng.After(probeInterval, probe)
+	}
+	c.eng.After(probeInterval, probe)
+}
+
+// scheduleDegradedPhases arms each site's degraded-phase process.
+func (c *Cluster) scheduleDegradedPhases() {
+	if c.p.DegradedEvery <= 0 || c.p.DegradedFactor <= 1 {
+		return
+	}
+	for i, id := range c.siteIDs {
+		s := c.sites[id]
+		rng := rand.New(rand.NewSource(c.p.Seed + 5000 + int64(i)))
+		var arm func()
+		arm = func() {
+			wait := rng.ExpFloat64() * c.p.DegradedEvery
+			c.eng.After(wait, func() {
+				s.slowFactor = c.p.DegradedFactor
+				dur := c.p.DegradedMin + (c.p.DegradedMax-c.p.DegradedMin)*rng.Float64()
+				c.eng.After(dur, func() {
+					s.slowFactor = 1
+					arm()
+				})
+			})
+		}
+		arm()
+	}
+}
+
+// scheduleMover runs the chunk mover at its throttled cadence.
+func (c *Cluster) scheduleMover() {
+	batch := c.p.MoverBatch
+	if batch <= 0 {
+		batch = 4
+	}
+	var tick func()
+	tick = func() {
+		for i := 0; i < batch; i++ {
+			c.moveOnce()
+		}
+		c.eng.After(c.p.MoverInterval, tick)
+	}
+	c.eng.After(c.p.MoverInterval, tick)
+}
+
+// moveOnce selects and executes one movement plan in the simulated world:
+// a read at the source, a write at the destination, and a CAS placement
+// update.
+func (c *Cluster) moveOnce() {
+	env := placement.MoverEnv{
+		Catalog:     c.catalog,
+		CoAccess:    c.co,
+		Loads:       c.loads,
+		Costs:       c.costs(),
+		Available:   c.available,
+		RequestRate: c.reqRate,
+	}
+	plan, ok := c.mover.SelectMovementPlan(env)
+	if !ok {
+		return
+	}
+	meta, okMeta := c.catalog.BlockMeta(plan.Block)
+	if !okMeta || meta.Sites[plan.Chunk] != plan.From {
+		return
+	}
+	src, dst := c.sites[plan.From], c.sites[plan.To]
+	if src == nil || dst == nil || src.failed || dst.failed {
+		return
+	}
+	if _, err := c.catalog.UpdatePlacement(plan.Block, plan.Chunk, plan.To, meta.Version); err != nil {
+		return
+	}
+	// Movement I/O competes with client traffic on both queues.
+	now := c.eng.Now()
+	bytes := float64(meta.ChunkSize)
+	src.serviceRead(now, bytes)
+	dst.serviceWrite(now, bytes)
+	src.chunkCount--
+	dst.chunkCount++
+	c.moves++
+	// Proportional load-shift bookkeeping (Section IV-C) so the next
+	// selection sees the post-move state before fresh reports arrive.
+	chunkRate := c.co.Frequency(plan.Block) * c.reqRate * bytes
+	c.loads.ApplyShift(plan.From, plan.To, c.loads.LoadShare(plan.From, chunkRate))
+}
+
+// issue starts one client request and schedules the next upon completion
+// (closed loop, zero think time).
+func (c *Cluster) issue(wl Workload, rng *rand.Rand) {
+	ids := wl.NextRequest(rng)
+	if len(ids) == 0 {
+		c.eng.After(0.001, func() { c.issue(wl, rng) })
+		return
+	}
+	start := c.eng.Now()
+	c.reqSeen++
+	if c.reqSeen%int64(c.p.CoAccessSampleEvery) == 0 {
+		c.co.Record(ids)
+	}
+	c.reqInWindow++
+
+	// Metadata access (R1).
+	c.eng.After(c.p.MetaAccessTime, func() {
+		metas, err := c.catalog.Lookup(ids)
+		if err != nil {
+			c.eng.After(0.001, func() { c.issue(wl, rng) })
+			return
+		}
+		// Access planning (R2): real strategy code, constant modelled
+		// latency.
+		plan, _, err := c.planner.Plan(placement.PlanRequest{Metas: metas, Available: c.available}, c.costs())
+		if err != nil {
+			// Infeasible under failures: clients retry after a beat.
+			c.eng.After(0.001, func() { c.issue(wl, rng) })
+			return
+		}
+		c.eng.After(c.p.PlanTime, func() {
+			c.fetch(wl, rng, start, metas, plan)
+		})
+	})
+}
+
+// fetch dispatches the plan's site visits and completes the request when
+// every block has k chunks (late binding discards the surplus).
+func (c *Cluster) fetch(wl Workload, rng *rand.Rand, start float64, metas map[model.BlockID]*model.BlockMeta, plan *model.AccessPlan) {
+	now := c.eng.Now()
+	req := &request{
+		start:    start,
+		planDone: now,
+		needs:    make(map[model.BlockID]int, len(metas)),
+	}
+	for id, meta := range metas {
+		req.needs[id] = meta.RequiredChunks()
+		req.bytes += float64(meta.Size)
+	}
+	req.remaining = len(metas)
+
+	dispatched := 0
+	for _, siteID := range plan.SortedSites() {
+		refs := plan.Reads[siteID]
+		s := c.sites[siteID]
+		if s == nil || s.failed {
+			continue
+		}
+		dispatched++
+		// One site visit: the request arrives after a network hop,
+		// occupies one server for its overhead plus all its chunk
+		// transfers, and the response returns after another hop.
+		var visitBytes float64
+		for _, ref := range refs {
+			visitBytes += float64(metas[ref.Block].ChunkSize)
+		}
+		arrive := now + c.net()
+		refsCopy := append([]model.ChunkRef(nil), refs...)
+		c.eng.At(arrive, func() {
+			doneAt := s.serviceRead(arrive, visitBytes)
+			back := doneAt + c.net()
+			c.eng.At(back, func() {
+				c.chunkArrived(wl, rng, req, metas, refsCopy)
+			})
+		})
+	}
+	if dispatched == 0 {
+		// Every planned site failed since planning; retry.
+		c.eng.After(0.001, func() { c.issue(wl, rng) })
+		return
+	}
+	if c.eng.Now() >= c.measureFrom {
+		c.visitsTotal += int64(dispatched)
+		c.fetchTotal++
+	}
+}
+
+// chunkArrived processes one site visit's responses.
+func (c *Cluster) chunkArrived(wl Workload, rng *rand.Rand, req *request, metas map[model.BlockID]*model.BlockMeta, refs []model.ChunkRef) {
+	if req.remaining == 0 {
+		return // already satisfied: late-binding surplus
+	}
+	for _, ref := range refs {
+		if n := req.needs[ref.Block]; n > 0 {
+			req.needs[ref.Block] = n - 1
+			if n == 1 {
+				req.remaining--
+			}
+		}
+	}
+	if req.remaining > 0 {
+		return
+	}
+	// Retrieval complete; decode (R3) and record.
+	retrieveDone := c.eng.Now()
+	decode := 0.0
+	if c.opt.Scheme == model.SchemeErasure {
+		decode = req.bytes / c.p.DecodeBytesPerSec
+	}
+	c.eng.After(decode, func() {
+		bd := model.Breakdown{
+			Metadata: c.p.MetaAccessTime,
+			Planning: c.p.PlanTime,
+			Retrieve: retrieveDone - req.planDone,
+			Decode:   decode,
+		}
+		c.metrics.record(c.eng.Now(), bd)
+		c.issue(wl, rng)
+	})
+}

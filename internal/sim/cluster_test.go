@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ecstore/internal/model"
+	"ecstore/internal/placement"
+	"ecstore/internal/workload"
+)
+
+// tinyParams returns a small, fast configuration for unit tests.
+func tinyParams(seed int64) Params {
+	p := DefaultParams(seed)
+	p.NumSites = 8
+	p.NumClients = 10
+	p.TimelineBucket = 1
+	return p
+}
+
+func runTiny(t *testing.T, p Params, opt Options, blocks int, warm, adapt, measure float64) *Result {
+	t.Helper()
+	c, err := New(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Populate(blocks, func(int) int64 { return 100 * 1024 }); err != nil {
+		t.Fatal(err)
+	}
+	wl := workload.NewYCSBE(blocks, 10, 1.0)
+	return c.Run(wl, warm, adapt, measure)
+}
+
+func TestSimCompletesRequests(t *testing.T) {
+	res := runTiny(t, tinyParams(1), Options{}, 500, 1, 0, 3)
+	if res.Requests == 0 {
+		t.Fatal("no requests measured")
+	}
+	if res.Mean.Total() <= 0 {
+		t.Fatalf("mean latency = %v", res.Mean.Total())
+	}
+	if res.Config != "EC" {
+		t.Fatalf("config = %s", res.Config)
+	}
+	if res.StorageOverhead != 2.0 {
+		t.Fatalf("overhead = %v", res.StorageOverhead)
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	a := runTiny(t, tinyParams(7), Options{Strategy: placement.StrategyCost}, 300, 1, 0, 2)
+	b := runTiny(t, tinyParams(7), Options{Strategy: placement.StrategyCost}, 300, 1, 0, 2)
+	if a.Requests != b.Requests {
+		t.Fatalf("request counts differ: %d vs %d", a.Requests, b.Requests)
+	}
+	if math.Abs(a.Mean.Total()-b.Mean.Total()) > 1e-12 {
+		t.Fatalf("mean latencies differ: %v vs %v", a.Mean.Total(), b.Mean.Total())
+	}
+	if a.Lambda != b.Lambda {
+		t.Fatalf("λ differs: %v vs %v", a.Lambda, b.Lambda)
+	}
+}
+
+func TestSimSeedChangesOutcome(t *testing.T) {
+	a := runTiny(t, tinyParams(1), Options{}, 300, 1, 0, 2)
+	b := runTiny(t, tinyParams(2), Options{}, 300, 1, 0, 2)
+	if a.Requests == b.Requests && a.Mean.Total() == b.Mean.Total() {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestSimReplicationConfig(t *testing.T) {
+	res := runTiny(t, tinyParams(3), Options{Scheme: model.SchemeReplicated}, 300, 1, 0, 2)
+	if res.Config != "R" {
+		t.Fatalf("config = %s", res.Config)
+	}
+	if res.Mean.Decode != 0 {
+		t.Fatalf("replication decode = %v, want 0", res.Mean.Decode)
+	}
+	if res.StorageOverhead != 3.0 {
+		t.Fatalf("overhead = %v", res.StorageOverhead)
+	}
+}
+
+func TestSimLateBindingIssuesMoreVisits(t *testing.T) {
+	base := runTiny(t, tinyParams(4), Options{}, 300, 1, 0, 2)
+	lb := runTiny(t, tinyParams(4), Options{Delta: 1}, 300, 1, 0, 2)
+	if lb.VisitsPerRequest <= base.VisitsPerRequest {
+		t.Fatalf("LB visits %v <= base %v", lb.VisitsPerRequest, base.VisitsPerRequest)
+	}
+	if lb.Config != "EC+LB" {
+		t.Fatalf("config = %s", lb.Config)
+	}
+}
+
+func TestSimMoverMovesChunks(t *testing.T) {
+	p := tinyParams(5)
+	p.MoverInterval = 0.05
+	res := runTiny(t, p, Options{Strategy: placement.StrategyCost, Mover: true}, 300, 1, 2, 2)
+	if res.Config != "EC+C+M" {
+		t.Fatalf("config = %s", res.Config)
+	}
+	if res.Moves == 0 {
+		t.Fatal("mover executed no moves")
+	}
+}
+
+func TestSimCostStrategyUsesCache(t *testing.T) {
+	res := runTiny(t, tinyParams(6), Options{Strategy: placement.StrategyCost}, 200, 1, 0, 3)
+	st := res.Planner
+	if st.Hits == 0 {
+		t.Fatal("plan cache never hit")
+	}
+	if st.Exact == 0 {
+		t.Fatal("background exact solver never ran")
+	}
+}
+
+func TestSimFailSites(t *testing.T) {
+	p := tinyParams(8)
+	c, err := New(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Populate(300, func(int) int64 { return 100 * 1024 }); err != nil {
+		t.Fatal(err)
+	}
+	failed := c.FailSites(2)
+	if len(failed) != 2 {
+		t.Fatalf("failed = %v", failed)
+	}
+	wl := workload.NewYCSBE(300, 10, 1.0)
+	res := c.Run(wl, 1, 0, 3)
+	if res.Requests == 0 {
+		t.Fatal("no requests completed with 2 failed sites")
+	}
+	// Failed sites served nothing.
+	for _, f := range failed {
+		if rate, ok := res.SiteReadRate[f]; ok && rate > 0 {
+			t.Fatalf("failed site %d read rate %v", f, rate)
+		}
+	}
+}
+
+func TestSimTooFewSites(t *testing.T) {
+	p := tinyParams(1)
+	p.NumSites = 3
+	if _, err := New(p, Options{}); err == nil { // k+r = 4 > 3
+		t.Fatal("3-site RS(2,2) cluster accepted")
+	}
+}
+
+func TestSimPopulateSizes(t *testing.T) {
+	p := tinyParams(9)
+	c, err := New(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := c.Populate(10, func(i int) int64 { return int64(1000 * (i + 1)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 10 {
+		t.Fatalf("populated %d blocks", len(ids))
+	}
+	meta, ok := c.catalog.BlockMeta(ids[4])
+	if !ok {
+		t.Fatal("block missing from catalog")
+	}
+	if meta.Size != 5000 {
+		t.Fatalf("size = %d, want 5000", meta.Size)
+	}
+	if meta.ChunkSize != 2500 { // k=2
+		t.Fatalf("chunk size = %d, want 2500", meta.ChunkSize)
+	}
+}
+
+func TestOptionsName(t *testing.T) {
+	cases := []struct {
+		opt  Options
+		want string
+	}{
+		{Options{Scheme: model.SchemeReplicated}, "R"},
+		{Options{}, "EC"},
+		{Options{Delta: 1}, "EC+LB"},
+		{Options{Strategy: placement.StrategyCost}, "EC+C"},
+		{Options{Strategy: placement.StrategyCost, Mover: true}, "EC+C+M"},
+		{Options{Strategy: placement.StrategyCost, Mover: true, Delta: 1}, "EC+C+M+LB"},
+	}
+	for _, tc := range cases {
+		if got := tc.opt.withDefaults().Name(); got != tc.want {
+			t.Errorf("Name() = %s, want %s", got, tc.want)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res := runTiny(t, tinyParams(10), Options{}, 200, 1, 0, 1)
+	if res.String() == "" {
+		t.Fatal("empty result string")
+	}
+	rates := res.SortedSiteRates()
+	if len(rates) == 0 {
+		t.Fatal("no site rates")
+	}
+	for i := 1; i < len(rates); i++ {
+		if rates[i].Site < rates[i-1].Site {
+			t.Fatal("site rates not sorted")
+		}
+	}
+	table := FormatBreakdownTable([]*Result{res})
+	if table == "" {
+		t.Fatal("empty breakdown table")
+	}
+}
+
+func TestSimDegradedPhasesSlowService(t *testing.T) {
+	// With heavy degradation, mean latency must exceed the undegraded
+	// baseline under the same seed and workload.
+	base := tinyParams(11)
+	base.DegradedEvery = 0 // disabled
+	degraded := tinyParams(11)
+	degraded.DegradedEvery = 2 // near-constant degradation
+	degraded.DegradedMin = 1
+	degraded.DegradedMax = 2
+	degraded.DegradedFactor = 4
+
+	a := runTiny(t, base, Options{}, 300, 1, 0, 3)
+	b := runTiny(t, degraded, Options{}, 300, 1, 0, 3)
+	if b.Mean.Total() <= a.Mean.Total() {
+		t.Fatalf("degraded run (%v) not slower than baseline (%v)", b.Mean.Total(), a.Mean.Total())
+	}
+}
+
+func TestSimMoverW2Override(t *testing.T) {
+	p := tinyParams(12)
+	p.MoverW2 = 2.5
+	c, err := New(p, Options{Strategy: placement.StrategyCost, Mover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Populate(200, func(int) int64 { return 1024 }); err != nil {
+		t.Fatal(err)
+	}
+	// Construction with an override must not panic and runs normally.
+	wl := workload.NewYCSBE(200, 5, 1.0)
+	res := c.Run(wl, 0.5, 0.5, 1)
+	if res.Requests == 0 {
+		t.Fatal("no requests")
+	}
+}
+
+func TestSimResourceUsage(t *testing.T) {
+	p := tinyParams(13)
+	c, err := New(p, Options{Strategy: placement.StrategyCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Populate(300, func(int) int64 { return 2048 }); err != nil {
+		t.Fatal(err)
+	}
+	wl := workload.NewYCSBE(300, 5, 1.0)
+	_ = c.Run(wl, 1, 0, 2)
+	u := c.ResourceUsage()
+	if u.StatsBytes <= 0 || u.TrackedBlocks <= 0 || u.WindowRequests <= 0 {
+		t.Fatalf("stats usage = %+v", u)
+	}
+	if u.StatsReports <= 0 {
+		t.Fatalf("no stats reports: %+v", u)
+	}
+	if u.CachedPlans <= 0 || u.PlannerBytes <= 0 {
+		t.Fatalf("planner usage = %+v", u)
+	}
+}

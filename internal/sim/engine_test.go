@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(2, func() { order = append(order, 2) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(3, func() { order = append(order, 3) })
+	e.Run(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v, want 10 (run boundary)", e.Now())
+	}
+}
+
+func TestEngineEqualTimesRunInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run(10)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineRunUntilStopsEarly(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(5, func() { ran = true })
+	e.Run(4)
+	if ran {
+		t.Fatal("event past `until` executed")
+	}
+	if e.Now() != 4 {
+		t.Fatalf("Now = %v, want 4", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run(6)
+	if !ran {
+		t.Fatal("event not executed on resumed run")
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	hits := 0
+	var recur func()
+	recur = func() {
+		hits++
+		if hits < 5 {
+			e.After(1, recur)
+		}
+	}
+	e.At(0, recur)
+	e.Run(100)
+	if hits != 5 {
+		t.Fatalf("hits = %d, want 5", hits)
+	}
+	// With the queue drained, the clock advances to `until`.
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingClamps(t *testing.T) {
+	e := NewEngine()
+	var at float64 = -1
+	e.At(5, func() {
+		e.At(1, func() { at = e.Now() }) // in the past: runs "now"
+	})
+	e.Run(10)
+	if at != 5 {
+		t.Fatalf("past-scheduled event ran at %v, want 5", at)
+	}
+}
+
+func TestEngineAdvancesToUntilWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	e.Run(7)
+	if e.Now() != 7 {
+		t.Fatalf("Now = %v, want 7", e.Now())
+	}
+}
+
+func TestSiteQueueing(t *testing.T) {
+	s := &site{overhead: 1, diskRate: 1, servers: make([]float64, 1)}
+	// Two back-to-back unit reads: second waits for the first.
+	d1 := s.serviceRead(0, 0) // svc = 1
+	d2 := s.serviceRead(0, 0)
+	if d1 != 1 || d2 != 2 {
+		t.Fatalf("completions = %v, %v; want 1, 2", d1, d2)
+	}
+	if got := s.queueDelay(0); got != 2 {
+		t.Fatalf("queueDelay = %v, want 2", got)
+	}
+	if got := s.queueDelay(5); got != 0 {
+		t.Fatalf("queueDelay after drain = %v, want 0", got)
+	}
+}
+
+func TestSiteMultiServerParallelism(t *testing.T) {
+	s := &site{overhead: 1, diskRate: 1, servers: make([]float64, 2)}
+	d1 := s.serviceRead(0, 0)
+	d2 := s.serviceRead(0, 0) // second server takes it in parallel
+	d3 := s.serviceRead(0, 0) // queues behind the earlier of the two
+	if d1 != 1 || d2 != 1 || d3 != 2 {
+		t.Fatalf("completions = %v, %v, %v; want 1, 1, 2", d1, d2, d3)
+	}
+}
+
+func TestSiteServiceBytes(t *testing.T) {
+	s := &site{overhead: 0.5, diskRate: 100, servers: make([]float64, 1)}
+	done := s.serviceRead(0, 50) // svc = 0.5 + 0.5 = 1
+	if done != 1 {
+		t.Fatalf("done = %v, want 1", done)
+	}
+	if s.totalBytes != 50 || s.totalRequests != 1 {
+		t.Fatalf("accounting = (%v, %d)", s.totalBytes, s.totalRequests)
+	}
+}
+
+func TestSiteDrainWindow(t *testing.T) {
+	s := &site{overhead: 1, diskRate: 1e6, servers: make([]float64, 2)}
+	_ = s.serviceRead(0, 1e6) // svc = 2
+	cpu, io := s.drainWindow(4)
+	// busy 2s over 4s window with 2 servers = 25% utilization.
+	if cpu != 0.25 {
+		t.Fatalf("cpu = %v, want 0.25", cpu)
+	}
+	if io != 250000 {
+		t.Fatalf("io = %v, want 250000", io)
+	}
+	// Window reset.
+	cpu, io = s.drainWindow(5)
+	if cpu != 0 || io != 0 {
+		t.Fatalf("window not reset: (%v, %v)", cpu, io)
+	}
+}
+
+func TestSiteSlowFactor(t *testing.T) {
+	s := &site{overhead: 1, diskRate: 1, servers: make([]float64, 1), slowFactor: 3}
+	if done := s.serviceRead(0, 0); done != 3 {
+		t.Fatalf("degraded service done = %v, want 3", done)
+	}
+}

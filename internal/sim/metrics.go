@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"ecstore/internal/model"
+)
+
+// Metrics accumulates per-request measurements during the measurement
+// window of a simulation run.
+type Metrics struct {
+	measureFrom float64
+	bucketWidth float64
+
+	latencies []float64
+	sum       model.Breakdown
+	count     int
+
+	buckets []bucket
+}
+
+type bucket struct {
+	sum   float64
+	count int
+}
+
+func newMetrics(bucketWidth float64) *Metrics {
+	if bucketWidth <= 0 {
+		bucketWidth = 5
+	}
+	return &Metrics{measureFrom: math.Inf(1), bucketWidth: bucketWidth}
+}
+
+// startMeasuring opens the measurement window at virtual time t.
+func (m *Metrics) startMeasuring(t float64) { m.measureFrom = t }
+
+// record adds one completed request.
+func (m *Metrics) record(completedAt float64, bd model.Breakdown) {
+	if completedAt < m.measureFrom {
+		return
+	}
+	m.latencies = append(m.latencies, bd.Total())
+	m.sum.Add(bd)
+	m.count++
+
+	idx := int((completedAt - m.measureFrom) / m.bucketWidth)
+	for len(m.buckets) <= idx {
+		m.buckets = append(m.buckets, bucket{})
+	}
+	m.buckets[idx].sum += bd.Total()
+	m.buckets[idx].count++
+}
+
+// Count returns the number of measured requests.
+func (m *Metrics) Count() int { return m.count }
+
+// MeanBreakdown returns the average per-phase breakdown in seconds.
+func (m *Metrics) MeanBreakdown() model.Breakdown {
+	if m.count == 0 {
+		return model.Breakdown{}
+	}
+	avg := m.sum
+	avg.Scale(1 / float64(m.count))
+	return avg
+}
+
+// MeanLatency returns the average response time in seconds.
+func (m *Metrics) MeanLatency() float64 { return m.MeanBreakdown().Total() }
+
+// Percentile returns the p-th latency percentile (p in [0, 100]).
+func (m *Metrics) Percentile(p float64) float64 {
+	if len(m.latencies) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), m.latencies...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// TailCDF returns (percentile, latency) pairs from `from` to 100 in the
+// given step, the form of Figures 4c and 4h.
+func (m *Metrics) TailCDF(from, step float64) [][2]float64 {
+	var out [][2]float64
+	for p := from; p <= 100+1e-9; p += step {
+		q := math.Min(p, 100)
+		out = append(out, [2]float64{q, m.Percentile(q)})
+	}
+	return out
+}
+
+// Timeline returns mean latency per bucket of the measurement window, the
+// form of Figure 4a. Empty buckets yield NaN.
+func (m *Metrics) Timeline() []float64 {
+	out := make([]float64, len(m.buckets))
+	for i, b := range m.buckets {
+		if b.count == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = b.sum / float64(b.count)
+		}
+	}
+	return out
+}
+
+// BucketWidth returns the timeline bucket width in seconds.
+func (m *Metrics) BucketWidth() float64 { return m.bucketWidth }

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ecstore/internal/model"
+)
+
+func TestMetricsIgnoresPreMeasurement(t *testing.T) {
+	m := newMetrics(5)
+	m.record(1, model.Breakdown{Retrieve: 1}) // before measurement window
+	m.startMeasuring(10)
+	m.record(5, model.Breakdown{Retrieve: 1}) // still before
+	m.record(11, model.Breakdown{Retrieve: 2})
+	if m.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", m.Count())
+	}
+	if got := m.MeanLatency(); got != 2 {
+		t.Fatalf("MeanLatency = %v, want 2", got)
+	}
+}
+
+func TestMetricsMeanBreakdown(t *testing.T) {
+	m := newMetrics(5)
+	m.startMeasuring(0)
+	m.record(1, model.Breakdown{Metadata: 1, Planning: 2, Retrieve: 3, Decode: 4})
+	m.record(2, model.Breakdown{Metadata: 3, Planning: 2, Retrieve: 1, Decode: 0})
+	avg := m.MeanBreakdown()
+	if avg.Metadata != 2 || avg.Planning != 2 || avg.Retrieve != 2 || avg.Decode != 2 {
+		t.Fatalf("mean breakdown = %+v", avg)
+	}
+	empty := newMetrics(5)
+	if got := empty.MeanBreakdown(); got.Total() != 0 {
+		t.Fatalf("empty mean = %+v", got)
+	}
+}
+
+func TestMetricsPercentiles(t *testing.T) {
+	m := newMetrics(5)
+	m.startMeasuring(0)
+	for i := 1; i <= 100; i++ {
+		m.record(float64(i)*0.01, model.Breakdown{Retrieve: float64(i)})
+	}
+	if got := m.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := m.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := m.Percentile(50); math.Abs(got-50.5) > 1 {
+		t.Fatalf("p50 = %v, want ~50.5", got)
+	}
+	if got := m.Percentile(99); got < 99 || got > 100 {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := newMetrics(5).Percentile(50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+}
+
+func TestMetricsTailCDF(t *testing.T) {
+	m := newMetrics(5)
+	m.startMeasuring(0)
+	for i := 1; i <= 10; i++ {
+		m.record(0.1, model.Breakdown{Retrieve: float64(i)})
+	}
+	cdf := m.TailCDF(80, 5)
+	if len(cdf) != 5 { // 80, 85, 90, 95, 100
+		t.Fatalf("CDF has %d points", len(cdf))
+	}
+	if cdf[0][0] != 80 || cdf[len(cdf)-1][0] != 100 {
+		t.Fatalf("CDF range [%v, %v]", cdf[0][0], cdf[len(cdf)-1][0])
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i][1] < cdf[i-1][1] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+}
+
+func TestMetricsTimeline(t *testing.T) {
+	m := newMetrics(10)
+	m.startMeasuring(100)
+	m.record(101, model.Breakdown{Retrieve: 1})
+	m.record(105, model.Breakdown{Retrieve: 3})
+	m.record(115, model.Breakdown{Retrieve: 5})
+	tl := m.Timeline()
+	if len(tl) != 2 {
+		t.Fatalf("timeline has %d buckets", len(tl))
+	}
+	if tl[0] != 2 {
+		t.Fatalf("bucket 0 = %v, want 2", tl[0])
+	}
+	if tl[1] != 5 {
+		t.Fatalf("bucket 1 = %v, want 5", tl[1])
+	}
+	if m.BucketWidth() != 10 {
+		t.Fatalf("bucket width = %v", m.BucketWidth())
+	}
+}
+
+func TestImbalanceFactor(t *testing.T) {
+	if got := imbalanceFactor(nil); got != 0 {
+		t.Fatalf("empty λ = %v", got)
+	}
+	if got := imbalanceFactor([]float64{5, 5, 5}); got != 0 {
+		t.Fatalf("balanced λ = %v", got)
+	}
+	// max 10, avg 5: λ = 100.
+	if got := imbalanceFactor([]float64{10, 5, 0}); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("λ = %v, want 100", got)
+	}
+	if got := imbalanceFactor([]float64{0, 0}); got != 0 {
+		t.Fatalf("zero-load λ = %v", got)
+	}
+}

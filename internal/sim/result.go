@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ecstore/internal/model"
+	"ecstore/internal/placement"
+)
+
+// Result summarizes one simulated experiment run, carrying every quantity
+// the paper's tables and figures report.
+type Result struct {
+	// Config is the paper's configuration label (R, EC, EC+C, ...).
+	Config string
+
+	// Requests is the number of measured requests.
+	Requests int
+	// Mean is the average per-phase breakdown (seconds).
+	Mean model.Breakdown
+	// Metrics retains the full latency sample for percentiles and CDFs.
+	Metrics *Metrics
+
+	// SiteReadRate maps each site to its measured read rate in bytes/s
+	// (Figure 4d).
+	SiteReadRate map[model.SiteID]float64
+	// Lambda is the I/O load imbalance factor of Table II:
+	// (Lmax - Lavg)/Lavg * 100 over per-site read I/O.
+	Lambda float64
+
+	// VisitsPerRequest is the average number of site visits per request.
+	VisitsPerRequest float64
+	// Throughput is measured requests per simulated second.
+	Throughput float64
+	// Moves counts executed chunk movements.
+	Moves int
+	// Planner carries plan-cache statistics.
+	Planner placement.PlannerStats
+	// StorageOverhead is the scheme's storage expansion factor.
+	StorageOverhead float64
+}
+
+// ResourceUsage reports the control-plane resource accounting used by the
+// Table III reproduction.
+type ResourceUsage struct {
+	// StatsBytes approximates the statistics service's live memory.
+	StatsBytes int
+	// TrackedBlocks counts blocks with co-access statistics.
+	TrackedBlocks int
+	// WindowRequests is the sliding window's current occupancy.
+	WindowRequests int
+	// StatsReports counts load reports received.
+	StatsReports int64
+	// PlannerBytes approximates the chunk read optimizer's cache memory.
+	PlannerBytes int
+	// CachedPlans counts cached access plans.
+	CachedPlans int
+}
+
+// ResourceUsage snapshots control-plane resource consumption.
+func (c *Cluster) ResourceUsage() ResourceUsage {
+	return ResourceUsage{
+		StatsBytes:     c.co.MemoryFootprint(),
+		TrackedBlocks:  c.co.TrackedBlocks(),
+		WindowRequests: c.co.TotalRequests(),
+		StatsReports:   c.statsReports,
+		PlannerBytes:   c.planner.MemoryFootprint(),
+		CachedPlans:    c.planner.CacheLen(),
+	}
+}
+
+// result assembles the Result after a run.
+func (c *Cluster) result(measure float64) *Result {
+	r := &Result{
+		Config:       c.opt.Name(),
+		Requests:     c.metrics.Count(),
+		Mean:         c.metrics.MeanBreakdown(),
+		Metrics:      c.metrics,
+		SiteReadRate: make(map[model.SiteID]float64, len(c.sites)),
+		Moves:        c.moves,
+		Planner:      c.planner.Stats(),
+	}
+	if c.opt.Scheme == model.SchemeReplicated {
+		r.StorageOverhead = float64(c.opt.R + 1)
+	} else {
+		r.StorageOverhead = float64(c.opt.K+c.opt.R) / float64(c.opt.K)
+	}
+	if measure > 0 {
+		r.Throughput = float64(r.Requests) / measure
+	}
+	if c.fetchTotal > 0 {
+		r.VisitsPerRequest = float64(c.visitsTotal) / float64(c.fetchTotal)
+	}
+
+	// Per-site measured I/O and the λ imbalance factor (Table II).
+	var rates []float64
+	for id, s := range c.sites {
+		if s.failed {
+			continue
+		}
+		rate := (s.totalBytes - c.siteBytesAt[id]) / measure
+		r.SiteReadRate[id] = rate
+		rates = append(rates, rate)
+	}
+	r.Lambda = imbalanceFactor(rates)
+	return r
+}
+
+// imbalanceFactor computes λ = (Lmax - Lavg)/Lavg * 100 (Section VI-C2).
+func imbalanceFactor(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	avg := sum / float64(len(loads))
+	if avg == 0 {
+		return 0
+	}
+	return (max - avg) / avg * 100
+}
+
+// MeanMillis returns the mean breakdown scaled to milliseconds.
+func (r *Result) MeanMillis() model.Breakdown {
+	bd := r.Mean
+	bd.Scale(1000)
+	return bd
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	bd := r.MeanMillis()
+	return fmt.Sprintf("%-11s total=%6.2fms meta=%5.2f plan=%5.2f retrieve=%6.2f decode=%5.2f p99=%6.2fms λ=%5.1f visits=%4.1f reqs=%d",
+		r.Config, bd.Total(), bd.Metadata, bd.Planning, bd.Retrieve, bd.Decode,
+		r.Metrics.Percentile(99)*1000, r.Lambda, r.VisitsPerRequest, r.Requests)
+}
+
+// SortedSiteRates returns (site, rate) pairs in site order (Figure 4d).
+func (r *Result) SortedSiteRates() []struct {
+	Site model.SiteID
+	Rate float64
+} {
+	out := make([]struct {
+		Site model.SiteID
+		Rate float64
+	}, 0, len(r.SiteReadRate))
+	for id, rate := range r.SiteReadRate {
+		out = append(out, struct {
+			Site model.SiteID
+			Rate float64
+		}{id, rate})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// FormatBreakdownTable renders results as the paper's breakdown bars
+// (Figures 1, 4b, 4e, 4g) in text form.
+func FormatBreakdownTable(results []*Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %9s %9s %9s %9s %9s\n", "config", "metadata", "planning", "retrieve", "decode", "total")
+	for _, r := range results {
+		bd := r.MeanMillis()
+		fmt.Fprintf(&b, "%-12s %8.2f %9.2f %9.2f %9.2f %9.2f   (ms)\n",
+			r.Config, bd.Metadata, bd.Planning, bd.Retrieve, bd.Decode, bd.Total())
+	}
+	return b.String()
+}

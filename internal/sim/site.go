@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math/rand"
+
+	"ecstore/internal/model"
+)
+
+// site models one storage machine as a FIFO single-server queue: chunk
+// reads are serviced in arrival order, each taking
+// overhead + bytes/diskRate seconds, perturbed by service-time noise
+// (disk seeks, page-cache misses, OS hiccups — the "sources of tail
+// latency" of Li et al. [26] that the paper's straggler analysis builds
+// on). Queue buildup under skew plus these hiccups is what produces
+// straggling chunks.
+type site struct {
+	id       model.SiteID
+	overhead float64 // per-request processing time (seconds)
+	diskRate float64 // bytes/second
+
+	// jitter multiplies each service time by U[1-jitter, 1+jitter];
+	// with probability slowProb a visit additionally stalls for
+	// U[slowMin, slowMax] seconds (a hiccup).
+	jitter   float64
+	slowProb float64
+	slowMin  float64
+	slowMax  float64
+	rng      *rand.Rand
+
+	// servers holds the per-server busy-until times: a site is a
+	// c-server FIFO queue (the testbed machines serve requests from
+	// multiple cores and disk queues concurrently).
+	servers []float64
+	failed  bool
+
+	// slowFactor scales service times while the site is in a degraded
+	// phase (compaction, co-located compute bursts, OS interference —
+	// the persistent per-site slowness that makes some sites "unable to
+	// keep up with the rate that other sites service retrieval
+	// requests", Section III). 1 when healthy.
+	slowFactor float64
+
+	// Accounting for the statistics service (windowed) and experiment
+	// metrics (cumulative).
+	windowBytes   float64
+	windowBusy    float64
+	windowStart   float64
+	totalBytes    float64
+	totalRequests int64
+	chunkCount    int
+}
+
+// serviceRead enqueues a read of `bytes` arriving at `arrive` and returns
+// the completion time (when the last byte leaves the disk).
+func (s *site) serviceRead(arrive, bytes float64) float64 {
+	// Earliest-free server takes the visit (FIFO across the site).
+	srv := 0
+	for i := 1; i < len(s.servers); i++ {
+		if s.servers[i] < s.servers[srv] {
+			srv = i
+		}
+	}
+	start := arrive
+	if s.servers[srv] > start {
+		start = s.servers[srv]
+	}
+	svc := s.overhead + bytes/s.diskRate
+	if s.jitter > 0 {
+		svc *= 1 + s.jitter*(2*s.rng.Float64()-1)
+	}
+	if s.slowProb > 0 && s.rng.Float64() < s.slowProb {
+		svc += s.slowMin + (s.slowMax-s.slowMin)*s.rng.Float64()
+	}
+	if s.slowFactor > 1 {
+		svc *= s.slowFactor
+	}
+	s.servers[srv] = start + svc
+
+	s.windowBytes += bytes
+	s.windowBusy += svc
+	s.totalBytes += bytes
+	s.totalRequests++
+	return s.servers[srv]
+}
+
+// serviceWrite models a chunk write (movement/repair traffic) occupying
+// the disk like a read of the same size.
+func (s *site) serviceWrite(arrive, bytes float64) float64 {
+	return s.serviceRead(arrive, bytes)
+}
+
+// queueDelay returns how long a probe arriving now would wait before being
+// serviced: the o_j signal.
+func (s *site) queueDelay(now float64) float64 {
+	earliest := s.servers[0]
+	for _, b := range s.servers[1:] {
+		if b < earliest {
+			earliest = b
+		}
+	}
+	if earliest <= now {
+		return 0
+	}
+	return earliest - now
+}
+
+// drainWindow returns (cpuUtil, ioBytesPerSec) over the accounting window
+// and resets it. Utilization is normalized by the server count.
+func (s *site) drainWindow(now float64) (float64, float64) {
+	dt := now - s.windowStart
+	var cpu, io float64
+	if dt > 0 {
+		cpu = s.windowBusy / (dt * float64(len(s.servers)))
+		if cpu > 1 {
+			cpu = 1
+		}
+		io = s.windowBytes / dt
+	}
+	s.windowBytes = 0
+	s.windowBusy = 0
+	s.windowStart = now
+	return cpu, io
+}

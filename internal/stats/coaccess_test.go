@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecstore/internal/model"
+)
+
+func ids(ss ...string) []model.BlockID {
+	out := make([]model.BlockID, len(ss))
+	for i, s := range ss {
+		out[i] = model.BlockID(s)
+	}
+	return out
+}
+
+func TestLambdaBasic(t *testing.T) {
+	tr := NewCoAccessTracker(10)
+	tr.Record(ids("a", "b"))
+	tr.Record(ids("a", "c"))
+	tr.Record(ids("a", "b"))
+	tr.Record(ids("d"))
+
+	// a appeared 3 times, {a,b} twice: λ_{a,b} = 2/3.
+	if got := tr.Lambda("a", "b"); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("Lambda(a,b) = %v, want 2/3", got)
+	}
+	// b appeared 2 times, both with a: λ_{b,a} = 1.
+	if got := tr.Lambda("b", "a"); got != 1 {
+		t.Errorf("Lambda(b,a) = %v, want 1", got)
+	}
+	if got := tr.Lambda("a", "d"); got != 0 {
+		t.Errorf("Lambda(a,d) = %v, want 0", got)
+	}
+	if got := tr.Lambda("zzz", "a"); got != 0 {
+		t.Errorf("Lambda(unknown,a) = %v, want 0", got)
+	}
+}
+
+func TestSlidingWindowEviction(t *testing.T) {
+	tr := NewCoAccessTracker(2)
+	tr.Record(ids("a", "b"))
+	tr.Record(ids("c"))
+	if got := tr.Lambda("a", "b"); got != 1 {
+		t.Fatalf("Lambda before eviction = %v", got)
+	}
+	tr.Record(ids("d")) // evicts {a,b}
+	if got := tr.Lambda("a", "b"); got != 0 {
+		t.Fatalf("Lambda after eviction = %v, want 0", got)
+	}
+	if got := tr.AccessCount("a"); got != 0 {
+		t.Fatalf("AccessCount(a) after eviction = %d", got)
+	}
+	if got := tr.TotalRequests(); got != 2 {
+		t.Fatalf("TotalRequests = %d, want 2", got)
+	}
+}
+
+func TestRecordDedupsWithinRequest(t *testing.T) {
+	tr := NewCoAccessTracker(10)
+	tr.Record(ids("a", "a", "b"))
+	if got := tr.AccessCount("a"); got != 1 {
+		t.Fatalf("AccessCount(a) = %d, want 1", got)
+	}
+	if got := tr.Lambda("a", "b"); got != 1 {
+		t.Fatalf("Lambda(a,b) = %v, want 1", got)
+	}
+}
+
+func TestRecordIgnoresEmpty(t *testing.T) {
+	tr := NewCoAccessTracker(10)
+	tr.Record(nil)
+	tr.Record(ids())
+	if got := tr.TotalRequests(); got != 0 {
+		t.Fatalf("TotalRequests = %d, want 0", got)
+	}
+}
+
+func TestPartnersOrdering(t *testing.T) {
+	tr := NewCoAccessTracker(100)
+	for i := 0; i < 3; i++ {
+		tr.Record(ids("a", "b"))
+	}
+	tr.Record(ids("a", "c"))
+	ps := tr.Partners("a", 0)
+	if len(ps) != 2 {
+		t.Fatalf("Partners = %v", ps)
+	}
+	if ps[0].Block != "b" || ps[1].Block != "c" {
+		t.Fatalf("Partners order = %v", ps)
+	}
+	if math.Abs(ps[0].Lambda-0.75) > 1e-12 {
+		t.Fatalf("λ(a,b) = %v, want 0.75", ps[0].Lambda)
+	}
+	if got := tr.Partners("a", 1); len(got) != 1 {
+		t.Fatalf("Partners max=1 returned %d", len(got))
+	}
+	if got := tr.Partners("never", 5); got != nil {
+		t.Fatalf("Partners(unknown) = %v", got)
+	}
+}
+
+func TestFrequency(t *testing.T) {
+	tr := NewCoAccessTracker(10)
+	tr.Record(ids("a"))
+	tr.Record(ids("a", "b"))
+	tr.Record(ids("c"))
+	if got := tr.Frequency("a"); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("Frequency(a) = %v", got)
+	}
+	empty := NewCoAccessTracker(10)
+	if got := empty.Frequency("a"); got != 0 {
+		t.Fatalf("Frequency on empty = %v", got)
+	}
+}
+
+func TestCandidateBlocksFavorsHotBlocks(t *testing.T) {
+	tr := NewCoAccessTracker(1000)
+	for i := 0; i < 200; i++ {
+		tr.Record(ids("hot"))
+	}
+	tr.Record(ids("cold"))
+	rng := rand.New(rand.NewSource(1))
+	seenHot := 0
+	for trial := 0; trial < 50; trial++ {
+		for _, b := range tr.CandidateBlocks(1, rng) {
+			if b == "hot" {
+				seenHot++
+			}
+		}
+	}
+	if seenHot < 25 {
+		t.Fatalf("hot block picked only %d/50 times", seenHot)
+	}
+	if got := tr.CandidateBlocks(0, rng); got != nil {
+		t.Fatalf("CandidateBlocks(0) = %v", got)
+	}
+}
+
+func TestCandidateBlocksDistinct(t *testing.T) {
+	tr := NewCoAccessTracker(100)
+	tr.Record(ids("a", "b", "c"))
+	rng := rand.New(rand.NewSource(2))
+	got := tr.CandidateBlocks(10, rng)
+	seen := map[model.BlockID]bool{}
+	for _, b := range got {
+		if seen[b] {
+			t.Fatalf("duplicate candidate %s", b)
+		}
+		seen[b] = true
+	}
+}
+
+// TestWindowCountsConsistentProperty checks the invariant that counts and
+// pair counts always equal a recount over the live window contents.
+func TestWindowCountsConsistentProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewCoAccessTracker(8)
+		universe := []string{"a", "b", "c", "d", "e"}
+		for step := 0; step < 50; step++ {
+			n := 1 + rng.Intn(3)
+			var q []model.BlockID
+			for i := 0; i < n; i++ {
+				q = append(q, model.BlockID(universe[rng.Intn(len(universe))]))
+			}
+			tr.Record(q)
+		}
+		// Recount from the live window.
+		recount := make(map[model.BlockID]int)
+		for _, q := range tr.window {
+			for _, b := range q {
+				recount[b]++
+			}
+		}
+		for b, want := range recount {
+			if tr.counts[b] != want {
+				return false
+			}
+		}
+		return len(recount) == len(tr.counts)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryFootprintGrowsAndReportsPositive(t *testing.T) {
+	tr := NewCoAccessTracker(100)
+	if got := tr.MemoryFootprint(); got != 0 {
+		t.Fatalf("empty footprint = %d", got)
+	}
+	tr.Record(ids("a", "b", "c"))
+	if got := tr.MemoryFootprint(); got <= 0 {
+		t.Fatalf("footprint = %d, want > 0", got)
+	}
+}
+
+func TestRecentCompaction(t *testing.T) {
+	tr := NewCoAccessTracker(10)
+	// Force many distinct blocks through to trigger compactRecent.
+	for i := 0; i < 10000; i++ {
+		tr.Record([]model.BlockID{model.BlockID("b" + string(rune('a'+i%26))), model.BlockID("x")})
+	}
+	rng := rand.New(rand.NewSource(3))
+	got := tr.CandidateBlocks(5, rng)
+	if len(got) == 0 {
+		t.Fatal("no candidates after compaction")
+	}
+}

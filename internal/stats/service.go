@@ -1,0 +1,265 @@
+package stats
+
+import (
+	"fmt"
+
+	"ecstore/internal/model"
+	"ecstore/internal/rpc"
+	"ecstore/internal/wire"
+)
+
+// Aggregator is the statistics service state: one co-access tracker, one
+// load tracker and one probe estimator, as deployed on the paper's
+// dedicated statistics machine.
+type Aggregator struct {
+	CoAccess *CoAccessTracker
+	Loads    *LoadTracker
+	Probes   *ProbeEstimator
+}
+
+// NewAggregator builds a statistics service with the given co-access
+// window (0 = the paper's 5000 requests).
+func NewAggregator(window int) *Aggregator {
+	return &Aggregator{
+		CoAccess: NewCoAccessTracker(window),
+		Loads:    NewLoadTracker(),
+		Probes:   NewProbeEstimator(0.3),
+	}
+}
+
+// RPC method numbers of the statistics service.
+const (
+	methodRecordAccess rpc.Method = iota + 1
+	methodReportLoad
+	methodObserveProbe
+	methodGetCosts
+	methodGetLoads
+	methodGetPartners
+)
+
+// Server exposes an Aggregator over RPC.
+type Server struct {
+	agg *Aggregator
+}
+
+// NewServer wraps an aggregator.
+func NewServer(agg *Aggregator) *Server { return &Server{agg: agg} }
+
+var _ rpc.Handler = (*Server)(nil)
+
+// Handle dispatches one statistics RPC.
+func (s *Server) Handle(method rpc.Method, body []byte) ([]byte, error) {
+	d := wire.NewDecoder(body)
+	switch method {
+	case methodRecordAccess:
+		n := int(d.Uint32())
+		ids := make([]model.BlockID, 0, n)
+		for i := 0; i < n; i++ {
+			ids = append(ids, model.BlockID(d.String()))
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		s.agg.CoAccess.Record(ids)
+		return nil, nil
+
+	case methodReportLoad:
+		site := model.SiteID(d.Int64())
+		load := SiteLoad{
+			CPU:           d.Float64(),
+			IOBytesPerSec: d.Float64(),
+			Chunks:        int(d.Uint32()),
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		s.agg.Loads.Report(site, load)
+		return nil, nil
+
+	case methodObserveProbe:
+		site := model.SiteID(d.Int64())
+		rtt := d.Float64()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		s.agg.Probes.Observe(site, rtt)
+		return nil, nil
+
+	case methodGetCosts:
+		defaultO := d.Float64()
+		m := d.Float64()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		costs := s.agg.Probes.Costs(defaultO, m)
+		e := wire.NewEncoder(16 * len(costs.O))
+		e.Float64(costs.DefaultO)
+		e.Float64(costs.DefaultM)
+		e.Uint32(uint32(len(costs.O)))
+		for _, site := range sortedSiteKeys(costs.O) {
+			e.Int64(int64(site))
+			e.Float64(costs.O[site])
+		}
+		return e.Bytes(), nil
+
+	case methodGetLoads:
+		snap := s.agg.Loads.Snapshot()
+		e := wire.NewEncoder(32 * len(snap))
+		e.Uint32(uint32(len(snap)))
+		for _, site := range sortedLoadKeys(snap) {
+			load := snap[site]
+			e.Int64(int64(site))
+			e.Float64(load.CPU)
+			e.Float64(load.IOBytesPerSec)
+			e.Uint32(uint32(load.Chunks))
+		}
+		return e.Bytes(), nil
+
+	case methodGetPartners:
+		block := model.BlockID(d.String())
+		max := int(d.Uint32())
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		ps := s.agg.CoAccess.Partners(block, max)
+		e := wire.NewEncoder(32 * len(ps))
+		e.Uint32(uint32(len(ps)))
+		for _, p := range ps {
+			e.String(string(p.Block))
+			e.Float64(p.Lambda)
+		}
+		return e.Bytes(), nil
+
+	default:
+		return nil, fmt.Errorf("stats: unknown method %d", method)
+	}
+}
+
+// Client is the RPC-backed view of a remote statistics service.
+type Client struct {
+	rc *rpc.Client
+}
+
+// NewClient wraps an RPC client connected to a statistics server.
+func NewClient(rc *rpc.Client) *Client { return &Client{rc: rc} }
+
+// RecordAccess reports one sampled multi-block request.
+func (c *Client) RecordAccess(ids []model.BlockID) error {
+	e := wire.NewEncoder(16 * len(ids))
+	e.Uint32(uint32(len(ids)))
+	for _, id := range ids {
+		e.String(string(id))
+	}
+	_, err := c.rc.Call(methodRecordAccess, e.Bytes())
+	return err
+}
+
+// ReportLoad reports one site's load window.
+func (c *Client) ReportLoad(site model.SiteID, load SiteLoad) error {
+	e := wire.NewEncoder(32)
+	e.Int64(int64(site))
+	e.Float64(load.CPU)
+	e.Float64(load.IOBytesPerSec)
+	e.Uint32(uint32(load.Chunks))
+	_, err := c.rc.Call(methodReportLoad, e.Bytes())
+	return err
+}
+
+// ObserveProbe folds one probe RTT into the remote o_j estimate.
+func (c *Client) ObserveProbe(site model.SiteID, rtt float64) error {
+	e := wire.NewEncoder(16)
+	e.Int64(int64(site))
+	e.Float64(rtt)
+	_, err := c.rc.Call(methodObserveProbe, e.Bytes())
+	return err
+}
+
+// GetCosts fetches the current cost model.
+func (c *Client) GetCosts(defaultO, m float64) (*model.SiteCosts, error) {
+	e := wire.NewEncoder(16)
+	e.Float64(defaultO)
+	e.Float64(m)
+	resp, err := c.rc.Call(methodGetCosts, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(resp)
+	costs := &model.SiteCosts{
+		DefaultO: d.Float64(),
+		DefaultM: d.Float64(),
+		O:        make(map[model.SiteID]float64),
+	}
+	n := int(d.Uint32())
+	for i := 0; i < n; i++ {
+		site := model.SiteID(d.Int64())
+		costs.O[site] = d.Float64()
+	}
+	return costs, d.Err()
+}
+
+// GetLoads fetches the current per-site load table.
+func (c *Client) GetLoads() (map[model.SiteID]SiteLoad, error) {
+	resp, err := c.rc.Call(methodGetLoads, nil)
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(resp)
+	n := int(d.Uint32())
+	out := make(map[model.SiteID]SiteLoad, n)
+	for i := 0; i < n; i++ {
+		site := model.SiteID(d.Int64())
+		out[site] = SiteLoad{
+			CPU:           d.Float64(),
+			IOBytesPerSec: d.Float64(),
+			Chunks:        int(d.Uint32()),
+		}
+	}
+	return out, d.Err()
+}
+
+// GetPartners fetches a block's co-access partners with λ values.
+func (c *Client) GetPartners(block model.BlockID, max int) ([]Partner, error) {
+	e := wire.NewEncoder(24)
+	e.String(string(block))
+	e.Uint32(uint32(max))
+	resp, err := c.rc.Call(methodGetPartners, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(resp)
+	n := int(d.Uint32())
+	out := make([]Partner, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Partner{
+			Block:  model.BlockID(d.String()),
+			Lambda: d.Float64(),
+		})
+	}
+	return out, d.Err()
+}
+
+func sortedSiteKeys(m map[model.SiteID]float64) []model.SiteID {
+	out := make([]model.SiteID, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sortSites(out)
+	return out
+}
+
+func sortedLoadKeys(m map[model.SiteID]SiteLoad) []model.SiteID {
+	out := make([]model.SiteID, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sortSites(out)
+	return out
+}
+
+func sortSites(s []model.SiteID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

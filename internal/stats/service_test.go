@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"ecstore/internal/rpc"
+	"ecstore/internal/transport"
+)
+
+func startStatsRPC(t *testing.T) (*Client, *Aggregator, func()) {
+	t.Helper()
+	agg := NewAggregator(100)
+	net := transport.NewMemory()
+	l, err := net.Listen("stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer(NewServer(agg))
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(l) }()
+	conn, err := net.Dial("stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := rpc.NewClient(conn)
+	cleanup := func() {
+		_ = rc.Close()
+		_ = srv.Close()
+		<-done
+		net.Close()
+	}
+	return NewClient(rc), agg, cleanup
+}
+
+func TestStatsRPCRecordAccessAndPartners(t *testing.T) {
+	client, agg, cleanup := startStatsRPC(t)
+	defer cleanup()
+
+	for i := 0; i < 4; i++ {
+		if err := client.RecordAccess(ids("a", "b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.RecordAccess(ids("a", "c")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server-side state updated.
+	if got := agg.CoAccess.Lambda("a", "b"); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("server λ(a,b) = %v, want 0.8", got)
+	}
+	// Partners over RPC.
+	ps, err := client.GetPartners("a", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || ps[0].Block != "b" {
+		t.Fatalf("partners = %v", ps)
+	}
+	if math.Abs(ps[0].Lambda-0.8) > 1e-12 {
+		t.Fatalf("λ over RPC = %v", ps[0].Lambda)
+	}
+}
+
+func TestStatsRPCLoadsAndCosts(t *testing.T) {
+	client, _, cleanup := startStatsRPC(t)
+	defer cleanup()
+
+	if err := client.ReportLoad(3, SiteLoad{CPU: 0.7, IOBytesPerSec: 1234, Chunks: 42}); err != nil {
+		t.Fatal(err)
+	}
+	loads, err := client.GetLoads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loads[3]; got.CPU != 0.7 || got.IOBytesPerSec != 1234 || got.Chunks != 42 {
+		t.Fatalf("loads[3] = %+v", got)
+	}
+
+	if err := client.ObserveProbe(3, 0.005); err != nil {
+		t.Fatal(err)
+	}
+	costs, err := client.GetCosts(0.001, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := costs.OCost(3); math.Abs(got-0.005) > 1e-12 {
+		t.Fatalf("o_3 over RPC = %v", got)
+	}
+	if got := costs.OCost(9); got != 0.001 {
+		t.Fatalf("default o = %v", got)
+	}
+	if got := costs.MCost(3); got != 1e-8 {
+		t.Fatalf("m over RPC = %v", got)
+	}
+}
+
+func TestStatsRPCEmptyPartners(t *testing.T) {
+	client, _, cleanup := startStatsRPC(t)
+	defer cleanup()
+	ps, err := client.GetPartners("never-seen", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 0 {
+		t.Fatalf("partners = %v", ps)
+	}
+}
+
+func TestAggregatorDefaults(t *testing.T) {
+	agg := NewAggregator(0)
+	if agg.CoAccess == nil || agg.Loads == nil || agg.Probes == nil {
+		t.Fatal("aggregator components missing")
+	}
+}

@@ -1,0 +1,403 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ecstore/internal/model"
+	"ecstore/internal/rpc"
+	"ecstore/internal/stats"
+	"ecstore/internal/wire"
+)
+
+// ServiceConfig tunes one storage service (one site of the data plane).
+type ServiceConfig struct {
+	// Site is this service's identity.
+	Site model.SiteID
+	// ReadDelayPerByte optionally throttles reads to emulate a storage
+	// medium (m_j) in real-mode experiments; zero disables throttling.
+	ReadDelayPerByte time.Duration
+	// ReadDelayFixed is a per-read fixed latency; zero disables it.
+	ReadDelayFixed time.Duration
+	// Clock abstracts time for tests; nil uses the wall clock.
+	Clock func() time.Time
+	// Sleep abstracts throttling for tests; nil uses time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// Service wraps a Store with the behaviours the control plane depends on:
+// read/write accounting for load reports (Section V-A), load-status probes
+// that expose queueing delay (o_j estimation), and failure injection for
+// the fault-tolerance experiments (Section VI-C4).
+type Service struct {
+	cfg   ServiceConfig
+	store Store
+
+	mu         sync.Mutex
+	failed     bool
+	bytesRead  int64
+	bytesWrite int64
+	reads      int64
+	writes     int64
+	busy       time.Duration
+	windowFrom time.Time
+}
+
+// NewService wraps a store.
+func NewService(cfg ServiceConfig, store Store) *Service {
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	return &Service{cfg: cfg, store: store, windowFrom: cfg.Clock()}
+}
+
+// Site returns the service's site id.
+func (s *Service) Site() model.SiteID { return s.cfg.Site }
+
+// Fail marks the site unavailable: every data operation errors until
+// Recover is called.
+func (s *Service) Fail() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failed = true
+}
+
+// Recover marks the site available again.
+func (s *Service) Recover() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failed = false
+}
+
+// Failed reports whether the site is failed.
+func (s *Service) Failed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+func (s *Service) checkUp() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed {
+		return fmt.Errorf("%w: site %d", ErrSiteDown, s.cfg.Site)
+	}
+	return nil
+}
+
+// PutChunk stores a chunk.
+func (s *Service) PutChunk(ref model.ChunkRef, data []byte) error {
+	if err := s.checkUp(); err != nil {
+		return err
+	}
+	if err := s.store.Put(ref, data); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.bytesWrite += int64(len(data))
+	s.writes++
+	s.mu.Unlock()
+	return nil
+}
+
+// GetChunk reads a chunk, applying the configured media throttle and
+// accounting the read for load reports.
+func (s *Service) GetChunk(ref model.ChunkRef) ([]byte, error) {
+	if err := s.checkUp(); err != nil {
+		return nil, err
+	}
+	start := s.cfg.Clock()
+	data, err := s.store.Get(ref)
+	if err != nil {
+		return nil, err
+	}
+	if d := s.cfg.ReadDelayFixed + time.Duration(len(data))*s.cfg.ReadDelayPerByte; d > 0 {
+		s.cfg.Sleep(d)
+	}
+	s.mu.Lock()
+	s.bytesRead += int64(len(data))
+	s.reads++
+	s.busy += s.cfg.Clock().Sub(start)
+	s.mu.Unlock()
+	return data, nil
+}
+
+// DeleteChunk removes a chunk.
+func (s *Service) DeleteChunk(ref model.ChunkRef) error {
+	if err := s.checkUp(); err != nil {
+		return err
+	}
+	return s.store.Delete(ref)
+}
+
+// DeleteBlock removes every chunk of a block.
+func (s *Service) DeleteBlock(id model.BlockID) error {
+	if err := s.checkUp(); err != nil {
+		return err
+	}
+	return s.store.DeleteBlock(id)
+}
+
+// ListChunks lists stored chunks (used by repair).
+func (s *Service) ListChunks() ([]model.ChunkRef, error) {
+	if err := s.checkUp(); err != nil {
+		return nil, err
+	}
+	return s.store.List()
+}
+
+// Probe is the load-status endpoint: it returns an error when failed and
+// nil otherwise. Its round-trip time, measured by the caller, feeds the
+// o_j estimate.
+func (s *Service) Probe() error {
+	return s.checkUp()
+}
+
+// LoadReport drains the accounting window and returns a stats.SiteLoad:
+// CPU is approximated by the busy fraction of the window, I/O by the read
+// rate.
+func (s *Service) LoadReport() (stats.SiteLoad, error) {
+	if err := s.checkUp(); err != nil {
+		return stats.SiteLoad{}, err
+	}
+	count, err := s.store.Count()
+	if err != nil {
+		return stats.SiteLoad{}, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.Clock()
+	window := now.Sub(s.windowFrom)
+	load := stats.SiteLoad{Chunks: count}
+	if window > 0 {
+		load.CPU = float64(s.busy) / float64(window)
+		if load.CPU > 1 {
+			load.CPU = 1
+		}
+		load.IOBytesPerSec = float64(s.bytesRead) / window.Seconds()
+	}
+	s.bytesRead = 0
+	s.bytesWrite = 0
+	s.reads = 0
+	s.writes = 0
+	s.busy = 0
+	s.windowFrom = now
+	return load, nil
+}
+
+// StoredBytes returns the total bytes held by the underlying store (even
+// while failed, for experiment accounting).
+func (s *Service) StoredBytes() (int64, error) {
+	return s.store.Bytes()
+}
+
+// Totals returns cumulative (reads, writes) counters since construction.
+func (s *Service) Totals() (reads, writes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads, s.writes
+}
+
+// RPC method numbers of the storage service.
+const (
+	methodPutChunk rpc.Method = iota + 1
+	methodGetChunk
+	methodDeleteChunk
+	methodDeleteBlock
+	methodListChunks
+	methodProbe
+	methodLoadReport
+)
+
+// Server exposes a Service over RPC.
+type Server struct {
+	svc *Service
+}
+
+// NewRPCServer wraps a storage service.
+func NewRPCServer(svc *Service) *Server { return &Server{svc: svc} }
+
+var _ rpc.Handler = (*Server)(nil)
+
+func decodeRef(d *wire.Decoder) model.ChunkRef {
+	return model.ChunkRef{Block: model.BlockID(d.String()), Chunk: int(d.Uint32())}
+}
+
+func encodeRef(e *wire.Encoder, ref model.ChunkRef) {
+	e.String(string(ref.Block))
+	e.Uint32(uint32(ref.Chunk))
+}
+
+// Handle dispatches one storage RPC.
+func (s *Server) Handle(method rpc.Method, body []byte) ([]byte, error) {
+	d := wire.NewDecoder(body)
+	switch method {
+	case methodPutChunk:
+		ref := decodeRef(d)
+		data := d.Bytes32()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, s.svc.PutChunk(ref, data)
+
+	case methodGetChunk:
+		ref := decodeRef(d)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		data, err := s.svc.GetChunk(ref)
+		if err != nil {
+			return nil, err
+		}
+		e := wire.NewEncoder(8 + len(data))
+		e.Bytes32(data)
+		return e.Bytes(), nil
+
+	case methodDeleteChunk:
+		ref := decodeRef(d)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, s.svc.DeleteChunk(ref)
+
+	case methodDeleteBlock:
+		id := model.BlockID(d.String())
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, s.svc.DeleteBlock(id)
+
+	case methodListChunks:
+		refs, err := s.svc.ListChunks()
+		if err != nil {
+			return nil, err
+		}
+		e := wire.NewEncoder(24 * len(refs))
+		e.Uint32(uint32(len(refs)))
+		for _, ref := range refs {
+			encodeRef(e, ref)
+		}
+		return e.Bytes(), nil
+
+	case methodProbe:
+		return nil, s.svc.Probe()
+
+	case methodLoadReport:
+		load, err := s.svc.LoadReport()
+		if err != nil {
+			return nil, err
+		}
+		e := wire.NewEncoder(24)
+		e.Float64(load.CPU)
+		e.Float64(load.IOBytesPerSec)
+		e.Uint32(uint32(load.Chunks))
+		return e.Bytes(), nil
+
+	default:
+		return nil, fmt.Errorf("storage: unknown method %d", method)
+	}
+}
+
+// Client is the RPC-backed view of one remote storage service.
+type Client struct {
+	rc *rpc.Client
+}
+
+// NewRPCClient wraps an RPC client connected to a storage server.
+func NewRPCClient(rc *rpc.Client) *Client { return &Client{rc: rc} }
+
+// PutChunk stores a chunk remotely.
+func (c *Client) PutChunk(ref model.ChunkRef, data []byte) error {
+	e := wire.NewEncoder(24 + len(data))
+	encodeRef(e, ref)
+	e.Bytes32(data)
+	_, err := c.rc.Call(methodPutChunk, e.Bytes())
+	return err
+}
+
+// GetChunk reads a chunk remotely.
+func (c *Client) GetChunk(ref model.ChunkRef) ([]byte, error) {
+	e := wire.NewEncoder(24)
+	encodeRef(e, ref)
+	resp, err := c.rc.Call(methodGetChunk, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(resp)
+	data := d.Bytes32()
+	return data, d.Err()
+}
+
+// DeleteChunk removes a chunk remotely.
+func (c *Client) DeleteChunk(ref model.ChunkRef) error {
+	e := wire.NewEncoder(24)
+	encodeRef(e, ref)
+	_, err := c.rc.Call(methodDeleteChunk, e.Bytes())
+	return err
+}
+
+// DeleteBlock removes every chunk of a block remotely.
+func (c *Client) DeleteBlock(id model.BlockID) error {
+	e := wire.NewEncoder(16)
+	e.String(string(id))
+	_, err := c.rc.Call(methodDeleteBlock, e.Bytes())
+	return err
+}
+
+// ListChunks lists remotely stored chunks.
+func (c *Client) ListChunks() ([]model.ChunkRef, error) {
+	resp, err := c.rc.Call(methodListChunks, nil)
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(resp)
+	n := int(d.Uint32())
+	out := make([]model.ChunkRef, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, decodeRef(d))
+	}
+	return out, d.Err()
+}
+
+// Probe checks liveness.
+func (c *Client) Probe() error {
+	_, err := c.rc.Call(methodProbe, nil)
+	return err
+}
+
+// LoadReport fetches and resets the site's accounting window.
+func (c *Client) LoadReport() (stats.SiteLoad, error) {
+	resp, err := c.rc.Call(methodLoadReport, nil)
+	if err != nil {
+		return stats.SiteLoad{}, err
+	}
+	d := wire.NewDecoder(resp)
+	load := stats.SiteLoad{
+		CPU:           d.Float64(),
+		IOBytesPerSec: d.Float64(),
+		Chunks:        int(d.Uint32()),
+	}
+	return load, d.Err()
+}
+
+// SiteAPI is the storage-site surface shared by the local Service and the
+// RPC Client so the client service and repair service work in both modes.
+type SiteAPI interface {
+	PutChunk(ref model.ChunkRef, data []byte) error
+	GetChunk(ref model.ChunkRef) ([]byte, error)
+	DeleteChunk(ref model.ChunkRef) error
+	DeleteBlock(id model.BlockID) error
+	ListChunks() ([]model.ChunkRef, error)
+	Probe() error
+	LoadReport() (stats.SiteLoad, error)
+}
+
+var (
+	_ SiteAPI = (*Service)(nil)
+	_ SiteAPI = (*Client)(nil)
+)

@@ -1,0 +1,268 @@
+// Package storage implements EC-Store's data plane: per-site chunk stores
+// (memory or disk backed), the storage service with I/O accounting, load
+// reporting and failure injection, and its RPC server/client bindings.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ecstore/internal/model"
+)
+
+// Errors returned by chunk stores and services.
+var (
+	ErrChunkNotFound = errors.New("storage: chunk not found")
+	ErrSiteDown      = errors.New("storage: site unavailable")
+)
+
+// Store is a site-local chunk repository.
+type Store interface {
+	// Put stores a chunk, overwriting any previous contents.
+	Put(ref model.ChunkRef, data []byte) error
+	// Get returns a copy of a chunk's contents.
+	Get(ref model.ChunkRef) ([]byte, error)
+	// Delete removes a chunk; deleting a missing chunk is not an error.
+	Delete(ref model.ChunkRef) error
+	// DeleteBlock removes every chunk of a block.
+	DeleteBlock(id model.BlockID) error
+	// List returns all stored chunk refs in sorted order.
+	List() ([]model.ChunkRef, error)
+	// Count returns the number of stored chunks.
+	Count() (int, error)
+	// Bytes returns the total stored bytes.
+	Bytes() (int64, error)
+}
+
+// MemStore is an in-memory Store, safe for concurrent use.
+type MemStore struct {
+	mu     sync.RWMutex
+	chunks map[model.ChunkRef][]byte
+	bytes  int64
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{chunks: make(map[model.ChunkRef][]byte)}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(ref model.ChunkRef, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.chunks[ref]; ok {
+		s.bytes -= int64(len(old))
+	}
+	s.chunks[ref] = cp
+	s.bytes += int64(len(cp))
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(ref model.ChunkRef) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.chunks[ref]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrChunkNotFound, ref)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(ref model.ChunkRef) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.chunks[ref]; ok {
+		s.bytes -= int64(len(old))
+		delete(s.chunks, ref)
+	}
+	return nil
+}
+
+// DeleteBlock implements Store.
+func (s *MemStore) DeleteBlock(id model.BlockID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ref, data := range s.chunks {
+		if ref.Block == id {
+			s.bytes -= int64(len(data))
+			delete(s.chunks, ref)
+		}
+	}
+	return nil
+}
+
+// List implements Store.
+func (s *MemStore) List() ([]model.ChunkRef, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]model.ChunkRef, 0, len(s.chunks))
+	for ref := range s.chunks {
+		out = append(out, ref)
+	}
+	sortRefs(out)
+	return out, nil
+}
+
+// Count implements Store.
+func (s *MemStore) Count() (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.chunks), nil
+}
+
+// Bytes implements Store.
+func (s *MemStore) Bytes() (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes, nil
+}
+
+// DiskStore persists chunks as files `<urlencoded-block>.<chunk>` under a
+// directory. A coarse mutex serializes metadata operations; chunk I/O
+// relies on the filesystem.
+type DiskStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+var _ Store = (*DiskStore)(nil)
+
+// NewDiskStore creates (if needed) and wraps a directory.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("create chunk dir: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+func (s *DiskStore) path(ref model.ChunkRef) string {
+	// Escape path separators in block ids.
+	name := strings.ReplaceAll(string(ref.Block), "/", "_") + "." + strconv.Itoa(ref.Chunk)
+	return filepath.Join(s.dir, name)
+}
+
+// Put implements Store.
+func (s *DiskStore) Put(ref model.ChunkRef, data []byte) error {
+	tmp := s.path(ref) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("write chunk: %w", err)
+	}
+	if err := os.Rename(tmp, s.path(ref)); err != nil {
+		return fmt.Errorf("commit chunk: %w", err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *DiskStore) Get(ref model.ChunkRef) ([]byte, error) {
+	data, err := os.ReadFile(s.path(ref))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %s", ErrChunkNotFound, ref)
+		}
+		return nil, fmt.Errorf("read chunk: %w", err)
+	}
+	return data, nil
+}
+
+// Delete implements Store.
+func (s *DiskStore) Delete(ref model.ChunkRef) error {
+	err := os.Remove(s.path(ref))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("delete chunk: %w", err)
+	}
+	return nil
+}
+
+// DeleteBlock implements Store.
+func (s *DiskStore) DeleteBlock(id model.BlockID) error {
+	refs, err := s.List()
+	if err != nil {
+		return err
+	}
+	for _, ref := range refs {
+		if ref.Block == id {
+			if err := s.Delete(ref); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// List implements Store.
+func (s *DiskStore) List() ([]model.ChunkRef, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("list chunks: %w", err)
+	}
+	var out []model.ChunkRef
+	for _, ent := range entries {
+		if ent.IsDir() || strings.HasSuffix(ent.Name(), ".tmp") {
+			continue
+		}
+		dot := strings.LastIndexByte(ent.Name(), '.')
+		if dot <= 0 {
+			continue
+		}
+		chunk, err := strconv.Atoi(ent.Name()[dot+1:])
+		if err != nil {
+			continue
+		}
+		out = append(out, model.ChunkRef{Block: model.BlockID(ent.Name()[:dot]), Chunk: chunk})
+	}
+	sortRefs(out)
+	return out, nil
+}
+
+// Count implements Store.
+func (s *DiskStore) Count() (int, error) {
+	refs, err := s.List()
+	if err != nil {
+		return 0, err
+	}
+	return len(refs), nil
+}
+
+// Bytes implements Store.
+func (s *DiskStore) Bytes() (int64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("stat chunks: %w", err)
+	}
+	var total int64
+	for _, ent := range entries {
+		if ent.IsDir() || strings.HasSuffix(ent.Name(), ".tmp") {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		total += info.Size()
+	}
+	return total, nil
+}
+
+func sortRefs(refs []model.ChunkRef) {
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Block != refs[j].Block {
+			return refs[i].Block < refs[j].Block
+		}
+		return refs[i].Chunk < refs[j].Chunk
+	})
+}

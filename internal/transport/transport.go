@@ -1,0 +1,176 @@
+// Package transport abstracts how EC-Store services reach each other: over
+// real TCP for multi-process deployments, or over an in-process memory
+// network for single-process clusters, tests and examples. The memory
+// network can inject one-way latency and jitter to emulate a LAN.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Network creates listeners and dials addresses.
+type Network interface {
+	// Listen binds the address and returns a listener.
+	Listen(addr string) (net.Listener, error)
+	// Dial connects to a previously bound address.
+	Dial(addr string) (net.Conn, error)
+}
+
+// Errors returned by the memory network.
+var (
+	ErrAddrInUse   = errors.New("transport: address already bound")
+	ErrConnRefused = errors.New("transport: connection refused")
+	ErrNetClosed   = errors.New("transport: network closed")
+)
+
+// TCP is the real-network implementation.
+type TCP struct {
+	// DialTimeout bounds connection establishment; zero means 5s.
+	DialTimeout time.Duration
+}
+
+var _ Network = (*TCP)(nil)
+
+// Listen binds a TCP address such as "127.0.0.1:7070".
+func (t *TCP) Listen(addr string) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	return l, nil
+}
+
+// Dial connects to a TCP address.
+func (t *TCP) Dial(addr string) (net.Conn, error) {
+	timeout := t.DialTimeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	return conn, nil
+}
+
+// Memory is an in-process network: addresses are arbitrary strings, and
+// connections are synchronous net.Pipe pairs. It is safe for concurrent
+// use.
+type Memory struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	closed    bool
+}
+
+var _ Network = (*Memory)(nil)
+
+// NewMemory returns an empty memory network.
+func NewMemory() *Memory {
+	return &Memory{listeners: make(map[string]*memListener)}
+}
+
+// Listen binds addr on the memory network.
+func (m *Memory) Listen(addr string) (net.Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrNetClosed
+	}
+	if _, exists := m.listeners[addr]; exists {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	l := &memListener{
+		net:   m,
+		addr:  addr,
+		conns: make(chan net.Conn),
+		done:  make(chan struct{}),
+	}
+	m.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to a bound address.
+func (m *Memory) Dial(addr string) (net.Conn, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrNetClosed
+	}
+	l := m.listeners[addr]
+	m.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.done:
+		_ = client.Close()
+		_ = server.Close()
+		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
+	}
+}
+
+// Close shuts the whole memory network down.
+func (m *Memory) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	ls := make([]*memListener, 0, len(m.listeners))
+	for _, l := range m.listeners {
+		ls = append(ls, l)
+	}
+	m.listeners = make(map[string]*memListener)
+	m.mu.Unlock()
+	for _, l := range ls {
+		l.closeOnce()
+	}
+}
+
+type memListener struct {
+	net   *Memory
+	addr  string
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+var _ net.Listener = (*memListener)(nil)
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.net.mu.Lock()
+	if l.net.listeners[l.addr] == l {
+		delete(l.net.listeners, l.addr)
+	}
+	l.net.mu.Unlock()
+	l.closeOnce()
+	return nil
+}
+
+func (l *memListener) closeOnce() {
+	l.once.Do(func() { close(l.done) })
+}
+
+func (l *memListener) Addr() net.Addr { return memAddr(l.addr) }
+
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }

@@ -1,0 +1,217 @@
+// Package wire provides the binary encoding substrate for EC-Store's RPC
+// layer (the paper uses Apache Thrift): a compact append-only Encoder, a
+// sticky-error Decoder, and length-prefixed frame I/O over byte streams.
+//
+// All integers are big-endian. Strings and byte slices are length-prefixed
+// with a uint32. Frames are length-prefixed with a uint32 and bounded by
+// MaxFrameSize to protect services from corrupt or hostile peers.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MaxFrameSize bounds a single frame (64 MiB), comfortably above the
+// largest chunk the system ships (1 MB blocks => 512 KB chunks) plus
+// headers.
+const MaxFrameSize = 64 << 20
+
+// Errors returned by the codec and framer.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	ErrShortBuffer   = errors.New("wire: decode past end of buffer")
+)
+
+// Encoder builds a binary payload. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with a hint-sized buffer.
+func NewEncoder(sizeHint int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, sizeHint)}
+}
+
+// Bytes returns the encoded payload. The slice aliases the encoder's
+// buffer; callers must not retain it across further encoder use.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the current encoded length.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Uint8 appends a single byte.
+func (e *Encoder) Uint8(v uint8) { e.buf = append(e.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint8(1)
+	} else {
+		e.Uint8(0)
+	}
+}
+
+// Uint32 appends a big-endian uint32.
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// Uint64 appends a big-endian uint64.
+func (e *Encoder) Uint64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// Int64 appends a big-endian int64 (two's complement).
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Float64 appends an IEEE-754 double.
+func (e *Encoder) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
+
+// Raw appends bytes with no length prefix (for trailing payloads whose
+// length is implied by the frame).
+func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
+// Bytes32 appends a uint32 length prefix followed by the bytes.
+func (e *Encoder) Bytes32(b []byte) {
+	e.Uint32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a uint32 length prefix followed by the string bytes.
+func (e *Encoder) String(s string) {
+	e.Uint32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Decoder reads a binary payload produced by Encoder. Errors are sticky:
+// after the first failure every subsequent read returns the zero value and
+// Err() reports the original error.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a payload for decoding. The decoder does not copy buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decode error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrShortBuffer, n, d.off, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Uint8 reads one byte.
+func (d *Decoder) Uint8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads one byte as a boolean.
+func (d *Decoder) Bool() bool { return d.Uint8() != 0 }
+
+// Uint32 reads a big-endian uint32.
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// Uint64 reads a big-endian uint64.
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Int64 reads a big-endian int64.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Float64 reads an IEEE-754 double.
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+// Bytes32 reads a uint32-length-prefixed byte slice. The result is a copy.
+func (d *Decoder) Bytes32() []byte {
+	n := d.Uint32()
+	if d.err != nil {
+		return nil
+	}
+	if int(n) > d.Remaining() {
+		d.err = fmt.Errorf("%w: declared %d bytes, %d remain", ErrShortBuffer, n, d.Remaining())
+		return nil
+	}
+	b := d.take(int(n))
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// String reads a uint32-length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Uint32()
+	if d.err != nil {
+		return ""
+	}
+	if int(n) > d.Remaining() {
+		d.err = fmt.Errorf("%w: declared %d bytes, %d remain", ErrShortBuffer, n, d.Remaining())
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+// WriteFrame writes one length-prefixed frame to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passthrough signals clean close
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("read frame body: %w", err)
+	}
+	return payload, nil
+}

@@ -1,0 +1,195 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	e := NewEncoder(64)
+	e.Uint8(7)
+	e.Bool(true)
+	e.Bool(false)
+	e.Uint32(0xDEADBEEF)
+	e.Uint64(1 << 60)
+	e.Int64(-42)
+	e.Float64(3.25)
+	e.String("hello")
+	e.Bytes32([]byte{1, 2, 3})
+	e.Raw([]byte{9, 9})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Uint8(); got != 7 {
+		t.Errorf("Uint8 = %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := d.Uint32(); got != 0xDEADBEEF {
+		t.Errorf("Uint32 = %#x", got)
+	}
+	if got := d.Uint64(); got != 1<<60 {
+		t.Errorf("Uint64 = %d", got)
+	}
+	if got := d.Int64(); got != -42 {
+		t.Errorf("Int64 = %d", got)
+	}
+	if got := d.Float64(); got != 3.25 {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := d.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.Bytes32(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes32 = %v", got)
+	}
+	if got := d.Remaining(); got != 2 {
+		t.Errorf("Remaining = %d, want 2", got)
+	}
+	if d.Err() != nil {
+		t.Errorf("Err = %v", d.Err())
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder([]byte{1})
+	_ = d.Uint32() // short
+	if !errors.Is(d.Err(), ErrShortBuffer) {
+		t.Fatalf("Err = %v, want ErrShortBuffer", d.Err())
+	}
+	// Sticky: further reads return zero values, error is preserved.
+	if got := d.Uint8(); got != 0 {
+		t.Fatalf("post-error Uint8 = %d", got)
+	}
+	if got := d.String(); got != "" {
+		t.Fatalf("post-error String = %q", got)
+	}
+	if got := d.Bytes32(); got != nil {
+		t.Fatalf("post-error Bytes32 = %v", got)
+	}
+	if !errors.Is(d.Err(), ErrShortBuffer) {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestDecoderHugeDeclaredLength(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint32(0xFFFFFFFF) // declared string length far past the buffer
+	d := NewDecoder(e.Bytes())
+	if got := d.String(); got != "" {
+		t.Fatalf("String = %q", got)
+	}
+	if !errors.Is(d.Err(), ErrShortBuffer) {
+		t.Fatalf("Err = %v", d.Err())
+	}
+
+	d2 := NewDecoder(e.Bytes())
+	if got := d2.Bytes32(); got != nil {
+		t.Fatalf("Bytes32 = %v", got)
+	}
+	if !errors.Is(d2.Err(), ErrShortBuffer) {
+		t.Fatalf("Err = %v", d2.Err())
+	}
+}
+
+func TestBytes32Copies(t *testing.T) {
+	e := NewEncoder(16)
+	e.Bytes32([]byte{5, 6})
+	buf := e.Bytes()
+	d := NewDecoder(buf)
+	got := d.Bytes32()
+	got[0] = 99
+	if buf[4] == 99 {
+		t.Fatal("Bytes32 aliased the input buffer")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("frame payload")
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("frame = %q", got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("frame = %v", got)
+	}
+}
+
+func TestWriteFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	big := make([]byte, MaxFrameSize+1)
+	if err := WriteFrame(&buf, big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTooLarge(t *testing.T) {
+	// Handcraft a header declaring an oversized frame.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameEOF(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, []byte("abcdef"))
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	check := func(a uint8, b uint32, c uint64, d int64, f float64, s string, raw []byte) bool {
+		e := NewEncoder(0)
+		e.Uint8(a)
+		e.Uint32(b)
+		e.Uint64(c)
+		e.Int64(d)
+		e.Float64(f)
+		e.String(s)
+		e.Bytes32(raw)
+		dec := NewDecoder(e.Bytes())
+		okF := func(got float64) bool {
+			return got == f || (got != got && f != f) // NaN-safe
+		}
+		return dec.Uint8() == a &&
+			dec.Uint32() == b &&
+			dec.Uint64() == c &&
+			dec.Int64() == d &&
+			okF(dec.Float64()) &&
+			dec.String() == s &&
+			bytes.Equal(dec.Bytes32(), raw) &&
+			dec.Err() == nil &&
+			dec.Remaining() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package workload generates the two benchmark workloads of the paper's
+// evaluation (Section VI-B): the YCSB-E scan workload and a synthetic
+// reconstruction of the Wikipedia image-access trace, plus the Zipf and
+// power-law samplers they are built from.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"ecstore/internal/model"
+)
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^exponent. Unlike math/rand's Zipf it supports exponent 1.0,
+// the paper's default skew, via an explicit cumulative table and binary
+// search.
+type Zipf struct {
+	cum []float64 // cumulative unnormalized weights
+}
+
+// NewZipf builds a sampler over n ranks. n must be positive; exponent may
+// be any non-negative value (0 degenerates to uniform).
+func NewZipf(n int, exponent float64) *Zipf {
+	if n <= 0 {
+		n = 1
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), exponent)
+		cum[i] = total
+	}
+	return &Zipf{cum: cum}
+}
+
+// Sample draws one rank.
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64() * z.cum[len(z.cum)-1]
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the rank-space size.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Pareto samples a bounded Pareto value with the given median and shape
+// alpha, clamped to [min, max]. Both the paper's Wikipedia image sizes and
+// images-per-page follow power laws (Section VI-B).
+func Pareto(rng *rand.Rand, median, alpha, min, max float64) float64 {
+	// For Pareto(xm, alpha): median = xm * 2^(1/alpha).
+	xm := median / math.Pow(2, 1/alpha)
+	u := rng.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	v := xm / math.Pow(1-u, 1/alpha)
+	if v < min {
+		v = min
+	}
+	if v > max {
+		v = max
+	}
+	return v
+}
+
+// Workload is re-exported here for documentation symmetry; the simulator
+// consumes anything with this shape.
+type Workload interface {
+	NextRequest(rng *rand.Rand) []model.BlockID
+}
+
+// PhaseAware workloads are notified when the measurement phase starts
+// (the paper's YCSB methodology switches from a uniform warm-up to a
+// power-law measured phase to effect workload change).
+type PhaseAware interface {
+	OnMeasureStart()
+}
+
+// YCSBE is the YCSB workload E scan generator: each request reads a
+// contiguous range of keys starting at a sampled key. Warm-up samples
+// start keys uniformly; the measured phase uses a scrambled-Zipfian
+// distribution, as in YCSB itself: popularity ranks are mapped through a
+// fixed permutation so the hottest scan ranges scatter across the
+// keyspace instead of clustering at key zero.
+type YCSBE struct {
+	numBlocks int
+	maxScan   int
+	zipf      *Zipf
+	scramble  []int
+	skewed    bool
+}
+
+var (
+	_ Workload   = (*YCSBE)(nil)
+	_ PhaseAware = (*YCSBE)(nil)
+)
+
+// NewYCSBE builds the generator over numBlocks keys with scan lengths
+// uniform in [1, maxScan] (maxScan <= 0 defaults to 20, giving the ~10
+// blocks-per-request the paper cites) and the given Zipf exponent for the
+// measured phase (the paper's default is 1).
+func NewYCSBE(numBlocks, maxScan int, exponent float64) *YCSBE {
+	return NewYCSBESeeded(numBlocks, maxScan, exponent, 7)
+}
+
+// NewYCSBESeeded is NewYCSBE with an explicit scramble seed.
+func NewYCSBESeeded(numBlocks, maxScan int, exponent float64, seed int64) *YCSBE {
+	if maxScan <= 0 {
+		maxScan = 20
+	}
+	scramble := rand.New(rand.NewSource(seed)).Perm(numBlocks)
+	return &YCSBE{
+		numBlocks: numBlocks,
+		maxScan:   maxScan,
+		zipf:      NewZipf(numBlocks, exponent),
+		scramble:  scramble,
+	}
+}
+
+// OnMeasureStart switches from uniform to skewed key popularity.
+func (y *YCSBE) OnMeasureStart() { y.skewed = true }
+
+// Skewed reports whether the generator is in the measured (skewed) phase.
+func (y *YCSBE) Skewed() bool { return y.skewed }
+
+// NextRequest returns one scan: blocks [start, start+len) mod numBlocks.
+func (y *YCSBE) NextRequest(rng *rand.Rand) []model.BlockID {
+	var start int
+	if y.skewed {
+		start = y.scramble[y.zipf.Sample(rng)]
+	} else {
+		start = rng.Intn(y.numBlocks)
+	}
+	length := 1 + rng.Intn(y.maxScan)
+	ids := make([]model.BlockID, 0, length)
+	for i := 0; i < length; i++ {
+		ids = append(ids, model.BlockName((start+i)%y.numBlocks))
+	}
+	return ids
+}
+
+// Wikipedia is the synthetic reconstruction of the Wikipedia image-access
+// trace [47]: pages are sampled with Zipf popularity, a request fetches
+// every image on the page, images-per-page follows a power law with median
+// ~10, and image sizes follow a power law with median ~500 KB.
+type Wikipedia struct {
+	pages [][]model.BlockID
+	sizes []int64
+	zipf  *Zipf
+}
+
+var _ Workload = (*Wikipedia)(nil)
+
+// WikipediaConfig tunes the synthetic trace.
+type WikipediaConfig struct {
+	// NumPages is the page population; zero means 2000.
+	NumPages int
+	// PageZipfExponent is the page popularity skew; zero means 1.0
+	// (the trace follows a Zipf distribution).
+	PageZipfExponent float64
+	// MedianImagesPerPage; zero means 10 (the trace's median page).
+	MedianImagesPerPage float64
+	// MedianImageBytes; zero means 500 KB (the trace's median image).
+	MedianImageBytes float64
+	// MaxImageBytes caps image size; zero means 4 MB.
+	MaxImageBytes float64
+	// Seed drives the deterministic trace construction.
+	Seed int64
+}
+
+func (c WikipediaConfig) withDefaults() WikipediaConfig {
+	if c.NumPages == 0 {
+		c.NumPages = 2000
+	}
+	if c.PageZipfExponent == 0 {
+		c.PageZipfExponent = 1.0
+	}
+	if c.MedianImagesPerPage == 0 {
+		c.MedianImagesPerPage = 10
+	}
+	if c.MedianImageBytes == 0 {
+		c.MedianImageBytes = 500 * 1024
+	}
+	if c.MaxImageBytes == 0 {
+		c.MaxImageBytes = 4 * 1024 * 1024
+	}
+	return c
+}
+
+// NewWikipedia constructs the trace: page image counts, image block ids
+// and image sizes are all fixed at construction so every run over the same
+// seed replays the same trace.
+func NewWikipedia(cfg WikipediaConfig) *Wikipedia {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &Wikipedia{
+		pages: make([][]model.BlockID, cfg.NumPages),
+		zipf:  NewZipf(cfg.NumPages, cfg.PageZipfExponent),
+	}
+	next := 0
+	for p := 0; p < cfg.NumPages; p++ {
+		count := int(math.Round(Pareto(rng, cfg.MedianImagesPerPage, 1.5, 1, 50)))
+		page := make([]model.BlockID, count)
+		for i := range page {
+			page[i] = model.BlockName(next)
+			size := int64(Pareto(rng, cfg.MedianImageBytes, 1.8, 1024, cfg.MaxImageBytes))
+			w.sizes = append(w.sizes, size)
+			next++
+		}
+		w.pages[p] = page
+	}
+	return w
+}
+
+// NumBlocks returns the number of distinct images in the trace.
+func (w *Wikipedia) NumBlocks() int { return len(w.sizes) }
+
+// SizeFor returns image i's size in bytes (the simulator's populate hook).
+func (w *Wikipedia) SizeFor(i int) int64 { return w.sizes[i] }
+
+// NextRequest samples a page and returns all of its images.
+func (w *Wikipedia) NextRequest(rng *rand.Rand) []model.BlockID {
+	page := w.pages[w.zipf.Sample(rng)]
+	out := make([]model.BlockID, len(page))
+	copy(out, page)
+	return out
+}
+
+// Fixed is a constant-size uniform workload used by microbenchmarks: each
+// request reads `perRequest` distinct uniformly random blocks.
+type Fixed struct {
+	numBlocks  int
+	perRequest int
+}
+
+var _ Workload = (*Fixed)(nil)
+
+// NewFixed builds a uniform workload.
+func NewFixed(numBlocks, perRequest int) *Fixed {
+	if perRequest <= 0 {
+		perRequest = 1
+	}
+	return &Fixed{numBlocks: numBlocks, perRequest: perRequest}
+}
+
+// NextRequest implements Workload.
+func (f *Fixed) NextRequest(rng *rand.Rand) []model.BlockID {
+	seen := make(map[int]bool, f.perRequest)
+	ids := make([]model.BlockID, 0, f.perRequest)
+	for len(ids) < f.perRequest && len(ids) < f.numBlocks {
+		i := rng.Intn(f.numBlocks)
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		ids = append(ids, model.BlockName(i))
+	}
+	return ids
+}

@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ecstore/internal/model"
+)
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1000, 1.0)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(rng)]++
+	}
+	// Rank 0 should draw close to 1/H(1000) ≈ 13.4% of samples.
+	p0 := float64(counts[0]) / n
+	if p0 < 0.10 || p0 > 0.17 {
+		t.Fatalf("rank-0 probability = %.3f, want ~0.134", p0)
+	}
+	// Monotone-ish decay: rank 0 >> rank 100.
+	if counts[0] <= counts[100] {
+		t.Fatalf("no skew: counts[0]=%d counts[100]=%d", counts[0], counts[100])
+	}
+}
+
+func TestZipfUniformWhenExponentZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[z.Sample(rng)]++
+	}
+	for r, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("rank %d count %d not uniform", r, c)
+		}
+	}
+}
+
+func TestZipfDegenerate(t *testing.T) {
+	z := NewZipf(0, 1)
+	if z.N() != 1 {
+		t.Fatalf("N = %d, want 1", z.N())
+	}
+	if got := z.Sample(rand.New(rand.NewSource(1))); got != 0 {
+		t.Fatalf("Sample = %d", got)
+	}
+}
+
+func TestParetoMedianAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var vals []float64
+	for i := 0; i < 20000; i++ {
+		vals = append(vals, Pareto(rng, 500, 1.8, 10, 5000))
+	}
+	sort.Float64s(vals)
+	median := vals[len(vals)/2]
+	if math.Abs(median-500)/500 > 0.1 {
+		t.Fatalf("median = %.1f, want ~500", median)
+	}
+	if vals[0] < 10 || vals[len(vals)-1] > 5000 {
+		t.Fatalf("bounds violated: [%.1f, %.1f]", vals[0], vals[len(vals)-1])
+	}
+}
+
+func TestYCSBEPhases(t *testing.T) {
+	y := NewYCSBE(1000, 10, 1.0)
+	rng := rand.New(rand.NewSource(4))
+
+	if y.Skewed() {
+		t.Fatal("generator born skewed")
+	}
+	// Warm-up: uniform start keys.
+	seen := map[model.BlockID]int{}
+	for i := 0; i < 5000; i++ {
+		for _, id := range y.NextRequest(rng) {
+			seen[id]++
+		}
+	}
+	if len(seen) < 900 {
+		t.Fatalf("uniform warm-up touched only %d distinct blocks", len(seen))
+	}
+
+	y.OnMeasureStart()
+	if !y.Skewed() {
+		t.Fatal("OnMeasureStart did not switch phase")
+	}
+	skewCounts := map[model.BlockID]int{}
+	for i := 0; i < 5000; i++ {
+		for _, id := range y.NextRequest(rng) {
+			skewCounts[id]++
+		}
+	}
+	// Skewed phase concentrates: the busiest block must take far more
+	// than the uniform share.
+	max := 0
+	total := 0
+	for _, c := range skewCounts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/float64(total) < 5.0/1000 {
+		t.Fatalf("skewed phase not skewed: max share %.4f", float64(max)/float64(total))
+	}
+}
+
+func TestYCSBEScanProperties(t *testing.T) {
+	y := NewYCSBE(100, 10, 1.0)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		ids := y.NextRequest(rng)
+		if len(ids) < 1 || len(ids) > 10 {
+			t.Fatalf("scan length %d out of [1, 10]", len(ids))
+		}
+		// Distinct ids (scan may wrap but numBlocks > maxScan).
+		seen := map[model.BlockID]bool{}
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("duplicate id in scan: %v", ids)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestYCSBEScrambleScattersHotRange(t *testing.T) {
+	y := NewYCSBE(10000, 1, 1.0) // scans of length 1: pure key popularity
+	y.OnMeasureStart()
+	rng := rand.New(rand.NewSource(6))
+	counts := map[model.BlockID]int{}
+	for i := 0; i < 20000; i++ {
+		counts[y.NextRequest(rng)[0]]++
+	}
+	// Find the two hottest keys; scrambling means they are unlikely to
+	// be adjacent (indices 0 and 1 pre-scramble).
+	type kv struct {
+		id model.BlockID
+		n  int
+	}
+	var all []kv
+	for id, n := range counts {
+		all = append(all, kv{id, n})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].n > all[j].n })
+	if all[0].id == model.BlockName(0) && all[1].id == model.BlockName(1) {
+		t.Fatal("hot keys not scrambled")
+	}
+}
+
+func TestWikipediaDeterministicTrace(t *testing.T) {
+	a := NewWikipedia(WikipediaConfig{NumPages: 100, Seed: 9})
+	b := NewWikipedia(WikipediaConfig{NumPages: 100, Seed: 9})
+	if a.NumBlocks() != b.NumBlocks() {
+		t.Fatalf("trace not deterministic: %d vs %d blocks", a.NumBlocks(), b.NumBlocks())
+	}
+	for i := 0; i < a.NumBlocks(); i++ {
+		if a.SizeFor(i) != b.SizeFor(i) {
+			t.Fatalf("size %d differs across same-seed traces", i)
+		}
+	}
+	rngA := rand.New(rand.NewSource(1))
+	rngB := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		ra := a.NextRequest(rngA)
+		rb := b.NextRequest(rngB)
+		if len(ra) != len(rb) {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestWikipediaShape(t *testing.T) {
+	w := NewWikipedia(WikipediaConfig{NumPages: 500, Seed: 11})
+	// Image sizes: median ~500 KB.
+	sizes := make([]float64, w.NumBlocks())
+	for i := range sizes {
+		sizes[i] = float64(w.SizeFor(i))
+	}
+	sort.Float64s(sizes)
+	median := sizes[len(sizes)/2]
+	if median < 300*1024 || median > 800*1024 {
+		t.Fatalf("image size median = %.0f, want ~512000", median)
+	}
+
+	// Page sizes: median ~10 images, max capped at 50.
+	rng := rand.New(rand.NewSource(12))
+	var lens []int
+	for i := 0; i < 2000; i++ {
+		req := w.NextRequest(rng)
+		lens = append(lens, len(req))
+		if len(req) < 1 || len(req) > 50 {
+			t.Fatalf("page has %d images", len(req))
+		}
+	}
+	sort.Ints(lens)
+	// Requests are popularity-weighted so the request-median differs
+	// from the page-median; just require a plausible range.
+	if lens[len(lens)/2] < 3 || lens[len(lens)/2] > 40 {
+		t.Fatalf("request median images = %d", lens[len(lens)/2])
+	}
+}
+
+func TestWikipediaRequestCopies(t *testing.T) {
+	w := NewWikipedia(WikipediaConfig{NumPages: 10, Seed: 1})
+	rng := rand.New(rand.NewSource(1))
+	req := w.NextRequest(rng)
+	req[0] = "mutated"
+	req2 := w.NextRequest(rand.New(rand.NewSource(1)))
+	if req2[0] == "mutated" {
+		t.Fatal("NextRequest aliases internal page slice")
+	}
+}
+
+func TestFixedWorkload(t *testing.T) {
+	f := NewFixed(100, 5)
+	rng := rand.New(rand.NewSource(1))
+	ids := f.NextRequest(rng)
+	if len(ids) != 5 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	seen := map[model.BlockID]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatal("duplicate block in Fixed request")
+		}
+		seen[id] = true
+	}
+	// perRequest > numBlocks degrades gracefully.
+	small := NewFixed(3, 10)
+	if got := len(small.NextRequest(rng)); got != 3 {
+		t.Fatalf("small population request = %d ids", got)
+	}
+	// perRequest <= 0 defaults to 1.
+	one := NewFixed(10, 0)
+	if got := len(one.NextRequest(rng)); got != 1 {
+		t.Fatalf("default perRequest = %d", got)
+	}
+}
