@@ -6,20 +6,26 @@
 //	ecstore-cli ... get key            # prints the block to stdout
 //	ecstore-cli ... del key
 //	ecstore-cli ... stat               # cluster health and plan stats
+//	ecstore-cli ... stats              # cluster-wide metrics snapshot
+//	ecstore-cli ... stats -full        # raw dump of every remote metric
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	"ecstore/internal/core"
 	"ecstore/internal/metadata"
 	"ecstore/internal/model"
 	"ecstore/internal/rpc"
+	"ecstore/internal/stats"
 	"ecstore/internal/storage"
 	"ecstore/internal/transport"
 )
@@ -34,6 +40,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("ecstore-cli", flag.ContinueOnError)
 	metaAddr := fs.String("meta", "127.0.0.1:7100", "metadata server address")
 	sitesCSV := fs.String("sites", "", "comma-separated storage site addresses (site 1 first)")
+	controlAddr := fs.String("control", "", "control-plane statistics service address (stats command only)")
 	k := fs.Int("k", 2, "RS data chunks")
 	r := fs.Int("r", 2, "RS parity chunks")
 	delta := fs.Int("delta", 0, "late-binding surplus chunk requests")
@@ -59,6 +66,7 @@ func run(args []string) error {
 	meta := metadata.NewClient(metaRPC)
 
 	sites := make(map[model.SiteID]storage.SiteAPI)
+	siteClients := make(map[model.SiteID]*storage.Client)
 	var rpcClients []*rpc.Client
 	defer func() {
 		for _, c := range rpcClients {
@@ -72,7 +80,9 @@ func run(args []string) error {
 		}
 		rc := rpc.NewClient(conn)
 		rpcClients = append(rpcClients, rc)
-		sites[model.SiteID(i+1)] = storage.NewRPCClient(rc)
+		sc := storage.NewRPCClient(rc)
+		sites[model.SiteID(i+1)] = sc
+		siteClients[model.SiteID(i+1)] = sc
 	}
 
 	client, err := core.NewClient(core.Config{
@@ -140,7 +150,104 @@ func run(args []string) error {
 			st.Hits, st.Misses, 100*st.HitRate())
 		return nil
 
+	case "stats":
+		sfs := flag.NewFlagSet("stats", flag.ContinueOnError)
+		full := sfs.Bool("full", false, "raw dump of every remote metric")
+		if err := sfs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		return clusterStats(os.Stdout, client, meta, siteClients, tcp, *controlAddr, *full)
+
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}
+}
+
+// clusterStats snapshots every reachable service's metrics over the
+// GetMetrics RPC and renders a cluster-wide summary. The plan-cache line is
+// the local client's (plan caches are per client process).
+func clusterStats(w io.Writer, client *core.Client, meta *metadata.Client,
+	siteClients map[model.SiteID]*storage.Client, tcp *transport.TCP, controlAddr string, full bool) error {
+	ids := make([]model.SiteID, 0, len(siteClients))
+	for id := range siteClients {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	fmt.Fprintln(w, "== sites ==")
+	for _, id := range ids {
+		snap, err := siteClients[id].Metrics()
+		if err != nil {
+			fmt.Fprintf(w, "site %d: unreachable (%v)\n", id, err)
+			continue
+		}
+		label := strconv.FormatInt(int64(id), 10)
+		fmt.Fprintf(w, "site %d: reads=%d writes=%d deletes=%d errors=%d",
+			id,
+			snap.CounterValue("storage_reads_total", label),
+			snap.CounterValue("storage_writes_total", label),
+			snap.CounterValue("storage_deletes_total", label),
+			snap.CounterValue("storage_errors_total", label))
+		if h, ok := snap.Histogram("storage_read_seconds", label); ok && h.Count > 0 {
+			fmt.Fprintf(w, "  read p50=%.2fms p95=%.2fms p99=%.2fms",
+				h.P50*1000, h.P95*1000, h.P99*1000)
+		}
+		fmt.Fprintln(w)
+		if full {
+			_ = snap.WriteText(w)
+		}
+	}
+
+	fmt.Fprintln(w, "== metadata ==")
+	if snap, err := meta.Metrics(); err != nil {
+		fmt.Fprintf(w, "unreachable (%v)\n", err)
+	} else {
+		fmt.Fprintf(w, "blocks=%d registers=%d lookups=%d misses=%d placement updates=%d conflicts=%d\n",
+			snap.GaugeValue("meta_blocks"),
+			snap.CounterValue("meta_registers_total", ""),
+			snap.CounterValue("meta_lookups_total", ""),
+			snap.CounterValue("meta_lookup_misses_total", ""),
+			snap.CounterValue("meta_placement_updates_total", ""),
+			snap.CounterValue("meta_placement_conflicts_total", ""))
+		if full {
+			_ = snap.WriteText(w)
+		}
+	}
+
+	if controlAddr != "" {
+		fmt.Fprintln(w, "== control ==")
+		conn, err := tcp.Dial(controlAddr)
+		if err != nil {
+			fmt.Fprintf(w, "unreachable (%v)\n", err)
+		} else {
+			rc := rpc.NewClient(conn)
+			snap, err := stats.NewClient(rc).Metrics()
+			_ = rc.Close()
+			if err != nil {
+				fmt.Fprintf(w, "unreachable (%v)\n", err)
+			} else {
+				fmt.Fprintf(w, "stats: accesses=%d load reports=%d probes=%d\n",
+					snap.CounterValue("stats_accesses_total", ""),
+					snap.CounterValue("stats_load_reports_total", ""),
+					snap.CounterValue("stats_probe_observations_total", ""))
+				fmt.Fprintf(w, "mover: moves=%d failures=%d\n",
+					snap.CounterValue("mover_moves_total", ""),
+					snap.CounterValue("mover_move_failures_total", ""))
+				fmt.Fprintf(w, "repair: checks=%d repaired=%d gc=%d failed sites=%d\n",
+					snap.CounterValue("repair_checks_total", ""),
+					snap.CounterValue("repair_repaired_chunks_total", ""),
+					snap.CounterValue("repair_gc_collected_total", ""),
+					snap.GaugeValue("repair_failed_sites"))
+				if full {
+					_ = snap.WriteText(w)
+				}
+			}
+		}
+	}
+
+	st := client.PlannerStats()
+	fmt.Fprintln(w, "== local client ==")
+	fmt.Fprintf(w, "plan cache: %d hits, %d misses (%.0f%% hit rate), %d greedy, %d exact\n",
+		st.Hits, st.Misses, 100*st.HitRate(), st.Greedy, st.Exact)
+	return nil
 }

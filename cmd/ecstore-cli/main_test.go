@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"path/filepath"
@@ -11,6 +12,7 @@ import (
 
 	"ecstore/internal/metadata"
 	"ecstore/internal/model"
+	"ecstore/internal/obs"
 	"ecstore/internal/rpc"
 	"ecstore/internal/storage"
 	"ecstore/internal/transport"
@@ -30,7 +32,9 @@ func startTCPCluster(t *testing.T, n int) (string, string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	metaSrv := rpc.NewServer(metadata.NewServer(metadata.NewCatalog(ids)))
+	catalog := metadata.NewCatalog(ids)
+	catalog.EnableMetrics(obs.NewRegistry())
+	metaSrv := rpc.NewServer(metadata.NewServer(catalog))
 	go func() { _ = metaSrv.Serve(metaL) }()
 	t.Cleanup(func() { _ = metaSrv.Close() })
 
@@ -40,7 +44,10 @@ func startTCPCluster(t *testing.T, n int) (string, string) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		svc := storage.NewService(storage.ServiceConfig{Site: id}, storage.NewMemStore())
+		svc := storage.NewService(storage.ServiceConfig{
+			Site:    id,
+			Metrics: obs.NewRegistry(),
+		}, storage.NewMemStore())
 		srv := rpc.NewServer(storage.NewRPCServer(svc))
 		go func() { _ = srv.Serve(l) }()
 		t.Cleanup(func() { _ = srv.Close() })
@@ -90,6 +97,63 @@ func TestCLIPutGetDelStat(t *testing.T) {
 	}
 	if err := run(append(base, "get", "k1")); err == nil {
 		t.Fatal("get after del succeeded")
+	}
+}
+
+func TestCLIStatsSubcommand(t *testing.T) {
+	metaAddr, sites := startTCPCluster(t, 4)
+	base := []string{"-meta", metaAddr, "-sites", sites}
+
+	payload := []byte("stats subcommand payload that spans several chunks")
+	file := filepath.Join(t.TempDir(), "in.bin")
+	if err := os.WriteFile(file, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "put", "k1", file)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	old := os.Stdout
+	rPipe, wPipe, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = wPipe
+	statsErr := run(append(base, "stats"))
+	_ = wPipe.Close()
+	os.Stdout = old
+	if statsErr != nil {
+		t.Fatalf("stats: %v", statsErr)
+	}
+	out, err := io.ReadAll(rPipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"== sites ==", "writes=", "== metadata ==", "registers=1", "plan cache:"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+	// The put stored k+r=4 chunks, one per site.
+	if !strings.Contains(string(out), "writes=1") {
+		t.Errorf("expected per-site write counts in output:\n%s", out)
+	}
+
+	// -full appends the raw metric dump.
+	rPipe, wPipe, err = os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = wPipe
+	statsErr = run(append(base, "stats", "-full"))
+	_ = wPipe.Close()
+	os.Stdout = old
+	if statsErr != nil {
+		t.Fatalf("stats -full: %v", statsErr)
+	}
+	out, _ = io.ReadAll(rPipe)
+	if !strings.Contains(string(out), "counter storage_writes_total") {
+		t.Errorf("stats -full missing raw dump:\n%s", out)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -23,6 +24,7 @@ import (
 	"ecstore/internal/core"
 	"ecstore/internal/metadata"
 	"ecstore/internal/model"
+	"ecstore/internal/obs"
 	"ecstore/internal/repair"
 	"ecstore/internal/rpc"
 	"ecstore/internal/stats"
@@ -46,6 +48,7 @@ func run(args []string) error {
 	moverInterval := fs.Duration("mover-interval", time.Second, "pause between movement attempts")
 	statsInterval := fs.Duration("stats-interval", 5*time.Second, "load report collection period")
 	repairGrace := fs.Duration("repair-grace", 15*time.Minute, "grace before reconstructing a failed site")
+	metricsAddr := fs.String("metrics-addr", "", "HTTP address for /metrics (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,7 +56,8 @@ func run(args []string) error {
 		return errors.New("-sites is required")
 	}
 
-	tcp := &transport.TCP{}
+	reg := obs.NewRegistry()
+	tcp := &transport.TCP{Metrics: transport.NewMetrics(reg)}
 
 	// Metadata client.
 	conn, err := tcp.Dial(*metaAddr)
@@ -84,13 +88,24 @@ func run(args []string) error {
 
 	// Statistics service: local aggregator + RPC server for clients.
 	agg := stats.NewAggregator(0)
+	agg.EnableMetrics(reg)
 	l, err := tcp.Listen(*addr)
 	if err != nil {
 		return err
 	}
 	statsSrv := rpc.NewServer(stats.NewServer(agg))
+	statsSrv.SetMetrics(rpc.NewMetrics(reg, "rpc_server"))
 	go func() { _ = statsSrv.Serve(l) }()
 	defer func() { _ = statsSrv.Close() }()
+
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		fmt.Printf("metrics on http://%s/metrics\n", ml.Addr())
+		go func() { _ = obs.Serve(ml, reg, nil) }()
+	}
 
 	// Periodic load collection + probing (the storage services report
 	// their windows when polled; Section V-A).
@@ -108,9 +123,9 @@ func run(args []string) error {
 					if err := api.Probe(); err != nil {
 						continue
 					}
-					agg.Probes.Observe(id, time.Since(start).Seconds())
+					agg.ObserveProbe(id, time.Since(start).Seconds())
 					if load, err := api.LoadReport(); err == nil {
-						agg.Loads.Report(id, load)
+						agg.ReportLoad(id, load)
 					}
 				}
 			case <-stop:
@@ -124,13 +139,14 @@ func run(args []string) error {
 	if *enableMover {
 		mover = core.NewMoverRunner(core.MoverRunnerConfig{
 			Interval: *moverInterval,
+			Metrics:  reg,
 		}, meta, sites, agg.CoAccess, agg.Loads, agg.Probes)
 		mover.Start()
 		defer mover.Stop()
 	}
 	var repairSvc *repair.Service
 	if *enableRepair {
-		repairSvc = repair.NewService(repair.Config{Grace: *repairGrace}, meta, sites, agg.Loads)
+		repairSvc = repair.NewService(repair.Config{Grace: *repairGrace, Metrics: reg}, meta, sites, agg.Loads)
 		repairSvc.Start()
 		defer repairSvc.Stop()
 	}

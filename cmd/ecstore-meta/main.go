@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -16,6 +17,7 @@ import (
 
 	"ecstore/internal/metadata"
 	"ecstore/internal/model"
+	"ecstore/internal/obs"
 	"ecstore/internal/rpc"
 	"ecstore/internal/transport"
 )
@@ -32,6 +34,7 @@ func run(args []string) error {
 	numSites := fs.Int("sites", 4, "number of storage sites (ids 1..n)")
 	snapshot := fs.String("snapshot", "", "snapshot file for catalog persistence (empty = in-memory only)")
 	snapshotEvery := fs.Duration("snapshot-interval", time.Minute, "periodic snapshot interval")
+	metricsAddr := fs.String("metrics-addr", "", "HTTP address for /metrics (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,15 +46,26 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	reg := obs.NewRegistry()
+	catalog.EnableMetrics(reg)
 
-	tcp := &transport.TCP{}
+	tcp := &transport.TCP{Metrics: transport.NewMetrics(reg)}
 	l, err := tcp.Listen(*addr)
 	if err != nil {
 		return err
 	}
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		fmt.Printf("metrics on http://%s/metrics\n", ml.Addr())
+		go func() { _ = obs.Serve(ml, reg, nil) }()
+	}
 	fmt.Printf("ecstore-meta serving on %s (%d sites, %d blocks loaded)\n",
 		l.Addr(), *numSites, catalog.Len())
 	srv := rpc.NewServer(metadata.NewServer(catalog))
+	srv.SetMetrics(rpc.NewMetrics(reg, "rpc_server"))
 
 	if *snapshot == "" {
 		return srv.Serve(l)

@@ -9,9 +9,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 
 	"ecstore/internal/model"
+	"ecstore/internal/obs"
 	"ecstore/internal/rpc"
 	"ecstore/internal/storage"
 	"ecstore/internal/transport"
@@ -28,6 +30,7 @@ func run(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7101", "listen address")
 	siteID := fs.Int("site", 1, "site id (must be unique across the cluster)")
 	dir := fs.String("dir", "", "chunk directory (empty = in-memory)")
+	metricsAddr := fs.String("metrics-addr", "", "HTTP address for /metrics (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,15 +45,28 @@ func run(args []string) error {
 			return err
 		}
 	}
-	svc := storage.NewService(storage.ServiceConfig{Site: model.SiteID(*siteID)}, store)
+	reg := obs.NewRegistry()
+	svc := storage.NewService(storage.ServiceConfig{
+		Site:    model.SiteID(*siteID),
+		Metrics: reg,
+	}, store)
 
-	tcp := &transport.TCP{}
+	tcp := &transport.TCP{Metrics: transport.NewMetrics(reg)}
 	l, err := tcp.Listen(*addr)
 	if err != nil {
 		return err
 	}
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		fmt.Printf("metrics on http://%s/metrics\n", ml.Addr())
+		go func() { _ = obs.Serve(ml, reg, nil) }()
+	}
 	fmt.Printf("ecstore-site %d serving on %s (store: %s)\n", *siteID, l.Addr(), storeKind(*dir))
 	srv := rpc.NewServer(storage.NewRPCServer(svc))
+	srv.SetMetrics(rpc.NewMetrics(reg, "rpc_server"))
 	return srv.Serve(l)
 }
 

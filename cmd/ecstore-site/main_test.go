@@ -1,7 +1,9 @@
 package main
 
 import (
+	"io"
 	"net"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
@@ -66,6 +68,67 @@ func TestRunServesStorageRPC(t *testing.T) {
 	}
 	if err := client.Probe(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunServesMetricsHTTP(t *testing.T) {
+	rpcL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpcAddr := rpcL.Addr().String()
+	_ = rpcL.Close()
+	metricsL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsAddr := metricsL.Addr().String()
+	_ = metricsL.Close()
+
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{"-addr", rpcAddr, "-site", "9", "-metrics-addr", metricsAddr})
+	}()
+
+	// Store one chunk over RPC, then read the metrics dump over HTTP.
+	tcp := &transport.TCP{DialTimeout: time.Second}
+	var conn net.Conn
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err = tcp.Dial(rpcAddr)
+		if err == nil {
+			break
+		}
+		select {
+		case e := <-errCh:
+			t.Fatalf("server exited early: %v", e)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	client := storage.NewRPCClient(rpc.NewClient(conn))
+	if err := client.PutChunk(model.ChunkRef{Block: "m", Chunk: 0}, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	var body []byte
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + metricsAddr + "/metrics")
+		if err == nil {
+			body, _ = io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !strings.Contains(string(body), `storage_writes_total{site="9"} 1`) {
+		t.Fatalf("metrics dump missing write counter:\n%s", body)
+	}
+	if !strings.Contains(string(body), "rpc_server_requests_total") {
+		t.Fatalf("metrics dump missing rpc server metrics:\n%s", body)
 	}
 }
 

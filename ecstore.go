@@ -35,6 +35,7 @@ import (
 
 	"ecstore/internal/core"
 	"ecstore/internal/model"
+	"ecstore/internal/obs"
 	"ecstore/internal/placement"
 )
 
@@ -47,6 +48,16 @@ type Breakdown = model.Breakdown
 
 // SiteID identifies a storage site.
 type SiteID = model.SiteID
+
+// Registry collects a cluster's metrics (counters, gauges, latency
+// histograms). Create one with NewRegistry and pass it in Config.Metrics.
+type Registry = obs.Registry
+
+// Trace is one finished request's span tree.
+type Trace = obs.Trace
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // Scheme selects the fault-tolerance mechanism.
 type Scheme int
@@ -104,6 +115,11 @@ type Config struct {
 	Background bool
 	// Seed drives all randomized choices.
 	Seed int64
+	// Metrics, when non-nil, instruments every service in the cluster
+	// and enables per-request tracing; snapshot it with its Snapshot
+	// method or via Cluster.Metrics. Nil disables instrumentation at
+	// zero cost (see OBSERVABILITY.md).
+	Metrics *Registry
 }
 
 // Cluster is a single-process EC-Store deployment: in-memory storage
@@ -141,6 +157,7 @@ func Open(cfg Config) (*Cluster, error) {
 		MoverInterval: cfg.MoverInterval,
 		EnableRepair:  cfg.EnableRepair,
 		RepairGrace:   cfg.RepairGrace,
+		Metrics:       cfg.Metrics,
 	}
 	coreCfg.Client = core.Config{
 		K:           cfg.K,
@@ -237,6 +254,21 @@ func (c *Cluster) Stats() Stats {
 		s.ChunksRepaired = c.inner.Repair.Repaired()
 	}
 	return s
+}
+
+// Metrics returns the registry passed in Config.Metrics, or nil when the
+// cluster runs uninstrumented. See OBSERVABILITY.md for the metric
+// families it carries.
+func (c *Cluster) Metrics() *Registry { return c.inner.Metrics }
+
+// Traces returns the n most recent finished request traces, newest
+// first. It returns nil unless Config.Metrics was set (tracing rides on
+// the metrics registry).
+func (c *Cluster) Traces(n int) []*Trace {
+	if c.inner.Tracer == nil {
+		return nil
+	}
+	return c.inner.Tracer.Recent(n)
 }
 
 // ChunkLocations reports which sites hold each chunk of a block, in chunk

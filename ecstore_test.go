@@ -187,3 +187,42 @@ func TestDeleteViaFacade(t *testing.T) {
 		t.Fatal("locations after delete succeeded")
 	}
 }
+
+func TestFacadeMetricsAndTraces(t *testing.T) {
+	reg := NewRegistry()
+	c, err := Open(Config{NumSites: 4, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Metrics() != reg {
+		t.Fatal("Metrics() did not return the configured registry")
+	}
+	if err := c.Put("m1", []byte("facade metrics payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("m1"); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if n := snap.CounterValue("client_requests_total", ""); n != 1 {
+		t.Fatalf("client_requests_total = %d, want 1", n)
+	}
+	if n := snap.SumCounters("storage_writes_total"); n == 0 {
+		t.Fatal("no storage writes recorded")
+	}
+	traces := c.Traces(1)
+	if len(traces) != 1 || traces[0].Name != "get" {
+		t.Fatalf("Traces(1) = %v, want one get trace", traces)
+	}
+
+	// Uninstrumented clusters report nil without tripping anything.
+	plain, err := Open(Config{NumSites: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if plain.Metrics() != nil || plain.Traces(1) != nil {
+		t.Fatal("uninstrumented cluster leaked metrics or traces")
+	}
+}

@@ -9,12 +9,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"ecstore/internal/erasure"
 	"ecstore/internal/metadata"
 	"ecstore/internal/model"
+	"ecstore/internal/obs"
 	"ecstore/internal/placement"
 	"ecstore/internal/stats"
 	"ecstore/internal/storage"
@@ -84,7 +86,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Client is the EC-Store client service.
+// Client is the EC-Store client service: the component applications link
+// against. It owns the erasure codec, the access planner (plan cache +
+// greedy/ILP solvers) and one connection per storage site, and implements
+// the paper's read path R1-R3 (GetMulti) and write path W1-W3 (Put).
 type Client struct {
 	cfg    Config
 	codec  *erasure.Codec // nil for replication
@@ -97,8 +102,51 @@ type Client struct {
 	probes   *stats.ProbeEstimator
 	sink     AccessSink
 
+	obs    clientObs
+	tracer *obs.Tracer
+
 	mu     sync.Mutex
 	failed map[model.SiteID]bool
+}
+
+// clientObs is the client's instrument set; every field is nil-safe so an
+// unconfigured client pays no instrumentation cost.
+type clientObs struct {
+	requests      *obs.Counter
+	puts          *obs.Counter
+	deletes       *obs.Counter
+	blocks        *obs.Counter
+	chunksFetched *obs.Counter
+	fetchErrors   *obs.Counter
+	lateDiscarded *obs.Counter
+	replans       *obs.Counter
+
+	metadataH *obs.Histogram
+	planH     *obs.Histogram
+	fetchH    *obs.Histogram
+	decodeH   *obs.Histogram
+	requestH  *obs.Histogram
+}
+
+func newClientObs(reg *obs.Registry) clientObs {
+	if reg == nil {
+		return clientObs{}
+	}
+	return clientObs{
+		requests:      reg.Counter("client_requests_total", "multi-block read requests"),
+		puts:          reg.Counter("client_puts_total", "blocks written"),
+		deletes:       reg.Counter("client_deletes_total", "blocks deleted"),
+		blocks:        reg.Counter("client_blocks_total", "blocks requested across all reads"),
+		chunksFetched: reg.Counter("client_chunks_fetched_total", "chunk reads that returned data"),
+		fetchErrors:   reg.Counter("client_fetch_errors_total", "chunk reads that failed"),
+		lateDiscarded: reg.Counter("client_late_binding_discarded_total", "surplus chunk responses discarded by late binding"),
+		replans:       reg.Counter("client_replans_total", "re-planning rounds after mid-read site failures"),
+		metadataH:     reg.Histogram("client_metadata_seconds", "read phase R1: metadata lookup latency"),
+		planH:         reg.Histogram("client_plan_seconds", "read phase R2: access planning latency"),
+		fetchH:        reg.Histogram("client_fetch_seconds", "read phase R3a: parallel chunk retrieval latency"),
+		decodeH:       reg.Histogram("client_decode_seconds", "read phase R3b: erasure decode latency"),
+		requestH:      reg.Histogram("client_request_seconds", "end-to-end multi-block read latency"),
+	}
 }
 
 // AccessSink receives sampled multi-block requests, e.g. a remote
@@ -121,6 +169,14 @@ type Deps struct {
 	// Sink additionally receives each request's block set (optional),
 	// feeding a remote statistics service.
 	Sink AccessSink
+	// Metrics optionally exports client instrumentation (request counts,
+	// per-phase latency histograms, late-binding waste, plan-cache
+	// counters) into a shared registry. Nil disables it at zero cost.
+	Metrics *obs.Registry
+	// Tracer optionally records a per-request span tree for each
+	// GetMulti (metadata/plan/fetch/decode, with per-site fetch child
+	// spans). Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 // NewClient builds a client service.
@@ -159,11 +215,14 @@ func NewClient(cfg Config, deps Deps) (*Client, error) {
 			Delta:       cfg.Delta,
 			InlineExact: cfg.InlineExact,
 			Seed:        cfg.Seed,
+			Metrics:     deps.Metrics,
 		}),
 		placer:   placer,
 		coaccess: coaccess,
 		probes:   probes,
 		sink:     deps.Sink,
+		obs:      newClientObs(deps.Metrics),
+		tracer:   deps.Tracer,
 		failed:   make(map[model.SiteID]bool),
 	}, nil
 }
@@ -284,6 +343,7 @@ func (c *Client) Put(id model.BlockID, data []byte) error {
 	if err := c.meta.Register(meta); err != nil {
 		return fmt.Errorf("register %s: %w", id, err)
 	}
+	c.obs.puts.Inc()
 	return nil
 }
 
@@ -303,14 +363,23 @@ func (c *Client) GetMulti(ids []model.BlockID) (map[model.BlockID][]byte, model.
 	if len(ids) == 0 {
 		return nil, bd, nil
 	}
+	c.obs.requests.Inc()
+	c.obs.blocks.Add(int64(len(ids)))
+	tstart := time.Now()
+	defer func() { c.obs.requestH.ObserveSince(tstart) }()
+	tr := c.tracer.Start("get")
+	defer tr.Finish()
 
 	// R1: metadata access.
 	t0 := time.Now()
+	sp := tr.StartSpan("metadata")
 	metas, err := c.meta.Lookup(ids)
+	sp.End()
 	if err != nil {
 		return nil, bd, fmt.Errorf("metadata lookup: %w", err)
 	}
 	bd.Metadata = time.Since(t0).Seconds()
+	c.obs.metadataH.Observe(bd.Metadata)
 
 	// Feed co-access statistics (sampled request stream); statistics
 	// loss must never fail a read, so sink errors degrade silently.
@@ -321,41 +390,53 @@ func (c *Client) GetMulti(ids []model.BlockID) (map[model.BlockID][]byte, model.
 
 	// R2: access planning.
 	t1 := time.Now()
+	sp = tr.StartSpan("plan")
 	plan, _, err := c.plan.Plan(placement.PlanRequest{Metas: metas, Available: c.available}, c.costs())
+	sp.End()
 	if err != nil {
 		return nil, bd, fmt.Errorf("plan access: %w", err)
 	}
 	bd.Planning = time.Since(t1).Seconds()
+	c.obs.planH.Observe(bd.Planning)
 
 	// R3: retrieval and decode. Site failures are discovered one fetch
 	// at a time (an RPC error marks the site), so replanning retries
 	// until the request succeeds or the failure set stops growing the
 	// feasible space.
 	t2 := time.Now()
-	chunks, err := c.fetch(plan, metas)
+	sp = tr.StartSpan("fetch")
+	chunks, err := c.fetch(plan, metas, sp)
 	for attempt := 0; err != nil && attempt < len(c.sites); attempt++ {
+		c.obs.replans.Inc()
 		var planErr error
 		plan, _, planErr = c.plan.Plan(placement.PlanRequest{Metas: metas, Available: c.available}, c.costs())
 		if planErr != nil {
+			sp.End()
 			return nil, bd, fmt.Errorf("replan access: %w", planErr)
 		}
-		chunks, err = c.fetch(plan, metas)
+		chunks, err = c.fetch(plan, metas, sp)
 	}
+	sp.End()
 	if err != nil {
 		return nil, bd, err
 	}
 	bd.Retrieve = time.Since(t2).Seconds()
+	c.obs.fetchH.Observe(bd.Retrieve)
 
 	t3 := time.Now()
+	sp = tr.StartSpan("decode")
 	out := make(map[model.BlockID][]byte, len(ids))
 	for id, meta := range metas {
 		data, err := c.assemble(meta, chunks[id])
 		if err != nil {
+			sp.End()
 			return nil, bd, fmt.Errorf("decode %s: %w", id, err)
 		}
 		out[id] = data
 	}
+	sp.End()
 	bd.Decode = time.Since(t3).Seconds()
+	c.obs.decodeH.Observe(bd.Decode)
 	return out, bd, nil
 }
 
@@ -371,12 +452,17 @@ type fetchResult struct {
 // that site's chunk reads sequentially (modelling one connection per site),
 // and the caller completes as soon as every block has k chunks — surplus
 // late-binding responses are discarded as they trickle in.
-func (c *Client) fetch(plan *model.AccessPlan, metas map[model.BlockID]*model.BlockMeta) (map[model.BlockID]map[int][]byte, error) {
+func (c *Client) fetch(plan *model.AccessPlan, metas map[model.BlockID]*model.BlockMeta, span obs.SpanRef) (map[model.BlockID]map[int][]byte, error) {
 	total := plan.ChunkCount()
 	results := make(chan fetchResult, total)
 	for _, site := range plan.SortedSites() {
 		refs := plan.Reads[site]
-		go func(site model.SiteID, refs []model.ChunkRef) {
+		var siteSpan obs.SpanRef
+		if span.Active() {
+			siteSpan = span.Child("site " + strconv.FormatInt(int64(site), 10))
+		}
+		go func(site model.SiteID, refs []model.ChunkRef, siteSpan obs.SpanRef) {
+			defer siteSpan.End()
 			api := c.sites[site]
 			for _, ref := range refs {
 				if api == nil {
@@ -386,7 +472,7 @@ func (c *Client) fetch(plan *model.AccessPlan, metas map[model.BlockID]*model.Bl
 				data, err := api.GetChunk(ref)
 				results <- fetchResult{ref: ref, site: site, data: data, err: err}
 			}
-		}(site, refs)
+		}(site, refs, siteSpan)
 	}
 
 	need := make(map[model.BlockID]int, len(metas))
@@ -396,8 +482,10 @@ func (c *Client) fetch(plan *model.AccessPlan, metas map[model.BlockID]*model.Bl
 	got := make(map[model.BlockID]map[int][]byte, len(metas))
 	satisfied := 0
 	failures := 0
+	fetched := 0
 
-	for received := 0; received < total && satisfied < len(metas); received++ {
+	received := 0
+	for ; received < total && satisfied < len(metas); received++ {
 		res := <-results
 		if res.err != nil {
 			failures++
@@ -406,6 +494,7 @@ func (c *Client) fetch(plan *model.AccessPlan, metas map[model.BlockID]*model.Bl
 			}
 			continue
 		}
+		fetched++
 		m := got[res.ref.Block]
 		if m == nil {
 			m = make(map[int][]byte)
@@ -419,6 +508,11 @@ func (c *Client) fetch(plan *model.AccessPlan, metas map[model.BlockID]*model.Bl
 			satisfied++
 		}
 	}
+	c.obs.chunksFetched.Add(int64(fetched))
+	c.obs.fetchErrors.Add(int64(failures))
+	// Late-binding waste: planned reads whose responses the request did
+	// not wait for (the paper's surplus k+δ responses).
+	c.obs.lateDiscarded.Add(int64(total - received))
 
 	if satisfied < len(metas) {
 		for id := range metas {
@@ -461,6 +555,7 @@ func (c *Client) Delete(id model.BlockID) error {
 		}(api, model.ChunkRef{Block: id, Chunk: chunk})
 	}
 	wg.Wait()
+	c.obs.deletes.Inc()
 	return nil
 }
 

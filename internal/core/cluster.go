@@ -6,6 +6,7 @@ import (
 
 	"ecstore/internal/metadata"
 	"ecstore/internal/model"
+	"ecstore/internal/obs"
 	"ecstore/internal/placement"
 	"ecstore/internal/repair"
 	"ecstore/internal/stats"
@@ -33,9 +34,16 @@ type ClusterConfig struct {
 	// ReadDelayPerByte/ReadDelayFixed emulate storage media on each site.
 	ReadDelayPerByte time.Duration
 	ReadDelayFixed   time.Duration
+	// Metrics optionally instruments every component (sites, catalog,
+	// client, planner, mover, repair) with one shared registry and
+	// enables per-request tracing. Nil disables observability at zero
+	// cost on the hot path.
+	Metrics *obs.Registry
 }
 
-// Cluster is a fully wired in-process EC-Store instance. Examples and
+// Cluster is a fully wired in-process EC-Store instance: every paper
+// component (storage sites, metadata catalog, statistics trackers, client,
+// chunk mover, repair service) sharing one address space. Examples and
 // integration tests use it directly; cmd/ binaries wire the same pieces
 // over RPC instead.
 type Cluster struct {
@@ -47,6 +55,10 @@ type Cluster struct {
 	Probes   *stats.ProbeEstimator
 	Mover    *MoverRunner
 	Repair   *repair.Service
+	// Metrics is the shared registry (nil when observability is off) and
+	// Tracer the per-request trace collector backed by it.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 
 	statsInterval time.Duration
 	stop          chan struct{}
@@ -64,7 +76,15 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		siteIDs[i] = model.SiteID(i + 1)
 	}
 
+	var tracer *obs.Tracer
+	if cfg.Metrics != nil {
+		tracer = obs.NewTracer(128, cfg.Metrics)
+	}
+
 	catalog := metadata.NewCatalog(siteIDs)
+	if cfg.Metrics != nil {
+		catalog.EnableMetrics(cfg.Metrics)
+	}
 	services := make(map[model.SiteID]*storage.Service, cfg.NumSites)
 	apis := make(map[model.SiteID]storage.SiteAPI, cfg.NumSites)
 	for _, id := range siteIDs {
@@ -72,6 +92,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Site:             id,
 			ReadDelayPerByte: cfg.ReadDelayPerByte,
 			ReadDelayFixed:   cfg.ReadDelayFixed,
+			Metrics:          cfg.Metrics,
 		}, storage.NewMemStore())
 		services[id] = svc
 		apis[id] = svc
@@ -87,6 +108,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		CoAccess: coaccess,
 		Probes:   probes,
 		Loads:    loads,
+		Metrics:  cfg.Metrics,
+		Tracer:   tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -99,6 +122,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		CoAccess:      coaccess,
 		Loads:         loads,
 		Probes:        probes,
+		Metrics:       cfg.Metrics,
+		Tracer:        tracer,
 		statsInterval: cfg.StatsInterval,
 		stop:          make(chan struct{}),
 		done:          make(chan struct{}),
@@ -112,11 +137,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Interval: cfg.MoverInterval,
 			DefaultO: cfg.Client.DefaultO,
 			DefaultM: cfg.Client.DefaultM,
+			Metrics:  cfg.Metrics,
 		}, catalog, apis, coaccess, loads, probes)
 	}
 	if cfg.EnableRepair {
 		c.Repair = repair.NewService(repair.Config{
-			Grace: cfg.RepairGrace,
+			Grace:   cfg.RepairGrace,
+			Metrics: cfg.Metrics,
 		}, catalog, apis, loads)
 	}
 	return c, nil

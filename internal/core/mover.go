@@ -8,6 +8,7 @@ import (
 
 	"ecstore/internal/metadata"
 	"ecstore/internal/model"
+	"ecstore/internal/obs"
 	"ecstore/internal/placement"
 	"ecstore/internal/stats"
 	"ecstore/internal/storage"
@@ -29,12 +30,15 @@ type MoverRunnerConfig struct {
 	// DefaultO and DefaultM seed the cost model.
 	DefaultO float64
 	DefaultM float64
+	// Metrics optionally exports move counters into a shared registry.
+	// Nil disables it.
+	Metrics *obs.Registry
 }
 
-// MoverRunner asynchronously relocates chunks: it selects a movement plan
-// with the placement.Mover, copies the chunk to its destination, updates
-// the metadata (CAS), then deletes the source copy so concurrent readers
-// never lose access.
+// MoverRunner is the background chunk mover daemon: it periodically asks
+// the placement.Mover for the highest-scoring movement plan, then executes
+// it with the copy -> CAS -> delete protocol so concurrent readers never
+// lose access to a chunk mid-move.
 type MoverRunner struct {
 	cfg    MoverRunnerConfig
 	mover  *placement.Mover
@@ -43,6 +47,9 @@ type MoverRunner struct {
 	co     *stats.CoAccessTracker
 	loads  *stats.LoadTracker
 	probes *stats.ProbeEstimator
+
+	movesC     *obs.Counter
+	moveFailsC *obs.Counter
 
 	mu     sync.Mutex
 	moved  int64
@@ -69,7 +76,7 @@ func NewMoverRunner(cfg MoverRunnerConfig, meta metadata.Service, sites map[mode
 	if cfg.DefaultM == 0 {
 		cfg.DefaultM = 1.0 / (100 * 1024)
 	}
-	return &MoverRunner{
+	r := &MoverRunner{
 		cfg:    cfg,
 		mover:  placement.NewMover(cfg.Mover),
 		meta:   meta,
@@ -80,6 +87,11 @@ func NewMoverRunner(cfg MoverRunnerConfig, meta metadata.Service, sites map[mode
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	if cfg.Metrics != nil {
+		r.movesC = cfg.Metrics.Counter("mover_moves_total", "chunk movements committed")
+		r.moveFailsC = cfg.Metrics.Counter("mover_move_failures_total", "chunk movements that failed or lost a CAS race")
+	}
+	return r
 }
 
 // Start launches the periodic mover goroutine.
@@ -151,11 +163,13 @@ func (r *MoverRunner) MoveOnce() (model.MovePlan, error) {
 		r.mu.Lock()
 		r.failed++
 		r.mu.Unlock()
+		r.moveFailsC.Inc()
 		return plan, err
 	}
 	r.mu.Lock()
 	r.moved++
 	r.mu.Unlock()
+	r.movesC.Inc()
 	return plan, nil
 }
 

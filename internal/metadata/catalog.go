@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"ecstore/internal/model"
+	"ecstore/internal/obs"
 )
 
 // Errors returned by the catalog.
@@ -33,6 +34,34 @@ type Catalog struct {
 	// repair scans after a site failure.
 	bySite map[model.SiteID]map[model.BlockID]bool
 	sites  map[model.SiteID]bool
+
+	reg         *obs.Registry
+	registers   *obs.Counter
+	lookups     *obs.Counter
+	lookupMiss  *obs.Counter
+	deletes     *obs.Counter
+	updates     *obs.Counter
+	updateFails *obs.Counter
+	blocksGauge *obs.Gauge
+}
+
+// EnableMetrics exports catalog instrumentation into reg (nil disables it,
+// which is the default). Call before serving traffic.
+func (c *Catalog) EnableMetrics(reg *obs.Registry) {
+	c.reg = reg
+	c.registers = reg.Counter("meta_registers_total", "blocks registered")
+	c.lookups = reg.Counter("meta_lookups_total", "block metadata lookups")
+	c.lookupMiss = reg.Counter("meta_lookup_misses_total", "lookups of unknown blocks")
+	c.deletes = reg.Counter("meta_deletes_total", "blocks deleted")
+	c.updates = reg.Counter("meta_placement_updates_total", "successful chunk placement CAS updates")
+	c.updateFails = reg.Counter("meta_placement_conflicts_total", "placement CAS updates rejected (stale version or conflict)")
+	c.blocksGauge = reg.Gauge("meta_blocks", "blocks currently registered")
+}
+
+// MetricsSnapshot captures the catalog's registry (empty when metrics are
+// disabled). Served remotely by the GetMetrics RPC method.
+func (c *Catalog) MetricsSnapshot() *obs.Snapshot {
+	return c.reg.Snapshot()
 }
 
 // NewCatalog returns an empty catalog aware of the given sites.
@@ -99,6 +128,8 @@ func (c *Catalog) Register(meta *model.BlockMeta) error {
 	for _, s := range stored.Sites {
 		c.indexLocked(s, stored.ID)
 	}
+	c.registers.Inc()
+	c.blocksGauge.Set(int64(len(c.blocks)))
 	return nil
 }
 
@@ -137,10 +168,12 @@ func (c *Catalog) BlockMeta(id model.BlockID) (*model.BlockMeta, bool) {
 func (c *Catalog) Lookup(ids []model.BlockID) (map[model.BlockID]*model.BlockMeta, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	c.lookups.Inc()
 	out := make(map[model.BlockID]*model.BlockMeta, len(ids))
 	for _, id := range ids {
 		meta, ok := c.blocks[id]
 		if !ok {
+			c.lookupMiss.Inc()
 			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 		}
 		out[id] = meta.Clone()
@@ -161,6 +194,8 @@ func (c *Catalog) Delete(id model.BlockID) (*model.BlockMeta, error) {
 	for _, s := range meta.Sites {
 		c.unindexLocked(s, id)
 	}
+	c.deletes.Inc()
+	c.blocksGauge.Set(int64(len(c.blocks)))
 	return meta, nil
 }
 
@@ -173,19 +208,24 @@ func (c *Catalog) UpdatePlacement(id model.BlockID, chunk int, to model.SiteID, 
 	defer c.mu.Unlock()
 	meta, ok := c.blocks[id]
 	if !ok {
+		c.updateFails.Inc()
 		return 0, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	if chunk < 0 || chunk >= len(meta.Sites) {
+		c.updateFails.Inc()
 		return 0, fmt.Errorf("%w: %d", ErrInvalidChunk, chunk)
 	}
 	if meta.Version != expectVersion {
+		c.updateFails.Inc()
 		return 0, fmt.Errorf("%w: have %d, expected %d", ErrStaleVersion, meta.Version, expectVersion)
 	}
 	if !c.sites[to] {
+		c.updateFails.Inc()
 		return 0, fmt.Errorf("%w: site %d", ErrUnknownSite, to)
 	}
 	for ci, s := range meta.Sites {
 		if s == to && ci != chunk {
+			c.updateFails.Inc()
 			return 0, fmt.Errorf("%w: site %d", ErrChunkConflict, to)
 		}
 	}
@@ -204,6 +244,7 @@ func (c *Catalog) UpdatePlacement(id model.BlockID, chunk int, to model.SiteID, 
 		}
 	}
 	c.indexLocked(to, id)
+	c.updates.Inc()
 	return meta.Version, nil
 }
 

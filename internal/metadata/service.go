@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ecstore/internal/model"
+	"ecstore/internal/obs"
 	"ecstore/internal/rpc"
 	"ecstore/internal/wire"
 )
@@ -25,7 +26,9 @@ var (
 	_ Service = (*Client)(nil)
 )
 
-// RPC method numbers of the metadata service.
+// RPC method numbers of the metadata service. New methods are appended at
+// the end of the iota block — numbers are part of the wire protocol and
+// must never be reordered (see DESIGN.md, "RPC method numbering").
 const (
 	methodRegister rpc.Method = iota + 1
 	methodLookup
@@ -33,6 +36,7 @@ const (
 	methodUpdatePlacement
 	methodBlocksOnSite
 	methodSites
+	methodGetMetrics
 )
 
 // EncodeBlockMeta serializes block metadata.
@@ -161,6 +165,9 @@ func (s *Server) Handle(method rpc.Method, body []byte) ([]byte, error) {
 		}
 		return e.Bytes(), nil
 
+	case methodGetMetrics:
+		return obs.MarshalSnapshot(s.catalog.MetricsSnapshot()), nil
+
 	case methodSites:
 		sites := s.catalog.Sites()
 		e := wire.NewEncoder(8 * len(sites))
@@ -261,6 +268,15 @@ func (c *Client) BlocksOnSite(s model.SiteID) []model.BlockID {
 		return nil
 	}
 	return out
+}
+
+// Metrics fetches the remote metadata service's metrics snapshot.
+func (c *Client) Metrics() (*obs.Snapshot, error) {
+	resp, err := c.rc.Call(methodGetMetrics, nil)
+	if err != nil {
+		return nil, err
+	}
+	return obs.UnmarshalSnapshot(resp)
 }
 
 // Sites implements Service. RPC failures yield an empty list.

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+)
+
+// Handler serves a registry (and optionally a tracer) over HTTP as plain
+// text — the daemons' `-metrics-addr` surface:
+//
+//	GET /metrics   expvar-style text dump of every instrument
+//	GET /traces    most recent finished request traces (404 if no tracer)
+//
+// tracer may be nil.
+func Handler(reg *Registry, tracer *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.Snapshot().WriteText(w)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		if tracer == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, tr := range tracer.Recent(32) {
+			_, _ = w.Write([]byte(tr.String()))
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ecstore observability endpoints: /metrics /traces\n"))
+	})
+	return mux
+}
+
+// Serve serves the metrics handler on the listener until the listener is
+// closed. Run it in a goroutine the caller owns.
+func Serve(l net.Listener, reg *Registry, tracer *Tracer) error {
+	srv := &http.Server{Handler: Handler(reg, tracer)}
+	return srv.Serve(l)
+}

@@ -1,0 +1,315 @@
+// Package obs is EC-Store's observability substrate: a dependency-free
+// metrics registry (atomic counters and gauges, lock-striped latency
+// histograms with p50/p95/p99 estimation, and labeled metric families) plus
+// a lightweight per-request trace context (request id and nested span
+// timings for the client's plan→fetch→decode pipeline).
+//
+// Every instrument is nil-safe: a nil *Counter, *Gauge, *Histogram, vector
+// or *Trace turns each operation into a no-op without allocating, so
+// instrumented code can be compiled in unconditionally and pays nothing
+// when the owning *Registry is nil (disabled). Conventions follow the
+// Prometheus naming style: cumulative counters end in `_total`, latency
+// histograms end in `_seconds` and observe float64 seconds.
+//
+// The registry is exported three ways: WriteText renders an expvar-style
+// text dump (served over HTTP by Handler), MarshalSnapshot/UnmarshalSnapshot
+// move point-in-time snapshots across the RPC boundary for each service's
+// GetMetrics method, and Snapshot supports programmatic assertions in tests
+// and the `ecstore-cli stats` cluster summary.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil counter
+// discards updates, so disabled instrumentation costs one branch.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored to keep the counter monotonic).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (may go up and down).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// CounterVec is a labeled family of counters sharing one name (for example
+// storage_reads_total{site="3"}).
+type CounterVec struct {
+	name  string
+	label string
+
+	mu sync.RWMutex
+	m  map[string]*Counter
+}
+
+// With returns the counter for one label value, creating it on first use.
+// Callers on hot paths should cache the returned *Counter.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	c := v.m[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.m[value]; c == nil {
+		c = &Counter{}
+		v.m[value] = c
+	}
+	return c
+}
+
+// HistogramVec is a labeled family of histograms sharing one name (for
+// example storage_read_seconds{site="3"}).
+type HistogramVec struct {
+	name  string
+	label string
+
+	mu sync.RWMutex
+	m  map[string]*Histogram
+}
+
+// With returns the histogram for one label value, creating it on first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	h := v.m[value]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.m[value]; h == nil {
+		h = newHistogram()
+		v.m[value] = h
+	}
+	return h
+}
+
+// Registry names and owns a process's instruments. The nil registry hands
+// out nil instruments, disabling instrumentation with zero allocation on
+// the instrumented paths. All methods are safe for concurrent use;
+// requesting an existing name returns the existing instrument (requesting
+// it as a different type panics, as that is a programming error).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	cvecs    map[string]*CounterVec
+	hvecs    map[string]*HistogramVec
+	help     map[string]string
+	kinds    map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		cvecs:    make(map[string]*CounterVec),
+		hvecs:    make(map[string]*HistogramVec),
+		help:     make(map[string]string),
+		kinds:    make(map[string]string),
+	}
+}
+
+func (r *Registry) claim(name, kind, help string) {
+	if prev, ok := r.kinds[name]; ok && prev != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, prev, kind))
+	}
+	r.kinds[name] = kind
+	if help != "" {
+		r.help[name] = help
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "counter", help)
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "gauge", help)
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named latency histogram, creating it if needed.
+// Values are float64 seconds.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "histogram", help)
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterVec returns the named counter family keyed by one label.
+func (r *Registry) CounterVec(name, label, help string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "countervec", help)
+	v := r.cvecs[name]
+	if v == nil {
+		v = &CounterVec{name: name, label: label, m: make(map[string]*Counter)}
+		r.cvecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named histogram family keyed by one label.
+func (r *Registry) HistogramVec(name, label, help string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "histogramvec", help)
+	v := r.hvecs[name]
+	if v == nil {
+		v = &HistogramVec{name: name, label: label, m: make(map[string]*Histogram)}
+		r.hvecs[name] = v
+	}
+	return v
+}
+
+// Snapshot captures every instrument's current value. The result is sorted
+// by (name, label) and detached from the live registry.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		snap.Counters = append(snap.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		snap.Gauges = append(snap.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		snap.Histograms = append(snap.Histograms, h.snap(name, "", ""))
+	}
+	for name, v := range r.cvecs {
+		v.mu.RLock()
+		for value, c := range v.m {
+			snap.Counters = append(snap.Counters, CounterSnap{
+				Name: name, Label: v.label, LabelValue: value, Value: c.Value(),
+			})
+		}
+		v.mu.RUnlock()
+	}
+	for name, v := range r.hvecs {
+		v.mu.RLock()
+		for value, h := range v.m {
+			snap.Histograms = append(snap.Histograms, h.snap(name, v.label, value))
+		}
+		v.mu.RUnlock()
+	}
+	snap.sort()
+	return snap
+}
+
+func (s *Snapshot) sort() {
+	sort.Slice(s.Counters, func(i, j int) bool {
+		if s.Counters[i].Name != s.Counters[j].Name {
+			return s.Counters[i].Name < s.Counters[j].Name
+		}
+		return s.Counters[i].LabelValue < s.Counters[j].LabelValue
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		if s.Histograms[i].Name != s.Histograms[j].Name {
+			return s.Histograms[i].Name < s.Histograms[j].Name
+		}
+		return s.Histograms[i].LabelValue < s.Histograms[j].LabelValue
+	})
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"ecstore/internal/wire"
+)
+
+// CounterSnap is one counter's value at snapshot time. Label/LabelValue
+// are empty for plain (unlabeled) counters.
+type CounterSnap struct {
+	Name       string
+	Label      string
+	LabelValue string
+	Value      int64
+}
+
+// GaugeSnap is one gauge's value at snapshot time.
+type GaugeSnap struct {
+	Name  string
+	Value int64
+}
+
+// HistogramSnap is one histogram's summary at snapshot time. All values
+// are in seconds.
+type HistogramSnap struct {
+	Name       string
+	Label      string
+	LabelValue string
+	Count      uint64
+	Sum        float64
+	Min        float64
+	Max        float64
+	P50        float64
+	P95        float64
+	P99        float64
+}
+
+// Snapshot is a detached, sorted copy of a registry's state, suitable for
+// wire transport (GetMetrics RPCs) and programmatic inspection.
+type Snapshot struct {
+	Counters   []CounterSnap
+	Gauges     []GaugeSnap
+	Histograms []HistogramSnap
+}
+
+// CounterValue returns the value of the (name, labelValue) counter, or 0
+// if absent. Pass labelValue "" for unlabeled counters.
+func (s *Snapshot) CounterValue(name, labelValue string) int64 {
+	if s == nil {
+		return 0
+	}
+	for _, c := range s.Counters {
+		if c.Name == name && c.LabelValue == labelValue {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// GaugeValue returns the value of the named gauge, or 0 if absent.
+func (s *Snapshot) GaugeValue(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// Histogram returns the (name, labelValue) histogram summary, if present.
+func (s *Snapshot) Histogram(name, labelValue string) (HistogramSnap, bool) {
+	if s == nil {
+		return HistogramSnap{}, false
+	}
+	for _, h := range s.Histograms {
+		if h.Name == name && h.LabelValue == labelValue {
+			return h, true
+		}
+	}
+	return HistogramSnap{}, false
+}
+
+// SumCounters sums every labeled value of one counter family (for example
+// total reads across all sites).
+func (s *Snapshot) SumCounters(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	var total int64
+	for _, c := range s.Counters {
+		if c.Name == name {
+			total += c.Value
+		}
+	}
+	return total
+}
+
+// snapshotVersion guards the wire layout of marshaled snapshots.
+const snapshotVersion = 1
+
+// MarshalSnapshot serializes a snapshot for RPC transport (the GetMetrics
+// method of each service returns this encoding).
+func MarshalSnapshot(s *Snapshot) []byte {
+	e := wire.NewEncoder(64 + 48*(len(s.Counters)+len(s.Gauges)) + 96*len(s.Histograms))
+	e.Uint8(snapshotVersion)
+	e.Uint32(uint32(len(s.Counters)))
+	for _, c := range s.Counters {
+		e.String(c.Name)
+		e.String(c.Label)
+		e.String(c.LabelValue)
+		e.Int64(c.Value)
+	}
+	e.Uint32(uint32(len(s.Gauges)))
+	for _, g := range s.Gauges {
+		e.String(g.Name)
+		e.Int64(g.Value)
+	}
+	e.Uint32(uint32(len(s.Histograms)))
+	for _, h := range s.Histograms {
+		e.String(h.Name)
+		e.String(h.Label)
+		e.String(h.LabelValue)
+		e.Uint64(h.Count)
+		e.Float64(h.Sum)
+		e.Float64(h.Min)
+		e.Float64(h.Max)
+		e.Float64(h.P50)
+		e.Float64(h.P95)
+		e.Float64(h.P99)
+	}
+	return e.Bytes()
+}
+
+// UnmarshalSnapshot decodes a snapshot produced by MarshalSnapshot.
+func UnmarshalSnapshot(body []byte) (*Snapshot, error) {
+	d := wire.NewDecoder(body)
+	if v := d.Uint8(); v != snapshotVersion {
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("obs: unsupported snapshot version %d", v)
+	}
+	s := &Snapshot{}
+	nc := int(d.Uint32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < nc; i++ {
+		c := CounterSnap{Name: d.String(), Label: d.String(), LabelValue: d.String(), Value: d.Int64()}
+		s.Counters = append(s.Counters, c)
+	}
+	ng := int(d.Uint32())
+	for i := 0; i < ng; i++ {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: d.String(), Value: d.Int64()})
+	}
+	nh := int(d.Uint32())
+	for i := 0; i < nh; i++ {
+		h := HistogramSnap{Name: d.String(), Label: d.String(), LabelValue: d.String()}
+		h.Count = d.Uint64()
+		h.Sum = d.Float64()
+		h.Min = d.Float64()
+		h.Max = d.Float64()
+		h.P50 = d.Float64()
+		h.P95 = d.Float64()
+		h.P99 = d.Float64()
+		s.Histograms = append(s.Histograms, h)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// WriteText renders the snapshot as an expvar-style text dump, one metric
+// per line:
+//
+//	counter storage_reads_total{site="1"} 42
+//	gauge repair_failed_sites 0
+//	histogram client_fetch_seconds count=3 sum=0.0021 min=0.0005 max=0.0010 p50=0.0006 p95=0.0010 p99=0.0010
+func (s *Snapshot) WriteText(w io.Writer) error {
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", metricID(c.Name, c.Label, c.LabelValue), c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "gauge %s %d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(w,
+			"histogram %s count=%d sum=%.6g min=%.6g max=%.6g p50=%.6g p95=%.6g p99=%.6g\n",
+			metricID(h.Name, h.Label, h.LabelValue),
+			h.Count, h.Sum, h.Min, h.Max, h.P50, h.P95, h.P99); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func metricID(name, label, value string) string {
+	if label == "" {
+		return name
+	}
+	return fmt.Sprintf("%s{%s=%q}", name, label, value)
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer mints per-request traces and retains the most recent finished
+// ones in a ring buffer. When built over a registry it also folds every
+// finished span into the `trace_span_seconds{span=...}` histogram family
+// and counts traces in `traces_total`, so span timings are queryable
+// through the same metrics surface as everything else.
+//
+// The nil tracer is disabled: Start returns a nil *Trace whose span
+// operations are allocation-free no-ops.
+type Tracer struct {
+	seq    atomic.Uint64
+	spans  *HistogramVec
+	traces *Counter
+
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+}
+
+// NewTracer returns a tracer retaining up to capacity finished traces
+// (capacity <= 0 means 64). reg may be nil, in which case traces are still
+// collected but span histograms are not exported.
+func NewTracer(capacity int, reg *Registry) *Tracer {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Tracer{
+		spans:  reg.HistogramVec("trace_span_seconds", "span", "per-span latency from finished request traces"),
+		traces: reg.Counter("traces_total", "finished request traces"),
+		ring:   make([]*Trace, 0, capacity),
+	}
+}
+
+// Start begins a new trace with a fresh request id.
+func (t *Tracer) Start(name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{
+		tracer: t,
+		ID:     t.seq.Add(1),
+		Name:   name,
+		Begin:  time.Now(),
+	}
+}
+
+// Recent returns up to n finished traces, most recent first.
+func (t *Tracer) Recent(n int) []*Trace {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Trace, 0, n)
+	for i := 0; i < len(t.ring) && len(out) < n; i++ {
+		idx := (t.next - 1 - i + len(t.ring)) % len(t.ring)
+		if tr := t.ring[idx]; tr != nil {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+func (t *Tracer) record(tr *Trace) {
+	t.traces.Inc()
+	for i := range tr.spans {
+		sp := &tr.spans[i]
+		if sp.End >= sp.Start {
+			t.spans.With(sp.Name).ObserveDuration(sp.End - sp.Start)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, tr)
+		t.next = len(t.ring) % cap(t.ring)
+		return
+	}
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % len(t.ring)
+}
+
+// Span is one timed region of a trace. Start/End are offsets from the
+// trace's Begin time; Parent is the index of the enclosing span, or -1 for
+// spans directly under the request root.
+type Span struct {
+	Name   string
+	Parent int
+	Depth  int
+	Start  time.Duration
+	End    time.Duration
+}
+
+// Trace is one request's trace context: a request id plus a tree of spans.
+// Spans may be started concurrently from multiple goroutines.
+type Trace struct {
+	tracer *Tracer
+	ID     uint64
+	Name   string
+	Begin  time.Time
+
+	mu       sync.Mutex
+	spans    []Span
+	total    time.Duration
+	finished bool
+}
+
+// StartSpan opens a span directly under the request root. Safe on a nil
+// trace (returns a no-op SpanRef without allocating).
+func (tr *Trace) StartSpan(name string) SpanRef {
+	if tr == nil {
+		return SpanRef{idx: -1}
+	}
+	return tr.startSpan(name, -1, 1)
+}
+
+func (tr *Trace) startSpan(name string, parent, depth int) SpanRef {
+	now := time.Since(tr.Begin)
+	tr.mu.Lock()
+	idx := len(tr.spans)
+	tr.spans = append(tr.spans, Span{Name: name, Parent: parent, Depth: depth, Start: now, End: -1})
+	tr.mu.Unlock()
+	return SpanRef{tr: tr, idx: idx}
+}
+
+// Finish closes the trace and hands it to the tracer's ring. Further span
+// operations are ignored.
+func (tr *Trace) Finish() {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if tr.finished {
+		tr.mu.Unlock()
+		return
+	}
+	tr.finished = true
+	tr.total = time.Since(tr.Begin)
+	// Close any spans left open so the ring never holds negative ends.
+	for i := range tr.spans {
+		if tr.spans[i].End < 0 {
+			tr.spans[i].End = tr.total
+		}
+	}
+	tr.mu.Unlock()
+	tr.tracer.record(tr)
+}
+
+// Total returns the trace's wall-clock duration (zero until Finish).
+func (tr *Trace) Total() time.Duration {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.total
+}
+
+// Spans returns a copy of the recorded spans.
+func (tr *Trace) Spans() []Span {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]Span, len(tr.spans))
+	copy(out, tr.spans)
+	return out
+}
+
+// String renders the trace as an indented span tree for debugging output.
+func (tr *Trace) String() string {
+	if tr == nil {
+		return "<no trace>"
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %d %s total=%s\n", tr.ID, tr.Name, tr.total)
+	for _, sp := range tr.spans {
+		fmt.Fprintf(&b, "%s%s %s\n", strings.Repeat("  ", sp.Depth), sp.Name, sp.End-sp.Start)
+	}
+	return b.String()
+}
+
+// SpanRef addresses one open span of a trace. The zero value (and any ref
+// from a nil trace) is a no-op.
+type SpanRef struct {
+	tr  *Trace
+	idx int
+}
+
+// Active reports whether the ref addresses a live trace. Callers use it to
+// skip building span names (which allocates) when tracing is disabled.
+func (s SpanRef) Active() bool { return s.tr != nil }
+
+// End closes the span.
+func (s SpanRef) End() {
+	if s.tr == nil {
+		return
+	}
+	now := time.Since(s.tr.Begin)
+	s.tr.mu.Lock()
+	if !s.tr.finished && s.idx >= 0 && s.idx < len(s.tr.spans) && s.tr.spans[s.idx].End < 0 {
+		s.tr.spans[s.idx].End = now
+	}
+	s.tr.mu.Unlock()
+}
+
+// Child opens a span nested under this one.
+func (s SpanRef) Child(name string) SpanRef {
+	if s.tr == nil {
+		return SpanRef{idx: -1}
+	}
+	s.tr.mu.Lock()
+	depth := 1
+	if s.idx >= 0 && s.idx < len(s.tr.spans) {
+		depth = s.tr.spans[s.idx].Depth + 1
+	}
+	s.tr.mu.Unlock()
+	return s.tr.startSpan(name, s.idx, depth)
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpanNesting(t *testing.T) {
+	tracer := NewTracer(4, NewRegistry())
+	tr := tracer.Start("get")
+	if tr.ID == 0 {
+		t.Error("trace id not assigned")
+	}
+	fetch := tr.StartSpan("fetch")
+	chunk := fetch.Child("chunk")
+	sub := chunk.Child("disk")
+	sub.End()
+	chunk.End()
+	fetch.End()
+	decode := tr.StartSpan("decode")
+	decode.End()
+	tr.Finish()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	if byName["fetch"].Depth != 1 || byName["fetch"].Parent != -1 {
+		t.Errorf("fetch span = %+v", byName["fetch"])
+	}
+	if byName["chunk"].Depth != 2 || spans[byName["chunk"].Parent].Name != "fetch" {
+		t.Errorf("chunk span = %+v", byName["chunk"])
+	}
+	if byName["disk"].Depth != 3 || spans[byName["disk"].Parent].Name != "chunk" {
+		t.Errorf("disk span = %+v", byName["disk"])
+	}
+	if byName["decode"].Depth != 1 {
+		t.Errorf("decode span = %+v", byName["decode"])
+	}
+	for _, sp := range spans {
+		if sp.End < sp.Start {
+			t.Errorf("span %s ended (%v) before it started (%v)", sp.Name, sp.End, sp.Start)
+		}
+	}
+	if tr.Total() <= 0 {
+		t.Error("trace total not recorded")
+	}
+	if s := tr.String(); !strings.Contains(s, "fetch") || !strings.Contains(s, "get") {
+		t.Errorf("trace rendering missing spans: %q", s)
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tracer := NewTracer(4, nil)
+	tr := tracer.Start("multi")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := tr.StartSpan("site-fetch")
+			time.Sleep(time.Millisecond)
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	tr.Finish()
+	if got := len(tr.Spans()); got != 8 {
+		t.Errorf("got %d spans, want 8", got)
+	}
+}
+
+func TestTracerRingAndSpanHistograms(t *testing.T) {
+	reg := NewRegistry()
+	tracer := NewTracer(2, reg)
+	for i := 0; i < 5; i++ {
+		tr := tracer.Start("req")
+		tr.StartSpan("fetch").End()
+		tr.Finish()
+	}
+	recent := tracer.Recent(10)
+	if len(recent) != 2 {
+		t.Fatalf("ring retained %d traces, want 2 (capacity)", len(recent))
+	}
+	if recent[0].ID < recent[1].ID {
+		t.Errorf("Recent not most-recent-first: ids %d, %d", recent[0].ID, recent[1].ID)
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("traces_total", ""); got != 5 {
+		t.Errorf("traces_total = %d, want 5", got)
+	}
+	h, ok := snap.Histogram("trace_span_seconds", "fetch")
+	if !ok || h.Count != 5 {
+		t.Errorf("trace_span_seconds{span=fetch} = %+v ok=%v", h, ok)
+	}
+}
+
+func TestTraceFinishClosesOpenSpans(t *testing.T) {
+	tracer := NewTracer(1, nil)
+	tr := tracer.Start("req")
+	tr.StartSpan("never-ended")
+	tr.Finish()
+	sp := tr.Spans()[0]
+	if sp.End < 0 || sp.End != tr.Total() {
+		t.Errorf("open span not closed at finish: %+v total=%v", sp, tr.Total())
+	}
+	// Double-finish and post-finish spans are ignored.
+	tr.Finish()
+	tr.StartSpan("late").End()
+	if tracer.Recent(5)[0] != tr {
+		t.Error("trace not in ring")
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total", "").Add(3)
+	tracer := NewTracer(4, reg)
+	tr := tracer.Start("get")
+	tr.StartSpan("fetch").End()
+	tr.Finish()
+
+	srv := httptest.NewServer(Handler(reg, tracer))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "counter hits_total 3") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/traces"); code != 200 || !strings.Contains(body, "fetch") {
+		t.Errorf("/traces = %d %q", code, body)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("/ = %d %q", code, body)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+
+	// Handler without a tracer 404s /traces.
+	srv2 := httptest.NewServer(Handler(reg, nil))
+	defer srv2.Close()
+	resp, err := srv2.Client().Get(srv2.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("/traces without tracer = %d, want 404", resp.StatusCode)
+	}
+}

@@ -6,8 +6,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"ecstore/internal/model"
+	"ecstore/internal/obs"
 )
 
 // cacheKey identifies a request shape: the sorted block ids, the late
@@ -58,6 +60,38 @@ type PlannerConfig struct {
 	MaxExactNodes int
 	// Seed drives random tie-breaking.
 	Seed int64
+	// Metrics optionally exports plan-cache instrumentation (hit/miss/
+	// greedy-fallback/ILP-upgrade counts, cache size, planning latency)
+	// into a shared registry. Nil disables it.
+	Metrics *obs.Registry
+}
+
+// plannerObs is the planner's instrument set; every field is nil-safe.
+type plannerObs struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	greedy    *obs.Counter
+	exact     *obs.Counter
+	random    *obs.Counter
+	evictions *obs.Counter
+	entries   *obs.Gauge
+	latency   *obs.Histogram
+}
+
+func newPlannerObs(reg *obs.Registry) plannerObs {
+	if reg == nil {
+		return plannerObs{}
+	}
+	return plannerObs{
+		hits:      reg.Counter("plan_cache_hits_total", "plans served from the cache"),
+		misses:    reg.Counter("plan_cache_misses_total", "requests not found in the cache"),
+		greedy:    reg.Counter("plan_greedy_total", "plans served by the greedy fallback"),
+		exact:     reg.Counter("plan_exact_total", "exact ILP solutions installed (background upgrades)"),
+		random:    reg.Counter("plan_random_total", "plans served by the random baseline strategy"),
+		evictions: reg.Counter("plan_cache_evictions_total", "cached plans dropped (capacity or invalidation)"),
+		entries:   reg.Gauge("plan_cache_entries", "plans currently cached"),
+		latency:   reg.Histogram("plan_seconds", "access-planning latency (cache lookup + greedy/random path)"),
+	}
 }
 
 // PlannerStats counts plan provenance for instrumentation.
@@ -84,6 +118,7 @@ func (s PlannerStats) HitRate() float64 {
 // in the background and installed for future requests.
 type Planner struct {
 	cfg PlannerConfig
+	obs plannerObs
 
 	mu    sync.Mutex
 	rng   *rand.Rand
@@ -117,6 +152,7 @@ func NewPlanner(cfg PlannerConfig) *Planner {
 	}
 	return &Planner{
 		cfg:     cfg,
+		obs:     newPlannerObs(cfg.Metrics),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		cache:   make(map[string]*model.AccessPlan),
 		pending: make(map[string]bool),
@@ -151,20 +187,25 @@ func (p *Planner) Stats() PlannerStats {
 func (p *Planner) InvalidateAll() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.obs.evictions.Add(int64(len(p.cache)))
 	p.cache = make(map[string]*model.AccessPlan)
 	p.order = nil
+	p.obs.entries.Set(0)
 }
 
 // Plan produces an access plan for the request. The returned plan is a
 // copy; callers may mutate it.
 func (p *Planner) Plan(req PlanRequest, costs *model.SiteCosts) (*model.AccessPlan, PlanSource, error) {
 	req.Delta = p.cfg.Delta
+	start := time.Now()
+	defer func() { p.obs.latency.ObserveSince(start) }()
 
 	if p.cfg.Strategy == StrategyRandom {
 		p.mu.Lock()
 		rng := rand.New(rand.NewSource(p.rng.Int63()))
 		p.stats.Random++
 		p.mu.Unlock()
+		p.obs.random.Inc()
 		plan, err := RandomPlan(req, rng)
 		if err != nil {
 			return nil, SourceRandom, err
@@ -181,6 +222,7 @@ func (p *Planner) Plan(req PlanRequest, costs *model.SiteCosts) (*model.AccessPl
 			p.stats.Hits++
 			out := plan.Clone()
 			p.mu.Unlock()
+			p.obs.hits.Inc()
 			return out, SourceCache, nil
 		}
 		p.evictLocked(key)
@@ -188,6 +230,7 @@ func (p *Planner) Plan(req PlanRequest, costs *model.SiteCosts) (*model.AccessPl
 	p.stats.Misses++
 	rng := rand.New(rand.NewSource(p.rng.Int63()))
 	p.mu.Unlock()
+	p.obs.misses.Inc()
 
 	greedy, err := GreedyPlan(req, costs, rng)
 	if err != nil {
@@ -229,6 +272,7 @@ func (p *Planner) Plan(req PlanRequest, costs *model.SiteCosts) (*model.AccessPl
 	p.mu.Lock()
 	p.stats.Greedy++
 	p.mu.Unlock()
+	p.obs.greedy.Inc()
 	return greedy, SourceGreedy, nil
 }
 
@@ -300,6 +344,7 @@ func (p *Planner) solveAndInstall(req PlanRequest, costs *model.SiteCosts, key s
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.Exact++
+	p.obs.exact.Inc()
 	p.installLocked(key, exact)
 }
 
@@ -310,9 +355,11 @@ func (p *Planner) installLocked(key string, plan *model.AccessPlan) {
 			oldest := p.order[0]
 			p.order = p.order[1:]
 			delete(p.cache, oldest)
+			p.obs.evictions.Inc()
 		}
 	}
 	p.cache[key] = plan
+	p.obs.entries.Set(int64(len(p.cache)))
 }
 
 func (p *Planner) evictLocked(key string) {
@@ -323,6 +370,8 @@ func (p *Planner) evictLocked(key string) {
 			break
 		}
 	}
+	p.obs.evictions.Inc()
+	p.obs.entries.Set(int64(len(p.cache)))
 }
 
 // planUsable re-checks a cached plan against current availability and

@@ -15,6 +15,7 @@ import (
 	"ecstore/internal/erasure"
 	"ecstore/internal/metadata"
 	"ecstore/internal/model"
+	"ecstore/internal/obs"
 	"ecstore/internal/stats"
 	"ecstore/internal/storage"
 )
@@ -35,6 +36,9 @@ type Config struct {
 	ProbeInterval time.Duration
 	// Clock abstracts time for tests; nil uses time.Now.
 	Clock func() time.Time
+	// Metrics optionally exports repair instrumentation (check/repair/GC
+	// counters, failed-site gauge) into a shared registry. Nil disables it.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -66,13 +70,38 @@ type Service struct {
 	done    chan struct{}
 	once    sync.Once
 	started bool
+
+	obs repairObs
+}
+
+// repairObs is the repair service's instrument set; every field is nil-safe.
+type repairObs struct {
+	checks      *obs.Counter
+	repairedC   *obs.Counter
+	errorsC     *obs.Counter
+	gcCollected *obs.Counter
+	failedSites *obs.Gauge
+}
+
+func newRepairObs(reg *obs.Registry) repairObs {
+	if reg == nil {
+		return repairObs{}
+	}
+	return repairObs{
+		checks:      reg.Counter("repair_checks_total", "probe sweeps over all sites"),
+		repairedC:   reg.Counter("repair_repaired_chunks_total", "chunks reconstructed onto healthy sites"),
+		errorsC:     reg.Counter("repair_errors_total", "failed repair attempts (first error per sweep)"),
+		gcCollected: reg.Counter("repair_gc_collected_total", "orphaned chunks garbage-collected"),
+		failedSites: reg.Gauge("repair_failed_sites", "sites currently marked unavailable by the repair prober"),
+	}
 }
 
 // NewService wires a repair service. loads may be nil (destinations then
 // fall back to chunk-count balancing only).
 func NewService(cfg Config, meta metadata.Service, sites map[model.SiteID]storage.SiteAPI, loads *stats.LoadTracker) *Service {
+	cfg = cfg.withDefaults()
 	return &Service{
-		cfg:         cfg.withDefaults(),
+		cfg:         cfg,
 		meta:        meta,
 		sites:       sites,
 		loads:       loads,
@@ -80,6 +109,7 @@ func NewService(cfg Config, meta metadata.Service, sites map[model.SiteID]storag
 		codecs:      make(map[[2]int]*erasure.Codec),
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
+		obs:         newRepairObs(cfg.Metrics),
 	}
 }
 
@@ -143,6 +173,7 @@ func (s *Service) FailedSites() []model.SiteID {
 func (s *Service) CheckOnce() error {
 	now := s.cfg.Clock()
 	var due []model.SiteID
+	s.obs.checks.Inc()
 
 	s.mu.Lock()
 	for id, api := range s.sites {
@@ -157,6 +188,7 @@ func (s *Service) CheckOnce() error {
 			delete(s.failedSince, id)
 		}
 	}
+	s.obs.failedSites.Set(int64(len(s.failedSince)))
 	s.mu.Unlock()
 
 	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
@@ -170,6 +202,9 @@ func (s *Service) CheckOnce() error {
 		// while still down.
 		s.failedSince[id] = now
 		s.mu.Unlock()
+	}
+	if firstErr != nil {
+		s.obs.errorsC.Inc()
 	}
 	return firstErr
 }
@@ -190,6 +225,7 @@ func (s *Service) RepairSite(failed model.SiteID) (int, error) {
 	s.mu.Lock()
 	s.repaired += int64(repaired)
 	s.mu.Unlock()
+	s.obs.repairedC.Add(int64(repaired))
 	return repaired, firstErr
 }
 
@@ -319,6 +355,7 @@ func (s *Service) GCOnce() (int, error) {
 			collected++
 		}
 	}
+	s.obs.gcCollected.Add(int64(collected))
 	return collected, firstErr
 }
 

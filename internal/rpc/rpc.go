@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"ecstore/internal/obs"
 	"ecstore/internal/wire"
 )
 
@@ -56,9 +58,60 @@ func (f HandlerFunc) Handle(method Method, body []byte) ([]byte, error) {
 
 var _ Handler = (HandlerFunc)(nil)
 
+// Metrics instruments one RPC endpoint (a server or a client). All fields
+// are nil-safe, so a nil *Metrics disables instrumentation entirely.
+type Metrics struct {
+	// Requests counts dispatched requests (server) or issued calls
+	// (client).
+	Requests *obs.Counter
+	// Errors counts handler errors (server) or failed calls (client).
+	Errors *obs.Counter
+	// Latency is the request service time (server: handler execution;
+	// client: full round trip including queueing).
+	Latency *obs.Histogram
+	// Conns gauges currently open connections (server only).
+	Conns *obs.Gauge
+}
+
+// NewMetrics registers the standard instrument set under the given name
+// prefix (for example "rpc_server" yields rpc_server_requests_total,
+// rpc_server_errors_total, rpc_server_seconds, rpc_server_conns). A nil
+// registry yields nil, which disables instrumentation.
+func NewMetrics(reg *obs.Registry, prefix string) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Requests: reg.Counter(prefix+"_requests_total", "RPC requests dispatched"),
+		Errors:   reg.Counter(prefix+"_errors_total", "RPC requests that returned an error"),
+		Latency:  reg.Histogram(prefix+"_seconds", "RPC request latency"),
+		Conns:    reg.Gauge(prefix+"_conns", "open RPC connections"),
+	}
+}
+
+// observe records one completed request. Nil-safe.
+func (m *Metrics) observe(start time.Time, err error) {
+	if m == nil {
+		return
+	}
+	m.Requests.Inc()
+	if err != nil {
+		m.Errors.Inc()
+	}
+	m.Latency.ObserveSince(start)
+}
+
+func (m *Metrics) connDelta(d int64) {
+	if m == nil {
+		return
+	}
+	m.Conns.Add(d)
+}
+
 // Server accepts connections and serves requests against a Handler.
 type Server struct {
 	handler Handler
+	metrics *Metrics
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -71,6 +124,9 @@ type Server struct {
 func NewServer(h Handler) *Server {
 	return &Server{handler: h, conns: make(map[net.Conn]bool)}
 }
+
+// SetMetrics attaches instrumentation (nil disables it). Call before Serve.
+func (s *Server) SetMetrics(m *Metrics) { s.metrics = m }
 
 // Serve accepts connections from l until Close is called or the listener
 // fails. It blocks; run it in a goroutine the caller owns.
@@ -145,6 +201,8 @@ func (s *Server) Close() error {
 // mutex so interleaved handlers cannot corrupt framing.
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
+	s.metrics.connDelta(1)
+	defer s.metrics.connDelta(-1)
 	var writeMu sync.Mutex
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
@@ -165,7 +223,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		handlers.Add(1)
 		go func() {
 			defer handlers.Done()
+			start := time.Now()
 			result, herr := s.handler.Handle(method, body)
+			s.metrics.observe(start, herr)
 			e := wire.NewEncoder(16 + len(result))
 			e.Uint64(reqID)
 			if herr != nil {
@@ -186,7 +246,8 @@ func (s *Server) serveConn(conn net.Conn) {
 // goroutines may Call simultaneously; requests are pipelined and responses
 // are matched by request id.
 type Client struct {
-	conn net.Conn
+	conn    net.Conn
+	metrics *Metrics
 
 	writeMu sync.Mutex
 
@@ -215,6 +276,9 @@ func NewClient(conn net.Conn) *Client {
 	return c
 }
 
+// SetMetrics attaches instrumentation (nil disables it).
+func (c *Client) SetMetrics(m *Metrics) { c.metrics = m }
+
 // Close terminates the connection and fails all pending calls.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -231,6 +295,13 @@ func (c *Client) Close() error {
 
 // Call sends one request and waits for its response.
 func (c *Client) Call(method Method, body []byte) ([]byte, error) {
+	start := time.Now()
+	resp, err := c.call(method, body)
+	c.metrics.observe(start, err)
+	return resp, err
+}
+
+func (c *Client) call(method Method, body []byte) ([]byte, error) {
 	c.mu.Lock()
 	if c.closed {
 		err := c.readErr

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ecstore/internal/model"
+	"ecstore/internal/obs"
 	"ecstore/internal/rpc"
 	"ecstore/internal/wire"
 )
@@ -15,6 +16,46 @@ type Aggregator struct {
 	CoAccess *CoAccessTracker
 	Loads    *LoadTracker
 	Probes   *ProbeEstimator
+
+	reg         *obs.Registry
+	accesses    *obs.Counter
+	loadReports *obs.Counter
+	probeObs    *obs.Counter
+}
+
+// EnableMetrics exports statistics-service instrumentation into reg (nil
+// disables it, which is the default).
+func (a *Aggregator) EnableMetrics(reg *obs.Registry) {
+	a.reg = reg
+	a.accesses = reg.Counter("stats_accesses_total", "sampled multi-block requests recorded")
+	a.loadReports = reg.Counter("stats_load_reports_total", "site load windows reported")
+	a.probeObs = reg.Counter("stats_probe_observations_total", "probe RTT observations folded into o_j")
+}
+
+// MetricsSnapshot captures the aggregator's registry (empty when metrics
+// are disabled). Served remotely by the GetMetrics RPC method.
+func (a *Aggregator) MetricsSnapshot() *obs.Snapshot {
+	return a.reg.Snapshot()
+}
+
+// RecordAccess feeds one sampled request into the co-access tracker,
+// counting it. Equivalent to calling CoAccess.Record directly, plus
+// instrumentation.
+func (a *Aggregator) RecordAccess(ids []model.BlockID) {
+	a.accesses.Inc()
+	a.CoAccess.Record(ids)
+}
+
+// ReportLoad feeds one site load window into the load tracker, counting it.
+func (a *Aggregator) ReportLoad(site model.SiteID, load SiteLoad) {
+	a.loadReports.Inc()
+	a.Loads.Report(site, load)
+}
+
+// ObserveProbe feeds one probe RTT into the o_j estimator, counting it.
+func (a *Aggregator) ObserveProbe(site model.SiteID, rtt float64) {
+	a.probeObs.Inc()
+	a.Probes.Observe(site, rtt)
 }
 
 // NewAggregator builds a statistics service with the given co-access
@@ -27,7 +68,9 @@ func NewAggregator(window int) *Aggregator {
 	}
 }
 
-// RPC method numbers of the statistics service.
+// RPC method numbers of the statistics service. New methods are appended
+// at the end of the iota block — numbers are part of the wire protocol and
+// must never be reordered (see DESIGN.md, "RPC method numbering").
 const (
 	methodRecordAccess rpc.Method = iota + 1
 	methodReportLoad
@@ -35,6 +78,7 @@ const (
 	methodGetCosts
 	methodGetLoads
 	methodGetPartners
+	methodGetMetrics
 )
 
 // Server exposes an Aggregator over RPC.
@@ -60,7 +104,7 @@ func (s *Server) Handle(method rpc.Method, body []byte) ([]byte, error) {
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		s.agg.CoAccess.Record(ids)
+		s.agg.RecordAccess(ids)
 		return nil, nil
 
 	case methodReportLoad:
@@ -73,7 +117,7 @@ func (s *Server) Handle(method rpc.Method, body []byte) ([]byte, error) {
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		s.agg.Loads.Report(site, load)
+		s.agg.ReportLoad(site, load)
 		return nil, nil
 
 	case methodObserveProbe:
@@ -82,7 +126,7 @@ func (s *Server) Handle(method rpc.Method, body []byte) ([]byte, error) {
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		s.agg.Probes.Observe(site, rtt)
+		s.agg.ObserveProbe(site, rtt)
 		return nil, nil
 
 	case methodGetCosts:
@@ -114,6 +158,9 @@ func (s *Server) Handle(method rpc.Method, body []byte) ([]byte, error) {
 			e.Uint32(uint32(load.Chunks))
 		}
 		return e.Bytes(), nil
+
+	case methodGetMetrics:
+		return obs.MarshalSnapshot(s.agg.MetricsSnapshot()), nil
 
 	case methodGetPartners:
 		block := model.BlockID(d.String())
@@ -215,6 +262,15 @@ func (c *Client) GetLoads() (map[model.SiteID]SiteLoad, error) {
 		}
 	}
 	return out, d.Err()
+}
+
+// Metrics fetches the remote statistics service's metrics snapshot.
+func (c *Client) Metrics() (*obs.Snapshot, error) {
+	resp, err := c.rc.Call(methodGetMetrics, nil)
+	if err != nil {
+		return nil, err
+	}
+	return obs.UnmarshalSnapshot(resp)
 }
 
 // GetPartners fetches a block's co-access partners with λ values.

@@ -2,10 +2,12 @@ package storage
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"ecstore/internal/model"
+	"ecstore/internal/obs"
 	"ecstore/internal/rpc"
 	"ecstore/internal/stats"
 	"ecstore/internal/wire"
@@ -24,6 +26,40 @@ type ServiceConfig struct {
 	Clock func() time.Time
 	// Sleep abstracts throttling for tests; nil uses time.Sleep.
 	Sleep func(time.Duration)
+	// Metrics optionally exports per-site instrumentation into a shared
+	// registry (families are labeled by site id). Nil disables it with
+	// zero overhead on the data path.
+	Metrics *obs.Registry
+}
+
+// siteMetrics is one storage service's instrument set, labeled by site.
+// Every field is nil-safe, so a disabled registry costs nothing.
+type siteMetrics struct {
+	reads       *obs.Counter
+	writes      *obs.Counter
+	deletes     *obs.Counter
+	errors      *obs.Counter
+	readBytes   *obs.Counter
+	writeBytes  *obs.Counter
+	readLatency *obs.Histogram
+	failed      *obs.Gauge
+}
+
+func newSiteMetrics(reg *obs.Registry, site model.SiteID) siteMetrics {
+	if reg == nil {
+		return siteMetrics{}
+	}
+	label := strconv.FormatInt(int64(site), 10)
+	return siteMetrics{
+		reads:       reg.CounterVec("storage_reads_total", "site", "chunk reads served").With(label),
+		writes:      reg.CounterVec("storage_writes_total", "site", "chunk writes served").With(label),
+		deletes:     reg.CounterVec("storage_deletes_total", "site", "chunk/block deletes served").With(label),
+		errors:      reg.CounterVec("storage_errors_total", "site", "failed storage operations (including failure injection)").With(label),
+		readBytes:   reg.CounterVec("storage_read_bytes_total", "site", "bytes read from the store").With(label),
+		writeBytes:  reg.CounterVec("storage_write_bytes_total", "site", "bytes written to the store").With(label),
+		readLatency: reg.HistogramVec("storage_read_seconds", "site", "chunk read service time including media throttle (m_j)").With(label),
+		failed:      reg.Gauge("storage_failed_sites", "sites currently failure-injected"),
+	}
 }
 
 // Service wraps a Store with the behaviours the control plane depends on:
@@ -31,8 +67,10 @@ type ServiceConfig struct {
 // that expose queueing delay (o_j estimation), and failure injection for
 // the fault-tolerance experiments (Section VI-C4).
 type Service struct {
-	cfg   ServiceConfig
-	store Store
+	cfg     ServiceConfig
+	store   Store
+	obs     siteMetrics
+	reg     *obs.Registry
 
 	mu         sync.Mutex
 	failed     bool
@@ -52,7 +90,19 @@ func NewService(cfg ServiceConfig, store Store) *Service {
 	if cfg.Sleep == nil {
 		cfg.Sleep = time.Sleep
 	}
-	return &Service{cfg: cfg, store: store, windowFrom: cfg.Clock()}
+	return &Service{
+		cfg:        cfg,
+		store:      store,
+		obs:        newSiteMetrics(cfg.Metrics, cfg.Site),
+		reg:        cfg.Metrics,
+		windowFrom: cfg.Clock(),
+	}
+}
+
+// MetricsSnapshot captures the service's registry (empty when metrics are
+// disabled). Served remotely by the GetMetrics RPC method.
+func (s *Service) MetricsSnapshot() *obs.Snapshot {
+	return s.reg.Snapshot()
 }
 
 // Site returns the service's site id.
@@ -63,6 +113,9 @@ func (s *Service) Site() model.SiteID { return s.cfg.Site }
 func (s *Service) Fail() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.failed {
+		s.obs.failed.Add(1)
+	}
 	s.failed = true
 }
 
@@ -70,6 +123,9 @@ func (s *Service) Fail() {
 func (s *Service) Recover() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.failed {
+		s.obs.failed.Add(-1)
+	}
 	s.failed = false
 }
 
@@ -92,15 +148,19 @@ func (s *Service) checkUp() error {
 // PutChunk stores a chunk.
 func (s *Service) PutChunk(ref model.ChunkRef, data []byte) error {
 	if err := s.checkUp(); err != nil {
+		s.obs.errors.Inc()
 		return err
 	}
 	if err := s.store.Put(ref, data); err != nil {
+		s.obs.errors.Inc()
 		return err
 	}
 	s.mu.Lock()
 	s.bytesWrite += int64(len(data))
 	s.writes++
 	s.mu.Unlock()
+	s.obs.writes.Inc()
+	s.obs.writeBytes.Add(int64(len(data)))
 	return nil
 }
 
@@ -108,38 +168,56 @@ func (s *Service) PutChunk(ref model.ChunkRef, data []byte) error {
 // accounting the read for load reports.
 func (s *Service) GetChunk(ref model.ChunkRef) ([]byte, error) {
 	if err := s.checkUp(); err != nil {
+		s.obs.errors.Inc()
 		return nil, err
 	}
 	start := s.cfg.Clock()
 	data, err := s.store.Get(ref)
 	if err != nil {
+		s.obs.errors.Inc()
 		return nil, err
 	}
 	if d := s.cfg.ReadDelayFixed + time.Duration(len(data))*s.cfg.ReadDelayPerByte; d > 0 {
 		s.cfg.Sleep(d)
 	}
+	elapsed := s.cfg.Clock().Sub(start)
 	s.mu.Lock()
 	s.bytesRead += int64(len(data))
 	s.reads++
-	s.busy += s.cfg.Clock().Sub(start)
+	s.busy += elapsed
 	s.mu.Unlock()
+	s.obs.reads.Inc()
+	s.obs.readBytes.Add(int64(len(data)))
+	s.obs.readLatency.ObserveDuration(elapsed)
 	return data, nil
 }
 
 // DeleteChunk removes a chunk.
 func (s *Service) DeleteChunk(ref model.ChunkRef) error {
 	if err := s.checkUp(); err != nil {
+		s.obs.errors.Inc()
 		return err
 	}
-	return s.store.Delete(ref)
+	if err := s.store.Delete(ref); err != nil {
+		s.obs.errors.Inc()
+		return err
+	}
+	s.obs.deletes.Inc()
+	return nil
 }
 
 // DeleteBlock removes every chunk of a block.
 func (s *Service) DeleteBlock(id model.BlockID) error {
 	if err := s.checkUp(); err != nil {
+		s.obs.errors.Inc()
 		return err
 	}
-	return s.store.DeleteBlock(id)
+	if err := s.store.DeleteBlock(id); err != nil {
+		s.obs.errors.Inc()
+		return err
+	}
+	s.obs.deletes.Inc()
+	return nil
 }
 
 // ListChunks lists stored chunks (used by repair).
@@ -203,7 +281,9 @@ func (s *Service) Totals() (reads, writes int64) {
 	return s.reads, s.writes
 }
 
-// RPC method numbers of the storage service.
+// RPC method numbers of the storage service. New methods are appended at
+// the end of the iota block — numbers are part of the wire protocol and
+// must never be reordered (see DESIGN.md, "RPC method numbering").
 const (
 	methodPutChunk rpc.Method = iota + 1
 	methodGetChunk
@@ -212,6 +292,7 @@ const (
 	methodListChunks
 	methodProbe
 	methodLoadReport
+	methodGetMetrics
 )
 
 // Server exposes a Service over RPC.
@@ -286,6 +367,9 @@ func (s *Server) Handle(method rpc.Method, body []byte) ([]byte, error) {
 
 	case methodProbe:
 		return nil, s.svc.Probe()
+
+	case methodGetMetrics:
+		return obs.MarshalSnapshot(s.svc.MetricsSnapshot()), nil
 
 	case methodLoadReport:
 		load, err := s.svc.LoadReport()
@@ -368,6 +452,15 @@ func (c *Client) ListChunks() ([]model.ChunkRef, error) {
 func (c *Client) Probe() error {
 	_, err := c.rc.Call(methodProbe, nil)
 	return err
+}
+
+// Metrics fetches the remote service's metrics snapshot.
+func (c *Client) Metrics() (*obs.Snapshot, error) {
+	resp, err := c.rc.Call(methodGetMetrics, nil)
+	if err != nil {
+		return nil, err
+	}
+	return obs.UnmarshalSnapshot(resp)
 }
 
 // LoadReport fetches and resets the site's accounting window.

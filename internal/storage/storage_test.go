@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ecstore/internal/model"
+	"ecstore/internal/obs"
 	"ecstore/internal/rpc"
 	"ecstore/internal/transport"
 )
@@ -322,5 +323,57 @@ func TestStorageRPCFailurePropagates(t *testing.T) {
 	}
 	if _, err := client.GetChunk(ref("x", 0)); err == nil {
 		t.Fatal("get from failed site succeeded over RPC")
+	}
+}
+
+func TestStorageRPCGetMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	svc := NewService(ServiceConfig{Site: 3, Metrics: reg}, NewMemStore())
+	client, cleanup := startStorageRPC(t, svc)
+	defer cleanup()
+
+	if err := client.PutChunk(ref("blk", 0), []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.GetChunk(ref("blk", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.GetChunk(ref("missing", 0)); err == nil {
+		t.Fatal("read of missing chunk succeeded")
+	}
+
+	snap, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := snap.CounterValue("storage_reads_total", "3"); n != 1 {
+		t.Fatalf(`storage_reads_total{site="3"} = %d, want 1`, n)
+	}
+	if n := snap.CounterValue("storage_writes_total", "3"); n != 1 {
+		t.Fatalf(`storage_writes_total{site="3"} = %d, want 1`, n)
+	}
+	if n := snap.CounterValue("storage_errors_total", "3"); n != 1 {
+		t.Fatalf(`storage_errors_total{site="3"} = %d, want 1`, n)
+	}
+	if n := snap.CounterValue("storage_write_bytes_total", "3"); n != 7 {
+		t.Fatalf(`storage_write_bytes_total{site="3"} = %d, want 7`, n)
+	}
+	h, ok := snap.Histogram("storage_read_seconds", "3")
+	if !ok || h.Count != 1 {
+		t.Fatalf(`storage_read_seconds{site="3"}: count = %d (present=%v), want 1`, h.Count, ok)
+	}
+}
+
+func TestStorageMetricsDisabledIsNoOp(t *testing.T) {
+	svc := NewService(ServiceConfig{Site: 1}, NewMemStore())
+	if err := svc.PutChunk(ref("a", 0), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.GetChunk(ref("a", 0)); err != nil {
+		t.Fatal(err)
+	}
+	snap := svc.MetricsSnapshot()
+	if len(snap.Counters) != 0 || len(snap.Histograms) != 0 {
+		t.Fatalf("disabled service exported metrics: %+v", snap)
 	}
 }

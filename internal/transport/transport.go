@@ -10,6 +10,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"ecstore/internal/obs"
 )
 
 // Network creates listeners and dials addresses.
@@ -27,10 +29,66 @@ var (
 	ErrNetClosed   = errors.New("transport: network closed")
 )
 
+// Metrics instruments a Network implementation. Nil disables collection.
+type Metrics struct {
+	// Dials counts outbound connection attempts; DialErrors the failures.
+	Dials      *obs.Counter
+	DialErrors *obs.Counter
+	// Accepts counts inbound connections handed out by listeners.
+	Accepts *obs.Counter
+}
+
+// NewMetrics registers the transport instrument set (transport_dials_total,
+// transport_dial_errors_total, transport_accepts_total). A nil registry
+// yields nil, which disables instrumentation.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Dials:      reg.Counter("transport_dials_total", "outbound connection attempts"),
+		DialErrors: reg.Counter("transport_dial_errors_total", "failed outbound connection attempts"),
+		Accepts:    reg.Counter("transport_accepts_total", "inbound connections accepted"),
+	}
+}
+
+func (m *Metrics) dial(err error) {
+	if m == nil {
+		return
+	}
+	m.Dials.Inc()
+	if err != nil {
+		m.DialErrors.Inc()
+	}
+}
+
+func (m *Metrics) accept() {
+	if m == nil {
+		return
+	}
+	m.Accepts.Inc()
+}
+
+// countedListener wraps a listener to count accepted connections.
+type countedListener struct {
+	net.Listener
+	metrics *Metrics
+}
+
+func (l countedListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.metrics.accept()
+	}
+	return c, err
+}
+
 // TCP is the real-network implementation.
 type TCP struct {
 	// DialTimeout bounds connection establishment; zero means 5s.
 	DialTimeout time.Duration
+	// Metrics optionally counts dials and accepts.
+	Metrics *Metrics
 }
 
 var _ Network = (*TCP)(nil)
@@ -40,6 +98,9 @@ func (t *TCP) Listen(addr string) (net.Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	if t.Metrics != nil {
+		return countedListener{Listener: l, metrics: t.Metrics}, nil
 	}
 	return l, nil
 }
@@ -51,6 +112,7 @@ func (t *TCP) Dial(addr string) (net.Conn, error) {
 		timeout = 5 * time.Second
 	}
 	conn, err := net.DialTimeout("tcp", addr, timeout)
+	t.Metrics.dial(err)
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", addr, err)
 	}
@@ -61,6 +123,8 @@ func (t *TCP) Dial(addr string) (net.Conn, error) {
 // connections are synchronous net.Pipe pairs. It is safe for concurrent
 // use.
 type Memory struct {
+	metrics *Metrics
+
 	mu        sync.Mutex
 	listeners map[string]*memListener
 	closed    bool
@@ -72,6 +136,9 @@ var _ Network = (*Memory)(nil)
 func NewMemory() *Memory {
 	return &Memory{listeners: make(map[string]*memListener)}
 }
+
+// SetMetrics attaches instrumentation (nil disables it).
+func (m *Memory) SetMetrics(metrics *Metrics) { m.metrics = metrics }
 
 // Listen binds addr on the memory network.
 func (m *Memory) Listen(addr string) (net.Listener, error) {
@@ -103,15 +170,19 @@ func (m *Memory) Dial(addr string) (net.Conn, error) {
 	l := m.listeners[addr]
 	m.mu.Unlock()
 	if l == nil {
+		m.metrics.dial(ErrConnRefused)
 		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
 	}
 	client, server := net.Pipe()
 	select {
 	case l.conns <- server:
+		m.metrics.dial(nil)
+		m.metrics.accept()
 		return client, nil
 	case <-l.done:
 		_ = client.Close()
 		_ = server.Close()
+		m.metrics.dial(ErrConnRefused)
 		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
 	}
 }

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Pre-commit gate: vet everything, then run the quick test suite under the
+# race detector. The full suite (go test ./...) additionally runs the
+# paper-scale simulator experiments and takes several minutes.
+set -eux
+cd "$(dirname "$0")/.."
+go vet ./...
+go test -race -short ./...
