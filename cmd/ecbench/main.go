@@ -6,6 +6,7 @@
 //	ecbench -exp fig4b                # one experiment, full scale
 //	ecbench -exp all -scale quick     # everything, fast
 //	ecbench -list                     # list experiment ids
+//	ecbench -faults -scale quick      # degraded-mode read latency under injected faults
 //
 // Experiment ids follow the paper: fig1, fig4a ... fig4h, tab2, tab3,
 // plus the ablations ab-delta, ab-k, ab-w2, ab-mrate, ab-plan.
@@ -109,6 +110,7 @@ func run(args []string) error {
 	scaleName := fs.String("scale", "full", "experiment scale: quick | mid | full")
 	seed := fs.Int64("seed", 42, "simulation seed")
 	list := fs.Bool("list", false, "list experiment ids and exit")
+	faultsOnly := fs.Bool("faults", false, "measure degraded-mode read latency under injected faults and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -137,6 +139,17 @@ func run(args []string) error {
 		sc = bench.FullScale(*seed)
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	if *faultsOnly {
+		start := time.Now()
+		report, err := bench.DegradedMode(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+		fmt.Printf("(%s scale, seed %d, %s)\n", sc.Name, sc.Seed, time.Since(start).Round(time.Millisecond))
+		return nil
 	}
 
 	var selected []string

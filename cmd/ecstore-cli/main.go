@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"ecstore/internal/core"
 	"ecstore/internal/metadata"
@@ -139,10 +141,12 @@ func run(args []string) error {
 		client.ProbeAll()
 		fmt.Printf("sites: %d configured\n", len(sites))
 		for id, api := range sites {
+			pctx, pcancel := context.WithTimeout(context.Background(), 2*time.Second)
 			status := "up"
-			if api.Probe() != nil {
+			if api.Probe(pctx) != nil {
 				status = "DOWN"
 			}
+			pcancel()
 			fmt.Printf("  site %d: %s\n", id, status)
 		}
 		st := client.PlannerStats()

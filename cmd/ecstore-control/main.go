@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -119,14 +120,17 @@ func run(args []string) error {
 			select {
 			case <-ticker.C:
 				for id, api := range sites {
+					pctx, pcancel := context.WithTimeout(context.Background(), 2*time.Second)
 					start := time.Now()
-					if err := api.Probe(); err != nil {
+					if err := api.Probe(pctx); err != nil {
+						pcancel()
 						continue
 					}
 					agg.ObserveProbe(id, time.Since(start).Seconds())
-					if load, err := api.LoadReport(); err == nil {
+					if load, err := api.LoadReport(pctx); err == nil {
 						agg.ReportLoad(id, load)
 					}
+					pcancel()
 				}
 			case <-stop:
 				return

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"net"
 	"net/http"
@@ -56,17 +57,17 @@ func TestRunServesStorageRPC(t *testing.T) {
 	}
 	client := storage.NewRPCClient(rpc.NewClient(conn))
 	ref := model.ChunkRef{Block: "smoke", Chunk: 0}
-	if err := client.PutChunk(ref, []byte("over tcp")); err != nil {
+	if err := client.PutChunk(context.Background(), ref, []byte("over tcp")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := client.GetChunk(ref)
+	got, err := client.GetChunk(context.Background(), ref)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(got) != "over tcp" {
 		t.Fatalf("got %q", got)
 	}
-	if err := client.Probe(); err != nil {
+	if err := client.Probe(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -110,7 +111,7 @@ func TestRunServesMetricsHTTP(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	client := storage.NewRPCClient(rpc.NewClient(conn))
-	if err := client.PutChunk(model.ChunkRef{Block: "m", Chunk: 0}, []byte("x")); err != nil {
+	if err := client.PutChunk(context.Background(), model.ChunkRef{Block: "m", Chunk: 0}, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 

@@ -203,3 +203,18 @@ func TestReportString(t *testing.T) {
 		t.Fatalf("report rendering: %q", s)
 	}
 }
+
+func TestDegradedModeReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock fault injection runs; skipped in -short mode")
+	}
+	rep, err := DegradedMode(tinyScale(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"healthy", "slow site + hedge", "hung site + breaker"} {
+		if !strings.Contains(rep.Body, want) {
+			t.Fatalf("report missing scenario %q:\n%s", want, rep.Body)
+		}
+	}
+}

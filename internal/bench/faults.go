@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ecstore/internal/core"
+	"ecstore/internal/faults"
+	"ecstore/internal/health"
+	"ecstore/internal/metadata"
+	"ecstore/internal/model"
+	"ecstore/internal/storage"
+)
+
+// DegradedMode measures real (wall-clock) read latency on an in-process
+// cluster while faults are injected into individual sites, contrasting
+// the client's fault-tolerance machinery:
+//
+//	healthy        no faults: the baseline.
+//	slow site      one site answers with a latency spike; no hedging.
+//	slow + hedge   the same spike, but slow planned reads are hedged
+//	               with a chunk from another site after HedgeDelay.
+//	hung site      one site accepts requests and never responds; the
+//	               per-chunk deadline bounds the first read and the
+//	               site's breaker keeps it out of later plans.
+//
+// Unlike the figure experiments this is not simulated time: latencies
+// below are measured microseconds on real goroutines, so absolute
+// numbers vary by machine while the relative shape (tail behaviour per
+// scenario) is the point.
+func DegradedMode(sc Scale) (*Report, error) {
+	const numSites = 8
+	blocks := sc.Blocks / 50
+	if blocks < 20 {
+		blocks = 20
+	}
+	if blocks > 400 {
+		blocks = 400
+	}
+	reads := blocks * 2
+
+	type scenario struct {
+		name  string
+		cfg   core.Config
+		fault faults.Plan // applied to one chunk-holding site
+		hang  bool
+	}
+	scenarios := []scenario{
+		{name: "healthy"},
+		{
+			name:  "slow site",
+			fault: faults.Plan{Latency: 10 * time.Millisecond, Jitter: 10 * time.Millisecond},
+		},
+		{
+			name:  "slow site + hedge",
+			cfg:   core.Config{HedgeDelay: 2 * time.Millisecond},
+			fault: faults.Plan{Latency: 10 * time.Millisecond, Jitter: 10 * time.Millisecond},
+		},
+		{
+			name:  "hung site + breaker",
+			cfg:   core.Config{ChunkTimeout: 40 * time.Millisecond},
+			fault: faults.Plan{Hang: true},
+			hang:  true,
+		},
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %10s %10s %10s %10s\n", "scenario", "p50", "p95", "p99", "max")
+	for _, s := range scenarios {
+		lat, err := runDegraded(sc.Seed, numSites, blocks, reads, s.cfg, s.fault)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.name, err)
+		}
+		fmt.Fprintf(&b, "%-22s %10s %10s %10s %10s\n", s.name,
+			quantileDur(lat, 0.50), quantileDur(lat, 0.95),
+			quantileDur(lat, 0.99), quantileDur(lat, 1.0))
+	}
+	b.WriteString("\n(one faulty site of 8; RS(2,2); wall-clock latency, machine-dependent)\n")
+	return &Report{ID: "faults", Title: "degraded-mode read latency", Body: b.String()}, nil
+}
+
+// runDegraded builds a fresh faults-wrapped cluster, loads it, applies
+// the fault plan to the first block's first chunk site, then measures
+// sequential read latencies across the whole population.
+func runDegraded(seed int64, numSites, blocks, reads int, cfg core.Config, fault faults.Plan) ([]time.Duration, error) {
+	inj := faults.NewInjector(seed)
+	siteIDs := make([]model.SiteID, numSites)
+	for i := range siteIDs {
+		siteIDs[i] = model.SiteID(i + 1)
+	}
+	catalog := metadata.NewCatalog(siteIDs)
+	wrapped := make(map[model.SiteID]*faults.Site, numSites)
+	apis := make(map[model.SiteID]storage.SiteAPI, numSites)
+	for _, id := range siteIDs {
+		svc := storage.NewService(storage.ServiceConfig{Site: id}, storage.NewMemStore())
+		wrapped[id] = faults.NewSite(svc, inj)
+		apis[id] = wrapped[id]
+	}
+	cfg.K, cfg.R = 2, 2
+	cfg.Seed = seed
+	cfg.InlineExact = true
+	client, err := core.NewClient(cfg, core.Deps{
+		Meta:   catalog,
+		Sites:  apis,
+		Health: health.NewTracker(health.Config{}),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	ids := make([]model.BlockID, blocks)
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := range ids {
+		ids[i] = model.BlockID(fmt.Sprintf("blk-%04d", i))
+		if err := client.Put(ids[i], payload); err != nil {
+			return nil, err
+		}
+	}
+
+	// Fault one site that definitely holds chunks: the first block's
+	// first placement.
+	meta, ok := catalog.BlockMeta(ids[0])
+	if !ok {
+		return nil, fmt.Errorf("block %s not registered", ids[0])
+	}
+	wrapped[meta.Sites[0]].Set(fault)
+
+	lat := make([]time.Duration, 0, reads)
+	for i := 0; i < reads; i++ {
+		id := ids[i%len(ids)]
+		start := time.Now()
+		if _, err := client.Get(id); err != nil {
+			return nil, fmt.Errorf("read %s: %w", id, err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	return lat, nil
+}
+
+// quantileDur returns the q-quantile of the (unsorted) samples.
+func quantileDur(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

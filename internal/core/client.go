@@ -3,17 +3,27 @@
 // register metadata) and the read path R1-R3 (look up metadata, plan the
 // access, retrieve chunks in parallel and decode), including late binding
 // and per-phase response-time breakdowns.
+//
+// The client is hardened for partial failure: every site operation runs
+// under a context with optional per-chunk and per-request deadlines,
+// transient errors are retried with jittered exponential backoff, slow
+// planned reads are hedged with a not-yet-planned chunk from the
+// next-cheapest site, and per-site circuit breakers (package health) keep
+// unhealthy sites out of fresh access plans until they recover.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"ecstore/internal/erasure"
+	"ecstore/internal/health"
 	"ecstore/internal/metadata"
 	"ecstore/internal/model"
 	"ecstore/internal/obs"
@@ -27,6 +37,32 @@ var (
 	ErrNoSites          = errors.New("core: no storage sites")
 	ErrBlockUnavailable = errors.New("core: block unavailable")
 )
+
+// RetryPolicy bounds how chunk fetches and probes are retried.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per chunk or probe
+	// (1 = no retries). Zero means 1.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// attempt up to MaxBackoff, plus up to 50% seeded jitter. Zero
+	// means 10ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Zero means 500ms.
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 500 * time.Millisecond
+	}
+	return p
+}
 
 // Config selects the client's fault-tolerance scheme and strategies. Each
 // of the paper's six evaluated configurations is expressible:
@@ -59,6 +95,26 @@ type Config struct {
 	// (the paper's calibration: m_j = 1 when o_j = 5).
 	DefaultO float64
 	DefaultM float64
+
+	// RequestTimeout bounds one whole GetMulti/Put/Delete call; zero
+	// leaves requests unbounded (the historical behaviour).
+	RequestTimeout time.Duration
+	// ChunkTimeout bounds each individual chunk read or write attempt,
+	// so one hung site costs at most one timeout per fetch round; zero
+	// disables per-chunk deadlines.
+	ChunkTimeout time.Duration
+	// ProbeTimeout bounds each liveness probe. Zero means 2s.
+	ProbeTimeout time.Duration
+	// Retry tunes per-chunk and per-probe retransmission.
+	Retry RetryPolicy
+	// HedgeDelay, when positive, hedges planned chunk reads that have
+	// not satisfied their block after this fixed delay.
+	HedgeDelay time.Duration
+	// HedgeQuantile, when in (0,1) and HedgeDelay is zero, derives the
+	// hedge delay adaptively from the observed fetch-latency quantile
+	// (e.g. 0.95 hedges reads slower than the p95 fetch) once enough
+	// requests have been recorded. Requires metrics to be attached.
+	HedgeQuantile float64
 }
 
 func (c Config) withDefaults() Config {
@@ -83,8 +139,16 @@ func (c Config) withDefaults() Config {
 	if c.DefaultM == 0 {
 		c.DefaultM = 1.0 / (100 * 1024) // m_j=1 per 100 KB chunk at o_j=5
 	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	c.Retry = c.Retry.withDefaults()
 	return c
 }
+
+// hedgeMinSamples is how many fetch observations the adaptive hedge
+// threshold requires before it activates.
+const hedgeMinSamples = 20
 
 // Client is the EC-Store client service: the component applications link
 // against. It owns the erasure codec, the access planner (plan cache +
@@ -104,9 +168,10 @@ type Client struct {
 
 	obs    clientObs
 	tracer *obs.Tracer
+	health *health.Tracker
 
-	mu     sync.Mutex
-	failed map[model.SiteID]bool
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // clientObs is the client's instrument set; every field is nil-safe so an
@@ -120,6 +185,12 @@ type clientObs struct {
 	fetchErrors   *obs.Counter
 	lateDiscarded *obs.Counter
 	replans       *obs.Counter
+	retries       *obs.Counter
+	hedges        *obs.Counter
+	hedgesWon     *obs.Counter
+	hedgesLost    *obs.Counter
+	deadlines     *obs.Counter
+	putCleanups   *obs.Counter
 
 	metadataH *obs.Histogram
 	planH     *obs.Histogram
@@ -141,6 +212,12 @@ func newClientObs(reg *obs.Registry) clientObs {
 		fetchErrors:   reg.Counter("client_fetch_errors_total", "chunk reads that failed"),
 		lateDiscarded: reg.Counter("client_late_binding_discarded_total", "surplus chunk responses discarded by late binding"),
 		replans:       reg.Counter("client_replans_total", "re-planning rounds after mid-read site failures"),
+		retries:       reg.Counter("client_retries_total", "chunk and probe attempts retried after transient errors"),
+		hedges:        reg.Counter("client_hedged_reads_total", "extra chunk reads issued for slow blocks"),
+		hedgesWon:     reg.Counter("client_hedges_won_total", "hedged reads whose chunk was used"),
+		hedgesLost:    reg.Counter("client_hedges_lost_total", "hedged reads that arrived too late, failed or were discarded"),
+		deadlines:     reg.Counter("client_deadline_expirations_total", "requests abandoned because their deadline expired"),
+		putCleanups:   reg.Counter("client_put_cleanups_total", "aborted writes whose stored chunks were rolled back"),
 		metadataH:     reg.Histogram("client_metadata_seconds", "read phase R1: metadata lookup latency"),
 		planH:         reg.Histogram("client_plan_seconds", "read phase R2: access planning latency"),
 		fetchH:        reg.Histogram("client_fetch_seconds", "read phase R3a: parallel chunk retrieval latency"),
@@ -166,6 +243,10 @@ type Deps struct {
 	Probes *stats.ProbeEstimator
 	// Loads supports load-aware placement; may be nil for PlaceRandom.
 	Loads *stats.LoadTracker
+	// Health is the per-site breaker set, shared with the mover and
+	// repair service so every component skips unhealthy sites
+	// consistently. Nil creates a private tracker.
+	Health *health.Tracker
 	// Sink additionally receives each request's block set (optional),
 	// feeding a remote statistics service.
 	Sink AccessSink
@@ -205,6 +286,10 @@ func NewClient(cfg Config, deps Deps) (*Client, error) {
 	if probes == nil {
 		probes = stats.NewProbeEstimator(0.3)
 	}
+	tracker := deps.Health
+	if tracker == nil {
+		tracker = health.NewTracker(health.Config{Metrics: deps.Metrics})
+	}
 	return &Client{
 		cfg:   cfg,
 		codec: codec,
@@ -223,7 +308,8 @@ func NewClient(cfg Config, deps Deps) (*Client, error) {
 		sink:     deps.Sink,
 		obs:      newClientObs(deps.Metrics),
 		tracer:   deps.Tracer,
-		failed:   make(map[model.SiteID]bool),
+		health:   tracker,
+		rng:      rand.New(rand.NewSource(cfg.Seed + 2)),
 	}, nil
 }
 
@@ -236,6 +322,9 @@ func (c *Client) Codec() *erasure.Codec { return c.codec }
 // PlannerStats returns plan-cache statistics.
 func (c *Client) PlannerStats() placement.PlannerStats { return c.plan.Stats() }
 
+// Health exposes the client's site breaker set.
+func (c *Client) Health() *health.Tracker { return c.health }
+
 // StorageOverhead returns the configured scheme's storage expansion factor.
 func (c *Client) StorageOverhead() float64 {
 	if c.cfg.Scheme == model.SchemeReplicated {
@@ -244,26 +333,17 @@ func (c *Client) StorageOverhead() float64 {
 	return float64(c.cfg.K+c.cfg.R) / float64(c.cfg.K)
 }
 
-// MarkFailed records a site as unavailable for planning.
-func (c *Client) MarkFailed(s model.SiteID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.failed[s] = true
-}
+// MarkFailed records a site as unavailable for planning by forcing its
+// breaker open (manual marking; mid-read failures report to the breaker
+// instead, which honours the failure threshold).
+func (c *Client) MarkFailed(s model.SiteID) { c.health.ForceOpen(s) }
 
-// MarkAvailable clears a site's failed mark.
-func (c *Client) MarkAvailable(s model.SiteID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.failed, s)
-}
+// MarkAvailable clears a site's failed mark by closing its breaker.
+func (c *Client) MarkAvailable(s model.SiteID) { c.health.Reset(s) }
 
-// available reports whether a site is believed reachable.
-func (c *Client) available(s model.SiteID) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return !c.failed[s]
-}
+// available reports whether a site is believed reachable: only sites
+// with a closed breaker join fresh access plans.
+func (c *Client) available(s model.SiteID) bool { return c.health.Available(s) }
 
 // costs materializes the current cost model from probe estimates.
 func (c *Client) costs() *model.SiteCosts {
@@ -278,11 +358,36 @@ func (c *Client) totalChunks() int {
 	return c.cfg.K + c.cfg.R
 }
 
+// requestCtx applies the configured per-request deadline.
+func (c *Client) requestCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// chunkCtx applies the configured per-chunk deadline.
+func (c *Client) chunkCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.cfg.ChunkTimeout > 0 {
+		return context.WithTimeout(ctx, c.cfg.ChunkTimeout)
+	}
+	return ctx, func() {}
+}
+
 // Put stores a block under id (write path W1-W3).
 func (c *Client) Put(id model.BlockID, data []byte) error {
+	return c.PutContext(context.Background(), id, data)
+}
+
+// PutContext stores a block under a caller-supplied context. If any chunk
+// store or the metadata registration fails, the chunks already written are
+// deleted best-effort so an aborted write does not orphan storage.
+func (c *Client) PutContext(ctx context.Context, id model.BlockID, data []byte) error {
 	if id == "" {
 		return errors.New("core: empty block id")
 	}
+	ctx, cancel := c.requestCtx(ctx)
+	defer cancel()
 	siteList := c.siteIDs()
 	chosen, err := c.placer.Place(siteList, c.totalChunks())
 	if err != nil {
@@ -317,12 +422,15 @@ func (c *Client) Put(id model.BlockID, data []byte) error {
 				errs[i] = fmt.Errorf("%w: site %d", ErrNoSites, chosen[i])
 				return
 			}
-			errs[i] = site.PutChunk(model.ChunkRef{Block: id, Chunk: i}, chunks[i])
+			cctx, ccancel := c.chunkCtx(ctx)
+			defer ccancel()
+			errs[i] = site.PutChunk(cctx, model.ChunkRef{Block: id, Chunk: i}, chunks[i])
 		}(i)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
+			c.cleanupChunks(id, chosen, errs)
 			return fmt.Errorf("store chunk %d of %s: %w", i, id, err)
 		}
 	}
@@ -341,15 +449,51 @@ func (c *Client) Put(id model.BlockID, data []byte) error {
 		Sites:     chosen,
 	}
 	if err := c.meta.Register(meta); err != nil {
+		c.cleanupChunks(id, chosen, nil)
 		return fmt.Errorf("register %s: %w", id, err)
 	}
 	c.obs.puts.Inc()
 	return nil
 }
 
+// cleanupChunks best-effort deletes the chunks an aborted Put already
+// wrote: every position whose error entry is nil (a nil errs deletes all
+// of them). Without this, a failed write would leak orphaned chunks until
+// a repair scrub finds them.
+func (c *Client) cleanupChunks(id model.BlockID, chosen []model.SiteID, errs []error) {
+	timeout := c.cfg.ChunkTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i, siteID := range chosen {
+		if errs != nil && errs[i] != nil {
+			continue
+		}
+		api := c.sites[siteID]
+		if api == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(api storage.SiteAPI, ref model.ChunkRef) {
+			defer wg.Done()
+			_ = api.DeleteChunk(ctx, ref)
+		}(api, model.ChunkRef{Block: id, Chunk: i})
+	}
+	wg.Wait()
+	c.obs.putCleanups.Inc()
+}
+
 // Get retrieves one block.
 func (c *Client) Get(id model.BlockID) ([]byte, error) {
-	res, _, err := c.GetMulti([]model.BlockID{id})
+	return c.GetContext(context.Background(), id)
+}
+
+// GetContext retrieves one block under a caller-supplied context.
+func (c *Client) GetContext(ctx context.Context, id model.BlockID) ([]byte, error) {
+	res, _, err := c.GetMultiContext(ctx, []model.BlockID{id})
 	if err != nil {
 		return nil, err
 	}
@@ -359,10 +503,18 @@ func (c *Client) Get(id model.BlockID) ([]byte, error) {
 // GetMulti retrieves a set of blocks (read path R1-R3) and returns the
 // per-phase response-time breakdown the paper's evaluation reports.
 func (c *Client) GetMulti(ids []model.BlockID) (map[model.BlockID][]byte, model.Breakdown, error) {
+	return c.GetMultiContext(context.Background(), ids)
+}
+
+// GetMultiContext is GetMulti under a caller-supplied context; the
+// configured RequestTimeout is additionally applied when set.
+func (c *Client) GetMultiContext(ctx context.Context, ids []model.BlockID) (map[model.BlockID][]byte, model.Breakdown, error) {
 	var bd model.Breakdown
 	if len(ids) == 0 {
 		return nil, bd, nil
 	}
+	ctx, cancel := c.requestCtx(ctx)
+	defer cancel()
 	c.obs.requests.Inc()
 	c.obs.blocks.Add(int64(len(ids)))
 	tstart := time.Now()
@@ -400,13 +552,23 @@ func (c *Client) GetMulti(ids []model.BlockID) (map[model.BlockID][]byte, model.
 	c.obs.planH.Observe(bd.Planning)
 
 	// R3: retrieval and decode. Site failures are discovered one fetch
-	// at a time (an RPC error marks the site), so replanning retries
-	// until the request succeeds or the failure set stops growing the
-	// feasible space.
+	// at a time (an RPC error opens the site's breaker), so replanning
+	// retries while the failure set keeps changing; once it stops
+	// changing, another round would reproduce the same plan, so the
+	// loop exits with the terminal error instead of spinning.
 	t2 := time.Now()
 	sp = tr.StartSpan("fetch")
-	chunks, err := c.fetch(plan, metas, sp)
+	prevFailed := c.unavailableKey()
+	chunks, err := c.fetch(ctx, plan, metas, sp)
 	for attempt := 0; err != nil && attempt < len(c.sites); attempt++ {
+		if ctx.Err() != nil {
+			break // request deadline reached: replanning cannot help
+		}
+		nowFailed := c.unavailableKey()
+		if nowFailed == prevFailed {
+			break // failure set stopped changing
+		}
+		prevFailed = nowFailed
 		c.obs.replans.Inc()
 		var planErr error
 		plan, _, planErr = c.plan.Plan(placement.PlanRequest{Metas: metas, Available: c.available}, c.costs())
@@ -414,7 +576,7 @@ func (c *Client) GetMulti(ids []model.BlockID) (map[model.BlockID][]byte, model.
 			sp.End()
 			return nil, bd, fmt.Errorf("replan access: %w", planErr)
 		}
-		chunks, err = c.fetch(plan, metas, sp)
+		chunks, err = c.fetch(ctx, plan, metas, sp)
 	}
 	sp.End()
 	if err != nil {
@@ -440,39 +602,55 @@ func (c *Client) GetMulti(ids []model.BlockID) (map[model.BlockID][]byte, model.
 	return out, bd, nil
 }
 
+// unavailableKey fingerprints the current failure set for the replan
+// loop's early-stop check.
+func (c *Client) unavailableKey() string {
+	return fmt.Sprint(c.health.Unavailable())
+}
+
 // fetchResult carries one chunk retrieval outcome.
 type fetchResult struct {
-	ref  model.ChunkRef
-	site model.SiteID
-	data []byte
-	err  error
+	ref   model.ChunkRef
+	site  model.SiteID
+	data  []byte
+	err   error
+	hedge bool
 }
 
 // fetch executes an access plan: one goroutine per accessed site issues
 // that site's chunk reads sequentially (modelling one connection per site),
-// and the caller completes as soon as every block has k chunks — surplus
-// late-binding responses are discarded as they trickle in.
-func (c *Client) fetch(plan *model.AccessPlan, metas map[model.BlockID]*model.BlockMeta, span obs.SpanRef) (map[model.BlockID]map[int][]byte, error) {
+// and the caller completes as soon as every block has k chunks. In-flight
+// reads are canceled the moment the request is satisfied or fails, and
+// surplus late-binding responses are discarded as they trickle in. When
+// hedging is enabled, blocks still unsatisfied after the hedge threshold
+// get one extra chunk read from the cheapest not-yet-planned site.
+func (c *Client) fetch(ctx context.Context, plan *model.AccessPlan, metas map[model.BlockID]*model.BlockMeta, span obs.SpanRef) (map[model.BlockID]map[int][]byte, error) {
 	total := plan.ChunkCount()
-	results := make(chan fetchResult, total)
+	fetchCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Buffered for every planned read plus one hedge per block, so
+	// goroutines never block sending after the collector has returned.
+	results := make(chan fetchResult, total+len(metas))
 	for _, site := range plan.SortedSites() {
 		refs := plan.Reads[site]
 		var siteSpan obs.SpanRef
 		if span.Active() {
 			siteSpan = span.Child("site " + strconv.FormatInt(int64(site), 10))
 		}
-		go func(site model.SiteID, refs []model.ChunkRef, siteSpan obs.SpanRef) {
-			defer siteSpan.End()
-			api := c.sites[site]
-			for _, ref := range refs {
-				if api == nil {
-					results <- fetchResult{ref: ref, site: site, err: fmt.Errorf("%w: site %d", ErrNoSites, site)}
-					continue
-				}
-				data, err := api.GetChunk(ref)
-				results <- fetchResult{ref: ref, site: site, data: data, err: err}
+		go c.fetchSite(fetchCtx, site, refs, siteSpan, results)
+	}
+
+	planned := make(map[model.BlockID]map[int]bool, len(metas))
+	for _, refs := range plan.Reads {
+		for _, ref := range refs {
+			m := planned[ref.Block]
+			if m == nil {
+				m = make(map[int]bool)
+				planned[ref.Block] = m
 			}
-		}(site, refs, siteSpan)
+			m[ref.Chunk] = true
+		}
 	}
 
 	need := make(map[model.BlockID]int, len(metas))
@@ -483,36 +661,76 @@ func (c *Client) fetch(plan *model.AccessPlan, metas map[model.BlockID]*model.Bl
 	satisfied := 0
 	failures := 0
 	fetched := 0
+	plannedSeen := 0
+	hedgesLaunched := 0
+	hedgesWon := 0
 
-	received := 0
-	for ; received < total && satisfied < len(metas); received++ {
-		res := <-results
-		if res.err != nil {
-			failures++
-			if isSiteFailure(res.err) {
-				c.MarkFailed(res.site)
+	var hedgeC <-chan time.Time
+	if d := c.hedgeThreshold(); d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+
+	flush := func() {
+		c.obs.chunksFetched.Add(int64(fetched))
+		c.obs.fetchErrors.Add(int64(failures))
+		c.obs.lateDiscarded.Add(int64(total - plannedSeen))
+		c.obs.hedges.Add(int64(hedgesLaunched))
+		c.obs.hedgesWon.Add(int64(hedgesWon))
+		c.obs.hedgesLost.Add(int64(hedgesLaunched - hedgesWon))
+	}
+
+	outstanding := total
+	for outstanding > 0 && satisfied < len(metas) {
+		select {
+		case res := <-results:
+			outstanding--
+			if !res.hedge {
+				plannedSeen++
 			}
-			continue
-		}
-		fetched++
-		m := got[res.ref.Block]
-		if m == nil {
-			m = make(map[int][]byte)
-			got[res.ref.Block] = m
-		}
-		if _, dup := m[res.ref.Chunk]; dup {
-			continue
-		}
-		m[res.ref.Chunk] = res.data
-		if len(m) == need[res.ref.Block] {
-			satisfied++
+			if res.err != nil {
+				if errors.Is(res.err, context.Canceled) && ctx.Err() == nil {
+					continue // canceled by our own completion; not a failure
+				}
+				failures++
+				if isSiteFailure(res.err) {
+					c.health.ReportFailure(res.site)
+				}
+				continue
+			}
+			c.health.ReportSuccess(res.site)
+			fetched++
+			m := got[res.ref.Block]
+			if m == nil {
+				m = make(map[int][]byte)
+				got[res.ref.Block] = m
+			}
+			if _, dup := m[res.ref.Chunk]; dup {
+				continue
+			}
+			wasSatisfied := len(m) >= need[res.ref.Block]
+			m[res.ref.Chunk] = res.data
+			if res.hedge && !wasSatisfied {
+				hedgesWon++
+			}
+			if !wasSatisfied && len(m) == need[res.ref.Block] {
+				satisfied++
+			}
+
+		case <-hedgeC:
+			hedgeC = nil
+			n := c.launchHedges(fetchCtx, metas, planned, got, need, results)
+			hedgesLaunched += n
+			outstanding += n
+
+		case <-ctx.Done():
+			c.obs.deadlines.Inc()
+			flush()
+			return nil, fmt.Errorf("core: fetch: %w", ctx.Err())
 		}
 	}
-	c.obs.chunksFetched.Add(int64(fetched))
-	c.obs.fetchErrors.Add(int64(failures))
-	// Late-binding waste: planned reads whose responses the request did
-	// not wait for (the paper's surplus k+δ responses).
-	c.obs.lateDiscarded.Add(int64(total - received))
+	flush()
 
 	if satisfied < len(metas) {
 		for id := range metas {
@@ -522,6 +740,149 @@ func (c *Client) fetch(plan *model.AccessPlan, metas map[model.BlockID]*model.Bl
 		}
 	}
 	return got, nil
+}
+
+// fetchSite issues one site's planned reads sequentially (one connection
+// per site). After a site-level failure, the remaining refs fail fast
+// instead of being attempted, so a hung site costs at most one per-chunk
+// timeout per fetch round rather than one per planned read.
+func (c *Client) fetchSite(ctx context.Context, site model.SiteID, refs []model.ChunkRef, siteSpan obs.SpanRef, results chan<- fetchResult) {
+	defer siteSpan.End()
+	api := c.sites[site]
+	var down error
+	if api == nil {
+		down = fmt.Errorf("%w: site %d", ErrNoSites, site)
+	}
+	for _, ref := range refs {
+		if down == nil && ctx.Err() != nil {
+			down = ctx.Err()
+		}
+		if down != nil {
+			results <- fetchResult{ref: ref, site: site, err: down}
+			continue
+		}
+		data, err := c.readChunk(ctx, api, ref)
+		results <- fetchResult{ref: ref, site: site, data: data, err: err}
+		if err != nil && !errors.Is(err, context.Canceled) && isSiteFailure(err) {
+			down = err
+		}
+	}
+}
+
+// hedgeThreshold returns the current hedge trigger delay: HedgeDelay when
+// fixed, else the observed fetch-latency quantile once enough requests
+// have been recorded. Zero disables hedging.
+func (c *Client) hedgeThreshold() time.Duration {
+	if c.cfg.HedgeDelay > 0 {
+		return c.cfg.HedgeDelay
+	}
+	if c.cfg.HedgeQuantile > 0 && c.cfg.HedgeQuantile < 1 && c.obs.fetchH.Count() >= hedgeMinSamples {
+		if q := c.obs.fetchH.Quantile(c.cfg.HedgeQuantile); q > 0 {
+			return time.Duration(q * float64(time.Second))
+		}
+	}
+	return 0
+}
+
+// launchHedges issues at most one extra chunk read per unsatisfied block,
+// extending late binding: the hedge targets a chunk the plan did not
+// select, fetched from the cheapest available holder under the Eq. 1 cost
+// model (o_j + m_j x chunk size). Returns how many hedges were started.
+func (c *Client) launchHedges(ctx context.Context, metas map[model.BlockID]*model.BlockMeta, planned map[model.BlockID]map[int]bool, got map[model.BlockID]map[int][]byte, need map[model.BlockID]int, results chan<- fetchResult) int {
+	costs := c.costs()
+	launched := 0
+	for id, meta := range metas {
+		if len(got[id]) >= need[id] {
+			continue
+		}
+		best := -1
+		var bestCost float64
+		for chunk, site := range meta.Sites {
+			if site == model.NoSite || planned[id][chunk] {
+				continue
+			}
+			if _, have := got[id][chunk]; have {
+				continue
+			}
+			if c.sites[site] == nil || !c.available(site) {
+				continue
+			}
+			cost := costs.OCost(site) + costs.MCost(site)*float64(meta.ChunkSize)
+			if best == -1 || cost < bestCost {
+				best, bestCost = chunk, cost
+			}
+		}
+		if best == -1 {
+			continue // no unplanned chunk left on an available site
+		}
+		ref := model.ChunkRef{Block: id, Chunk: best}
+		site := meta.Sites[best]
+		api := c.sites[site]
+		launched++
+		go func(site model.SiteID, api storage.SiteAPI, ref model.ChunkRef) {
+			data, err := c.readChunk(ctx, api, ref)
+			results <- fetchResult{ref: ref, site: site, data: data, err: err, hedge: true}
+		}(site, api, ref)
+	}
+	return launched
+}
+
+// readChunk performs one chunk read under the per-attempt deadline and
+// retry policy. Missing chunks and deadline errors are never retried on
+// the same site: the former cannot improve, and the latter already cost a
+// full ChunkTimeout, so the site is left to the breaker and replanning.
+func (c *Client) readChunk(ctx context.Context, api storage.SiteAPI, ref model.ChunkRef) ([]byte, error) {
+	var data []byte
+	var err error
+	for attempt := 0; attempt < c.cfg.Retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.obs.retries.Inc()
+			if !c.backoff(ctx, attempt) {
+				return nil, ctx.Err()
+			}
+		}
+		data, err = c.readChunkOnce(ctx, api, ref)
+		if err == nil || !retryable(err) {
+			return data, err
+		}
+	}
+	return nil, err
+}
+
+func (c *Client) readChunkOnce(ctx context.Context, api storage.SiteAPI, ref model.ChunkRef) ([]byte, error) {
+	cctx, cancel := c.chunkCtx(ctx)
+	defer cancel()
+	return api.GetChunk(cctx, ref)
+}
+
+// backoff sleeps the jittered exponential retry delay for the given
+// attempt (1-based); false when the context expired first.
+func (c *Client) backoff(ctx context.Context, attempt int) bool {
+	d := c.cfg.Retry.BaseBackoff << uint(attempt-1)
+	if d > c.cfg.Retry.MaxBackoff || d <= 0 {
+		d = c.cfg.Retry.MaxBackoff
+	}
+	c.rngMu.Lock()
+	jitter := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.rngMu.Unlock()
+	t := time.NewTimer(d + jitter)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// retryable reports whether an error is worth retrying against the same
+// site: transient transport and site errors are, while missing chunks
+// (stale metadata) and context expiry (the attempt already consumed its
+// deadline, or the caller is gone) are not.
+func retryable(err error) bool {
+	return !errors.Is(err, storage.ErrChunkNotFound) &&
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded)
 }
 
 // assemble turns fetched chunks into the original block.
@@ -537,6 +898,13 @@ func (c *Client) assemble(meta *model.BlockMeta, chunks map[int][]byte) ([]byte,
 
 // Delete removes a block and its chunks.
 func (c *Client) Delete(id model.BlockID) error {
+	return c.DeleteContext(context.Background(), id)
+}
+
+// DeleteContext removes a block and its chunks under a caller context.
+func (c *Client) DeleteContext(ctx context.Context, id model.BlockID) error {
+	ctx, cancel := c.requestCtx(ctx)
+	defer cancel()
 	meta, err := c.meta.Delete(id)
 	if err != nil {
 		return fmt.Errorf("unregister %s: %w", id, err)
@@ -550,8 +918,10 @@ func (c *Client) Delete(id model.BlockID) error {
 		wg.Add(1)
 		go func(api storage.SiteAPI, ref model.ChunkRef) {
 			defer wg.Done()
+			cctx, ccancel := c.chunkCtx(ctx)
+			defer ccancel()
 			// Best effort: repair garbage-collects orphans.
-			_ = api.DeleteChunk(ref)
+			_ = api.DeleteChunk(cctx, ref)
 		}(api, model.ChunkRef{Block: id, Chunk: chunk})
 	}
 	wg.Wait()
@@ -559,21 +929,60 @@ func (c *Client) Delete(id model.BlockID) error {
 	return nil
 }
 
-// ProbeAll measures a load-status round trip to every site, feeding o_j
-// estimates and availability marks (Section V-B3).
-func (c *Client) ProbeAll() {
+// ProbeAll measures a load-status round trip to every probeable site in
+// parallel, feeding o_j estimates and breaker state (Section V-B3).
+// Closed breakers are always probed; open ones only once their backoff
+// admits a half-open recovery probe, so a down site is not hammered.
+func (c *Client) ProbeAll() { c.ProbeAllContext(context.Background()) }
+
+// ProbeAllContext is ProbeAll under a caller-supplied context. Each probe
+// additionally carries the configured ProbeTimeout.
+func (c *Client) ProbeAllContext(ctx context.Context) {
+	var wg sync.WaitGroup
 	for _, id := range c.siteIDs() {
 		api := c.sites[id]
-		start := time.Now()
-		err := api.Probe()
-		rtt := time.Since(start).Seconds()
-		if err != nil {
-			c.MarkFailed(id)
+		if api == nil || !c.health.AllowProbe(id) {
 			continue
 		}
-		c.MarkAvailable(id)
-		c.probes.Observe(id, scaleRTT(rtt, c.cfg.DefaultO))
+		wg.Add(1)
+		go func(id model.SiteID, api storage.SiteAPI) {
+			defer wg.Done()
+			c.probeSite(ctx, id, api)
+		}(id, api)
 	}
+	wg.Wait()
+}
+
+// probeSite runs one site's probe with the retry policy and per-probe
+// timeout, reporting the outcome to the breaker and, on success, the
+// measured RTT to the o_j estimator.
+func (c *Client) probeSite(ctx context.Context, id model.SiteID, api storage.SiteAPI) {
+	var err error
+	for attempt := 0; attempt < c.cfg.Retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.obs.retries.Inc()
+			if !c.backoff(ctx, attempt) {
+				break
+			}
+		}
+		start := time.Now()
+		err = c.probeOnce(ctx, api)
+		if err == nil {
+			c.health.ReportSuccess(id)
+			c.probes.Observe(id, scaleRTT(time.Since(start).Seconds(), c.cfg.DefaultO))
+			return
+		}
+		if !retryable(err) {
+			break
+		}
+	}
+	c.health.ReportFailure(id)
+}
+
+func (c *Client) probeOnce(ctx context.Context, api storage.SiteAPI) error {
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+	defer cancel()
+	return api.Probe(pctx)
 }
 
 // scaleRTT converts a measured probe RTT in seconds into cost-model units,

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"ecstore/internal/health"
 	"ecstore/internal/metadata"
 	"ecstore/internal/model"
 	"ecstore/internal/obs"
@@ -34,6 +36,10 @@ type ClusterConfig struct {
 	// ReadDelayPerByte/ReadDelayFixed emulate storage media on each site.
 	ReadDelayPerByte time.Duration
 	ReadDelayFixed   time.Duration
+	// Health tunes the shared per-site breaker set (failure thresholds,
+	// recovery backoff). The zero value uses the package defaults; the
+	// Metrics field is always overridden with the cluster registry.
+	Health health.Config
 	// Metrics optionally instruments every component (sites, catalog,
 	// client, planner, mover, repair) with one shared registry and
 	// enables per-request tracing. Nil disables observability at zero
@@ -55,6 +61,8 @@ type Cluster struct {
 	Probes   *stats.ProbeEstimator
 	Mover    *MoverRunner
 	Repair   *repair.Service
+	// Health is the breaker set shared by client, mover and repair.
+	Health *health.Tracker
 	// Metrics is the shared registry (nil when observability is off) and
 	// Tracer the per-request trace collector backed by it.
 	Metrics *obs.Registry
@@ -101,6 +109,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	coaccess := stats.NewCoAccessTracker(0)
 	loads := stats.NewLoadTracker()
 	probes := stats.NewProbeEstimator(0.3)
+	healthCfg := cfg.Health
+	healthCfg.Metrics = cfg.Metrics
+	tracker := health.NewTracker(healthCfg)
 
 	client, err := NewClient(cfg.Client, Deps{
 		Meta:     catalog,
@@ -108,6 +119,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		CoAccess: coaccess,
 		Probes:   probes,
 		Loads:    loads,
+		Health:   tracker,
 		Metrics:  cfg.Metrics,
 		Tracer:   tracer,
 	})
@@ -122,6 +134,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		CoAccess:      coaccess,
 		Loads:         loads,
 		Probes:        probes,
+		Health:        tracker,
 		Metrics:       cfg.Metrics,
 		Tracer:        tracer,
 		statsInterval: cfg.StatsInterval,
@@ -137,12 +150,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Interval: cfg.MoverInterval,
 			DefaultO: cfg.Client.DefaultO,
 			DefaultM: cfg.Client.DefaultM,
+			Health:   tracker,
 			Metrics:  cfg.Metrics,
 		}, catalog, apis, coaccess, loads, probes)
 	}
 	if cfg.EnableRepair {
 		c.Repair = repair.NewService(repair.Config{
 			Grace:   cfg.RepairGrace,
+			Health:  tracker,
 			Metrics: cfg.Metrics,
 		}, catalog, apis, loads)
 	}
@@ -198,7 +213,7 @@ func (c *Cluster) Close() {
 // report feeds the load tracker, and a probe round refreshes o_j.
 func (c *Cluster) CollectStats() {
 	for id, svc := range c.Services {
-		load, err := svc.LoadReport()
+		load, err := svc.LoadReport(context.Background())
 		if err != nil {
 			continue // failed sites keep their last report
 		}
@@ -252,7 +267,7 @@ func (c *Cluster) TotalStoredBytes() int64 {
 func (c *Cluster) SiteChunkCounts() map[model.SiteID]int {
 	out := make(map[model.SiteID]int, len(c.Services))
 	for id, svc := range c.Services {
-		refs, err := svc.ListChunks()
+		refs, err := svc.ListChunks(context.Background())
 		if err != nil {
 			out[id] = 0
 			continue

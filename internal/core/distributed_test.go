@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
@@ -126,7 +127,7 @@ func TestDistributedDegradedRead(t *testing.T) {
 	// learn about them through RPC errors and replan.
 	failed := 0
 	for id, svc := range d.services {
-		refs, err := svc.ListChunks()
+		refs, err := svc.ListChunks(context.Background())
 		if err != nil {
 			continue
 		}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"ecstore/internal/health"
 	"ecstore/internal/metadata"
 	"ecstore/internal/model"
 	"ecstore/internal/obs"
@@ -30,6 +32,13 @@ type MoverRunnerConfig struct {
 	// DefaultO and DefaultM seed the cost model.
 	DefaultO float64
 	DefaultM float64
+	// OpTimeout bounds each chunk read/write/delete and probe issued
+	// while executing a move. Zero means 30 seconds.
+	OpTimeout time.Duration
+	// Health optionally shares the per-site breaker set with the client
+	// and repair service: movement plans then avoid sites whose breaker
+	// is not closed instead of probing them. Nil probes directly.
+	Health *health.Tracker
 	// Metrics optionally exports move counters into a shared registry.
 	// Nil disables it.
 	Metrics *obs.Registry
@@ -75,6 +84,9 @@ func NewMoverRunner(cfg MoverRunnerConfig, meta metadata.Service, sites map[mode
 	}
 	if cfg.DefaultM == 0 {
 		cfg.DefaultM = 1.0 / (100 * 1024)
+	}
+	if cfg.OpTimeout == 0 {
+		cfg.OpTimeout = 30 * time.Second
 	}
 	r := &MoverRunner{
 		cfg:    cfg,
@@ -148,7 +160,15 @@ func (r *MoverRunner) env() placement.MoverEnv {
 		RequestRate: r.cfg.RequestRate,
 		Available: func(s model.SiteID) bool {
 			api := r.sites[s]
-			return api != nil && api.Probe() == nil
+			if api == nil {
+				return false
+			}
+			if r.cfg.Health != nil {
+				return r.cfg.Health.Available(s)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.OpTimeout)
+			defer cancel()
+			return api.Probe(ctx) == nil
 		},
 	}
 }
@@ -189,21 +209,25 @@ func (r *MoverRunner) Execute(plan model.MovePlan) error {
 		return fmt.Errorf("%w: move %d -> %d", ErrNoSites, plan.From, plan.To)
 	}
 
+	// Each step of copy -> CAS -> delete is bounded so a hung site fails
+	// the move instead of stalling the mover daemon.
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.OpTimeout)
+	defer cancel()
 	ref := model.ChunkRef{Block: plan.Block, Chunk: plan.Chunk}
-	data, err := src.GetChunk(ref)
+	data, err := src.GetChunk(ctx, ref)
 	if err != nil {
 		return fmt.Errorf("read source chunk: %w", err)
 	}
-	if err := dst.PutChunk(ref, data); err != nil {
+	if err := dst.PutChunk(ctx, ref, data); err != nil {
 		return fmt.Errorf("write destination chunk: %w", err)
 	}
 	if _, err := r.meta.UpdatePlacement(plan.Block, plan.Chunk, plan.To, meta.Version); err != nil {
 		// Roll back the copy; the move lost a race.
-		_ = dst.DeleteChunk(ref)
+		_ = dst.DeleteChunk(ctx, ref)
 		return fmt.Errorf("commit placement: %w", err)
 	}
 	// Old copy is unreachable once metadata points at the destination.
-	_ = src.DeleteChunk(ref)
+	_ = src.DeleteChunk(ctx, ref)
 	return nil
 }
 

@@ -1,0 +1,401 @@
+// Package faults provides deterministic fault injection for EC-Store's
+// data plane. Two wrappers cover the layers the client talks through:
+//
+//   - Site wraps a storage.SiteAPI and injects refusals, latency spikes,
+//     hangs (the site "accepts" the request but never responds), and
+//     error returns into individual storage operations.
+//   - Network wraps a transport.Network and injects connection refusals,
+//     dial latency, one-way partitions (this dialer cannot reach an
+//     address while the reverse direction still works), and mid-stream
+//     stalls on established connections.
+//
+// All probabilistic decisions come from one seeded Injector, so a chaos
+// test that fixes the seed replays the exact same fault schedule every
+// run. Wrappers are safe for concurrent use and their fault plans can be
+// swapped at runtime (to flap a site up and down, heal a partition, or
+// release a stall).
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"ecstore/internal/model"
+	"ecstore/internal/stats"
+	"ecstore/internal/storage"
+	"ecstore/internal/transport"
+)
+
+// ErrInjected is the default error returned by probabilistic error
+// injection. Chaos tests can match it with errors.Is.
+var ErrInjected = errors.New("faults: injected error")
+
+// Plan describes the faults active on a wrapped component. The zero
+// value injects nothing and forwards every operation untouched.
+type Plan struct {
+	// Refuse fails every operation immediately: storage calls return
+	// Err (default ErrInjected), dials return transport.ErrConnRefused.
+	// Models a crashed process whose host actively resets connections.
+	Refuse bool
+	// Hang blocks every operation until the caller's context is done,
+	// then returns the context error. Models a site that accepts
+	// requests but never responds — the worst case for tail latency,
+	// because only the caller's own deadline gets it unstuck.
+	Hang bool
+	// ErrorRate in [0,1] is the probability that an operation fails
+	// with Err after any latency has been applied. Zero never injects.
+	ErrorRate float64
+	// Err overrides the injected error for Refuse and ErrorRate.
+	Err error
+	// Latency delays every operation before it is forwarded; Jitter
+	// adds a uniformly distributed extra delay in [0, Jitter). The
+	// sleep honors the caller's context.
+	Latency time.Duration
+	Jitter  time.Duration
+}
+
+func (p Plan) err() error {
+	if p.Err != nil {
+		return p.Err
+	}
+	return ErrInjected
+}
+
+// Injector is a seeded source of fault decisions shared by any number of
+// wrappers. One injector per test keeps the whole fault schedule
+// reproducible from a single seed.
+type Injector struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewInjector seeds an injector. The same seed yields the same decision
+// sequence given the same order of operations.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// roll reports whether an event with probability rate fires.
+func (in *Injector) roll(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64() < rate
+}
+
+// jitter returns a uniform duration in [0, d).
+func (in *Injector) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return time.Duration(in.rng.Int63n(int64(d)))
+}
+
+// sleep waits for d, honoring ctx.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Site wraps a storage.SiteAPI with fault injection. It implements
+// storage.SiteAPI itself, so it can stand in anywhere a real site client
+// does: core.Client deps, mover and repair site maps, cluster wiring.
+type Site struct {
+	api storage.SiteAPI
+	inj *Injector
+
+	mu   sync.Mutex
+	plan Plan
+}
+
+var _ storage.SiteAPI = (*Site)(nil)
+
+// NewSite wraps api. A nil injector gets seed 0.
+func NewSite(api storage.SiteAPI, inj *Injector) *Site {
+	if inj == nil {
+		inj = NewInjector(0)
+	}
+	return &Site{api: api, inj: inj}
+}
+
+// Set swaps the active fault plan. Operations already in flight keep the
+// plan they started with.
+func (s *Site) Set(p Plan) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.plan = p
+}
+
+// Plan returns the active fault plan.
+func (s *Site) Plan() Plan {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.plan
+}
+
+// before applies the active plan to one operation. A non-nil return is
+// the injected failure; nil means the call should be forwarded.
+func (s *Site) before(ctx context.Context) error {
+	p := s.Plan()
+	if p.Refuse {
+		return fmt.Errorf("faults: site refused: %w", p.err())
+	}
+	if p.Hang {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	if d := p.Latency + s.inj.jitter(p.Jitter); d > 0 {
+		if err := sleep(ctx, d); err != nil {
+			return err
+		}
+	}
+	if s.inj.roll(p.ErrorRate) {
+		return p.err()
+	}
+	return ctx.Err()
+}
+
+func (s *Site) PutChunk(ctx context.Context, ref model.ChunkRef, data []byte) error {
+	if err := s.before(ctx); err != nil {
+		return err
+	}
+	return s.api.PutChunk(ctx, ref, data)
+}
+
+func (s *Site) GetChunk(ctx context.Context, ref model.ChunkRef) ([]byte, error) {
+	if err := s.before(ctx); err != nil {
+		return nil, err
+	}
+	return s.api.GetChunk(ctx, ref)
+}
+
+func (s *Site) DeleteChunk(ctx context.Context, ref model.ChunkRef) error {
+	if err := s.before(ctx); err != nil {
+		return err
+	}
+	return s.api.DeleteChunk(ctx, ref)
+}
+
+func (s *Site) DeleteBlock(ctx context.Context, id model.BlockID) error {
+	if err := s.before(ctx); err != nil {
+		return err
+	}
+	return s.api.DeleteBlock(ctx, id)
+}
+
+func (s *Site) ListChunks(ctx context.Context) ([]model.ChunkRef, error) {
+	if err := s.before(ctx); err != nil {
+		return nil, err
+	}
+	return s.api.ListChunks(ctx)
+}
+
+func (s *Site) Probe(ctx context.Context) error {
+	if err := s.before(ctx); err != nil {
+		return err
+	}
+	return s.api.Probe(ctx)
+}
+
+func (s *Site) LoadReport(ctx context.Context) (stats.SiteLoad, error) {
+	if err := s.before(ctx); err != nil {
+		return stats.SiteLoad{}, err
+	}
+	return s.api.LoadReport(ctx)
+}
+
+// Network wraps a transport.Network with fault injection on dials and on
+// the connections they produce. Because the wrapper sits on the dialing
+// side only, partitions are one-way by construction: blocking an address
+// here severs this dialer's path while the reverse direction (or another
+// dialer) still works.
+type Network struct {
+	inner transport.Network
+	inj   *Injector
+
+	mu      sync.Mutex
+	plan    Plan
+	blocked map[string]bool
+	stall   *stallCtl // non-nil while new conns should stall mid-stream
+	conns   []*faultConn
+}
+
+var _ transport.Network = (*Network)(nil)
+
+// NewNetwork wraps inner. A nil injector gets seed 0.
+func NewNetwork(inner transport.Network, inj *Injector) *Network {
+	if inj == nil {
+		inj = NewInjector(0)
+	}
+	return &Network{inner: inner, inj: inj, blocked: make(map[string]bool)}
+}
+
+// Set swaps the dial fault plan.
+func (n *Network) Set(p Plan) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.plan = p
+}
+
+// PartitionTo blocks dials from this wrapper to addr with
+// transport.ErrConnRefused. The reverse direction is unaffected.
+func (n *Network) PartitionTo(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[addr] = true
+}
+
+// HealTo lifts a one-way partition.
+func (n *Network) HealTo(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, addr)
+}
+
+// StallConns controls mid-stream hangs: while on, every connection
+// dialed through this wrapper blocks in Read and Write (bytes neither
+// flow nor error) until the stall is released or the connection closed.
+// Turning it off releases all currently stalled connections.
+func (n *Network) StallConns(on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if on {
+		if n.stall == nil {
+			n.stall = newStallCtl()
+			for _, c := range n.conns {
+				c.setStall(n.stall)
+			}
+		}
+		return
+	}
+	if n.stall != nil {
+		n.stall.release()
+		n.stall = nil
+	}
+}
+
+// Listen passes through to the wrapped network.
+func (n *Network) Listen(addr string) (net.Listener, error) {
+	return n.inner.Listen(addr)
+}
+
+// Dial connects with a background context.
+func (n *Network) Dial(addr string) (net.Conn, error) {
+	return n.DialContext(context.Background(), addr)
+}
+
+// DialContext applies the dial plan and partition set, then dials
+// through the wrapped network and wraps the connection for stalling.
+func (n *Network) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	n.mu.Lock()
+	p := n.plan
+	partitioned := n.blocked[addr]
+	n.mu.Unlock()
+
+	if p.Refuse || partitioned {
+		return nil, fmt.Errorf("%w: %s (injected)", transport.ErrConnRefused, addr)
+	}
+	if p.Hang {
+		<-ctx.Done()
+		return nil, fmt.Errorf("%w: %s (injected hang: %v)", transport.ErrConnRefused, addr, ctx.Err())
+	}
+	if d := p.Latency + n.inj.jitter(p.Jitter); d > 0 {
+		if err := sleep(ctx, d); err != nil {
+			return nil, fmt.Errorf("%w: %s (injected latency: %v)", transport.ErrConnRefused, addr, err)
+		}
+	}
+	if n.inj.roll(p.ErrorRate) {
+		return nil, fmt.Errorf("faults: dial %s: %w", addr, p.err())
+	}
+	conn, err := n.inner.DialContext(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	fc := &faultConn{Conn: conn, done: make(chan struct{})}
+	n.mu.Lock()
+	fc.setStall(n.stall)
+	n.conns = append(n.conns, fc)
+	n.mu.Unlock()
+	return fc, nil
+}
+
+// stallCtl is a broadcast gate: wait blocks until release.
+type stallCtl struct {
+	ch chan struct{}
+}
+
+func newStallCtl() *stallCtl { return &stallCtl{ch: make(chan struct{})} }
+
+func (s *stallCtl) release() { close(s.ch) }
+
+// faultConn wraps a net.Conn so an active stallCtl blocks Read/Write.
+type faultConn struct {
+	net.Conn
+	mu    sync.Mutex
+	stall *stallCtl
+	done  chan struct{}
+	once  sync.Once
+}
+
+func (c *faultConn) setStall(s *stallCtl) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stall = s
+}
+
+// gate blocks while a stall is active; it returns an error once the
+// connection is closed so a stalled peer cannot leak goroutines.
+func (c *faultConn) gate() error {
+	c.mu.Lock()
+	s := c.stall
+	c.mu.Unlock()
+	if s == nil {
+		return nil
+	}
+	select {
+	case <-s.ch:
+		return nil
+	case <-c.done:
+		return net.ErrClosed
+	}
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *faultConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return c.Conn.Close()
+}

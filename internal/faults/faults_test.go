@@ -1,0 +1,261 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ecstore/internal/model"
+	"ecstore/internal/storage"
+	"ecstore/internal/transport"
+)
+
+func newSvc(t *testing.T) *storage.Service {
+	t.Helper()
+	return storage.NewService(storage.ServiceConfig{Site: 1}, storage.NewMemStore())
+}
+
+func TestSitePassthrough(t *testing.T) {
+	site := NewSite(newSvc(t), nil)
+	ctx := context.Background()
+	ref := model.ChunkRef{Block: "a", Chunk: 0}
+	if err := site.PutChunk(ctx, ref, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := site.GetChunk(ctx, ref)
+	if err != nil || string(data) != "x" {
+		t.Fatalf("GetChunk = %q, %v", data, err)
+	}
+	if err := site.Probe(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSiteInjectsErrors(t *testing.T) {
+	site := NewSite(newSvc(t), NewInjector(7))
+	site.Set(Plan{ErrorRate: 1})
+	_, err := site.GetChunk(context.Background(), model.ChunkRef{Block: "a"})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	custom := errors.New("boom")
+	site.Set(Plan{ErrorRate: 1, Err: custom})
+	if err := site.Probe(context.Background()); !errors.Is(err, custom) {
+		t.Fatalf("err = %v, want custom error", err)
+	}
+	site.Set(Plan{})
+	if err := site.Probe(context.Background()); err != nil {
+		t.Fatalf("healed site still failing: %v", err)
+	}
+}
+
+func TestSiteRefuse(t *testing.T) {
+	site := NewSite(newSvc(t), nil)
+	site.Set(Plan{Refuse: true})
+	if err := site.Probe(context.Background()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestSiteHangHonorsContext(t *testing.T) {
+	site := NewSite(newSvc(t), nil)
+	site.Set(Plan{Hang: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := site.GetChunk(ctx, model.ChunkRef{Block: "a"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hung call took %v despite deadline", elapsed)
+	}
+}
+
+func TestSiteLatency(t *testing.T) {
+	site := NewSite(newSvc(t), NewInjector(1))
+	site.Set(Plan{Latency: 30 * time.Millisecond})
+	start := time.Now()
+	if err := site.Probe(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("latency injection too fast: %v", elapsed)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	a, b := NewInjector(42), NewInjector(42)
+	for i := 0; i < 100; i++ {
+		if a.roll(0.5) != b.roll(0.5) {
+			t.Fatalf("roll %d diverged for identical seeds", i)
+		}
+		if a.jitter(time.Second) != b.jitter(time.Second) {
+			t.Fatalf("jitter %d diverged for identical seeds", i)
+		}
+	}
+}
+
+func TestNetworkPartitionOneWay(t *testing.T) {
+	mem := transport.NewMemory()
+	l, err := mem.Listen("site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+
+	a := NewNetwork(mem, NewInjector(1))
+	b := NewNetwork(mem, NewInjector(2))
+	a.PartitionTo("site")
+
+	if _, err := a.Dial("site"); !errors.Is(err, transport.ErrConnRefused) {
+		t.Fatalf("partitioned dial err = %v, want ErrConnRefused", err)
+	}
+	conn, err := b.Dial("site") // reverse path unaffected: one-way partition
+	if err != nil {
+		t.Fatalf("unpartitioned dialer failed: %v", err)
+	}
+	conn.Close()
+
+	a.HealTo("site")
+	conn, err = a.Dial("site")
+	if err != nil {
+		t.Fatalf("healed dial failed: %v", err)
+	}
+	conn.Close()
+}
+
+func TestNetworkRefuseAndErrors(t *testing.T) {
+	mem := transport.NewMemory()
+	n := NewNetwork(mem, NewInjector(3))
+	n.Set(Plan{Refuse: true})
+	if _, err := n.Dial("nowhere"); !errors.Is(err, transport.ErrConnRefused) {
+		t.Fatalf("err = %v, want ErrConnRefused", err)
+	}
+	n.Set(Plan{ErrorRate: 1})
+	if _, err := n.Dial("nowhere"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestNetworkStallConns(t *testing.T) {
+	mem := transport.NewMemory()
+	l, err := mem.Listen("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 4)
+				for {
+					n, err := conn.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := conn.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	n := NewNetwork(mem, nil)
+	conn, err := n.Dial("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Healthy round trip first.
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stalled: the write neither completes nor errors.
+	n.StallConns(true)
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Write([]byte("pong"))
+		if err == nil {
+			_, err = conn.Read(make([]byte, 4))
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled conn made progress (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Released: the blocked operation resumes and completes.
+	n.StallConns(false)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("released conn failed: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("released conn never made progress")
+	}
+}
+
+func TestStalledConnUnblocksOnClose(t *testing.T) {
+	mem := transport.NewMemory()
+	l, err := mem.Listen("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			_ = conn
+		}
+	}()
+
+	n := NewNetwork(mem, nil)
+	conn, err := n.Dial("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.StallConns(true)
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	conn.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("read on closed stalled conn returned nil error")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("closing a stalled conn did not unblock its reader")
+	}
+}

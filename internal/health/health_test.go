@@ -1,0 +1,153 @@
+package health
+
+import (
+	"testing"
+	"time"
+
+	"ecstore/internal/model"
+	"ecstore/internal/obs"
+)
+
+// fakeClock is a manually advanced clock for deterministic breaker tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func newTestTracker(reg *obs.Registry) (*Tracker, *fakeClock) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	t := NewTracker(Config{
+		FailureThreshold: 2,
+		OpenBackoff:      10 * time.Second,
+		MaxBackoff:       40 * time.Second,
+		BackoffFactor:    2,
+		Clock:            clk.Now,
+		Metrics:          reg,
+	})
+	return t, clk
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	tr, clk := newTestTracker(nil)
+	s := model.SiteID(1)
+
+	if !tr.Available(s) || tr.State(s) != Closed {
+		t.Fatal("fresh site not closed")
+	}
+
+	// One failure below the threshold keeps the breaker closed.
+	tr.ReportFailure(s)
+	if !tr.Available(s) {
+		t.Fatal("opened below threshold")
+	}
+	// Second consecutive failure opens it.
+	tr.ReportFailure(s)
+	if tr.Available(s) || tr.State(s) != Open {
+		t.Fatalf("state = %v, want open", tr.State(s))
+	}
+	if tr.AllowProbe(s) {
+		t.Fatal("open breaker admitted a probe before backoff expired")
+	}
+
+	// Backoff expiry moves it to half-open: exactly one probe admitted.
+	clk.Advance(11 * time.Second)
+	if tr.State(s) != HalfOpen {
+		t.Fatalf("state = %v, want half-open after backoff", tr.State(s))
+	}
+	if tr.Available(s) {
+		t.Fatal("half-open site offered to the planner")
+	}
+	if !tr.AllowProbe(s) {
+		t.Fatal("half-open breaker refused its probe")
+	}
+	if tr.AllowProbe(s) {
+		t.Fatal("half-open breaker admitted two concurrent probes")
+	}
+
+	// Probe success closes the breaker.
+	tr.ReportSuccess(s)
+	if !tr.Available(s) || tr.State(s) != Closed {
+		t.Fatalf("state = %v, want closed after recovery", tr.State(s))
+	}
+}
+
+func TestBreakerBackoffGrowsAndCaps(t *testing.T) {
+	tr, clk := newTestTracker(nil)
+	s := model.SiteID(2)
+
+	tr.ReportFailure(s)
+	tr.ReportFailure(s) // open, backoff 10s
+
+	fail := func(wantBackoff time.Duration) {
+		t.Helper()
+		clk.Advance(tr.cfg.MaxBackoff + time.Second) // always past expiry
+		if !tr.AllowProbe(s) {
+			t.Fatal("probe refused after backoff expiry")
+		}
+		tr.ReportFailure(s) // failed probation: re-open, longer backoff
+		tr.mu.Lock()
+		got := tr.sites[s].backoff
+		tr.mu.Unlock()
+		if got != wantBackoff {
+			t.Fatalf("backoff = %v, want %v", got, wantBackoff)
+		}
+	}
+	fail(20 * time.Second)
+	fail(40 * time.Second)
+	fail(40 * time.Second) // capped at MaxBackoff
+}
+
+func TestForceOpenAndReset(t *testing.T) {
+	tr, _ := newTestTracker(nil)
+	s := model.SiteID(3)
+	tr.ForceOpen(s)
+	if tr.Available(s) {
+		t.Fatal("force-opened site available")
+	}
+	tr.Reset(s)
+	if !tr.Available(s) {
+		t.Fatal("reset site unavailable")
+	}
+	// Reset also restores the base backoff after escalation.
+	tr.mu.Lock()
+	if tr.sites[s].backoff != 10*time.Second {
+		t.Fatalf("backoff after reset = %v", tr.sites[s].backoff)
+	}
+	tr.mu.Unlock()
+}
+
+func TestUnavailableListsOpenSites(t *testing.T) {
+	tr, _ := newTestTracker(nil)
+	tr.ForceOpen(4)
+	tr.ForceOpen(2)
+	got := tr.Unavailable()
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("Unavailable() = %v, want [2 4]", got)
+	}
+}
+
+func TestTrackerMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr, clk := newTestTracker(reg)
+	s := model.SiteID(5)
+
+	tr.ReportFailure(s)
+	tr.ReportFailure(s) // -> open
+	clk.Advance(11 * time.Second)
+	_ = tr.AllowProbe(s) // -> half-open
+	tr.ReportSuccess(s)  // -> closed
+
+	snap := reg.Snapshot()
+	if n := snap.CounterValue("health_transitions_total", "open"); n != 1 {
+		t.Fatalf("open transitions = %d, want 1", n)
+	}
+	if n := snap.CounterValue("health_transitions_total", "half-open"); n != 1 {
+		t.Fatalf("half-open transitions = %d, want 1", n)
+	}
+	if n := snap.CounterValue("health_transitions_total", "closed"); n != 1 {
+		t.Fatalf("closed transitions = %d, want 1", n)
+	}
+	if n := snap.GaugeValue("health_open_sites"); n != 0 {
+		t.Fatalf("health_open_sites = %d, want 0 after recovery", n)
+	}
+}

@@ -1,6 +1,7 @@
 package metadata
 
 import (
+	"context"
 	"fmt"
 
 	"ecstore/internal/model"
@@ -93,7 +94,7 @@ func NewServer(c *Catalog) *Server { return &Server{catalog: c} }
 var _ rpc.Handler = (*Server)(nil)
 
 // Handle dispatches one metadata RPC.
-func (s *Server) Handle(method rpc.Method, body []byte) ([]byte, error) {
+func (s *Server) Handle(_ context.Context, method rpc.Method, body []byte) ([]byte, error) {
 	d := wire.NewDecoder(body)
 	switch method {
 	case methodRegister:

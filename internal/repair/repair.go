@@ -6,6 +6,7 @@
 package repair
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"ecstore/internal/erasure"
+	"ecstore/internal/health"
 	"ecstore/internal/metadata"
 	"ecstore/internal/model"
 	"ecstore/internal/obs"
@@ -34,8 +36,19 @@ type Config struct {
 	Grace time.Duration
 	// ProbeInterval is the polling period. Zero means 5 seconds.
 	ProbeInterval time.Duration
+	// ProbeTimeout bounds each liveness probe so one hung site cannot
+	// stall a sweep. Zero means 2 seconds.
+	ProbeTimeout time.Duration
+	// OpTimeout bounds each chunk read/write/delete issued during
+	// repair and garbage collection. Zero means 30 seconds.
+	OpTimeout time.Duration
 	// Clock abstracts time for tests; nil uses time.Now.
 	Clock func() time.Time
+	// Health optionally shares the per-site breaker set with the client
+	// and mover: probe outcomes feed it, and repair destinations are
+	// restricted to sites whose breaker is closed. Nil keeps repair's
+	// private probe-based availability view.
+	Health *health.Tracker
 	// Metrics optionally exports repair instrumentation (check/repair/GC
 	// counters, failed-site gauge) into a shared registry. Nil disables it.
 	Metrics *obs.Registry
@@ -47,6 +60,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeInterval == 0 {
 		c.ProbeInterval = 5 * time.Second
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.OpTimeout == 0 {
+		c.OpTimeout = 30 * time.Second
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
@@ -167,6 +186,36 @@ func (s *Service) FailedSites() []model.SiteID {
 	return out
 }
 
+// probeAll probes every site in parallel, each under the per-probe
+// timeout, and returns the probe error per site (nil for healthy ones).
+// Outcomes feed the shared breaker set when one is attached.
+func (s *Service) probeAll() map[model.SiteID]error {
+	out := make(map[model.SiteID]error, len(s.sites))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for id, api := range s.sites {
+		wg.Add(1)
+		go func(id model.SiteID, api storage.SiteAPI) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ProbeTimeout)
+			defer cancel()
+			err := api.Probe(ctx)
+			if s.cfg.Health != nil {
+				if err != nil {
+					s.cfg.Health.ReportFailure(id)
+				} else {
+					s.cfg.Health.ReportSuccess(id)
+				}
+			}
+			mu.Lock()
+			out[id] = err
+			mu.Unlock()
+		}(id, api)
+	}
+	wg.Wait()
+	return out
+}
+
 // CheckOnce probes every site, updates failure marks, and repairs sites
 // whose grace period has expired. It returns the first repair error, if
 // any; probing continues regardless.
@@ -175,9 +224,10 @@ func (s *Service) CheckOnce() error {
 	var due []model.SiteID
 	s.obs.checks.Inc()
 
+	probes := s.probeAll()
 	s.mu.Lock()
-	for id, api := range s.sites {
-		if api.Probe() != nil {
+	for id, probeErr := range probes {
+		if probeErr != nil {
 			if _, already := s.failedSince[id]; !already {
 				s.failedSince[id] = now
 			}
@@ -252,7 +302,7 @@ func (s *Service) repairBlock(id model.BlockID, failed model.SiteID) (int, error
 		if api == nil {
 			continue
 		}
-		data, err := api.GetChunk(model.ChunkRef{Block: id, Chunk: chunk})
+		data, err := s.getChunk(api, model.ChunkRef{Block: id, Chunk: chunk})
 		if err != nil {
 			continue
 		}
@@ -273,12 +323,12 @@ func (s *Service) repairBlock(id model.BlockID, failed model.SiteID) (int, error
 			return repaired, err
 		}
 		ref := model.ChunkRef{Block: id, Chunk: chunk}
-		if err := s.sites[dst].PutChunk(ref, data); err != nil {
+		if err := s.putChunk(s.sites[dst], ref, data); err != nil {
 			return repaired, fmt.Errorf("store reconstructed chunk: %w", err)
 		}
 		newVersion, err := s.meta.UpdatePlacement(id, chunk, dst, meta.Version)
 		if err != nil {
-			_ = s.sites[dst].DeleteChunk(ref)
+			_ = s.deleteChunk(s.sites[dst], ref)
 			return repaired, fmt.Errorf("commit reconstructed chunk: %w", err)
 		}
 		meta.Sites[chunk] = dst
@@ -286,6 +336,26 @@ func (s *Service) repairBlock(id model.BlockID, failed model.SiteID) (int, error
 		repaired++
 	}
 	return repaired, nil
+}
+
+// getChunk, putChunk and deleteChunk run one site operation under the
+// configured OpTimeout so a hung site cannot stall a repair sweep.
+func (s *Service) getChunk(api storage.SiteAPI, ref model.ChunkRef) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.OpTimeout)
+	defer cancel()
+	return api.GetChunk(ctx, ref)
+}
+
+func (s *Service) putChunk(api storage.SiteAPI, ref model.ChunkRef, data []byte) error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.OpTimeout)
+	defer cancel()
+	return api.PutChunk(ctx, ref, data)
+}
+
+func (s *Service) deleteChunk(api storage.SiteAPI, ref model.ChunkRef) error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.OpTimeout)
+	defer cancel()
+	return api.DeleteChunk(ctx, ref)
 }
 
 // reconstruct rebuilds one chunk from survivors.
@@ -328,7 +398,9 @@ func (s *Service) GCOnce() (int, error) {
 	collected := 0
 	var firstErr error
 	for siteID, api := range s.sites {
-		refs, err := api.ListChunks()
+		listCtx, listCancel := context.WithTimeout(context.Background(), s.cfg.OpTimeout)
+		refs, err := api.ListChunks(listCtx)
+		listCancel()
 		if err != nil {
 			continue // failed sites are repaired, not collected
 		}
@@ -346,7 +418,7 @@ func (s *Service) GCOnce() (int, error) {
 			if !orphan {
 				continue
 			}
-			if err := api.DeleteChunk(ref); err != nil {
+			if err := s.deleteChunk(api, ref); err != nil {
 				if firstErr == nil {
 					firstErr = fmt.Errorf("gc %s at site %d: %w", ref, siteID, err)
 				}
@@ -360,7 +432,8 @@ func (s *Service) GCOnce() (int, error) {
 }
 
 // pickDestination chooses a healthy site that holds no chunk of the block,
-// preferring lightly loaded sites.
+// preferring lightly loaded sites. With a shared health tracker, only
+// sites whose breaker is closed qualify; otherwise a bounded probe decides.
 func (s *Service) pickDestination(meta *model.BlockMeta) (model.SiteID, error) {
 	holding := meta.SiteSet()
 	var candidates []model.SiteID
@@ -368,8 +441,17 @@ func (s *Service) pickDestination(meta *model.BlockMeta) (model.SiteID, error) {
 		if holding[id] {
 			continue
 		}
-		if api.Probe() != nil {
-			continue
+		if s.cfg.Health != nil {
+			if !s.cfg.Health.Available(id) {
+				continue
+			}
+		} else {
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ProbeTimeout)
+			err := api.Probe(ctx)
+			cancel()
+			if err != nil {
+				continue
+			}
 		}
 		candidates = append(candidates, id)
 	}

@@ -2,6 +2,7 @@ package repair_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -243,11 +244,11 @@ func TestGCOnceCollectsOrphans(t *testing.T) {
 			break
 		}
 	}
-	chunkData, err := c.Services[oldSite].GetChunk(model.ChunkRef{Block: "keep", Chunk: 0})
+	chunkData, err := c.Services[oldSite].GetChunk(context.Background(), model.ChunkRef{Block: "keep", Chunk: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Services[newSite].PutChunk(model.ChunkRef{Block: "keep", Chunk: 0}, chunkData); err != nil {
+	if err := c.Services[newSite].PutChunk(context.Background(), model.ChunkRef{Block: "keep", Chunk: 0}, chunkData); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.Catalog.UpdatePlacement("keep", 0, newSite, meta.Version); err != nil {

@@ -10,6 +10,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -44,16 +45,19 @@ func (e *RemoteError) Error() string { return "rpc: remote error: " + e.Msg }
 
 // Handler dispatches one request. Implementations must be safe for
 // concurrent use; the server invokes handlers from multiple goroutines.
+// The context is canceled when the request's connection closes or the
+// server shuts down, so long-running handlers can abandon work whose
+// caller is gone.
 type Handler interface {
-	Handle(method Method, body []byte) ([]byte, error)
+	Handle(ctx context.Context, method Method, body []byte) ([]byte, error)
 }
 
 // HandlerFunc adapts a function to the Handler interface.
-type HandlerFunc func(method Method, body []byte) ([]byte, error)
+type HandlerFunc func(ctx context.Context, method Method, body []byte) ([]byte, error)
 
 // Handle implements Handler.
-func (f HandlerFunc) Handle(method Method, body []byte) ([]byte, error) {
-	return f(method, body)
+func (f HandlerFunc) Handle(ctx context.Context, method Method, body []byte) ([]byte, error) {
+	return f(ctx, method, body)
 }
 
 var _ Handler = (HandlerFunc)(nil)
@@ -198,14 +202,20 @@ func (s *Server) Close() error {
 
 // serveConn processes requests from one connection until it closes.
 // Requests are handled concurrently; responses are serialized by a write
-// mutex so interleaved handlers cannot corrupt framing.
+// mutex so interleaved handlers cannot corrupt framing. Every handler
+// shares a per-connection context canceled when the connection drops, so
+// abandoned requests stop consuming the server.
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
 	s.metrics.connDelta(1)
 	defer s.metrics.connDelta(-1)
+	ctx, cancel := context.WithCancel(context.Background())
 	var writeMu sync.Mutex
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
+	// Declared after handlers.Wait so LIFO runs cancel first: in-flight
+	// handlers observe the cancellation instead of being waited on.
+	defer cancel()
 
 	for {
 		frame, err := wire.ReadFrame(conn)
@@ -224,7 +234,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		go func() {
 			defer handlers.Done()
 			start := time.Now()
-			result, herr := s.handler.Handle(method, body)
+			result, herr := s.handler.Handle(ctx, method, body)
 			s.metrics.observe(start, herr)
 			e := wire.NewEncoder(16 + len(result))
 			e.Uint64(reqID)
@@ -293,15 +303,27 @@ func (c *Client) Close() error {
 	return err
 }
 
-// Call sends one request and waits for its response.
+// Call sends one request and waits for its response with no deadline.
 func (c *Client) Call(method Method, body []byte) ([]byte, error) {
+	return c.CallContext(context.Background(), method, body)
+}
+
+// CallContext sends one request and waits for its response until the
+// context is done. An abandoned call's response is discarded by the read
+// loop when it eventually arrives; the request keeps executing on the
+// server (there is no cancel frame in the protocol), matching how a
+// network timeout behaves against a slow peer.
+func (c *Client) CallContext(ctx context.Context, method Method, body []byte) ([]byte, error) {
 	start := time.Now()
-	resp, err := c.call(method, body)
+	resp, err := c.call(ctx, method, body)
 	c.metrics.observe(start, err)
 	return resp, err
 }
 
-func (c *Client) call(method Method, body []byte) ([]byte, error) {
+func (c *Client) call(ctx context.Context, method Method, body []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	if c.closed {
 		err := c.readErr
@@ -332,8 +354,17 @@ func (c *Client) call(method Method, body []byte) ([]byte, error) {
 		return nil, fmt.Errorf("send request: %w", err)
 	}
 
-	resp := <-ch
-	return resp.body, resp.err
+	select {
+	case resp := <-ch:
+		return resp.body, resp.err
+	case <-ctx.Done():
+		// Abandon the call: drop the pending entry so the read loop
+		// treats the eventual response as stale.
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
 }
 
 // readLoop dispatches responses to waiting callers until the connection

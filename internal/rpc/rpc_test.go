@@ -1,10 +1,12 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"ecstore/internal/transport"
 	"ecstore/internal/wire"
@@ -12,7 +14,7 @@ import (
 
 // echoHandler echoes the body for method 1, errors for method 2, and
 // reverses for method 3.
-func echoHandler(method Method, body []byte) ([]byte, error) {
+func echoHandler(_ context.Context, method Method, body []byte) ([]byte, error) {
 	switch method {
 	case 1:
 		return body, nil
@@ -136,7 +138,7 @@ func TestCallAfterClose(t *testing.T) {
 
 func TestPendingCallsFailOnConnectionLoss(t *testing.T) {
 	block := make(chan struct{})
-	slow := HandlerFunc(func(m Method, body []byte) ([]byte, error) {
+	slow := HandlerFunc(func(_ context.Context, m Method, body []byte) ([]byte, error) {
 		<-block
 		return body, nil
 	})
@@ -166,6 +168,79 @@ func TestPendingCallsFailOnConnectionLoss(t *testing.T) {
 	close(block)
 	_ = srv.Close()
 	net.Close()
+	_ = client.Close()
+}
+
+// TestCallContextDeadline verifies a hung handler cannot stall a caller
+// past its deadline, and that the abandoned response is discarded without
+// corrupting later calls on the same connection.
+func TestCallContextDeadline(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	hang := HandlerFunc(func(ctx context.Context, m Method, body []byte) ([]byte, error) {
+		if m == 9 {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+		}
+		return body, nil
+	})
+	client, cleanup := startServer(t, hang)
+	defer cleanup()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.CallContext(ctx, 9, []byte("stuck"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("deadline call took %v", elapsed)
+	}
+	// The connection stays usable for subsequent calls.
+	resp, err := client.Call(1, []byte("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "after" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+// TestHandlerContextCanceledOnConnClose verifies the server cancels the
+// per-connection handler context when the connection drops.
+func TestHandlerContextCanceledOnConnClose(t *testing.T) {
+	canceled := make(chan struct{})
+	h := HandlerFunc(func(ctx context.Context, m Method, body []byte) ([]byte, error) {
+		<-ctx.Done()
+		close(canceled)
+		return nil, ctx.Err()
+	})
+	net := transport.NewMemory()
+	defer net.Close()
+	l, err := net.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(h)
+	go func() { _ = srv.Serve(l) }()
+	conn, err := net.Dial("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(conn)
+	go func() { _, _ = client.Call(1, nil) }()
+	// Give the request a moment to reach the handler, then drop the conn.
+	time.Sleep(5 * time.Millisecond)
+	_ = conn.Close()
+	select {
+	case <-canceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler context never canceled after connection close")
+	}
+	_ = srv.Close()
 	_ = client.Close()
 }
 

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 
 	"ecstore/internal/model"
@@ -92,7 +93,7 @@ func NewServer(agg *Aggregator) *Server { return &Server{agg: agg} }
 var _ rpc.Handler = (*Server)(nil)
 
 // Handle dispatches one statistics RPC.
-func (s *Server) Handle(method rpc.Method, body []byte) ([]byte, error) {
+func (s *Server) Handle(_ context.Context, method rpc.Method, body []byte) ([]byte, error) {
 	d := wire.NewDecoder(body)
 	switch method {
 	case methodRecordAccess:

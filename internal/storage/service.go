@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
@@ -24,7 +25,8 @@ type ServiceConfig struct {
 	ReadDelayFixed time.Duration
 	// Clock abstracts time for tests; nil uses the wall clock.
 	Clock func() time.Time
-	// Sleep abstracts throttling for tests; nil uses time.Sleep.
+	// Sleep abstracts throttling for tests; nil uses a context-aware
+	// timer so a canceled read stops throttling early.
 	Sleep func(time.Duration)
 	// Metrics optionally exports per-site instrumentation into a shared
 	// registry (families are labeled by site id). Nil disables it with
@@ -87,9 +89,6 @@ func NewService(cfg ServiceConfig, store Store) *Service {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	if cfg.Sleep == nil {
-		cfg.Sleep = time.Sleep
-	}
 	return &Service{
 		cfg:        cfg,
 		store:      store,
@@ -136,7 +135,10 @@ func (s *Service) Failed() bool {
 	return s.failed
 }
 
-func (s *Service) checkUp() error {
+func (s *Service) checkUp(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.failed {
@@ -145,9 +147,29 @@ func (s *Service) checkUp() error {
 	return nil
 }
 
+// sleep applies the media throttle, honoring the caller's deadline. A
+// custom Sleep (tests) runs unconditionally, then the context is checked.
+func (s *Service) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	if s.cfg.Sleep != nil {
+		s.cfg.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // PutChunk stores a chunk.
-func (s *Service) PutChunk(ref model.ChunkRef, data []byte) error {
-	if err := s.checkUp(); err != nil {
+func (s *Service) PutChunk(ctx context.Context, ref model.ChunkRef, data []byte) error {
+	if err := s.checkUp(ctx); err != nil {
 		s.obs.errors.Inc()
 		return err
 	}
@@ -165,9 +187,10 @@ func (s *Service) PutChunk(ref model.ChunkRef, data []byte) error {
 }
 
 // GetChunk reads a chunk, applying the configured media throttle and
-// accounting the read for load reports.
-func (s *Service) GetChunk(ref model.ChunkRef) ([]byte, error) {
-	if err := s.checkUp(); err != nil {
+// accounting the read for load reports. The throttle respects the
+// caller's context, so an abandoned read stops occupying the medium.
+func (s *Service) GetChunk(ctx context.Context, ref model.ChunkRef) ([]byte, error) {
+	if err := s.checkUp(ctx); err != nil {
 		s.obs.errors.Inc()
 		return nil, err
 	}
@@ -177,8 +200,9 @@ func (s *Service) GetChunk(ref model.ChunkRef) ([]byte, error) {
 		s.obs.errors.Inc()
 		return nil, err
 	}
-	if d := s.cfg.ReadDelayFixed + time.Duration(len(data))*s.cfg.ReadDelayPerByte; d > 0 {
-		s.cfg.Sleep(d)
+	if err := s.sleep(ctx, s.cfg.ReadDelayFixed+time.Duration(len(data))*s.cfg.ReadDelayPerByte); err != nil {
+		s.obs.errors.Inc()
+		return nil, err
 	}
 	elapsed := s.cfg.Clock().Sub(start)
 	s.mu.Lock()
@@ -193,8 +217,8 @@ func (s *Service) GetChunk(ref model.ChunkRef) ([]byte, error) {
 }
 
 // DeleteChunk removes a chunk.
-func (s *Service) DeleteChunk(ref model.ChunkRef) error {
-	if err := s.checkUp(); err != nil {
+func (s *Service) DeleteChunk(ctx context.Context, ref model.ChunkRef) error {
+	if err := s.checkUp(ctx); err != nil {
 		s.obs.errors.Inc()
 		return err
 	}
@@ -207,8 +231,8 @@ func (s *Service) DeleteChunk(ref model.ChunkRef) error {
 }
 
 // DeleteBlock removes every chunk of a block.
-func (s *Service) DeleteBlock(id model.BlockID) error {
-	if err := s.checkUp(); err != nil {
+func (s *Service) DeleteBlock(ctx context.Context, id model.BlockID) error {
+	if err := s.checkUp(ctx); err != nil {
 		s.obs.errors.Inc()
 		return err
 	}
@@ -221,8 +245,8 @@ func (s *Service) DeleteBlock(id model.BlockID) error {
 }
 
 // ListChunks lists stored chunks (used by repair).
-func (s *Service) ListChunks() ([]model.ChunkRef, error) {
-	if err := s.checkUp(); err != nil {
+func (s *Service) ListChunks(ctx context.Context) ([]model.ChunkRef, error) {
+	if err := s.checkUp(ctx); err != nil {
 		return nil, err
 	}
 	return s.store.List()
@@ -231,15 +255,15 @@ func (s *Service) ListChunks() ([]model.ChunkRef, error) {
 // Probe is the load-status endpoint: it returns an error when failed and
 // nil otherwise. Its round-trip time, measured by the caller, feeds the
 // o_j estimate.
-func (s *Service) Probe() error {
-	return s.checkUp()
+func (s *Service) Probe(ctx context.Context) error {
+	return s.checkUp(ctx)
 }
 
 // LoadReport drains the accounting window and returns a stats.SiteLoad:
 // CPU is approximated by the busy fraction of the window, I/O by the read
 // rate.
-func (s *Service) LoadReport() (stats.SiteLoad, error) {
-	if err := s.checkUp(); err != nil {
+func (s *Service) LoadReport(ctx context.Context) (stats.SiteLoad, error) {
+	if err := s.checkUp(ctx); err != nil {
 		return stats.SiteLoad{}, err
 	}
 	count, err := s.store.Count()
@@ -314,8 +338,9 @@ func encodeRef(e *wire.Encoder, ref model.ChunkRef) {
 	e.Uint32(uint32(ref.Chunk))
 }
 
-// Handle dispatches one storage RPC.
-func (s *Server) Handle(method rpc.Method, body []byte) ([]byte, error) {
+// Handle dispatches one storage RPC, threading the connection context into
+// the service so dropped callers stop occupying the site.
+func (s *Server) Handle(ctx context.Context, method rpc.Method, body []byte) ([]byte, error) {
 	d := wire.NewDecoder(body)
 	switch method {
 	case methodPutChunk:
@@ -324,14 +349,14 @@ func (s *Server) Handle(method rpc.Method, body []byte) ([]byte, error) {
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		return nil, s.svc.PutChunk(ref, data)
+		return nil, s.svc.PutChunk(ctx, ref, data)
 
 	case methodGetChunk:
 		ref := decodeRef(d)
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		data, err := s.svc.GetChunk(ref)
+		data, err := s.svc.GetChunk(ctx, ref)
 		if err != nil {
 			return nil, err
 		}
@@ -344,17 +369,17 @@ func (s *Server) Handle(method rpc.Method, body []byte) ([]byte, error) {
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		return nil, s.svc.DeleteChunk(ref)
+		return nil, s.svc.DeleteChunk(ctx, ref)
 
 	case methodDeleteBlock:
 		id := model.BlockID(d.String())
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		return nil, s.svc.DeleteBlock(id)
+		return nil, s.svc.DeleteBlock(ctx, id)
 
 	case methodListChunks:
-		refs, err := s.svc.ListChunks()
+		refs, err := s.svc.ListChunks(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -366,13 +391,13 @@ func (s *Server) Handle(method rpc.Method, body []byte) ([]byte, error) {
 		return e.Bytes(), nil
 
 	case methodProbe:
-		return nil, s.svc.Probe()
+		return nil, s.svc.Probe(ctx)
 
 	case methodGetMetrics:
 		return obs.MarshalSnapshot(s.svc.MetricsSnapshot()), nil
 
 	case methodLoadReport:
-		load, err := s.svc.LoadReport()
+		load, err := s.svc.LoadReport(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -396,19 +421,19 @@ type Client struct {
 func NewRPCClient(rc *rpc.Client) *Client { return &Client{rc: rc} }
 
 // PutChunk stores a chunk remotely.
-func (c *Client) PutChunk(ref model.ChunkRef, data []byte) error {
+func (c *Client) PutChunk(ctx context.Context, ref model.ChunkRef, data []byte) error {
 	e := wire.NewEncoder(24 + len(data))
 	encodeRef(e, ref)
 	e.Bytes32(data)
-	_, err := c.rc.Call(methodPutChunk, e.Bytes())
+	_, err := c.rc.CallContext(ctx, methodPutChunk, e.Bytes())
 	return err
 }
 
 // GetChunk reads a chunk remotely.
-func (c *Client) GetChunk(ref model.ChunkRef) ([]byte, error) {
+func (c *Client) GetChunk(ctx context.Context, ref model.ChunkRef) ([]byte, error) {
 	e := wire.NewEncoder(24)
 	encodeRef(e, ref)
-	resp, err := c.rc.Call(methodGetChunk, e.Bytes())
+	resp, err := c.rc.CallContext(ctx, methodGetChunk, e.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -418,24 +443,24 @@ func (c *Client) GetChunk(ref model.ChunkRef) ([]byte, error) {
 }
 
 // DeleteChunk removes a chunk remotely.
-func (c *Client) DeleteChunk(ref model.ChunkRef) error {
+func (c *Client) DeleteChunk(ctx context.Context, ref model.ChunkRef) error {
 	e := wire.NewEncoder(24)
 	encodeRef(e, ref)
-	_, err := c.rc.Call(methodDeleteChunk, e.Bytes())
+	_, err := c.rc.CallContext(ctx, methodDeleteChunk, e.Bytes())
 	return err
 }
 
 // DeleteBlock removes every chunk of a block remotely.
-func (c *Client) DeleteBlock(id model.BlockID) error {
+func (c *Client) DeleteBlock(ctx context.Context, id model.BlockID) error {
 	e := wire.NewEncoder(16)
 	e.String(string(id))
-	_, err := c.rc.Call(methodDeleteBlock, e.Bytes())
+	_, err := c.rc.CallContext(ctx, methodDeleteBlock, e.Bytes())
 	return err
 }
 
 // ListChunks lists remotely stored chunks.
-func (c *Client) ListChunks() ([]model.ChunkRef, error) {
-	resp, err := c.rc.Call(methodListChunks, nil)
+func (c *Client) ListChunks(ctx context.Context) ([]model.ChunkRef, error) {
+	resp, err := c.rc.CallContext(ctx, methodListChunks, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -449,8 +474,8 @@ func (c *Client) ListChunks() ([]model.ChunkRef, error) {
 }
 
 // Probe checks liveness.
-func (c *Client) Probe() error {
-	_, err := c.rc.Call(methodProbe, nil)
+func (c *Client) Probe(ctx context.Context) error {
+	_, err := c.rc.CallContext(ctx, methodProbe, nil)
 	return err
 }
 
@@ -464,8 +489,8 @@ func (c *Client) Metrics() (*obs.Snapshot, error) {
 }
 
 // LoadReport fetches and resets the site's accounting window.
-func (c *Client) LoadReport() (stats.SiteLoad, error) {
-	resp, err := c.rc.Call(methodLoadReport, nil)
+func (c *Client) LoadReport(ctx context.Context) (stats.SiteLoad, error) {
+	resp, err := c.rc.CallContext(ctx, methodLoadReport, nil)
 	if err != nil {
 		return stats.SiteLoad{}, err
 	}
@@ -480,14 +505,16 @@ func (c *Client) LoadReport() (stats.SiteLoad, error) {
 
 // SiteAPI is the storage-site surface shared by the local Service and the
 // RPC Client so the client service and repair service work in both modes.
+// Every method takes a context so callers can bound and cancel site
+// operations (per-chunk deadlines, hedged reads, parallel probes).
 type SiteAPI interface {
-	PutChunk(ref model.ChunkRef, data []byte) error
-	GetChunk(ref model.ChunkRef) ([]byte, error)
-	DeleteChunk(ref model.ChunkRef) error
-	DeleteBlock(id model.BlockID) error
-	ListChunks() ([]model.ChunkRef, error)
-	Probe() error
-	LoadReport() (stats.SiteLoad, error)
+	PutChunk(ctx context.Context, ref model.ChunkRef, data []byte) error
+	GetChunk(ctx context.Context, ref model.ChunkRef) ([]byte, error)
+	DeleteChunk(ctx context.Context, ref model.ChunkRef) error
+	DeleteBlock(ctx context.Context, id model.BlockID) error
+	ListChunks(ctx context.Context) ([]model.ChunkRef, error)
+	Probe(ctx context.Context) error
+	LoadReport(ctx context.Context) (stats.SiteLoad, error)
 }
 
 var (

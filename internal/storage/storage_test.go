@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -145,27 +146,27 @@ func TestDiskStoreBlockIDWithSlash(t *testing.T) {
 
 func TestServiceFailureInjection(t *testing.T) {
 	svc := NewService(ServiceConfig{Site: 1}, NewMemStore())
-	if err := svc.PutChunk(ref("a", 0), []byte("x")); err != nil {
+	if err := svc.PutChunk(context.Background(), ref("a", 0), []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	svc.Fail()
 	if !svc.Failed() {
 		t.Fatal("Failed() = false after Fail")
 	}
-	if _, err := svc.GetChunk(ref("a", 0)); !errors.Is(err, ErrSiteDown) {
+	if _, err := svc.GetChunk(context.Background(), ref("a", 0)); !errors.Is(err, ErrSiteDown) {
 		t.Fatalf("Get on failed site err = %v", err)
 	}
-	if err := svc.PutChunk(ref("a", 1), nil); !errors.Is(err, ErrSiteDown) {
+	if err := svc.PutChunk(context.Background(), ref("a", 1), nil); !errors.Is(err, ErrSiteDown) {
 		t.Fatalf("Put on failed site err = %v", err)
 	}
-	if err := svc.Probe(); !errors.Is(err, ErrSiteDown) {
+	if err := svc.Probe(context.Background()); !errors.Is(err, ErrSiteDown) {
 		t.Fatalf("Probe on failed site err = %v", err)
 	}
-	if _, err := svc.LoadReport(); !errors.Is(err, ErrSiteDown) {
+	if _, err := svc.LoadReport(context.Background()); !errors.Is(err, ErrSiteDown) {
 		t.Fatalf("LoadReport on failed site err = %v", err)
 	}
 	svc.Recover()
-	if _, err := svc.GetChunk(ref("a", 0)); err != nil {
+	if _, err := svc.GetChunk(context.Background(), ref("a", 0)); err != nil {
 		t.Fatalf("Get after recover: %v", err)
 	}
 }
@@ -174,14 +175,14 @@ func TestServiceLoadReportWindow(t *testing.T) {
 	now := time.Unix(1000, 0)
 	clock := func() time.Time { return now }
 	svc := NewService(ServiceConfig{Site: 1, Clock: clock}, NewMemStore())
-	_ = svc.PutChunk(ref("a", 0), make([]byte, 1000))
+	_ = svc.PutChunk(context.Background(), ref("a", 0), make([]byte, 1000))
 
 	now = now.Add(time.Second)
-	if _, err := svc.GetChunk(ref("a", 0)); err != nil {
+	if _, err := svc.GetChunk(context.Background(), ref("a", 0)); err != nil {
 		t.Fatal(err)
 	}
 	now = now.Add(time.Second) // window = 2s, 1000 bytes read
-	load, err := svc.LoadReport()
+	load, err := svc.LoadReport(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestServiceLoadReportWindow(t *testing.T) {
 	}
 	// Window reset: immediate second report sees no reads.
 	now = now.Add(time.Second)
-	load2, err := svc.LoadReport()
+	load2, err := svc.LoadReport(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,8 +211,8 @@ func TestServiceReadThrottle(t *testing.T) {
 		ReadDelayPerByte: time.Microsecond,
 		Sleep:            func(d time.Duration) { slept += d },
 	}, NewMemStore())
-	_ = svc.PutChunk(ref("a", 0), make([]byte, 100))
-	if _, err := svc.GetChunk(ref("a", 0)); err != nil {
+	_ = svc.PutChunk(context.Background(), ref("a", 0), make([]byte, 100))
+	if _, err := svc.GetChunk(context.Background(), ref("a", 0)); err != nil {
 		t.Fatal(err)
 	}
 	want := time.Millisecond + 100*time.Microsecond
@@ -222,9 +223,9 @@ func TestServiceReadThrottle(t *testing.T) {
 
 func TestServiceTotals(t *testing.T) {
 	svc := NewService(ServiceConfig{Site: 1}, NewMemStore())
-	_ = svc.PutChunk(ref("a", 0), []byte("x"))
-	_, _ = svc.GetChunk(ref("a", 0))
-	_, _ = svc.GetChunk(ref("a", 0))
+	_ = svc.PutChunk(context.Background(), ref("a", 0), []byte("x"))
+	_, _ = svc.GetChunk(context.Background(), ref("a", 0))
+	_, _ = svc.GetChunk(context.Background(), ref("a", 0))
 	r, w := svc.Totals()
 	if r != 2 || w != 1 {
 		t.Fatalf("Totals = (%d, %d), want (2, 1)", r, w)
@@ -260,10 +261,10 @@ func TestStorageRPCRoundTrip(t *testing.T) {
 	client, cleanup := startStorageRPC(t, svc)
 	defer cleanup()
 
-	if err := client.PutChunk(ref("blk", 1), []byte("payload")); err != nil {
+	if err := client.PutChunk(context.Background(), ref("blk", 1), []byte("payload")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := client.GetChunk(ref("blk", 1))
+	got, err := client.GetChunk(context.Background(), ref("blk", 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestStorageRPCRoundTrip(t *testing.T) {
 		t.Fatalf("GetChunk = %q", got)
 	}
 
-	refs, err := client.ListChunks()
+	refs, err := client.ListChunks(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,10 +280,10 @@ func TestStorageRPCRoundTrip(t *testing.T) {
 		t.Fatalf("ListChunks = %v", refs)
 	}
 
-	if err := client.Probe(); err != nil {
+	if err := client.Probe(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	load, err := client.LoadReport()
+	load, err := client.LoadReport(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,20 +291,20 @@ func TestStorageRPCRoundTrip(t *testing.T) {
 		t.Fatalf("load.Chunks = %d", load.Chunks)
 	}
 
-	if err := client.DeleteChunk(ref("blk", 1)); err != nil {
+	if err := client.DeleteChunk(context.Background(), ref("blk", 1)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.GetChunk(ref("blk", 1)); err == nil {
+	if _, err := client.GetChunk(context.Background(), ref("blk", 1)); err == nil {
 		t.Fatal("GetChunk succeeded after delete")
 	}
 
-	if err := client.PutChunk(ref("blk", 0), []byte("a")); err != nil {
+	if err := client.PutChunk(context.Background(), ref("blk", 0), []byte("a")); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.DeleteBlock("blk"); err != nil {
+	if err := client.DeleteBlock(context.Background(), "blk"); err != nil {
 		t.Fatal(err)
 	}
-	refs, err = client.ListChunks()
+	refs, err = client.ListChunks(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,10 +319,10 @@ func TestStorageRPCFailurePropagates(t *testing.T) {
 	defer cleanup()
 
 	svc.Fail()
-	if err := client.Probe(); err == nil {
+	if err := client.Probe(context.Background()); err == nil {
 		t.Fatal("probe of failed site succeeded over RPC")
 	}
-	if _, err := client.GetChunk(ref("x", 0)); err == nil {
+	if _, err := client.GetChunk(context.Background(), ref("x", 0)); err == nil {
 		t.Fatal("get from failed site succeeded over RPC")
 	}
 }
@@ -332,13 +333,13 @@ func TestStorageRPCGetMetrics(t *testing.T) {
 	client, cleanup := startStorageRPC(t, svc)
 	defer cleanup()
 
-	if err := client.PutChunk(ref("blk", 0), []byte("payload")); err != nil {
+	if err := client.PutChunk(context.Background(), ref("blk", 0), []byte("payload")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.GetChunk(ref("blk", 0)); err != nil {
+	if _, err := client.GetChunk(context.Background(), ref("blk", 0)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.GetChunk(ref("missing", 0)); err == nil {
+	if _, err := client.GetChunk(context.Background(), ref("missing", 0)); err == nil {
 		t.Fatal("read of missing chunk succeeded")
 	}
 
@@ -366,10 +367,10 @@ func TestStorageRPCGetMetrics(t *testing.T) {
 
 func TestStorageMetricsDisabledIsNoOp(t *testing.T) {
 	svc := NewService(ServiceConfig{Site: 1}, NewMemStore())
-	if err := svc.PutChunk(ref("a", 0), []byte("x")); err != nil {
+	if err := svc.PutChunk(context.Background(), ref("a", 0), []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.GetChunk(ref("a", 0)); err != nil {
+	if _, err := svc.GetChunk(context.Background(), ref("a", 0)); err != nil {
 		t.Fatal(err)
 	}
 	snap := svc.MetricsSnapshot()

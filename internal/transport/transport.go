@@ -5,6 +5,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -20,6 +21,9 @@ type Network interface {
 	Listen(addr string) (net.Listener, error)
 	// Dial connects to a previously bound address.
 	Dial(addr string) (net.Conn, error)
+	// DialContext connects to a previously bound address, honoring the
+	// context's deadline and cancellation.
+	DialContext(ctx context.Context, addr string) (net.Conn, error)
 }
 
 // Errors returned by the memory network.
@@ -119,11 +123,33 @@ func (t *TCP) Dial(addr string) (net.Conn, error) {
 	return conn, nil
 }
 
+// DialContext connects to a TCP address under a context. The configured
+// DialTimeout still applies as an upper bound on top of the context.
+func (t *TCP) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	timeout := t.DialTimeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	t.Metrics.dial(err)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	return conn, nil
+}
+
 // Memory is an in-process network: addresses are arbitrary strings, and
 // connections are synchronous net.Pipe pairs. It is safe for concurrent
 // use.
 type Memory struct {
 	metrics *Metrics
+
+	// DialTimeout bounds how long Dial waits for the listener to accept
+	// before giving up with ErrConnRefused. A bound listener whose owner
+	// never calls Accept would otherwise hang dialers forever. Zero means
+	// 5s.
+	DialTimeout time.Duration
 
 	mu        sync.Mutex
 	listeners map[string]*memListener
@@ -160,8 +186,22 @@ func (m *Memory) Listen(addr string) (net.Listener, error) {
 	return l, nil
 }
 
-// Dial connects to a bound address.
+// Dial connects to a bound address. If the listener exists but nobody
+// accepts within DialTimeout, Dial fails with ErrConnRefused instead of
+// blocking forever.
 func (m *Memory) Dial(addr string) (net.Conn, error) {
+	timeout := m.DialTimeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return m.DialContext(ctx, addr)
+}
+
+// DialContext connects to a bound address, waiting for the listener to
+// accept until the context is done.
+func (m *Memory) DialContext(ctx context.Context, addr string) (net.Conn, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -184,6 +224,11 @@ func (m *Memory) Dial(addr string) (net.Conn, error) {
 		_ = server.Close()
 		m.metrics.dial(ErrConnRefused)
 		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
+	case <-ctx.Done():
+		_ = client.Close()
+		_ = server.Close()
+		m.metrics.dial(ErrConnRefused)
+		return nil, fmt.Errorf("%w: %s (accept queue timeout: %v)", ErrConnRefused, addr, ctx.Err())
 	}
 }
 

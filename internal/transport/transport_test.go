@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"net"
 	"testing"
@@ -48,6 +49,50 @@ func TestMemoryDialUnbound(t *testing.T) {
 	defer m.Close()
 	if _, err := m.Dial("nowhere"); !errors.Is(err, ErrConnRefused) {
 		t.Fatalf("err = %v, want ErrConnRefused", err)
+	}
+}
+
+// TestMemoryDialNoAcceptor is the regression test for Dial hanging forever
+// when the address is bound but the owner never calls Accept: it must fail
+// with ErrConnRefused once the accept-queue timeout expires.
+func TestMemoryDialNoAcceptor(t *testing.T) {
+	m := NewMemory()
+	m.DialTimeout = 30 * time.Millisecond
+	defer m.Close()
+	if _, err := m.Listen("deaf"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := m.Dial("deaf"); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("err = %v, want ErrConnRefused", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("dial blocked %v despite timeout", elapsed)
+	}
+}
+
+// TestMemoryDialContextCanceled verifies DialContext honors cancellation
+// while waiting on the accept queue.
+func TestMemoryDialContextCanceled(t *testing.T) {
+	m := NewMemory()
+	defer m.Close()
+	if _, err := m.Listen("deaf"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.DialContext(ctx, "deaf")
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrConnRefused) {
+			t.Fatalf("err = %v, want ErrConnRefused", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("DialContext ignored cancellation")
 	}
 }
 

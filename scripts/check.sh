@@ -1,8 +1,12 @@
 #!/bin/sh
-# Pre-commit gate: vet everything, then run the quick test suite under the
-# race detector. The full suite (go test ./...) additionally runs the
-# paper-scale simulator experiments and takes several minutes.
+# Pre-commit gate: vet everything, run the quick test suite under the
+# race detector, then smoke-run the fault-tolerance example end to end
+# (degraded reads, repair, recovery). The full suite (go test ./...)
+# additionally runs the paper-scale simulator experiments and takes
+# several minutes.
 set -eux
 cd "$(dirname "$0")/.."
 go vet ./...
+go build ./...
 go test -race -short ./...
+go run ./examples/faulttolerance
