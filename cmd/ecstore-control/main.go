@@ -96,6 +96,7 @@ func run(args []string) error {
 	}
 	statsSrv := rpc.NewServer(stats.NewServer(agg))
 	statsSrv.SetMetrics(rpc.NewMetrics(reg, "rpc_server"))
+	//lint:ignore goleak accept loop; unblocked by the deferred statsSrv.Close on every return path
 	go func() { _ = statsSrv.Serve(l) }()
 	defer func() { _ = statsSrv.Close() }()
 
@@ -105,6 +106,7 @@ func run(args []string) error {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		fmt.Printf("metrics on http://%s/metrics\n", ml.Addr())
+		//lint:ignore goleak metrics endpoint serves for the process lifetime by design
 		go func() { _ = obs.Serve(ml, reg, nil) }()
 	}
 
@@ -145,13 +147,13 @@ func run(args []string) error {
 			Interval: *moverInterval,
 			Metrics:  reg,
 		}, meta, sites, agg.CoAccess, agg.Loads, agg.Probes)
-		mover.Start()
+		mover.Start(context.Background())
 		defer mover.Stop()
 	}
 	var repairSvc *repair.Service
 	if *enableRepair {
 		repairSvc = repair.NewService(repair.Config{Grace: *repairGrace, Metrics: reg}, meta, sites, agg.Loads)
-		repairSvc.Start()
+		repairSvc.Start(context.Background())
 		defer repairSvc.Stop()
 	}
 

@@ -1,0 +1,98 @@
+// ecstore-lint runs the project's static-analysis suite (internal/lint)
+// over the module: stdlib-only loading and type-checking plus the six
+// EC-Store invariant rules (ctxfirst, lockblock, goleak, determinism,
+// errwrap, metricname).
+//
+// Usage:
+//
+//	ecstore-lint [-rules rule,rule] [./... | dir ...]
+//
+// With ./... (or no argument) the whole module is linted. Explicit
+// directories lint just those packages — that is how the golden tests
+// point it at deliberate-violation fixtures. Exit status: 0 clean,
+// 1 findings, 2 load or usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ecstore/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("ecstore-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated rule subset (default: all)")
+	list := fs.Bool("list", false, "list available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Suite()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *rules != "" {
+		var err error
+		analyzers, err = lint.ByName(analyzers, strings.Split(*rules, ","))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var pkgs []*lint.Package
+	for _, pat := range patterns {
+		switch pat {
+		case "./...", "...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			pkgs = append(pkgs, all...)
+		default:
+			loaded, err := loader.LoadDirs(strings.TrimPrefix(pat, "./"))
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			pkgs = append(pkgs, loaded...)
+		}
+	}
+
+	diags := lint.Run(loader.Fset, analyzers, pkgs)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "ecstore-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -60,6 +60,7 @@ func run(args []string) error {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		fmt.Printf("metrics on http://%s/metrics\n", ml.Addr())
+		//lint:ignore goleak metrics endpoint serves for the process lifetime by design
 		go func() { _ = obs.Serve(ml, reg, nil) }()
 	}
 	fmt.Printf("ecstore-meta serving on %s (%d sites, %d blocks loaded)\n",
@@ -73,6 +74,7 @@ func run(args []string) error {
 
 	// With persistence: snapshot periodically and on SIGINT/SIGTERM.
 	serveErr := make(chan error, 1)
+	//lint:ignore goleak accept loop; srv.Close on signal makes Serve return into the buffered channel
 	go func() { serveErr <- srv.Serve(l) }()
 
 	sig := make(chan os.Signal, 1)

@@ -62,6 +62,7 @@ func run(args []string) error {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		fmt.Printf("metrics on http://%s/metrics\n", ml.Addr())
+		//lint:ignore goleak metrics endpoint serves for the process lifetime by design
 		go func() { _ = obs.Serve(ml, reg, nil) }()
 	}
 	fmt.Printf("ecstore-site %d serving on %s (store: %s)\n", *siteID, l.Addr(), storeKind(*dir))

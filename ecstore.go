@@ -29,6 +29,7 @@
 package ecstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -188,7 +189,8 @@ func Open(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	if cfg.Background {
-		inner.Start()
+		//lint:ignore ctxfirst context-free public facade: background loops live until Close; core.Cluster.Start offers the ctx-aware entry
+		inner.Start(context.Background())
 	}
 	return &Cluster{inner: inner}, nil
 }
@@ -219,7 +221,9 @@ func (c *Cluster) Delete(id BlockID) error {
 
 // Tick drives one synchronous control-plane round (stats collection, one
 // movement attempt, one repair check). Use when Background is false.
-func (c *Cluster) Tick() { c.inner.Tick() }
+//
+//lint:ignore ctxfirst context-free public facade; core.Cluster.Tick offers the ctx-aware entry
+func (c *Cluster) Tick() { c.inner.Tick(context.Background()) }
 
 // FailSite injects a failure at a site (1-based ids up to NumSites).
 func (c *Cluster) FailSite(id SiteID) error {

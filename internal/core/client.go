@@ -375,6 +375,8 @@ func (c *Client) chunkCtx(ctx context.Context) (context.Context, context.CancelF
 }
 
 // Put stores a block under id (write path W1-W3).
+//
+//lint:ignore ctxfirst context-free convenience entry over PutContext; timeouts still apply via cfg.RequestTimeout
 func (c *Client) Put(id model.BlockID, data []byte) error {
 	return c.PutContext(context.Background(), id, data)
 }
@@ -430,7 +432,7 @@ func (c *Client) PutContext(ctx context.Context, id model.BlockID, data []byte) 
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			c.cleanupChunks(id, chosen, errs)
+			c.cleanupChunks(ctx, id, chosen, errs)
 			return fmt.Errorf("store chunk %d of %s: %w", i, id, err)
 		}
 	}
@@ -449,7 +451,7 @@ func (c *Client) PutContext(ctx context.Context, id model.BlockID, data []byte) 
 		Sites:     chosen,
 	}
 	if err := c.meta.Register(meta); err != nil {
-		c.cleanupChunks(id, chosen, nil)
+		c.cleanupChunks(ctx, id, chosen, nil)
 		return fmt.Errorf("register %s: %w", id, err)
 	}
 	c.obs.puts.Inc()
@@ -459,13 +461,15 @@ func (c *Client) PutContext(ctx context.Context, id model.BlockID, data []byte) 
 // cleanupChunks best-effort deletes the chunks an aborted Put already
 // wrote: every position whose error entry is nil (a nil errs deletes all
 // of them). Without this, a failed write would leak orphaned chunks until
-// a repair scrub finds them.
-func (c *Client) cleanupChunks(id model.BlockID, chosen []model.SiteID, errs []error) {
+// a repair scrub finds them. The rollback detaches from the request's
+// cancellation — the Put that triggered it may have failed precisely
+// because its context expired — but stays bounded by its own timeout.
+func (c *Client) cleanupChunks(ctx context.Context, id model.BlockID, chosen []model.SiteID, errs []error) {
 	timeout := c.cfg.ChunkTimeout
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), timeout)
 	defer cancel()
 	var wg sync.WaitGroup
 	for i, siteID := range chosen {
@@ -487,6 +491,8 @@ func (c *Client) cleanupChunks(id model.BlockID, chosen []model.SiteID, errs []e
 }
 
 // Get retrieves one block.
+//
+//lint:ignore ctxfirst context-free convenience entry over GetContext; timeouts still apply via cfg.RequestTimeout
 func (c *Client) Get(id model.BlockID) ([]byte, error) {
 	return c.GetContext(context.Background(), id)
 }
@@ -502,6 +508,8 @@ func (c *Client) GetContext(ctx context.Context, id model.BlockID) ([]byte, erro
 
 // GetMulti retrieves a set of blocks (read path R1-R3) and returns the
 // per-phase response-time breakdown the paper's evaluation reports.
+//
+//lint:ignore ctxfirst context-free convenience entry over GetMultiContext; timeouts still apply via cfg.RequestTimeout
 func (c *Client) GetMulti(ids []model.BlockID) (map[model.BlockID][]byte, model.Breakdown, error) {
 	return c.GetMultiContext(context.Background(), ids)
 }
@@ -821,7 +829,13 @@ func (c *Client) launchHedges(ctx context.Context, metas map[model.BlockID]*mode
 		launched++
 		go func(site model.SiteID, api storage.SiteAPI, ref model.ChunkRef) {
 			data, err := c.readChunk(ctx, api, ref)
-			results <- fetchResult{ref: ref, site: site, data: data, err: err, hedge: true}
+			// The request may have been satisfied (or expired) while
+			// this hedge was in flight; never block on a collector
+			// that already went away.
+			select {
+			case results <- fetchResult{ref: ref, site: site, data: data, err: err, hedge: true}:
+			case <-ctx.Done():
+			}
 		}(site, api, ref)
 	}
 	return launched
@@ -897,6 +911,8 @@ func (c *Client) assemble(meta *model.BlockMeta, chunks map[int][]byte) ([]byte,
 }
 
 // Delete removes a block and its chunks.
+//
+//lint:ignore ctxfirst context-free convenience entry over DeleteContext; timeouts still apply via cfg.RequestTimeout
 func (c *Client) Delete(id model.BlockID) error {
 	return c.DeleteContext(context.Background(), id)
 }
@@ -933,6 +949,8 @@ func (c *Client) DeleteContext(ctx context.Context, id model.BlockID) error {
 // parallel, feeding o_j estimates and breaker state (Section V-B3).
 // Closed breakers are always probed; open ones only once their backoff
 // admits a half-open recovery probe, so a down site is not hammered.
+//
+//lint:ignore ctxfirst context-free convenience entry over ProbeAllContext; each probe still carries cfg.ProbeTimeout
 func (c *Client) ProbeAll() { c.ProbeAllContext(context.Background()) }
 
 // ProbeAllContext is ProbeAll under a caller-supplied context. Each probe

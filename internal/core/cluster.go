@@ -165,9 +165,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 }
 
 // Start launches the background control loops (stats collection, mover,
-// repair). The cluster is usable without Start; Tick drives the loops
-// synchronously instead.
-func (c *Cluster) Start() {
+// repair). ctx bounds the site operations the loops perform; shutdown
+// remains Close's job. The cluster is usable without Start; Tick drives
+// the loops synchronously instead.
+func (c *Cluster) Start(ctx context.Context) {
 	if c.started {
 		return
 	}
@@ -179,17 +180,17 @@ func (c *Cluster) Start() {
 		for {
 			select {
 			case <-ticker.C:
-				c.CollectStats()
+				c.CollectStats(ctx)
 			case <-c.stop:
 				return
 			}
 		}
 	}()
 	if c.Mover != nil {
-		c.Mover.Start()
+		c.Mover.Start(ctx)
 	}
 	if c.Repair != nil {
-		c.Repair.Start()
+		c.Repair.Start(ctx)
 	}
 }
 
@@ -211,27 +212,27 @@ func (c *Cluster) Close() {
 
 // CollectStats performs one statistics round: every live site's load
 // report feeds the load tracker, and a probe round refreshes o_j.
-func (c *Cluster) CollectStats() {
+func (c *Cluster) CollectStats(ctx context.Context) {
 	for id, svc := range c.Services {
-		load, err := svc.LoadReport(context.Background())
+		load, err := svc.LoadReport(ctx)
 		if err != nil {
 			continue // failed sites keep their last report
 		}
 		c.Loads.Report(id, load)
 	}
-	c.Client.ProbeAll()
+	c.Client.ProbeAllContext(ctx)
 }
 
 // Tick drives one synchronous control-plane round: stats collection, one
 // movement attempt (if the mover is enabled), and one repair check (if
 // repair is enabled). Deterministic alternative to Start for tests.
-func (c *Cluster) Tick() {
-	c.CollectStats()
+func (c *Cluster) Tick(ctx context.Context) {
+	c.CollectStats(ctx)
 	if c.Mover != nil {
-		_, _ = c.Mover.MoveOnce()
+		_, _ = c.Mover.MoveOnce(ctx)
 	}
 	if c.Repair != nil {
-		_ = c.Repair.CheckOnce()
+		_ = c.Repair.CheckOnce(ctx)
 	}
 }
 
@@ -264,10 +265,10 @@ func (c *Cluster) TotalStoredBytes() int64 {
 }
 
 // SiteChunkCounts returns the number of chunks per site.
-func (c *Cluster) SiteChunkCounts() map[model.SiteID]int {
+func (c *Cluster) SiteChunkCounts(ctx context.Context) map[model.SiteID]int {
 	out := make(map[model.SiteID]int, len(c.Services))
 	for id, svc := range c.Services {
-		refs, err := svc.ListChunks(context.Background())
+		refs, err := svc.ListChunks(ctx)
 		if err != nil {
 			out[id] = 0
 			continue

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -66,7 +67,7 @@ func TestPutGetRoundTripReplication(t *testing.T) {
 		t.Fatal("round-trip mismatch")
 	}
 	// 3 copies stored.
-	counts := c.SiteChunkCounts()
+	counts := c.SiteChunkCounts(context.Background())
 	total := 0
 	for _, n := range counts {
 		total += n
@@ -152,7 +153,7 @@ func TestDeleteRemovesChunks(t *testing.T) {
 	if _, err := c.Client.Get("blk"); err == nil {
 		t.Fatal("read succeeded after delete")
 	}
-	counts := c.SiteChunkCounts()
+	counts := c.SiteChunkCounts(context.Background())
 	for id, n := range counts {
 		if n != 0 {
 			t.Fatalf("site %d still holds %d chunks", id, n)
@@ -275,7 +276,7 @@ func TestMoverRunnerCoLocatesAndPreservesData(t *testing.T) {
 			t.Fatal(err)
 		}
 		if i%10 == 9 {
-			c.Tick()
+			c.Tick(context.Background())
 		}
 	}
 	moved, _ := c.Mover.Moves()
@@ -310,7 +311,7 @@ func TestMoverExecuteStalePlan(t *testing.T) {
 	}
 	meta, _ := c.Catalog.BlockMeta("a")
 	stale := model.MovePlan{Block: "a", Chunk: 0, From: 99, To: 5} // wrong From
-	if err := c.Mover.Execute(stale); err == nil {
+	if err := c.Mover.Execute(context.Background(), stale); err == nil {
 		t.Fatal("stale plan executed")
 	}
 	_ = meta
@@ -318,8 +319,8 @@ func TestMoverExecuteStalePlan(t *testing.T) {
 
 func TestMoverRunnerStartStop(t *testing.T) {
 	c := newTestCluster(t, ClusterConfig{NumSites: 6, EnableMover: true, MoverInterval: time.Millisecond})
-	c.Mover.Start()
-	c.Mover.Start() // idempotent
+	c.Mover.Start(context.Background())
+	c.Mover.Start(context.Background()) // idempotent
 	time.Sleep(5 * time.Millisecond)
 	c.Mover.Stop()
 	c.Mover.Stop() // idempotent
@@ -355,7 +356,7 @@ func TestClusterStartStop(t *testing.T) {
 	if err := c.Client.Put("x", blockData(64, 1)); err != nil {
 		t.Fatal(err)
 	}
-	c.Start()
+	c.Start(context.Background())
 	time.Sleep(10 * time.Millisecond)
 	c.Close()
 }

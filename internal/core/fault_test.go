@@ -60,7 +60,7 @@ func TestPutCleansUpOrphanedChunks(t *testing.T) {
 	if err == nil {
 		t.Fatal("Put with a dead site succeeded, want error")
 	}
-	for id, n := range c.SiteChunkCounts() {
+	for id, n := range c.SiteChunkCounts(context.Background()) {
 		if n != 0 {
 			t.Fatalf("site %d kept %d orphaned chunks after failed Put", id, n)
 		}
@@ -195,10 +195,10 @@ func TestHealthTrackerSharedAcrossComponents(t *testing.T) {
 		t.Fatal("client does not share the cluster health tracker")
 	}
 	c.Client.MarkFailed(2)
-	if c.Mover.env().Available(2) {
+	if c.Mover.env(context.Background()).Available(2) {
 		t.Fatal("mover plans onto a site whose breaker the client opened")
 	}
-	if c.Mover.env().Available(1) {
+	if c.Mover.env(context.Background()).Available(1) {
 		// Site 1 is healthy; the mover must still see it.
 		// (Available uses the shared tracker when Health is set.)
 	} else {

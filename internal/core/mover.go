@@ -106,8 +106,10 @@ func NewMoverRunner(cfg MoverRunnerConfig, meta metadata.Service, sites map[mode
 	return r
 }
 
-// Start launches the periodic mover goroutine.
-func (r *MoverRunner) Start() {
+// Start launches the periodic mover goroutine. ctx bounds the site
+// operations each movement performs; stopping the loop remains Stop's
+// job.
+func (r *MoverRunner) Start(ctx context.Context) {
 	r.mu.Lock()
 	if r.started {
 		r.mu.Unlock()
@@ -122,7 +124,7 @@ func (r *MoverRunner) Start() {
 		for {
 			select {
 			case <-ticker.C:
-				_, _ = r.MoveOnce()
+				_, _ = r.MoveOnce(ctx)
 			case <-r.stop:
 				return
 			}
@@ -150,7 +152,7 @@ func (r *MoverRunner) Moves() (int64, int64) {
 }
 
 // env snapshots the mover's inputs.
-func (r *MoverRunner) env() placement.MoverEnv {
+func (r *MoverRunner) env(ctx context.Context) placement.MoverEnv {
 	catalog := catalogAdapter{meta: r.meta}
 	return placement.MoverEnv{
 		Catalog:     catalog,
@@ -166,20 +168,20 @@ func (r *MoverRunner) env() placement.MoverEnv {
 			if r.cfg.Health != nil {
 				return r.cfg.Health.Available(s)
 			}
-			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.OpTimeout)
+			probeCtx, cancel := context.WithTimeout(ctx, r.cfg.OpTimeout)
 			defer cancel()
-			return api.Probe(ctx) == nil
+			return api.Probe(probeCtx) == nil
 		},
 	}
 }
 
 // MoveOnce selects and executes one movement plan.
-func (r *MoverRunner) MoveOnce() (model.MovePlan, error) {
-	plan, ok := r.mover.SelectMovementPlan(r.env())
+func (r *MoverRunner) MoveOnce(ctx context.Context) (model.MovePlan, error) {
+	plan, ok := r.mover.SelectMovementPlan(r.env(ctx))
 	if !ok {
 		return model.MovePlan{}, ErrNoBeneficialMove
 	}
-	if err := r.Execute(plan); err != nil {
+	if err := r.Execute(ctx, plan); err != nil {
 		r.mu.Lock()
 		r.failed++
 		r.mu.Unlock()
@@ -194,7 +196,7 @@ func (r *MoverRunner) MoveOnce() (model.MovePlan, error) {
 }
 
 // Execute performs the copy -> CAS -> delete protocol for one plan.
-func (r *MoverRunner) Execute(plan model.MovePlan) error {
+func (r *MoverRunner) Execute(ctx context.Context, plan model.MovePlan) error {
 	metas, err := r.meta.Lookup([]model.BlockID{plan.Block})
 	if err != nil {
 		return fmt.Errorf("lookup %s: %w", plan.Block, err)
@@ -211,7 +213,7 @@ func (r *MoverRunner) Execute(plan model.MovePlan) error {
 
 	// Each step of copy -> CAS -> delete is bounded so a hung site fails
 	// the move instead of stalling the mover daemon.
-	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.OpTimeout)
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.OpTimeout)
 	defer cancel()
 	ref := model.ChunkRef{Block: plan.Block, Chunk: plan.Chunk}
 	data, err := src.GetChunk(ctx, ref)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"ecstore/internal/model"
@@ -142,7 +143,7 @@ func TestMoverMetricsCount(t *testing.T) {
 		}
 	}
 	for i := 0; i < 10; i++ {
-		c.Tick()
+		c.Tick(context.Background())
 	}
 	moved, failed := c.Mover.Moves()
 	snap := reg.Snapshot()

@@ -301,6 +301,8 @@ func (n *Network) Listen(addr string) (net.Listener, error) {
 }
 
 // Dial connects with a background context.
+//
+//lint:ignore ctxfirst implements transport.Network's context-free Dial; injected decisions stay seeded either way
 func (n *Network) Dial(addr string) (net.Conn, error) {
 	return n.DialContext(context.Background(), addr)
 }
@@ -318,11 +320,11 @@ func (n *Network) DialContext(ctx context.Context, addr string) (net.Conn, error
 	}
 	if p.Hang {
 		<-ctx.Done()
-		return nil, fmt.Errorf("%w: %s (injected hang: %v)", transport.ErrConnRefused, addr, ctx.Err())
+		return nil, fmt.Errorf("%w: %s (injected hang: %w)", transport.ErrConnRefused, addr, ctx.Err())
 	}
 	if d := p.Latency + n.inj.jitter(p.Jitter); d > 0 {
 		if err := sleep(ctx, d); err != nil {
-			return nil, fmt.Errorf("%w: %s (injected latency: %v)", transport.ErrConnRefused, addr, err)
+			return nil, fmt.Errorf("%w: %s (injected latency: %w)", transport.ErrConnRefused, addr, err)
 		}
 	}
 	if n.inj.roll(p.ErrorRate) {

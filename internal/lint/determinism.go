@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deterministicPackages are the layers whose runs must be byte-identical
+// given the same seed: the discrete-event simulator, the fault injector,
+// and the workload generators. Matched on the final import path segment.
+var deterministicPackages = []string{"sim", "faults", "workload"}
+
+// randConstructors are the math/rand package functions that build seeded
+// generators rather than consuming the global source.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// Determinism keeps the simulation layers reproducible:
+//
+//   - no time.Now/time.Since — simulated time comes from the engine's
+//     injected clock;
+//   - no global math/rand functions — only seeded *rand.Rand instances
+//     (constructors rand.New/rand.NewSource/rand.NewZipf are fine);
+//   - no map iteration whose order can reach output: a range over a map
+//     is flagged when its body appends, sends on a channel, accumulates
+//     a float (float addition is not associative, so iteration order
+//     changes the result bits), or calls a non-builtin function. Iterate
+//     sorted keys instead, or suppress when provably order-insensitive.
+func Determinism() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "sim/faults/workload must be reproducible: injected clocks, seeded rand, ordered iteration",
+		Run:  runDeterminism,
+	}
+}
+
+func runDeterminism(pass *Pass) {
+	last := pass.LastSegment()
+	scoped := false
+	for _, p := range deterministicPackages {
+		if last == p {
+			scoped = true
+		}
+	}
+	if !scoped {
+		return
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				obj := calleeObj(pass.Info, n)
+				if isPkgFunc(obj, "time", "Now") || isPkgFunc(obj, "time", "Since") || isPkgFunc(obj, "time", "Until") {
+					pass.Reportf(n.Pos(), "time.%s in a deterministic package: use the injected clock", obj.Name())
+					return true
+				}
+				if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "math/rand" {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !randConstructors[fn.Name()] {
+						pass.Reportf(n.Pos(), "global rand.%s uses the process-wide source: draw from a seeded *rand.Rand", fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := pass.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if isKeyCollection(n) {
+					// `for k := range m { keys = append(keys, k) }` is
+					// the sanctioned sort-the-keys idiom.
+					return true
+				}
+				if reason, sensitive := orderSensitive(pass.Info, n.Body); sensitive {
+					pass.Reportf(n.Pos(), "map iteration order reaches output (%s): iterate sorted keys", reason)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isKeyCollection matches the sorted-iteration idiom's first half: a
+// range whose whole body is `keys = append(keys, k)` with k the range
+// key. The collected slice is order-sensitive too, but it exists to be
+// sorted; flagging it would force a suppression onto every sanctioned
+// fix.
+func isKeyCollection(rng *ast.RangeStmt) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || rng.Body == nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	if rng.Value != nil {
+		if v, ok := rng.Value.(*ast.Ident); !ok || v.Name != "_" {
+			return false
+		}
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}
+
+// orderSensitive reports whether a map-range body is order-sensitive
+// under the rule's heuristics, with a short reason.
+func orderSensitive(info *types.Info, body *ast.BlockStmt) (string, bool) {
+	var reason string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			reason = "channel send"
+		case *ast.AssignStmt:
+			// Compound float accumulation: order changes rounding.
+			switch n.Tok.String() {
+			case "+=", "-=", "*=", "/=":
+				if len(n.Lhs) == 1 {
+					if tv, ok := info.Types[n.Lhs[0]]; ok {
+						if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+							reason = "float accumulation"
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			obj := calleeObj(info, n)
+			if b, ok := obj.(*types.Builtin); ok {
+				if b.Name() == "append" {
+					reason = "append"
+				}
+				return true
+			}
+			if isConversion(info, n) {
+				return true
+			}
+			if obj != nil || calleeSignature(info, n) != nil {
+				reason = "call to " + calleeName(obj)
+			}
+		}
+		return reason == ""
+	})
+	return reason, reason != ""
+}
+
+func calleeName(obj types.Object) string {
+	if obj == nil {
+		return "function value"
+	}
+	return obj.Name()
+}

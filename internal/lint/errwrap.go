@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap enforces Go 1.13+ error idioms:
+//
+//   - fmt.Errorf formatting an error value uses %w, not %v or %s, so the
+//     chain stays inspectable with errors.Is/errors.As (multiple %w verbs
+//     are fine — the module targets go 1.22);
+//   - sentinel errors are compared with errors.Is, not ==/!=: every layer
+//     of this codebase wraps (rpc wraps transport, core wraps storage),
+//     so an == comparison silently stops matching once a wrap is added.
+func ErrWrap() *Analyzer {
+	return &Analyzer{
+		Name: "errwrap",
+		Doc:  "wrap errors with %w; compare sentinels with errors.Is",
+		Run:  runErrWrap,
+	}
+}
+
+func runErrWrap(pass *Pass) {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	isErr := func(e ast.Expr) bool {
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.IsNil() {
+			return false
+		}
+		return types.Implements(tv.Type, errIface) ||
+			types.Identical(tv.Type, types.Universe.Lookup("error").Type())
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !isPkgFunc(calleeObj(pass.Info, n), "fmt", "Errorf") || len(n.Args) < 2 {
+					return true
+				}
+				lit, ok := ast.Unparen(n.Args[0]).(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				format, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				for i, verb := range formatVerbs(format) {
+					argIdx := 1 + i
+					if argIdx >= len(n.Args) {
+						break
+					}
+					if (verb == 'v' || verb == 's') && isErr(n.Args[argIdx]) {
+						pass.Reportf(n.Args[argIdx].Pos(), "error formatted with %%%c loses the chain: use %%w", verb)
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isErr(n.X) || !isErr(n.Y) {
+					return true
+				}
+				if sentinelVar(pass.Info, n.X) || sentinelVar(pass.Info, n.Y) {
+					pass.Reportf(n.Pos(), "sentinel comparison with %s breaks once the error is wrapped: use errors.Is", n.Op)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// formatVerbs returns the verb letter for each argument a Printf-style
+// format string consumes, in order. Explicitly indexed formats (%[1]v)
+// and star widths are rare in this codebase and conservatively stop the
+// scan.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision.
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		c := rune(format[i])
+		if c == '%' {
+			continue
+		}
+		if c == '*' || c == '[' {
+			return verbs // indexed or star format: bail out
+		}
+		verbs = append(verbs, c)
+	}
+	return verbs
+}
+
+// sentinelVar reports whether e refers to a package-level error variable
+// (a sentinel such as storage.ErrChunkNotFound or io.EOF).
+func sentinelVar(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// doneChanName matches the conventional names of shutdown channels; a
+// receive from one counts as a cancellation path for goleak.
+var doneChanName = regexp.MustCompile(`(?i)^(done|stop|stopped|quit|closed?|exit|cancel)$`)
+
+// GoLeak requires every `go func` literal to have a bounded lifetime:
+// its body must select on a context (ctx.Done()) or a shutdown channel
+// (a receive from a channel named done/stop/quit/close/exit), or be
+// tracked by a sync.WaitGroup (a call to wg.Done). Anything else is a
+// goroutine nothing can stop — under heavy traffic those accumulate
+// until the process dies. Goroutines bounded some other way carry a
+// //lint:ignore goleak directive explaining why.
+func GoLeak() *Analyzer {
+	return &Analyzer{
+		Name: "goleak",
+		Doc:  "goroutines must be cancelable via context/done channel or WaitGroup-tracked",
+		Run:  runGoLeak,
+	}
+}
+
+func runGoLeak(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !goroutineBounded(pass, lit.Body) {
+				pass.Reportf(g.Pos(), "goroutine has no cancellation path: select on ctx.Done()/a done channel or track it with a sync.WaitGroup")
+			}
+			return true
+		})
+	}
+}
+
+// goroutineBounded reports whether body contains any accepted lifetime
+// bound.
+func goroutineBounded(pass *Pass, body *ast.BlockStmt) bool {
+	bounded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bounded {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			obj := calleeObj(pass.Info, n)
+			// ctx.Done() — used in a select or a bare receive alike.
+			if obj != nil && obj.Name() == "Done" {
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if tv, ok := pass.Info.Types[sel.X]; ok && isContextType(tv.Type) {
+						bounded = true
+						return false
+					}
+				}
+			}
+			// wg.Done() — WaitGroup-tracked goroutine.
+			if isMethodOf(obj, "sync", "WaitGroup", "Done") {
+				bounded = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			// <-x where x's name marks a shutdown channel.
+			if n.Op.String() == "<-" {
+				if doneChanName.MatchString(lastIdentName(n.X)) {
+					bounded = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return bounded
+}
+
+// lastIdentName returns the final identifier of an expression:
+// "stop" for s.stop, "done" for done.
+func lastIdentName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}

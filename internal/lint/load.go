@@ -1,0 +1,264 @@
+// Module loading for the linter: parse and type-check every package in
+// the module using only the standard library (go/parser + go/types with
+// the "source" importer), honouring the module's zero-dependency rule.
+// The loader resolves intra-module imports from its own cache and
+// delegates standard-library imports to the source importer, so the
+// whole module is checked from source without invoking the build system.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path ("ecstore/internal/core").
+	Path string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Files holds the parsed non-test source files, sorted by file name.
+	Files []*ast.File
+	// Types and Info carry the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks module packages on demand. It is not
+// safe for concurrent use; the linter runs single-threaded.
+type Loader struct {
+	Fset *token.FileSet
+
+	modRoot string
+	modPath string
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module directory containing
+// go.mod. root may be any directory inside the module.
+func NewLoader(root string) (*Loader, error) {
+	modRoot, modPath, err := findModule(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		modRoot: modRoot,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// ModulePath returns the module's import path from go.mod.
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// ModuleRoot returns the module's root directory.
+func (l *Loader) ModuleRoot() string { return l.modRoot }
+
+// findModule walks up from dir to the first go.mod and reads its module
+// path.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module line in %s/go.mod", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", abs)
+		}
+	}
+}
+
+// LoadAll loads every package in the module, skipping testdata, hidden
+// and vendor directories. Packages are returned sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.modRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.modRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(p) {
+			dirs = append(dirs, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return l.LoadDirs(dirs...)
+}
+
+// LoadDirs loads the named directories (absolute or module-relative) and
+// everything they import from the module, returning only the named
+// packages sorted by import path.
+func (l *Loader) LoadDirs(dirs ...string) ([]*Package, error) {
+	var out []*Package
+	for _, dir := range dirs {
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(l.modRoot, dir)
+		}
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps an absolute directory to its module import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.modRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.modPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.modRoot)
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(path, dir)
+}
+
+// load parses and type-checks one package, recursively loading module
+// dependencies first so the type checker can resolve them.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	// Load module-internal imports first (depth first, cycle checked).
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if ip == l.modPath || strings.HasPrefix(ip, l.modPath+"/") {
+				sub := filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(ip, l.modPath), "/")))
+				if _, err := l.load(ip, sub); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// loaderImporter resolves imports during type checking: module packages
+// come from the loader's cache, everything else from the source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		if pkg, ok := l.pkgs[path]; ok {
+			return pkg.Types, nil
+		}
+		sub := filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")))
+		pkg, err := l.load(path, sub)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

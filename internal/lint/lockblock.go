@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockBlock forbids operations that can block indefinitely while a
+// sync.Mutex or sync.RWMutex is held: channel sends and receives,
+// select, time.Sleep, calls into context-taking APIs (the marker for
+// network and storage I/O), and storage.SiteAPI methods. It also flags
+// a Lock with no matching Unlock on the fall-through path and returns
+// that leave the critical section without an Unlock or defer Unlock.
+//
+// The analysis is a linear source-order walk per function: it tracks
+// which mutexes are held, treats `defer mu.Unlock()` as covering every
+// return, and does not follow control flow across branches — an Unlock
+// anywhere earlier in source order releases the lock for what follows.
+// That under-reports some interleavings but never flags correct code.
+func LockBlock() *Analyzer {
+	return &Analyzer{
+		Name: "lockblock",
+		Doc:  "no blocking operations while a sync mutex is held",
+		Run:  runLockBlock,
+	}
+}
+
+// lockState tracks one held mutex within a function walk.
+type lockState struct {
+	expr     string // printed receiver expression, e.g. "s.mu"
+	rlock    bool
+	pos      ast.Node
+	deferred bool // a defer Unlock covers the rest of the function
+	released bool
+}
+
+func runLockBlock(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLocks(pass, fd.Body)
+			// Closures (including goroutine bodies) are separate
+			// execution contexts with their own critical sections.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkLocks(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// mutexMethod classifies a call as a mutex Lock/Unlock and returns the
+// printed receiver expression identifying the mutex.
+func mutexMethod(pass *Pass, call *ast.CallExpr) (recv string, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	obj := calleeObj(pass.Info, call)
+	for _, typ := range []string{"Mutex", "RWMutex"} {
+		for _, m := range []string{"Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock"} {
+			if isMethodOf(obj, "sync", typ, m) {
+				return types.ExprString(sel.X), m, true
+			}
+		}
+	}
+	return "", "", false
+}
+
+func checkLocks(pass *Pass, body *ast.BlockStmt) {
+	var held []*lockState
+
+	heldAny := func() *lockState {
+		for _, h := range held {
+			if !h.released {
+				return h
+			}
+		}
+		return nil
+	}
+	find := func(expr string, rlock bool) *lockState {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].expr == expr && held[i].rlock == rlock && !held[i].released {
+				return held[i]
+			}
+		}
+		return nil
+	}
+
+	walkShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if recv, method, ok := mutexMethod(pass, call); ok {
+					switch method {
+					case "Lock", "RLock":
+						held = append(held, &lockState{expr: recv, rlock: method == "RLock", pos: call})
+					case "Unlock", "RUnlock":
+						if h := find(recv, method == "RUnlock"); h != nil {
+							h.released = true
+						}
+					}
+					return false
+				}
+			}
+		case *ast.DeferStmt:
+			if recv, method, ok := mutexMethod(pass, n.Call); ok && (method == "Unlock" || method == "RUnlock") {
+				if h := find(recv, method == "RUnlock"); h != nil {
+					h.deferred = true
+				}
+				return false
+			}
+			// Other deferred calls run at return time; do not treat
+			// their bodies as executing inside the critical section,
+			// but honour Unlocks deferred through a closure.
+			ast.Inspect(n.Call, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if recv, method, ok := mutexMethod(pass, call); ok && (method == "Unlock" || method == "RUnlock") {
+						if h := find(recv, method == "RUnlock"); h != nil {
+							h.deferred = true
+						}
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.ReturnStmt:
+			for _, h := range held {
+				if !h.released && !h.deferred {
+					pass.Reportf(n.Pos(), "return while %s is held without Unlock or defer Unlock", h.expr)
+				}
+			}
+		case *ast.SendStmt:
+			if h := heldAny(); h != nil {
+				pass.Reportf(n.Pos(), "channel send while %s is held", h.expr)
+			}
+		case *ast.SelectStmt:
+			if h := heldAny(); h != nil {
+				pass.Reportf(n.Pos(), "select while %s is held", h.expr)
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				if h := heldAny(); h != nil {
+					pass.Reportf(n.Pos(), "channel receive while %s is held", h.expr)
+				}
+			}
+		case *ast.CallExpr:
+			h := heldAny()
+			if h == nil {
+				return true
+			}
+			obj := calleeObj(pass.Info, n)
+			if isPkgFunc(obj, "time", "Sleep") {
+				pass.Reportf(n.Pos(), "time.Sleep while %s is held", h.expr)
+				return true
+			}
+			if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+				return true
+			}
+			if isSiteAPICall(pass.Info, n) {
+				pass.Reportf(n.Pos(), "storage.SiteAPI call while %s is held", h.expr)
+				return true
+			}
+			if sig := calleeSignature(pass.Info, n); sig != nil && firstParamIsContext(sig) {
+				pass.Reportf(n.Pos(), "call into context-taking API while %s is held", h.expr)
+			}
+		}
+		return true
+	})
+
+	for _, h := range held {
+		if !h.released && !h.deferred {
+			pass.Reportf(h.pos.Pos(), "%s.Lock is never released on the fall-through path (no Unlock or defer Unlock)", h.expr)
+		}
+	}
+}
+
+// isSiteAPICall reports whether call invokes a method through the
+// storage.SiteAPI interface (directly or via a testdata stand-in named
+// SiteAPI).
+func isSiteAPICall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := selection.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	return named.Obj().Name() == "SiteAPI"
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+)
+
+// metricNameRE is the naming convention for the obs registry: lowercase
+// snake_case starting with a letter (the /metrics dump and the stats CLI
+// both key on these strings).
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// registryConstructors are the obs.Registry methods whose first argument
+// is a metric name.
+var registryConstructors = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterVec": true, "HistogramVec": true,
+}
+
+// MetricName validates string literals passed to obs registry
+// constructors: they must match ^[a-z][a-z0-9_]*$ and be unique across
+// the whole module (two call sites claiming one name would panic at
+// runtime when they share a registry, and silently shadow each other
+// when they don't). Non-literal names (prefix+"_requests_total") are
+// outside the rule's reach and are skipped.
+//
+// The analyzer keeps module-wide state: construct a fresh instance (via
+// Suite or MetricName) per run.
+func MetricName() *Analyzer {
+	seen := make(map[string]token.Position)
+	return &Analyzer{
+		Name: "metricname",
+		Doc:  "metric names are snake_case and unique module-wide",
+		Run: func(pass *Pass) {
+			runMetricName(pass, seen)
+		},
+	}
+}
+
+func runMetricName(pass *Pass, seen map[string]token.Position) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			obj := calleeObj(pass.Info, call)
+			isCtor := false
+			for name := range registryConstructors {
+				if isMethodOf(obj, "ecstore/internal/obs", "Registry", name) {
+					isCtor = true
+					break
+				}
+			}
+			if !isCtor {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !metricNameRE.MatchString(name) {
+				pass.Reportf(lit.Pos(), "metric name %q is not lowercase snake_case (want %s)", name, metricNameRE)
+				return true
+			}
+			if first, dup := seen[name]; dup {
+				pass.Reportf(lit.Pos(), "metric name %q already registered at %s", name, first)
+				return true
+			}
+			seen[name] = pass.Fset.Position(lit.Pos())
+			return true
+		})
+	}
+}

@@ -1,0 +1,31 @@
+package storage
+
+import (
+	"context"
+	"time"
+)
+
+// GetChunk is the sanctioned shape: context first, honoured while
+// blocking.
+func GetChunk(ctx context.Context, id string) error {
+	_ = id
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(time.Millisecond):
+		return nil
+	}
+}
+
+// Close is a lifecycle method: blocking without a caller context is
+// fine, it is bounded by the shutdown protocol.
+func Close() error {
+	time.Sleep(time.Millisecond)
+	return nil
+}
+
+// fetchLocal is unexported; the blocking rule covers only the exported
+// API surface.
+func fetchLocal() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,16 @@
+package storage
+
+import "context"
+
+// Root returns the component's lifecycle root.
+//
+//lint:ignore ctxfirst fixture: declaration-scoped suppression
+func Root() context.Context {
+	return context.Background()
+}
+
+// root2 exercises the line-scoped form of the directive.
+func root2() context.Context {
+	//lint:ignore ctxfirst fixture: line-scoped suppression
+	return context.Background()
+}

@@ -1,0 +1,28 @@
+// Package storage is a ctxfirst golden-file fixture. Its directory's
+// final path segment matches the real storage package, so the I/O rules
+// apply to it the same way.
+package storage
+
+import (
+	"context"
+	"time"
+)
+
+// PutChunk takes its context second.
+func PutChunk(id string, ctx context.Context) error { // want "context must be the first parameter"
+	_ = id
+	_ = ctx
+	return nil
+}
+
+// Fetch blocks without offering the caller a context.
+func Fetch(id string) error { // want "performs blocking I/O"
+	time.Sleep(time.Millisecond)
+	_ = id
+	return nil
+}
+
+// Detach manufactures an ambient context in library code.
+func Detach() context.Context {
+	return context.Background() // want "context.Background in library code"
+}

@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// seeded draws from an injected generator.
+func seeded(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// construct builds a seeded generator: the constructors are allowed.
+func construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// sortedSum is the sanctioned idiom: collect keys, sort, iterate.
+func sortedSum(m map[int]float64) float64 {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// count is order-insensitive: integer addition commutes exactly.
+func count(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,38 @@
+// Package sim is a determinism golden-file fixture. Its directory's
+// final path segment matches the real simulator package, so the
+// reproducibility rules apply to it the same way.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in a deterministic package"
+}
+
+// draw consumes the process-wide rand source.
+func draw() int {
+	return rand.Intn(10) // want "global rand.Intn uses the process-wide source"
+}
+
+// flatten leaks map iteration order into a slice.
+func flatten(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want "map iteration order reaches output"
+		out = append(out, v)
+	}
+	return out
+}
+
+// total accumulates floats in map order: the sum's bits depend on the
+// iteration order.
+func total(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "map iteration order reaches output"
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,32 @@
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// wrapW keeps the chain inspectable.
+func wrapW(err error) error {
+	return fmt.Errorf("refresh: %w", err)
+}
+
+// isStaleIs matches through wraps.
+func isStaleIs(err error) bool {
+	return errors.Is(err, ErrStale)
+}
+
+// isNil compares against nil, not a sentinel.
+func isNil(err error) bool {
+	return err == nil
+}
+
+// describe formats a non-error with %v: fine.
+func describe(n int) error {
+	return fmt.Errorf("bad count %v", n)
+}
+
+// legacyFormat keeps a wire-visible rendering and says why.
+func legacyFormat(err error) error {
+	//lint:ignore errwrap fixture: message is wire format, chain intentionally dropped
+	return fmt.Errorf("refresh: %v", err)
+}

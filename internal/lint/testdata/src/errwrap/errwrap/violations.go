@@ -1,0 +1,31 @@
+// Package errwrap is an errwrap golden-file fixture: error wrapping and
+// sentinel comparison idioms.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStale is the fixture's sentinel.
+var ErrStale = errors.New("stale")
+
+// wrapV formats the error with %v, cutting the chain.
+func wrapV(err error) error {
+	return fmt.Errorf("refresh: %v", err) // want "loses the chain: use %w"
+}
+
+// wrapS does the same with %s.
+func wrapS(err error) error {
+	return fmt.Errorf("refresh: %s", err) // want "loses the chain: use %w"
+}
+
+// isStale compares a sentinel with ==.
+func isStale(err error) bool {
+	return err == ErrStale // want "use errors.Is"
+}
+
+// notStale compares with !=, which breaks the same way.
+func notStale(err error) bool {
+	return err != ErrStale // want "use errors.Is"
+}

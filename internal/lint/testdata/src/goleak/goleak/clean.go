@@ -1,0 +1,44 @@
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+// watch is bounded by ctx.Done.
+func watch(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// tracked is WaitGroup-tracked.
+func tracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// stopper is bounded by a conventional shutdown channel.
+func stopper(stop chan struct{}) {
+	go func() {
+		<-stop
+	}()
+}
+
+// accepter is bounded some other way and says so.
+func accepter(work chan int) {
+	//lint:ignore goleak fixture: terminates when work is closed by the producer
+	go func() {
+		for range work {
+		}
+	}()
+}

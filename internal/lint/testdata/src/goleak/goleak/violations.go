@@ -1,0 +1,21 @@
+// Package goleak is a goleak golden-file fixture: goroutines with and
+// without a bounded lifetime.
+package goleak
+
+// spinForever launches a goroutine nothing can stop.
+func spinForever(work chan int) {
+	go func() { // want "no cancellation path"
+		for v := range work {
+			_ = v
+		}
+	}()
+}
+
+// tickForever polls with no way out.
+func tickForever(q *[]int) {
+	go func() { // want "no cancellation path"
+		for {
+			*q = (*q)[:0]
+		}
+	}()
+}

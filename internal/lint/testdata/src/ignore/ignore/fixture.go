@@ -1,0 +1,6 @@
+// Package ignore exercises the directive parser: a //lint:ignore with no
+// reason is itself a finding.
+package ignore
+
+//lint:ignore ctxfirst
+var _ = 0

@@ -1,0 +1,34 @@
+package lockblock
+
+// sendAfterUnlock releases the lock before touching the channel.
+func (q *queue) sendAfterUnlock() {
+	q.mu.Lock()
+	q.n++
+	q.mu.Unlock()
+	q.ch <- 1
+}
+
+// deferred covers every return path with one defer.
+func (q *queue) deferred(skip bool) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if skip {
+		return 0
+	}
+	return q.n
+}
+
+// deferredClosure releases through a deferred closure.
+func (q *queue) deferredClosure() {
+	q.mu.Lock()
+	defer func() { q.mu.Unlock() }()
+	q.n++
+}
+
+// sendUnderLockSuppressed documents why this send cannot block.
+func (q *queue) sendUnderLockSuppressed() {
+	q.mu.Lock()
+	//lint:ignore lockblock fixture: channel is buffered and drained by the owner
+	q.ch <- 1
+	q.mu.Unlock()
+}

@@ -1,0 +1,52 @@
+// Package lockblock is a lockblock golden-file fixture: operations that
+// can block indefinitely inside a sync.Mutex critical section.
+package lockblock
+
+import (
+	"sync"
+	"time"
+)
+
+type queue struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// sendUnderLock holds mu across a channel send.
+func (q *queue) sendUnderLock() {
+	q.mu.Lock()
+	q.ch <- 1 // want "channel send while q.mu is held"
+	q.mu.Unlock()
+}
+
+// sleepUnderLock naps inside the critical section.
+func (q *queue) sleepUnderLock() {
+	q.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while q.mu is held"
+	q.mu.Unlock()
+}
+
+// recvUnderLock blocks on a receive inside the critical section.
+func (q *queue) recvUnderLock() int {
+	q.mu.Lock()
+	v := <-q.ch // want "channel receive while q.mu is held"
+	q.mu.Unlock()
+	return v
+}
+
+// earlyReturn leaves the critical section locked on one path.
+func (q *queue) earlyReturn(skip bool) int {
+	q.mu.Lock()
+	if skip {
+		return 0 // want "return while q.mu is held"
+	}
+	q.mu.Unlock()
+	return q.n
+}
+
+// neverReleased forgets the Unlock entirely.
+func (q *queue) neverReleased() {
+	q.mu.Lock() // want "never released on the fall-through path"
+	q.n++
+}

@@ -1,0 +1,16 @@
+// Package metricname is a metricname golden-file fixture: names passed
+// to the real obs registry constructors.
+package metricname
+
+import "ecstore/internal/obs"
+
+// register exercises the naming rules.
+func register(reg *obs.Registry) {
+	reg.Counter("fixture_requests_total", "fixture counter")
+	reg.Counter("Bad-Name", "fixture counter")                // want "not lowercase snake_case"
+	reg.Gauge("fixture_requests_total", "fixture duplicate")  // want "already registered"
+	reg.Histogram("_leading_underscore", "fixture histogram") // want "not lowercase snake_case"
+	//lint:ignore metricname fixture: legacy dashboard name kept for continuity
+	reg.Histogram("Legacy_Latency", "fixture suppressed")
+	reg.HistogramVec("fixture_latency_seconds", "op", "fixture clean")
+}

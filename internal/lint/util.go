@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// firstParamIsContext reports whether sig's first parameter is a
+// context.Context.
+func firstParamIsContext(sig *types.Signature) bool {
+	return sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type())
+}
+
+// hasContextParam reports whether any parameter of sig is a
+// context.Context, and its index.
+func hasContextParam(sig *types.Signature) (int, bool) {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// calleeObj resolves the object a call expression invokes: a *types.Func
+// for functions and methods, a *types.Builtin for builtins, nil for
+// indirect calls through function values and for type conversions.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fn.Sel] // package-qualified call
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the function pkgPath.name.
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// isConversion reports whether call is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// calleeSignature returns the static signature of the called function,
+// or nil for conversions and builtins.
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	if isConversion(info, call) {
+		return nil
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// isMethodOf reports whether obj is a method named name whose receiver's
+// named type is pkgPath.typeName (through pointers).
+func isMethodOf(obj types.Object, pkgPath, typeName, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == typeName && o.Pkg() != nil && o.Pkg().Path() == pkgPath
+}
+
+// walkShallow walks node in source order but does not descend into
+// GoStmt operands or FuncLit bodies: work launched asynchronously or
+// deferred into a closure does not block the enclosing function.
+func walkShallow(node ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			if n != node {
+				return false
+			}
+		}
+		return visit(n)
+	})
+}

@@ -68,7 +68,7 @@ func Load(r io.Reader) (*Catalog, error) {
 
 	frame, err := wire.ReadFrame(br)
 	if err != nil {
-		return nil, fmt.Errorf("%w: site list: %v", ErrBadSnapshot, err)
+		return nil, fmt.Errorf("%w: site list: %w", ErrBadSnapshot, err)
 	}
 	d := wire.NewDecoder(frame)
 	n := int(d.Uint32())
@@ -77,7 +77,7 @@ func Load(r io.Reader) (*Catalog, error) {
 		sites = append(sites, model.SiteID(d.Int64()))
 	}
 	if d.Err() != nil {
-		return nil, fmt.Errorf("%w: site list: %v", ErrBadSnapshot, d.Err())
+		return nil, fmt.Errorf("%w: site list: %w", ErrBadSnapshot, d.Err())
 	}
 	catalog := NewCatalog(sites)
 
@@ -87,14 +87,14 @@ func Load(r io.Reader) (*Catalog, error) {
 			return catalog, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("%w: block frame: %v", ErrBadSnapshot, err)
+			return nil, fmt.Errorf("%w: block frame: %w", ErrBadSnapshot, err)
 		}
 		meta, err := DecodeBlockMeta(wire.NewDecoder(frame))
 		if err != nil {
-			return nil, fmt.Errorf("%w: block meta: %v", ErrBadSnapshot, err)
+			return nil, fmt.Errorf("%w: block meta: %w", ErrBadSnapshot, err)
 		}
 		if err := catalog.Register(meta); err != nil {
-			return nil, fmt.Errorf("%w: register %s: %v", ErrBadSnapshot, meta.ID, err)
+			return nil, fmt.Errorf("%w: register %s: %w", ErrBadSnapshot, meta.ID, err)
 		}
 	}
 }

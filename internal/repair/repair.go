@@ -132,8 +132,10 @@ func NewService(cfg Config, meta metadata.Service, sites map[model.SiteID]storag
 	}
 }
 
-// Start launches the polling goroutine.
-func (s *Service) Start() {
+// Start launches the polling goroutine. ctx bounds the site operations
+// each sweep performs (per-op timeouts derive from it); stopping the
+// loop itself remains Stop's job.
+func (s *Service) Start(ctx context.Context) {
 	s.mu.Lock()
 	if s.started {
 		s.mu.Unlock()
@@ -148,7 +150,7 @@ func (s *Service) Start() {
 		for {
 			select {
 			case <-ticker.C:
-				_ = s.CheckOnce()
+				_ = s.CheckOnce(ctx)
 			case <-s.stop:
 				return
 			}
@@ -189,7 +191,7 @@ func (s *Service) FailedSites() []model.SiteID {
 // probeAll probes every site in parallel, each under the per-probe
 // timeout, and returns the probe error per site (nil for healthy ones).
 // Outcomes feed the shared breaker set when one is attached.
-func (s *Service) probeAll() map[model.SiteID]error {
+func (s *Service) probeAll(ctx context.Context) map[model.SiteID]error {
 	out := make(map[model.SiteID]error, len(s.sites))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -197,7 +199,7 @@ func (s *Service) probeAll() map[model.SiteID]error {
 		wg.Add(1)
 		go func(id model.SiteID, api storage.SiteAPI) {
 			defer wg.Done()
-			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ProbeTimeout)
+			ctx, cancel := context.WithTimeout(ctx, s.cfg.ProbeTimeout)
 			defer cancel()
 			err := api.Probe(ctx)
 			if s.cfg.Health != nil {
@@ -219,12 +221,12 @@ func (s *Service) probeAll() map[model.SiteID]error {
 // CheckOnce probes every site, updates failure marks, and repairs sites
 // whose grace period has expired. It returns the first repair error, if
 // any; probing continues regardless.
-func (s *Service) CheckOnce() error {
+func (s *Service) CheckOnce(ctx context.Context) error {
 	now := s.cfg.Clock()
 	var due []model.SiteID
 	s.obs.checks.Inc()
 
-	probes := s.probeAll()
+	probes := s.probeAll(ctx)
 	s.mu.Lock()
 	for id, probeErr := range probes {
 		if probeErr != nil {
@@ -244,7 +246,7 @@ func (s *Service) CheckOnce() error {
 	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
 	var firstErr error
 	for _, id := range due {
-		if _, err := s.RepairSite(id); err != nil && firstErr == nil {
+		if _, err := s.RepairSite(ctx, id); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		s.mu.Lock()
@@ -261,12 +263,12 @@ func (s *Service) CheckOnce() error {
 
 // RepairSite reconstructs every chunk the failed site held onto healthy
 // sites. It returns the number of chunks reconstructed.
-func (s *Service) RepairSite(failed model.SiteID) (int, error) {
+func (s *Service) RepairSite(ctx context.Context, failed model.SiteID) (int, error) {
 	ids := s.meta.BlocksOnSite(failed)
 	repaired := 0
 	var firstErr error
 	for _, id := range ids {
-		n, err := s.repairBlock(id, failed)
+		n, err := s.repairBlock(ctx, id, failed)
 		repaired += n
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("repair %s: %w", id, err)
@@ -280,7 +282,7 @@ func (s *Service) RepairSite(failed model.SiteID) (int, error) {
 }
 
 // repairBlock reconstructs the chunks of one block lost at `failed`.
-func (s *Service) repairBlock(id model.BlockID, failed model.SiteID) (int, error) {
+func (s *Service) repairBlock(ctx context.Context, id model.BlockID, failed model.SiteID) (int, error) {
 	metas, err := s.meta.Lookup([]model.BlockID{id})
 	if err != nil {
 		return 0, err
@@ -302,7 +304,7 @@ func (s *Service) repairBlock(id model.BlockID, failed model.SiteID) (int, error
 		if api == nil {
 			continue
 		}
-		data, err := s.getChunk(api, model.ChunkRef{Block: id, Chunk: chunk})
+		data, err := s.getChunk(ctx, api, model.ChunkRef{Block: id, Chunk: chunk})
 		if err != nil {
 			continue
 		}
@@ -318,17 +320,17 @@ func (s *Service) repairBlock(id model.BlockID, failed model.SiteID) (int, error
 		if err != nil {
 			return repaired, err
 		}
-		dst, err := s.pickDestination(meta)
+		dst, err := s.pickDestination(ctx, meta)
 		if err != nil {
 			return repaired, err
 		}
 		ref := model.ChunkRef{Block: id, Chunk: chunk}
-		if err := s.putChunk(s.sites[dst], ref, data); err != nil {
+		if err := s.putChunk(ctx, s.sites[dst], ref, data); err != nil {
 			return repaired, fmt.Errorf("store reconstructed chunk: %w", err)
 		}
 		newVersion, err := s.meta.UpdatePlacement(id, chunk, dst, meta.Version)
 		if err != nil {
-			_ = s.deleteChunk(s.sites[dst], ref)
+			_ = s.deleteChunk(ctx, s.sites[dst], ref)
 			return repaired, fmt.Errorf("commit reconstructed chunk: %w", err)
 		}
 		meta.Sites[chunk] = dst
@@ -340,20 +342,20 @@ func (s *Service) repairBlock(id model.BlockID, failed model.SiteID) (int, error
 
 // getChunk, putChunk and deleteChunk run one site operation under the
 // configured OpTimeout so a hung site cannot stall a repair sweep.
-func (s *Service) getChunk(api storage.SiteAPI, ref model.ChunkRef) ([]byte, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.OpTimeout)
+func (s *Service) getChunk(ctx context.Context, api storage.SiteAPI, ref model.ChunkRef) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.OpTimeout)
 	defer cancel()
 	return api.GetChunk(ctx, ref)
 }
 
-func (s *Service) putChunk(api storage.SiteAPI, ref model.ChunkRef, data []byte) error {
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.OpTimeout)
+func (s *Service) putChunk(ctx context.Context, api storage.SiteAPI, ref model.ChunkRef, data []byte) error {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.OpTimeout)
 	defer cancel()
 	return api.PutChunk(ctx, ref, data)
 }
 
-func (s *Service) deleteChunk(api storage.SiteAPI, ref model.ChunkRef) error {
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.OpTimeout)
+func (s *Service) deleteChunk(ctx context.Context, api storage.SiteAPI, ref model.ChunkRef) error {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.OpTimeout)
 	defer cancel()
 	return api.DeleteChunk(ctx, ref)
 }
@@ -394,11 +396,11 @@ func (s *Service) codec(k, r int) (*erasure.Codec, error) {
 // no longer exists or whose placement no longer references the site (e.g.
 // after a best-effort delete raced a failure, or a mover rollback) — and
 // removes them. It returns the number of chunks collected.
-func (s *Service) GCOnce() (int, error) {
+func (s *Service) GCOnce(ctx context.Context) (int, error) {
 	collected := 0
 	var firstErr error
 	for siteID, api := range s.sites {
-		listCtx, listCancel := context.WithTimeout(context.Background(), s.cfg.OpTimeout)
+		listCtx, listCancel := context.WithTimeout(ctx, s.cfg.OpTimeout)
 		refs, err := api.ListChunks(listCtx)
 		listCancel()
 		if err != nil {
@@ -418,7 +420,7 @@ func (s *Service) GCOnce() (int, error) {
 			if !orphan {
 				continue
 			}
-			if err := s.deleteChunk(api, ref); err != nil {
+			if err := s.deleteChunk(ctx, api, ref); err != nil {
 				if firstErr == nil {
 					firstErr = fmt.Errorf("gc %s at site %d: %w", ref, siteID, err)
 				}
@@ -434,7 +436,7 @@ func (s *Service) GCOnce() (int, error) {
 // pickDestination chooses a healthy site that holds no chunk of the block,
 // preferring lightly loaded sites. With a shared health tracker, only
 // sites whose breaker is closed qualify; otherwise a bounded probe decides.
-func (s *Service) pickDestination(meta *model.BlockMeta) (model.SiteID, error) {
+func (s *Service) pickDestination(ctx context.Context, meta *model.BlockMeta) (model.SiteID, error) {
 	holding := meta.SiteSet()
 	var candidates []model.SiteID
 	for id, api := range s.sites {
@@ -446,8 +448,8 @@ func (s *Service) pickDestination(meta *model.BlockMeta) (model.SiteID, error) {
 				continue
 			}
 		} else {
-			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ProbeTimeout)
-			err := api.Probe(ctx)
+			probeCtx, cancel := context.WithTimeout(ctx, s.cfg.ProbeTimeout)
+			err := api.Probe(probeCtx)
 			cancel()
 			if err != nil {
 				continue

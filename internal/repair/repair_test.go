@@ -46,7 +46,7 @@ func TestRepairSiteReconstructsChunks(t *testing.T) {
 
 	apis := toAPIs(c)
 	svc := repair.NewService(repair.Config{Grace: time.Minute}, c.Catalog, apis, c.Loads)
-	n, err := svc.RepairSite(victim)
+	n, err := svc.RepairSite(context.Background(), victim)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestRepairReplicatedBlock(t *testing.T) {
 	c.FailSite(victim)
 
 	svc := repair.NewService(repair.Config{}, c.Catalog, toAPIs(c), c.Loads)
-	n, err := svc.RepairSite(victim)
+	n, err := svc.RepairSite(context.Background(), victim)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestRepairUnrepairable(t *testing.T) {
 	c.FailSite(meta.Sites[2])
 
 	svc := repair.NewService(repair.Config{}, c.Catalog, toAPIs(c), c.Loads)
-	if _, err := svc.RepairSite(meta.Sites[0]); !errors.Is(err, repair.ErrUnrepairable) {
+	if _, err := svc.RepairSite(context.Background(), meta.Sites[0]); !errors.Is(err, repair.ErrUnrepairable) {
 		t.Fatalf("err = %v, want repair.ErrUnrepairable", err)
 	}
 }
@@ -157,7 +157,7 @@ func TestCheckOnceHonorsGracePeriod(t *testing.T) {
 
 	c.FailSite(victim)
 	// First check: marks the failure but must not repair yet.
-	if err := svc.CheckOnce(); err != nil {
+	if err := svc.CheckOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if got := svc.FailedSites(); len(got) != 1 || got[0] != victim {
@@ -170,7 +170,7 @@ func TestCheckOnceHonorsGracePeriod(t *testing.T) {
 
 	// Advance past the grace period: repair runs.
 	now = now.Add(16 * time.Minute)
-	if err := svc.CheckOnce(); err != nil {
+	if err := svc.CheckOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	after, _ = c.Catalog.BlockMeta("blk")
@@ -186,12 +186,12 @@ func TestCheckOnceClearsRecoveredSite(t *testing.T) {
 	now := time.Unix(0, 0)
 	svc := repair.NewService(repair.Config{Clock: func() time.Time { return now }}, c.Catalog, toAPIs(c), c.Loads)
 	c.FailSite(3)
-	_ = svc.CheckOnce()
+	_ = svc.CheckOnce(context.Background())
 	if len(svc.FailedSites()) != 1 {
 		t.Fatal("failure not tracked")
 	}
 	c.RecoverSite(3)
-	_ = svc.CheckOnce()
+	_ = svc.CheckOnce(context.Background())
 	if len(svc.FailedSites()) != 0 {
 		t.Fatal("recovered site still tracked as failed")
 	}
@@ -200,8 +200,8 @@ func TestCheckOnceClearsRecoveredSite(t *testing.T) {
 func TestRepairStartStop(t *testing.T) {
 	c := buildCluster(t, 6)
 	svc := repair.NewService(repair.Config{ProbeInterval: time.Millisecond}, c.Catalog, toAPIs(c), c.Loads)
-	svc.Start()
-	svc.Start() // idempotent
+	svc.Start(context.Background())
+	svc.Start(context.Background()) // idempotent
 	time.Sleep(5 * time.Millisecond)
 	svc.Stop()
 	svc.Stop() // idempotent
@@ -258,7 +258,7 @@ func TestGCOnceCollectsOrphans(t *testing.T) {
 	// deletes it; pretend it crashed first).
 
 	svc := repair.NewService(repair.Config{}, c.Catalog, toAPIs(c), c.Loads)
-	collected, err := svc.GCOnce()
+	collected, err := svc.GCOnce(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +275,7 @@ func TestGCOnceCollectsOrphans(t *testing.T) {
 		t.Fatal("GC corrupted live block")
 	}
 	// Second pass finds nothing.
-	collected, err = svc.GCOnce()
+	collected, err = svc.GCOnce(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

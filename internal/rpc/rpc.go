@@ -209,6 +209,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
 	s.metrics.connDelta(1)
 	defer s.metrics.connDelta(-1)
+	//lint:ignore ctxfirst per-connection lifecycle root (canceled when the connection drops); no caller context exists at accept time, matching net/http
 	ctx, cancel := context.WithCancel(context.Background())
 	var writeMu sync.Mutex
 	var handlers sync.WaitGroup
@@ -304,6 +305,8 @@ func (c *Client) Close() error {
 }
 
 // Call sends one request and waits for its response with no deadline.
+//
+//lint:ignore ctxfirst context-free convenience entry over CallContext for callers with no deadline policy
 func (c *Client) Call(method Method, body []byte) ([]byte, error) {
 	return c.CallContext(context.Background(), method, body)
 }
@@ -405,17 +408,21 @@ func (c *Client) readLoop() {
 }
 
 // failAll fails every pending call with err and marks the client closed.
+// The pending set is detached under the lock and notified after it is
+// released: the response channels are buffered, but sending while
+// holding c.mu would couple this mutex to every waiter's progress.
 func (c *Client) failAll(err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if !c.closed {
 		c.closed = true
 	}
 	if c.readErr == nil {
 		c.readErr = err
 	}
-	for id, ch := range c.pending {
+	pending := c.pending
+	c.pending = make(map[uint64]chan response)
+	c.mu.Unlock()
+	for _, ch := range pending {
 		ch <- response{err: fmt.Errorf("rpc: connection failed: %w", err)}
-		delete(c.pending, id)
 	}
 }

@@ -629,9 +629,17 @@ func (c *Cluster) fetch(wl Workload, rng *rand.Rand, start float64, metas map[mo
 		planDone: now,
 		needs:    make(map[model.BlockID]int, len(metas)),
 	}
-	for id, meta := range metas {
-		req.needs[id] = meta.RequiredChunks()
-		req.bytes += float64(meta.Size)
+	// Accumulate in sorted block order: req.bytes is a float sum, and
+	// float addition is order-sensitive, so map order would leak into
+	// the simulated byte counts.
+	blockIDs := make([]model.BlockID, 0, len(metas))
+	for id := range metas {
+		blockIDs = append(blockIDs, id)
+	}
+	sort.Slice(blockIDs, func(i, j int) bool { return blockIDs[i] < blockIDs[j] })
+	for _, id := range blockIDs {
+		req.needs[id] = metas[id].RequiredChunks()
+		req.bytes += float64(metas[id].Size)
 	}
 	req.remaining = len(metas)
 

@@ -94,9 +94,12 @@ func (c *Cluster) result(measure float64) *Result {
 	}
 
 	// Per-site measured I/O and the λ imbalance factor (Table II).
+	// Iterate sites in ID order: rates feeds a float sum, and float
+	// addition is order-sensitive, so map order would leak into λ.
 	var rates []float64
-	for id, s := range c.sites {
-		if s.failed {
+	for _, id := range c.siteIDs {
+		s := c.sites[id]
+		if s == nil || s.failed {
 			continue
 		}
 		rate := (s.totalBytes - c.siteBytesAt[id]) / measure
@@ -150,13 +153,17 @@ func (r *Result) SortedSiteRates() []struct {
 		Site model.SiteID
 		Rate float64
 	}, 0, len(r.SiteReadRate))
-	for id, rate := range r.SiteReadRate {
+	ids := make([]model.SiteID, 0, len(r.SiteReadRate))
+	for id := range r.SiteReadRate {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
 		out = append(out, struct {
 			Site model.SiteID
 			Rate float64
-		}{id, rate})
+		}{id, r.SiteReadRate[id]})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
 	return out
 }
 

@@ -189,6 +189,8 @@ func (m *Memory) Listen(addr string) (net.Listener, error) {
 // Dial connects to a bound address. If the listener exists but nobody
 // accepts within DialTimeout, Dial fails with ErrConnRefused instead of
 // blocking forever.
+//
+//lint:ignore ctxfirst Network's context-free Dial entry point; the dial is bounded by DialTimeout
 func (m *Memory) Dial(addr string) (net.Conn, error) {
 	timeout := m.DialTimeout
 	if timeout == 0 {
@@ -228,7 +230,7 @@ func (m *Memory) DialContext(ctx context.Context, addr string) (net.Conn, error)
 		_ = client.Close()
 		_ = server.Close()
 		m.metrics.dial(ErrConnRefused)
-		return nil, fmt.Errorf("%w: %s (accept queue timeout: %v)", ErrConnRefused, addr, ctx.Err())
+		return nil, fmt.Errorf("%w: %s (accept queue timeout: %w)", ErrConnRefused, addr, ctx.Err())
 	}
 }
 
@@ -261,6 +263,7 @@ type memListener struct {
 
 var _ net.Listener = (*memListener)(nil)
 
+//lint:ignore ctxfirst Accept implements net.Listener; unblocked by Close, matching net.TCPListener
 func (l *memListener) Accept() (net.Conn, error) {
 	select {
 	case c := <-l.conns:

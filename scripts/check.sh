@@ -1,5 +1,7 @@
 #!/bin/sh
-# Pre-commit gate: vet everything, run the quick test suite under the
+# Pre-commit gate: vet and build everything, run the project lint suite
+# (internal/lint: context, locking, goroutine-leak, determinism, error
+# wrapping and metric naming rules), run the quick test suite under the
 # race detector, then smoke-run the fault-tolerance example end to end
 # (degraded reads, repair, recovery). The full suite (go test ./...)
 # additionally runs the paper-scale simulator experiments and takes
@@ -8,5 +10,6 @@ set -eux
 cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
+go run ./cmd/ecstore-lint ./...
 go test -race -short ./...
 go run ./examples/faulttolerance
