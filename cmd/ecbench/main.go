@@ -7,9 +7,11 @@
 //	ecbench -exp all -scale quick     # everything, fast
 //	ecbench -list                     # list experiment ids
 //	ecbench -faults -scale quick      # degraded-mode read latency under injected faults
+//	ecbench -cache-bytes 33554432 -scale quick   # cache on/off comparison, same invocation
 //
 // Experiment ids follow the paper: fig1, fig4a ... fig4h, tab2, tab3,
-// plus the ablations ab-delta, ab-k, ab-w2, ab-mrate, ab-plan.
+// plus the ablations ab-delta, ab-k, ab-w2, ab-mrate, ab-plan, ab-size,
+// ab-cache.
 package main
 
 import (
@@ -94,6 +96,10 @@ func runners() map[string]runner {
 			r, _, err := bench.AblationBlockSize(sc)
 			return r, err
 		},
+		"ab-cache": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.AblationCache(sc)
+			return r, err
+		},
 	}
 }
 
@@ -111,6 +117,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "simulation seed")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	faultsOnly := fs.Bool("faults", false, "measure degraded-mode read latency under injected faults and exit")
+	cacheBytes := fs.Int64("cache-bytes", 0, "run a cache on/off comparison with this byte budget and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -139,6 +146,20 @@ func run(args []string) error {
 		sc = bench.FullScale(*seed)
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	if *cacheBytes < 0 {
+		return fmt.Errorf("-cache-bytes must be non-negative, got %d", *cacheBytes)
+	}
+	if *cacheBytes > 0 {
+		start := time.Now()
+		report, _, err := bench.CacheComparison(sc, *cacheBytes)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+		fmt.Printf("(%s scale, seed %d, %s)\n", sc.Name, sc.Seed, time.Since(start).Round(time.Millisecond))
+		return nil
 	}
 
 	if *faultsOnly {

@@ -8,6 +8,7 @@ func TestRunnersCoverExperimentIndex(t *testing.T) {
 		"fig1", "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f",
 		"fig4g", "fig4h", "tab2", "tab3",
 		"ab-delta", "ab-k", "ab-w2", "ab-mrate", "ab-plan", "ab-size",
+		"ab-cache",
 	}
 	all := runners()
 	if len(all) != len(want) {
@@ -32,5 +33,8 @@ func TestRunArgumentValidation(t *testing.T) {
 	}
 	if err := run([]string{"-scale", "galactic", "-exp", "fig1"}); err == nil {
 		t.Fatal("unknown scale accepted")
+	}
+	if err := run([]string{"-cache-bytes", "-5", "-scale", "quick"}); err == nil {
+		t.Fatal("negative cache budget accepted")
 	}
 }

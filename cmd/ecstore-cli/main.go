@@ -26,6 +26,7 @@ import (
 	"ecstore/internal/core"
 	"ecstore/internal/metadata"
 	"ecstore/internal/model"
+	"ecstore/internal/obs"
 	"ecstore/internal/rpc"
 	"ecstore/internal/stats"
 	"ecstore/internal/storage"
@@ -46,6 +47,8 @@ func run(args []string) error {
 	k := fs.Int("k", 2, "RS data chunks")
 	r := fs.Int("r", 2, "RS parity chunks")
 	delta := fs.Int("delta", 0, "late-binding surplus chunk requests")
+	cacheBytes := fs.Int64("cache-bytes", 0, "decoded-block cache budget in bytes (0 disables the cache)")
+	cacheStaleTTL := fs.Duration("cache-stale-ttl", 0, "serve cache entries invalidated up to this long ago when a block's sites are down (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,11 +90,16 @@ func run(args []string) error {
 		siteClients[model.SiteID(i+1)] = sc
 	}
 
+	// A local registry collects client-side instrumentation (plan cache,
+	// block cache, request phases) so `stats -full` can dump it.
+	reg := obs.NewRegistry()
 	client, err := core.NewClient(core.Config{
-		K:     *k,
-		R:     *r,
-		Delta: *delta,
-	}, core.Deps{Meta: meta, Sites: sites})
+		K:             *k,
+		R:             *r,
+		Delta:         *delta,
+		CacheBytes:    *cacheBytes,
+		CacheStaleTTL: *cacheStaleTTL,
+	}, core.Deps{Meta: meta, Sites: sites, Metrics: reg})
 	if err != nil {
 		return err
 	}
@@ -152,6 +160,10 @@ func run(args []string) error {
 		st := client.PlannerStats()
 		fmt.Printf("plan cache: %d hits, %d misses (%.0f%% hit rate)\n",
 			st.Hits, st.Misses, 100*st.HitRate())
+		if cs := client.CacheStats(); cs.MaxBytes > 0 {
+			fmt.Printf("block cache: %d entries, %d/%d bytes\n",
+				cs.Entries, cs.Bytes, cs.MaxBytes)
+		}
 		return nil
 
 	case "stats":
@@ -160,7 +172,7 @@ func run(args []string) error {
 		if err := sfs.Parse(rest[1:]); err != nil {
 			return err
 		}
-		return clusterStats(os.Stdout, client, meta, siteClients, tcp, *controlAddr, *full)
+		return clusterStats(os.Stdout, client, reg, meta, siteClients, tcp, *controlAddr, *full)
 
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
@@ -168,9 +180,10 @@ func run(args []string) error {
 }
 
 // clusterStats snapshots every reachable service's metrics over the
-// GetMetrics RPC and renders a cluster-wide summary. The plan-cache line is
-// the local client's (plan caches are per client process).
-func clusterStats(w io.Writer, client *core.Client, meta *metadata.Client,
+// GetMetrics RPC and renders a cluster-wide summary. The plan-cache and
+// block-cache lines are the local client's (both caches are per client
+// process).
+func clusterStats(w io.Writer, client *core.Client, reg *obs.Registry, meta *metadata.Client,
 	siteClients map[model.SiteID]*storage.Client, tcp *transport.TCP, controlAddr string, full bool) error {
 	ids := make([]model.SiteID, 0, len(siteClients))
 	for id := range siteClients {
@@ -253,5 +266,15 @@ func clusterStats(w io.Writer, client *core.Client, meta *metadata.Client,
 	fmt.Fprintln(w, "== local client ==")
 	fmt.Fprintf(w, "plan cache: %d hits, %d misses (%.0f%% hit rate), %d greedy, %d exact\n",
 		st.Hits, st.Misses, 100*st.HitRate(), st.Greedy, st.Exact)
+	cs := client.CacheStats()
+	if cs.MaxBytes > 0 {
+		fmt.Fprintf(w, "block cache: %d hits, %d misses (%.0f%% hit rate), %d entries, %d/%d bytes, %d evictions, %d stale serves\n",
+			cs.Hits, cs.Misses, 100*cs.HitRatio(), cs.Entries, cs.Bytes, cs.MaxBytes, cs.Evictions, cs.StaleServes)
+	} else {
+		fmt.Fprintln(w, "block cache: disabled (enable with -cache-bytes)")
+	}
+	if full {
+		_ = reg.Snapshot().WriteText(w)
+	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"ecstore/internal/model"
 	"ecstore/internal/placement"
 	"ecstore/internal/sim"
+	"ecstore/internal/workload"
 )
 
 // AblationDelta sweeps the late-binding surplus δ ∈ [0, r] for the cost
@@ -179,5 +180,93 @@ func AblationBlockSize(sc Scale) (*Report, map[string]float64, error) {
 			size.name, ec.Mean.Total()*1000, ecm.Mean.Total()*1000, 100*gain)
 	}
 	rep := &Report{ID: "ab-size", Title: "Block-size sweep: EC vs EC+C+M (YCSB-E)", Body: b.String()}
+	return rep, out, nil
+}
+
+// AblationCache sweeps the decoded-block cache budget on the paper's
+// best configuration (EC+C+M+LB) under the skewed YCSB-E workload. The
+// 0-byte row is the cache-off baseline from the same seed, so the mean
+// and p99 columns read directly as the cache tier's contribution;
+// hot-cover is the fraction of the statistics service's 64 hottest
+// blocks resident in the cache at the end of the run (how well
+// stats-driven admission tracks the hot set).
+func AblationCache(sc Scale) (*Report, map[int64]float64, error) {
+	out := make(map[int64]float64)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %12s %12s %8s %10s\n", "budget", "mean", "p99", "hit", "hot-cover")
+	for _, budget := range []int64{0, 8 << 20, 32 << 20, 128 << 20} {
+		opt := sim.Options{
+			Scheme:     model.SchemeErasure,
+			Strategy:   placement.StrategyCost,
+			Mover:      true,
+			Delta:      1,
+			CacheBytes: budget,
+		}
+		cl, err := sim.New(sim.DefaultParams(sc.Seed), opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := cl.Populate(sc.Blocks, func(int) int64 { return BlockSize100KB }); err != nil {
+			return nil, nil, err
+		}
+		wl := workload.NewYCSBE(sc.Blocks, 20, 1.0)
+		res := cl.Run(wl, sc.Warmup, sc.Adapt, sc.Measure)
+		out[budget] = res.Mean.Total()
+		label := "off"
+		if budget > 0 {
+			label = fmt.Sprintf("%dMB", budget>>20)
+		}
+		fmt.Fprintf(&b, "%-10s %10.2fms %10.2fms %7.1f%% %9.1f%%\n",
+			label, res.Mean.Total()*1000, res.Metrics.Percentile(99)*1000,
+			100*res.CacheHitRatio(), 100*cl.CacheHotCoverage(64))
+	}
+	rep := &Report{ID: "ab-cache", Title: "Decoded-block cache budget sweep (EC+C+M+LB, YCSB-E 100 KB)", Body: b.String()}
+	return rep, out, nil
+}
+
+// CacheComparison runs the full EC-Store configuration (EC+C+M+LB) twice
+// in a single invocation — cache off, then cache on with the given byte
+// budget — over a skewed (zipfian) YCSB-E workload, so the two rows are
+// directly comparable. It returns the rendered report plus the two mean
+// latencies keyed by budget (0 = off). The body prints raw hit counts so
+// scripted smoke tests can assert the cache actually served reads.
+func CacheComparison(sc Scale, budget int64) (*Report, map[int64]float64, error) {
+	if budget <= 0 {
+		return nil, nil, fmt.Errorf("cache comparison needs a positive budget, got %d", budget)
+	}
+	out := make(map[int64]float64)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s %10s %8s\n", "cache", "mean", "p99", "hits", "misses", "ratio")
+	for _, bytes := range []int64{0, budget} {
+		opt := sim.Options{
+			Scheme:     model.SchemeErasure,
+			Strategy:   placement.StrategyCost,
+			Mover:      true,
+			Delta:      1,
+			CacheBytes: bytes,
+		}
+		cl, err := sim.New(sim.DefaultParams(sc.Seed), opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := cl.Populate(sc.Blocks, func(int) int64 { return BlockSize100KB }); err != nil {
+			return nil, nil, err
+		}
+		wl := workload.NewYCSBE(sc.Blocks, 20, 1.0)
+		res := cl.Run(wl, sc.Warmup, sc.Adapt, sc.Measure)
+		out[bytes] = res.Mean.Total()
+		label := "off"
+		if bytes > 0 {
+			label = fmt.Sprintf("%dMB", bytes>>20)
+		}
+		fmt.Fprintf(&b, "%-10s %10.2fms %10.2fms hits=%-6d misses=%-6d %6.1f%%\n",
+			label, res.Mean.Total()*1000, res.Metrics.Percentile(99)*1000,
+			res.CacheHits, res.CacheMisses, 100*res.CacheHitRatio())
+	}
+	rep := &Report{
+		ID:    "cache-cmp",
+		Title: fmt.Sprintf("Block cache on/off comparison (%d MB budget, EC+C+M+LB, zipfian YCSB-E)", budget>>20),
+		Body:  b.String(),
+	}
 	return rep, out, nil
 }

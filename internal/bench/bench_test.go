@@ -218,3 +218,24 @@ func TestDegradedModeReport(t *testing.T) {
 		}
 	}
 }
+
+func TestAblationCache(t *testing.T) {
+	rep, out, err := AblationCache(tinyScale(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("got %d budgets, want 4", len(out))
+	}
+	base, ok := out[0]
+	if !ok || base <= 0 {
+		t.Fatalf("missing cache-off baseline: %v", out)
+	}
+	// A generous budget on the skewed workload must beat cache-off.
+	if cached := out[128<<20]; cached >= base {
+		t.Fatalf("128MB cache mean %.4f >= baseline %.4f", cached, base)
+	}
+	if !strings.Contains(rep.Body, "hot-cover") || !strings.Contains(rep.Body, "off") {
+		t.Fatalf("report body missing columns:\n%s", rep.Body)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"ecstore/internal/cache"
 	"ecstore/internal/erasure"
 	"ecstore/internal/health"
 	"ecstore/internal/metadata"
@@ -115,6 +116,18 @@ type Config struct {
 	// (e.g. 0.95 hedges reads slower than the p95 fetch) once enough
 	// requests have been recorded. Requires metrics to be attached.
 	HedgeQuantile float64
+
+	// CacheBytes enables the decoded-block cache tier with this byte
+	// budget: hot blocks are kept fully decoded and served without any
+	// site access, with admission driven by the co-access statistics
+	// and entries keyed by placement version (a moved or overwritten
+	// block never hits). Zero disables the cache.
+	CacheBytes int64
+	// CacheStaleTTL bounds stale-if-error serving: when a block's sites
+	// are too unhealthy to reconstruct it, a cache entry invalidated up
+	// to this long ago may be served instead of failing the read. Zero
+	// (the default) never serves stale bytes.
+	CacheStaleTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -165,6 +178,10 @@ type Client struct {
 	coaccess *stats.CoAccessTracker
 	probes   *stats.ProbeEstimator
 	sink     AccessSink
+
+	// cache is the optional decoded-block tier (nil-safe: a nil cache
+	// misses everything and admits nothing).
+	cache *cache.Cache
 
 	obs    clientObs
 	tracer *obs.Tracer
@@ -290,6 +307,23 @@ func NewClient(cfg Config, deps Deps) (*Client, error) {
 	if tracker == nil {
 		tracker = health.NewTracker(health.Config{Metrics: deps.Metrics})
 	}
+	blockCache := cache.New(cache.Config{
+		MaxBytes: cfg.CacheBytes,
+		StaleTTL: cfg.CacheStaleTTL,
+		Seed:     cfg.Seed + 3,
+		Hotness:  coaccess,
+		Metrics:  deps.Metrics,
+	})
+	if blockCache != nil {
+		// The sweeper only has work when stale-if-error retention is
+		// on, but running it unconditionally keeps the lifecycle
+		// uniform; Close stops it either way.
+		sweep := cfg.CacheStaleTTL
+		if sweep <= 0 {
+			sweep = 30 * time.Second
+		}
+		blockCache.StartMaintenance(sweep)
+	}
 	return &Client{
 		cfg:   cfg,
 		codec: codec,
@@ -306,6 +340,7 @@ func NewClient(cfg Config, deps Deps) (*Client, error) {
 		coaccess: coaccess,
 		probes:   probes,
 		sink:     deps.Sink,
+		cache:    blockCache,
 		obs:      newClientObs(deps.Metrics),
 		tracer:   deps.Tracer,
 		health:   tracker,
@@ -313,14 +348,22 @@ func NewClient(cfg Config, deps Deps) (*Client, error) {
 	}, nil
 }
 
-// Close releases planner resources.
-func (c *Client) Close() { c.plan.Close() }
+// Close releases planner resources and stops the cache's background
+// maintenance goroutine, waiting for it to drain.
+func (c *Client) Close() {
+	c.plan.Close()
+	c.cache.Close()
+}
 
 // Codec exposes the erasure codec (nil under replication).
 func (c *Client) Codec() *erasure.Codec { return c.codec }
 
 // PlannerStats returns plan-cache statistics.
 func (c *Client) PlannerStats() placement.PlannerStats { return c.plan.Stats() }
+
+// CacheStats returns decoded-block cache statistics (zero when the
+// cache is disabled).
+func (c *Client) CacheStats() cache.Stats { return c.cache.Stats() }
 
 // Health exposes the client's site breaker set.
 func (c *Client) Health() *health.Tracker { return c.health }
@@ -454,6 +497,9 @@ func (c *Client) PutContext(ctx context.Context, id model.BlockID, data []byte) 
 		c.cleanupChunks(ctx, id, chosen, nil)
 		return fmt.Errorf("register %s: %w", id, err)
 	}
+	// A re-created id must never be served from bytes cached under a
+	// previous incarnation.
+	c.cache.Invalidate(id)
 	c.obs.puts.Inc()
 	return nil
 }
@@ -548,16 +594,141 @@ func (c *Client) GetMultiContext(ctx context.Context, ids []model.BlockID) (map[
 		_ = c.sink.RecordAccess(ids)
 	}
 
+	out := make(map[model.BlockID][]byte, len(ids))
+	req := placement.PlanRequest{Metas: metas, Available: c.available}
+
+	// Cache tier: serve decoded hits from local memory and strip them
+	// from the plan request — a hit accesses no sites at all, which can
+	// only lower the request's Eq. 1 cost. Entries are keyed by the
+	// placement version just looked up, so a block moved or rewritten
+	// since it was cached misses here and is re-fetched.
+	if c.cache != nil {
+		sp = tr.StartSpan("cache")
+		var hits []model.BlockID
+		for id, meta := range metas {
+			if data, ok := c.cache.Get(id, meta.Version); ok {
+				out[id] = data
+				hits = append(hits, id)
+			}
+		}
+		req = req.Without(hits)
+		sp.End()
+		if len(req.Metas) == 0 {
+			return out, bd, nil
+		}
+	}
+
+	got, err := c.readMisses(ctx, req, tr, &bd)
+	for id, data := range got {
+		out[id] = data
+	}
+	if err != nil {
+		// Stale-if-error: when a missing block currently cannot be
+		// reconstructed (too few of its sites are healthy), a
+		// bounded-stale cache entry beats failing the whole request.
+		// Any other failure — or any missing block without a fresh
+		// enough entry — still fails the read.
+		for id, meta := range req.Metas {
+			if _, ok := out[id]; ok {
+				continue
+			}
+			if !c.blockUnreadable(meta) {
+				return nil, bd, err
+			}
+			data, _, ok := c.cache.GetStale(id)
+			if !ok {
+				return nil, bd, err
+			}
+			out[id] = data
+		}
+	}
+	return out, bd, nil
+}
+
+// readMisses retrieves the blocks the cache could not serve. With the
+// cache enabled, concurrent requests for the same (block, version)
+// coalesce onto one leader fetch+decode through the singleflight group;
+// followers whose leader failed get one direct fetch round of their
+// own. On error the returned map may hold the blocks that did succeed.
+func (c *Client) readMisses(ctx context.Context, req placement.PlanRequest, tr *obs.Trace, bd *model.Breakdown) (map[model.BlockID][]byte, error) {
+	if c.cache == nil {
+		return c.fetchBlocks(ctx, req, tr, bd)
+	}
+
+	leaders := placement.PlanRequest{Metas: make(map[model.BlockID]*model.BlockMeta, len(req.Metas)), Available: req.Available}
+	flights := make(map[model.BlockID]*cache.Flight, len(req.Metas))
+	followers := make(map[model.BlockID]*cache.Flight)
+	for id, meta := range req.Metas {
+		f, leader := c.cache.Flights.Join(id, meta.Version)
+		if leader {
+			leaders.Metas[id] = meta
+			flights[id] = f
+		} else {
+			followers[id] = f
+		}
+	}
+	c.cache.DedupObserved(len(followers))
+
+	out := make(map[model.BlockID][]byte, len(req.Metas))
+	var fetchErr error
+	if len(leaders.Metas) > 0 {
+		data, err := c.fetchBlocks(ctx, leaders, tr, bd)
+		for id, f := range flights {
+			f.Complete(data[id], err)
+		}
+		if err != nil {
+			fetchErr = err
+		} else {
+			for id, meta := range leaders.Metas {
+				out[id] = data[id]
+				c.cache.Put(id, meta.Version, data[id])
+			}
+		}
+	}
+
+	// Collect follower results; a failed or expired leader leaves its
+	// followers to one direct fetch round for the remaining blocks.
+	direct := placement.PlanRequest{Metas: make(map[model.BlockID]*model.BlockMeta), Available: req.Available}
+	for id, f := range followers {
+		data, err := f.Wait(ctx)
+		if err != nil {
+			direct.Metas[id] = req.Metas[id]
+			continue
+		}
+		out[id] = data
+	}
+	if len(direct.Metas) > 0 {
+		data, err := c.fetchBlocks(ctx, direct, tr, bd)
+		if err != nil {
+			if fetchErr == nil {
+				fetchErr = err
+			}
+		} else {
+			for id, meta := range direct.Metas {
+				out[id] = data[id]
+				c.cache.Put(id, meta.Version, data[id])
+			}
+		}
+	}
+	return out, fetchErr
+}
+
+// fetchBlocks runs read phases R2 (access planning) and R3 (parallel
+// retrieval + decode) for the blocks in req, accumulating phase
+// durations into bd. Cache hits never reach this path.
+func (c *Client) fetchBlocks(ctx context.Context, req placement.PlanRequest, tr *obs.Trace, bd *model.Breakdown) (map[model.BlockID][]byte, error) {
+	metas := req.Metas
+
 	// R2: access planning.
 	t1 := time.Now()
-	sp = tr.StartSpan("plan")
-	plan, _, err := c.plan.Plan(placement.PlanRequest{Metas: metas, Available: c.available}, c.costs())
+	sp := tr.StartSpan("plan")
+	plan, _, err := c.plan.Plan(req, c.costs())
 	sp.End()
 	if err != nil {
-		return nil, bd, fmt.Errorf("plan access: %w", err)
+		return nil, fmt.Errorf("plan access: %w", err)
 	}
-	bd.Planning = time.Since(t1).Seconds()
-	c.obs.planH.Observe(bd.Planning)
+	bd.Planning += time.Since(t1).Seconds()
+	c.obs.planH.Observe(time.Since(t1).Seconds())
 
 	// R3: retrieval and decode. Site failures are discovered one fetch
 	// at a time (an RPC error opens the site's breaker), so replanning
@@ -579,35 +750,42 @@ func (c *Client) GetMultiContext(ctx context.Context, ids []model.BlockID) (map[
 		prevFailed = nowFailed
 		c.obs.replans.Inc()
 		var planErr error
-		plan, _, planErr = c.plan.Plan(placement.PlanRequest{Metas: metas, Available: c.available}, c.costs())
+		plan, _, planErr = c.plan.Plan(req, c.costs())
 		if planErr != nil {
 			sp.End()
-			return nil, bd, fmt.Errorf("replan access: %w", planErr)
+			return nil, fmt.Errorf("replan access: %w", planErr)
 		}
 		chunks, err = c.fetch(ctx, plan, metas, sp)
 	}
 	sp.End()
 	if err != nil {
-		return nil, bd, err
+		return nil, err
 	}
-	bd.Retrieve = time.Since(t2).Seconds()
-	c.obs.fetchH.Observe(bd.Retrieve)
+	bd.Retrieve += time.Since(t2).Seconds()
+	c.obs.fetchH.Observe(time.Since(t2).Seconds())
 
 	t3 := time.Now()
 	sp = tr.StartSpan("decode")
-	out := make(map[model.BlockID][]byte, len(ids))
+	out := make(map[model.BlockID][]byte, len(metas))
 	for id, meta := range metas {
 		data, err := c.assemble(meta, chunks[id])
 		if err != nil {
 			sp.End()
-			return nil, bd, fmt.Errorf("decode %s: %w", id, err)
+			return nil, fmt.Errorf("decode %s: %w", id, err)
 		}
 		out[id] = data
 	}
 	sp.End()
-	bd.Decode = time.Since(t3).Seconds()
-	c.obs.decodeH.Observe(bd.Decode)
-	return out, bd, nil
+	bd.Decode += time.Since(t3).Seconds()
+	c.obs.decodeH.Observe(time.Since(t3).Seconds())
+	return out, nil
+}
+
+// blockUnreadable reports whether meta's block currently cannot be
+// reconstructed: fewer healthy sites hold its chunks than a decode
+// needs. Only then may a stale cache entry stand in for the block.
+func (c *Client) blockUnreadable(meta *model.BlockMeta) bool {
+	return c.health.CountAvailable(meta.Sites) < meta.RequiredChunks()
 }
 
 // unavailableKey fingerprints the current failure set for the replan
@@ -925,6 +1103,7 @@ func (c *Client) DeleteContext(ctx context.Context, id model.BlockID) error {
 	if err != nil {
 		return fmt.Errorf("unregister %s: %w", id, err)
 	}
+	c.cache.Invalidate(id)
 	var wg sync.WaitGroup
 	for chunk, site := range meta.Sites {
 		api := c.sites[site]

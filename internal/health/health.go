@@ -301,6 +301,21 @@ func (t *Tracker) State(s model.SiteID) State {
 	return b.state
 }
 
+// CountAvailable returns how many of the given chunk-holding sites are
+// currently available, skipping the NoSite sentinel. Callers use it to
+// decide whether a block is reconstructible at all — e.g. the client
+// only serves a bounded-stale cache entry once fewer healthy sites hold
+// the block's chunks than a decode needs.
+func (t *Tracker) CountAvailable(sites []model.SiteID) int {
+	n := 0
+	for _, s := range sites {
+		if s != model.NoSite && t.Available(s) {
+			n++
+		}
+	}
+	return n
+}
+
 // Unavailable lists sites whose breaker is open or half-open, sorted.
 func (t *Tracker) Unavailable() []model.SiteID {
 	t.mu.Lock()

@@ -151,3 +151,24 @@ func TestTrackerMetrics(t *testing.T) {
 		t.Fatalf("health_open_sites = %d, want 0 after recovery", n)
 	}
 }
+
+func TestCountAvailable(t *testing.T) {
+	tr, _ := newTestTracker(nil)
+	sites := []model.SiteID{1, 2, 3, model.NoSite}
+	if n := tr.CountAvailable(sites); n != 3 {
+		t.Fatalf("all healthy: CountAvailable = %d, want 3 (NoSite skipped)", n)
+	}
+	tr.ForceOpen(2)
+	if n := tr.CountAvailable(sites); n != 2 {
+		t.Fatalf("one open: CountAvailable = %d, want 2", n)
+	}
+	tr.ForceOpen(1)
+	tr.ForceOpen(3)
+	if n := tr.CountAvailable(sites); n != 0 {
+		t.Fatalf("all open: CountAvailable = %d, want 0", n)
+	}
+	tr.Reset(2)
+	if n := tr.CountAvailable(sites); n != 1 {
+		t.Fatalf("after reset: CountAvailable = %d, want 1", n)
+	}
+}

@@ -7,8 +7,10 @@ import (
 
 // deterministicPackages are the layers whose runs must be byte-identical
 // given the same seed: the discrete-event simulator, the fault injector,
-// and the workload generators. Matched on the final import path segment.
-var deterministicPackages = []string{"sim", "faults", "workload"}
+// the workload generators, and the decoded-block cache (whose admission
+// sketch and eviction order feed the simulator's results). Matched on
+// the final import path segment.
+var deterministicPackages = []string{"sim", "faults", "workload", "cache"}
 
 // randConstructors are the math/rand package functions that build seeded
 // generators rather than consuming the global source.

@@ -100,6 +100,7 @@ func TestGoldenFiles(t *testing.T) {
 		{"lockblock", "internal/lint/testdata/src/lockblock/lockblock"},
 		{"goleak", "internal/lint/testdata/src/goleak/goleak"},
 		{"determinism", "internal/lint/testdata/src/determinism/sim"},
+		{"determinism", "internal/lint/testdata/src/determinism/cache"},
 		{"errwrap", "internal/lint/testdata/src/errwrap/errwrap"},
 		{"metricname", "internal/lint/testdata/src/metricname/metricname"},
 	}

@@ -1,0 +1,12 @@
+package cache
+
+import "time"
+
+// defaultClock is suppressed: it only seeds the injected-clock default
+// for production callers and never runs under the simulator, which
+// always supplies its own virtual clock.
+//
+//lint:ignore determinism fixture: production default, simulator injects its own clock
+func defaultClock() time.Time {
+	return time.Now()
+}

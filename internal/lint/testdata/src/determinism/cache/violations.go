@@ -1,0 +1,26 @@
+package cache
+
+import (
+	"math/rand"
+	"time"
+)
+
+// wallClockAge bypasses the injected clock for stale bookkeeping.
+func wallClockAge(since time.Time) time.Duration {
+	return time.Since(since) // want "time.Since in a deterministic package"
+}
+
+// randomVictim picks an eviction victim from the process-wide source,
+// making eviction order irreproducible across runs.
+func randomVictim(ids []string) string {
+	return ids[rand.Intn(len(ids))] // want "global rand.Intn uses the process-wide source"
+}
+
+// residentVersions leaks map iteration order into the returned slice.
+func residentVersions(byID map[string]entry) []uint64 {
+	var out []uint64
+	for _, e := range byID { // want "map iteration order reaches output"
+		out = append(out, e.version)
+	}
+	return out
+}

@@ -14,3 +14,15 @@ func register(reg *obs.Registry) {
 	reg.Histogram("Legacy_Latency", "fixture suppressed")
 	reg.HistogramVec("fixture_latency_seconds", "op", "fixture clean")
 }
+
+// registerCache mirrors the decoded-block cache's metric family: every
+// real cache_* instrument name must satisfy the naming rules.
+func registerCache(reg *obs.Registry) {
+	reg.Counter("cache_hits_total", "fixture cache counter")
+	reg.Counter("cache_misses_total", "fixture cache counter")
+	reg.Counter("cache_stale_serves_total", "fixture cache counter")
+	reg.Counter("cache_singleflight_dedup_total", "fixture cache counter")
+	reg.Gauge("cache_bytes", "fixture cache gauge")
+	reg.Counter("cache-hits", "fixture cache counter")  // want "not lowercase snake_case"
+	reg.Gauge("cache_bytes", "fixture cache duplicate") // want "already registered"
+}

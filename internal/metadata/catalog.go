@@ -34,6 +34,12 @@ type Catalog struct {
 	// repair scans after a site failure.
 	bySite map[model.SiteID]map[model.BlockID]bool
 	sites  map[model.SiteID]bool
+	// retired remembers the final placement version of deleted blocks so
+	// a re-registered id resumes numbering instead of restarting at 0:
+	// (id, version) pairs are then unique across a block's lifetimes,
+	// which version-keyed caches (plan cache, decoded-block cache)
+	// depend on to never alias old bytes onto a recreated block.
+	retired map[model.BlockID]uint64
 
 	reg         *obs.Registry
 	registers   *obs.Counter
@@ -67,9 +73,10 @@ func (c *Catalog) MetricsSnapshot() *obs.Snapshot {
 // NewCatalog returns an empty catalog aware of the given sites.
 func NewCatalog(sites []model.SiteID) *Catalog {
 	c := &Catalog{
-		blocks: make(map[model.BlockID]*model.BlockMeta),
-		bySite: make(map[model.SiteID]map[model.BlockID]bool),
-		sites:  make(map[model.SiteID]bool, len(sites)),
+		blocks:  make(map[model.BlockID]*model.BlockMeta),
+		bySite:  make(map[model.SiteID]map[model.BlockID]bool),
+		sites:   make(map[model.SiteID]bool, len(sites)),
+		retired: make(map[model.BlockID]uint64),
 	}
 	for _, s := range sites {
 		c.sites[s] = true
@@ -124,6 +131,12 @@ func (c *Catalog) Register(meta *model.BlockMeta) error {
 		return fmt.Errorf("%w: %s", ErrExists, meta.ID)
 	}
 	stored := meta.Clone()
+	if last, wasDeleted := c.retired[meta.ID]; wasDeleted && stored.Version <= last {
+		// Resume version numbering where the deleted incarnation left
+		// off, so version-keyed caches never alias its bytes.
+		stored.Version = last + 1
+	}
+	delete(c.retired, meta.ID)
 	c.blocks[meta.ID] = stored
 	for _, s := range stored.Sites {
 		c.indexLocked(s, stored.ID)
@@ -191,6 +204,7 @@ func (c *Catalog) Delete(id model.BlockID) (*model.BlockMeta, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	delete(c.blocks, id)
+	c.retired[id] = meta.Version
 	for _, s := range meta.Sites {
 		c.unindexLocked(s, id)
 	}

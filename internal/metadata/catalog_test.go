@@ -276,3 +276,54 @@ func TestAddSite(t *testing.T) {
 		t.Fatalf("Sites = %v", got)
 	}
 }
+
+func TestVersionsStayMonotonicAcrossRecreate(t *testing.T) {
+	c := NewCatalog(sites(6))
+	if err := c.Register(blockMeta("a", 1, 2, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Advance the version past zero, then delete the block.
+	if _, err := c.UpdatePlacement("a", 0, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.UpdatePlacement("a", 0, 6, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A re-created block must resume numbering after the retired
+	// version: a version-keyed cache would otherwise alias entries of
+	// the previous incarnation (the ABA problem).
+	if err := c.Register(blockMeta("a", 1, 2, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	meta, ok := c.BlockMeta("a")
+	if !ok {
+		t.Fatal("re-created block missing")
+	}
+	if meta.Version != 3 {
+		t.Fatalf("re-created version = %d, want 3 (after retired 2)", meta.Version)
+	}
+
+	// A third lifetime keeps climbing.
+	if _, err := c.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(blockMeta("a", 1, 2, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	meta, _ = c.BlockMeta("a")
+	if meta.Version != 4 {
+		t.Fatalf("third lifetime version = %d, want 4", meta.Version)
+	}
+
+	// Unrelated blocks still start at zero.
+	if err := c.Register(blockMeta("b", 1, 2, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if meta, _ := c.BlockMeta("b"); meta.Version != 0 {
+		t.Fatalf("fresh block version = %d, want 0", meta.Version)
+	}
+}

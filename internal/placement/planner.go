@@ -72,6 +72,26 @@ type PlanRequest struct {
 	Available func(model.SiteID) bool
 }
 
+// Without returns a copy of the request with the given blocks removed
+// from Metas (the original request is untouched). The decoded-block
+// cache uses it to strip hits from planning: a block served from local
+// memory accesses no sites, which can only lower the request's Eq. 1
+// cost.
+func (r PlanRequest) Without(ids []model.BlockID) PlanRequest {
+	if len(ids) == 0 {
+		return r
+	}
+	metas := make(map[model.BlockID]*model.BlockMeta, len(r.Metas))
+	for id, meta := range r.Metas {
+		metas[id] = meta
+	}
+	for _, id := range ids {
+		delete(metas, id)
+	}
+	r.Metas = metas
+	return r
+}
+
 // ErrInfeasible is returned when some block cannot be reconstructed from
 // the available sites.
 var ErrInfeasible = fmt.Errorf("placement: request is infeasible")

@@ -323,3 +323,30 @@ func TestStrategyStrings(t *testing.T) {
 		t.Fatal("PlanSource.String mismatch")
 	}
 }
+
+func TestPlanRequestWithout(t *testing.T) {
+	metas := map[model.BlockID]*model.BlockMeta{
+		"a": makeMeta("a", 2, 1, 100, 1, 2, 3),
+		"b": makeMeta("b", 2, 1, 100, 2, 3, 4),
+		"c": makeMeta("c", 2, 1, 100, 3, 4, 5),
+	}
+	req := PlanRequest{Metas: metas}
+
+	got := req.Without([]model.BlockID{"b", "missing"})
+	if len(got.Metas) != 2 || got.Metas["b"] != nil {
+		t.Fatalf("Without kept %v", got.Metas)
+	}
+	if got.Metas["a"] != metas["a"] || got.Metas["c"] != metas["c"] {
+		t.Fatal("Without must keep surviving metas")
+	}
+	// The receiver's map is untouched: callers strip cache hits from a
+	// request that may still be replanned with the full set elsewhere.
+	if len(req.Metas) != 3 {
+		t.Fatalf("Without mutated the receiver: %v", req.Metas)
+	}
+	// Stripping nothing returns the request unchanged, same map.
+	same := req.Without(nil)
+	if len(same.Metas) != 3 {
+		t.Fatal("empty Without changed the request")
+	}
+}

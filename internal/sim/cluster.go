@@ -5,7 +5,9 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
+	"ecstore/internal/cache"
 	"ecstore/internal/metadata"
 	"ecstore/internal/model"
 	"ecstore/internal/placement"
@@ -134,6 +136,9 @@ type Options struct {
 	Delta int
 	// Mover enables dynamic chunk movement.
 	Mover bool
+	// CacheBytes enables the client-side decoded-block cache with this
+	// byte budget; a hit serves the block without any site visit.
+	CacheBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -168,6 +173,9 @@ func (o Options) Name() string {
 	if o.Delta > 0 {
 		name += "+LB"
 	}
+	if o.CacheBytes > 0 {
+		name += "+CACHE"
+	}
 	return name
 }
 
@@ -189,6 +197,10 @@ type Cluster struct {
 	loads   *stats.LoadTracker
 	probes  *stats.ProbeEstimator
 	mover   *placement.Mover
+	// blockCache models the decoded-block tier: entries carry sizes but
+	// no payloads (PutSized), and its clock is the engine's virtual time
+	// so runs stay deterministic. Nil when Options.CacheBytes is zero.
+	blockCache *cache.Cache
 
 	metrics *Metrics
 
@@ -203,6 +215,7 @@ type Cluster struct {
 	fetchTotal  int64
 	reqSeen      int64
 	statsReports int64
+	cacheStatsAt cache.Stats
 
 	sizes map[model.BlockID]int64
 }
@@ -277,6 +290,16 @@ func New(p Params, opt Options) (*Cluster, error) {
 	}
 	if c.p.CoAccessSampleEvery <= 0 {
 		c.p.CoAccessSampleEvery = 1
+	}
+	if opt.CacheBytes > 0 {
+		c.blockCache = cache.New(cache.Config{
+			MaxBytes: opt.CacheBytes,
+			Seed:     p.Seed + 6,
+			Hotness:  c.co,
+			Clock: func() time.Time {
+				return time.Unix(0, 0).Add(time.Duration(c.eng.Now() * float64(time.Second)))
+			},
+		})
 	}
 	return c, nil
 }
@@ -430,6 +453,7 @@ func (c *Cluster) Run(wl Workload, warmup, adapt, measure float64) *Result {
 	for id, s := range c.sites {
 		c.siteBytesAt[id] = s.totalBytes
 	}
+	c.cacheStatsAt = c.blockCache.Stats()
 	c.eng.Run(warmup + adapt + measure)
 	return c.result(measure)
 }
@@ -606,6 +630,16 @@ func (c *Cluster) issue(wl Workload, rng *rand.Rand) {
 			c.eng.After(0.001, func() { c.issue(wl, rng) })
 			return
 		}
+		// Cache phase: hits are served from client memory and stripped
+		// from planning; a fully cached request never visits a site.
+		if c.blockCache != nil {
+			metas = c.cachePhase(metas)
+			if len(metas) == 0 {
+				c.metrics.record(c.eng.Now(), model.Breakdown{Metadata: c.p.MetaAccessTime})
+				c.issue(wl, rng)
+				return
+			}
+		}
 		// Access planning (R2): real strategy code, constant modelled
 		// latency.
 		plan, _, err := c.planner.Plan(placement.PlanRequest{Metas: metas, Available: c.available}, c.costs())
@@ -679,6 +713,44 @@ func (c *Cluster) fetch(wl Workload, rng *rand.Rand, start float64, metas map[mo
 	}
 }
 
+// cachePhase probes the decoded-block cache for every looked-up block
+// and returns only the misses. Blocks are probed in sorted order: Get
+// mutates sketch and LRU state, so map order would leak into admission
+// decisions and break run determinism.
+func (c *Cluster) cachePhase(metas map[model.BlockID]*model.BlockMeta) map[model.BlockID]*model.BlockMeta {
+	ids := make([]model.BlockID, 0, len(metas))
+	for id := range metas {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	misses := make(map[model.BlockID]*model.BlockMeta, len(metas))
+	for _, id := range ids {
+		if _, ok := c.blockCache.Get(id, metas[id].Version); !ok {
+			misses[id] = metas[id]
+		}
+	}
+	return misses
+}
+
+// cachePopulate admits just-decoded blocks, again in sorted order for
+// determinism. Entries carry only sizes (PutSized with a nil payload):
+// the simulator never materializes block bytes, but the budget, LRU and
+// admission behaviour are exactly the real cache's.
+func (c *Cluster) cachePopulate(metas map[model.BlockID]*model.BlockMeta) {
+	if c.blockCache == nil {
+		return
+	}
+	ids := make([]model.BlockID, 0, len(metas))
+	for id := range metas {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		meta := metas[id]
+		c.blockCache.PutSized(id, meta.Version, nil, meta.Size)
+	}
+}
+
 // chunkArrived processes one site visit's responses.
 func (c *Cluster) chunkArrived(wl Workload, rng *rand.Rand, req *request, metas map[model.BlockID]*model.BlockMeta, refs []model.ChunkRef) {
 	if req.remaining == 0 {
@@ -702,6 +774,7 @@ func (c *Cluster) chunkArrived(wl Workload, rng *rand.Rand, req *request, metas 
 		decode = req.bytes / c.p.DecodeBytesPerSec
 	}
 	c.eng.After(decode, func() {
+		c.cachePopulate(metas)
 		bd := model.Breakdown{
 			Metadata: c.p.MetaAccessTime,
 			Planning: c.p.PlanTime,

@@ -272,3 +272,45 @@ func TestSimResourceUsage(t *testing.T) {
 		t.Fatalf("planner usage = %+v", u)
 	}
 }
+
+func TestSimCacheServesHitsAndStaysDeterministic(t *testing.T) {
+	opt := Options{Strategy: placement.StrategyCost, CacheBytes: 32 << 20}
+	a := runTiny(t, tinyParams(9), opt, 300, 1, 0, 2)
+	if a.Config != "EC+C+CACHE" {
+		t.Fatalf("config = %s", a.Config)
+	}
+	if a.CacheHits == 0 {
+		t.Fatal("zipfian workload produced no cache hits")
+	}
+	if a.CacheHitRatio() <= 0 || a.CacheHitRatio() > 1 {
+		t.Fatalf("hit ratio = %v", a.CacheHitRatio())
+	}
+	if a.Cache.Bytes <= 0 || a.Cache.Bytes > 32<<20 {
+		t.Fatalf("cache bytes = %d, want within budget", a.Cache.Bytes)
+	}
+
+	b := runTiny(t, tinyParams(9), opt, 300, 1, 0, 2)
+	if a.Requests != b.Requests || a.CacheHits != b.CacheHits || a.CacheMisses != b.CacheMisses {
+		t.Fatalf("cache run not deterministic: %d/%d/%d vs %d/%d/%d",
+			a.Requests, a.CacheHits, a.CacheMisses, b.Requests, b.CacheHits, b.CacheMisses)
+	}
+	if math.Abs(a.Mean.Total()-b.Mean.Total()) > 1e-12 {
+		t.Fatalf("mean latencies differ: %v vs %v", a.Mean.Total(), b.Mean.Total())
+	}
+}
+
+func TestSimCacheLowersLatencyOnSkewedWorkload(t *testing.T) {
+	base := runTiny(t, tinyParams(10), Options{Strategy: placement.StrategyCost}, 300, 1, 0, 3)
+	cached := runTiny(t, tinyParams(10), Options{Strategy: placement.StrategyCost, CacheBytes: 32 << 20}, 300, 1, 0, 3)
+	if cached.CacheHits == 0 {
+		t.Fatal("no hits; comparison meaningless")
+	}
+	if cached.Mean.Total() >= base.Mean.Total() {
+		t.Fatalf("cache did not lower mean latency: %.4f vs %.4f ms",
+			cached.Mean.Total()*1000, base.Mean.Total()*1000)
+	}
+	if cached.Throughput <= base.Throughput {
+		t.Fatalf("cache did not raise throughput: %.1f vs %.1f req/s",
+			cached.Throughput, base.Throughput)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"ecstore/internal/cache"
 	"ecstore/internal/model"
 	"ecstore/internal/placement"
 )
@@ -39,6 +40,23 @@ type Result struct {
 	Planner placement.PlannerStats
 	// StorageOverhead is the scheme's storage expansion factor.
 	StorageOverhead float64
+
+	// CacheHits/CacheMisses count decoded-block cache outcomes in the
+	// measured window; Cache is the end-of-run cache snapshot. All zero
+	// when the cache is disabled.
+	CacheHits   int64
+	CacheMisses int64
+	Cache       cache.Stats
+}
+
+// CacheHitRatio returns the measured-window hit ratio, or 0 when the
+// cache is off or unused.
+func (r *Result) CacheHitRatio() float64 {
+	total := r.CacheHits + r.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(total)
 }
 
 // ResourceUsage reports the control-plane resource accounting used by the
@@ -56,6 +74,27 @@ type ResourceUsage struct {
 	PlannerBytes int
 	// CachedPlans counts cached access plans.
 	CachedPlans int
+}
+
+// CacheHotCoverage returns the fraction of the n hottest blocks (by
+// sliding-window access count) currently resident in the decoded-block
+// cache — a direct measure of how well stats-driven admission tracks
+// the statistics service's hot set. Zero when the cache is disabled.
+func (c *Cluster) CacheHotCoverage(n int) float64 {
+	if c.blockCache == nil {
+		return 0
+	}
+	hot := c.co.HottestBlocks(n)
+	if len(hot) == 0 {
+		return 0
+	}
+	resident := 0
+	for _, id := range hot {
+		if c.blockCache.Contains(id) {
+			resident++
+		}
+	}
+	return float64(resident) / float64(len(hot))
 }
 
 // ResourceUsage snapshots control-plane resource consumption.
@@ -91,6 +130,11 @@ func (c *Cluster) result(measure float64) *Result {
 	}
 	if c.fetchTotal > 0 {
 		r.VisitsPerRequest = float64(c.visitsTotal) / float64(c.fetchTotal)
+	}
+	if c.blockCache != nil {
+		r.Cache = c.blockCache.Stats()
+		r.CacheHits = r.Cache.Hits - c.cacheStatsAt.Hits
+		r.CacheMisses = r.Cache.Misses - c.cacheStatsAt.Misses
 	}
 
 	// Per-site measured I/O and the λ imbalance factor (Table II).
@@ -139,9 +183,13 @@ func (r *Result) MeanMillis() model.Breakdown {
 // String renders a one-line summary.
 func (r *Result) String() string {
 	bd := r.MeanMillis()
-	return fmt.Sprintf("%-11s total=%6.2fms meta=%5.2f plan=%5.2f retrieve=%6.2f decode=%5.2f p99=%6.2fms λ=%5.1f visits=%4.1f reqs=%d",
+	s := fmt.Sprintf("%-11s total=%6.2fms meta=%5.2f plan=%5.2f retrieve=%6.2f decode=%5.2f p99=%6.2fms λ=%5.1f visits=%4.1f reqs=%d",
 		r.Config, bd.Total(), bd.Metadata, bd.Planning, bd.Retrieve, bd.Decode,
 		r.Metrics.Percentile(99)*1000, r.Lambda, r.VisitsPerRequest, r.Requests)
+	if r.CacheHits+r.CacheMisses > 0 {
+		s += fmt.Sprintf(" hit=%.0f%%", 100*r.CacheHitRatio())
+	}
+	return s
 }
 
 // SortedSiteRates returns (site, rate) pairs in site order (Figure 4d).

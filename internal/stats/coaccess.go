@@ -263,6 +263,32 @@ func (t *CoAccessTracker) CandidateBlocks(n int, rng *rand.Rand) []model.BlockID
 	return picked
 }
 
+// HottestBlocks returns up to n block ids in descending window access
+// count (ties broken by id so the result is deterministic). The cache
+// ablation uses it to measure how much of the statistics service's hot
+// set the decoded-block cache actually holds.
+func (t *CoAccessTracker) HottestBlocks(n int) []model.BlockID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || len(t.counts) == 0 {
+		return nil
+	}
+	ids := make([]model.BlockID, 0, len(t.counts))
+	for b := range t.counts {
+		ids = append(ids, b)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if t.counts[ids[i]] != t.counts[ids[j]] {
+			return t.counts[ids[i]] > t.counts[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > n {
+		ids = ids[:n]
+	}
+	return ids
+}
+
 // TrackedBlocks returns the number of blocks with live statistics.
 func (t *CoAccessTracker) TrackedBlocks() int {
 	t.mu.Lock()

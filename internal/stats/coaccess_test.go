@@ -211,3 +211,32 @@ func TestRecentCompaction(t *testing.T) {
 		t.Fatal("no candidates after compaction")
 	}
 }
+
+func TestHottestBlocksOrdersByAccessCount(t *testing.T) {
+	tr := NewCoAccessTracker(100)
+	for i := 0; i < 5; i++ {
+		tr.Record(ids("hot"))
+	}
+	for i := 0; i < 3; i++ {
+		tr.Record(ids("warm"))
+	}
+	tr.Record(ids("cold"))
+	tr.Record(ids("chill")) // same count as cold: ties break by id
+
+	got := tr.HottestBlocks(10)
+	want := ids("hot", "warm", "chill", "cold")
+	if len(got) != len(want) {
+		t.Fatalf("HottestBlocks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("HottestBlocks = %v, want %v", got, want)
+		}
+	}
+	if top := tr.HottestBlocks(2); len(top) != 2 || top[0] != "hot" || top[1] != "warm" {
+		t.Fatalf("HottestBlocks(2) = %v", top)
+	}
+	if tr.HottestBlocks(0) != nil {
+		t.Fatal("HottestBlocks(0) should be nil")
+	}
+}

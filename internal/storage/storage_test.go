@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"os"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -141,6 +144,87 @@ func TestDiskStoreBlockIDWithSlash(t *testing.T) {
 	}
 	if string(got) != "z" {
 		t.Fatalf("Get = %q", got)
+	}
+}
+
+func TestDiskStoreConcurrentPutsSameChunk(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent puts of the same ref each stage through a unique temp
+	// file; with a shared .tmp path these used to corrupt each other
+	// (one goroutine renames a half-written file away under another).
+	r := ref("contended", 0)
+	payloads := make([][]byte, 8)
+	var wg sync.WaitGroup
+	for i := range payloads {
+		payloads[i] = bytes.Repeat([]byte{byte('a' + i)}, 4096)
+		wg.Add(1)
+		go func(p []byte) {
+			defer wg.Done()
+			if err := s.Put(r, p); err != nil {
+				t.Error(err)
+			}
+		}(payloads[i])
+	}
+	wg.Wait()
+
+	// Whatever write won, the stored chunk is exactly one complete
+	// payload — never a torn mix.
+	got, err := s.Get(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range payloads {
+		if bytes.Equal(got, p) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stored chunk (%d bytes) matches no complete payload", len(got))
+	}
+
+	// No staging files survive.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if strings.HasSuffix(ent.Name(), ".tmp") {
+			t.Fatalf("leftover staging file %s", ent.Name())
+		}
+	}
+	if n, _ := s.Count(); n != 1 {
+		t.Fatalf("Count = %d, want 1", n)
+	}
+}
+
+func TestDiskStorePutCleansUpTempOnError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove the directory out from under the store so the staged write
+	// fails before the rename.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ref("a", 0), []byte("x")); err == nil {
+		t.Fatal("Put into a removed directory succeeded")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("directory not clean after failed put: %v", entries)
 	}
 }
 

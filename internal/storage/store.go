@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ecstore/internal/model"
 )
@@ -155,13 +156,36 @@ func (s *DiskStore) path(ref model.ChunkRef) string {
 	return filepath.Join(s.dir, name)
 }
 
-// Put implements Store.
+// tmpSeq makes each Put's staging file name unique process-wide.
+var tmpSeq atomic.Uint64
+
+// Put implements Store. Each call stages into its own temp file —
+// concurrent puts of the same chunk must not scribble over a shared
+// staging path — syncs it to stable storage, then renames it into place
+// so readers only ever observe complete chunk contents. The staging
+// file is removed on any error.
 func (s *DiskStore) Put(ref model.ChunkRef, data []byte) error {
-	tmp := s.path(ref) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	tmp := fmt.Sprintf("%s.%d.%d.tmp", s.path(ref), os.Getpid(), tmpSeq.Add(1))
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("write chunk: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("write chunk: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("sync chunk: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("write chunk: %w", err)
 	}
 	if err := os.Rename(tmp, s.path(ref)); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("commit chunk: %w", err)
 	}
 	return nil

@@ -3,13 +3,18 @@
 # (internal/lint: context, locking, goroutine-leak, determinism, error
 # wrapping and metric naming rules), run the quick test suite under the
 # race detector, then smoke-run the fault-tolerance example end to end
-# (degraded reads, repair, recovery). The full suite (go test ./...)
-# additionally runs the paper-scale simulator experiments and takes
-# several minutes.
+# (degraded reads, repair, recovery) and a cache on/off comparison on a
+# zipfian workload, asserting the decoded-block cache actually serves
+# hits. The full suite (go test ./...) additionally runs the paper-scale
+# simulator experiments and takes several minutes.
 set -eux
 cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go run ./cmd/ecstore-lint ./...
 go test -race -short ./...
+go test -race ./internal/cache ./internal/core
 go run ./examples/faulttolerance
+out=$(go run ./cmd/ecbench -cache-bytes $((32 << 20)) -scale quick)
+echo "$out"
+echo "$out" | grep -Eq 'hits=[1-9]'
