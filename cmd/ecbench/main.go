@@ -11,7 +11,8 @@
 //
 // Experiment ids follow the paper: fig1, fig4a ... fig4h, tab2, tab3,
 // plus the ablations ab-delta, ab-k, ab-w2, ab-mrate, ab-plan, ab-size,
-// ab-cache.
+// ab-cache, ab-codec (the last measures the real codec's wall-clock
+// throughput, kernel vs scalar, rather than the simulator).
 package main
 
 import (
@@ -98,6 +99,10 @@ func runners() map[string]runner {
 		},
 		"ab-cache": func(sc bench.Scale) (*bench.Report, error) {
 			r, _, err := bench.AblationCache(sc)
+			return r, err
+		},
+		"ab-codec": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.AblationCodec(sc)
 			return r, err
 		},
 	}

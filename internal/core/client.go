@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ecstore/internal/cache"
@@ -31,6 +32,7 @@ import (
 	"ecstore/internal/placement"
 	"ecstore/internal/stats"
 	"ecstore/internal/storage"
+	"ecstore/internal/wire"
 )
 
 // Errors returned by the client.
@@ -116,6 +118,11 @@ type Config struct {
 	// (e.g. 0.95 hedges reads slower than the p95 fetch) once enough
 	// requests have been recorded. Requires metrics to be attached.
 	HedgeQuantile float64
+	// PutFanout bounds how many chunk stores one Put issues concurrently,
+	// so a burst of writes cannot spawn an unbounded goroutine swarm
+	// (k+r goroutines per in-flight Put). Zero means min(k+r, 8);
+	// negative means fully parallel (the historical behaviour).
+	PutFanout int
 
 	// CacheBytes enables the decoded-block cache tier with this byte
 	// budget: hot blocks are kept fully decoded and served without any
@@ -154,6 +161,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeTimeout <= 0 {
 		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.PutFanout == 0 {
+		c.PutFanout = 8
 	}
 	c.Retry = c.Retry.withDefaults()
 	return c
@@ -243,6 +253,25 @@ func newClientObs(reg *obs.Registry) clientObs {
 	}
 }
 
+// newCodecMetrics builds the codec's instrument set and points the wire
+// encoder pool's miss hook at the shared buffer_pool_miss_total counter,
+// so one metric covers both data-path pools. The hook is process-global;
+// with several registries the most recent client's counter wins, which
+// is fine for the single-registry deployments the harness runs. A nil
+// registry yields nil, disabling codec instrumentation.
+func newCodecMetrics(reg *obs.Registry) *erasure.Metrics {
+	if reg == nil {
+		return nil
+	}
+	miss := reg.Counter("buffer_pool_miss_total", "data-path buffer pool misses (chunk backing + wire encoders)")
+	wire.SetPoolMiss(func() { miss.Add(1) })
+	return &erasure.Metrics{
+		EncodeBytes: reg.Counter("codec_encode_bytes_total", "block bytes erasure-encoded"),
+		DecodeBytes: reg.Counter("codec_decode_bytes_total", "block bytes erasure-decoded"),
+		PoolMisses:  miss,
+	}
+}
+
 // AccessSink receives sampled multi-block requests, e.g. a remote
 // statistics service in a distributed deployment.
 type AccessSink interface {
@@ -286,7 +315,9 @@ func NewClient(cfg Config, deps Deps) (*Client, error) {
 	var codec *erasure.Codec
 	if cfg.Scheme == model.SchemeErasure {
 		var err error
-		codec, err = erasure.NewCodec(cfg.K, cfg.R)
+		codec, err = erasure.NewCodecWith(cfg.K, cfg.R, erasure.Options{
+			Metrics: newCodecMetrics(deps.Metrics),
+		})
 		if err != nil {
 			return nil, fmt.Errorf("build codec: %w", err)
 		}
@@ -441,6 +472,7 @@ func (c *Client) PutContext(ctx context.Context, id model.BlockID, data []byte) 
 
 	var chunks [][]byte
 	var chunkSize int64
+	var stripe *erasure.Stripe
 	if c.cfg.Scheme == model.SchemeReplicated {
 		chunks = make([][]byte, c.cfg.R+1)
 		for i := range chunks {
@@ -448,31 +480,56 @@ func (c *Client) PutContext(ctx context.Context, id model.BlockID, data []byte) 
 		}
 		chunkSize = int64(len(data))
 	} else {
-		chunks, err = c.codec.Encode(data)
+		// EncodePooled avoids copying the data path: full data chunks
+		// alias data, and padding + parity live in one pooled backing
+		// released below. Safe because every consumer copies on ingest:
+		// the local Service's store copies on Put, and the RPC client
+		// finishes writing the chunk to the socket before returning.
+		stripe, err = c.codec.EncodePooled(data)
 		if err != nil {
 			return fmt.Errorf("encode %s: %w", id, err)
 		}
+		chunks = stripe.Chunks()
 		chunkSize = int64(len(chunks[0]))
 	}
 
-	// Store chunks in parallel.
-	var wg sync.WaitGroup
+	// Store chunks with bounded fan-out: at most cfg.PutFanout workers
+	// drain the chunk list, so concurrent Puts cannot multiply into an
+	// unbounded goroutine swarm while one slow site backs writes up.
 	errs := make([]error, len(chunks))
-	for i := range chunks {
+	workers := c.cfg.PutFanout
+	if workers < 0 || workers > len(chunks) {
+		workers = len(chunks)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			site := c.sites[chosen[i]]
-			if site == nil {
-				errs[i] = fmt.Errorf("%w: site %d", ErrNoSites, chosen[i])
-				return
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(chunks) {
+					return
+				}
+				site := c.sites[chosen[i]]
+				if site == nil {
+					errs[i] = fmt.Errorf("%w: site %d", ErrNoSites, chosen[i])
+					continue
+				}
+				cctx, ccancel := c.chunkCtx(ctx)
+				errs[i] = site.PutChunk(cctx, model.ChunkRef{Block: id, Chunk: i}, chunks[i])
+				ccancel()
 			}
-			cctx, ccancel := c.chunkCtx(ctx)
-			defer ccancel()
-			errs[i] = site.PutChunk(cctx, model.ChunkRef{Block: id, Chunk: i}, chunks[i])
-		}(i)
+		}()
 	}
 	wg.Wait()
+	// Every site has ingested (or failed) its chunk; recycle the pooled
+	// stripe before the slower metadata and rollback steps.
+	if stripe != nil {
+		stripe.Release()
+		chunks = nil
+	}
 	for i, err := range errs {
 		if err != nil {
 			c.cleanupChunks(ctx, id, chosen, errs)

@@ -16,6 +16,8 @@ package erasure
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"ecstore/internal/gf256"
 	"ecstore/internal/matrix"
@@ -34,19 +36,55 @@ var (
 // must be distinct elements of GF(2^8).
 const MaxTotalChunks = 256
 
-// Codec encodes and decodes blocks with a fixed RS(k, r) scheme. It is
-// immutable after construction and safe for concurrent use.
+// Codec encodes and decodes blocks with a fixed RS(k, r) scheme. Its
+// configuration is immutable after construction and all methods are safe
+// for concurrent use (the decode-matrix cache is internally locked).
 type Codec struct {
 	k int
 	r int
 	// encode is the full (k+r) x k systematic generator matrix.
 	encode *matrix.Matrix
+
+	// workers and stripeMin are the resolved stripe-sharding settings.
+	workers   int
+	stripeMin int
+	metrics   *Metrics
+
+	// decCache memoizes inverted decode matrices keyed by the bitmask of
+	// the chosen chunk ids, so steady-state degraded reads skip the
+	// Gaussian elimination entirely. Only populated when k+r <= 64.
+	decMu    sync.RWMutex
+	decCache map[uint64]*matrix.Matrix
 }
 
-// NewCodec constructs a systematic RS(k, r) codec. k must be at least 2 (a
-// single data chunk is replication, which the paper treats separately) and
-// r at least 1.
+// Options tune a Codec's data path. The zero value picks defaults.
+type Options struct {
+	// StripeThreshold is the chunk size in bytes at or above which
+	// encode and decode shard the stripe across goroutines. 0 means
+	// DefaultStripeThreshold; negative disables sharding.
+	StripeThreshold int
+	// Workers caps the goroutines per sharded call. 0 means GOMAXPROCS,
+	// at most 8. Sharding only happens when Workers resolves above 1.
+	Workers int
+	// Metrics, when non-nil, receives throughput and pool counters.
+	Metrics *Metrics
+}
+
+// DefaultStripeThreshold is the chunk size at which splitting the
+// stripe across cores starts to beat single-threaded kernel throughput
+// (below it, goroutine handoff costs more than the memory pass saves).
+const DefaultStripeThreshold = 128 << 10
+
+// NewCodec constructs a systematic RS(k, r) codec with default Options.
+// k must be at least 2 (a single data chunk is replication, which the
+// paper treats separately) and r at least 1.
 func NewCodec(k, r int) (*Codec, error) {
+	return NewCodecWith(k, r, Options{})
+}
+
+// NewCodecWith constructs a systematic RS(k, r) codec with explicit
+// data-path options.
+func NewCodecWith(k, r int, opts Options) (*Codec, error) {
 	if k < 2 || r < 1 || k+r > MaxTotalChunks {
 		return nil, fmt.Errorf("%w: k=%d r=%d", ErrInvalidParams, k, r)
 	}
@@ -63,7 +101,23 @@ func NewCodec(k, r int) (*Codec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("build generator: %w", err)
 	}
-	return &Codec{k: k, r: r, encode: enc}, nil
+	c := &Codec{k: k, r: r, encode: enc, metrics: opts.Metrics}
+	switch {
+	case opts.StripeThreshold < 0:
+		c.stripeMin = int(^uint(0) >> 1)
+	case opts.StripeThreshold == 0:
+		c.stripeMin = DefaultStripeThreshold
+	default:
+		c.stripeMin = opts.StripeThreshold
+	}
+	c.workers = opts.Workers
+	if c.workers == 0 {
+		c.workers = runtime.GOMAXPROCS(0)
+		if c.workers > 8 {
+			c.workers = 8
+		}
+	}
+	return c, nil
 }
 
 // K returns the number of data chunks.
@@ -76,8 +130,14 @@ func (c *Codec) R() int { return c.r }
 func (c *Codec) TotalChunks() int { return c.k + c.r }
 
 // ChunkSize returns the per-chunk size for a block of blockLen bytes:
-// ceil(blockLen / k).
+// ceil(blockLen / k), minimum 1. An empty block still stores one zero
+// byte per chunk (Split pads every chunk to this size), so the size
+// registered in block metadata — which feeds the cost model's m_j·z_i
+// term — always equals the bytes actually stored.
 func (c *Codec) ChunkSize(blockLen int) int {
+	if blockLen == 0 {
+		return 1
+	}
 	return (blockLen + c.k - 1) / c.k
 }
 
@@ -90,9 +150,6 @@ func (c *Codec) StorageOverhead() float64 {
 // the final chunk. The returned chunks do not alias data.
 func (c *Codec) Split(data []byte) [][]byte {
 	size := c.ChunkSize(len(data))
-	if size == 0 {
-		size = 1 // encode empty blocks as a single zero byte per chunk
-	}
 	chunks := make([][]byte, c.k)
 	for i := range chunks {
 		chunks[i] = make([]byte, size)
@@ -130,19 +187,22 @@ func (c *Codec) Join(chunks [][]byte, blockLen int) ([]byte, error) {
 
 // Encode splits a block into k data chunks and computes its r parity
 // chunks, returning all k+r chunks indexed by chunk id: ids [0, k) are data
-// chunks, ids [k, k+r) are parity chunks.
+// chunks, ids [k, k+r) are parity chunks. The returned chunks are freshly
+// allocated and do not alias data; the hot path uses EncodePooled, which
+// avoids the copies.
 func (c *Codec) Encode(data []byte) ([][]byte, error) {
-	dataChunks := c.Split(data)
-	size := len(dataChunks[0])
+	st, err := c.EncodePooled(data)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Release()
+	size := len(st.chunks[0])
+	backing := make([]byte, (c.k+c.r)*size)
 	chunks := make([][]byte, c.k+c.r)
-	copy(chunks, dataChunks)
-	for p := 0; p < c.r; p++ {
-		parity := make([]byte, size)
-		row := c.encode.Row(c.k + p)
-		for j := 0; j < c.k; j++ {
-			gf256.MulAddSlice(row[j], dataChunks[j], parity)
-		}
-		chunks[c.k+p] = parity
+	for i, ch := range st.chunks {
+		out := backing[i*size : (i+1)*size : (i+1)*size]
+		copy(out, ch)
+		chunks[i] = out
 	}
 	return chunks, nil
 }
@@ -153,15 +213,113 @@ func (c *Codec) Encode(data []byte) ([][]byte, error) {
 // (lowest chunk ids are preferred, so all-data-chunk decodes skip matrix
 // work entirely).
 func (c *Codec) Decode(available map[int][]byte, blockLen int) ([]byte, error) {
-	dataChunks, err := c.reconstructData(available)
-	if err != nil {
+	dst := make([]byte, blockLen)
+	if err := c.DecodeInto(dst, available); err != nil {
 		return nil, err
 	}
-	return c.Join(dataChunks, blockLen)
+	return dst, nil
+}
+
+// decodeScratch carries the per-call id workspaces of DecodeInto and
+// ReconstructChunk. Pooled (codecs are shared across goroutines) so the
+// steady state allocates nothing; the slices sub-slice arr and never
+// outlive the call.
+type decodeScratch struct {
+	ids     []int
+	missing []int
+	arr     [2 * MaxTotalChunks]int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(decodeScratch) }}
+
+func getScratch() *decodeScratch {
+	sc := scratchPool.Get().(*decodeScratch)
+	sc.ids = sc.arr[:0:MaxTotalChunks]
+	sc.missing = sc.arr[MaxTotalChunks:MaxTotalChunks]
+	return sc
+}
+
+// mulLine computes out = sum_j row[j] * available[ids[j]] restricted to
+// out's length, sharding across goroutines when the line is long enough.
+// The inline path must stay closure-free: a closure would pin the
+// caller's scratch to the heap and cost an allocation per call.
+func (c *Codec) mulLine(row []byte, ids []int, available map[int][]byte, out []byte) {
+	if len(out) < c.stripeMin || c.workers <= 1 {
+		gf256.MulSlice(row[0], available[ids[0]][:len(out)], out)
+		for j := 1; j < len(ids); j++ {
+			gf256.MulAddSlice(row[j], available[ids[j]][:len(out)], out)
+		}
+		return
+	}
+	c.shardRange(len(out), func(lo, hi int) {
+		gf256.MulSlice(row[0], available[ids[0]][lo:hi], out[lo:hi])
+		for j := 1; j < len(ids); j++ {
+			gf256.MulAddSlice(row[j], available[ids[j]][lo:hi], out[lo:hi])
+		}
+	})
+}
+
+// DecodeInto reconstructs the block of len(dst) bytes directly into dst.
+// Present data chunks are copied straight to their offsets and only the
+// missing ones are rebuilt through the (cached) inverted decode matrix,
+// so a healthy read is one memcpy and a single-chunk-degraded read is k
+// kernel passes over one chunk. dst must not alias any available chunk.
+func (c *Codec) DecodeInto(dst []byte, available map[int][]byte) error {
+	sc := getScratch()
+	defer scratchPool.Put(sc)
+	ids := c.pickChunksInto(sc.ids, available)
+	if len(ids) < c.k {
+		return fmt.Errorf("%w: have %d, need %d", ErrNotEnoughChunks, len(ids), c.k)
+	}
+	size := len(available[ids[0]])
+	for _, id := range ids {
+		if len(available[id]) != size {
+			return fmt.Errorf("%w: chunk %d has %d bytes, want %d", ErrChunkSizeMismatch, id, len(available[id]), size)
+		}
+	}
+	if len(dst) > c.k*size {
+		return fmt.Errorf("%w: %d-byte chunks join to %d bytes, block needs %d", ErrChunkSizeMismatch, size, c.k*size, len(dst))
+	}
+
+	missing := sc.missing
+	for i := 0; i < c.k; i++ {
+		lo := i * size
+		if lo >= len(dst) {
+			break
+		}
+		hi := lo + size
+		if hi > len(dst) {
+			hi = len(dst)
+		}
+		if chunk, ok := available[i]; ok && chunk != nil {
+			copy(dst[lo:hi], chunk)
+		} else {
+			missing = append(missing, i)
+		}
+	}
+
+	if len(missing) > 0 {
+		dec, err := c.decodeMatrix(ids)
+		if err != nil {
+			return err
+		}
+		for _, i := range missing {
+			lo := i * size
+			hi := lo + size
+			if hi > len(dst) {
+				hi = len(dst)
+			}
+			c.mulLine(dec.Row(i), ids, available, dst[lo:hi])
+		}
+	}
+	c.metrics.decoded(len(dst))
+	return nil
 }
 
 // ReconstructChunk recomputes the single chunk with the given id from any k
-// available chunks, as done by the repair service after a site failure.
+// available chunks, as done by the repair service after a site failure. The
+// target row is composed against the inverted decode matrix, so rebuilding
+// one chunk costs k kernel passes regardless of which chunks survive.
 func (c *Codec) ReconstructChunk(available map[int][]byte, id int) ([]byte, error) {
 	if id < 0 || id >= c.k+c.r {
 		return nil, fmt.Errorf("%w: chunk id %d out of range [0,%d)", ErrInvalidParams, id, c.k+c.r)
@@ -171,51 +329,64 @@ func (c *Codec) ReconstructChunk(available map[int][]byte, id int) ([]byte, erro
 		copy(out, chunk)
 		return out, nil
 	}
-	dataChunks, err := c.reconstructData(available)
-	if err != nil {
-		return nil, err
-	}
-	if id < c.k {
-		return dataChunks[id], nil
-	}
-	parity := make([]byte, len(dataChunks[0]))
-	row := c.encode.Row(id)
-	for j := 0; j < c.k; j++ {
-		gf256.MulAddSlice(row[j], dataChunks[j], parity)
-	}
-	return parity, nil
-}
-
-// reconstructData returns the k data chunks, decoding through the inverted
-// generator sub-matrix when any data chunk is missing.
-func (c *Codec) reconstructData(available map[int][]byte) ([][]byte, error) {
-	ids := c.pickChunks(available)
+	sc := getScratch()
+	defer scratchPool.Put(sc)
+	ids := c.pickChunksInto(sc.ids, available)
 	if len(ids) < c.k {
 		return nil, fmt.Errorf("%w: have %d, need %d", ErrNotEnoughChunks, len(ids), c.k)
 	}
 	size := len(available[ids[0]])
-	for _, id := range ids {
-		if len(available[id]) != size {
-			return nil, fmt.Errorf("%w: chunk %d has %d bytes, want %d", ErrChunkSizeMismatch, id, len(available[id]), size)
+	for _, cid := range ids {
+		if len(available[cid]) != size {
+			return nil, fmt.Errorf("%w: chunk %d has %d bytes, want %d", ErrChunkSizeMismatch, cid, len(available[cid]), size)
+		}
+	}
+	dec, err := c.decodeMatrix(ids)
+	if err != nil {
+		return nil, err
+	}
+
+	// vec[j] is the coefficient of available chunk ids[j] in the target
+	// chunk: row id of the generator composed with the decode matrix.
+	// Data rows of the systematic generator are unit vectors, so for
+	// id < k the composition collapses to dec's row id.
+	var vec []byte
+	if id < c.k {
+		vec = dec.Row(id)
+	} else {
+		vec = make([]byte, c.k)
+		enc := c.encode.Row(id)
+		for j := 0; j < c.k; j++ {
+			var v byte
+			for t := 0; t < c.k; t++ {
+				v ^= gf256.Mul(enc[t], dec.Row(t)[j])
+			}
+			vec[j] = v
 		}
 	}
 
-	allData := true
-	for i, id := range ids {
-		if id != i {
-			allData = false
-			break
-		}
-	}
-	if allData {
-		out := make([][]byte, c.k)
-		for i := 0; i < c.k; i++ {
-			out[i] = make([]byte, size)
-			copy(out[i], available[i])
-		}
-		return out, nil
-	}
+	out := make([]byte, size)
+	c.mulLine(vec, ids, available, out)
+	return out, nil
+}
 
+// decodeMatrix returns the inverse of the generator rows selected by
+// ids, memoized by the id bitmask. ids must hold exactly k in-range,
+// strictly ascending chunk ids.
+func (c *Codec) decodeMatrix(ids []int) (*matrix.Matrix, error) {
+	var key uint64
+	cacheable := c.k+c.r <= 64
+	if cacheable {
+		for _, id := range ids {
+			key |= 1 << uint(id)
+		}
+		c.decMu.RLock()
+		dec := c.decCache[key]
+		c.decMu.RUnlock()
+		if dec != nil {
+			return dec, nil
+		}
+	}
 	sub, err := c.encode.SelectRows(ids)
 	if err != nil {
 		return nil, fmt.Errorf("select generator rows: %w", err)
@@ -226,21 +397,29 @@ func (c *Codec) reconstructData(available map[int][]byte) ([][]byte, error) {
 		// rather than panic so a corrupted codec fails loudly upstream.
 		return nil, fmt.Errorf("invert decode matrix: %w", err)
 	}
-	out := make([][]byte, c.k)
-	for i := 0; i < c.k; i++ {
-		out[i] = make([]byte, size)
-		row := dec.Row(i)
-		for j, id := range ids {
-			gf256.MulAddSlice(row[j], available[id], out[i])
+	if cacheable {
+		c.decMu.Lock()
+		if c.decCache == nil {
+			c.decCache = make(map[uint64]*matrix.Matrix)
 		}
+		if len(c.decCache) >= maxDecCacheEntries {
+			clear(c.decCache)
+		}
+		c.decCache[key] = dec
+		c.decMu.Unlock()
 	}
-	return out, nil
+	return dec, nil
 }
 
-// pickChunks returns up to k available chunk ids in ascending order,
-// preferring data chunks (lower ids) to minimize decode work.
-func (c *Codec) pickChunks(available map[int][]byte) []int {
-	ids := make([]int, 0, c.k)
+// maxDecCacheEntries bounds the decode-matrix cache; C(k+r, k) can be
+// astronomically larger than the handful of failure patterns a real
+// deployment cycles through, so the cache just resets if it fills.
+const maxDecCacheEntries = 1024
+
+// pickChunksInto appends up to k available chunk ids to ids in ascending
+// order, preferring data chunks (lower ids) to minimize decode work. The
+// caller provides the backing slice so the hot path stays allocation-free.
+func (c *Codec) pickChunksInto(ids []int, available map[int][]byte) []int {
 	for id := 0; id < c.k+c.r && len(ids) < c.k; id++ {
 		if chunk, ok := available[id]; ok && chunk != nil {
 			ids = append(ids, id)

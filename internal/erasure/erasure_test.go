@@ -209,7 +209,9 @@ func TestChunkSize(t *testing.T) {
 	cases := []struct {
 		blockLen, want int
 	}{
-		{0, 0},
+		// Empty blocks still store one zero byte per chunk, matching
+		// Split's padding, so metadata and stored bytes agree.
+		{0, 1},
 		{1, 1},
 		{4, 1},
 		{5, 2},

@@ -1,0 +1,83 @@
+package erasure
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Chunk-buffer pooling for the encode/decode hot path. Buffers live in
+// power-of-two size classes; a request takes the smallest class that
+// fits (fit-or-alloc: an empty class allocates and counts a pool miss).
+// The pool stores *[]byte boxes and callers keep the box until release,
+// so the steady state recycles both the backing array and its box and
+// an encode/decode cycle performs zero per-call chunk allocations.
+//
+// Ownership rule: a buffer obtained from getBuf is exclusively owned
+// until putBuf; after putBuf any slice into it may be overwritten by an
+// unrelated caller. Stripe.Release is the only putBuf caller on the
+// codec path, and core hands chunk data to sites and the cache strictly
+// before releasing (both copy on ingest, so nothing aliases a pooled
+// buffer after release).
+
+const (
+	// minPoolClass..maxPoolClass bound the pooled size classes: 512 B
+	// (below which allocation is cheaper than pooling) to 64 MiB (the
+	// wire layer's MaxFrameSize; larger blocks alloc directly).
+	minPoolClass = 9
+	maxPoolClass = 26
+)
+
+var bufPools [maxPoolClass + 1]sync.Pool
+
+// poolClass returns the smallest class whose buffers hold n bytes.
+func poolClass(n int) int {
+	cls := bits.Len(uint(n - 1))
+	if cls < minPoolClass {
+		cls = minPoolClass
+	}
+	return cls
+}
+
+// getBuf returns a length-n buffer with at least class capacity. The
+// contents are stale pool data; callers overwrite or clear every byte
+// they expose. m counts misses and may be nil.
+func getBuf(n int, m *Metrics) *[]byte {
+	if n <= 0 {
+		b := []byte(nil)
+		return &b
+	}
+	cls := poolClass(n)
+	if cls <= maxPoolClass {
+		if v := bufPools[cls].Get(); v != nil {
+			pb := v.(*[]byte)
+			*pb = (*pb)[:n]
+			return pb
+		}
+	}
+	m.poolMiss()
+	size := n
+	if cls <= maxPoolClass {
+		size = 1 << cls
+	}
+	b := make([]byte, size)[:n]
+	return &b
+}
+
+// putBuf returns a buffer to its size class. Buffers that did not come
+// from the pool (capacity not an in-range power of two) are dropped for
+// the garbage collector.
+func putBuf(pb *[]byte) {
+	if pb == nil {
+		return
+	}
+	c := cap(*pb)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	cls := bits.Len(uint(c - 1))
+	if cls < minPoolClass || cls > maxPoolClass {
+		return
+	}
+	*pb = (*pb)[:c]
+	bufPools[cls].Put(pb)
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package erasure
+
+// raceEnabled reports whether the race detector is on; allocation
+// assertions are skipped under -race because sync.Pool intentionally
+// degrades there.
+const raceEnabled = false

@@ -8,6 +8,8 @@
 // table lookups and XORs.
 package gf256
 
+import "encoding/binary"
+
 // Polynomial is the primitive polynomial used to construct GF(2^8),
 // expressed with the implicit x^8 term included (0x11D).
 const Polynomial = 0x11D
@@ -27,6 +29,14 @@ type tables struct {
 	mul []byte
 	// inv holds multiplicative inverses; inv[0] is 0 as a sentinel.
 	inv [Order]byte
+	// nibLo and nibHi are the 4-bit nibble-split product tables:
+	// nibLo[c][x] = c*x for x in [0,16) and nibHi[c][x] = c*(x<<4), so a
+	// byte product decomposes as c*b = nibLo[c][b&15] ^ nibHi[c][b>>4].
+	// 32 bytes of table state per coefficient is what lets a vector
+	// shuffle (or a pair of word-wide table walks) process many bytes per
+	// step instead of one lookup per byte.
+	nibLo [Order][16]byte
+	nibHi [Order][16]byte
 }
 
 // _tables is computed once at package load. The computation is pure and
@@ -57,6 +67,13 @@ func buildTables() *tables {
 	}
 	for a := 1; a < Order; a++ {
 		t.inv[a] = t.exp[(Order-1)-int(t.log[a])]
+	}
+	for c := 1; c < Order; c++ {
+		row := t.mul[c*Order:]
+		for x := 0; x < 16; x++ {
+			t.nibLo[c][x] = row[x]
+			t.nibHi[c][x] = row[x<<4]
+		}
 	}
 	return t
 }
@@ -114,30 +131,28 @@ func Pow(a byte, n int) byte {
 
 // MulSlice computes dst[i] = c*src[i] for all i. dst and src must have the
 // same length; the function panics otherwise, as mismatched shard lengths
-// indicate a programming error in the codec layer.
+// indicate a programming error in the codec layer. The bulk of the slice
+// goes through the platform wide kernel (see Kernel); the scalar loop
+// covers the tail.
 func MulSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf256: MulSlice length mismatch")
 	}
 	if c == 0 {
-		for i := range dst {
-			dst[i] = 0
-		}
+		clear(dst)
 		return
 	}
 	if c == 1 {
 		copy(dst, src)
 		return
 	}
-	row := _tables.mul[int(c)*Order : int(c)*Order+Order]
-	for i, s := range src {
-		dst[i] = row[s]
-	}
+	n := mulKernel(c, src, dst)
+	mulSliceScalar(c, src[n:], dst[n:])
 }
 
 // MulAddSlice computes dst[i] ^= c*src[i] for all i, the fused
 // multiply-accumulate at the heart of Reed-Solomon encoding. dst and src
-// must have the same length.
+// must have the same length. Dispatches like MulSlice.
 func MulAddSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf256: MulAddSlice length mismatch")
@@ -146,15 +161,11 @@ func MulAddSlice(c byte, src, dst []byte) {
 		return
 	}
 	if c == 1 {
-		for i, s := range src {
-			dst[i] ^= s
-		}
+		xorSlice(src, dst)
 		return
 	}
-	row := _tables.mul[int(c)*Order : int(c)*Order+Order]
-	for i, s := range src {
-		dst[i] ^= row[s]
-	}
+	n := mulAddKernel(c, src, dst)
+	mulAddSliceScalar(c, src[n:], dst[n:])
 }
 
 // AddSlice computes dst[i] ^= src[i] for all i.
@@ -162,7 +173,38 @@ func AddSlice(src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf256: AddSlice length mismatch")
 	}
+	xorSlice(src, dst)
+}
+
+// mulSliceScalar is the byte-at-a-time reference loop over the full
+// multiplication row. It is total over all coefficients (including 0 and
+// 1), which makes it the correctness oracle the wide kernels are pinned
+// against, and it handles the sub-lane tails the vector units leave.
+func mulSliceScalar(c byte, src, dst []byte) {
+	row := _tables.mul[int(c)*Order : int(c)*Order+Order]
 	for i, s := range src {
-		dst[i] ^= s
+		dst[i] = row[s]
+	}
+}
+
+// mulAddSliceScalar is the fused-accumulate counterpart of
+// mulSliceScalar.
+func mulAddSliceScalar(c byte, src, dst []byte) {
+	row := _tables.mul[int(c)*Order : int(c)*Order+Order]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// xorSlice XORs src into dst eight bytes per iteration via uint64 loads
+// and stores, with a scalar tail for the last len%8 bytes.
+func xorSlice(src, dst []byte) {
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		v := binary.LittleEndian.Uint64(src[i:]) ^ binary.LittleEndian.Uint64(dst[i:])
+		binary.LittleEndian.PutUint64(dst[i:], v)
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= src[i]
 	}
 }

@@ -1,0 +1,93 @@
+package gf256
+
+import "sync/atomic"
+
+// On amd64 the wide kernel is the AVX2 nibble-shuffle path: each
+// coefficient's 16-byte low/high nibble tables are broadcast into YMM
+// registers and VPSHUFB performs 32 table lookups per instruction. The
+// kernel requires AVX2 plus OS support for saving YMM state, detected
+// once at init via CPUID/XGETBV; without it the scalar row loop runs
+// (it beats the uint64 bit-plane kernel on x86, where the 256-byte
+// multiplication row stays L1-resident).
+
+// accelOn gates the vector kernels. Atomic so tests and benchmarks can
+// flip it while other goroutines encode.
+var accelOn atomic.Bool
+
+func init() { accelOn.Store(detectAVX2()) }
+
+// SetAccel enables or disables the platform wide kernel and returns the
+// previous setting. Enabling is a no-op on hardware without the kernel's
+// CPU features. Intended for tests and benchmarks that need the scalar
+// oracle on the full slice.
+func SetAccel(on bool) bool {
+	prev := accelOn.Load()
+	if on {
+		on = detectAVX2()
+	}
+	accelOn.Store(on)
+	return prev
+}
+
+// Kernel reports which wide kernel MulSlice and MulAddSlice currently
+// dispatch to: "avx2" or "scalar".
+func Kernel() string {
+	if accelOn.Load() {
+		return "avx2"
+	}
+	return "scalar"
+}
+
+// mulKernel applies dst[i] = c*src[i] to the largest 32-byte-aligned
+// prefix the vector unit can take and returns its length; 0 means the
+// caller's scalar loop handles everything. c must be >= 2.
+func mulKernel(c byte, src, dst []byte) int {
+	n := len(src) &^ 31
+	if n == 0 || !accelOn.Load() {
+		return 0
+	}
+	gfMulVecAVX2(&_tables.nibLo[c], &_tables.nibHi[c], &src[0], &dst[0], n)
+	return n
+}
+
+// mulAddKernel is the fused-accumulate counterpart of mulKernel.
+func mulAddKernel(c byte, src, dst []byte) int {
+	n := len(src) &^ 31
+	if n == 0 || !accelOn.Load() {
+		return 0
+	}
+	gfMulAddVecAVX2(&_tables.nibLo[c], &_tables.nibHi[c], &src[0], &dst[0], n)
+	return n
+}
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	_, _, c, _ := cpuidAsm(1, 0)
+	if c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1 and 2: the OS saves XMM and YMM state on context switch.
+	xa, _ := xgetbvAsm()
+	if xa&0x6 != 0x6 {
+		return false
+	}
+	_, b, _, _ := cpuidAsm(7, 0)
+	return b&(1<<5) != 0 // AVX2
+}
+
+// Implemented in kernel_amd64.s. n must be a positive multiple of 32.
+
+//go:noescape
+func gfMulVecAVX2(lo, hi *[16]byte, src, dst *byte, n int)
+
+//go:noescape
+func gfMulAddVecAVX2(lo, hi *[16]byte, src, dst *byte, n int)
+
+func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbvAsm() (eax, edx uint32)

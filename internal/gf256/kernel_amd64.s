@@ -1,0 +1,90 @@
+// AVX2 nibble-split GF(2^8) multiply kernels.
+//
+// Each coefficient c has two 16-byte tables: lo[x] = c*x and
+// hi[x] = c*(x<<4), so a byte product is lo[b&15] ^ hi[b>>4]. Both
+// tables are broadcast into the two 128-bit lanes of a YMM register and
+// VPSHUFB then performs 32 independent 4-bit table lookups per
+// instruction. The Go callers guarantee n is a positive multiple of 32;
+// tails run through the scalar loop.
+
+#include "textflag.h"
+
+DATA nibbleMask<>+0x00(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+0x08(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibbleMask<>(SB), RODATA|NOPTR, $16
+
+// func gfMulVecAVX2(lo, hi *[16]byte, src, dst *byte, n int)
+// dst[i] = c*src[i] for i in [0, n).
+TEXT ·gfMulVecAVX2(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ src+16(FP), SI
+	MOVQ dst+24(FP), DI
+	MOVQ n+32(FP), CX
+	VBROADCASTI128 (AX), Y0
+	VBROADCASTI128 (BX), Y1
+	VBROADCASTI128 nibbleMask<>(SB), Y2
+
+mulLoop:
+	VMOVDQU (SI), Y3
+	VPSRLQ  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y3
+	VPSHUFB Y4, Y1, Y4
+	VPXOR   Y3, Y4, Y3
+	VMOVDQU Y3, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     mulLoop
+	VZEROUPPER
+	RET
+
+// func gfMulAddVecAVX2(lo, hi *[16]byte, src, dst *byte, n int)
+// dst[i] ^= c*src[i] for i in [0, n).
+TEXT ·gfMulAddVecAVX2(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ src+16(FP), SI
+	MOVQ dst+24(FP), DI
+	MOVQ n+32(FP), CX
+	VBROADCASTI128 (AX), Y0
+	VBROADCASTI128 (BX), Y1
+	VBROADCASTI128 nibbleMask<>(SB), Y2
+
+mulAddLoop:
+	VMOVDQU (SI), Y3
+	VPSRLQ  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y3
+	VPSHUFB Y4, Y1, Y4
+	VPXOR   Y3, Y4, Y3
+	VPXOR   (DI), Y3, Y3
+	VMOVDQU Y3, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     mulAddLoop
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,50 @@
+//go:build !amd64
+
+package gf256
+
+import "sync/atomic"
+
+// Platforms without assembly kernels use the portable uint64 bit-plane
+// kernels from wide.go: 8 bytes per iteration, no per-byte lookups.
+
+// accelOn gates the wide kernels. Atomic so tests and benchmarks can
+// flip it while other goroutines encode.
+var accelOn atomic.Bool
+
+func init() { accelOn.Store(true) }
+
+// SetAccel enables or disables the wide kernel and returns the previous
+// setting. Intended for tests and benchmarks that need the scalar
+// oracle on the full slice.
+func SetAccel(on bool) bool {
+	prev := accelOn.Load()
+	accelOn.Store(on)
+	return prev
+}
+
+// Kernel reports which wide kernel MulSlice and MulAddSlice currently
+// dispatch to: "wide64" or "scalar".
+func Kernel() string {
+	if accelOn.Load() {
+		return "wide64"
+	}
+	return "scalar"
+}
+
+// mulKernel applies dst[i] = c*src[i] to the largest 8-byte-aligned
+// prefix and returns its length; the caller's scalar loop finishes the
+// tail. c must be >= 2.
+func mulKernel(c byte, src, dst []byte) int {
+	if !accelOn.Load() {
+		return 0
+	}
+	return mulWide64(c, src, dst)
+}
+
+// mulAddKernel is the fused-accumulate counterpart of mulKernel.
+func mulAddKernel(c byte, src, dst []byte) int {
+	if !accelOn.Load() {
+		return 0
+	}
+	return mulAddWide64(c, src, dst)
+}

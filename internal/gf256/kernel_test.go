@@ -1,0 +1,151 @@
+package gf256
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// kernelLengths covers every length the ISSUE's differential test pins
+// (1..17, all odd and even sub-lane sizes) plus the lane boundaries of
+// the 8-byte word kernel and the 32-byte vector kernel.
+func kernelLengths() []int {
+	ls := []int{0}
+	for n := 1; n <= 17; n++ {
+		ls = append(ls, n)
+	}
+	return append(ls, 24, 31, 32, 33, 48, 63, 64, 65, 100, 255, 256, 257, 1024, 1031, 4096)
+}
+
+func randomPair(rng *rand.Rand, n int) (src, dst []byte) {
+	src = make([]byte, n)
+	dst = make([]byte, n)
+	rng.Read(src)
+	rng.Read(dst)
+	return src, dst
+}
+
+// TestWideKernelsMatchScalar pins every wide kernel — the platform
+// dispatch behind MulSlice/MulAddSlice, the portable uint64 bit-plane
+// kernels, and the wide AddSlice — against the scalar row loop over all
+// 256 coefficients and the full length grid.
+func TestWideKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	defer SetAccel(SetAccel(true))
+	for c := 0; c < Order; c++ {
+		for _, n := range kernelLengths() {
+			src, dst := randomPair(rng, n)
+
+			wantMul := make([]byte, n)
+			mulSliceScalar(byte(c), src, wantMul)
+			wantAdd := append([]byte(nil), dst...)
+			mulAddSliceScalar(byte(c), src, wantAdd)
+
+			got := make([]byte, n)
+			MulSlice(byte(c), src, got)
+			if !bytes.Equal(got, wantMul) {
+				t.Fatalf("MulSlice(c=%d, n=%d) kernel %q diverges from scalar", c, n, Kernel())
+			}
+			got = append(got[:0], dst...)
+			MulAddSlice(byte(c), src, got)
+			if !bytes.Equal(got, wantAdd) {
+				t.Fatalf("MulAddSlice(c=%d, n=%d) kernel %q diverges from scalar", c, n, Kernel())
+			}
+
+			// The portable word kernels are the fallback on platforms
+			// without assembly; check them directly on every platform.
+			got = make([]byte, n)
+			p := mulWide64(byte(c), src, got)
+			mulSliceScalar(byte(c), src[p:], got[p:])
+			if !bytes.Equal(got, wantMul) {
+				t.Fatalf("mulWide64(c=%d, n=%d) diverges from scalar", c, n)
+			}
+			got = append(got[:0], dst...)
+			p = mulAddWide64(byte(c), src, got)
+			mulAddSliceScalar(byte(c), src[p:], got[p:])
+			if !bytes.Equal(got, wantAdd) {
+				t.Fatalf("mulAddWide64(c=%d, n=%d) diverges from scalar", c, n)
+			}
+
+			wantXor := make([]byte, n)
+			for i := range wantXor {
+				wantXor[i] = src[i] ^ dst[i]
+			}
+			got = append(got[:0], dst...)
+			AddSlice(src, got)
+			if !bytes.Equal(got, wantXor) {
+				t.Fatalf("AddSlice(n=%d) diverges from byte XOR", n)
+			}
+		}
+	}
+}
+
+// TestKernelsUnalignedSlices drives the vector kernel through every
+// combination of source and destination misalignment within a 32-byte
+// lane; VMOVDQU must not care, and neither may the dispatch arithmetic.
+func TestKernelsUnalignedSlices(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	defer SetAccel(SetAccel(true))
+	const n = 257
+	srcBuf := make([]byte, n+64)
+	dstBuf := make([]byte, n+64)
+	for srcOff := 0; srcOff < 4; srcOff++ {
+		for dstOff := 0; dstOff < 4; dstOff++ {
+			rng.Read(srcBuf)
+			rng.Read(dstBuf)
+			src := srcBuf[srcOff : srcOff+n]
+			dst := dstBuf[dstOff : dstOff+n]
+			want := append([]byte(nil), dst...)
+			mulAddSliceScalar(0x8e, src, want)
+			MulAddSlice(0x8e, src, dst)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulAddSlice misaligned (src+%d, dst+%d) diverges", srcOff, dstOff)
+			}
+		}
+	}
+}
+
+func TestSetAccelRestores(t *testing.T) {
+	orig := SetAccel(false)
+	if Kernel() != "scalar" {
+		t.Fatalf("Kernel() = %q after SetAccel(false), want scalar", Kernel())
+	}
+	SetAccel(orig)
+}
+
+func TestSliceKernelsDoNotAllocate(t *testing.T) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	for _, c := range []byte{0, 1, 0x1d} {
+		c := c
+		if n := testing.AllocsPerRun(50, func() { MulAddSlice(c, src, dst) }); n != 0 {
+			t.Errorf("MulAddSlice(c=%d) allocates %.1f times per call", c, n)
+		}
+		if n := testing.AllocsPerRun(50, func() { MulSlice(c, src, dst) }); n != 0 {
+			t.Errorf("MulSlice(c=%d) allocates %.1f times per call", c, n)
+		}
+	}
+	if n := testing.AllocsPerRun(50, func() { AddSlice(src, dst) }); n != 0 {
+		t.Errorf("AddSlice allocates %.1f times per call", n)
+	}
+}
+
+func benchmarkMulAdd(b *testing.B, accel bool, n int) {
+	defer SetAccel(SetAccel(accel))
+	src := make([]byte, n)
+	dst := make([]byte, n)
+	rand.New(rand.NewSource(3)).Read(src)
+	b.SetBytes(int64(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x8e, src, dst)
+	}
+}
+
+func BenchmarkMulAddSliceKernels(b *testing.B) {
+	for _, n := range []int{1 << 10, 64 << 10, 512 << 10} {
+		b.Run(fmt.Sprintf("kernel-%d", n), func(b *testing.B) { benchmarkMulAdd(b, true, n) })
+		b.Run(fmt.Sprintf("scalar-%d", n), func(b *testing.B) { benchmarkMulAdd(b, false, n) })
+	}
+}

@@ -1,0 +1,65 @@
+package gf256
+
+import "encoding/binary"
+
+// Word-wide GF(2^8) multiply kernels: 8 bytes per iteration via uint64
+// loads and XORs, no per-byte table lookups. The source word is consumed
+// bit-plane by bit-plane: plane k contributes c*2^k to every byte whose
+// bit k is set, and ((v>>k) & lsb) * 0xff expands each such bit into a
+// full byte mask. These are the portable fallback for platforms without
+// the assembly kernels; on amd64 the AVX2 nibble-shuffle path supersedes
+// them (the 256-byte multiplication row is L1-resident there, so the
+// scalar loop already outruns the bit-plane arithmetic).
+
+// lsb has the low bit of every byte lane set.
+const lsb = 0x0101010101010101
+
+// nibblePatterns fills pat with the replicated products c*2^k for
+// k = 0..7, the per-bit-plane contribution words.
+func nibblePatterns(c byte, pat *[8]uint64) {
+	row := _tables.mul[int(c)*Order:]
+	for k := 0; k < 8; k++ {
+		pat[k] = lsb * uint64(row[1<<k])
+	}
+}
+
+// mulWide64 computes dst[i] = c*src[i] for the largest prefix that is a
+// multiple of 8 bytes and returns its length. Callers finish the tail
+// with the scalar loop.
+func mulWide64(c byte, src, dst []byte) int {
+	n := len(src) &^ 7
+	if n == 0 {
+		return 0
+	}
+	var pat [8]uint64
+	nibblePatterns(c, &pat)
+	for i := 0; i < n; i += 8 {
+		v := binary.LittleEndian.Uint64(src[i:])
+		var acc uint64
+		for k := 0; k < 8; k++ {
+			acc ^= (((v >> k) & lsb) * 0xff) & pat[k]
+		}
+		binary.LittleEndian.PutUint64(dst[i:], acc)
+	}
+	return n
+}
+
+// mulAddWide64 computes dst[i] ^= c*src[i] for the largest 8-byte-aligned
+// prefix and returns its length.
+func mulAddWide64(c byte, src, dst []byte) int {
+	n := len(src) &^ 7
+	if n == 0 {
+		return 0
+	}
+	var pat [8]uint64
+	nibblePatterns(c, &pat)
+	for i := 0; i < n; i += 8 {
+		v := binary.LittleEndian.Uint64(src[i:])
+		acc := binary.LittleEndian.Uint64(dst[i:])
+		for k := 0; k < 8; k++ {
+			acc ^= (((v >> k) & lsb) * 0xff) & pat[k]
+		}
+		binary.LittleEndian.PutUint64(dst[i:], acc)
+	}
+	return n
+}

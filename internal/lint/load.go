@@ -9,12 +9,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -154,6 +156,82 @@ func hasGoFiles(dir string) bool {
 	return false
 }
 
+// knownOS and knownArch mirror the values go/build recognises in file
+// name suffixes. Only names in these sets act as implicit constraints —
+// kernel_amd64.go is amd64-only, but pool.go's "pool" is not a tag.
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// buildTagSatisfied evaluates one build tag against the host platform,
+// the only configuration the linter checks (it type-checks the package
+// as the local toolchain would build it).
+func buildTagSatisfied(tag string) bool {
+	switch {
+	case tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc":
+		return true
+	case tag == "unix":
+		return runtime.GOOS != "windows" && runtime.GOOS != "plan9" &&
+			runtime.GOOS != "js" && runtime.GOOS != "wasip1"
+	default:
+		return false
+	}
+}
+
+// fileNameIncluded applies go/build's file name constraints: a base name
+// ending in _GOOS, _GOARCH or _GOOS_GOARCH only builds on that platform.
+// Without this (and buildConstraintsSatisfied) the loader would merge
+// mutually exclusive files — e.g. the gf256 package's kernel_amd64.go
+// and kernel_noasm.go — into one package and fail on the duplicate
+// symbols.
+func fileNameIncluded(name string) bool {
+	parts := strings.Split(strings.TrimSuffix(name, ".go"), "_")
+	// Trailing _test was already filtered; examine the last two segments.
+	if n := len(parts); n >= 2 && knownArch[parts[n-1]] {
+		if parts[n-1] != runtime.GOARCH {
+			return false
+		}
+		if n >= 3 && knownOS[parts[n-2]] && parts[n-2] != runtime.GOOS {
+			return false
+		}
+		return true
+	} else if n >= 2 && knownOS[parts[n-1]] {
+		return parts[n-1] == runtime.GOOS
+	}
+	return true
+}
+
+// buildConstraintsSatisfied evaluates a parsed file's //go:build line
+// (if any) against the host platform.
+func buildConstraintsSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // only the header comments can hold constraints
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue // malformed constraint: let the build system complain
+			}
+			return expr.Eval(buildTagSatisfied)
+		}
+	}
+	return true
+}
+
 // importPathFor maps an absolute directory to its module import path.
 func (l *Loader) importPathFor(dir string) (string, error) {
 	rel, err := filepath.Rel(l.modRoot, dir)
@@ -199,9 +277,15 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
+		if !fileNameIncluded(name) {
+			continue
+		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
+		}
+		if !buildConstraintsSatisfied(f) {
+			continue
 		}
 		files = append(files, f)
 	}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"runtime"
+	"testing"
+)
+
+func TestFileNameIncluded(t *testing.T) {
+	otherArch := "arm64"
+	if runtime.GOARCH == "arm64" {
+		otherArch = "amd64"
+	}
+	otherOS := "windows"
+	if runtime.GOOS == "windows" {
+		otherOS = "linux"
+	}
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"kernel.go", true},
+		{"pool.go", true}, // "pool" is not a GOOS/GOARCH tag
+		{fmt.Sprintf("kernel_%s.go", runtime.GOARCH), true},
+		{fmt.Sprintf("kernel_%s.go", otherArch), false},
+		{fmt.Sprintf("kernel_%s.go", otherOS), false},
+		{fmt.Sprintf("kernel_%s_%s.go", runtime.GOOS, runtime.GOARCH), true},
+		{fmt.Sprintf("kernel_%s_%s.go", otherOS, runtime.GOARCH), false},
+	}
+	for _, tc := range cases {
+		if got := fileNameIncluded(tc.name); got != tc.want {
+			t.Errorf("fileNameIncluded(%q) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestBuildConstraintsSatisfied(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"package p\n", true},
+		{fmt.Sprintf("//go:build %s\n\npackage p\n", runtime.GOARCH), true},
+		{fmt.Sprintf("//go:build !%s\n\npackage p\n", runtime.GOARCH), false},
+		{fmt.Sprintf("//go:build %s && gc\n\npackage p\n", runtime.GOOS), true},
+		{"//go:build neverdefined\n\npackage p\n", false},
+		// A constraint after the package clause is documentation, not a
+		// directive.
+		{"package p\n\n//go:build neverdefined\n", true},
+	}
+	fset := token.NewFileSet()
+	for _, tc := range cases {
+		f, err := parser.ParseFile(fset, "x.go", tc.src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.src, err)
+		}
+		if got := buildConstraintsSatisfied(f); got != tc.want {
+			t.Errorf("buildConstraintsSatisfied(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+// TestLoaderHandlesPerArchFiles loads the gf256 package, which carries
+// mutually exclusive kernel files (kernel_amd64.go vs kernel_noasm.go);
+// without constraint filtering the type check fails on duplicate
+// symbols.
+func TestLoaderHandlesPerArchFiles(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadDirs("internal/gf256")
+	if err != nil {
+		t.Fatalf("loading a package with per-arch kernel files: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	for _, f := range pkgs[0].Files {
+		name := l.Fset.Position(f.Pos()).Filename
+		if !fileNameIncluded(name) {
+			t.Errorf("loaded excluded file %s", name)
+		}
+	}
+}

@@ -237,18 +237,22 @@ func (s *Server) serveConn(conn net.Conn) {
 			start := time.Now()
 			result, herr := s.handler.Handle(ctx, method, body)
 			s.metrics.observe(start, herr)
-			e := wire.NewEncoder(16 + len(result))
+			// The response header rides a pooled encoder and the handler's
+			// result goes out as the frame's vectored payload, so chunk-sized
+			// results are never copied into an encoder buffer.
+			e := wire.GetEncoder()
 			e.Uint64(reqID)
 			if herr != nil {
 				e.Uint8(statusErr)
 				e.String(herr.Error())
+				result = nil
 			} else {
 				e.Uint8(statusOK)
-				e.Raw(result)
 			}
 			writeMu.Lock()
-			defer writeMu.Unlock()
-			_ = wire.WriteFrame(conn, e.Bytes())
+			_ = wire.WriteFrameBuffers(conn, e.Bytes(), result)
+			writeMu.Unlock()
+			wire.PutEncoder(e)
 		}()
 	}
 }
@@ -317,13 +321,23 @@ func (c *Client) Call(method Method, body []byte) ([]byte, error) {
 // server (there is no cancel frame in the protocol), matching how a
 // network timeout behaves against a slow peer.
 func (c *Client) CallContext(ctx context.Context, method Method, body []byte) ([]byte, error) {
+	return c.CallContextPayload(ctx, method, body, nil)
+}
+
+// CallContextPayload is CallContext with a raw trailing payload that is
+// written to the connection directly (vectored, via net.Buffers) instead
+// of being copied into the request encoder. On the wire the request body
+// is simply body followed by payload; the server cannot tell the two
+// apart. Neither slice is retained after the call returns, but payload
+// must stay immutable until then — it may be mid-write on the socket.
+func (c *Client) CallContextPayload(ctx context.Context, method Method, body, payload []byte) ([]byte, error) {
 	start := time.Now()
-	resp, err := c.call(ctx, method, body)
+	resp, err := c.call(ctx, method, body, payload)
 	c.metrics.observe(start, err)
 	return resp, err
 }
 
-func (c *Client) call(ctx context.Context, method Method, body []byte) ([]byte, error) {
+func (c *Client) call(ctx context.Context, method Method, body, payload []byte) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -342,14 +356,17 @@ func (c *Client) call(ctx context.Context, method Method, body []byte) ([]byte, 
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	e := wire.NewEncoder(16 + len(body))
+	// Request header and body ride a pooled encoder; payload (chunk
+	// data) is attached as the frame's vectored tail without a copy.
+	e := wire.GetEncoder()
 	e.Uint64(id)
 	e.Uint8(uint8(method))
 	e.Raw(body)
 
 	c.writeMu.Lock()
-	err := wire.WriteFrame(c.conn, e.Bytes())
+	err := wire.WriteFrameBuffers(c.conn, e.Bytes(), payload)
 	c.writeMu.Unlock()
+	wire.PutEncoder(e)
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)

@@ -344,25 +344,23 @@ func (s *Server) Handle(ctx context.Context, method rpc.Method, body []byte) ([]
 	d := wire.NewDecoder(body)
 	switch method {
 	case methodPutChunk:
+		// The chunk is the request's raw trailing payload: Rest aliases
+		// the request frame (no copy), and the store's Put contract is to
+		// copy on ingest, so the frame buffer is not retained.
 		ref := decodeRef(d)
-		data := d.Bytes32()
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		return nil, s.svc.PutChunk(ctx, ref, data)
+		return nil, s.svc.PutChunk(ctx, ref, d.Rest())
 
 	case methodGetChunk:
 		ref := decodeRef(d)
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		data, err := s.svc.GetChunk(ctx, ref)
-		if err != nil {
-			return nil, err
-		}
-		e := wire.NewEncoder(8 + len(data))
-		e.Bytes32(data)
-		return e.Bytes(), nil
+		// The chunk is the whole response body; the rpc server writes it
+		// as a vectored payload without an intermediate encoder copy.
+		return s.svc.GetChunk(ctx, ref)
 
 	case methodDeleteChunk:
 		ref := decodeRef(d)
@@ -420,26 +418,26 @@ type Client struct {
 // NewRPCClient wraps an RPC client connected to a storage server.
 func NewRPCClient(rc *rpc.Client) *Client { return &Client{rc: rc} }
 
-// PutChunk stores a chunk remotely.
+// PutChunk stores a chunk remotely. data is sent as the request's raw
+// trailing payload (vectored onto the socket, never copied into an
+// encoder buffer) and must stay immutable until PutChunk returns.
 func (c *Client) PutChunk(ctx context.Context, ref model.ChunkRef, data []byte) error {
-	e := wire.NewEncoder(24 + len(data))
+	e := wire.GetEncoder()
 	encodeRef(e, ref)
-	e.Bytes32(data)
-	_, err := c.rc.CallContext(ctx, methodPutChunk, e.Bytes())
+	_, err := c.rc.CallContextPayload(ctx, methodPutChunk, e.Bytes(), data)
+	wire.PutEncoder(e)
 	return err
 }
 
-// GetChunk reads a chunk remotely.
+// GetChunk reads a chunk remotely. The response body is the chunk; it is
+// returned as-is, aliasing the client's private per-response frame
+// buffer, so the caller owns it without a copy.
 func (c *Client) GetChunk(ctx context.Context, ref model.ChunkRef) ([]byte, error) {
-	e := wire.NewEncoder(24)
+	e := wire.GetEncoder()
 	encodeRef(e, ref)
 	resp, err := c.rc.CallContext(ctx, methodGetChunk, e.Bytes())
-	if err != nil {
-		return nil, err
-	}
-	d := wire.NewDecoder(resp)
-	data := d.Bytes32()
-	return data, d.Err()
+	wire.PutEncoder(e)
+	return resp, err
 }
 
 // DeleteChunk removes a chunk remotely.

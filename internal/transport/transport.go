@@ -73,7 +73,24 @@ func (m *Metrics) accept() {
 	m.Accepts.Inc()
 }
 
-// countedListener wraps a listener to count accepted connections.
+// tcpBufferSize sizes kernel socket buffers to hold a full chunk frame
+// (1 MB blocks => 512 KB chunks plus headers) so a vectored chunk write
+// drains in one burst instead of stalling on the default buffer every
+// bandwidth-delay product. Failures are ignored: the setting is a
+// tuning hint and some environments cap SO_SNDBUF/SO_RCVBUF.
+const tcpBufferSize = 1 << 20
+
+func tuneTCP(c net.Conn) net.Conn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(tcpBufferSize)
+		_ = tc.SetWriteBuffer(tcpBufferSize)
+		_ = tc.SetNoDelay(true) // Go's default, restated: frames are already batched
+	}
+	return c
+}
+
+// countedListener wraps a listener to count accepted connections and
+// tune their sockets for chunk traffic.
 type countedListener struct {
 	net.Listener
 	metrics *Metrics
@@ -83,6 +100,7 @@ func (l countedListener) Accept() (net.Conn, error) {
 	c, err := l.Listener.Accept()
 	if err == nil {
 		l.metrics.accept()
+		c = tuneTCP(c)
 	}
 	return c, err
 }
@@ -103,10 +121,9 @@ func (t *TCP) Listen(addr string) (net.Listener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("listen %s: %w", addr, err)
 	}
-	if t.Metrics != nil {
-		return countedListener{Listener: l, metrics: t.Metrics}, nil
-	}
-	return l, nil
+	// Always wrapped (metrics are nil-safe) so accepted sockets get the
+	// chunk-frame buffer tuning.
+	return countedListener{Listener: l, metrics: t.Metrics}, nil
 }
 
 // Dial connects to a TCP address.
@@ -120,7 +137,7 @@ func (t *TCP) Dial(addr string) (net.Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", addr, err)
 	}
-	return conn, nil
+	return tuneTCP(conn), nil
 }
 
 // DialContext connects to a TCP address under a context. The configured
@@ -136,7 +153,7 @@ func (t *TCP) DialContext(ctx context.Context, addr string) (net.Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", addr, err)
 	}
-	return conn, nil
+	return tuneTCP(conn), nil
 }
 
 // Memory is an in-process network: addresses are arbitrary strings, and

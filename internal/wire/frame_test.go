@@ -1,0 +1,314 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// chunkedWriter records each Write call separately so tests can observe
+// coalescing vs vectored behavior.
+type chunkedWriter struct {
+	writes [][]byte
+}
+
+func (c *chunkedWriter) Write(p []byte) (int, error) {
+	c.writes = append(c.writes, append([]byte(nil), p...))
+	return len(p), nil
+}
+
+func (c *chunkedWriter) joined() []byte {
+	var out []byte
+	for _, w := range c.writes {
+		out = append(out, w...)
+	}
+	return out
+}
+
+func TestWriteFrameBuffersRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct{ head, payload int }{
+		{0, 0},
+		{9, 0},
+		{0, 10},
+		{9, 100},
+		{9, coalesceLimit},     // just over the coalesce cutoff with prefix+head
+		{9, coalesceLimit * 4}, // vectored
+		{40, 512 << 10},        // chunk-sized
+	}
+	for _, tc := range cases {
+		head := make([]byte, tc.head)
+		payload := make([]byte, tc.payload)
+		rng.Read(head)
+		rng.Read(payload)
+		var w chunkedWriter
+		if err := WriteFrameBuffers(&w, head, payload); err != nil {
+			t.Fatalf("WriteFrameBuffers(%d, %d): %v", tc.head, tc.payload, err)
+		}
+		got, err := ReadFrame(bytes.NewReader(w.joined()))
+		if err != nil {
+			t.Fatalf("ReadFrame(%d, %d): %v", tc.head, tc.payload, err)
+		}
+		want := append(append([]byte(nil), head...), payload...)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame(%d, %d) corrupt after round trip", tc.head, tc.payload)
+		}
+		if total := 4 + tc.head + tc.payload; total <= coalesceLimit && len(w.writes) != 1 {
+			t.Errorf("frame of %d bytes used %d writes, want 1 (coalesced)", total, len(w.writes))
+		}
+	}
+}
+
+func TestWriteFrameBuffersTooLarge(t *testing.T) {
+	err := WriteFrameBuffers(io.Discard, make([]byte, 8), make([]byte, MaxFrameSize))
+	if err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestEncoderPoisonAfterPut(t *testing.T) {
+	e := GetEncoder()
+	e.Uint64(7)
+	PutEncoder(e)
+	for name, fn := range map[string]func(){
+		"Bytes":  func() { e.Bytes() },
+		"Uint8":  func() { e.Uint8(1) },
+		"Raw":    func() { e.Raw([]byte{1}) },
+		"Reset":  func() { e.Reset() },
+		"PutTwo": func() { PutEncoder(e) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s after PutEncoder did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGetEncoderIsEmpty(t *testing.T) {
+	e := GetEncoder()
+	e.Raw(bytes.Repeat([]byte{0xEE}, 100))
+	PutEncoder(e)
+	e2 := GetEncoder()
+	defer PutEncoder(e2)
+	if e2.Len() != 0 {
+		t.Fatalf("pooled encoder not reset: %d bytes", e2.Len())
+	}
+}
+
+// TestEncoderPoolConcurrentFrames hammers the pooled-encoder frame path
+// from many goroutines sharing one locked writer, the shape the rpc
+// layer uses; run under -race this is the satellite's aliasing race
+// test, and the frame contents are verified byte-for-byte.
+func TestEncoderPoolConcurrentFrames(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	const goroutines = 8
+	const frames = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte(g)}, 8192)
+			for i := 0; i < frames; i++ {
+				e := GetEncoder()
+				e.Uint64(uint64(g))
+				mu.Lock()
+				err := WriteFrameBuffers(&buf, e.Bytes(), payload)
+				mu.Unlock()
+				PutEncoder(e)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	r := bytes.NewReader(buf.Bytes())
+	for i := 0; i < goroutines*frames; i++ {
+		frame, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		d := NewDecoder(frame)
+		g := d.Uint64()
+		rest := d.Rest()
+		if len(rest) != 8192 {
+			t.Fatalf("frame %d: payload %d bytes", i, len(rest))
+		}
+		for _, b := range rest {
+			if b != byte(g) {
+				t.Fatalf("frame %d: interleaved payload (g=%d, byte=%d)", i, g, b)
+			}
+		}
+	}
+}
+
+// TestFramePathSteadyStateAllocations pins the pooled encoder + framer
+// at zero allocations per coalesced frame once the pool is warm. The
+// vectored branch is excluded: building the two-element net.Buffers
+// costs one small allocation by design, amortized against the payload
+// copy it replaces.
+func TestFramePathSteadyStateAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool does not pool under the race detector")
+	}
+	payload := bytes.Repeat([]byte{7}, 256)
+	allocs := testing.AllocsPerRun(200, func() {
+		e := GetEncoder()
+		e.Uint64(1)
+		e.Uint8(2)
+		if err := WriteFrameBuffers(io.Discard, e.Bytes(), payload); err != nil {
+			t.Fatal(err)
+		}
+		PutEncoder(e)
+	})
+	if allocs != 0 {
+		t.Fatalf("coalesced frame path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestDecoderRest(t *testing.T) {
+	e := NewEncoder(16)
+	e.Uint32(7)
+	e.Raw([]byte("payload"))
+	d := NewDecoder(e.Bytes())
+	if got := d.Uint32(); got != 7 {
+		t.Fatalf("Uint32 = %d", got)
+	}
+	rest := d.Rest()
+	if string(rest) != "payload" {
+		t.Fatalf("Rest = %q", rest)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after Rest", d.Remaining())
+	}
+	if &rest[0] != &e.Bytes()[4] {
+		t.Fatal("Rest copied; want alias")
+	}
+	// Sticky errors surface as nil.
+	d2 := NewDecoder([]byte{1})
+	d2.Uint64()
+	if d2.Rest() != nil {
+		t.Fatal("Rest after decode error should be nil")
+	}
+}
+
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte("head"), []byte("payload"))
+	f.Add([]byte{}, []byte{})
+	f.Add(bytes.Repeat([]byte{9}, 5000), bytes.Repeat([]byte{7}, 9000))
+	f.Fuzz(func(t *testing.T, head, payload []byte) {
+		if len(head)+len(payload) > MaxFrameSize {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrameBuffers(&buf, head, payload); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append(append([]byte(nil), head...), payload...)
+		if !bytes.Equal(got, want) {
+			t.Fatal("frame round-trip mismatch")
+		}
+	})
+}
+
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint32(2), int64(-3), true, []byte("bytes"), "str", []byte("rest"))
+	f.Add(uint64(0), uint32(0), int64(0), false, []byte{}, "", []byte{})
+	f.Fuzz(func(t *testing.T, u64 uint64, u32 uint32, i64 int64, b bool, bs []byte, s string, rest []byte) {
+		e := GetEncoder()
+		defer PutEncoder(e)
+		e.Uint64(u64)
+		e.Uint32(u32)
+		e.Int64(i64)
+		e.Bool(b)
+		e.Bytes32(bs)
+		e.String(s)
+		e.Raw(rest)
+
+		d := NewDecoder(e.Bytes())
+		if got := d.Uint64(); got != u64 {
+			t.Fatalf("Uint64 = %d, want %d", got, u64)
+		}
+		if got := d.Uint32(); got != u32 {
+			t.Fatalf("Uint32 = %d, want %d", got, u32)
+		}
+		if got := d.Int64(); got != i64 {
+			t.Fatalf("Int64 = %d, want %d", got, i64)
+		}
+		if got := d.Bool(); got != b {
+			t.Fatalf("Bool = %v, want %v", got, b)
+		}
+		if got := d.Bytes32(); !bytes.Equal(got, bs) {
+			t.Fatalf("Bytes32 = %q, want %q", got, bs)
+		}
+		if got := d.String(); got != s {
+			t.Fatalf("String = %q, want %q", got, s)
+		}
+		if got := d.Rest(); !bytes.Equal(got, rest) {
+			t.Fatalf("Rest = %q, want %q", got, rest)
+		}
+		if err := d.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkWireFrameVectored is the zero-copy frame path: pooled header
+// encoder, payload attached via net.Buffers.
+func BenchmarkWireFrameVectored(b *testing.B) {
+	payload := make([]byte, 512<<10)
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		e := GetEncoder()
+		e.Uint64(uint64(i))
+		e.Uint8(3)
+		if err := WriteFrameBuffers(io.Discard, e.Bytes(), payload); err != nil {
+			b.Fatal(err)
+		}
+		PutEncoder(e)
+	}
+}
+
+// BenchmarkWireFrameLegacyCopy is the pre-PR shape: the payload is
+// appended into a fresh encoder buffer before framing.
+func BenchmarkWireFrameLegacyCopy(b *testing.B) {
+	payload := make([]byte, 512<<10)
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder(16 + len(payload))
+		e.Uint64(uint64(i))
+		e.Uint8(3)
+		e.Raw(payload)
+		if err := WriteFrame(io.Discard, e.Bytes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireFrameSmall covers the coalesced control-plane shape.
+func BenchmarkWireFrameSmall(b *testing.B) {
+	payload := make([]byte, 64)
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		e := GetEncoder()
+		e.Uint64(uint64(i))
+		if err := WriteFrameBuffers(io.Discard, e.Bytes(), payload); err != nil {
+			b.Fatal(err)
+		}
+		PutEncoder(e)
+	}
+}

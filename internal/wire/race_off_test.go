@@ -1,0 +1,8 @@
+//go:build !race
+
+package wire
+
+// raceEnabled reports whether the race detector is on; allocation
+// assertions are skipped under -race because sync.Pool intentionally
+// degrades there.
+const raceEnabled = false

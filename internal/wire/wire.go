@@ -27,8 +27,11 @@ var (
 )
 
 // Encoder builds a binary payload. The zero value is ready to use.
+// Pooled encoders (GetEncoder/PutEncoder) are poisoned on release: any
+// method call after PutEncoder panics.
 type Encoder struct {
-	buf []byte
+	buf      []byte
+	released bool
 }
 
 // NewEncoder returns an encoder with a hint-sized buffer.
@@ -36,15 +39,42 @@ func NewEncoder(sizeHint int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, sizeHint)}
 }
 
-// Bytes returns the encoded payload. The slice aliases the encoder's
-// buffer; callers must not retain it across further encoder use.
-func (e *Encoder) Bytes() []byte { return e.buf }
+// Bytes returns the encoded payload.
+//
+// Ownership rule: the slice aliases the encoder's internal buffer and
+// is valid only until the next mutating call, Reset, or PutEncoder —
+// whichever comes first. A caller that hands the slice to a writer
+// shared with other goroutines (the rpc layer's pipelined conns) must
+// complete the write before reusing or releasing the encoder; a caller
+// that needs the bytes beyond that must copy them.
+func (e *Encoder) Bytes() []byte {
+	e.check()
+	return e.buf
+}
 
 // Len returns the current encoded length.
-func (e *Encoder) Len() int { return len(e.buf) }
+func (e *Encoder) Len() int {
+	e.check()
+	return len(e.buf)
+}
+
+// Reset truncates the encoder for reuse, keeping its buffer.
+func (e *Encoder) Reset() {
+	e.check()
+	e.buf = e.buf[:0]
+}
+
+func (e *Encoder) check() {
+	if e.released {
+		panic("wire: Encoder used after PutEncoder")
+	}
+}
 
 // Uint8 appends a single byte.
-func (e *Encoder) Uint8(v uint8) { e.buf = append(e.buf, v) }
+func (e *Encoder) Uint8(v uint8) {
+	e.check()
+	e.buf = append(e.buf, v)
+}
 
 // Bool appends a boolean as one byte.
 func (e *Encoder) Bool(v bool) {
@@ -57,11 +87,13 @@ func (e *Encoder) Bool(v bool) {
 
 // Uint32 appends a big-endian uint32.
 func (e *Encoder) Uint32(v uint32) {
+	e.check()
 	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
 }
 
 // Uint64 appends a big-endian uint64.
 func (e *Encoder) Uint64(v uint64) {
+	e.check()
 	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
 }
 
@@ -73,7 +105,10 @@ func (e *Encoder) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
 
 // Raw appends bytes with no length prefix (for trailing payloads whose
 // length is implied by the frame).
-func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
+func (e *Encoder) Raw(b []byte) {
+	e.check()
+	e.buf = append(e.buf, b...)
+}
 
 // Bytes32 appends a uint32 length prefix followed by the bytes.
 func (e *Encoder) Bytes32(b []byte) {
@@ -168,6 +203,18 @@ func (d *Decoder) Bytes32() []byte {
 	out := make([]byte, len(b))
 	copy(out, b)
 	return out
+}
+
+// Rest returns every unread byte without copying and exhausts the
+// decoder. The result aliases the decoder's buffer; it is how services
+// take a raw trailing payload whose length is implied by the frame.
+func (d *Decoder) Rest() []byte {
+	if d.err != nil {
+		return nil
+	}
+	b := d.buf[d.off:]
+	d.off = len(d.buf)
+	return b
 }
 
 // String reads a uint32-length-prefixed string.
