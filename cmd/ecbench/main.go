@@ -11,8 +11,9 @@
 //
 // Experiment ids follow the paper: fig1, fig4a ... fig4h, tab2, tab3,
 // plus the ablations ab-delta, ab-k, ab-w2, ab-mrate, ab-plan, ab-size,
-// ab-cache, ab-codec (the last measures the real codec's wall-clock
-// throughput, kernel vs scalar, rather than the simulator).
+// ab-cache, ab-codec, ab-range, ab-pack (the last three exercise the real
+// data path — codec throughput, whole-block Get vs GetRange, and
+// small-object packing — rather than the simulator).
 package main
 
 import (
@@ -103,6 +104,14 @@ func runners() map[string]runner {
 		},
 		"ab-codec": func(sc bench.Scale) (*bench.Report, error) {
 			r, _, err := bench.AblationCodec(sc)
+			return r, err
+		},
+		"ab-range": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.AblationRange(sc)
+			return r, err
+		},
+		"ab-pack": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.AblationPack(sc)
 			return r, err
 		},
 	}

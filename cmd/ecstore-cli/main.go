@@ -3,11 +3,17 @@
 // performs put/get/delete/stat operations.
 //
 //	ecstore-cli -meta 127.0.0.1:7100 -sites 127.0.0.1:7101,127.0.0.1:7102,... put key file
+//	ecstore-cli ... put -stream key file   # stream through the striped pipeline ("-" = stdin)
 //	ecstore-cli ... get key            # prints the block to stdout
+//	ecstore-cli ... get -range 65536:4096 key   # print 4096 bytes from offset 65536
 //	ecstore-cli ... del key
 //	ecstore-cli ... stat               # cluster health and plan stats
 //	ecstore-cli ... stats              # cluster-wide metrics snapshot
 //	ecstore-cli ... stats -full        # raw dump of every remote metric
+//
+// A streamed put writes the block stripe-interleaved (see DESIGN.md §13),
+// which is what makes later -range reads fetch only the stripes a byte
+// range touches instead of reassembling the whole block.
 package main
 
 import (
@@ -49,6 +55,8 @@ func run(args []string) error {
 	delta := fs.Int("delta", 0, "late-binding surplus chunk requests")
 	cacheBytes := fs.Int64("cache-bytes", 0, "decoded-block cache budget in bytes (0 disables the cache)")
 	cacheStaleTTL := fs.Duration("cache-stale-ttl", 0, "serve cache entries invalidated up to this long ago when a block's sites are down (0 = never)")
+	stripeUnit := fs.Int64("stripe-unit", 0, "stripe unit in bytes for streamed puts (0 = 64 KiB default)")
+	packThreshold := fs.Int64("pack-threshold", 0, "pack puts at or below this many bytes into shared containers (0 disables packing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,6 +107,8 @@ func run(args []string) error {
 		Delta:         *delta,
 		CacheBytes:    *cacheBytes,
 		CacheStaleTTL: *cacheStaleTTL,
+		StripeUnit:    *stripeUnit,
+		PackThreshold: *packThreshold,
 	}, core.Deps{Meta: meta, Sites: sites, Metrics: reg})
 	if err != nil {
 		return err
@@ -107,28 +117,83 @@ func run(args []string) error {
 
 	switch rest[0] {
 	case "put":
-		if len(rest) != 3 {
-			return errors.New("usage: put <key> <file>")
+		pfs := flag.NewFlagSet("put", flag.ContinueOnError)
+		stream := pfs.Bool("stream", false, "stream through the striped pipeline (PutReader); file may be \"-\" for stdin")
+		if err := pfs.Parse(rest[1:]); err != nil {
+			return err
 		}
-		data, err := os.ReadFile(rest[2])
+		prest := pfs.Args()
+		if len(prest) != 2 {
+			return errors.New("usage: put [-stream] <key> <file>")
+		}
+		if *stream {
+			var src io.Reader
+			if prest[1] == "-" {
+				src = os.Stdin
+			} else {
+				f, err := os.Open(prest[1])
+				if err != nil {
+					return err
+				}
+				defer func() { _ = f.Close() }()
+				src = f
+			}
+			n, err := client.PutReader(context.Background(), model.BlockID(prest[0]), src)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("streamed %s (%d bytes, RS(%d,%d), striped)\n", prest[0], n, *k, *r)
+			return nil
+		}
+		data, err := os.ReadFile(prest[1])
 		if err != nil {
 			return err
 		}
-		if err := client.Put(model.BlockID(rest[1]), data); err != nil {
+		if err := client.Put(model.BlockID(prest[0]), data); err != nil {
 			return err
 		}
-		fmt.Printf("stored %s (%d bytes, RS(%d,%d))\n", rest[1], len(data), *k, *r)
+		// A packed put stages client-side; this process is about to
+		// exit, so seal now — staged blocks are not durable (§13.5).
+		if *packThreshold > 0 {
+			if err := client.FlushPacked(context.Background()); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("stored %s (%d bytes, RS(%d,%d))\n", prest[0], len(data), *k, *r)
 		return nil
 
 	case "get":
-		if len(rest) != 2 {
-			return errors.New("usage: get <key>")
+		gfs := flag.NewFlagSet("get", flag.ContinueOnError)
+		rng := gfs.String("range", "", "byte range off:len — fetch and decode only the stripes the range touches")
+		if err := gfs.Parse(rest[1:]); err != nil {
+			return err
 		}
-		blocks, bd, err := client.GetMulti([]model.BlockID{model.BlockID(rest[1])})
+		grest := gfs.Args()
+		if len(grest) != 1 {
+			return errors.New("usage: get [-range off:len] <key>")
+		}
+		if *rng != "" {
+			off, n, err := parseRange(*rng)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			data, err := client.GetRange(context.Background(), model.BlockID(grest[0]), off, n)
+			if err != nil {
+				return err
+			}
+			if _, err := os.Stdout.Write(data); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "\nrange [%d,+%d): %d bytes in %.2fms\n",
+				off, n, len(data), time.Since(start).Seconds()*1000)
+			return nil
+		}
+		blocks, bd, err := client.GetMulti([]model.BlockID{model.BlockID(grest[0])})
 		if err != nil {
 			return err
 		}
-		if _, err := os.Stdout.Write(blocks[model.BlockID(rest[1])]); err != nil {
+		if _, err := os.Stdout.Write(blocks[model.BlockID(grest[0])]); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "\nbreakdown: meta=%.2fms plan=%.2fms retrieve=%.2fms decode=%.2fms\n",
@@ -177,6 +242,24 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}
+}
+
+// parseRange parses the get -range argument "off:len" into byte offset
+// and length.
+func parseRange(s string) (off, n int64, err error) {
+	lhs, rhs, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -range %q, want off:len", s)
+	}
+	off, err = strconv.ParseInt(lhs, 10, 64)
+	if err != nil || off < 0 {
+		return 0, 0, fmt.Errorf("bad -range offset %q", lhs)
+	}
+	n, err = strconv.ParseInt(rhs, 10, 64)
+	if err != nil || n < 0 {
+		return 0, 0, fmt.Errorf("bad -range length %q", rhs)
+	}
+	return off, n, nil
 }
 
 // clusterStats snapshots every reachable service's metrics over the

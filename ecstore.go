@@ -17,7 +17,8 @@
 //	if err != nil { ... }
 //	defer cluster.Close()
 //
-//	err = cluster.Put("photo-123", data)
+//	n, err := cluster.PutReader("photo-123", file)      // streamed, bounded memory
+//	head, err := cluster.GetRange("photo-123", 0, 4096) // only the touched stripes
 //	blocks, breakdown, err := cluster.GetMulti([]ecstore.BlockID{"photo-123", "photo-124"})
 //
 // The packages under internal/ contain the full system: the Reed-Solomon
@@ -32,6 +33,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"ecstore/internal/core"
@@ -203,9 +205,29 @@ func (c *Cluster) Put(id BlockID, data []byte) error {
 	return c.inner.Client.Put(id, data)
 }
 
+// PutReader streams a block from r without buffering it whole: stripe
+// N encodes while stripe N-1's chunk writes are still in flight, so
+// memory stays bounded regardless of block size. The block is laid out
+// stripe-interleaved, which makes GetRange stripe-local (DESIGN.md
+// §13). Returns the number of payload bytes stored.
+//
+//lint:ignore ctxfirst context-free public facade; core.Client.PutReader offers the ctx-aware entry
+func (c *Cluster) PutReader(id BlockID, r io.Reader) (int64, error) {
+	return c.inner.Client.PutReader(context.Background(), id, r)
+}
+
 // Get retrieves one block.
 func (c *Cluster) Get(id BlockID) ([]byte, error) {
 	return c.inner.Client.Get(id)
+}
+
+// GetRange reads n bytes at byte offset off without assembling the
+// whole block: only the stripes the range touches are fetched and
+// decoded (DESIGN.md §13).
+//
+//lint:ignore ctxfirst context-free public facade; core.Client.GetRange offers the ctx-aware entry
+func (c *Cluster) GetRange(id BlockID, off, n int64) ([]byte, error) {
+	return c.inner.Client.GetRange(context.Background(), id, off, n)
 }
 
 // GetMulti retrieves several blocks in one planned request and reports

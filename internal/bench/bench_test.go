@@ -239,3 +239,44 @@ func TestAblationCache(t *testing.T) {
 		t.Fatalf("report body missing columns:\n%s", rep.Body)
 	}
 }
+
+func TestAblationRange(t *testing.T) {
+	rep, out, err := AblationRange(QuickScale(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "ab-range" {
+		t.Fatalf("id = %s", rep.ID)
+	}
+	// The acceptance criterion: a range covering 1/8 of a 1 MiB block
+	// must decode only its touched stripes (<= 2 of 8 at unaligned
+	// offsets) and beat the whole-block read.
+	if s := out["range-1/8/stripes"]; s <= 0 || s > 2 {
+		t.Fatalf("range-1/8 decoded %.1f stripes/read, want (0,2]", s)
+	}
+	if out["whole-get/stripes"] != 8 {
+		t.Fatalf("whole-get stripes = %.1f, want 8", out["whole-get/stripes"])
+	}
+	if out["range-1/8/mean-ms"] >= out["whole-get/mean-ms"] {
+		t.Fatalf("range-1/8 mean %.2fms did not beat whole-get %.2fms",
+			out["range-1/8/mean-ms"], out["whole-get/mean-ms"])
+	}
+}
+
+func TestAblationPack(t *testing.T) {
+	rep, out, err := AblationPack(QuickScale(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Body, "packed=") {
+		t.Fatal("report lacks packed= smoke token")
+	}
+	if out["packed/chunk-rpcs"] >= out["unpacked/chunk-rpcs"] {
+		t.Fatalf("packing did not reduce chunk writes: %v vs %v",
+			out["packed/chunk-rpcs"], out["unpacked/chunk-rpcs"])
+	}
+	if out["packed/catalog"] >= out["unpacked/catalog"] {
+		t.Fatalf("packing did not reduce catalog entries: %v vs %v",
+			out["packed/catalog"], out["unpacked/catalog"])
+	}
+}

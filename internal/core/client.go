@@ -135,6 +135,28 @@ type Config struct {
 	// to this long ago may be served instead of failing the read. Zero
 	// (the default) never serves stale bytes.
 	CacheStaleTTL time.Duration
+
+	// StripeUnit is the per-chunk stripe width the streaming write path
+	// (PutReader) interleaves blocks at: stripe t holds block bytes
+	// [t*K*StripeUnit, (t+1)*K*StripeUnit) and contributes StripeUnit
+	// bytes to every chunk. Smaller units let GetRange touch fewer bytes
+	// per range; larger units amortize per-stripe overhead. Zero means
+	// 64 KiB.
+	StripeUnit int64
+	// StreamDepth bounds how many encoded stripes one PutReader keeps in
+	// flight: stripe N is encoded while up to StreamDepth earlier
+	// stripes' chunk writes drain. Zero means 2; 1 disables pipelining.
+	StreamDepth int
+	// PackThreshold, when positive, stages erasure-coded Puts of at most
+	// this many bytes into a shared pack container instead of encoding
+	// each tiny block alone (which would pad every chunk). Staged blocks
+	// are readable and deletable immediately but reach the sites only
+	// when a container seals: at PackCapacity bytes or on FlushPacked.
+	// Zero disables packing.
+	PackThreshold int64
+	// PackCapacity is the staged payload size that seals a pack
+	// container. Zero means 1 MiB.
+	PackCapacity int64
 }
 
 func (c Config) withDefaults() Config {
@@ -165,6 +187,15 @@ func (c Config) withDefaults() Config {
 	if c.PutFanout == 0 {
 		c.PutFanout = 8
 	}
+	if c.StripeUnit <= 0 {
+		c.StripeUnit = 64 << 10
+	}
+	if c.StreamDepth <= 0 {
+		c.StreamDepth = 2
+	}
+	if c.PackCapacity <= 0 {
+		c.PackCapacity = 1 << 20
+	}
 	c.Retry = c.Retry.withDefaults()
 	return c
 }
@@ -193,6 +224,10 @@ type Client struct {
 	// misses everything and admits nothing).
 	cache *cache.Cache
 
+	// packer stages small blocks into shared containers; nil when
+	// packing is disabled (cfg.PackThreshold == 0).
+	packer *packer
+
 	obs    clientObs
 	tracer *obs.Tracer
 	health *health.Tracker
@@ -218,6 +253,18 @@ type clientObs struct {
 	hedgesLost    *obs.Counter
 	deadlines     *obs.Counter
 	putCleanups   *obs.Counter
+
+	streamPuts    *obs.Counter
+	streamStripes *obs.Counter
+	streamBytes   *obs.Counter
+	rangeReads    *obs.Counter
+	rangeBytes    *obs.Counter
+	rangeStripes  *obs.Counter
+	rangeCacheHit *obs.Counter
+	packStaged    *obs.Counter
+	packSealed    *obs.Counter
+	packBlocks    *obs.Counter
+	packBytes     *obs.Counter
 
 	metadataH *obs.Histogram
 	planH     *obs.Histogram
@@ -245,6 +292,17 @@ func newClientObs(reg *obs.Registry) clientObs {
 		hedgesLost:    reg.Counter("client_hedges_lost_total", "hedged reads that arrived too late, failed or were discarded"),
 		deadlines:     reg.Counter("client_deadline_expirations_total", "requests abandoned because their deadline expired"),
 		putCleanups:   reg.Counter("client_put_cleanups_total", "aborted writes whose stored chunks were rolled back"),
+		streamPuts:    reg.Counter("stream_puts_total", "blocks written through the streaming pipeline (PutReader)"),
+		streamStripes: reg.Counter("stream_stripes_total", "stripes encoded and shipped by streaming writes"),
+		streamBytes:   reg.Counter("stream_bytes_total", "payload bytes ingested by streaming writes"),
+		rangeReads:    reg.Counter("range_requests_total", "byte-range read requests (GetRange)"),
+		rangeBytes:    reg.Counter("range_bytes_total", "payload bytes served by range reads"),
+		rangeStripes:  reg.Counter("range_stripes_decoded_total", "stripes decoded to serve range reads"),
+		rangeCacheHit: reg.Counter("range_cache_hits_total", "range reads served from cached decoded blocks"),
+		packStaged:    reg.Counter("pack_staged_total", "small blocks staged into pack containers"),
+		packSealed:    reg.Counter("pack_sealed_total", "pack containers sealed and registered"),
+		packBlocks:    reg.Counter("pack_packed_blocks_total", "small blocks sealed inside pack containers"),
+		packBytes:     reg.Counter("pack_bytes_total", "payload bytes staged for packing"),
 		metadataH:     reg.Histogram("client_metadata_seconds", "read phase R1: metadata lookup latency"),
 		planH:         reg.Histogram("client_plan_seconds", "read phase R2: access planning latency"),
 		fetchH:        reg.Histogram("client_fetch_seconds", "read phase R3a: parallel chunk retrieval latency"),
@@ -322,9 +380,9 @@ func NewClient(cfg Config, deps Deps) (*Client, error) {
 			return nil, fmt.Errorf("build codec: %w", err)
 		}
 	}
-	placer, err := placement.NewPlacer(cfg.PlaceStrategy, deps.Loads, cfg.Seed+1)
-	if err != nil {
-		return nil, err
+	placer, placerErr := placement.NewPlacer(cfg.PlaceStrategy, deps.Loads, cfg.Seed+1)
+	if placerErr != nil {
+		return nil, placerErr
 	}
 	coaccess := deps.CoAccess
 	if coaccess == nil {
@@ -355,7 +413,7 @@ func NewClient(cfg Config, deps Deps) (*Client, error) {
 		}
 		blockCache.StartMaintenance(sweep)
 	}
-	return &Client{
+	cl := &Client{
 		cfg:   cfg,
 		codec: codec,
 		meta:  deps.Meta,
@@ -376,7 +434,11 @@ func NewClient(cfg Config, deps Deps) (*Client, error) {
 		tracer:   deps.Tracer,
 		health:   tracker,
 		rng:      rand.New(rand.NewSource(cfg.Seed + 2)),
-	}, nil
+	}
+	if cfg.PackThreshold > 0 && cfg.Scheme == model.SchemeErasure {
+		cl.packer = newPacker(cl)
+	}
+	return cl, nil
 }
 
 // Close releases planner resources and stops the cache's background
@@ -461,6 +523,14 @@ func (c *Client) Put(id model.BlockID, data []byte) error {
 func (c *Client) PutContext(ctx context.Context, id model.BlockID, data []byte) error {
 	if id == "" {
 		return errors.New("core: empty block id")
+	}
+	// Small-block packing: below the threshold the block is staged into
+	// a shared container instead of being encoded alone (a lone tiny
+	// block pads every chunk to the 64-byte kernel boundary and pays k+r
+	// RPCs for a handful of bytes). Staged blocks read and delete
+	// normally; their bytes hit the sites when the container seals.
+	if c.packer != nil && int64(len(data)) <= c.cfg.PackThreshold {
+		return c.packer.put(ctx, id, data)
 	}
 	ctx, cancel := c.requestCtx(ctx)
 	defer cancel()
@@ -633,6 +703,25 @@ func (c *Client) GetMultiContext(ctx context.Context, ids []model.BlockID) (map[
 	tr := c.tracer.Start("get")
 	defer tr.Finish()
 
+	// Small blocks still staged for packing live only in this client's
+	// packer — the catalog has never heard of them, so they must be
+	// served (read-through) before the all-or-nothing Lookup.
+	out := make(map[model.BlockID][]byte, len(ids))
+	if c.packer != nil {
+		remaining := make([]model.BlockID, 0, len(ids))
+		for _, id := range ids {
+			if data, ok := c.packer.get(id); ok {
+				out[id] = data
+			} else {
+				remaining = append(remaining, id)
+			}
+		}
+		ids = remaining
+		if len(ids) == 0 {
+			return out, bd, nil
+		}
+	}
+
 	// R1: metadata access.
 	t0 := time.Now()
 	sp := tr.StartSpan("metadata")
@@ -651,7 +740,23 @@ func (c *Client) GetMultiContext(ctx context.Context, ids []model.BlockID) (map[
 		_ = c.sink.RecordAccess(ids)
 	}
 
-	out := make(map[model.BlockID][]byte, len(ids))
+	// Sealed pack members resolve to synthesized metadata (PackedIn set):
+	// their bytes are a sub-range of the container, served through the
+	// stripe-range path instead of a whole-chunk access plan.
+	for id, meta := range metas {
+		if !meta.Packed() {
+			continue
+		}
+		data, rerr := c.rangeRead(ctx, containerView(meta), meta.PackedOff, meta.Size)
+		if rerr != nil {
+			return nil, bd, fmt.Errorf("read packed %s: %w", id, rerr)
+		}
+		out[id] = data
+		delete(metas, id)
+	}
+	if len(metas) == 0 {
+		return out, bd, nil
+	}
 	req := placement.PlanRequest{Metas: metas, Available: c.available}
 
 	// Cache tier: serve decoded hits from local memory and strip them
@@ -1134,7 +1239,10 @@ func retryable(err error) bool {
 		!errors.Is(err, context.DeadlineExceeded)
 }
 
-// assemble turns fetched chunks into the original block.
+// assemble turns fetched chunks into the original block. Striped blocks
+// (written by PutReader) interleave the data across chunks, so the
+// chunks are decoded into one k*ChunkSize window and the block gathered
+// out of it; contiguous blocks decode directly.
 func (c *Client) assemble(meta *model.BlockMeta, chunks map[int][]byte) ([]byte, error) {
 	if meta.Scheme == model.SchemeReplicated {
 		for _, data := range chunks {
@@ -1142,7 +1250,29 @@ func (c *Client) assemble(meta *model.BlockMeta, chunks map[int][]byte) ([]byte,
 		}
 		return nil, fmt.Errorf("%w: no replica fetched", ErrBlockUnavailable)
 	}
+	if meta.StripeUnit > 0 {
+		lay := layoutOf(meta)
+		win := make([]byte, int64(meta.K)*meta.ChunkSize)
+		if err := c.codec.DecodeInto(win, chunks); err != nil {
+			return nil, err
+		}
+		data := make([]byte, meta.Size)
+		if err := lay.Gather(data, win, 0, 0); err != nil {
+			return nil, err
+		}
+		return data, nil
+	}
 	return c.codec.Decode(chunks, int(meta.Size))
+}
+
+// layoutOf builds the range-addressing view of a block's chunk layout.
+func layoutOf(meta *model.BlockMeta) erasure.Layout {
+	return erasure.Layout{
+		K:          meta.K,
+		BlockSize:  meta.Size,
+		ChunkSize:  meta.ChunkSize,
+		StripeUnit: meta.StripeUnit,
+	}
 }
 
 // Delete removes a block and its chunks.
@@ -1153,9 +1283,17 @@ func (c *Client) Delete(id model.BlockID) error {
 }
 
 // DeleteContext removes a block and its chunks under a caller context.
+// A block still staged for packing is simply unstaged; a sealed pack
+// member is unregistered from its container's member table, whose
+// chunks stay put until the container itself is deleted (the catalog
+// returns its metadata with no sites, so the chunk loop is a no-op).
 func (c *Client) DeleteContext(ctx context.Context, id model.BlockID) error {
 	ctx, cancel := c.requestCtx(ctx)
 	defer cancel()
+	if c.packer != nil && c.packer.unstage(id) {
+		c.obs.deletes.Inc()
+		return nil
+	}
 	meta, err := c.meta.Delete(id)
 	if err != nil {
 		return fmt.Errorf("unregister %s: %w", id, err)

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"ecstore/internal/metadata"
+	"ecstore/internal/model"
+)
+
+// ErrAlreadyStaged reports a Put of a block id already staged for
+// packing (ids are single-assignment until the staged block is deleted
+// or its container sealed, mirroring the catalog's ErrExists).
+var ErrAlreadyStaged = errors.New("core: block already staged for packing")
+
+// packer co-locates small blocks into shared pack containers. Puts
+// below cfg.PackThreshold append to a client-side staging buffer; when
+// the buffer reaches cfg.PackCapacity (or FlushPacked is called) it is
+// sealed: written through the streaming pipeline as one striped
+// container block whose metadata carries the member table, after which
+// the catalog resolves each member id to a sub-range of the container
+// and reads go through GetRange. Until then staged blocks are served
+// read-through from the buffer.
+type packer struct {
+	c *Client
+
+	mu sync.Mutex
+	// seq numbers candidate container ids; collisions with previously
+	// registered containers (e.g. after a restart against a persisted
+	// catalog) skip forward until Register accepts one.
+	seq int64
+	// buf and members are the open staging batch. Deleting a staged
+	// block only removes its member entry; its bytes stay as dead space
+	// until the batch seals (members are the source of truth).
+	buf     []byte
+	members []model.PackedMember
+	// sealing holds batches whose container write is in flight, still
+	// readable until their registration commits.
+	sealing []*sealBatch
+}
+
+// sealBatch is one detached staging batch being written out.
+type sealBatch struct {
+	buf     []byte
+	members []model.PackedMember
+}
+
+func newPacker(c *Client) *packer { return &packer{c: c} }
+
+// put stages one small block. If staging reaches capacity, the full
+// batch is detached and sealed synchronously: the Put that trips the
+// threshold pays the container write, every other Put is a memcpy.
+func (p *packer) put(ctx context.Context, id model.BlockID, data []byte) error {
+	p.mu.Lock()
+	for _, m := range p.members {
+		if m.ID == id {
+			p.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrAlreadyStaged, id)
+		}
+	}
+	p.members = append(p.members, model.PackedMember{ID: id, Off: int64(len(p.buf)), Len: int64(len(data))})
+	p.buf = append(p.buf, data...)
+	p.c.obs.packStaged.Inc()
+	p.c.obs.packBytes.Add(int64(len(data)))
+	var batch *sealBatch
+	if int64(len(p.buf)) >= p.c.cfg.PackCapacity {
+		batch = p.detachLocked()
+	}
+	p.mu.Unlock()
+	if batch == nil {
+		return nil
+	}
+	return p.seal(ctx, batch)
+}
+
+// detachLocked moves the open batch into the sealing list and resets
+// staging. Caller holds p.mu.
+func (p *packer) detachLocked() *sealBatch {
+	if len(p.members) == 0 {
+		return nil
+	}
+	batch := &sealBatch{buf: p.buf, members: p.members}
+	p.buf = nil
+	p.members = nil
+	p.sealing = append(p.sealing, batch)
+	return batch
+}
+
+// seal writes one detached batch as a pack container. On failure the
+// batch is merged back into staging, so its blocks stay readable and a
+// later Put or FlushPacked retries the seal.
+func (p *packer) seal(ctx context.Context, batch *sealBatch) error {
+	err := p.writeContainer(ctx, batch)
+	p.mu.Lock()
+	for i, b := range p.sealing {
+		if b == batch {
+			p.sealing = append(p.sealing[:i], p.sealing[i+1:]...)
+			break
+		}
+	}
+	if err != nil {
+		p.restageLocked(batch)
+	}
+	p.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("core: seal pack container: %w", err)
+	}
+	p.c.obs.packSealed.Inc()
+	p.c.obs.packBlocks.Add(int64(len(batch.members)))
+	return nil
+}
+
+// restageLocked prepends a failed batch back into staging, rebasing the
+// current staging members after it. Caller holds p.mu.
+func (p *packer) restageLocked(batch *sealBatch) {
+	shift := int64(len(batch.buf))
+	for i := range p.members {
+		p.members[i].Off += shift
+	}
+	p.members = append(batch.members, p.members...)
+	p.buf = append(batch.buf, p.buf...)
+}
+
+// writeContainer streams one batch out under a fresh container id,
+// skipping ids some earlier incarnation already registered.
+func (p *packer) writeContainer(ctx context.Context, batch *sealBatch) error {
+	for {
+		p.mu.Lock()
+		p.seq++
+		id := model.BlockID(fmt.Sprintf("pack-%08d", p.seq))
+		p.mu.Unlock()
+		_, err := p.c.streamPut(ctx, id, bytes.NewReader(batch.buf), batch.members)
+		if errors.Is(err, metadata.ErrExists) {
+			continue
+		}
+		return err
+	}
+}
+
+// get serves a staged or mid-seal block's bytes (read-through). The
+// returned slice is a private copy.
+func (p *packer) get(id model.BlockID) ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if data, ok := sliceMember(p.buf, p.members, id); ok {
+		return data, true
+	}
+	for _, b := range p.sealing {
+		if data, ok := sliceMember(b.buf, b.members, id); ok {
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+func sliceMember(buf []byte, members []model.PackedMember, id model.BlockID) ([]byte, bool) {
+	for _, m := range members {
+		if m.ID == id {
+			out := make([]byte, m.Len)
+			copy(out, buf[m.Off:m.Off+m.Len])
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// unstage removes a block still in staging; false if the id is not
+// staged (it may be sealed, mid-seal, or never packed — the caller
+// falls through to the catalog then).
+func (p *packer) unstage(id model.BlockID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, m := range p.members {
+		if m.ID == id {
+			p.members = append(p.members[:i], p.members[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// FlushPacked seals the packer's open staging batch, making every
+// staged small block durable and catalog-resolvable. A no-op when
+// nothing is staged or packing is disabled.
+func (c *Client) FlushPacked(ctx context.Context) error {
+	if c.packer == nil {
+		return nil
+	}
+	c.packer.mu.Lock()
+	batch := c.packer.detachLocked()
+	c.packer.mu.Unlock()
+	if batch == nil {
+		return nil
+	}
+	return c.packer.seal(ctx, batch)
+}

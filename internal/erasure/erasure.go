@@ -11,6 +11,26 @@
 // of the top block). Right-multiplying by an invertible matrix preserves
 // the rank of every row subset, so the "any k rows invertible" Vandermonde
 // property carries over to the systematic form.
+//
+// Invariants the data path depends on:
+//
+//   - Pooled-stripe ownership. EncodePooled returns a Stripe whose data
+//     chunks may alias the caller's block and whose padding and parity
+//     live in pooled buffers; the chunks are read-only and die at
+//     Release. Consumers that outlive the stripe (site stores, the
+//     decoded-block cache) must copy on ingest. DecodeInto writes into
+//     caller-owned memory and never retains its inputs.
+//
+//   - 64-byte shard boundaries. Large stripes are encoded by up to
+//     min(GOMAXPROCS, 8) goroutines split on 64-byte boundaries, so no
+//     two workers ever touch the same cache line; work order changes
+//     across runs, output bytes never do.
+//
+//   - Byte-position independence. Parity is computed byte-position-wise,
+//     so any per-chunk window [lo, hi) taken across all chunks forms
+//     valid codewords; Layout maps block byte ranges to such windows and
+//     the same Codec en/decodes them (the basis of GetRange, DESIGN.md
+//     §13).
 package erasure
 
 import (

@@ -63,6 +63,17 @@ func getBuf(n int, m *Metrics) *[]byte {
 	return &b
 }
 
+// AcquireBuffer hands out a length-n buffer from the codec's size-class
+// pools for callers outside this package (the streaming put path stages
+// each stripe in one). Contents are stale pool data — overwrite every
+// byte you expose — and the same ownership rule applies: the buffer is
+// exclusively owned until ReleaseBuffer.
+func AcquireBuffer(n int) *[]byte { return getBuf(n, nil) }
+
+// ReleaseBuffer returns a buffer obtained from AcquireBuffer to its size
+// class. No slice of it may be used afterwards.
+func ReleaseBuffer(pb *[]byte) { putBuf(pb) }
+
 // putBuf returns a buffer to its size class. Buffers that did not come
 // from the pool (capacity not an in-range power of two) are dropped for
 // the garbage collector.

@@ -190,6 +190,20 @@ func (s *Site) GetChunk(ctx context.Context, ref model.ChunkRef) ([]byte, error)
 	return s.api.GetChunk(ctx, ref)
 }
 
+func (s *Site) GetChunkRange(ctx context.Context, ref model.ChunkRef, off, n int64) ([]byte, error) {
+	if err := s.before(ctx); err != nil {
+		return nil, err
+	}
+	return s.api.GetChunkRange(ctx, ref, off, n)
+}
+
+func (s *Site) PutChunkStream(ctx context.Context, ref model.ChunkRef, off int64, data []byte) error {
+	if err := s.before(ctx); err != nil {
+		return err
+	}
+	return s.api.PutChunkStream(ctx, ref, off, data)
+}
+
 func (s *Site) DeleteChunk(ctx context.Context, ref model.ChunkRef) error {
 	if err := s.before(ctx); err != nil {
 		return err

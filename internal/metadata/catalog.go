@@ -16,14 +16,21 @@ import (
 
 // Errors returned by the catalog.
 var (
-	ErrNotFound       = errors.New("metadata: block not found")
-	ErrExists         = errors.New("metadata: block already registered")
-	ErrStaleVersion   = errors.New("metadata: placement version conflict")
-	ErrChunkConflict  = errors.New("metadata: destination already holds a chunk of this block")
-	ErrInvalidChunk   = errors.New("metadata: invalid chunk id")
-	ErrInvalidBlock   = errors.New("metadata: invalid block metadata")
-	ErrUnknownSite    = errors.New("metadata: unknown site")
+	ErrNotFound      = errors.New("metadata: block not found")
+	ErrExists        = errors.New("metadata: block already registered")
+	ErrStaleVersion  = errors.New("metadata: placement version conflict")
+	ErrChunkConflict = errors.New("metadata: destination already holds a chunk of this block")
+	ErrInvalidChunk  = errors.New("metadata: invalid chunk id")
+	ErrInvalidBlock  = errors.New("metadata: invalid block metadata")
+	ErrUnknownSite   = errors.New("metadata: unknown site")
+	ErrInvalidMember = errors.New("metadata: invalid pack member")
 )
+
+// memberRef locates one packed block inside its container.
+type memberRef struct {
+	container model.BlockID
+	off, size int64
+}
 
 // Catalog is the in-memory metadata store. It is safe for concurrent use
 // and implements placement.CatalogView.
@@ -31,9 +38,13 @@ type Catalog struct {
 	mu     sync.RWMutex
 	blocks map[model.BlockID]*model.BlockMeta
 	// bySite indexes blocks by the sites storing their chunks, for
-	// repair scans after a site failure.
+	// repair scans after a site failure. Pack members never appear here:
+	// they own no chunks, so repair and movement operate on the container.
 	bySite map[model.SiteID]map[model.BlockID]bool
-	sites  map[model.SiteID]bool
+	// members resolves a packed block id to its container and byte range;
+	// lookups of member ids synthesize metadata from the container entry.
+	members map[model.BlockID]memberRef
+	sites   map[model.SiteID]bool
 	// retired remembers the final placement version of deleted blocks so
 	// a re-registered id resumes numbering instead of restarting at 0:
 	// (id, version) pairs are then unique across a block's lifetimes,
@@ -75,6 +86,7 @@ func NewCatalog(sites []model.SiteID) *Catalog {
 	c := &Catalog{
 		blocks:  make(map[model.BlockID]*model.BlockMeta),
 		bySite:  make(map[model.SiteID]map[model.BlockID]bool),
+		members: make(map[model.BlockID]memberRef),
 		sites:   make(map[model.SiteID]bool, len(sites)),
 		retired: make(map[model.BlockID]uint64),
 	}
@@ -104,10 +116,18 @@ func (c *Catalog) Sites() []model.SiteID {
 }
 
 // Register adds a new block. Every chunk site must be known, chunks of one
-// block must land on distinct sites, and the id must be unused.
+// block must land on distinct sites, and the id must be unused. A meta
+// carrying Members registers a pack container: each member id becomes
+// resolvable through Lookup/BlockMeta as a synthesized entry, so member
+// ids must be unused too and their byte ranges must fit the container.
 func (c *Catalog) Register(meta *model.BlockMeta) error {
 	if meta == nil || meta.ID == "" || len(meta.Sites) == 0 {
 		return ErrInvalidBlock
+	}
+	if meta.Packed() {
+		// Synthesized member metadata is derived state; only containers
+		// and plain blocks are registered.
+		return fmt.Errorf("%w: %s carries PackedIn", ErrInvalidBlock, meta.ID)
 	}
 	if len(meta.Sites) != meta.TotalChunks() {
 		return fmt.Errorf("%w: %d sites for %d chunks", ErrInvalidBlock, len(meta.Sites), meta.TotalChunks())
@@ -118,6 +138,19 @@ func (c *Catalog) Register(meta *model.BlockMeta) error {
 			return fmt.Errorf("%w: duplicate site %d", ErrInvalidBlock, s)
 		}
 		seen[s] = true
+	}
+	memberIDs := make(map[model.BlockID]bool, len(meta.Members))
+	for _, m := range meta.Members {
+		if m.ID == "" || m.ID == meta.ID {
+			return fmt.Errorf("%w: bad id %q in %s", ErrInvalidMember, m.ID, meta.ID)
+		}
+		if memberIDs[m.ID] {
+			return fmt.Errorf("%w: duplicate id %s in %s", ErrInvalidMember, m.ID, meta.ID)
+		}
+		memberIDs[m.ID] = true
+		if m.Off < 0 || m.Len < 0 || m.Off+m.Len > meta.Size {
+			return fmt.Errorf("%w: %s range [%d,%d) outside container of %d bytes", ErrInvalidMember, m.ID, m.Off, m.Off+m.Len, meta.Size)
+		}
 	}
 
 	c.mu.Lock()
@@ -130,6 +163,17 @@ func (c *Catalog) Register(meta *model.BlockMeta) error {
 	if _, exists := c.blocks[meta.ID]; exists {
 		return fmt.Errorf("%w: %s", ErrExists, meta.ID)
 	}
+	if _, exists := c.members[meta.ID]; exists {
+		return fmt.Errorf("%w: %s (is a pack member)", ErrExists, meta.ID)
+	}
+	for id := range memberIDs {
+		if _, exists := c.blocks[id]; exists {
+			return fmt.Errorf("%w: member %s", ErrExists, id)
+		}
+		if _, exists := c.members[id]; exists {
+			return fmt.Errorf("%w: member %s (already packed)", ErrExists, id)
+		}
+	}
 	stored := meta.Clone()
 	if last, wasDeleted := c.retired[meta.ID]; wasDeleted && stored.Version <= last {
 		// Resume version numbering where the deleted incarnation left
@@ -141,9 +185,41 @@ func (c *Catalog) Register(meta *model.BlockMeta) error {
 	for _, s := range stored.Sites {
 		c.indexLocked(s, stored.ID)
 	}
+	for _, m := range stored.Members {
+		c.members[m.ID] = memberRef{container: stored.ID, off: m.Off, size: m.Len}
+		delete(c.retired, m.ID)
+	}
 	c.registers.Inc()
 	c.blocksGauge.Set(int64(len(c.blocks)))
 	return nil
+}
+
+// memberMetaLocked synthesizes a pack member's metadata from its
+// container. The member mirrors the container's coding parameters,
+// placement and version (so version-keyed caches invalidate with the
+// container) but owns no chunks of its own.
+func (c *Catalog) memberMetaLocked(id model.BlockID) (*model.BlockMeta, bool) {
+	ref, ok := c.members[id]
+	if !ok {
+		return nil, false
+	}
+	cm, ok := c.blocks[ref.container]
+	if !ok {
+		return nil, false
+	}
+	return &model.BlockMeta{
+		ID:         id,
+		Scheme:     cm.Scheme,
+		Size:       ref.size,
+		K:          cm.K,
+		R:          cm.R,
+		ChunkSize:  cm.ChunkSize,
+		Sites:      append([]model.SiteID(nil), cm.Sites...),
+		Version:    cm.Version,
+		StripeUnit: cm.StripeUnit,
+		PackedIn:   cm.ID,
+		PackedOff:  ref.off,
+	}, true
 }
 
 func (c *Catalog) indexLocked(s model.SiteID, id model.BlockID) {
@@ -171,7 +247,7 @@ func (c *Catalog) BlockMeta(id model.BlockID) (*model.BlockMeta, bool) {
 	defer c.mu.RUnlock()
 	meta, ok := c.blocks[id]
 	if !ok {
-		return nil, false
+		return c.memberMetaLocked(id)
 	}
 	return meta.Clone(), true
 }
@@ -186,6 +262,10 @@ func (c *Catalog) Lookup(ids []model.BlockID) (map[model.BlockID]*model.BlockMet
 	for _, id := range ids {
 		meta, ok := c.blocks[id]
 		if !ok {
+			if synth, isMember := c.memberMetaLocked(id); isMember {
+				out[id] = synth
+				continue
+			}
 			c.lookupMiss.Inc()
 			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 		}
@@ -196,17 +276,42 @@ func (c *Catalog) Lookup(ids []model.BlockID) (map[model.BlockID]*model.BlockMet
 
 // Delete removes a block, returning its final metadata so callers can
 // delete the chunks.
+//
+// Deleting a pack member removes it from the container's member list and
+// returns its synthesized metadata with Sites set to nil: the member owns
+// no chunks, so there is nothing for the caller to delete (the container
+// keeps its chunks until it is deleted itself). Deleting a container
+// cascades: every remaining member id stops resolving.
 func (c *Catalog) Delete(id model.BlockID) (*model.BlockMeta, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	meta, ok := c.blocks[id]
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		synth, isMember := c.memberMetaLocked(id)
+		if !isMember {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		cm := c.blocks[synth.PackedIn]
+		for i, m := range cm.Members {
+			if m.ID == id {
+				cm.Members = append(cm.Members[:i], cm.Members[i+1:]...)
+				break
+			}
+		}
+		delete(c.members, id)
+		c.retired[id] = synth.Version
+		synth.Sites = nil
+		c.deletes.Inc()
+		return synth, nil
 	}
 	delete(c.blocks, id)
 	c.retired[id] = meta.Version
 	for _, s := range meta.Sites {
 		c.unindexLocked(s, id)
+	}
+	for _, m := range meta.Members {
+		delete(c.members, m.ID)
+		c.retired[m.ID] = meta.Version
 	}
 	c.deletes.Inc()
 	c.blocksGauge.Set(int64(len(c.blocks)))

@@ -14,8 +14,10 @@ import (
 // Snapshot format: a magic header, the site list, then one encoded
 // BlockMeta per frame. Length-prefixed frames reuse the wire codec so the
 // snapshot survives partial writes detectably (a truncated trailing frame
-// fails to decode).
-var snapshotMagic = []byte("ECSTORE-META-V1\n")
+// fails to decode). V2 extends each block record with the stripe unit,
+// packed-member linkage and container member table (see EncodeBlockMeta);
+// V1 snapshots are not readable and must be regenerated.
+var snapshotMagic = []byte("ECSTORE-META-V2\n")
 
 // ErrBadSnapshot reports a corrupt or foreign snapshot file.
 var ErrBadSnapshot = errors.New("metadata: bad snapshot")

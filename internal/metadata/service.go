@@ -40,7 +40,9 @@ const (
 	methodGetMetrics
 )
 
-// EncodeBlockMeta serializes block metadata.
+// EncodeBlockMeta serializes block metadata. The layout extends the
+// original record in place (appended fields only, never reordered):
+// stripe unit, packed-member linkage, and the container member table.
 func EncodeBlockMeta(e *wire.Encoder, m *model.BlockMeta) {
 	e.String(string(m.ID))
 	e.Uint8(uint8(m.Scheme))
@@ -52,6 +54,15 @@ func EncodeBlockMeta(e *wire.Encoder, m *model.BlockMeta) {
 	e.Uint32(uint32(len(m.Sites)))
 	for _, s := range m.Sites {
 		e.Int64(int64(s))
+	}
+	e.Int64(m.StripeUnit)
+	e.String(string(m.PackedIn))
+	e.Int64(m.PackedOff)
+	e.Uint32(uint32(len(m.Members)))
+	for _, pm := range m.Members {
+		e.String(string(pm.ID))
+		e.Int64(pm.Off)
+		e.Int64(pm.Len)
 	}
 }
 
@@ -76,6 +87,26 @@ func DecodeBlockMeta(d *wire.Decoder) (*model.BlockMeta, error) {
 	m.Sites = make([]model.SiteID, n)
 	for i := range m.Sites {
 		m.Sites[i] = model.SiteID(d.Int64())
+	}
+	m.StripeUnit = d.Int64()
+	m.PackedIn = model.BlockID(d.String())
+	m.PackedOff = d.Int64()
+	mn := int(d.Uint32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if mn > 1<<20 {
+		return nil, fmt.Errorf("metadata: absurd member count %d", mn)
+	}
+	if mn > 0 {
+		m.Members = make([]model.PackedMember, mn)
+		for i := range m.Members {
+			m.Members[i] = model.PackedMember{
+				ID:  model.BlockID(d.String()),
+				Off: d.Int64(),
+				Len: d.Int64(),
+			}
+		}
 	}
 	if err := d.Err(); err != nil {
 		return nil, err

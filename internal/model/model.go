@@ -57,6 +57,14 @@ func (s Scheme) String() string {
 	}
 }
 
+// PackedMember records one small block sealed into a pack container:
+// Off/Len locate its bytes inside the container's logical byte stream.
+type PackedMember struct {
+	ID  BlockID
+	Off int64
+	Len int64
+}
+
 // BlockMeta is the metadata service's record for one block: the system
 // state row C_i in the paper's notation. Sites[c] is the site storing chunk
 // c; for replicated blocks each "chunk" is a full copy.
@@ -77,6 +85,25 @@ type BlockMeta struct {
 	// Version increments on every placement change so concurrent
 	// movement and access can detect stale plans.
 	Version uint64
+
+	// StripeUnit, when positive, marks the block as stripe-interleaved:
+	// stripe t holds block bytes [t*K*StripeUnit, (t+1)*K*StripeUnit) and
+	// contributes StripeUnit bytes at offset t*StripeUnit of every chunk.
+	// ChunkSize is then a whole multiple of StripeUnit. Zero means the
+	// legacy contiguous layout (chunk c holds block bytes
+	// [c*ChunkSize, (c+1)*ChunkSize)).
+	StripeUnit int64
+
+	// Members, on a pack container, lists the small blocks sealed into
+	// it. Member blocks have no chunks of their own; the catalog
+	// synthesizes their metadata from the container's entry.
+	Members []PackedMember
+	// PackedIn and PackedOff are set only on synthesized member
+	// metadata: the block's bytes are [PackedOff, PackedOff+Size) of
+	// container PackedIn. Sites then mirrors the container's placement
+	// for health accounting, but the member owns no chunks.
+	PackedIn  BlockID
+	PackedOff int64
 }
 
 // TotalChunks returns the number of stored chunks (or copies).
@@ -122,8 +149,15 @@ func (m *BlockMeta) ChunksAt(site SiteID) []int {
 func (m *BlockMeta) Clone() *BlockMeta {
 	c := *m
 	c.Sites = append([]SiteID(nil), m.Sites...)
+	if m.Members != nil {
+		c.Members = append([]PackedMember(nil), m.Members...)
+	}
 	return &c
 }
+
+// Packed reports whether this metadata describes a member of a pack
+// container rather than a block with chunks of its own.
+func (m *BlockMeta) Packed() bool { return m.PackedIn != "" }
 
 // AccessPlan says which chunks to fetch from which sites for one read
 // request: the selected s_ij variables of the paper's ILP.

@@ -139,6 +139,18 @@ type Options struct {
 	// CacheBytes enables the client-side decoded-block cache with this
 	// byte budget; a hit serves the block without any site visit.
 	CacheBytes int64
+	// RangeFraction is the probability in [0,1] that a request reads a
+	// sub-range of each block through the stripe-range path (GetRange):
+	// site visits then transfer only the stripe window the range touches
+	// and the decode covers only those bytes. Zero disables range reads.
+	RangeFraction float64
+	// RangeStripes models each block's stripe count — the granularity a
+	// range rounds up to, as in the real layout (ChunkSize/StripeUnit).
+	// Zero means 8 (1 MiB blocks at k=2, 64 KiB units).
+	RangeStripes int
+	// RangeMeanFrac is the mean fraction of a block a range covers,
+	// sampled uniformly in (0, 2*mean]. Zero means 1/8.
+	RangeMeanFrac float64
 }
 
 func (o Options) withDefaults() Options {
@@ -153,6 +165,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Strategy == 0 {
 		o.Strategy = placement.StrategyRandom
+	}
+	if o.RangeStripes <= 0 {
+		o.RangeStripes = 8
+	}
+	if o.RangeMeanFrac <= 0 {
+		o.RangeMeanFrac = 0.125
 	}
 	return o
 }
@@ -175,6 +193,9 @@ func (o Options) Name() string {
 	}
 	if o.CacheBytes > 0 {
 		name += "+CACHE"
+	}
+	if o.RangeFraction > 0 {
+		name += "+RANGE"
 	}
 	return name
 }
@@ -205,14 +226,15 @@ type Cluster struct {
 	metrics *Metrics
 
 	// measured-window accounting.
-	siteBytesAt map[model.SiteID]float64
-	measureFrom float64
-	reqInWindow int
-	moves       int
-	lastWindow  float64
-	reqRate     float64
-	visitsTotal int64
-	fetchTotal  int64
+	siteBytesAt  map[model.SiteID]float64
+	measureFrom  float64
+	reqInWindow  int
+	moves        int
+	lastWindow   float64
+	reqRate      float64
+	visitsTotal  int64
+	fetchTotal   int64
+	rangeReqs    int64
 	reqSeen      int64
 	statsReports int64
 	cacheStatsAt cache.Stats
@@ -416,6 +438,23 @@ type request struct {
 	needs     map[model.BlockID]int // remaining chunks per block
 	remaining int                   // blocks not yet satisfied
 	bytes     float64               // total logical block bytes (decode cost)
+	factor    float64               // fraction of each block actually read (1 = whole block)
+}
+
+// rangeFactor samples what fraction of each block this request reads.
+// Whole-block requests return 1; a range request draws a fraction around
+// RangeMeanFrac and rounds it up to the stripe grid, exactly as
+// erasure.Layout.Window widens a byte range to whole stripes.
+func (c *Cluster) rangeFactor(rng *rand.Rand) float64 {
+	if c.opt.RangeFraction <= 0 || rng.Float64() >= c.opt.RangeFraction {
+		return 1
+	}
+	frac := rng.Float64() * 2 * c.opt.RangeMeanFrac
+	if frac > 1 {
+		frac = 1
+	}
+	stripes := float64(c.opt.RangeStripes)
+	return math.Ceil(frac*stripes+1e-9) / stripes
 }
 
 // Run executes the simulation in the paper's three phases: `warmup`
@@ -648,20 +687,25 @@ func (c *Cluster) issue(wl Workload, rng *rand.Rand) {
 			c.eng.After(0.001, func() { c.issue(wl, rng) })
 			return
 		}
+		factor := c.rangeFactor(rng)
+		if factor < 1 && c.eng.Now() >= c.measureFrom {
+			c.rangeReqs++
+		}
 		c.eng.After(c.p.PlanTime, func() {
-			c.fetch(wl, rng, start, metas, plan)
+			c.fetch(wl, rng, start, metas, plan, factor)
 		})
 	})
 }
 
 // fetch dispatches the plan's site visits and completes the request when
 // every block has k chunks (late binding discards the surplus).
-func (c *Cluster) fetch(wl Workload, rng *rand.Rand, start float64, metas map[model.BlockID]*model.BlockMeta, plan *model.AccessPlan) {
+func (c *Cluster) fetch(wl Workload, rng *rand.Rand, start float64, metas map[model.BlockID]*model.BlockMeta, plan *model.AccessPlan, factor float64) {
 	now := c.eng.Now()
 	req := &request{
 		start:    start,
 		planDone: now,
 		needs:    make(map[model.BlockID]int, len(metas)),
+		factor:   factor,
 	}
 	// Accumulate in sorted block order: req.bytes is a float sum, and
 	// float addition is order-sensitive, so map order would leak into
@@ -673,7 +717,7 @@ func (c *Cluster) fetch(wl Workload, rng *rand.Rand, start float64, metas map[mo
 	sort.Slice(blockIDs, func(i, j int) bool { return blockIDs[i] < blockIDs[j] })
 	for _, id := range blockIDs {
 		req.needs[id] = metas[id].RequiredChunks()
-		req.bytes += float64(metas[id].Size)
+		req.bytes += float64(metas[id].Size) * factor
 	}
 	req.remaining = len(metas)
 
@@ -690,7 +734,7 @@ func (c *Cluster) fetch(wl Workload, rng *rand.Rand, start float64, metas map[mo
 		// transfers, and the response returns after another hop.
 		var visitBytes float64
 		for _, ref := range refs {
-			visitBytes += float64(metas[ref.Block].ChunkSize)
+			visitBytes += float64(metas[ref.Block].ChunkSize) * req.factor
 		}
 		arrive := now + c.net()
 		refsCopy := append([]model.ChunkRef(nil), refs...)
@@ -774,7 +818,11 @@ func (c *Cluster) chunkArrived(wl Workload, rng *rand.Rand, req *request, metas 
 		decode = req.bytes / c.p.DecodeBytesPerSec
 	}
 	c.eng.After(decode, func() {
-		c.cachePopulate(metas)
+		// Only whole-block reads decode a cacheable block; a range
+		// decode yields a window, which the real client never admits.
+		if req.factor >= 1 {
+			c.cachePopulate(metas)
+		}
 		bd := model.Breakdown{
 			Metadata: c.p.MetaAccessTime,
 			Planning: c.p.PlanTime,

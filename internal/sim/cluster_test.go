@@ -314,3 +314,31 @@ func TestSimCacheLowersLatencyOnSkewedWorkload(t *testing.T) {
 			cached.Throughput, base.Throughput)
 	}
 }
+
+func TestSimRangeReadsLowerRetrieveAndDecode(t *testing.T) {
+	whole := runTiny(t, tinyParams(11), Options{}, 300, 1, 0, 3)
+	ranged := runTiny(t, tinyParams(11), Options{RangeFraction: 1.0}, 300, 1, 0, 3)
+	if ranged.Config != "EC+RANGE" {
+		t.Fatalf("config = %s", ranged.Config)
+	}
+	if ranged.RangeRequests == 0 {
+		t.Fatal("no range requests counted")
+	}
+	// Every request reads ~1/8 of each block: both the stripe-window
+	// transfer and the window decode must shrink versus whole blocks.
+	if ranged.Mean.Retrieve >= whole.Mean.Retrieve {
+		t.Fatalf("range retrieve %.4f >= whole %.4f", ranged.Mean.Retrieve, whole.Mean.Retrieve)
+	}
+	if ranged.Mean.Decode >= whole.Mean.Decode {
+		t.Fatalf("range decode %.6f >= whole %.6f", ranged.Mean.Decode, whole.Mean.Decode)
+	}
+}
+
+func TestSimRangeReadsDeterministic(t *testing.T) {
+	opt := Options{RangeFraction: 0.5, RangeMeanFrac: 0.25}
+	a := runTiny(t, tinyParams(13), opt, 200, 1, 0, 2)
+	b := runTiny(t, tinyParams(13), opt, 200, 1, 0, 2)
+	if a.RangeRequests != b.RangeRequests || a.Mean.Total() != b.Mean.Total() {
+		t.Fatalf("range runs diverge: %d/%v vs %d/%v", a.RangeRequests, a.Mean.Total(), b.RangeRequests, b.Mean.Total())
+	}
+}

@@ -47,6 +47,10 @@ type Result struct {
 	CacheHits   int64
 	CacheMisses int64
 	Cache       cache.Stats
+
+	// RangeRequests counts measured requests served through the
+	// stripe-range path (Options.RangeFraction > 0).
+	RangeRequests int64
 }
 
 // CacheHitRatio returns the measured-window hit ratio, or 0 when the
@@ -136,6 +140,7 @@ func (c *Cluster) result(measure float64) *Result {
 		r.CacheHits = r.Cache.Hits - c.cacheStatsAt.Hits
 		r.CacheMisses = r.Cache.Misses - c.cacheStatsAt.Misses
 	}
+	r.RangeRequests = c.rangeReqs
 
 	// Per-site measured I/O and the λ imbalance factor (Table II).
 	// Iterate sites in ID order: rates feeds a float sum, and float

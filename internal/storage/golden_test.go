@@ -1,0 +1,136 @@
+package storage
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"strings"
+	"testing"
+
+	"ecstore/internal/model"
+	"ecstore/internal/wire"
+)
+
+// mustHex decodes a spaced hex string like the DESIGN.md §13 diagrams.
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(strings.ReplaceAll(s, " ", ""))
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// TestGoldenRangeWireFormat pins the GetChunkRange / PutChunkStream
+// request bodies to the byte-level diagrams in DESIGN.md §13. If this
+// test breaks, either the wire format changed (bump the docs and the
+// method contract) or the docs drifted (fix them).
+func TestGoldenRangeWireFormat(t *testing.T) {
+	if methodGetChunkRange != 9 || methodPutChunkStream != 10 {
+		t.Fatalf("method ids moved: GetChunkRange=%d PutChunkStream=%d, docs say 9/10", methodGetChunkRange, methodPutChunkStream)
+	}
+
+	// GetChunkRange request for chunk {b1,3}, off=65536, n=131072 —
+	// the exact example documented in §13.
+	goldenGet := mustHex(t,
+		"00 00 00 02 62 31"+ // block id: u32 len 2, "b1"
+			" 00 00 00 03"+ // chunk index u32
+			" 00 00 00 00 00 01 00 00"+ // off u64 = 65536
+			" 00 02 00 00") // n u32 = 131072
+	e := wire.NewEncoder(32)
+	encodeRef(e, model.ChunkRef{Block: "b1", Chunk: 3})
+	e.Uint64(65536)
+	e.Uint32(131072)
+	if !bytes.Equal(e.Bytes(), goldenGet) {
+		t.Fatalf("GetChunkRange request body drifted from §13:\n got %x\nwant %x", e.Bytes(), goldenGet)
+	}
+	// And the decode side reads the documented bytes back.
+	d := wire.NewDecoder(goldenGet)
+	ref := decodeRef(d)
+	off, n := d.Uint64(), d.Uint32()
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Block != "b1" || ref.Chunk != 3 || off != 65536 || n != 131072 {
+		t.Fatalf("decoded ref=%v off=%d n=%d", ref, off, n)
+	}
+
+	// PutChunkStream request for the same chunk at off=65536 carrying
+	// the 2-byte payload "hi" as the raw frame tail (§13).
+	goldenPut := mustHex(t,
+		"00 00 00 02 62 31"+
+			" 00 00 00 03"+
+			" 00 00 00 00 00 01 00 00"+
+			" 68 69") // raw payload "hi", no length prefix
+	e2 := wire.NewEncoder(32)
+	encodeRef(e2, model.ChunkRef{Block: "b1", Chunk: 3})
+	e2.Uint64(65536)
+	e2.Raw([]byte("hi"))
+	if !bytes.Equal(e2.Bytes(), goldenPut) {
+		t.Fatalf("PutChunkStream request body drifted from §13:\n got %x\nwant %x", e2.Bytes(), goldenPut)
+	}
+	d2 := wire.NewDecoder(goldenPut)
+	ref2 := decodeRef(d2)
+	off2 := d2.Uint64()
+	if err := d2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	payload := d2.Rest()
+	if ref2.Block != "b1" || off2 != 65536 || string(payload) != "hi" {
+		t.Fatalf("decoded ref=%v off=%d payload=%q", ref2, off2, payload)
+	}
+}
+
+// TestRangeRPCRoundTrip drives the two new methods end to end through
+// the real server dispatch, including the sparse-write then range-read
+// contract at a nonzero chunk offset.
+func TestRangeRPCRoundTrip(t *testing.T) {
+	svc := NewService(ServiceConfig{Site: 1}, NewMemStore())
+	ctx := context.Background()
+	ref := model.ChunkRef{Block: "blk", Chunk: 0}
+	if err := svc.PutChunkStream(ctx, ref, 0, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.PutChunkStream(ctx, ref, 10, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := svc.GetChunkRange(ctx, ref, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "89abc" {
+		t.Fatalf("range read = %q", got)
+	}
+	if _, err := svc.GetChunkRange(ctx, ref, 14, 10); err == nil {
+		t.Fatal("read past chunk end succeeded")
+	}
+}
+
+// TestRangeRPCOverTransport exercises GetChunkRange / PutChunkStream
+// through the framed RPC client and server, pinning the raw-payload
+// response contract (the segment is the whole body, no length prefix).
+func TestRangeRPCOverTransport(t *testing.T) {
+	svc := NewService(ServiceConfig{Site: 3}, NewMemStore())
+	client, cleanup := startStorageRPC(t, svc)
+	defer cleanup()
+	ctx := context.Background()
+	cref := model.ChunkRef{Block: "blk", Chunk: 2}
+
+	if err := client.PutChunkStream(ctx, cref, 4, []byte("wxyz")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.PutChunkStream(ctx, cref, 0, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.GetChunkRange(ctx, cref, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "cdwx" {
+		t.Fatalf("GetChunkRange over RPC = %q", got)
+	}
+	// Zero-length range: valid, empty body.
+	if got, err := client.GetChunkRange(ctx, cref, 0, 0); err != nil || len(got) != 0 {
+		t.Fatalf("zero-length range = %q, %v", got, err)
+	}
+}

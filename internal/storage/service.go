@@ -37,14 +37,16 @@ type ServiceConfig struct {
 // siteMetrics is one storage service's instrument set, labeled by site.
 // Every field is nil-safe, so a disabled registry costs nothing.
 type siteMetrics struct {
-	reads       *obs.Counter
-	writes      *obs.Counter
-	deletes     *obs.Counter
-	errors      *obs.Counter
-	readBytes   *obs.Counter
-	writeBytes  *obs.Counter
-	readLatency *obs.Histogram
-	failed      *obs.Gauge
+	reads        *obs.Counter
+	writes       *obs.Counter
+	deletes      *obs.Counter
+	errors       *obs.Counter
+	readBytes    *obs.Counter
+	writeBytes   *obs.Counter
+	rangeReads   *obs.Counter
+	streamWrites *obs.Counter
+	readLatency  *obs.Histogram
+	failed       *obs.Gauge
 }
 
 func newSiteMetrics(reg *obs.Registry, site model.SiteID) siteMetrics {
@@ -53,14 +55,16 @@ func newSiteMetrics(reg *obs.Registry, site model.SiteID) siteMetrics {
 	}
 	label := strconv.FormatInt(int64(site), 10)
 	return siteMetrics{
-		reads:       reg.CounterVec("storage_reads_total", "site", "chunk reads served").With(label),
-		writes:      reg.CounterVec("storage_writes_total", "site", "chunk writes served").With(label),
-		deletes:     reg.CounterVec("storage_deletes_total", "site", "chunk/block deletes served").With(label),
-		errors:      reg.CounterVec("storage_errors_total", "site", "failed storage operations (including failure injection)").With(label),
-		readBytes:   reg.CounterVec("storage_read_bytes_total", "site", "bytes read from the store").With(label),
-		writeBytes:  reg.CounterVec("storage_write_bytes_total", "site", "bytes written to the store").With(label),
-		readLatency: reg.HistogramVec("storage_read_seconds", "site", "chunk read service time including media throttle (m_j)").With(label),
-		failed:      reg.Gauge("storage_failed_sites", "sites currently failure-injected"),
+		reads:        reg.CounterVec("storage_reads_total", "site", "chunk reads served").With(label),
+		writes:       reg.CounterVec("storage_writes_total", "site", "chunk writes served").With(label),
+		deletes:      reg.CounterVec("storage_deletes_total", "site", "chunk/block deletes served").With(label),
+		errors:       reg.CounterVec("storage_errors_total", "site", "failed storage operations (including failure injection)").With(label),
+		readBytes:    reg.CounterVec("storage_read_bytes_total", "site", "bytes read from the store").With(label),
+		writeBytes:   reg.CounterVec("storage_write_bytes_total", "site", "bytes written to the store").With(label),
+		rangeReads:   reg.CounterVec("storage_range_reads_total", "site", "stripe-range chunk reads served (GetChunkRange)").With(label),
+		streamWrites: reg.CounterVec("storage_stream_writes_total", "site", "streamed chunk segment writes served (PutChunkStream)").With(label),
+		readLatency:  reg.HistogramVec("storage_read_seconds", "site", "chunk read service time including media throttle (m_j)").With(label),
+		failed:       reg.Gauge("storage_failed_sites", "sites currently failure-injected"),
 	}
 }
 
@@ -69,10 +73,10 @@ func newSiteMetrics(reg *obs.Registry, site model.SiteID) siteMetrics {
 // that expose queueing delay (o_j estimation), and failure injection for
 // the fault-tolerance experiments (Section VI-C4).
 type Service struct {
-	cfg     ServiceConfig
-	store   Store
-	obs     siteMetrics
-	reg     *obs.Registry
+	cfg   ServiceConfig
+	store Store
+	obs   siteMetrics
+	reg   *obs.Registry
 
 	mu         sync.Mutex
 	failed     bool
@@ -216,6 +220,64 @@ func (s *Service) GetChunk(ctx context.Context, ref model.ChunkRef) ([]byte, err
 	return data, nil
 }
 
+// GetChunkRange reads n bytes of a chunk starting at byte offset off —
+// the per-chunk window a stripe-range read needs. The media throttle is
+// scaled by the bytes actually served, so a range read occupies the
+// medium proportionally less than a whole-chunk read; accounting feeds
+// the same load-report window as GetChunk.
+func (s *Service) GetChunkRange(ctx context.Context, ref model.ChunkRef, off, n int64) ([]byte, error) {
+	if err := s.checkUp(ctx); err != nil {
+		s.obs.errors.Inc()
+		return nil, err
+	}
+	start := s.cfg.Clock()
+	data, err := s.store.GetAt(ref, off, n)
+	if err != nil {
+		s.obs.errors.Inc()
+		return nil, err
+	}
+	if err := s.sleep(ctx, s.cfg.ReadDelayFixed+time.Duration(len(data))*s.cfg.ReadDelayPerByte); err != nil {
+		s.obs.errors.Inc()
+		return nil, err
+	}
+	elapsed := s.cfg.Clock().Sub(start)
+	s.mu.Lock()
+	s.bytesRead += int64(len(data))
+	s.reads++
+	s.busy += elapsed
+	s.mu.Unlock()
+	s.obs.reads.Inc()
+	s.obs.rangeReads.Inc()
+	s.obs.readBytes.Add(int64(len(data)))
+	s.obs.readLatency.ObserveDuration(elapsed)
+	return data, nil
+}
+
+// PutChunkStream writes one segment of a chunk at byte offset off — the
+// streaming put path delivers each stripe's chunk segment as it is
+// encoded, so a chunk accumulates across calls. Unlike PutChunk the
+// write is not atomic for the chunk as a whole; the block becomes
+// visible only when the catalog registration commits it (see the
+// package doc).
+func (s *Service) PutChunkStream(ctx context.Context, ref model.ChunkRef, off int64, data []byte) error {
+	if err := s.checkUp(ctx); err != nil {
+		s.obs.errors.Inc()
+		return err
+	}
+	if err := s.store.PutAt(ref, off, data); err != nil {
+		s.obs.errors.Inc()
+		return err
+	}
+	s.mu.Lock()
+	s.bytesWrite += int64(len(data))
+	s.writes++
+	s.mu.Unlock()
+	s.obs.writes.Inc()
+	s.obs.streamWrites.Inc()
+	s.obs.writeBytes.Add(int64(len(data)))
+	return nil
+}
+
 // DeleteChunk removes a chunk.
 func (s *Service) DeleteChunk(ctx context.Context, ref model.ChunkRef) error {
 	if err := s.checkUp(ctx); err != nil {
@@ -317,6 +379,8 @@ const (
 	methodProbe
 	methodLoadReport
 	methodGetMetrics
+	methodGetChunkRange
+	methodPutChunkStream
 )
 
 // Server exposes a Service over RPC.
@@ -388,6 +452,27 @@ func (s *Server) Handle(ctx context.Context, method rpc.Method, body []byte) ([]
 		}
 		return e.Bytes(), nil
 
+	case methodGetChunkRange:
+		// Request: ref | off u64 | n u32. Response: the segment as the
+		// whole body, vectored like GetChunk.
+		ref := decodeRef(d)
+		off := d.Uint64()
+		n := d.Uint32()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return s.svc.GetChunkRange(ctx, ref, int64(off), int64(n))
+
+	case methodPutChunkStream:
+		// Request: ref | off u64 | segment as the raw trailing payload.
+		// Rest aliases the request frame; the store copies on ingest.
+		ref := decodeRef(d)
+		off := d.Uint64()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, s.svc.PutChunkStream(ctx, ref, int64(off), d.Rest())
+
 	case methodProbe:
 		return nil, s.svc.Probe(ctx)
 
@@ -438,6 +523,31 @@ func (c *Client) GetChunk(ctx context.Context, ref model.ChunkRef) ([]byte, erro
 	resp, err := c.rc.CallContext(ctx, methodGetChunk, e.Bytes())
 	wire.PutEncoder(e)
 	return resp, err
+}
+
+// GetChunkRange reads a chunk segment remotely. Like GetChunk, the
+// response body is the segment itself and aliases the client's private
+// per-response frame buffer.
+func (c *Client) GetChunkRange(ctx context.Context, ref model.ChunkRef, off, n int64) ([]byte, error) {
+	e := wire.GetEncoder()
+	encodeRef(e, ref)
+	e.Uint64(uint64(off))
+	e.Uint32(uint32(n))
+	resp, err := c.rc.CallContext(ctx, methodGetChunkRange, e.Bytes())
+	wire.PutEncoder(e)
+	return resp, err
+}
+
+// PutChunkStream writes a chunk segment remotely at the given offset.
+// The segment rides as the request's raw trailing payload and must stay
+// immutable until the call returns.
+func (c *Client) PutChunkStream(ctx context.Context, ref model.ChunkRef, off int64, data []byte) error {
+	e := wire.GetEncoder()
+	encodeRef(e, ref)
+	e.Uint64(uint64(off))
+	_, err := c.rc.CallContextPayload(ctx, methodPutChunkStream, e.Bytes(), data)
+	wire.PutEncoder(e)
+	return err
 }
 
 // DeleteChunk removes a chunk remotely.
@@ -508,6 +618,8 @@ func (c *Client) LoadReport(ctx context.Context) (stats.SiteLoad, error) {
 type SiteAPI interface {
 	PutChunk(ctx context.Context, ref model.ChunkRef, data []byte) error
 	GetChunk(ctx context.Context, ref model.ChunkRef) ([]byte, error)
+	GetChunkRange(ctx context.Context, ref model.ChunkRef, off, n int64) ([]byte, error)
+	PutChunkStream(ctx context.Context, ref model.ChunkRef, off int64, data []byte) error
 	DeleteChunk(ctx context.Context, ref model.ChunkRef) error
 	DeleteBlock(ctx context.Context, id model.BlockID) error
 	ListChunks(ctx context.Context) ([]model.ChunkRef, error)

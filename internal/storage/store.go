@@ -1,11 +1,31 @@
 // Package storage implements EC-Store's data plane: per-site chunk stores
 // (memory or disk backed), the storage service with I/O accounting, load
 // reporting and failure injection, and its RPC server/client bindings.
+//
+// Invariants the rest of the system depends on:
+//
+//   - Copy on ingest. Store.Put and Store.PutAt must copy their input:
+//     callers routinely hand in pooled stripe buffers (erasure package)
+//     or RPC frame tails (wire.Decoder.Rest) that are recycled the
+//     moment the call returns.
+//
+//   - Raw-payload RPC contract. Chunk bodies and chunk segments never
+//     pass through an encoder buffer: requests carry them as the
+//     frame's unprefixed trailing payload (taken with the single-use
+//     Decoder.Rest) and responses return them as the whole response
+//     body, vectored onto the socket by the rpc layer.
+//
+//   - Whole-chunk writes commit atomically (temp + fsync + rename on
+//     disk); streamed offset writes (PutAt) do not — a streamed chunk
+//     is incomplete until its block's catalog registration, which is
+//     the commit point of the streaming put path. Readers that find a
+//     chunk only through the catalog never observe a torn chunk.
 package storage
 
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -21,6 +41,8 @@ import (
 var (
 	ErrChunkNotFound = errors.New("storage: chunk not found")
 	ErrSiteDown      = errors.New("storage: site unavailable")
+	// ErrShortChunk reports a range read past the chunk's stored bytes.
+	ErrShortChunk = errors.New("storage: chunk range beyond stored bytes")
 )
 
 // Store is a site-local chunk repository.
@@ -29,6 +51,14 @@ type Store interface {
 	Put(ref model.ChunkRef, data []byte) error
 	// Get returns a copy of a chunk's contents.
 	Get(ref model.ChunkRef) ([]byte, error)
+	// GetAt returns a copy of the chunk bytes [off, off+n). A range
+	// past the stored length fails with ErrShortChunk; a missing chunk
+	// with ErrChunkNotFound.
+	GetAt(ref model.ChunkRef, off, n int64) ([]byte, error)
+	// PutAt writes data at byte offset off, creating the chunk if
+	// needed and zero-filling any gap below off. Used by the streaming
+	// put path to land one stripe segment at a time.
+	PutAt(ref model.ChunkRef, off int64, data []byte) error
 	// Delete removes a chunk; deleting a missing chunk is not an error.
 	Delete(ref model.ChunkRef) error
 	// DeleteBlock removes every chunk of a block.
@@ -80,6 +110,51 @@ func (s *MemStore) Get(ref model.ChunkRef) ([]byte, error) {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	return cp, nil
+}
+
+// GetAt implements Store.
+func (s *MemStore) GetAt(ref model.ChunkRef, off, n int64) ([]byte, error) {
+	if off < 0 || n < 0 {
+		return nil, fmt.Errorf("%w: [%d, %d)", ErrShortChunk, off, off+n)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.chunks[ref]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrChunkNotFound, ref)
+	}
+	if off+n > int64(len(data)) {
+		return nil, fmt.Errorf("%w: %s [%d, %d) of %d", ErrShortChunk, ref, off, off+n, len(data))
+	}
+	cp := make([]byte, n)
+	copy(cp, data[off:off+n])
+	return cp, nil
+}
+
+// PutAt implements Store.
+func (s *MemStore) PutAt(ref model.ChunkRef, off int64, data []byte) error {
+	if off < 0 {
+		return fmt.Errorf("%w: negative offset %d", ErrShortChunk, off)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.chunks[ref]
+	end := off + int64(len(data))
+	cur := old
+	if end > int64(len(cur)) {
+		// Growing reallocates; stored chunks are private copies, so
+		// writes inside the current length may land in place.
+		grown := make([]byte, end)
+		copy(grown, cur)
+		cur = grown
+	}
+	copy(cur[off:end], data)
+	if cur == nil {
+		cur = []byte{}
+	}
+	s.bytes += int64(len(cur)) - int64(len(old))
+	s.chunks[ref] = cur
+	return nil
 }
 
 // Delete implements Store.
@@ -201,6 +276,53 @@ func (s *DiskStore) Get(ref model.ChunkRef) ([]byte, error) {
 		return nil, fmt.Errorf("read chunk: %w", err)
 	}
 	return data, nil
+}
+
+// GetAt implements Store. It reads only the requested window from the
+// chunk file, so a stripe-range read of a large chunk does not touch the
+// rest of the file.
+func (s *DiskStore) GetAt(ref model.ChunkRef, off, n int64) ([]byte, error) {
+	if off < 0 || n < 0 {
+		return nil, fmt.Errorf("%w: [%d, %d)", ErrShortChunk, off, off+n)
+	}
+	f, err := os.Open(s.path(ref))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %s", ErrChunkNotFound, ref)
+		}
+		return nil, fmt.Errorf("read chunk range: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("%w: %s [%d, %d)", ErrShortChunk, ref, off, off+n)
+		}
+		return nil, fmt.Errorf("read chunk range: %w", err)
+	}
+	return buf, nil
+}
+
+// PutAt implements Store. Unlike Put there is no temp-and-rename: a
+// streamed chunk grows in place, one stripe segment per call, and is
+// unreachable by readers until the block's catalog registration commits
+// the stream (see the package comment). Gaps below off read as zeros.
+func (s *DiskStore) PutAt(ref model.ChunkRef, off int64, data []byte) error {
+	if off < 0 {
+		return fmt.Errorf("%w: negative offset %d", ErrShortChunk, off)
+	}
+	f, err := os.OpenFile(s.path(ref), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("open chunk for stream: %w", err)
+	}
+	if _, err := f.WriteAt(data, off); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("stream chunk segment: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("stream chunk segment: %w", err)
+	}
+	return nil
 }
 
 // Delete implements Store.

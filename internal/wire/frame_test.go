@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/rand"
 	"sync"
@@ -199,6 +200,43 @@ func TestDecoderRest(t *testing.T) {
 	d2.Uint64()
 	if d2.Rest() != nil {
 		t.Fatal("Rest after decode error should be nil")
+	}
+}
+
+// TestDecoderRestSingleUse is the regression test for the single-use
+// contract: a second Rest call must not silently yield an empty payload
+// but fail the decoder with a wrapped ErrRestConsumed.
+func TestDecoderRestSingleUse(t *testing.T) {
+	e := NewEncoder(16)
+	e.Uint32(1)
+	e.Raw([]byte("tail"))
+	d := NewDecoder(e.Bytes())
+	_ = d.Uint32()
+	if got := d.Rest(); string(got) != "tail" {
+		t.Fatalf("first Rest = %q", got)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("decoder errored after first Rest: %v", err)
+	}
+	if got := d.Rest(); got != nil {
+		t.Fatalf("second Rest = %q, want nil", got)
+	}
+	if err := d.Err(); !errors.Is(err, ErrRestConsumed) {
+		t.Fatalf("Err = %v, want wrapped ErrRestConsumed", err)
+	}
+	// The sticky error also poisons subsequent reads.
+	if got := d.Uint32(); got != 0 {
+		t.Fatalf("read after double Rest = %d, want 0", got)
+	}
+
+	// An empty tail is still subject to the contract: first call returns
+	// the empty remainder, second call errors.
+	d2 := NewDecoder(nil)
+	if got := d2.Rest(); len(got) != 0 || d2.Err() != nil {
+		t.Fatalf("empty Rest = %q err=%v", got, d2.Err())
+	}
+	if d2.Rest(); !errors.Is(d2.Err(), ErrRestConsumed) {
+		t.Fatalf("empty double Rest err = %v", d2.Err())
 	}
 }
 

@@ -5,6 +5,26 @@
 // All integers are big-endian. Strings and byte slices are length-prefixed
 // with a uint32. Frames are length-prefixed with a uint32 and bounded by
 // MaxFrameSize to protect services from corrupt or hostile peers.
+//
+// Invariants the data path depends on:
+//
+//   - Pooled-encoder poisoning. Encoders from GetEncoder are returned
+//     with PutEncoder, after which ANY method call panics. Bytes()
+//     aliases the encoder's internal buffer, so the bytes must be fully
+//     consumed (written to the socket) before release; the poison turns
+//     retain-after-release bugs into loud failures instead of corrupted
+//     in-flight frames.
+//
+//   - Raw trailing payloads. Bulk data (chunk bodies, chunk segments)
+//     rides as the frame's unprefixed tail: the sender vectors it via
+//     WriteFrameBuffers without copying into an encoder, and the
+//     receiver takes it with Decoder.Rest, which aliases the frame
+//     buffer and may be called at most once per decoder. Whoever calls
+//     Rest owns interpreting the tail's length from the frame size.
+//
+//   - Decoders never copy except Bytes32/String; every other read
+//     aliases the caller's buffer, so a frame buffer must outlive all
+//     slices decoded from it.
 package wire
 
 import (
@@ -24,6 +44,10 @@ const MaxFrameSize = 64 << 20
 var (
 	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
 	ErrShortBuffer   = errors.New("wire: decode past end of buffer")
+	// ErrRestConsumed reports a second Rest call on the same decoder:
+	// the raw trailing payload can be taken exactly once, and a repeat
+	// call would silently yield an empty payload.
+	ErrRestConsumed = errors.New("wire: Rest called twice")
 )
 
 // Encoder builds a binary payload. The zero value is ready to use.
@@ -129,6 +153,9 @@ type Decoder struct {
 	buf []byte
 	off int
 	err error
+	// restTaken poisons further Rest calls: the trailing payload is
+	// single-use by contract, enforced in Rest.
+	restTaken bool
 }
 
 // NewDecoder wraps a payload for decoding. The decoder does not copy buf.
@@ -208,10 +235,20 @@ func (d *Decoder) Bytes32() []byte {
 // Rest returns every unread byte without copying and exhausts the
 // decoder. The result aliases the decoder's buffer; it is how services
 // take a raw trailing payload whose length is implied by the frame.
+//
+// Rest is single-use: the first call consumes the tail, and any further
+// call returns nil and sets the decoder's sticky error to a wrapped
+// ErrRestConsumed (a repeat would otherwise silently read an empty
+// payload where the caller expected data).
 func (d *Decoder) Rest() []byte {
 	if d.err != nil {
 		return nil
 	}
+	if d.restTaken {
+		d.err = fmt.Errorf("%w: trailing payload already consumed at offset %d", ErrRestConsumed, d.off)
+		return nil
+	}
+	d.restTaken = true
 	b := d.buf[d.off:]
 	d.off = len(d.buf)
 	return b

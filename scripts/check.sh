@@ -5,7 +5,9 @@
 # race detector, then smoke-run the fault-tolerance example end to end
 # (degraded reads, repair, recovery) and a cache on/off comparison on a
 # zipfian workload, asserting the decoded-block cache actually serves
-# hits. The full suite (go test ./...) additionally runs the paper-scale
+# hits, plus the small-object packing ablation, asserting a nonzero
+# packed-block count, and a fuzz smoke of the range->stripe window math.
+# The full suite (go test ./...) additionally runs the paper-scale
 # simulator experiments and takes several minutes.
 set -eux
 cd "$(dirname "$0")/.."
@@ -18,3 +20,7 @@ go run ./examples/faulttolerance
 out=$(go run ./cmd/ecbench -cache-bytes $((32 << 20)) -scale quick)
 echo "$out"
 echo "$out" | grep -Eq 'hits=[1-9]'
+pack=$(go run ./cmd/ecbench -exp ab-pack -scale quick)
+echo "$pack"
+echo "$pack" | grep -Eq 'packed=[1-9]'
+go test -run FuzzLayoutWindow -fuzz FuzzLayoutWindow -fuzztime 10s ./internal/erasure
