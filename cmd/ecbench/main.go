@@ -11,7 +11,7 @@
 //
 // Experiment ids follow the paper: fig1, fig4a ... fig4h, tab2, tab3,
 // plus the ablations ab-delta, ab-k, ab-w2, ab-mrate, ab-plan, ab-size,
-// ab-cache, ab-codec, ab-range, ab-pack (the last three exercise the real
+// ab-cache, ab-codec, ab-range, ab-pack, ab-scrub (codec/range/pack exercise the real
 // data path — codec throughput, whole-block Get vs GetRange, and
 // small-object packing — rather than the simulator).
 package main
@@ -100,6 +100,10 @@ func runners() map[string]runner {
 		},
 		"ab-cache": func(sc bench.Scale) (*bench.Report, error) {
 			r, _, err := bench.AblationCache(sc)
+			return r, err
+		},
+		"ab-scrub": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.AblationScrub(sc)
 			return r, err
 		},
 		"ab-codec": func(sc bench.Scale) (*bench.Report, error) {

@@ -8,7 +8,7 @@ func TestRunnersCoverExperimentIndex(t *testing.T) {
 		"fig1", "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f",
 		"fig4g", "fig4h", "tab2", "tab3",
 		"ab-delta", "ab-k", "ab-w2", "ab-mrate", "ab-plan", "ab-size",
-		"ab-cache", "ab-codec", "ab-range", "ab-pack",
+		"ab-cache", "ab-codec", "ab-range", "ab-pack", "ab-scrub",
 	}
 	all := runners()
 	if len(all) != len(want) {

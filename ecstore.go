@@ -112,6 +112,12 @@ type Config struct {
 	// RepairGrace is how long a site must stay down before repair
 	// (default 15 minutes, following GFS and the paper).
 	RepairGrace time.Duration
+	// EnableScrub runs the periodic checksum scrubber, which verifies
+	// every chunk at rest and enqueues repair for corrupt or missing
+	// ones (requires EnableRepair to actually re-protect).
+	EnableScrub bool
+	// ScrubInterval is the scrub sweep cadence (default 1 minute).
+	ScrubInterval time.Duration
 	// Background starts the control loops (stats collection, mover,
 	// repair) on Open. When false, call Tick to drive them manually —
 	// useful for tests and deterministic examples.
@@ -160,6 +166,8 @@ func Open(cfg Config) (*Cluster, error) {
 		MoverInterval: cfg.MoverInterval,
 		EnableRepair:  cfg.EnableRepair,
 		RepairGrace:   cfg.RepairGrace,
+		EnableScrub:   cfg.EnableScrub,
+		ScrubInterval: cfg.ScrubInterval,
 		Metrics:       cfg.Metrics,
 	}
 	coreCfg.Client = core.Config{

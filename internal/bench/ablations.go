@@ -120,6 +120,39 @@ func AblationMoverRate(sc Scale) (*Report, map[float64]float64, error) {
 	return rep, out, nil
 }
 
+// AblationScrub sweeps the background checksum scrubber's per-site read
+// rate (the task scheduler's byte-throttle knob): scrub reads share the
+// disk queues with client traffic, so an unthrottled scrub trades read
+// latency for faster corruption detection. Rate 0 is the no-scrub
+// baseline.
+func AblationScrub(sc Scale) (*Report, map[float64]float64, error) {
+	out := make(map[float64]float64)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %12s %10s\n", "rate(MB/s)", "mean", "p99", "scrub GB")
+	for _, rate := range []float64{0, 10e6, 50e6, 150e6} {
+		opt := sim.Options{
+			Scheme:           model.SchemeErasure,
+			Strategy:         placement.StrategyCost,
+			Mover:            true,
+			ScrubBytesPerSec: rate,
+		}
+		res, err := RunYCSB(opt, sc, BlockSize100KB)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[rate] = res.Mean.Total()
+		fmt.Fprintf(&b, "%-12.0f %10.2fms %10.2fms %10.2f\n",
+			rate/1e6, res.Mean.Total()*1000, res.Metrics.Percentile(99)*1000,
+			res.ScrubBytes/1e9)
+	}
+	rep := &Report{
+		ID:    "ab-scrub",
+		Title: "Scrub throttle sweep (EC+C+M, YCSB-E 100 KB)",
+		Body:  b.String(),
+	}
+	return rep, out, nil
+}
+
 // AblationPlanQuality compares greedy-only planning against ILP-upgraded
 // planning, isolating the exact solver's contribution.
 func AblationPlanQuality(sc Scale) (*Report, map[string]float64, error) {

@@ -219,6 +219,7 @@ type Client struct {
 	coaccess *stats.CoAccessTracker
 	probes   *stats.ProbeEstimator
 	sink     AccessSink
+	zones    func() map[model.SiteID]model.SiteInfo
 
 	// cache is the optional decoded-block tier (nil-safe: a nil cache
 	// misses everything and admits nothing).
@@ -354,6 +355,12 @@ type Deps struct {
 	// Sink additionally receives each request's block set (optional),
 	// feeding a remote statistics service.
 	Sink AccessSink
+	// Zones optionally supplies the per-site zone and drain-state view
+	// (catalog SiteInfos). When set, writes skip draining and
+	// decommissioned sites and cap chunks per failure zone at
+	// model.MaxChunksPerZone(R) so one zone outage stays within the
+	// erasure margin. Nil places on all connected sites, zone-blind.
+	Zones func() map[model.SiteID]model.SiteInfo
 	// Metrics optionally exports client instrumentation (request counts,
 	// per-phase latency histograms, late-binding waste, plan-cache
 	// counters) into a shared registry. Nil disables it at zero cost.
@@ -429,6 +436,7 @@ func NewClient(cfg Config, deps Deps) (*Client, error) {
 		coaccess: coaccess,
 		probes:   probes,
 		sink:     deps.Sink,
+		zones:    deps.Zones,
 		cache:    blockCache,
 		obs:      newClientObs(deps.Metrics),
 		tracer:   deps.Tracer,
@@ -534,8 +542,7 @@ func (c *Client) PutContext(ctx context.Context, id model.BlockID, data []byte) 
 	}
 	ctx, cancel := c.requestCtx(ctx)
 	defer cancel()
-	siteList := c.siteIDs()
-	chosen, err := c.placer.Place(siteList, c.totalChunks())
+	chosen, err := c.place(c.totalChunks())
 	if err != nil {
 		return fmt.Errorf("place %s: %w", id, err)
 	}
@@ -1381,6 +1388,26 @@ func (c *Client) probeOnce(ctx context.Context, api storage.SiteAPI) error {
 // normalizing so an idle-probe RTT of ~1ms maps near DefaultO.
 func scaleRTT(rttSeconds, defaultO float64) float64 {
 	return rttSeconds / 0.001 * defaultO
+}
+
+// place selects destination sites for a new block's chunks. With a zone
+// view wired (Deps.Zones), draining and decommissioned sites take no new
+// chunks and zone caps apply; without one, all connected sites qualify.
+func (c *Client) place(chunks int) ([]model.SiteID, error) {
+	sites := c.siteIDs()
+	if c.zones == nil {
+		return c.placer.Place(sites, chunks)
+	}
+	infos := c.zones()
+	eligible := make([]model.SiteID, 0, len(sites))
+	for _, s := range sites {
+		if info, ok := infos[s]; ok && info.State != model.SiteActive {
+			continue
+		}
+		eligible = append(eligible, s)
+	}
+	zone := func(s model.SiteID) string { return infos[s].Zone }
+	return c.placer.PlaceZoned(eligible, chunks, zone, model.MaxChunksPerZone(c.cfg.R))
 }
 
 func (c *Client) siteIDs() []model.SiteID {

@@ -13,6 +13,7 @@ import (
 	"ecstore/internal/repair"
 	"ecstore/internal/stats"
 	"ecstore/internal/storage"
+	"ecstore/internal/tasks"
 )
 
 // ClusterConfig assembles a complete single-process EC-Store deployment:
@@ -31,6 +32,22 @@ type ClusterConfig struct {
 	EnableRepair bool
 	// RepairGrace overrides the 15-minute default grace period.
 	RepairGrace time.Duration
+	// RepairProbeInterval is the liveness sweep cadence; zero means 5s.
+	RepairProbeInterval time.Duration
+	// EnableScrub runs the periodic checksum scrubber over every active
+	// site. Scrub-site tasks can also be enqueued on demand (ScrubSite)
+	// without the periodic sweep.
+	EnableScrub bool
+	// ScrubInterval is the scrub sweep cadence; zero means 1 minute.
+	ScrubInterval time.Duration
+	// TaskBytesPerSec caps background task I/O (repair, scrub, drain)
+	// via the scheduler's shared token bucket; zero disables throttling.
+	TaskBytesPerSec int64
+	// Zones spreads the sites round-robin over this many failure zones
+	// ("z0".."zN-1") and enables zone-aware placement: writes, repair
+	// and drain then cap chunks per zone at model.MaxChunksPerZone(R).
+	// Zero leaves every site zone-less.
+	Zones int
 	// StatsInterval is the load-report collection period; zero means 2s.
 	StatsInterval time.Duration
 	// ReadDelayPerByte/ReadDelayFixed emulate storage media on each site.
@@ -61,6 +78,11 @@ type Cluster struct {
 	Probes   *stats.ProbeEstimator
 	Mover    *MoverRunner
 	Repair   *repair.Service
+	// Tasks is the unified background scheduler: repair, movement,
+	// scrubbing and drains all run as its task types.
+	Tasks *tasks.Scheduler
+	// Scrub verifies at-rest checksums site by site (scrub-site tasks).
+	Scrub *Scrubber
 	// Health is the breaker set shared by client, mover and repair.
 	Health *health.Tracker
 	// Metrics is the shared registry (nil when observability is off) and
@@ -68,9 +90,10 @@ type Cluster struct {
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
 
+	drainer       *Drainer
+	sources       []func(ctx context.Context)
 	statsInterval time.Duration
-	stop          chan struct{}
-	done          chan struct{}
+	moverInterval time.Duration
 	started       bool
 }
 
@@ -122,6 +145,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Health:   tracker,
 		Metrics:  cfg.Metrics,
 		Tracer:   tracer,
+		Zones:    catalog.SiteInfos,
 	})
 	if err != nil {
 		return nil, err
@@ -138,12 +162,22 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Metrics:       cfg.Metrics,
 		Tracer:        tracer,
 		statsInterval: cfg.StatsInterval,
-		stop:          make(chan struct{}),
-		done:          make(chan struct{}),
+		moverInterval: cfg.MoverInterval,
 	}
 	if c.statsInterval == 0 {
 		c.statsInterval = 2 * time.Second
 	}
+	if c.moverInterval == 0 {
+		c.moverInterval = time.Second
+	}
+
+	// The unified scheduler coordinates through the catalog's durable
+	// task table, so tasks survive restarts and CLIs can enqueue work.
+	c.Tasks = tasks.New(tasks.Config{
+		Store:       catalog,
+		BytesPerSec: cfg.TaskBytesPerSec,
+		Metrics:     cfg.Metrics,
+	})
 
 	if cfg.EnableMover {
 		c.Mover = NewMoverRunner(MoverRunnerConfig{
@@ -151,61 +185,71 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			DefaultO: cfg.Client.DefaultO,
 			DefaultM: cfg.Client.DefaultM,
 			Health:   tracker,
+			SiteInfo: catalog.SiteInfos,
 			Metrics:  cfg.Metrics,
 		}, catalog, apis, coaccess, loads, probes)
 	}
 	if cfg.EnableRepair {
 		c.Repair = repair.NewService(repair.Config{
-			Grace:   cfg.RepairGrace,
-			Health:  tracker,
-			Metrics: cfg.Metrics,
+			Grace:         cfg.RepairGrace,
+			ProbeInterval: cfg.RepairProbeInterval,
+			Health:        tracker,
+			SiteInfo:      catalog.SiteInfos,
+			Throttle:      c.Tasks.Throttle,
+			Metrics:       cfg.Metrics,
 		}, catalog, apis, loads)
+	}
+	c.Scrub = NewScrubber(catalog, apis, c.Tasks.Enqueue, cfg.Metrics)
+	c.drainer = NewDrainer(catalog, apis, loads, tracker, cfg.Metrics)
+	scrubEvery := time.Duration(0)
+	if cfg.EnableScrub {
+		scrubEvery = cfg.ScrubInterval
+		if scrubEvery <= 0 {
+			scrubEvery = time.Minute
+		}
+	}
+	c.sources = BuildTaskPlane(c.Tasks, TaskPlaneOptions{
+		Repair:              c.Repair,
+		RepairProbeInterval: cfg.RepairProbeInterval,
+		Mover:               c.Mover,
+		MoverInterval:       c.moverInterval,
+		Scrub:               c.Scrub,
+		ScrubInterval:       scrubEvery,
+		Meta:                catalog,
+		Drain:               c.drainer,
+		Stats:               c.CollectStats,
+		StatsInterval:       c.statsInterval,
+	})
+
+	if cfg.Zones > 0 {
+		if err := c.SetZones(cfg.Zones); err != nil {
+			return nil, err
+		}
 	}
 	return c, nil
 }
 
-// Start launches the background control loops (stats collection, mover,
-// repair). ctx bounds the site operations the loops perform; shutdown
-// remains Close's job. The cluster is usable without Start; Tick drives
-// the loops synchronously instead.
+// Start launches the background control plane: one scheduler loop whose
+// sources (stats collection, repair sweeps, move planning, scrub sweeps)
+// fire at their own cadence and whose tasks run under the shared
+// concurrency caps and byte throttle. The cluster is usable without
+// Start; Tick drives one full round synchronously instead. The ctx
+// parameter is retained for signature compatibility; task contexts come
+// from the scheduler.
 func (c *Cluster) Start(ctx context.Context) {
+	_ = ctx
 	if c.started {
 		return
 	}
 	c.started = true
-	go func() {
-		defer close(c.done)
-		ticker := time.NewTicker(c.statsInterval)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-ticker.C:
-				c.CollectStats(ctx)
-			case <-c.stop:
-				return
-			}
-		}
-	}()
-	if c.Mover != nil {
-		c.Mover.Start(ctx)
-	}
-	if c.Repair != nil {
-		c.Repair.Start(ctx)
-	}
+	c.Tasks.Start()
 }
 
-// Close stops all background loops and releases resources.
+// Close stops the background control plane and releases resources.
 func (c *Cluster) Close() {
 	if c.started {
-		close(c.stop)
-		<-c.done
+		c.Tasks.Stop()
 		c.started = false
-	}
-	if c.Mover != nil {
-		c.Mover.Stop()
-	}
-	if c.Repair != nil {
-		c.Repair.Stop()
 	}
 	c.Client.Close()
 }
@@ -223,17 +267,16 @@ func (c *Cluster) CollectStats(ctx context.Context) {
 	c.Client.ProbeAllContext(ctx)
 }
 
-// Tick drives one synchronous control-plane round: stats collection, one
-// movement attempt (if the mover is enabled), and one repair check (if
-// repair is enabled). Deterministic alternative to Start for tests.
+// Tick drives one synchronous control-plane round: every source fires
+// regardless of cadence (stats collection, repair sweep, move planning,
+// scrub sweep — duplicate enqueues deduplicate against live task rows),
+// then the scheduler runs the queue to quiescence. Deterministic
+// alternative to Start for tests.
 func (c *Cluster) Tick(ctx context.Context) {
-	c.CollectStats(ctx)
-	if c.Mover != nil {
-		_, _ = c.Mover.MoveOnce(ctx)
+	for _, fn := range c.sources {
+		fn(ctx)
 	}
-	if c.Repair != nil {
-		_ = c.Repair.CheckOnce(ctx)
-	}
+	c.Tasks.RunOnce(ctx)
 }
 
 // FailSite injects a failure at a site.

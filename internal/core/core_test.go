@@ -317,13 +317,13 @@ func TestMoverExecuteStalePlan(t *testing.T) {
 	_ = meta
 }
 
-func TestMoverRunnerStartStop(t *testing.T) {
+func TestClusterSchedulerStartStop(t *testing.T) {
 	c := newTestCluster(t, ClusterConfig{NumSites: 6, EnableMover: true, MoverInterval: time.Millisecond})
-	c.Mover.Start(context.Background())
-	c.Mover.Start(context.Background()) // idempotent
+	c.Start(context.Background())
+	c.Start(context.Background()) // idempotent
 	time.Sleep(5 * time.Millisecond)
-	c.Mover.Stop()
-	c.Mover.Stop() // idempotent
+	c.Close()
+	c.Close() // idempotent
 }
 
 func TestClusterValidation(t *testing.T) {

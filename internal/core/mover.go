@@ -19,12 +19,20 @@ import (
 // ErrNoBeneficialMove reports that the mover found no positive-score plan.
 var ErrNoBeneficialMove = errors.New("core: no beneficial movement plan")
 
+// ErrStalePlan reports that a movement plan no longer matches the
+// catalog: the chunk moved (or the block was deleted) after the plan was
+// selected. Task executors treat it as success — there is nothing left
+// to move.
+var ErrStalePlan = errors.New("core: movement plan is stale")
+
 // MoverRunnerConfig tunes the background chunk mover (Section V-B2).
 type MoverRunnerConfig struct {
 	// Mover parameterizes the movement strategy itself.
 	Mover placement.MoverConfig
 	// Interval is the pause between movement attempts: the paper
 	// throttles the mover to under one chunk per second. Zero means 1s.
+	// The unified scheduler uses it as the cadence of the move-planning
+	// source.
 	Interval time.Duration
 	// RequestRate is the observed client request rate fed to load-shift
 	// estimation; zero means 100 req/s.
@@ -39,15 +47,21 @@ type MoverRunnerConfig struct {
 	// and repair service: movement plans then avoid sites whose breaker
 	// is not closed instead of probing them. Nil probes directly.
 	Health *health.Tracker
+	// SiteInfo optionally supplies the drain-state view (catalog
+	// SiteInfos): draining and decommissioned sites are never movement
+	// destinations. Nil disables the check.
+	SiteInfo func() map[model.SiteID]model.SiteInfo
 	// Metrics optionally exports move counters into a shared registry.
 	// Nil disables it.
 	Metrics *obs.Registry
 }
 
-// MoverRunner is the background chunk mover daemon: it periodically asks
-// the placement.Mover for the highest-scoring movement plan, then executes
-// it with the copy -> CAS -> delete protocol so concurrent readers never
-// lose access to a chunk mid-move.
+// MoverRunner is the background chunk mover: it asks the placement.Mover
+// for the highest-scoring movement plan, then executes it with the
+// copy -> CAS -> delete protocol so concurrent readers never lose access
+// to a chunk mid-move. It owns no goroutine — the unified scheduler in
+// internal/tasks drives planning as a periodic source and executes each
+// plan as a move-priority task (see taskplane.go).
 type MoverRunner struct {
 	cfg    MoverRunnerConfig
 	mover  *placement.Mover
@@ -63,11 +77,6 @@ type MoverRunner struct {
 	mu     sync.Mutex
 	moved  int64
 	failed int64
-
-	stop    chan struct{}
-	done    chan struct{}
-	once    sync.Once
-	started bool
 }
 
 // NewMoverRunner wires a runner. All dependencies are required.
@@ -96,52 +105,12 @@ func NewMoverRunner(cfg MoverRunnerConfig, meta metadata.Service, sites map[mode
 		co:     co,
 		loads:  loads,
 		probes: probes,
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
 	}
 	if cfg.Metrics != nil {
 		r.movesC = cfg.Metrics.Counter("mover_moves_total", "chunk movements committed")
 		r.moveFailsC = cfg.Metrics.Counter("mover_move_failures_total", "chunk movements that failed or lost a CAS race")
 	}
 	return r
-}
-
-// Start launches the periodic mover goroutine. ctx bounds the site
-// operations each movement performs; stopping the loop remains Stop's
-// job.
-func (r *MoverRunner) Start(ctx context.Context) {
-	r.mu.Lock()
-	if r.started {
-		r.mu.Unlock()
-		return
-	}
-	r.started = true
-	r.mu.Unlock()
-	go func() {
-		defer close(r.done)
-		ticker := time.NewTicker(r.cfg.Interval)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-ticker.C:
-				_, _ = r.MoveOnce(ctx)
-			case <-r.stop:
-				return
-			}
-		}
-	}()
-}
-
-// Stop signals the goroutine and waits for it to exit. Safe to call even
-// if Start was never invoked.
-func (r *MoverRunner) Stop() {
-	r.once.Do(func() { close(r.stop) })
-	r.mu.Lock()
-	started := r.started
-	r.mu.Unlock()
-	if started {
-		<-r.done
-	}
 }
 
 // Moves returns (successful, failed) movement counts.
@@ -165,6 +134,9 @@ func (r *MoverRunner) env(ctx context.Context) placement.MoverEnv {
 			if api == nil {
 				return false
 			}
+			if r.cfg.SiteInfo != nil && r.cfg.SiteInfo()[s].State != model.SiteActive {
+				return false
+			}
 			if r.cfg.Health != nil {
 				return r.cfg.Health.Available(s)
 			}
@@ -175,24 +147,37 @@ func (r *MoverRunner) env(ctx context.Context) placement.MoverEnv {
 	}
 }
 
-// MoveOnce selects and executes one movement plan.
-func (r *MoverRunner) MoveOnce(ctx context.Context) (model.MovePlan, error) {
-	plan, ok := r.mover.SelectMovementPlan(r.env(ctx))
-	if !ok {
-		return model.MovePlan{}, ErrNoBeneficialMove
-	}
+// SelectPlan asks the placement mover for the current highest-scoring
+// movement plan without executing it. The task plane's move-planning
+// source uses it to turn plans into durable move tasks.
+func (r *MoverRunner) SelectPlan(ctx context.Context) (model.MovePlan, bool) {
+	return r.mover.SelectMovementPlan(r.env(ctx))
+}
+
+// ExecutePlanned runs one previously selected plan and records the
+// outcome in the move counters.
+func (r *MoverRunner) ExecutePlanned(ctx context.Context, plan model.MovePlan) error {
 	if err := r.Execute(ctx, plan); err != nil {
 		r.mu.Lock()
 		r.failed++
 		r.mu.Unlock()
 		r.moveFailsC.Inc()
-		return plan, err
+		return err
 	}
 	r.mu.Lock()
 	r.moved++
 	r.mu.Unlock()
 	r.movesC.Inc()
-	return plan, nil
+	return nil
+}
+
+// MoveOnce selects and executes one movement plan.
+func (r *MoverRunner) MoveOnce(ctx context.Context) (model.MovePlan, error) {
+	plan, ok := r.SelectPlan(ctx)
+	if !ok {
+		return model.MovePlan{}, ErrNoBeneficialMove
+	}
+	return plan, r.ExecutePlanned(ctx, plan)
 }
 
 // Execute performs the copy -> CAS -> delete protocol for one plan.
@@ -203,7 +188,7 @@ func (r *MoverRunner) Execute(ctx context.Context, plan model.MovePlan) error {
 	}
 	meta := metas[plan.Block]
 	if plan.Chunk < 0 || plan.Chunk >= len(meta.Sites) || meta.Sites[plan.Chunk] != plan.From {
-		return fmt.Errorf("core: movement plan is stale for %s", plan.Block)
+		return fmt.Errorf("%w for %s", ErrStalePlan, plan.Block)
 	}
 	src := r.sites[plan.From]
 	dst := r.sites[plan.To]

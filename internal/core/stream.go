@@ -57,7 +57,7 @@ func (c *Client) streamPut(ctx context.Context, id model.BlockID, r io.Reader, m
 	k := c.cfg.K
 	stripeBytes := int(unit) * k
 
-	chosen, err := c.placer.Place(c.siteIDs(), c.totalChunks())
+	chosen, err := c.place(c.totalChunks())
 	if err != nil {
 		return 0, fmt.Errorf("place %s: %w", id, err)
 	}

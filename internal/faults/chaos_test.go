@@ -2,6 +2,9 @@ package faults_test
 
 import (
 	"bytes"
+	"context"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -265,5 +268,114 @@ func TestRetriesRecoverFromTransientErrors(t *testing.T) {
 	snap := c.reg.Snapshot()
 	if n := snap.CounterValue("client_retries_total", ""); n < 1 {
 		t.Fatalf("client_retries_total = %d, want >= 1", n)
+	}
+}
+
+// TestZoneOutageReadsStayAvailable is the whole-zone chaos scenario:
+// every site in one zone dies at once while reader goroutines hammer the
+// cluster. Reads must stay available throughout the outage (degraded,
+// reconstructing from surviving zones), repair must migrate every lost
+// chunk onto healthy zones, and reads must still be correct afterward.
+// Run under -race this also exercises the scheduler's concurrency caps
+// against the foreground read path.
+func TestZoneOutageReadsStayAvailable(t *testing.T) {
+	cfg := core.ClusterConfig{
+		NumSites:     6,
+		Zones:        3,
+		EnableRepair: true,
+		RepairGrace:  -1, // repair immediately after the first failed probe
+	}
+	cfg.Client.InlineExact = true
+	cfg.Client.Seed = 53
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	payloads := make(map[model.BlockID][]byte)
+	for i := 0; i < 8; i++ {
+		id := model.BlockID(string(rune('a'+i)) + "-blk")
+		payloads[id] = chaosData(600 + i)
+		if err := c.Client.Put(id, payloads[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Readers hammer every block for the whole outage + repair window.
+	stop := make(chan struct{})
+	errs := make(chan error, 64)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for id, want := range payloads {
+					got, err := c.Client.Get(id)
+					if err != nil {
+						select {
+						case errs <- fmt.Errorf("read %s during outage: %w", id, err):
+						default:
+						}
+						continue
+					}
+					if !bytes.Equal(got, want) {
+						select {
+						case errs <- fmt.Errorf("read %s returned wrong data", id):
+						default:
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	// The whole zone drops mid-traffic.
+	failed := map[model.SiteID]bool{}
+	for _, id := range c.ZoneSites("z0") {
+		failed[id] = true
+	}
+	c.FailZone("z0")
+	if len(failed) == 0 {
+		t.Fatal("zone z0 held no sites")
+	}
+
+	// Drive control-plane rounds until repair has moved every chunk off
+	// the dead zone (retries absorb CAS conflicts between repair tasks).
+	ctx := context.Background()
+	converged := false
+	for round := 0; round < 10 && !converged; round++ {
+		c.Tick(ctx)
+		converged = true
+		for id := range payloads {
+			meta, _ := c.Catalog.BlockMeta(id)
+			for _, s := range meta.Sites {
+				if failed[s] {
+					converged = false
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if !converged {
+		t.Fatal("repair did not migrate all chunks off the failed zone")
+	}
+	// Post-repair reads are correct with the zone still down.
+	for id, want := range payloads {
+		got, err := c.Client.Get(id)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("block %s unreadable after zone repair: %v", id, err)
+		}
 	}
 }

@@ -1,0 +1,92 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ecstore/internal/model"
+	"ecstore/internal/storage"
+)
+
+func fillStore(t *testing.T, n int) *storage.MemStore {
+	t.Helper()
+	st := storage.NewMemStore()
+	for i := 0; i < n; i++ {
+		ref := model.ChunkRef{Block: model.BlockID(fmt.Sprintf("blk-%03d", i/4)), Chunk: i % 4}
+		data := make([]byte, 256+i)
+		for j := range data {
+			data[j] = byte(i + j)
+		}
+		if err := st.Put(ref, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func TestCorruptDetectedByVerify(t *testing.T) {
+	st := fillStore(t, 40)
+	damaged, err := Corrupt(st, NewInjector(7), CorruptionPlan{BitFlipRate: 0.5, TruncateRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, _ := st.List()
+	if len(damaged) != len(refs) {
+		t.Fatalf("damaged %d of %d chunks, want all", len(damaged), len(refs))
+	}
+	// Every damaged chunk must be caught: sealed CRCs catch flips,
+	// sealed lengths catch truncation. 100% detection is the acceptance
+	// bar for the scrubber.
+	for _, ref := range damaged {
+		if _, err := st.Verify(ref); !errors.Is(err, storage.ErrCorruptChunk) {
+			t.Fatalf("Verify(%s) = %v, want ErrCorruptChunk", ref, err)
+		}
+	}
+}
+
+func TestCorruptPartialAndDeterministic(t *testing.T) {
+	run := func(seed int64) []model.ChunkRef {
+		st := fillStore(t, 60)
+		damaged, err := Corrupt(st, NewInjector(seed), CorruptionPlan{BitFlipRate: 0.3, TruncateRate: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return damaged
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 || len(a) == 60 {
+		t.Fatalf("partial plan damaged %d of 60 chunks", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed damaged %d vs %d chunks", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	if c := run(43); len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical damage sets")
+		}
+	}
+}
+
+func TestCorruptRequiresRawMutator(t *testing.T) {
+	if _, err := Corrupt(plainStore{}, NewInjector(1), CorruptionPlan{BitFlipRate: 1}); err == nil {
+		t.Fatal("expected error for store without RawMutator")
+	}
+}
+
+// plainStore is a Store with no raw-mutation hook.
+type plainStore struct{ storage.Store }
+
+func (plainStore) List() ([]model.ChunkRef, error) { return nil, nil }

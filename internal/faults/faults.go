@@ -103,6 +103,16 @@ func (in *Injector) jitter(d time.Duration) time.Duration {
 	return time.Duration(in.rng.Int63n(int64(d)))
 }
 
+// pick returns a uniform int64 in [0, n); 0 when n <= 0.
+func (in *Injector) pick(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Int63n(n)
+}
+
 // sleep waits for d, honoring ctx.
 func sleep(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
@@ -223,6 +233,13 @@ func (s *Site) ListChunks(ctx context.Context) ([]model.ChunkRef, error) {
 		return nil, err
 	}
 	return s.api.ListChunks(ctx)
+}
+
+func (s *Site) VerifyChunk(ctx context.Context, ref model.ChunkRef) (storage.ChunkCheck, error) {
+	if err := s.before(ctx); err != nil {
+		return storage.ChunkCheck{}, err
+	}
+	return s.api.VerifyChunk(ctx, ref)
 }
 
 func (s *Site) Probe(ctx context.Context) error {

@@ -8,11 +8,13 @@ import (
 // deterministicPackages are the layers whose runs must be byte-identical
 // given the same seed: the discrete-event simulator, the fault injector,
 // the workload generators, the decoded-block cache (whose admission
-// sketch and eviction order feed the simulator's results), and the codec
+// sketch and eviction order feed the simulator's results), the codec
 // layers gf256/erasure (whose output must not depend on wall clock, the
 // global rand source, or map order — stripe sharding may reorder the
-// work, never the bytes). Matched on the final import path segment.
-var deterministicPackages = []string{"sim", "faults", "workload", "cache", "gf256", "erasure"}
+// work, never the bytes), and the background task scheduler (whose
+// admission order must replay identically under the simulator's virtual
+// clock). Matched on the final import path segment.
+var deterministicPackages = []string{"sim", "faults", "workload", "cache", "gf256", "erasure", "tasks"}
 
 // randConstructors are the math/rand package functions that build seeded
 // generators rather than consuming the global source.

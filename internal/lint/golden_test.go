@@ -101,6 +101,7 @@ func TestGoldenFiles(t *testing.T) {
 		{"goleak", "internal/lint/testdata/src/goleak/goleak"},
 		{"determinism", "internal/lint/testdata/src/determinism/sim"},
 		{"determinism", "internal/lint/testdata/src/determinism/cache"},
+		{"determinism", "internal/lint/testdata/src/determinism/tasks"},
 		{"errwrap", "internal/lint/testdata/src/errwrap/errwrap"},
 		{"metricname", "internal/lint/testdata/src/metricname/metricname"},
 	}

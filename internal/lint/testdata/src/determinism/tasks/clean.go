@@ -1,0 +1,63 @@
+// Package tasks is a determinism golden-file fixture. Its directory's
+// final path segment matches the real background task scheduler, so the
+// reproducibility rules apply to it the same way: the scheduler must
+// replay byte-identically under the simulator's virtual clock.
+package tasks
+
+import (
+	"sort"
+	"time"
+)
+
+// record mirrors the scheduler's durable task row.
+type record struct {
+	id       string
+	priority int
+	created  int64
+}
+
+// queue is a miniature scheduler: pending rows plus an injected clock.
+type queue struct {
+	pending map[string]record
+	clock   func() time.Time
+}
+
+// stamp reads time through the configured clock, never the wall clock
+// directly: the sanctioned idiom for task timestamps.
+func (q *queue) stamp() int64 {
+	return q.clock().UnixNano()
+}
+
+// admissionOrder iterates rows in sorted key order before ranking, so
+// ties between equal-priority tasks break identically across runs.
+func (q *queue) admissionOrder() []record {
+	keys := make([]string, 0, len(q.pending))
+	for k := range q.pending {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]record, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, q.pending[k])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.priority != b.priority {
+			return a.priority > b.priority
+		}
+		if a.created != b.created {
+			return a.created < b.created
+		}
+		return a.id < b.id
+	})
+	return out
+}
+
+// depth is order-insensitive: integer addition commutes exactly.
+func (q *queue) depth() int {
+	n := 0
+	for range q.pending {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,12 @@
+package tasks
+
+import "time"
+
+// defaultClock is suppressed: it only seeds Config.Clock's default for
+// production daemons and never runs under the simulator, which always
+// injects the engine's virtual clock.
+//
+//lint:ignore determinism fixture: production default, simulator injects its own clock
+func defaultClock() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,28 @@
+package tasks
+
+import (
+	"math/rand"
+	"time"
+)
+
+// taskAge bypasses the injected clock for retry backoff, so a replay
+// under virtual time computes different ages.
+func taskAge(enqueued time.Time) time.Duration {
+	return time.Since(enqueued) // want "time.Since in a deterministic package"
+}
+
+// jitteredDelay draws from the process-wide source, making the pass
+// cadence irreproducible across runs.
+func jitteredDelay(base time.Duration) time.Duration {
+	return base + time.Duration(rand.Int63n(int64(base))) // want "global rand.Int63n uses the process-wide source"
+}
+
+// pendingIDs leaks map iteration order into the batch the scheduler
+// would start, so equal-priority tasks race differently every run.
+func pendingIDs(pending map[string]record) []string {
+	var out []string
+	for _, r := range pending { // want "map iteration order reaches output"
+		out = append(out, r.id)
+	}
+	return out
+}

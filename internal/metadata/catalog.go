@@ -51,6 +51,10 @@ type Catalog struct {
 	// which version-keyed caches (plan cache, decoded-block cache)
 	// depend on to never alias old bytes onto a recreated block.
 	retired map[model.BlockID]uint64
+	// tasks holds background task records keyed by task ID (tasks.go),
+	// and siteInfo per-site administrative state (zone, drain state).
+	tasks    map[string]*model.TaskRecord
+	siteInfo map[model.SiteID]model.SiteInfo
 
 	reg         *obs.Registry
 	registers   *obs.Counter
@@ -84,11 +88,13 @@ func (c *Catalog) MetricsSnapshot() *obs.Snapshot {
 // NewCatalog returns an empty catalog aware of the given sites.
 func NewCatalog(sites []model.SiteID) *Catalog {
 	c := &Catalog{
-		blocks:  make(map[model.BlockID]*model.BlockMeta),
-		bySite:  make(map[model.SiteID]map[model.BlockID]bool),
-		members: make(map[model.BlockID]memberRef),
-		sites:   make(map[model.SiteID]bool, len(sites)),
-		retired: make(map[model.BlockID]uint64),
+		blocks:   make(map[model.BlockID]*model.BlockMeta),
+		bySite:   make(map[model.SiteID]map[model.BlockID]bool),
+		members:  make(map[model.BlockID]memberRef),
+		sites:    make(map[model.SiteID]bool, len(sites)),
+		retired:  make(map[model.BlockID]uint64),
+		tasks:    make(map[string]*model.TaskRecord),
+		siteInfo: make(map[model.SiteID]model.SiteInfo),
 	}
 	for _, s := range sites {
 		c.sites[s] = true

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"ecstore/internal/model"
 	"ecstore/internal/wire"
@@ -16,8 +17,14 @@ import (
 // snapshot survives partial writes detectably (a truncated trailing frame
 // fails to decode). V2 extends each block record with the stripe unit,
 // packed-member linkage and container member table (see EncodeBlockMeta);
-// V1 snapshots are not readable and must be regenerated.
-var snapshotMagic = []byte("ECSTORE-META-V2\n")
+// V1 snapshots are not readable and must be regenerated. V3 inserts two
+// frames between the site list and the block frames: the site-info table
+// (zones, drain states) and the background-task table, so the scheduler's
+// queue survives a restart. V2 snapshots still load (both tables empty).
+var (
+	snapshotMagic   = []byte("ECSTORE-META-V3\n")
+	snapshotMagicV2 = []byte("ECSTORE-META-V2\n")
+)
 
 // ErrBadSnapshot reports a corrupt or foreign snapshot file.
 var ErrBadSnapshot = errors.New("metadata: bad snapshot")
@@ -37,6 +44,31 @@ func (c *Catalog) Save(w io.Writer) error {
 	}
 	if err := wire.WriteFrame(bw, e.Bytes()); err != nil {
 		return fmt.Errorf("write site list: %w", err)
+	}
+
+	infos := c.SiteInfos()
+	ids := make([]model.SiteID, 0, len(infos))
+	for id := range infos {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ie := wire.NewEncoder(24 * len(infos))
+	ie.Uint32(uint32(len(infos)))
+	for _, id := range ids {
+		EncodeSiteInfo(ie, infos[id])
+	}
+	if err := wire.WriteFrame(bw, ie.Bytes()); err != nil {
+		return fmt.Errorf("write site infos: %w", err)
+	}
+
+	tasks := c.ListTasks()
+	te := wire.NewEncoder(64 * len(tasks))
+	te.Uint32(uint32(len(tasks)))
+	for _, t := range tasks {
+		EncodeTaskRecord(te, t)
+	}
+	if err := wire.WriteFrame(bw, te.Bytes()); err != nil {
+		return fmt.Errorf("write tasks: %w", err)
 	}
 
 	var saveErr error
@@ -64,7 +96,8 @@ func Load(r io.Reader) (*Catalog, error) {
 	if _, err := io.ReadFull(br, header); err != nil {
 		return nil, fmt.Errorf("%w: short header", ErrBadSnapshot)
 	}
-	if string(header) != string(snapshotMagic) {
+	v3 := string(header) == string(snapshotMagic)
+	if !v3 && string(header) != string(snapshotMagicV2) {
 		return nil, fmt.Errorf("%w: wrong magic", ErrBadSnapshot)
 	}
 
@@ -82,6 +115,37 @@ func Load(r io.Reader) (*Catalog, error) {
 		return nil, fmt.Errorf("%w: site list: %w", ErrBadSnapshot, d.Err())
 	}
 	catalog := NewCatalog(sites)
+
+	if v3 {
+		frame, err := wire.ReadFrame(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: site infos: %w", ErrBadSnapshot, err)
+		}
+		d := wire.NewDecoder(frame)
+		for i, n := 0, int(d.Uint32()); i < n; i++ {
+			info, err := DecodeSiteInfo(d)
+			if err != nil {
+				return nil, fmt.Errorf("%w: site info: %w", ErrBadSnapshot, err)
+			}
+			if err := catalog.SetSiteInfo(info); err != nil {
+				return nil, fmt.Errorf("%w: site info: %w", ErrBadSnapshot, err)
+			}
+		}
+		frame, err = wire.ReadFrame(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: tasks: %w", ErrBadSnapshot, err)
+		}
+		d = wire.NewDecoder(frame)
+		for i, n := 0, int(d.Uint32()); i < n; i++ {
+			t, err := DecodeTaskRecord(d)
+			if err != nil {
+				return nil, fmt.Errorf("%w: task record: %w", ErrBadSnapshot, err)
+			}
+			if err := catalog.PutTask(t); err != nil {
+				return nil, fmt.Errorf("%w: task %s: %w", ErrBadSnapshot, t.ID, err)
+			}
+		}
+	}
 
 	for {
 		frame, err := wire.ReadFrame(br)

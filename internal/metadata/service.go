@@ -3,6 +3,7 @@ package metadata
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"ecstore/internal/model"
 	"ecstore/internal/obs"
@@ -20,6 +21,14 @@ type Service interface {
 	UpdatePlacement(id model.BlockID, chunk int, to model.SiteID, expectVersion uint64) (uint64, error)
 	BlocksOnSite(s model.SiteID) []model.BlockID
 	Sites() []model.SiteID
+	// Background-task coordination (tasks.go): the catalog is the durable
+	// store the scheduler and the CLIs share.
+	PutTask(t *model.TaskRecord) error
+	ListTasks() []*model.TaskRecord
+	DeleteTask(id string) error
+	// Site administrative state: zone labels and drain/decommission.
+	SetSiteInfo(info model.SiteInfo) error
+	SiteInfos() map[model.SiteID]model.SiteInfo
 }
 
 var (
@@ -38,6 +47,11 @@ const (
 	methodBlocksOnSite
 	methodSites
 	methodGetMetrics
+	methodPutTask
+	methodListTasks
+	methodDeleteTask
+	methodSetSiteInfo
+	methodSiteInfos
 )
 
 // EncodeBlockMeta serializes block metadata. The layout extends the
@@ -200,6 +214,50 @@ func (s *Server) Handle(_ context.Context, method rpc.Method, body []byte) ([]by
 	case methodGetMetrics:
 		return obs.MarshalSnapshot(s.catalog.MetricsSnapshot()), nil
 
+	case methodPutTask:
+		t, err := DecodeTaskRecord(d)
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.catalog.PutTask(t)
+
+	case methodListTasks:
+		tasks := s.catalog.ListTasks()
+		e := wire.NewEncoder(64 * len(tasks))
+		e.Uint32(uint32(len(tasks)))
+		for _, t := range tasks {
+			EncodeTaskRecord(e, t)
+		}
+		return e.Bytes(), nil
+
+	case methodDeleteTask:
+		id := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, s.catalog.DeleteTask(id)
+
+	case methodSetSiteInfo:
+		info, err := DecodeSiteInfo(d)
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.catalog.SetSiteInfo(info)
+
+	case methodSiteInfos:
+		infos := s.catalog.SiteInfos()
+		ids := make([]model.SiteID, 0, len(infos))
+		for id := range infos {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		e := wire.NewEncoder(24 * len(infos))
+		e.Uint32(uint32(len(infos)))
+		for _, id := range ids {
+			EncodeSiteInfo(e, infos[id])
+		}
+		return e.Bytes(), nil
+
 	case methodSites:
 		sites := s.catalog.Sites()
 		e := wire.NewEncoder(8 * len(sites))
@@ -298,6 +356,70 @@ func (c *Client) BlocksOnSite(s model.SiteID) []model.BlockID {
 	}
 	if d.Err() != nil {
 		return nil
+	}
+	return out
+}
+
+// PutTask implements Service.
+func (c *Client) PutTask(t *model.TaskRecord) error {
+	e := wire.NewEncoder(64)
+	EncodeTaskRecord(e, t)
+	_, err := c.rc.Call(methodPutTask, e.Bytes())
+	return err
+}
+
+// ListTasks implements Service. RPC failures yield an empty list, as the
+// scheduler re-syncs on its next pass.
+func (c *Client) ListTasks() []*model.TaskRecord {
+	resp, err := c.rc.Call(methodListTasks, nil)
+	if err != nil {
+		return nil
+	}
+	d := wire.NewDecoder(resp)
+	n := int(d.Uint32())
+	out := make([]*model.TaskRecord, 0, n)
+	for i := 0; i < n; i++ {
+		t, err := DecodeTaskRecord(d)
+		if err != nil {
+			return nil
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// DeleteTask implements Service.
+func (c *Client) DeleteTask(id string) error {
+	e := wire.NewEncoder(16)
+	e.String(id)
+	_, err := c.rc.Call(methodDeleteTask, e.Bytes())
+	return err
+}
+
+// SetSiteInfo implements Service.
+func (c *Client) SetSiteInfo(info model.SiteInfo) error {
+	e := wire.NewEncoder(24)
+	EncodeSiteInfo(e, info)
+	_, err := c.rc.Call(methodSetSiteInfo, e.Bytes())
+	return err
+}
+
+// SiteInfos implements Service. RPC failures yield an empty map; callers
+// treat missing info as zone-less active sites.
+func (c *Client) SiteInfos() map[model.SiteID]model.SiteInfo {
+	resp, err := c.rc.Call(methodSiteInfos, nil)
+	if err != nil {
+		return nil
+	}
+	d := wire.NewDecoder(resp)
+	n := int(d.Uint32())
+	out := make(map[model.SiteID]model.SiteInfo, n)
+	for i := 0; i < n; i++ {
+		info, err := DecodeSiteInfo(d)
+		if err != nil {
+			return nil
+		}
+		out[info.ID] = info
 	}
 	return out
 }

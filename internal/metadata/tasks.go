@@ -1,0 +1,137 @@
+package metadata
+
+import (
+	"fmt"
+	"sort"
+
+	"ecstore/internal/model"
+	"ecstore/internal/wire"
+)
+
+// The catalog doubles as the control plane's durable coordination point
+// for background work: task records and per-site administrative state
+// (zone label, active/draining/decommissioned) live here, persist in
+// snapshots, and are reachable over RPC — so the scheduler survives a
+// restart with its queue intact and the CLI can enqueue a drain or a
+// scrub against a running cluster with nothing but a metadata
+// connection.
+
+// ErrInvalidTask reports a task record missing its identity fields.
+var ErrInvalidTask = fmt.Errorf("metadata: invalid task record")
+
+// PutTask inserts or replaces a task record by ID.
+func (c *Catalog) PutTask(t *model.TaskRecord) error {
+	if t == nil || t.ID == "" || t.Type == "" {
+		return ErrInvalidTask
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tasks[t.ID] = t.Clone()
+	return nil
+}
+
+// ListTasks returns copies of every task record, sorted by ID.
+func (c *Catalog) ListTasks() []*model.TaskRecord {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*model.TaskRecord, 0, len(c.tasks))
+	for _, t := range c.tasks {
+		out = append(out, t.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DeleteTask removes a task record; removing a missing id is a no-op.
+func (c *Catalog) DeleteTask(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.tasks, id)
+	return nil
+}
+
+// SetSiteInfo records a site's zone label and administrative state. The
+// site must be known to the catalog.
+func (c *Catalog) SetSiteInfo(info model.SiteInfo) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.sites[info.ID] {
+		return fmt.Errorf("%w: site %d", ErrUnknownSite, info.ID)
+	}
+	c.siteInfo[info.ID] = info
+	return nil
+}
+
+// SiteInfos returns the administrative record of every known site. Sites
+// never configured get the zero record (no zone, active).
+func (c *Catalog) SiteInfos() map[model.SiteID]model.SiteInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[model.SiteID]model.SiteInfo, len(c.sites))
+	for s := range c.sites {
+		info, ok := c.siteInfo[s]
+		if !ok {
+			info = model.SiteInfo{ID: s}
+		}
+		out[s] = info
+	}
+	return out
+}
+
+// EncodeTaskRecord serializes a task record (appended fields only, never
+// reordered — task frames live in snapshots and on the wire).
+func EncodeTaskRecord(e *wire.Encoder, t *model.TaskRecord) {
+	e.String(t.ID)
+	e.String(t.Type)
+	e.Int64(int64(t.Site))
+	e.String(string(t.Block))
+	e.Uint32(uint32(t.Chunk))
+	e.Int64(int64(t.Dest))
+	e.Uint32(uint32(t.Priority))
+	e.Uint8(uint8(t.State))
+	e.Uint32(uint32(t.Attempts))
+	e.String(t.Cursor)
+	e.String(t.LastError)
+	e.Int64(t.CreatedNanos)
+	e.Int64(t.UpdatedNanos)
+}
+
+// DecodeTaskRecord deserializes a task record.
+func DecodeTaskRecord(d *wire.Decoder) (*model.TaskRecord, error) {
+	t := &model.TaskRecord{
+		ID:   d.String(),
+		Type: d.String(),
+	}
+	t.Site = model.SiteID(d.Int64())
+	t.Block = model.BlockID(d.String())
+	t.Chunk = int(d.Uint32())
+	t.Dest = model.SiteID(d.Int64())
+	t.Priority = int(d.Uint32())
+	t.State = model.TaskState(d.Uint8())
+	t.Attempts = int(d.Uint32())
+	t.Cursor = d.String()
+	t.LastError = d.String()
+	t.CreatedNanos = d.Int64()
+	t.UpdatedNanos = d.Int64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// EncodeSiteInfo serializes a site's administrative record.
+func EncodeSiteInfo(e *wire.Encoder, info model.SiteInfo) {
+	e.Int64(int64(info.ID))
+	e.String(info.Zone)
+	e.Uint8(uint8(info.State))
+}
+
+// DecodeSiteInfo deserializes a site's administrative record.
+func DecodeSiteInfo(d *wire.Decoder) (model.SiteInfo, error) {
+	info := model.SiteInfo{
+		ID:    model.SiteID(d.Int64()),
+		Zone:  d.String(),
+		State: model.SiteState(d.Uint8()),
+	}
+	return info, d.Err()
+}

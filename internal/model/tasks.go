@@ -1,0 +1,165 @@
+package model
+
+import "fmt"
+
+// TaskState is the lifecycle state of one background task. Transitions:
+//
+//	Pending -> Running -> Done
+//	                   \-> Pending (retryable failure, Attempts++)
+//	                   \-> Failed  (attempts exhausted)
+//
+// A Running task found in the catalog at scheduler startup reverts to
+// Pending: the process that ran it died mid-task, and every task type is
+// designed to be re-entrant from its Cursor.
+type TaskState int
+
+// Task lifecycle states.
+const (
+	TaskPending TaskState = iota + 1
+	TaskRunning
+	TaskDone
+	TaskFailed
+)
+
+func (s TaskState) String() string {
+	switch s {
+	case TaskPending:
+		return "pending"
+	case TaskRunning:
+		return "running"
+	case TaskDone:
+		return "done"
+	case TaskFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("TaskState(%d)", int(s))
+	}
+}
+
+// Background task types understood by the scheduler's executor registry.
+// The strings are part of the persisted task state (and the wire format
+// of the task RPCs), so they must never be renamed.
+const (
+	// TaskTypeRepairSite reconstructs every chunk a failed site held.
+	TaskTypeRepairSite = "repair-site"
+	// TaskTypeRepairChunk reconstructs one corrupt or missing chunk in
+	// place (enqueued by the scrubber).
+	TaskTypeRepairChunk = "repair-chunk"
+	// TaskTypeMove executes one selected chunk movement plan.
+	TaskTypeMove = "move"
+	// TaskTypeScrubSite sweeps one site's chunks, verifying checksums at
+	// a bounded byte rate and enqueueing repair for corrupt/missing data.
+	TaskTypeScrubSite = "scrub-site"
+	// TaskTypeDrainSite moves every chunk off a draining site, then marks
+	// it decommissioned.
+	TaskTypeDrainSite = "drain-site"
+)
+
+// Task priorities: higher runs first. Repair outranks scrubbing and
+// movement because lost redundancy is the only state that loses data.
+const (
+	PriorityRepair = 100
+	PriorityDrain  = 60
+	PriorityScrub  = 40
+	PriorityMove   = 20
+)
+
+// TaskRecord is the persisted state of one background task. It lives in
+// the metadata catalog so tasks survive a scheduler restart and any
+// control-plane process (or the CLI) can enqueue and inspect them.
+//
+// The payload fields (Site, Block, Chunk, Dest) are interpreted per
+// Type; unused fields hold zero values. Cursor carries resumable
+// progress (e.g. the last chunk ref a scrub verified) and is opaque to
+// the scheduler.
+type TaskRecord struct {
+	// ID uniquely names the task. Enqueueing a second task with the same
+	// ID while one is pending or running is a no-op, which is how
+	// periodic sources stay idempotent across sweeps and restarts.
+	ID   string
+	Type string
+	// Site is the task's locality key: per-site concurrency caps count
+	// running tasks by this field. NoSite for tasks without one.
+	Site  SiteID
+	Block BlockID
+	Chunk int
+	Dest  SiteID
+	// Priority orders the pending queue (higher first; FIFO within a
+	// priority by CreatedNanos, then ID).
+	Priority int
+	State    TaskState
+	// Attempts counts executions so far (including the current one when
+	// Running).
+	Attempts int
+	// Cursor is the task's resumable progress marker.
+	Cursor string
+	// LastError records the most recent failure, for `tasks` listings.
+	LastError string
+	// CreatedNanos/UpdatedNanos are injected-clock timestamps (UnixNano).
+	CreatedNanos int64
+	UpdatedNanos int64
+}
+
+// Clone returns a deep copy.
+func (t *TaskRecord) Clone() *TaskRecord {
+	c := *t
+	return &c
+}
+
+func (t *TaskRecord) String() string {
+	return fmt.Sprintf("%s[%s %s]", t.ID, t.Type, t.State)
+}
+
+// SiteState is the administrative state of a storage site, orthogonal to
+// its health (a draining site may be perfectly healthy; it just stops
+// accepting new chunks while the drain task empties it).
+type SiteState int
+
+// Site administrative states.
+const (
+	// SiteActive accepts new chunks (placement, movement, repair).
+	SiteActive SiteState = iota
+	// SiteDraining serves reads but receives no new chunks; a drain task
+	// is moving its chunks elsewhere.
+	SiteDraining
+	// SiteDecommissioned holds no chunks and receives none.
+	SiteDecommissioned
+)
+
+func (s SiteState) String() string {
+	switch s {
+	case SiteActive:
+		return "active"
+	case SiteDraining:
+		return "draining"
+	case SiteDecommissioned:
+		return "decommissioned"
+	default:
+		return fmt.Sprintf("SiteState(%d)", int(s))
+	}
+}
+
+// SiteInfo is the catalog's administrative record for one site: its
+// failure-domain zone label and its lifecycle state. Zone "" means the
+// site has no zone assignment (zone constraints then ignore it).
+type SiteInfo struct {
+	ID    SiteID
+	Zone  string
+	State SiteState
+}
+
+// ZoneOf returns the zone of a site given an info set, "" when unknown.
+func ZoneOf(infos map[SiteID]SiteInfo, s SiteID) string {
+	return infos[s].Zone
+}
+
+// MaxChunksPerZone is the zone-placement constraint for a block with r
+// parity chunks: losing one whole zone must cost at most r chunks, so
+// reads survive at RS(k, r) margins. For replication (r+1 copies, one
+// needed) the same bound keeps at least one copy outside any zone.
+func MaxChunksPerZone(r int) int {
+	if r < 1 {
+		return 1
+	}
+	return r
+}

@@ -56,6 +56,63 @@ func NewPlacer(strategy PlaceStrategy, loads *stats.LoadTracker, seed int64) (*P
 // Place selects `chunks` distinct sites from the candidate list. It
 // returns an error when fewer than `chunks` distinct sites are available.
 func (p *Placer) Place(sites []model.SiteID, chunks int) ([]model.SiteID, error) {
+	ordered, err := p.ordered(sites, chunks)
+	if err != nil {
+		return nil, err
+	}
+	return ordered[:chunks], nil
+}
+
+// PlaceZoned selects `chunks` distinct sites while capping the number of
+// chunks landing in any one failure zone at maxPerZone, so a whole-zone
+// outage costs at most maxPerZone chunks of the block (choose
+// model.MaxChunksPerZone(r) to keep zone loss within the code's erasure
+// margin). Sites with an empty zone count as their own singleton zone.
+// The cap is best-effort: when the zone population cannot satisfy it —
+// fewer zones than chunks/maxPerZone requires — the remainder relaxes the
+// cap rather than failing the write.
+func (p *Placer) PlaceZoned(sites []model.SiteID, chunks int, zone func(model.SiteID) string, maxPerZone int) ([]model.SiteID, error) {
+	if zone == nil || maxPerZone <= 0 {
+		return p.Place(sites, chunks)
+	}
+	ordered, err := p.ordered(sites, chunks)
+	if err != nil {
+		return nil, err
+	}
+	zoneKey := func(s model.SiteID) string {
+		if z := zone(s); z != "" {
+			return z
+		}
+		return fmt.Sprintf("site-%d", s)
+	}
+	chosen := make([]model.SiteID, 0, chunks)
+	taken := make(map[model.SiteID]bool, chunks)
+	perZone := make(map[string]int)
+	for _, s := range ordered {
+		if len(chosen) == chunks {
+			return chosen, nil
+		}
+		if z := zoneKey(s); perZone[z] < maxPerZone {
+			perZone[z]++
+			taken[s] = true
+			chosen = append(chosen, s)
+		}
+	}
+	// Cap unsatisfiable with this zone population: relax for the rest.
+	for _, s := range ordered {
+		if len(chosen) == chunks {
+			break
+		}
+		if !taken[s] {
+			chosen = append(chosen, s)
+		}
+	}
+	return chosen, nil
+}
+
+// ordered returns the strategy's full preference order over the distinct
+// candidate sites (length >= chunks, or an error).
+func (p *Placer) ordered(sites []model.SiteID, chunks int) ([]model.SiteID, error) {
 	if chunks <= 0 {
 		return nil, fmt.Errorf("placement: invalid chunk count %d", chunks)
 	}
@@ -73,8 +130,9 @@ func (p *Placer) Place(sites []model.SiteID, chunks int) ([]model.SiteID, error)
 			}
 			return uniq[i] < uniq[j]
 		})
-		// Sample from the lightly loaded half so concurrent writers do
-		// not all stampede the single coldest site.
+		// Shuffle the lightly loaded half so concurrent writers do not
+		// all stampede the single coldest site; the loaded half keeps
+		// its order as the overflow tail.
 		pool := len(uniq) / 2
 		if pool < chunks {
 			pool = chunks
@@ -82,13 +140,13 @@ func (p *Placer) Place(sites []model.SiteID, chunks int) ([]model.SiteID, error)
 		if pool > len(uniq) {
 			pool = len(uniq)
 		}
-		cand := append([]model.SiteID(nil), uniq[:pool]...)
-		p.rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
-		return cand[:chunks], nil
+		cand := append([]model.SiteID(nil), uniq...)
+		p.rng.Shuffle(pool, func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+		return cand, nil
 	default:
 		cand := append([]model.SiteID(nil), uniq...)
 		p.rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
-		return cand[:chunks], nil
+		return cand, nil
 	}
 }
 

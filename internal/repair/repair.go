@@ -1,8 +1,13 @@
 // Package repair implements EC-Store's repair service (Section V-C): it
-// polls every storage service, marks unresponsive sites unavailable, waits
+// probes every storage service, marks unresponsive sites unavailable, waits
 // a grace period (15 minutes in GFS and the paper; configurable here), and
 // then reconstructs the lost chunks on healthy sites, choosing destinations
 // with the same load-aware logic as the chunk mover.
+//
+// The service no longer owns a goroutine: the unified scheduler in
+// internal/tasks drives CheckOnce as a periodic source and runs
+// RepairSite/RepairChunk as repair-priority tasks (see internal/core for
+// the wiring).
 package repair
 
 import (
@@ -49,6 +54,19 @@ type Config struct {
 	// restricted to sites whose breaker is closed. Nil keeps repair's
 	// private probe-based availability view.
 	Health *health.Tracker
+	// Throttle optionally rate-limits repair I/O: it is called with the
+	// byte count of every chunk read or written during reconstruction.
+	// The task plane wires the scheduler's shared background token
+	// bucket here so repair, scrub and drain draw from one budget. Nil
+	// disables throttling.
+	Throttle func(ctx context.Context, n int64) error
+	// SiteInfo optionally supplies the zone and drain-state view
+	// (catalog SiteInfos). When set, repair destinations skip draining
+	// and decommissioned sites and avoid zones already holding
+	// model.MaxChunksPerZone(r) chunks of the block (best-effort: the
+	// zone cap relaxes before the repair fails for want of sites). Nil
+	// disables both constraints.
+	SiteInfo func() map[model.SiteID]model.SiteInfo
 	// Metrics optionally exports repair instrumentation (check/repair/GC
 	// counters, failed-site gauge) into a shared registry. Nil disables it.
 	Metrics *obs.Registry
@@ -84,11 +102,6 @@ type Service struct {
 	failedSince map[model.SiteID]time.Time
 	repaired    int64
 	codecs      map[[2]int]*erasure.Codec
-
-	stop    chan struct{}
-	done    chan struct{}
-	once    sync.Once
-	started bool
 
 	obs repairObs
 }
@@ -126,46 +139,7 @@ func NewService(cfg Config, meta metadata.Service, sites map[model.SiteID]storag
 		loads:       loads,
 		failedSince: make(map[model.SiteID]time.Time),
 		codecs:      make(map[[2]int]*erasure.Codec),
-		stop:        make(chan struct{}),
-		done:        make(chan struct{}),
 		obs:         newRepairObs(cfg.Metrics),
-	}
-}
-
-// Start launches the polling goroutine. ctx bounds the site operations
-// each sweep performs (per-op timeouts derive from it); stopping the
-// loop itself remains Stop's job.
-func (s *Service) Start(ctx context.Context) {
-	s.mu.Lock()
-	if s.started {
-		s.mu.Unlock()
-		return
-	}
-	s.started = true
-	s.mu.Unlock()
-	go func() {
-		defer close(s.done)
-		ticker := time.NewTicker(s.cfg.ProbeInterval)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-ticker.C:
-				_ = s.CheckOnce(ctx)
-			case <-s.stop:
-				return
-			}
-		}
-	}()
-}
-
-// Stop terminates the polling goroutine and waits for it.
-func (s *Service) Stop() {
-	s.once.Do(func() { close(s.stop) })
-	s.mu.Lock()
-	started := s.started
-	s.mu.Unlock()
-	if started {
-		<-s.done
 	}
 }
 
@@ -188,14 +162,31 @@ func (s *Service) FailedSites() []model.SiteID {
 	return out
 }
 
+// errProbeSuppressed marks a site whose breaker refused a probe this
+// sweep: the site still counts as down for grace accounting, but no RPC
+// was issued and no outcome was reported to the breaker.
+var errProbeSuppressed = errors.New("repair: probe suppressed by breaker")
+
 // probeAll probes every site in parallel, each under the per-probe
 // timeout, and returns the probe error per site (nil for healthy ones).
-// Outcomes feed the shared breaker set when one is attached.
+// With a shared breaker set attached, the breaker gates the sweep: an
+// open breaker means the site is known-down and is synthesized as failed
+// without an RPC, and a half-open site with a client recovery probe
+// already in flight is not double-probed — AllowProbe hands out exactly
+// one probation slot, and reporting a second outcome would corrupt the
+// breaker's probation accounting. Probe outcomes feed the breaker only
+// when the probe was actually admitted.
 func (s *Service) probeAll(ctx context.Context) map[model.SiteID]error {
 	out := make(map[model.SiteID]error, len(s.sites))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for id, api := range s.sites {
+		if s.cfg.Health != nil && !s.cfg.Health.AllowProbe(id) {
+			mu.Lock()
+			out[id] = errProbeSuppressed
+			mu.Unlock()
+			continue
+		}
 		wg.Add(1)
 		go func(id model.SiteID, api storage.SiteAPI) {
 			defer wg.Done()
@@ -218,10 +209,12 @@ func (s *Service) probeAll(ctx context.Context) map[model.SiteID]error {
 	return out
 }
 
-// CheckOnce probes every site, updates failure marks, and repairs sites
-// whose grace period has expired. It returns the first repair error, if
-// any; probing continues regardless.
-func (s *Service) CheckOnce(ctx context.Context) error {
+// DueForRepair probes every site, updates failure marks, and returns the
+// sites whose grace period has expired, sorted. Returned sites have their
+// failure clock reset so a still-down site comes due again only a full
+// grace period later — the caller owns repairing (or enqueueing repair
+// for) each returned site exactly once.
+func (s *Service) DueForRepair(ctx context.Context) []model.SiteID {
 	now := s.cfg.Clock()
 	var due []model.SiteID
 	s.obs.checks.Inc()
@@ -235,6 +228,9 @@ func (s *Service) CheckOnce(ctx context.Context) error {
 			}
 			if now.Sub(s.failedSince[id]) >= s.cfg.Grace {
 				due = append(due, id)
+				// Reset the clock so the site is not re-repaired every
+				// probe while still down.
+				s.failedSince[id] = now
 			}
 		} else {
 			delete(s.failedSince, id)
@@ -244,16 +240,20 @@ func (s *Service) CheckOnce(ctx context.Context) error {
 	s.mu.Unlock()
 
 	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	return due
+}
+
+// CheckOnce probes every site, updates failure marks, and repairs sites
+// whose grace period has expired. It returns the first repair error, if
+// any; probing continues regardless. The scheduler wiring in
+// internal/core uses DueForRepair + repair-site tasks instead, so site
+// repairs obey the task plane's concurrency caps and byte throttle.
+func (s *Service) CheckOnce(ctx context.Context) error {
 	var firstErr error
-	for _, id := range due {
+	for _, id := range s.DueForRepair(ctx) {
 		if _, err := s.RepairSite(ctx, id); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		s.mu.Lock()
-		// Reset the clock so the site is not re-repaired every probe
-		// while still down.
-		s.failedSince[id] = now
-		s.mu.Unlock()
 	}
 	if firstErr != nil {
 		s.obs.errorsC.Inc()
@@ -279,6 +279,78 @@ func (s *Service) RepairSite(ctx context.Context, failed model.SiteID) (int, err
 	s.mu.Unlock()
 	s.obs.repairedC.Add(int64(repaired))
 	return repaired, firstErr
+}
+
+// RepairChunk re-protects a single chunk whose stored copy is corrupt or
+// missing (the scrubber's repair unit): it reconstructs the chunk from
+// the surviving peers and rewrites it, preferring the site the placement
+// already names so the catalog stays untouched; if that site is gone the
+// chunk lands on a fresh destination via the usual load-aware pick plus a
+// placement CAS. A stale ref (chunk since moved or block deleted) is not
+// an error — the damage no longer exists.
+func (s *Service) RepairChunk(ctx context.Context, ref model.ChunkRef, onSite model.SiteID) error {
+	metas, err := s.meta.Lookup([]model.BlockID{ref.Block})
+	if err != nil {
+		return nil // block deleted since the scrub: nothing to re-protect
+	}
+	meta := metas[ref.Block]
+	if ref.Chunk < 0 || ref.Chunk >= len(meta.Sites) || meta.Sites[ref.Chunk] != onSite {
+		return nil // chunk moved since the scrub: the bad copy is unreachable
+	}
+
+	// Gather k survivors, excluding the damaged copy itself.
+	available := make(map[int][]byte)
+	for chunk, site := range meta.Sites {
+		if chunk == ref.Chunk || len(available) >= meta.RequiredChunks() {
+			continue
+		}
+		api := s.sites[site]
+		if api == nil {
+			continue
+		}
+		data, err := s.getChunk(ctx, api, model.ChunkRef{Block: ref.Block, Chunk: chunk})
+		if err != nil {
+			continue
+		}
+		available[chunk] = data
+	}
+	if len(available) < meta.RequiredChunks() {
+		return fmt.Errorf("%w: %d of %d", ErrUnrepairable, len(available), meta.RequiredChunks())
+	}
+	data, err := s.reconstruct(meta, available, ref.Chunk)
+	if err != nil {
+		return err
+	}
+
+	// Rewrite in place when the owning site still accepts writes; Put
+	// replaces the damaged frame with a freshly sealed one.
+	if api := s.sites[onSite]; api != nil && (s.cfg.Health == nil || s.cfg.Health.Available(onSite)) {
+		if err := s.putChunk(ctx, api, ref, data); err == nil {
+			s.mu.Lock()
+			s.repaired++
+			s.mu.Unlock()
+			s.obs.repairedC.Inc()
+			return nil
+		}
+	}
+
+	// Owning site unavailable: place the rebuilt chunk elsewhere.
+	dst, err := s.pickDestination(ctx, meta)
+	if err != nil {
+		return err
+	}
+	if err := s.putChunk(ctx, s.sites[dst], ref, data); err != nil {
+		return fmt.Errorf("store reconstructed chunk: %w", err)
+	}
+	if _, err := s.meta.UpdatePlacement(ref.Block, ref.Chunk, dst, meta.Version); err != nil {
+		_ = s.deleteChunk(ctx, s.sites[dst], ref)
+		return fmt.Errorf("commit reconstructed chunk: %w", err)
+	}
+	s.mu.Lock()
+	s.repaired++
+	s.mu.Unlock()
+	s.obs.repairedC.Inc()
+	return nil
 }
 
 // repairBlock reconstructs the chunks of one block lost at `failed`.
@@ -343,15 +415,28 @@ func (s *Service) repairBlock(ctx context.Context, id model.BlockID, failed mode
 // getChunk, putChunk and deleteChunk run one site operation under the
 // configured OpTimeout so a hung site cannot stall a repair sweep.
 func (s *Service) getChunk(ctx context.Context, api storage.SiteAPI, ref model.ChunkRef) ([]byte, error) {
-	ctx, cancel := context.WithTimeout(ctx, s.cfg.OpTimeout)
+	opCtx, cancel := context.WithTimeout(ctx, s.cfg.OpTimeout)
 	defer cancel()
-	return api.GetChunk(ctx, ref)
+	data, err := api.GetChunk(opCtx, ref)
+	if err == nil && s.cfg.Throttle != nil {
+		// Charged after the read (the size is unknown before); the
+		// bucket still bounds the average background rate.
+		if terr := s.cfg.Throttle(ctx, int64(len(data))); terr != nil {
+			return nil, terr
+		}
+	}
+	return data, err
 }
 
 func (s *Service) putChunk(ctx context.Context, api storage.SiteAPI, ref model.ChunkRef, data []byte) error {
-	ctx, cancel := context.WithTimeout(ctx, s.cfg.OpTimeout)
+	if s.cfg.Throttle != nil {
+		if err := s.cfg.Throttle(ctx, int64(len(data))); err != nil {
+			return err
+		}
+	}
+	opCtx, cancel := context.WithTimeout(ctx, s.cfg.OpTimeout)
 	defer cancel()
-	return api.PutChunk(ctx, ref, data)
+	return api.PutChunk(opCtx, ref, data)
 }
 
 func (s *Service) deleteChunk(ctx context.Context, api storage.SiteAPI, ref model.ChunkRef) error {
@@ -436,11 +521,33 @@ func (s *Service) GCOnce(ctx context.Context) (int, error) {
 // pickDestination chooses a healthy site that holds no chunk of the block,
 // preferring lightly loaded sites. With a shared health tracker, only
 // sites whose breaker is closed qualify; otherwise a bounded probe decides.
+// With a site-info view, draining and decommissioned sites never qualify,
+// and sites whose zone is already at the block's per-zone cap are avoided
+// unless no other candidate exists.
 func (s *Service) pickDestination(ctx context.Context, meta *model.BlockMeta) (model.SiteID, error) {
+	var infos map[model.SiteID]model.SiteInfo
+	if s.cfg.SiteInfo != nil {
+		infos = s.cfg.SiteInfo()
+	}
+	// Chunks already in each zone: a candidate pushing its zone past the
+	// cap would let one zone outage exceed the erasure margin.
+	zoneCap := model.MaxChunksPerZone(meta.R)
+	perZone := make(map[string]int)
 	holding := meta.SiteSet()
-	var candidates []model.SiteID
+	if infos != nil {
+		for id := range holding {
+			if z := infos[id].Zone; z != "" {
+				perZone[z]++
+			}
+		}
+	}
+
+	var candidates, overCap []model.SiteID
 	for id, api := range s.sites {
 		if holding[id] {
+			continue
+		}
+		if infos != nil && infos[id].State != model.SiteActive {
 			continue
 		}
 		if s.cfg.Health != nil {
@@ -455,7 +562,14 @@ func (s *Service) pickDestination(ctx context.Context, meta *model.BlockMeta) (m
 				continue
 			}
 		}
+		if z := infos[id].Zone; z != "" && perZone[z] >= zoneCap {
+			overCap = append(overCap, id)
+			continue
+		}
 		candidates = append(candidates, id)
+	}
+	if len(candidates) == 0 {
+		candidates = overCap // zone cap is best-effort, availability wins
 	}
 	if len(candidates) == 0 {
 		return model.NoSite, ErrNoDestination

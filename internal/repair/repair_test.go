@@ -197,14 +197,36 @@ func TestCheckOnceClearsRecoveredSite(t *testing.T) {
 	}
 }
 
-func TestRepairStartStop(t *testing.T) {
-	c := buildCluster(t, 6)
-	svc := repair.NewService(repair.Config{ProbeInterval: time.Millisecond}, c.Catalog, toAPIs(c), c.Loads)
-	svc.Start(context.Background())
-	svc.Start(context.Background()) // idempotent
-	time.Sleep(5 * time.Millisecond)
-	svc.Stop()
-	svc.Stop() // idempotent
+func TestRepairRunsUnderScheduler(t *testing.T) {
+	cfg := core.ClusterConfig{NumSites: 6, EnableRepair: true, RepairGrace: -1}
+	cfg.Client.InlineExact = true
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Client.Put("blk", data(400, 9)); err != nil {
+		t.Fatal(err)
+	}
+	meta, _ := c.Catalog.BlockMeta("blk")
+	victim := meta.Sites[0]
+	c.FailSite(victim)
+	c.Tick(context.Background())
+	after, _ := c.Catalog.BlockMeta("blk")
+	for _, s := range after.Sites {
+		if s == victim {
+			t.Fatal("chunk not relocated by scheduler-driven repair")
+		}
+	}
+	done := false
+	for _, rec := range c.Catalog.ListTasks() {
+		if rec.Type == model.TaskTypeRepairSite && rec.State == model.TaskDone {
+			done = true
+		}
+	}
+	if !done {
+		t.Fatal("no completed repair-site task recorded in the catalog")
+	}
 }
 
 // toAPIs converts the cluster's concrete services to the SiteAPI map the

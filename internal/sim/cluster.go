@@ -151,6 +151,18 @@ type Options struct {
 	// RangeMeanFrac is the mean fraction of a block a range covers,
 	// sampled uniformly in (0, 2*mean]. Zero means 1/8.
 	RangeMeanFrac float64
+	// Zones spreads the sites round-robin over this many failure zones
+	// and makes Populate zone-aware: at most model.MaxChunksPerZone(r)
+	// chunks of a block land in one zone, so a whole-zone outage never
+	// exceeds the erasure margin. Zero disables zones.
+	Zones int
+	// ScrubBytesPerSec models the background checksum scrubber as extra
+	// sequential read load: every scrub tick each live site services
+	// that many bytes per second of scrub reads, competing with client
+	// traffic on the same disk queues. This is the sim twin of the task
+	// scheduler's byte throttle — the ab-scrub ablation sweeps it. Zero
+	// disables scrub load.
+	ScrubBytesPerSec float64
 }
 
 func (o Options) withDefaults() Options {
@@ -232,6 +244,7 @@ type Cluster struct {
 	moves        int
 	lastWindow   float64
 	reqRate      float64
+	scrubBytes   float64
 	visitsTotal  int64
 	fetchTotal   int64
 	rangeReqs    int64
@@ -384,7 +397,14 @@ func (c *Cluster) Populate(n int, sizeFor func(int) int64) ([]model.BlockID, err
 		ids[i] = id
 		size := sizeFor(i)
 		chunkSize := (size + int64(k) - 1) / int64(k)
-		sites, err := placer.Place(c.siteIDs, total)
+		var sites []model.SiteID
+		var err error
+		if c.opt.Zones > 0 {
+			r := total - k
+			sites, err = placer.PlaceZoned(c.siteIDs, total, c.zoneOf, model.MaxChunksPerZone(r))
+		} else {
+			sites, err = placer.Place(c.siteIDs, total)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -420,6 +440,28 @@ func (c *Cluster) FailSites(n int) []model.SiteID {
 		id := c.siteIDs[idx]
 		c.sites[id].failed = true
 		failed = append(failed, id)
+	}
+	sort.Slice(failed, func(i, j int) bool { return failed[i] < failed[j] })
+	return failed
+}
+
+// zoneOf returns a site's failure-zone label ("" without zones).
+func (c *Cluster) zoneOf(id model.SiteID) string {
+	if c.opt.Zones <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("z%d", (int(id)-1)%c.opt.Zones)
+}
+
+// FailZone fails every site in one zone at once (a whole-zone outage)
+// and returns the failed sites, sorted.
+func (c *Cluster) FailZone(zone string) []model.SiteID {
+	var failed []model.SiteID
+	for _, id := range c.siteIDs {
+		if c.zoneOf(id) == zone {
+			c.sites[id].failed = true
+			failed = append(failed, id)
+		}
 	}
 	sort.Slice(failed, func(i, j int) bool { return failed[i] < failed[j] })
 	return failed
@@ -473,6 +515,9 @@ func (c *Cluster) Run(wl Workload, warmup, adapt, measure float64) *Result {
 		c.scheduleMover()
 	}
 	c.scheduleDegradedPhases()
+	if c.opt.ScrubBytesPerSec > 0 {
+		c.scheduleScrub()
+	}
 	// Clients.
 	for i := 0; i < c.p.NumClients; i++ {
 		clientRNG := rand.New(rand.NewSource(c.p.Seed + 100 + int64(i)))
@@ -604,6 +649,29 @@ func (c *Cluster) scheduleMover() {
 		c.eng.After(c.p.MoverInterval, tick)
 	}
 	c.eng.After(c.p.MoverInterval, tick)
+}
+
+// scheduleScrub runs the background checksum scrubber's read load: every
+// tick each live site services ScrubBytesPerSec worth of scrub reads on
+// the same disk queues as client traffic, so an unthrottled scrubber
+// visibly lengthens the tail.
+func (c *Cluster) scheduleScrub() {
+	const tick = 0.5
+	var scrub func()
+	scrub = func() {
+		now := c.eng.Now()
+		bytes := c.opt.ScrubBytesPerSec * tick
+		for _, id := range c.siteIDs {
+			s := c.sites[id]
+			if s.failed {
+				continue
+			}
+			s.serviceRead(now, bytes)
+			c.scrubBytes += bytes
+		}
+		c.eng.After(tick, scrub)
+	}
+	c.eng.After(tick, scrub)
 }
 
 // moveOnce selects and executes one movement plan in the simulated world:

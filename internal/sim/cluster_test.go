@@ -342,3 +342,99 @@ func TestSimRangeReadsDeterministic(t *testing.T) {
 		t.Fatalf("range runs diverge: %d/%v vs %d/%v", a.RangeRequests, a.Mean.Total(), b.RangeRequests, b.Mean.Total())
 	}
 }
+
+func TestSimZonePlacementCap(t *testing.T) {
+	p := tinyParams(11)
+	c, err := New(p, Options{Zones: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := c.Populate(200, func(int) int64 { return 100 * 1024 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := model.MaxChunksPerZone(2) // RS(2,2) default
+	for _, id := range ids {
+		meta, _ := c.catalog.BlockMeta(id)
+		perZone := map[string]int{}
+		for _, s := range meta.Sites {
+			perZone[c.zoneOf(s)]++
+		}
+		for zone, n := range perZone {
+			if n > cap {
+				t.Fatalf("block %s: %d chunks in zone %s (cap %d)", id, n, zone, cap)
+			}
+		}
+	}
+}
+
+func TestSimZoneFailureKeepsReadsAvailable(t *testing.T) {
+	p := tinyParams(12)
+	c, err := New(p, Options{Zones: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Populate(300, func(int) int64 { return 100 * 1024 }); err != nil {
+		t.Fatal(err)
+	}
+	failed := c.FailZone("z0")
+	if len(failed) != 2 { // 8 sites round-robin over 4 zones
+		t.Fatalf("z0 = %v, want 2 sites", failed)
+	}
+	wl := workload.NewYCSBE(300, 10, 1.0)
+	res := c.Run(wl, 1, 0, 3)
+	if res.Requests == 0 {
+		t.Fatal("no requests completed during whole-zone outage")
+	}
+	for _, f := range failed {
+		if rate, ok := res.SiteReadRate[f]; ok && rate > 0 {
+			t.Fatalf("failed site %d served reads", f)
+		}
+	}
+}
+
+func TestSimZoneFailureDeterministic(t *testing.T) {
+	run := func() *Result {
+		p := tinyParams(13)
+		c, err := New(p, Options{Zones: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Populate(200, func(int) int64 { return 100 * 1024 }); err != nil {
+			t.Fatal(err)
+		}
+		c.FailZone("z1")
+		return c.Run(workload.NewYCSBE(200, 10, 1.0), 1, 0, 2)
+	}
+	a, b := run(), run()
+	if a.Requests != b.Requests || a.Mean.Total() != b.Mean.Total() {
+		t.Fatalf("zone-failure sim not deterministic: %d/%v vs %d/%v",
+			a.Requests, a.Mean.Total(), b.Requests, b.Mean.Total())
+	}
+}
+
+func TestSimScrubLoadLengthensTail(t *testing.T) {
+	run := func(rate float64) *Result {
+		p := tinyParams(14)
+		c, err := New(p, Options{ScrubBytesPerSec: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Populate(300, func(int) int64 { return 100 * 1024 }); err != nil {
+			t.Fatal(err)
+		}
+		return c.Run(workload.NewYCSBE(300, 10, 1.0), 1, 0, 3)
+	}
+	quiet := run(0)
+	noisy := run(100e6) // 2/3 of each site's disk bandwidth
+	if noisy.ScrubBytes == 0 {
+		t.Fatal("scrub model injected no load")
+	}
+	if quiet.ScrubBytes != 0 {
+		t.Fatal("scrub load active with rate 0")
+	}
+	if noisy.Mean.Total() <= quiet.Mean.Total() {
+		t.Fatalf("unthrottled scrub did not slow reads: %v vs %v",
+			noisy.Mean.Total(), quiet.Mean.Total())
+	}
+}

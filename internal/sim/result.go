@@ -36,6 +36,9 @@ type Result struct {
 	Throughput float64
 	// Moves counts executed chunk movements.
 	Moves int
+	// ScrubBytes is the total scrub read traffic injected across sites
+	// (zero when Options.ScrubBytesPerSec is zero).
+	ScrubBytes float64
 	// Planner carries plan-cache statistics.
 	Planner placement.PlannerStats
 	// StorageOverhead is the scheme's storage expansion factor.
@@ -122,6 +125,7 @@ func (c *Cluster) result(measure float64) *Result {
 		Metrics:      c.metrics,
 		SiteReadRate: make(map[model.SiteID]float64, len(c.sites)),
 		Moves:        c.moves,
+		ScrubBytes:   c.scrubBytes,
 		Planner:      c.planner.Stats(),
 	}
 	if c.opt.Scheme == model.SchemeReplicated {

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -45,6 +46,8 @@ type siteMetrics struct {
 	writeBytes   *obs.Counter
 	rangeReads   *obs.Counter
 	streamWrites *obs.Counter
+	verifies     *obs.Counter
+	corrupt      *obs.Counter
 	readLatency  *obs.Histogram
 	failed       *obs.Gauge
 }
@@ -63,6 +66,8 @@ func newSiteMetrics(reg *obs.Registry, site model.SiteID) siteMetrics {
 		writeBytes:   reg.CounterVec("storage_write_bytes_total", "site", "bytes written to the store").With(label),
 		rangeReads:   reg.CounterVec("storage_range_reads_total", "site", "stripe-range chunk reads served (GetChunkRange)").With(label),
 		streamWrites: reg.CounterVec("storage_stream_writes_total", "site", "streamed chunk segment writes served (PutChunkStream)").With(label),
+		verifies:     reg.CounterVec("storage_verifies_total", "site", "chunk checksum verifications served (VerifyChunk)").With(label),
+		corrupt:      reg.CounterVec("storage_corrupt_total", "site", "chunks found corrupt (CRC/length mismatch) by reads or verifies").With(label),
 		readLatency:  reg.HistogramVec("storage_read_seconds", "site", "chunk read service time including media throttle (m_j)").With(label),
 		failed:       reg.Gauge("storage_failed_sites", "sites currently failure-injected"),
 	}
@@ -202,6 +207,9 @@ func (s *Service) GetChunk(ctx context.Context, ref model.ChunkRef) ([]byte, err
 	data, err := s.store.Get(ref)
 	if err != nil {
 		s.obs.errors.Inc()
+		if errors.Is(err, ErrCorruptChunk) {
+			s.obs.corrupt.Inc()
+		}
 		return nil, err
 	}
 	if err := s.sleep(ctx, s.cfg.ReadDelayFixed+time.Duration(len(data))*s.cfg.ReadDelayPerByte); err != nil {
@@ -234,6 +242,9 @@ func (s *Service) GetChunkRange(ctx context.Context, ref model.ChunkRef, off, n 
 	data, err := s.store.GetAt(ref, off, n)
 	if err != nil {
 		s.obs.errors.Inc()
+		if errors.Is(err, ErrCorruptChunk) {
+			s.obs.corrupt.Inc()
+		}
 		return nil, err
 	}
 	if err := s.sleep(ctx, s.cfg.ReadDelayFixed+time.Duration(len(data))*s.cfg.ReadDelayPerByte); err != nil {
@@ -306,13 +317,52 @@ func (s *Service) DeleteBlock(ctx context.Context, id model.BlockID) error {
 	return nil
 }
 
-// ListChunks lists stored chunks (used by repair).
+// ListChunks lists stored chunks (used by repair and the scrubber).
 func (s *Service) ListChunks(ctx context.Context) ([]model.ChunkRef, error) {
 	if err := s.checkUp(ctx); err != nil {
 		return nil, err
 	}
 	return s.store.List()
 }
+
+// VerifyChunk checks one chunk's stored bytes against its checksum
+// header, sealing it first if the streaming put path left it unsealed.
+// The media throttle is scaled by the chunk's length — a verify reads
+// the whole payload off the medium, and the scrubber's own byte throttle
+// rides on top. Corruption fails with ErrCorruptChunk; the caller (the
+// scrubber) deletes the bad copy and enqueues repair.
+func (s *Service) VerifyChunk(ctx context.Context, ref model.ChunkRef) (ChunkCheck, error) {
+	if err := s.checkUp(ctx); err != nil {
+		s.obs.errors.Inc()
+		return ChunkCheck{}, err
+	}
+	start := s.cfg.Clock()
+	check, err := s.store.Seal(ref)
+	s.obs.verifies.Inc()
+	if err != nil {
+		s.obs.errors.Inc()
+		if errors.Is(err, ErrCorruptChunk) {
+			s.obs.corrupt.Inc()
+		}
+		return ChunkCheck{}, err
+	}
+	if err := s.sleep(ctx, s.cfg.ReadDelayFixed+time.Duration(check.Length)*s.cfg.ReadDelayPerByte); err != nil {
+		s.obs.errors.Inc()
+		return ChunkCheck{}, err
+	}
+	elapsed := s.cfg.Clock().Sub(start)
+	s.mu.Lock()
+	s.bytesRead += check.Length
+	s.reads++
+	s.busy += elapsed
+	s.mu.Unlock()
+	s.obs.readBytes.Add(check.Length)
+	return check, nil
+}
+
+// Store exposes the underlying chunk store. The fault injector uses it
+// to reach the RawMutator corruption hook; nothing on the data path does.
+func (s *Service) Store() Store { return s.store }
 
 // Probe is the load-status endpoint: it returns an error when failed and
 // nil otherwise. Its round-trip time, measured by the caller, feeds the
@@ -381,6 +431,16 @@ const (
 	methodGetMetrics
 	methodGetChunkRange
 	methodPutChunkStream
+	methodVerifyChunk
+)
+
+// VerifyChunk response status codes. Corruption and absence are results,
+// not transport errors: rpc flattens application errors into strings
+// (rpc.RemoteError), so sentinel identity would not survive the wire.
+const (
+	verifyOK       = 0
+	verifyCorrupt  = 1
+	verifyNotFound = 2
 )
 
 // Server exposes a Service over RPC.
@@ -472,6 +532,35 @@ func (s *Server) Handle(ctx context.Context, method rpc.Method, body []byte) ([]
 			return nil, err
 		}
 		return nil, s.svc.PutChunkStream(ctx, ref, int64(off), d.Rest())
+
+	case methodVerifyChunk:
+		// Response: status u8 | sealed u8 | length u64 | crc u32. The
+		// status byte carries corrupt/not-found across the wire so the
+		// client can rebuild the sentinel errors locally.
+		ref := decodeRef(d)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		check, err := s.svc.VerifyChunk(ctx, ref)
+		status := uint8(verifyOK)
+		switch {
+		case errors.Is(err, ErrCorruptChunk):
+			status = verifyCorrupt
+		case errors.Is(err, ErrChunkNotFound):
+			status = verifyNotFound
+		case err != nil:
+			return nil, err
+		}
+		e := wire.NewEncoder(16)
+		e.Uint8(status)
+		sealed := uint8(0)
+		if check.Sealed {
+			sealed = 1
+		}
+		e.Uint8(sealed)
+		e.Uint64(uint64(check.Length))
+		e.Uint32(check.CRC)
+		return e.Bytes(), nil
 
 	case methodProbe:
 		return nil, s.svc.Probe(ctx)
@@ -581,6 +670,32 @@ func (c *Client) ListChunks(ctx context.Context) ([]model.ChunkRef, error) {
 	return out, d.Err()
 }
 
+// VerifyChunk verifies a chunk remotely, reconstructing the corrupt /
+// not-found sentinels from the response's status byte.
+func (c *Client) VerifyChunk(ctx context.Context, ref model.ChunkRef) (ChunkCheck, error) {
+	e := wire.NewEncoder(24)
+	encodeRef(e, ref)
+	resp, err := c.rc.CallContext(ctx, methodVerifyChunk, e.Bytes())
+	if err != nil {
+		return ChunkCheck{}, err
+	}
+	d := wire.NewDecoder(resp)
+	status := d.Uint8()
+	sealed := d.Uint8()
+	length := d.Uint64()
+	crc := d.Uint32()
+	if err := d.Err(); err != nil {
+		return ChunkCheck{}, err
+	}
+	switch status {
+	case verifyCorrupt:
+		return ChunkCheck{}, fmt.Errorf("%w: %s", ErrCorruptChunk, ref)
+	case verifyNotFound:
+		return ChunkCheck{}, fmt.Errorf("%w: %s", ErrChunkNotFound, ref)
+	}
+	return ChunkCheck{Sealed: sealed != 0, Length: int64(length), CRC: crc}, nil
+}
+
 // Probe checks liveness.
 func (c *Client) Probe(ctx context.Context) error {
 	_, err := c.rc.CallContext(ctx, methodProbe, nil)
@@ -623,6 +738,7 @@ type SiteAPI interface {
 	DeleteChunk(ctx context.Context, ref model.ChunkRef) error
 	DeleteBlock(ctx context.Context, id model.BlockID) error
 	ListChunks(ctx context.Context) ([]model.ChunkRef, error)
+	VerifyChunk(ctx context.Context, ref model.ChunkRef) (ChunkCheck, error)
 	Probe(ctx context.Context) error
 	LoadReport(ctx context.Context) (stats.SiteLoad, error)
 }

@@ -20,9 +20,16 @@
 //     is incomplete until its block's catalog registration, which is
 //     the commit point of the streaming put path. Readers that find a
 //     chunk only through the catalog never observe a torn chunk.
+//
+//   - Checksummed at rest. Every chunk is stored framed behind a
+//     24-byte header carrying a CRC32-C of the payload (checksum.go).
+//     Sizes reported by Bytes and offsets taken by GetAt/PutAt are in
+//     payload coordinates; the header is invisible outside this
+//     package except through Verify/Seal and the RawMutator hook.
 package storage
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -67,11 +74,20 @@ type Store interface {
 	List() ([]model.ChunkRef, error)
 	// Count returns the number of stored chunks.
 	Count() (int, error)
-	// Bytes returns the total stored bytes.
+	// Bytes returns the total stored payload bytes (headers excluded).
 	Bytes() (int64, error)
+	// Verify checks a chunk's stored bytes against its header: a sealed
+	// chunk's CRC and length must match, an unsealed or legacy chunk is
+	// structurally accepted. Corruption fails with ErrCorruptChunk.
+	Verify(ref model.ChunkRef) (ChunkCheck, error)
+	// Seal verifies a chunk and, if it is unsealed or legacy, computes
+	// and persists its authoritative length+CRC. The scrubber calls this
+	// to finish chunks landed by the streaming put path.
+	Seal(ref model.ChunkRef) (ChunkCheck, error)
 }
 
-// MemStore is an in-memory Store, safe for concurrent use.
+// MemStore is an in-memory Store, safe for concurrent use. Chunks are
+// held as raw frames (header + payload); bytes counts payload only.
 type MemStore struct {
 	mu     sync.RWMutex
 	chunks map[model.ChunkRef][]byte
@@ -79,81 +95,104 @@ type MemStore struct {
 }
 
 var _ Store = (*MemStore)(nil)
+var _ RawMutator = (*MemStore)(nil)
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
 	return &MemStore{chunks: make(map[model.ChunkRef][]byte)}
 }
 
+func payloadLen(raw []byte) int64 {
+	payload, _ := payloadOf(raw)
+	return int64(len(payload))
+}
+
 // Put implements Store.
 func (s *MemStore) Put(ref model.ChunkRef, data []byte) error {
-	cp := make([]byte, len(data))
-	copy(cp, data)
+	frame := sealFrame(data)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if old, ok := s.chunks[ref]; ok {
-		s.bytes -= int64(len(old))
+		s.bytes -= payloadLen(old)
 	}
-	s.chunks[ref] = cp
-	s.bytes += int64(len(cp))
+	s.chunks[ref] = frame
+	s.bytes += int64(len(data))
 	return nil
 }
 
-// Get implements Store.
+// Get implements Store. Sealed chunks are CRC-verified on every read.
 func (s *MemStore) Get(ref model.ChunkRef) ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	data, ok := s.chunks[ref]
+	raw, ok := s.chunks[ref]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrChunkNotFound, ref)
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
+	if _, err := checkFrame(ref, raw); err != nil {
+		return nil, err
+	}
+	payload, _ := payloadOf(raw)
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
 	return cp, nil
 }
 
-// GetAt implements Store.
+// GetAt implements Store. The window is in payload coordinates. A sealed
+// chunk whose stored bytes disagree with its header length (truncation)
+// fails with ErrCorruptChunk; a window covering the whole payload is
+// additionally CRC-verified.
 func (s *MemStore) GetAt(ref model.ChunkRef, off, n int64) ([]byte, error) {
 	if off < 0 || n < 0 {
 		return nil, fmt.Errorf("%w: [%d, %d)", ErrShortChunk, off, off+n)
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	data, ok := s.chunks[ref]
+	raw, ok := s.chunks[ref]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrChunkNotFound, ref)
 	}
-	if off+n > int64(len(data)) {
-		return nil, fmt.Errorf("%w: %s [%d, %d) of %d", ErrShortChunk, ref, off, off+n, len(data))
+	payload, info := payloadOf(raw)
+	if info.sealed && info.length != uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: %s length %d, stored %d bytes",
+			ErrCorruptChunk, ref, info.length, len(payload))
+	}
+	if off+n > int64(len(payload)) {
+		return nil, fmt.Errorf("%w: %s [%d, %d) of %d", ErrShortChunk, ref, off, off+n, len(payload))
+	}
+	if off == 0 && n == int64(len(payload)) {
+		if _, err := checkFrame(ref, raw); err != nil {
+			return nil, err
+		}
 	}
 	cp := make([]byte, n)
-	copy(cp, data[off:off+n])
+	copy(cp, payload[off:off+n])
 	return cp, nil
 }
 
-// PutAt implements Store.
+// PutAt implements Store. A fresh chunk is created under an unsealed
+// header; writing into an existing chunk clears its seal (the payload is
+// changing, so any recorded CRC is stale) until Seal recomputes it.
 func (s *MemStore) PutAt(ref model.ChunkRef, off int64, data []byte) error {
 	if off < 0 {
 		return fmt.Errorf("%w: negative offset %d", ErrShortChunk, off)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	old := s.chunks[ref]
+	old, ok := s.chunks[ref]
+	var payload []byte
+	if ok {
+		payload, _ = payloadOf(old)
+	}
+	oldLen := int64(len(payload))
 	end := off + int64(len(data))
-	cur := old
-	if end > int64(len(cur)) {
-		// Growing reallocates; stored chunks are private copies, so
-		// writes inside the current length may land in place.
-		grown := make([]byte, end)
-		copy(grown, cur)
-		cur = grown
+	if end < oldLen {
+		end = oldLen
 	}
-	copy(cur[off:end], data)
-	if cur == nil {
-		cur = []byte{}
-	}
-	s.bytes += int64(len(cur)) - int64(len(old))
-	s.chunks[ref] = cur
+	grown := make([]byte, end)
+	copy(grown, payload)
+	copy(grown[off:], data)
+	s.chunks[ref] = unsealedFrame(grown)
+	s.bytes += end - oldLen
 	return nil
 }
 
@@ -162,7 +201,7 @@ func (s *MemStore) Delete(ref model.ChunkRef) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if old, ok := s.chunks[ref]; ok {
-		s.bytes -= int64(len(old))
+		s.bytes -= payloadLen(old)
 		delete(s.chunks, ref)
 	}
 	return nil
@@ -172,9 +211,9 @@ func (s *MemStore) Delete(ref model.ChunkRef) error {
 func (s *MemStore) DeleteBlock(id model.BlockID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for ref, data := range s.chunks {
+	for ref, raw := range s.chunks {
 		if ref.Block == id {
-			s.bytes -= int64(len(data))
+			s.bytes -= payloadLen(raw)
 			delete(s.chunks, ref)
 		}
 	}
@@ -207,6 +246,52 @@ func (s *MemStore) Bytes() (int64, error) {
 	return s.bytes, nil
 }
 
+// Verify implements Store.
+func (s *MemStore) Verify(ref model.ChunkRef) (ChunkCheck, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	raw, ok := s.chunks[ref]
+	if !ok {
+		return ChunkCheck{}, fmt.Errorf("%w: %s", ErrChunkNotFound, ref)
+	}
+	return checkFrame(ref, raw)
+}
+
+// Seal implements Store.
+func (s *MemStore) Seal(ref model.ChunkRef) (ChunkCheck, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, ok := s.chunks[ref]
+	if !ok {
+		return ChunkCheck{}, fmt.Errorf("%w: %s", ErrChunkNotFound, ref)
+	}
+	check, err := checkFrame(ref, raw)
+	if err != nil || check.Sealed {
+		return check, err
+	}
+	payload, _ := payloadOf(raw)
+	frame := sealFrame(payload)
+	s.chunks[ref] = frame
+	_, info := payloadOf(frame)
+	return ChunkCheck{Sealed: true, Length: int64(len(payload)), CRC: info.crc}, nil
+}
+
+// MutateRaw implements RawMutator: the fault injector's corruption hook.
+func (s *MemStore) MutateRaw(ref model.ChunkRef, mutate func([]byte) []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, ok := s.chunks[ref]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrChunkNotFound, ref)
+	}
+	cp := make([]byte, len(raw))
+	copy(cp, raw)
+	out := mutate(cp)
+	s.bytes += payloadLen(out) - payloadLen(raw)
+	s.chunks[ref] = out
+	return nil
+}
+
 // DiskStore persists chunks as files `<urlencoded-block>.<chunk>` under a
 // directory. A coarse mutex serializes metadata operations; chunk I/O
 // relies on the filesystem.
@@ -216,6 +301,7 @@ type DiskStore struct {
 }
 
 var _ Store = (*DiskStore)(nil)
+var _ RawMutator = (*DiskStore)(nil)
 
 // NewDiskStore creates (if needed) and wraps a directory.
 func NewDiskStore(dir string) (*DiskStore, error) {
@@ -238,14 +324,16 @@ var tmpSeq atomic.Uint64
 // concurrent puts of the same chunk must not scribble over a shared
 // staging path — syncs it to stable storage, then renames it into place
 // so readers only ever observe complete chunk contents. The staging
-// file is removed on any error.
+// file is removed on any error. The file lands sealed: header first,
+// CRC computed before any byte reaches the disk.
 func (s *DiskStore) Put(ref model.ChunkRef, data []byte) error {
+	frame := sealFrame(data)
 	tmp := fmt.Sprintf("%s.%d.%d.tmp", s.path(ref), os.Getpid(), tmpSeq.Add(1))
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("write chunk: %w", err)
 	}
-	if _, err := f.Write(data); err != nil {
+	if _, err := f.Write(frame); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("write chunk: %w", err)
@@ -266,21 +354,29 @@ func (s *DiskStore) Put(ref model.ChunkRef, data []byte) error {
 	return nil
 }
 
-// Get implements Store.
+// Get implements Store. Sealed chunks are CRC-verified on every read.
 func (s *DiskStore) Get(ref model.ChunkRef) ([]byte, error) {
-	data, err := os.ReadFile(s.path(ref))
+	raw, err := os.ReadFile(s.path(ref))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil, fmt.Errorf("%w: %s", ErrChunkNotFound, ref)
 		}
 		return nil, fmt.Errorf("read chunk: %w", err)
 	}
-	return data, nil
+	if _, err := checkFrame(ref, raw); err != nil {
+		return nil, err
+	}
+	payload, _ := payloadOf(raw)
+	return payload, nil
 }
 
-// GetAt implements Store. It reads only the requested window from the
-// chunk file, so a stripe-range read of a large chunk does not touch the
-// rest of the file.
+// GetAt implements Store. The window is in payload coordinates, and only
+// the header plus the requested window are read from the file — a
+// stripe-range read of a large chunk does not touch the rest of it.
+// Truncation of a sealed chunk (file shorter than its header claims) is
+// caught by comparing sizes; a window covering the whole payload is
+// additionally CRC-verified. Bit rot outside the window is the
+// scrubber's job (Verify reads everything).
 func (s *DiskStore) GetAt(ref model.ChunkRef, off, n int64) ([]byte, error) {
 	if off < 0 || n < 0 {
 		return nil, fmt.Errorf("%w: [%d, %d)", ErrShortChunk, off, off+n)
@@ -293,30 +389,92 @@ func (s *DiskStore) GetAt(ref model.ChunkRef, off, n int64) ([]byte, error) {
 		return nil, fmt.Errorf("read chunk range: %w", err)
 	}
 	defer func() { _ = f.Close() }()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("read chunk range: %w", err)
+	}
+	payOff := int64(0)
+	paySize := st.Size()
+	var info frameInfo
+	info.legacy = true
+	if st.Size() >= headerSize {
+		hdr := make([]byte, headerSize)
+		if _, err := f.ReadAt(hdr, 0); err != nil {
+			return nil, fmt.Errorf("read chunk header: %w", err)
+		}
+		info = parseHeader(hdr)
+		if !info.legacy {
+			payOff = headerSize
+			paySize = st.Size() - headerSize
+		}
+	}
+	if info.sealed && info.length != uint64(paySize) {
+		return nil, fmt.Errorf("%w: %s length %d, stored %d bytes",
+			ErrCorruptChunk, ref, info.length, paySize)
+	}
+	if off+n > paySize {
+		return nil, fmt.Errorf("%w: %s [%d, %d) of %d", ErrShortChunk, ref, off, off+n, paySize)
+	}
 	buf := make([]byte, n)
-	if _, err := f.ReadAt(buf, off); err != nil {
+	if _, err := f.ReadAt(buf, payOff+off); err != nil {
 		if errors.Is(err, io.EOF) {
 			return nil, fmt.Errorf("%w: %s [%d, %d)", ErrShortChunk, ref, off, off+n)
 		}
 		return nil, fmt.Errorf("read chunk range: %w", err)
 	}
+	if info.sealed && off == 0 && n == paySize {
+		if got := Checksum(buf); got != info.crc {
+			return nil, fmt.Errorf("%w: %s crc %08x, want %08x", ErrCorruptChunk, ref, got, info.crc)
+		}
+	}
 	return buf, nil
 }
 
 // PutAt implements Store. Unlike Put there is no temp-and-rename: a
-// streamed chunk grows in place, one stripe segment per call, and is
-// unreachable by readers until the block's catalog registration commits
-// the stream (see the package comment). Gaps below off read as zeros.
+// streamed chunk grows in place under an unsealed header, one stripe
+// segment per call, and is unreachable by readers until the block's
+// catalog registration commits the stream (see the package comment).
+// Gaps below off read as zeros. Writing into an already-sealed chunk
+// clears its seal; Seal recomputes the CRC later.
 func (s *DiskStore) PutAt(ref model.ChunkRef, off int64, data []byte) error {
 	if off < 0 {
 		return fmt.Errorf("%w: negative offset %d", ErrShortChunk, off)
 	}
-	f, err := os.OpenFile(s.path(ref), os.O_WRONLY|os.O_CREATE, 0o644)
+	f, err := os.OpenFile(s.path(ref), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return fmt.Errorf("open chunk for stream: %w", err)
 	}
-	if _, err := f.WriteAt(data, off); err != nil {
-		_ = f.Close()
+	defer func() { _ = f.Close() }()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("stream chunk segment: %w", err)
+	}
+	payOff := int64(0)
+	switch {
+	case st.Size() == 0:
+		// Fresh streamed chunk: lay down an unsealed header first.
+		hdr := make([]byte, headerSize)
+		writeHeader(hdr, 0, 0, 0)
+		if _, err := f.WriteAt(hdr, 0); err != nil {
+			return fmt.Errorf("stream chunk header: %w", err)
+		}
+		payOff = headerSize
+	case st.Size() >= headerSize:
+		hdr := make([]byte, headerSize)
+		if _, err := f.ReadAt(hdr, 0); err != nil {
+			return fmt.Errorf("stream chunk segment: %w", err)
+		}
+		if info := parseHeader(hdr); !info.legacy {
+			payOff = headerSize
+			if info.sealed {
+				writeHeader(hdr, 0, 0, 0)
+				if _, err := f.WriteAt(hdr, 0); err != nil {
+					return fmt.Errorf("stream chunk header: %w", err)
+				}
+			}
+		}
+	}
+	if _, err := f.WriteAt(data, payOff+off); err != nil {
 		return fmt.Errorf("stream chunk segment: %w", err)
 	}
 	if err := f.Close(); err != nil {
@@ -384,7 +542,8 @@ func (s *DiskStore) Count() (int, error) {
 	return len(refs), nil
 }
 
-// Bytes implements Store.
+// Bytes implements Store. Headers are subtracted so the count stays in
+// payload bytes, which is what capacity accounting and load reports mean.
 func (s *DiskStore) Bytes() (int64, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -399,9 +558,78 @@ func (s *DiskStore) Bytes() (int64, error) {
 		if err != nil {
 			continue
 		}
-		total += info.Size()
+		size := info.Size()
+		if size >= headerSize && s.hasHeader(filepath.Join(s.dir, ent.Name())) {
+			size -= headerSize
+		}
+		total += size
 	}
 	return total, nil
+}
+
+// hasHeader reports whether the file at path starts with the chunk magic.
+func (s *DiskStore) hasHeader(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer func() { _ = f.Close() }()
+	var m [4]byte
+	if _, err := io.ReadFull(f, m[:]); err != nil {
+		return false
+	}
+	return binary.BigEndian.Uint32(m[:]) == chunkMagic
+}
+
+// Verify implements Store.
+func (s *DiskStore) Verify(ref model.ChunkRef) (ChunkCheck, error) {
+	raw, err := os.ReadFile(s.path(ref))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return ChunkCheck{}, fmt.Errorf("%w: %s", ErrChunkNotFound, ref)
+		}
+		return ChunkCheck{}, fmt.Errorf("verify chunk: %w", err)
+	}
+	return checkFrame(ref, raw)
+}
+
+// Seal implements Store. Resealing rewrites the chunk through the atomic
+// Put path, so a crash mid-seal leaves the old (unsealed) file intact.
+func (s *DiskStore) Seal(ref model.ChunkRef) (ChunkCheck, error) {
+	raw, err := os.ReadFile(s.path(ref))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return ChunkCheck{}, fmt.Errorf("%w: %s", ErrChunkNotFound, ref)
+		}
+		return ChunkCheck{}, fmt.Errorf("seal chunk: %w", err)
+	}
+	check, err := checkFrame(ref, raw)
+	if err != nil || check.Sealed {
+		return check, err
+	}
+	payload, _ := payloadOf(raw)
+	if err := s.Put(ref, payload); err != nil {
+		return ChunkCheck{}, err
+	}
+	return ChunkCheck{Sealed: true, Length: int64(len(payload)), CRC: Checksum(payload)}, nil
+}
+
+// MutateRaw implements RawMutator: the fault injector's corruption hook.
+// The mutated frame is written straight over the file — deliberately not
+// through the atomic Put path, because this models media damage.
+func (s *DiskStore) MutateRaw(ref model.ChunkRef, mutate func([]byte) []byte) error {
+	raw, err := os.ReadFile(s.path(ref))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("%w: %s", ErrChunkNotFound, ref)
+		}
+		return fmt.Errorf("mutate chunk: %w", err)
+	}
+	out := mutate(raw)
+	if err := os.WriteFile(s.path(ref), out, 0o644); err != nil {
+		return fmt.Errorf("mutate chunk: %w", err)
+	}
+	return nil
 }
 
 func sortRefs(refs []model.ChunkRef) {

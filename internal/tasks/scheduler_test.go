@@ -1,0 +1,311 @@
+package tasks
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ecstore/internal/metadata"
+	"ecstore/internal/model"
+)
+
+// vclock is a virtual clock whose Sleep advances time instantly, so
+// throttled schedulers run deterministically at full speed.
+type vclock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newVclock() *vclock { return &vclock{now: time.Unix(1000, 0)} }
+
+func (v *vclock) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+func (v *vclock) Sleep(d time.Duration) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.now = v.now.Add(d)
+}
+
+func newSched(t *testing.T, mut func(*Config)) (*Scheduler, *metadata.Catalog, *vclock) {
+	t.Helper()
+	cat := metadata.NewCatalog([]model.SiteID{1, 2, 3, 4})
+	clk := newVclock()
+	cfg := Config{Store: cat, Clock: clk.Now, Sleep: clk.Sleep}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return New(cfg), cat, clk
+}
+
+func rec(id, typ string, site model.SiteID, prio int) *model.TaskRecord {
+	return &model.TaskRecord{ID: id, Type: typ, Site: site, Priority: prio}
+}
+
+func TestEnqueueDedupe(t *testing.T) {
+	s, cat, _ := newSched(t, nil)
+	s.Register("noop", func(*Ctx) error { return nil })
+
+	if ok, err := s.Enqueue(rec("a", "noop", 1, 10)); err != nil || !ok {
+		t.Fatalf("first enqueue = %v, %v", ok, err)
+	}
+	// Same ID while pending: dropped.
+	if ok, err := s.Enqueue(rec("a", "noop", 1, 10)); err != nil || ok {
+		t.Fatalf("duplicate enqueue = %v, %v", ok, err)
+	}
+	s.RunOnce(context.Background())
+	if got := cat.ListTasks(); len(got) != 1 || got[0].State != model.TaskDone {
+		t.Fatalf("after run = %+v", got)
+	}
+	// Same ID after Done: replaced and runs again.
+	if ok, err := s.Enqueue(rec("a", "noop", 1, 10)); err != nil || !ok {
+		t.Fatalf("re-enqueue after done = %v, %v", ok, err)
+	}
+	if got := cat.ListTasks(); got[0].State != model.TaskPending {
+		t.Fatalf("re-enqueued state = %v", got[0].State)
+	}
+	if _, err := s.Enqueue(&model.TaskRecord{}); err == nil {
+		t.Fatal("empty record should be rejected")
+	}
+}
+
+func TestPriorityAndFIFOOrder(t *testing.T) {
+	s, _, _ := newSched(t, func(c *Config) { c.GlobalSlots = 1 })
+	var order []string
+	var mu sync.Mutex
+	s.Register("t", func(c *Ctx) error {
+		mu.Lock()
+		order = append(order, c.Record().ID)
+		mu.Unlock()
+		return nil
+	})
+	// Enqueued low-priority first; high priority must still run first.
+	if _, err := s.Enqueue(rec("low-1", "t", model.NoSite, model.PriorityMove)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Enqueue(rec("low-0", "t", model.NoSite, model.PriorityMove)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Enqueue(rec("high", "t", model.NoSite, model.PriorityRepair)); err != nil {
+		t.Fatal(err)
+	}
+	s.RunOnce(context.Background())
+	// low-1 and low-0 share priority and (virtual) creation time: ID breaks
+	// the tie.
+	want := []string{"high", "low-0", "low-1"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestPerSiteCap(t *testing.T) {
+	s, _, _ := newSched(t, func(c *Config) { c.GlobalSlots = 8; c.SiteSlots = 1 })
+	var running, maxSite1 atomic.Int32
+	s.Register("t", func(c *Ctx) error {
+		if c.Record().Site == 1 {
+			n := running.Add(1)
+			if n > maxSite1.Load() {
+				maxSite1.Store(n)
+			}
+			defer running.Add(-1)
+		}
+		return nil
+	})
+	for i := 0; i < 4; i++ {
+		if _, err := s.Enqueue(rec(fmt.Sprintf("s1-%d", i), "t", 1, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunOnce(context.Background())
+	if got := maxSite1.Load(); got > 1 {
+		t.Fatalf("site 1 concurrency = %d, want <= 1", got)
+	}
+}
+
+func TestRetryThenFail(t *testing.T) {
+	s, cat, _ := newSched(t, func(c *Config) { c.RetryLimit = 3 })
+	var runs atomic.Int32
+	boom := errors.New("boom")
+	s.Register("t", func(*Ctx) error { runs.Add(1); return boom })
+	if _, err := s.Enqueue(rec("x", "t", 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass 1: one attempt, requeued.
+	s.RunOnce(context.Background())
+	if got := cat.ListTasks()[0]; got.State != model.TaskPending || got.Attempts != 1 || got.LastError != "boom" {
+		t.Fatalf("after pass 1 = %+v", got)
+	}
+	// Passes 2 and 3 exhaust the retry budget.
+	s.RunOnce(context.Background())
+	s.RunOnce(context.Background())
+	got := cat.ListTasks()[0]
+	if got.State != model.TaskFailed || got.Attempts != 3 {
+		t.Fatalf("after exhaustion = %+v", got)
+	}
+	if runs.Load() != 3 {
+		t.Fatalf("runs = %d, want 3", runs.Load())
+	}
+	// Further passes must not run a Failed task.
+	s.RunOnce(context.Background())
+	if runs.Load() != 3 {
+		t.Fatalf("failed task ran again: %d", runs.Load())
+	}
+}
+
+func TestResumeRerunsRunningNotDone(t *testing.T) {
+	cat := metadata.NewCatalog([]model.SiteID{1})
+	clk := newVclock()
+	// Simulate a crashed scheduler: one task died mid-run, one finished.
+	if err := cat.PutTask(&model.TaskRecord{ID: "died", Type: "t", Site: 1, State: model.TaskRunning, Attempts: 1, Cursor: "half-way"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.PutTask(&model.TaskRecord{ID: "finished", Type: "t", Site: 1, State: model.TaskDone}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{Store: cat, Clock: clk.Now, Sleep: clk.Sleep})
+	var mu sync.Mutex
+	ran := map[string]string{}
+	s.Register("t", func(c *Ctx) error {
+		mu.Lock()
+		ran[c.Record().ID] = c.Record().Cursor
+		mu.Unlock()
+		return nil
+	})
+	s.RunOnce(context.Background())
+
+	if len(ran) != 1 {
+		t.Fatalf("ran = %v, want only the interrupted task", ran)
+	}
+	// The interrupted task resumed from its saved cursor.
+	if cur, ok := ran["died"]; !ok || cur != "half-way" {
+		t.Fatalf("resumed with cursor %q (ok=%v), want half-way", cur, ok)
+	}
+}
+
+func TestSaveCursorPersists(t *testing.T) {
+	s, cat, _ := newSched(t, nil)
+	stop := errors.New("interrupted")
+	s.Register("t", func(c *Ctx) error {
+		if err := c.SaveCursor("chunk-17"); err != nil {
+			t.Error(err)
+		}
+		return stop
+	})
+	if _, err := s.Enqueue(rec("x", "t", 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	s.RunOnce(context.Background())
+	if got := cat.ListTasks()[0]; got.Cursor != "chunk-17" || got.State != model.TaskPending {
+		t.Fatalf("after interrupted run = %+v", got)
+	}
+}
+
+func TestThrottleSpreadsBytes(t *testing.T) {
+	s, _, clk := newSched(t, func(c *Config) { c.BytesPerSec = 1000 })
+	s.Register("t", func(c *Ctx) error {
+		for i := 0; i < 5; i++ {
+			if err := c.Throttle(1000); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if _, err := s.Enqueue(rec("x", "t", 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	start := clk.Now()
+	s.RunOnce(context.Background())
+	// 5000 bytes at 1000 B/s with a 1000-byte burst: at least 4 virtual
+	// seconds must have elapsed through Sleep.
+	if elapsed := clk.Now().Sub(start); elapsed < 4*time.Second {
+		t.Fatalf("throttled 5000 bytes in %v of virtual time, want >= 4s", elapsed)
+	}
+}
+
+func TestThrottleHonorsContext(t *testing.T) {
+	cat := metadata.NewCatalog([]model.SiteID{1})
+	clk := newVclock()
+	// No Sleep hook: the real timer path must honor cancellation.
+	s := New(Config{Store: cat, Clock: clk.Now, BytesPerSec: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.throttle(ctx, 1<<30); !errors.Is(err, context.Canceled) {
+		t.Fatalf("throttle on canceled ctx = %v", err)
+	}
+}
+
+func TestSourcesRunAtCadence(t *testing.T) {
+	s, _, clk := newSched(t, nil)
+	var fires atomic.Int32
+	s.AddSource("sweep", 10*time.Second, func(context.Context) { fires.Add(1) })
+
+	s.RunOnce(context.Background()) // first pass always fires
+	s.RunOnce(context.Background()) // same instant: not due
+	if got := fires.Load(); got != 1 {
+		t.Fatalf("fires = %d, want 1", got)
+	}
+	clk.Sleep(11 * time.Second)
+	s.RunOnce(context.Background())
+	if got := fires.Load(); got != 2 {
+		t.Fatalf("fires after advance = %d, want 2", got)
+	}
+}
+
+func TestSourceEnqueuedTasksRunSamePass(t *testing.T) {
+	s, cat, _ := newSched(t, nil)
+	var ran atomic.Int32
+	s.Register("t", func(*Ctx) error { ran.Add(1); return nil })
+	s.AddSource("gen", time.Minute, func(context.Context) {
+		if _, err := s.Enqueue(rec("from-source", "t", 1, 10)); err != nil {
+			t.Error(err)
+		}
+	})
+	s.RunOnce(context.Background())
+	if ran.Load() != 1 {
+		t.Fatalf("source task ran %d times, want 1", ran.Load())
+	}
+	if got := cat.ListTasks(); len(got) != 1 || got[0].State != model.TaskDone {
+		t.Fatalf("tasks = %+v", got)
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	cat := metadata.NewCatalog([]model.SiteID{1})
+	s := New(Config{Store: cat, Interval: time.Millisecond})
+	var ran atomic.Int32
+	s.Register("t", func(*Ctx) error { ran.Add(1); return nil })
+	if _, err := s.Enqueue(rec("x", "t", 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	s.Start() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for ran.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	if ran.Load() == 0 {
+		t.Fatal("background loop never ran the task")
+	}
+}
+
+func TestUnregisteredTypeStaysPending(t *testing.T) {
+	s, cat, _ := newSched(t, nil)
+	if _, err := s.Enqueue(rec("x", "mystery", 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	s.RunOnce(context.Background())
+	if got := cat.ListTasks()[0]; got.State != model.TaskPending || got.Attempts != 0 {
+		t.Fatalf("unregistered task = %+v", got)
+	}
+}

@@ -3,10 +3,12 @@
 # (internal/lint: context, locking, goroutine-leak, determinism, error
 # wrapping and metric naming rules), run the quick test suite under the
 # race detector, then smoke-run the fault-tolerance example end to end
-# (degraded reads, repair, recovery) and a cache on/off comparison on a
-# zipfian workload, asserting the decoded-block cache actually serves
-# hits, plus the small-object packing ablation, asserting a nonzero
-# packed-block count, and a fuzz smoke of the range->stripe window math.
+# (degraded reads, repair, recovery), the scrubbing example (injected
+# bit rot -> nonzero scrub_corrupt_detected), and a cache on/off
+# comparison on a zipfian workload, asserting the decoded-block cache
+# actually serves hits, plus the small-object packing ablation, asserting
+# a nonzero packed-block count, and a fuzz smoke of the range->stripe
+# window math.
 # The full suite (go test ./...) additionally runs the paper-scale
 # simulator experiments and takes several minutes.
 set -eux
@@ -17,6 +19,9 @@ go run ./cmd/ecstore-lint ./...
 go test -race -short ./...
 go test -race ./internal/cache ./internal/core
 go run ./examples/faulttolerance
+scrub=$(go run ./examples/scrubbing)
+echo "$scrub"
+echo "$scrub" | grep -Eq 'scrub_corrupt_detected=[1-9]'
 out=$(go run ./cmd/ecbench -cache-bytes $((32 << 20)) -scale quick)
 echo "$out"
 echo "$out" | grep -Eq 'hits=[1-9]'
