@@ -1,19 +1,22 @@
 // ecstore-lint runs the project's static-analysis suite (internal/lint)
-// over the module: stdlib-only loading and type-checking plus the six
+// over the module: stdlib-only loading and type-checking plus the
 // EC-Store invariant rules (ctxfirst, lockblock, goleak, determinism,
-// errwrap, metricname).
+// errwrap, metricname, lockorder, poolbalance).
 //
 // Usage:
 //
-//	ecstore-lint [-rules rule,rule] [./... | dir ...]
+//	ecstore-lint [-rules rule,rule] [-json] [./... | dir ...]
 //
 // With ./... (or no argument) the whole module is linted. Explicit
 // directories lint just those packages — that is how the golden tests
-// point it at deliberate-violation fixtures. Exit status: 0 clean,
+// point it at deliberate-violation fixtures. -json emits one diagnostic
+// per line as {"file","line","col","rule","msg"} for machine consumers
+// (CI turns these into GitHub error annotations). Exit status: 0 clean,
 // 1 findings, 2 load or usage error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +24,15 @@ import (
 
 	"ecstore/internal/lint"
 )
+
+// jsonDiag is the -json wire form of one diagnostic, one object per line.
+type jsonDiag struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -31,6 +43,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	rules := fs.String("rules", "", "comma-separated rule subset (default: all)")
 	list := fs.Bool("list", false, "list available rules and exit")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON, one object per line")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -87,7 +100,18 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	diags := lint.Run(loader.Fset, analyzers, pkgs)
+	enc := json.NewEncoder(stdout)
 	for _, d := range diags {
+		if *jsonOut {
+			enc.Encode(jsonDiag{
+				File: d.Pos.Filename,
+				Line: d.Pos.Line,
+				Col:  d.Pos.Column,
+				Rule: d.Rule,
+				Msg:  d.Message,
+			})
+			continue
+		}
 		fmt.Fprintln(stdout, d)
 	}
 	if len(diags) > 0 {

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs the CLI with stdout/stderr redirected to temp files and
+// returns the exit code and captured stdout.
+func capture(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	dir := t.TempDir()
+	stdout, err := os.Create(filepath.Join(dir, "stdout"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderr, err := os.Create(filepath.Join(dir, "stderr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run(args, stdout, stderr)
+	stdout.Close()
+	stderr.Close()
+	out, err := os.ReadFile(filepath.Join(dir, "stdout"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(out)
+}
+
+func TestListExitsZero(t *testing.T) {
+	code, out := capture(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, rule := range []string{"lockorder", "poolbalance", "lockblock", "goleak"} {
+		if !strings.Contains(out, rule) {
+			t.Errorf("-list output missing rule %q", rule)
+		}
+	}
+}
+
+// TestJSONOutput pins the -json wire format: one object per line with
+// the file/line/col/rule/msg fields CI turns into error annotations.
+func TestJSONOutput(t *testing.T) {
+	code, out := capture(t, "-json", "-rules", "poolbalance",
+		"internal/lint/testdata/src/poolbalance/poolbalance")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (fixture has deliberate findings)", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no diagnostics emitted")
+	}
+	for _, line := range lines {
+		var d jsonDiag
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Msg == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		if d.Rule != "poolbalance" {
+			t.Errorf("rule %q, want poolbalance", d.Rule)
+		}
+	}
+}
+
+func TestUnknownRuleExitsTwo(t *testing.T) {
+	code, _ := capture(t, "-rules", "nosuchrule")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

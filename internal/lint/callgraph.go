@@ -1,0 +1,294 @@
+// Module-wide call graph for the interprocedural rules (lockorder,
+// poolbalance, and the cross-function upgrades of lockblock and goleak).
+// The graph is built once per Run from the go/types results the loader
+// already produced: every function and method declared in the loaded
+// packages becomes a node, and each node records its call sites in
+// source order. Static calls resolve to their single callee; calls
+// through an interface resolve to every module-declared concrete method
+// that implements the interface (method-set resolution is bounded to
+// the loaded packages and callees are sorted, so the graph — and every
+// diagnostic derived from it — is deterministic). Calls inside `go`
+// statements and function literals are excluded: they execute in a
+// different context than the enclosing function, and every rule built
+// on the graph reasons about what happens during a call.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Module is the whole-run state shared by every pass of one lint.Run:
+// the loaded packages plus the lazily built call graph and per-function
+// blocking summaries the interprocedural rules consume.
+type Module struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	graph     *CallGraph
+	summaries map[*FuncInfo]*blockSummary
+}
+
+// NewModule wraps the packages of one run. The call graph is built on
+// first use.
+func NewModule(fset *token.FileSet, pkgs []*Package) *Module {
+	return &Module{Fset: fset, Pkgs: pkgs}
+}
+
+// FuncInfo is one function or method declared in a loaded package,
+// together with its outgoing call sites.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Calls lists the call sites in Decl's body, in source order,
+	// excluding calls inside go statements and function literals.
+	Calls []*CallSite
+}
+
+// Name returns the function's diagnostic name: "pkg.Func" or
+// "pkg.(Type).Method" using the last import path segment.
+func (fi *FuncInfo) Name() string {
+	pkg := fi.Pkg.Path
+	if i := lastSlash(pkg); i >= 0 {
+		pkg = pkg[i+1:]
+	}
+	if recv := fi.Obj.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg + ".(" + named.Obj().Name() + ")." + fi.Obj.Name()
+		}
+	}
+	return pkg + "." + fi.Obj.Name()
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
+// CallSite is one call expression inside a function body. Static calls
+// have exactly one callee; interface calls list every module type's
+// implementation, and Interface is set so rules can choose a more
+// conservative treatment for them.
+type CallSite struct {
+	Call      *ast.CallExpr
+	Callees   []*FuncInfo
+	Interface bool
+}
+
+// CallGraph indexes the module's functions and resolves call
+// expressions to their targets.
+type CallGraph struct {
+	funcs  map[*types.Func]*FuncInfo
+	sorted []*FuncInfo // deterministic iteration order (position)
+}
+
+// Graph returns the module's call graph, building it on first use.
+func (m *Module) Graph() *CallGraph {
+	if m.graph == nil {
+		m.graph = buildCallGraph(m.Fset, m.Pkgs)
+	}
+	return m.graph
+}
+
+// Funcs returns every declared function in deterministic order
+// (package path, then file position).
+func (g *CallGraph) Funcs() []*FuncInfo { return g.sorted }
+
+// FuncOf returns the FuncInfo for a declared module function, or nil
+// for functions outside the loaded packages.
+func (g *CallGraph) FuncOf(obj types.Object) *FuncInfo {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return g.funcs[fn]
+}
+
+// CalleeOf resolves one call expression appearing in pkg to its module
+// callees. Static calls yield the single declared callee; interface
+// method calls yield every module implementation. The boolean reports
+// whether the call was through an interface.
+func (g *CallGraph) CalleeOf(pkg *Package, call *ast.CallExpr) ([]*FuncInfo, bool) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if selection, ok := pkg.Info.Selections[sel]; ok && ifaceRecv(selection) {
+			if impls := g.implementers(selection); len(impls) > 0 {
+				return impls, true
+			}
+			return nil, true
+		}
+	}
+	if fi := g.FuncOf(calleeObj(pkg.Info, call)); fi != nil {
+		return []*FuncInfo{fi}, false
+	}
+	return nil, false
+}
+
+// ifaceRecv reports whether a method selection's receiver is an
+// interface type.
+func ifaceRecv(sel *types.Selection) bool {
+	t := sel.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// implementers resolves an interface method selection to the matching
+// concrete methods of every module type implementing the interface.
+func (g *CallGraph) implementers(sel *types.Selection) []*FuncInfo {
+	iface, ok := sel.Recv().Underlying().(*types.Interface)
+	if !ok {
+		if p, isPtr := sel.Recv().(*types.Pointer); isPtr {
+			iface, ok = p.Elem().Underlying().(*types.Interface)
+		}
+		if !ok {
+			return nil
+		}
+	}
+	name := sel.Obj().Name()
+	var out []*FuncInfo
+	seen := make(map[*FuncInfo]bool)
+	for _, fi := range g.sorted {
+		recv := fi.Obj.Type().(*types.Signature).Recv()
+		if recv == nil || fi.Obj.Name() != name {
+			continue
+		}
+		rt := recv.Type()
+		if !types.Implements(rt, iface) && !types.Implements(types.NewPointer(rt), iface) {
+			continue
+		}
+		if !seen[fi] {
+			seen[fi] = true
+			out = append(out, fi)
+		}
+	}
+	return out
+}
+
+func buildCallGraph(fset *token.FileSet, pkgs []*Package) *CallGraph {
+	g := &CallGraph{funcs: make(map[*types.Func]*FuncInfo)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg}
+				g.funcs[obj] = fi
+				g.sorted = append(g.sorted, fi)
+			}
+		}
+	}
+	sort.Slice(g.sorted, func(i, j int) bool {
+		a, b := g.sorted[i], g.sorted[j]
+		if a.Pkg.Path != b.Pkg.Path {
+			return a.Pkg.Path < b.Pkg.Path
+		}
+		return a.Decl.Pos() < b.Decl.Pos()
+	})
+	// Resolve call sites after every node exists, so forward and
+	// cross-package references land on the same FuncInfo instances.
+	for _, fi := range g.sorted {
+		fi.Calls = g.collectCalls(fi.Pkg, fi.Decl.Body)
+	}
+	return g
+}
+
+// collectCalls gathers the call sites of one body in source order,
+// skipping go statements and function literals (different execution
+// contexts).
+func (g *CallGraph) collectCalls(pkg *Package, body *ast.BlockStmt) []*CallSite {
+	var out []*CallSite
+	walkShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callees, iface := g.CalleeOf(pkg, call)
+		if len(callees) > 0 {
+			out = append(out, &CallSite{Call: call, Callees: callees, Interface: iface})
+		}
+		return true
+	})
+	return out
+}
+
+// blockSummary describes whether a function directly performs an
+// operation that can block indefinitely — the one-level summary the
+// interprocedural lockblock upgrade consumes. Only operations in the
+// function's own body count (go statements and closures excluded), and
+// a select with a default case is non-blocking.
+type blockSummary struct {
+	blocks bool
+	kind   string    // "channel send", "channel receive", "select", "time.Sleep"
+	pos    token.Pos // site of the blocking operation
+}
+
+// BlockSummary reports whether fi directly blocks, with the kind and
+// position of the first blocking operation in source order.
+func (m *Module) BlockSummary(fi *FuncInfo) (kind string, pos token.Pos, blocks bool) {
+	if m.summaries == nil {
+		m.summaries = make(map[*FuncInfo]*blockSummary)
+	}
+	s, ok := m.summaries[fi]
+	if !ok {
+		s = summarizeBlocking(fi)
+		m.summaries[fi] = s
+	}
+	return s.kind, s.pos, s.blocks
+}
+
+func summarizeBlocking(fi *FuncInfo) *blockSummary {
+	s := &blockSummary{}
+	record := func(kind string, pos token.Pos) {
+		if !s.blocks {
+			s.blocks = true
+			s.kind = kind
+			s.pos = pos
+		}
+	}
+	walkShallow(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			record("channel send", n.Pos())
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				record("select", n.Pos())
+			}
+			return false // comm clauses belong to the select's verdict
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				record("channel receive", n.Pos())
+			}
+		case *ast.CallExpr:
+			if isPkgFunc(calleeObj(fi.Pkg.Info, n), "time", "Sleep") {
+				record("time.Sleep", n.Pos())
+			}
+		}
+		return true
+	})
+	return s
+}

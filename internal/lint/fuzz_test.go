@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzIgnoreDirective fuzzes the //lint:ignore parser with arbitrary
+// comment text and checks its invariants: the three outcomes
+// (not-a-directive, well-formed, malformed) are mutually exclusive, a
+// parsed rule is the first whitespace-separated token after the
+// directive, and prose that merely shares the prefix letters is never
+// treated as a directive.
+func FuzzIgnoreDirective(f *testing.F) {
+	f.Add("//lint:ignore lockorder fixture: instances are address-ordered")
+	f.Add("//lint:ignore goleak")
+	f.Add("//lint:ignore")
+	f.Add("//lint:ignored below, see the design doc")
+	f.Add("// plain comment")
+	f.Add("//lint:ignore\tpoolbalance\ttab separated reason")
+	f.Add("//lint:ignore  two   spaces   everywhere ")
+	f.Add("//lint:ignore   nbsp is not a separator")
+	f.Fuzz(func(t *testing.T, text string) {
+		rule, ok, malformed := parseIgnoreDirective(text)
+		if ok && malformed {
+			t.Fatalf("%q: ok and malformed are mutually exclusive", text)
+		}
+		if !strings.HasPrefix(text, ignoreDirective) {
+			if ok || malformed {
+				t.Fatalf("%q: no directive prefix but parsed as one", text)
+			}
+			return
+		}
+		rest := strings.TrimPrefix(text, ignoreDirective)
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			// "//lint:ignoredX..." prose: neither a directive nor malformed.
+			if ok || malformed || rule != "" {
+				t.Fatalf("%q: prose sharing the prefix treated as a directive", text)
+			}
+			return
+		}
+		fields := strings.Fields(rest)
+		switch {
+		case len(fields) >= 2:
+			if !ok || rule != fields[0] {
+				t.Fatalf("%q: want ok with rule %q, got ok=%v rule=%q", text, fields[0], ok, rule)
+			}
+		default:
+			if !malformed || rule != "" {
+				t.Fatalf("%q: directive missing rule/reason must be malformed, got ok=%v malformed=%v rule=%q",
+					text, ok, malformed, rule)
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"regexp"
 )
 
@@ -9,13 +10,17 @@ import (
 // receive from one counts as a cancellation path for goleak.
 var doneChanName = regexp.MustCompile(`(?i)^(done|stop|stopped|quit|closed?|exit|cancel)$`)
 
-// GoLeak requires every `go func` literal to have a bounded lifetime:
-// its body must select on a context (ctx.Done()) or a shutdown channel
-// (a receive from a channel named done/stop/quit/close/exit), or be
-// tracked by a sync.WaitGroup (a call to wg.Done). Anything else is a
-// goroutine nothing can stop — under heavy traffic those accumulate
-// until the process dies. Goroutines bounded some other way carry a
-// //lint:ignore goleak directive explaining why.
+// GoLeak requires every goroutine to have a bounded lifetime. A `go
+// func` literal's body must observe a context (select/receive on
+// ctx.Done(), or poll ctx.Err()) or a shutdown channel (a receive from
+// a channel named done/stop/quit/close/exit), be tracked by a
+// sync.WaitGroup (a call to wg.Done), or signal its own exit by closing
+// a conventional done channel an owner waits on. A `go f(...)` into a
+// named module function — resolved through the call graph, across
+// package boundaries — checks f's body the same way, one level deep. Anything else is a goroutine nothing
+// can stop — under heavy traffic those accumulate until the process
+// dies. Goroutines bounded some other way carry a //lint:ignore goleak
+// directive explaining why.
 func GoLeak() *Analyzer {
 	return &Analyzer{
 		Name: "goleak",
@@ -31,12 +36,19 @@ func runGoLeak(pass *Pass) {
 			if !ok {
 				return true
 			}
-			lit, ok := g.Call.Fun.(*ast.FuncLit)
-			if !ok {
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				if !goroutineBounded(pass.Info, lit.Body) {
+					pass.Reportf(g.Pos(), "goroutine has no cancellation path: select on ctx.Done()/a done channel or track it with a sync.WaitGroup")
+				}
 				return true
 			}
-			if !goroutineBounded(pass, lit.Body) {
-				pass.Reportf(g.Pos(), "goroutine has no cancellation path: select on ctx.Done()/a done channel or track it with a sync.WaitGroup")
+			// go f(...) into a named module function: inspect f's body
+			// in its defining package (one level interprocedural).
+			if callees, iface := pass.Mod.Graph().CalleeOf(pass.Package, g.Call); !iface && len(callees) == 1 {
+				callee := callees[0]
+				if !goroutineBounded(callee.Pkg.Info, callee.Decl.Body) {
+					pass.Reportf(g.Pos(), "goroutine %s has no cancellation path: select on ctx.Done()/a done channel or track it with a sync.WaitGroup", callee.Name())
+				}
 			}
 			return true
 		})
@@ -44,8 +56,9 @@ func runGoLeak(pass *Pass) {
 }
 
 // goroutineBounded reports whether body contains any accepted lifetime
-// bound.
-func goroutineBounded(pass *Pass, body *ast.BlockStmt) bool {
+// bound; info must be the go/types results of the package the body was
+// declared in.
+func goroutineBounded(info *types.Info, body *ast.BlockStmt) bool {
 	bounded := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if bounded {
@@ -53,11 +66,11 @@ func goroutineBounded(pass *Pass, body *ast.BlockStmt) bool {
 		}
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			obj := calleeObj(pass.Info, n)
-			// ctx.Done() — used in a select or a bare receive alike.
-			if obj != nil && obj.Name() == "Done" {
+			obj := calleeObj(info, n)
+			// ctx.Done() or ctx.Err() — selected, received, or polled.
+			if obj != nil && (obj.Name() == "Done" || obj.Name() == "Err") {
 				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
-					if tv, ok := pass.Info.Types[sel.X]; ok && isContextType(tv.Type) {
+					if tv, ok := info.Types[sel.X]; ok && isContextType(tv.Type) {
 						bounded = true
 						return false
 					}
@@ -67,6 +80,15 @@ func goroutineBounded(pass *Pass, body *ast.BlockStmt) bool {
 			if isMethodOf(obj, "sync", "WaitGroup", "Done") {
 				bounded = true
 				return false
+			}
+			// close(done) — the goroutine signals its exit on a
+			// conventional shutdown channel an owner waits on (the
+			// rpc read-loop pattern: defer close(c.done)).
+			if bi, ok := obj.(*types.Builtin); ok && bi.Name() == "close" && len(n.Args) == 1 {
+				if doneChanName.MatchString(lastIdentName(n.Args[0])) {
+					bounded = true
+					return false
+				}
 			}
 		case *ast.UnaryExpr:
 			// <-x where x's name marks a shutdown channel.

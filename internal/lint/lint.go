@@ -4,11 +4,24 @@
 // codebase's concurrency, context, and determinism layers depend on:
 //
 //	ctxfirst    context-first APIs; no context.Background outside cmd/examples
-//	lockblock   no blocking operations while a sync.Mutex is held
-//	goleak      goroutines must be cancelable or tracked
+//	lockblock   no blocking operations while a sync.Mutex is held, including
+//	            one-level interprocedural: calls (across packages) into
+//	            functions that directly block are flagged under a held lock
+//	goleak      goroutines must be cancelable or tracked; `go f(...)` into a
+//	            named module function checks f's body too
 //	determinism sim/faults/workload stay seeded and order-stable
 //	errwrap     %w wrapping and errors.Is for sentinels
 //	metricname  metric names are well-formed and unique module-wide
+//	lockorder   the module-wide mutex-acquisition-order graph (propagated
+//	            through calls made while a lock is held) must be acyclic;
+//	            cycles are reported with the full acquisition path
+//	poolbalance values from sync.Pool.Get and the project pool helpers
+//	            (erasure.EncodePooled, getBuf, AcquireBuffer, ...) must
+//	            reach a matching Put/Release on every path, defer included
+//
+// The interprocedural rules share a module-wide call graph (callgraph.go)
+// built from the same go/types load: static calls resolve to their one
+// declared callee, interface calls to every module implementation.
 //
 // A finding is suppressed by a directive comment
 //
@@ -39,22 +52,49 @@ func (d Diagnostic) String() string {
 }
 
 // Analyzer is one lint rule. Run inspects a single package and reports
-// findings through the pass. Analyzers observe packages in sorted import
+// findings through the pass; analyzers observe packages in sorted import
 // path order, so module-wide state (metricname's uniqueness map) is
-// deterministic.
+// deterministic. RunModule, if set, runs once per suite invocation after
+// every per-package pass, with access to the whole loaded module and its
+// call graph — the interprocedural rules (lockorder) live there. An
+// analyzer may set either hook or both.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
-// Pass carries one package through one analyzer.
+// Pass carries one package through one analyzer. Mod exposes the
+// whole-run module state (all loaded packages plus the lazily built
+// call graph) so per-package rules can resolve cross-package callees.
 type Pass struct {
 	*Package
+	Fset *token.FileSet
+	Mod  *Module
+
+	rule   string
+	report func(Diagnostic)
+}
+
+// ModulePass carries the whole module through one module-level
+// analyzer. Diagnostics may land in any loaded package; suppressions
+// apply exactly as they do for per-package passes.
+type ModulePass struct {
+	Mod  *Module
 	Fset *token.FileSet
 
 	rule   string
 	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
 }
 
 // Reportf records a finding at pos.
@@ -98,6 +138,8 @@ func Suite() []*Analyzer {
 		Determinism(),
 		ErrWrap(),
 		MetricName(),
+		LockOrder(),
+		PoolBalance(),
 	}
 }
 
@@ -119,27 +161,51 @@ func ByName(analyzers []*Analyzer, names []string) ([]*Analyzer, error) {
 }
 
 // Run applies the analyzers to the packages, drops suppressed findings,
-// and returns the rest sorted by position. Malformed //lint:ignore
-// directives (missing rule or reason) are themselves reported under the
-// "ignore" pseudo-rule.
+// and returns the rest sorted by position. Per-package hooks run first
+// (packages in sorted import-path order), then each analyzer's module
+// hook runs once over the whole set. Malformed //lint:ignore directives
+// (missing rule or reason) are themselves reported under the "ignore"
+// pseudo-rule.
 func Run(fset *token.FileSet, analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 	var diags []Diagnostic
+	mod := NewModule(fset, pkgs)
+	sup := &suppressions{
+		lines: make(map[string]map[int][]string),
+		decls: make(map[string][]declRange),
+	}
 	for _, pkg := range pkgs {
-		sup := collectSuppressions(fset, pkg)
-		diags = append(diags, sup.malformed...)
+		sup.collect(fset, pkg)
+	}
+	diags = append(diags, sup.malformed...)
+	report := func(d Diagnostic) {
+		if !sup.covers(d) {
+			diags = append(diags, d)
+		}
+	}
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{
+			if a.Run == nil {
+				continue
+			}
+			a.Run(&Pass{
 				Package: pkg,
 				Fset:    fset,
+				Mod:     mod,
 				rule:    a.Name,
-				report: func(d Diagnostic) {
-					if !sup.covers(d) {
-						diags = append(diags, d)
-					}
-				},
-			}
-			a.Run(pass)
+				report:  report,
+			})
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		a.RunModule(&ModulePass{
+			Mod:    mod,
+			Fset:   fset,
+			rule:   a.Name,
+			report: report,
+		})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -157,7 +223,8 @@ func Run(fset *token.FileSet, analyzers []*Analyzer, pkgs []*Package) []Diagnost
 	return diags
 }
 
-// suppressions indexes //lint:ignore directives for one package.
+// suppressions indexes //lint:ignore directives across the loaded
+// packages (module rules may report in any of them).
 type suppressions struct {
 	// lines maps file name -> line -> suppressed rule names.
 	lines map[string]map[int][]string
@@ -174,11 +241,8 @@ type declRange struct {
 
 const ignoreDirective = "//lint:ignore"
 
-func collectSuppressions(fset *token.FileSet, pkg *Package) *suppressions {
-	s := &suppressions{
-		lines: make(map[string]map[int][]string),
-		decls: make(map[string][]declRange),
-	}
+// collect indexes one package's directives into s.
+func (s *suppressions) collect(fset *token.FileSet, pkg *Package) {
 	for _, f := range pkg.Files {
 		fname := fset.Position(f.Pos()).Filename
 
@@ -225,29 +289,42 @@ func collectSuppressions(fset *token.FileSet, pkg *Package) *suppressions {
 			}
 		}
 	}
-	return s
 }
 
 // parse extracts the rule from one directive comment, reporting
 // malformed directives when report is set. The second return is false
 // for non-directives and malformed ones alike.
 func (s *suppressions) parse(fset *token.FileSet, c *ast.Comment, report bool) (string, bool) {
-	if !strings.HasPrefix(c.Text, ignoreDirective) {
-		return "", false
+	rule, ok, malformed := parseIgnoreDirective(c.Text)
+	if malformed && report {
+		s.malformed = append(s.malformed, Diagnostic{
+			Pos:     fset.Position(c.Pos()),
+			Rule:    "ignore",
+			Message: "malformed directive: want //lint:ignore <rule> <reason>",
+		})
 	}
-	rest := strings.TrimPrefix(c.Text, ignoreDirective)
+	return rule, ok
+}
+
+// parseIgnoreDirective parses one comment's text as a //lint:ignore
+// directive. ok means a well-formed directive (rule and a reason
+// present); malformed means the comment is the directive but is missing
+// the rule or the reason. Prose that merely starts with the letters
+// ("//lint:ignored below") is neither: the directive token must be
+// followed by whitespace.
+func parseIgnoreDirective(text string) (rule string, ok, malformed bool) {
+	if !strings.HasPrefix(text, ignoreDirective) {
+		return "", false, false
+	}
+	rest := strings.TrimPrefix(text, ignoreDirective)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false, false
+	}
 	fields := strings.Fields(rest)
 	if len(fields) < 2 {
-		if report {
-			s.malformed = append(s.malformed, Diagnostic{
-				Pos:     fset.Position(c.Pos()),
-				Rule:    "ignore",
-				Message: "malformed directive: want //lint:ignore <rule> <reason>",
-			})
-		}
-		return "", false
+		return "", false, true
 	}
-	return fields[0], true
+	return fields[0], true, false
 }
 
 func (s *suppressions) covers(d Diagnostic) bool {

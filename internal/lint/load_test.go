@@ -5,6 +5,7 @@ import (
 	"go/parser"
 	"go/token"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -59,6 +60,33 @@ func TestBuildConstraintsSatisfied(t *testing.T) {
 		if got := buildConstraintsSatisfied(f); got != tc.want {
 			t.Errorf("buildConstraintsSatisfied(%q) = %v, want %v", tc.src, got, tc.want)
 		}
+	}
+}
+
+// TestBuildConstraintPairNoDoubleReport pins that a //go:build race /
+// !race file pair defining the same symbol does not double-load: the
+// package type-checks (one variant excluded), and a violation present
+// in both variants is reported exactly once, from the included file.
+// The lint loader never sets the race tag, so the !race variant wins.
+func TestBuildConstraintPairNoDoubleReport(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadDirs("internal/lint/testdata/src/buildtag/buildtag")
+	if err != nil {
+		t.Fatalf("loading a race/!race file pair: %v", err)
+	}
+	analyzers, err := ByName(Suite(), []string{"goleak"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(l.Fset, analyzers, pkgs)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1 (one variant loaded): %v", len(diags), diags)
+	}
+	if !strings.HasSuffix(diags[0].Pos.Filename, "norace.go") {
+		t.Errorf("diagnostic from %s, want the !race variant norace.go", diags[0].Pos.Filename)
 	}
 }
 

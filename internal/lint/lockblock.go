@@ -12,6 +12,15 @@ import (
 // a Lock with no matching Unlock on the fall-through path and returns
 // that leave the critical section without an Unlock or defer Unlock.
 //
+// On top of the intraprocedural walk the rule is one-level
+// interprocedural via the module call graph: a static call — across
+// package boundaries — into a module function that directly blocks
+// (channel operation, select without default, time.Sleep in its own
+// body) is flagged at the call site while a lock is held. Only static
+// calls participate: interface calls are already covered by the
+// SiteAPI and context-taking checks, and deeper transitive blocking is
+// left to the callee's own intraprocedural findings.
+//
 // The analysis is a linear source-order walk per function: it tracks
 // which mutexes are held, treats `defer mu.Unlock()` as covering every
 // return, and does not follow control flow across branches — an Unlock
@@ -169,6 +178,16 @@ func checkLocks(pass *Pass, body *ast.BlockStmt) {
 			}
 			if sig := calleeSignature(pass.Info, n); sig != nil && firstParamIsContext(sig) {
 				pass.Reportf(n.Pos(), "call into context-taking API while %s is held", h.expr)
+				return true
+			}
+			// One-level interprocedural: a static call into a module
+			// function that directly blocks is as bad as blocking here.
+			if callees, iface := pass.Mod.Graph().CalleeOf(pass.Package, n); !iface && len(callees) == 1 {
+				if kind, pos, blocks := pass.Mod.BlockSummary(callees[0]); blocks {
+					bp := pass.Fset.Position(pos)
+					pass.Reportf(n.Pos(), "call to %s, which blocks (%s at %s:%d), while %s is held",
+						callees[0].Name(), kind, bp.Filename, bp.Line, h.expr)
+				}
 			}
 		}
 		return true

@@ -1,0 +1,485 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the module-wide mutex-acquisition-order graph and
+// reports every cycle in it as a potential deadlock, with the full
+// acquisition path (including the call chain when a lock is taken by a
+// callee while the caller holds another).
+//
+// Lock identity is static, not per-instance: a receiver-field mutex is
+// "pkg.Type.field" (an embedded sync.Mutex/RWMutex is "pkg.Type.Mutex"),
+// a package-level mutex is "pkg.var". Two distinct instances of the
+// same identity map to one node — that is deliberate: acquiring two
+// locks of the same identity in a nested fashion (a self-edge) is a
+// deadlock unless the instances are strictly ordered, and such sites
+// must carry a suppression stating the ordering rule. Local and
+// parameter mutexes are skipped (they have no stable module-wide
+// identity).
+//
+// Edges come from a linear source-order walk of every function (the
+// same discipline as lockblock: defer Unlock holds to function end, an
+// Unlock anywhere earlier releases for what follows): acquiring B while
+// A is held adds A -> B. Calls made while a lock is held propagate: the
+// callee's transitively acquired locks (through the call graph, go
+// statements and closures excluded, interface calls resolved to module
+// implementations) all gain edges from every held lock, tagged with the
+// call chain. RLock is ordered like Lock: reader cycles still deadlock
+// once a writer queues between them.
+//
+// A cycle is reported once, at its first edge (smallest lock identity
+// first, so the position is stable); suppress it there.
+func LockOrder() *Analyzer {
+	return &Analyzer{
+		Name:      "lockorder",
+		Doc:       "mutex acquisition order must be acyclic module-wide (deadlock freedom)",
+		RunModule: runLockOrder,
+	}
+}
+
+// lockEdge is one ordered pair in the acquisition graph: to was
+// acquired while from was held.
+type lockEdge struct {
+	from, to string
+	fn       *FuncInfo  // function whose walk produced the edge
+	pos      token.Pos  // acquisition or call site in fn
+	via      []*viaStep // call chain from fn to the Lock, empty if direct
+}
+
+// viaStep is one call on the chain from the lock holder to the
+// acquisition site.
+type viaStep struct {
+	callee *FuncInfo
+	pos    token.Pos // call site in the caller
+}
+
+// lockAcq is one lock a function may acquire during its execution,
+// with the first (source-order) chain that reaches it.
+type lockAcq struct {
+	id  string
+	pos token.Pos // the Lock/RLock site itself
+	via []*viaStep
+}
+
+type lockOrderState struct {
+	mp       *ModulePass
+	graph    *CallGraph
+	acquires map[*FuncInfo][]lockAcq
+	visiting map[*FuncInfo]bool
+	edges    map[string]map[string]*lockEdge
+	nodes    []string
+}
+
+func runLockOrder(mp *ModulePass) {
+	st := &lockOrderState{
+		mp:       mp,
+		graph:    mp.Mod.Graph(),
+		acquires: make(map[*FuncInfo][]lockAcq),
+		visiting: make(map[*FuncInfo]bool),
+		edges:    make(map[string]map[string]*lockEdge),
+	}
+	for _, fi := range st.graph.Funcs() {
+		st.collectEdges(fi)
+	}
+	st.reportCycles()
+}
+
+// mutexAcquire classifies call as a Lock/RLock on a mutex with a
+// module-wide identity.
+func mutexAcquire(pkg *Package, call *ast.CallExpr) (id string, held bool, release bool, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false, false
+	}
+	obj := calleeObj(pkg.Info, call)
+	var typ string
+	for _, t := range []string{"Mutex", "RWMutex"} {
+		for _, m := range []string{"Lock", "RLock", "Unlock", "RUnlock"} {
+			if isMethodOf(obj, "sync", t, m) {
+				typ = t
+				id, ok = lockIdentity(pkg, sel, typ)
+				if !ok {
+					return "", false, false, false
+				}
+				acquire := m == "Lock" || m == "RLock"
+				return id, acquire, !acquire, true
+			}
+		}
+	}
+	return "", false, false, false
+}
+
+// lockIdentity derives the module-wide identity of the mutex behind a
+// Lock/Unlock selector: "pkg.Type.field" for receiver fields,
+// "pkg.Type.<Mutex|RWMutex>" for embedded mutexes, "pkg.var" for
+// package-level mutexes. Locals and parameters yield ok=false.
+func lockIdentity(pkg *Package, methodSel *ast.SelectorExpr, mutexType string) (string, bool) {
+	recv := ast.Unparen(methodSel.X)
+
+	// Embedded mutex: the selection path from the receiver to the
+	// method has more than one hop (x.Lock() resolving through an
+	// embedded sync.Mutex field).
+	if selection, ok := pkg.Info.Selections[methodSel]; ok && len(selection.Index()) > 1 {
+		if named := namedOf(typeOfExpr(pkg, recv)); named != nil {
+			return typeID(named) + "." + mutexType, true
+		}
+		return "", false
+	}
+
+	switch e := recv.(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Uses[e]
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return "", false
+		}
+		// Package-level mutex variable.
+		if v.Parent() == pkg.Types.Scope() {
+			return pkg.Types.Path() + "." + v.Name(), true
+		}
+		return "", false
+	case *ast.SelectorExpr:
+		// Field access: identity is the owning named type + field name.
+		if named := namedOf(typeOfExpr(pkg, e.X)); named != nil {
+			return typeID(named) + "." + e.Sel.Name, true
+		}
+		// Package-qualified var: pkg.Mu.Lock().
+		if obj, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil &&
+			obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name(), true
+		}
+		return "", false
+	}
+	return "", false
+}
+
+func typeOfExpr(pkg *Package, e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// namedOf unwraps pointers and returns the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func typeID(n *types.Named) string {
+	if n.Obj().Pkg() == nil {
+		return n.Obj().Name()
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// acquiresOf returns the locks fi may acquire during its execution
+// (directly or through static/interface callees), deduplicated by
+// identity with the first source-order chain kept. Recursion through
+// the call graph is cycle-guarded.
+func (st *lockOrderState) acquiresOf(fi *FuncInfo) []lockAcq {
+	if acqs, ok := st.acquires[fi]; ok {
+		return acqs
+	}
+	if st.visiting[fi] {
+		return nil
+	}
+	st.visiting[fi] = true
+	defer delete(st.visiting, fi)
+
+	var out []lockAcq
+	seen := make(map[string]bool)
+	add := func(a lockAcq) {
+		if !seen[a.id] {
+			seen[a.id] = true
+			out = append(out, a)
+		}
+	}
+	walkShallow(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, acquire, _, ok := mutexAcquire(fi.Pkg, call); ok {
+			if acquire {
+				add(lockAcq{id: id, pos: call.Pos()})
+			}
+			return false
+		}
+		callees, _ := st.graph.CalleeOf(fi.Pkg, call)
+		for _, callee := range callees {
+			for _, a := range st.acquiresOf(callee) {
+				via := append([]*viaStep{{callee: callee, pos: call.Pos()}}, a.via...)
+				add(lockAcq{id: a.id, pos: a.pos, via: via})
+			}
+		}
+		return true
+	})
+	st.acquires[fi] = out
+	return out
+}
+
+// collectEdges walks one function linearly, tracking held locks the
+// same way lockblock does, and records acquisition-order edges.
+func (st *lockOrderState) collectEdges(fi *FuncInfo) {
+	type heldLock struct {
+		id       string
+		released bool
+		deferred bool
+	}
+	var held []*heldLock
+	heldIDs := func() []string {
+		var ids []string
+		for _, h := range held {
+			if !h.released {
+				ids = append(ids, h.id)
+			}
+		}
+		return ids
+	}
+	release := func(id string) {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].id == id && !held[i].released {
+				held[i].released = true
+				return
+			}
+		}
+	}
+
+	walkShallow(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred Unlock keeps the lock held to function end —
+			// exactly what not releasing models — and a deferred call
+			// runs outside this walk's held-set; skip either way.
+			return false
+		case *ast.CallExpr:
+			if id, acquire, rel, ok := mutexAcquire(fi.Pkg, n); ok {
+				if acquire {
+					for _, from := range heldIDs() {
+						st.addEdge(&lockEdge{from: from, to: id, fn: fi, pos: n.Pos()})
+					}
+					held = append(held, &heldLock{id: id})
+				} else if rel {
+					release(id)
+				}
+				return false
+			}
+			holders := heldIDs()
+			if len(holders) == 0 {
+				return true
+			}
+			callees, _ := st.graph.CalleeOf(fi.Pkg, n)
+			for _, callee := range callees {
+				for _, a := range st.acquiresOf(callee) {
+					via := append([]*viaStep{{callee: callee, pos: n.Pos()}}, a.via...)
+					for _, from := range holders {
+						st.addEdge(&lockEdge{from: from, to: a.id, fn: fi, pos: n.Pos(), via: via})
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (st *lockOrderState) addEdge(e *lockEdge) {
+	m := st.edges[e.from]
+	if m == nil {
+		m = make(map[string]*lockEdge)
+		st.edges[e.from] = m
+		st.nodes = append(st.nodes, e.from)
+	}
+	if _, ok := m[e.to]; !ok {
+		m[e.to] = e
+	}
+}
+
+// reportCycles finds cycles in the acquisition graph and reports each
+// once, deterministically: self-edges directly, and one representative
+// (shortest, smallest-identity-rooted) cycle per strongly connected
+// component.
+func (st *lockOrderState) reportCycles() {
+	sort.Strings(st.nodes)
+
+	// Self-edges: nested acquisition of one identity.
+	for _, n := range st.nodes {
+		if e, ok := st.edges[n][n]; ok {
+			st.mp.Reportf(e.pos, "potential deadlock: %s acquired while another %s is already held%s (nested same-identity locks deadlock unless instances are strictly ordered)",
+				shortLockID(e.to), shortLockID(e.from), viaString(e.via))
+		}
+	}
+
+	for _, comp := range st.sccs() {
+		if len(comp) < 2 {
+			continue
+		}
+		sort.Strings(comp)
+		cycle := st.shortestCycle(comp)
+		if cycle == nil {
+			continue
+		}
+		var path []string
+		var detail []string
+		for _, e := range cycle {
+			path = append(path, shortLockID(e.from))
+			pos := st.mp.Fset.Position(e.pos)
+			detail = append(detail, fmt.Sprintf("%s -> %s at %s:%d in %s%s",
+				shortLockID(e.from), shortLockID(e.to), pos.Filename, pos.Line, e.fn.Name(), viaString(e.via)))
+		}
+		path = append(path, shortLockID(cycle[0].from))
+		st.mp.Reportf(cycle[0].pos, "potential deadlock: lock-order cycle %s; acquisition path: %s",
+			strings.Join(path, " -> "), strings.Join(detail, "; "))
+	}
+}
+
+// shortLockID trims a lock identity's package path to its last segment
+// for readable diagnostics ("core.Client.mu", not the full import path).
+func shortLockID(id string) string {
+	if i := lastSlash(id); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+func viaString(via []*viaStep) string {
+	if len(via) == 0 {
+		return ""
+	}
+	var names []string
+	for _, s := range via {
+		names = append(names, s.callee.Name())
+	}
+	return " (via " + strings.Join(names, " -> ") + ")"
+}
+
+// sccs computes strongly connected components over the lock graph
+// (iterative Tarjan with sorted neighbor order for determinism).
+func (st *lockOrderState) sccs() [][]string {
+	all := map[string]bool{}
+	for _, n := range st.nodes {
+		all[n] = true
+		for to := range st.edges[n] {
+			all[to] = true
+		}
+	}
+	var order []string
+	for n := range all {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var comps [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var tos []string
+		for to := range st.edges[v] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, w := range tos {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for _, v := range order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return comps
+}
+
+// shortestCycle returns the edges of a shortest cycle through the
+// smallest identity in comp, restricted to comp's nodes. Neighbor order
+// is sorted, so the result is deterministic.
+func (st *lockOrderState) shortestCycle(comp []string) []*lockEdge {
+	inComp := make(map[string]bool, len(comp))
+	for _, n := range comp {
+		inComp[n] = true
+	}
+	root := comp[0] // comp is sorted by the caller
+
+	// BFS from root back to root.
+	type visit struct {
+		node string
+		prev *visit
+		edge *lockEdge
+	}
+	queue := []*visit{{node: root}}
+	seen := map[string]bool{root: true}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		var tos []string
+		for to := range st.edges[v.node] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			if !inComp[to] {
+				continue
+			}
+			e := st.edges[v.node][to]
+			if to == root {
+				// Unwind the path.
+				var edges []*lockEdge
+				for cur := (&visit{prev: v, edge: e}); cur.edge != nil; cur = cur.prev {
+					edges = append(edges, cur.edge)
+				}
+				for i, j := 0, len(edges)-1; i < j; i, j = i+1, j-1 {
+					edges[i], edges[j] = edges[j], edges[i]
+				}
+				return edges
+			}
+			if !seen[to] {
+				seen[to] = true
+				queue = append(queue, &visit{node: to, prev: v, edge: e})
+			}
+		}
+	}
+	return nil
+}

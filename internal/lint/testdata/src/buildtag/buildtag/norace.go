@@ -1,0 +1,15 @@
+//go:build !race
+
+// Package buildtag is a loader fixture: race.go and norace.go define
+// the same symbol under mutually exclusive build constraints. Exactly
+// one variant may load — otherwise the type check fails on a duplicate
+// symbol, and a violation present in both files would double-report.
+package buildtag
+
+func spin(q *[]int) {
+	go func() {
+		for {
+			*q = (*q)[:0]
+		}
+	}()
+}

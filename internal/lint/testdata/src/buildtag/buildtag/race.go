@@ -1,0 +1,13 @@
+//go:build race
+
+package buildtag
+
+// spin is the race-build variant of norace.go's spin: the same symbol,
+// the same violation, behind the opposite constraint.
+func spin(q *[]int) {
+	go func() {
+		for {
+			*q = (*q)[:0]
+		}
+	}()
+}

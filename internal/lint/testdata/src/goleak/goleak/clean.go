@@ -34,6 +34,34 @@ func stopper(stop chan struct{}) {
 	}()
 }
 
+// pollNamed is bounded by polling ctx.Err on each step of a finite
+// walk; launching it by name is fine.
+func pollNamed(ctx context.Context, refs []int) {
+	for range refs {
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+func launchPoller(ctx context.Context, refs []int) {
+	go pollNamed(ctx, refs)
+}
+
+// closerNamed signals its own exit by closing a conventional done
+// channel the owner waits on (the rpc read-loop pattern).
+func closerNamed(done chan struct{}, work chan int) {
+	defer close(done)
+	for range work {
+	}
+}
+
+func launchCloser(work chan int) {
+	done := make(chan struct{})
+	go closerNamed(done, work)
+	<-done
+}
+
 // accepter is bounded some other way and says so.
 func accepter(work chan int) {
 	//lint:ignore goleak fixture: terminates when work is closed by the producer

@@ -19,3 +19,16 @@ func tickForever(q *[]int) {
 		}
 	}()
 }
+
+// spinNamed loops forever; it only exists to be launched by name.
+func spinNamed(q *[]int) {
+	for {
+		*q = (*q)[:0]
+	}
+}
+
+// launchNamed starts a named module function whose body has no
+// cancellation path: the check follows the static call one level deep.
+func launchNamed(q *[]int) {
+	go spinNamed(q) // want "goroutine goleak.spinNamed has no cancellation path"
+}

@@ -25,6 +25,18 @@ func (q *queue) deferredClosure() {
 	q.n++
 }
 
+// bump never blocks, so calling it inside the critical section is
+// fine: the interprocedural check summarizes its body, not its name.
+func (q *queue) bump() {
+	q.n++
+}
+
+func (q *queue) callsHelper() {
+	q.mu.Lock()
+	q.bump()
+	q.mu.Unlock()
+}
+
 // sendUnderLockSuppressed documents why this send cannot block.
 func (q *queue) sendUnderLockSuppressed() {
 	q.mu.Lock()

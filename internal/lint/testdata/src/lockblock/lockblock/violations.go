@@ -50,3 +50,16 @@ func (q *queue) neverReleased() {
 	q.mu.Lock() // want "never released on the fall-through path"
 	q.n++
 }
+
+// emit performs a bare channel send; callers must not hold locks.
+func (q *queue) emit(v int) {
+	q.ch <- v
+}
+
+// callsBlockingHelper holds mu across a static call whose body blocks:
+// the check follows the call graph one level deep.
+func (q *queue) callsBlockingHelper() {
+	q.mu.Lock()
+	q.emit(1) // want "call to lockblock.(queue).emit, which blocks (channel send"
+	q.mu.Unlock()
+}

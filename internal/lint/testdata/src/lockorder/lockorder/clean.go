@@ -1,0 +1,56 @@
+package lockorder
+
+import "sync"
+
+// P and Q are always acquired in the same order (P before Q), including
+// through a helper: a consistent order is acyclic and reports nothing.
+type P struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Q struct {
+	mu sync.Mutex
+	n  int
+}
+
+func pq(p *P, q *Q) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	p.n++
+	q.n++
+}
+
+func pViaHelper(p *P, q *Q) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	lockQ(q)
+	p.n++
+}
+
+func lockQ(q *Q) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.n++
+}
+
+// qAlone acquires Q with no other lock held: order edges need a holder.
+func qAlone(q *Q) {
+	q.mu.Lock()
+	q.n++
+	q.mu.Unlock()
+}
+
+// released drops P before taking Q in the opposite caller, so there is
+// no Q -> P edge: an Unlock earlier in source order releases the lock
+// for everything after it.
+func released(p *P, q *Q) {
+	q.mu.Lock()
+	q.n++
+	q.mu.Unlock()
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+}

@@ -1,0 +1,53 @@
+package lockorder
+
+import "sync"
+
+// X, Y, Z form a three-lock cycle stitched through a call: xy takes X
+// then Y directly; yz takes Y and then calls lockZ, which acquires Z
+// (the edge is recorded with its call chain); zx takes Z then X. The
+// report carries the full acquisition path with one file:line per edge.
+type X struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Y struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Z struct {
+	mu sync.Mutex
+	n  int
+}
+
+func xy(x *X, y *Y) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock() // want "lock-order cycle lockorder.X.mu -> lockorder.Y.mu -> lockorder.Z.mu -> lockorder.X.mu" "via lockorder.lockZ"
+	defer y.mu.Unlock()
+	x.n++
+	y.n++
+}
+
+func yz(y *Y, z *Z) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	lockZ(z)
+	y.n++
+}
+
+func lockZ(z *Z) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.n++
+}
+
+func zx(z *Z, x *X) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	z.n++
+	x.n++
+}

@@ -1,0 +1,34 @@
+package lockorder
+
+import "sync"
+
+// D and E cycle like A and B, but the first edge carries a suppression
+// with its ordering argument, so nothing is reported.
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+type E struct {
+	mu sync.Mutex
+	n  int
+}
+
+func de(d *D, e *E) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	//lint:ignore lockorder fixture: instances are ordered by address before acquisition
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d.n++
+	e.n++
+}
+
+func ed(d *D, e *E) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.n++
+	e.n++
+}

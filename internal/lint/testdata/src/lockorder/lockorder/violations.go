@@ -1,0 +1,52 @@
+// Package lockorder is a lockorder golden-file fixture: lock-order
+// cycles the module-wide acquisition graph must report as potential
+// deadlocks.
+package lockorder
+
+import "sync"
+
+// A and B form a two-lock cycle: ab acquires A then B, ba acquires B
+// then A.
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "lock-order cycle lockorder.A.mu -> lockorder.B.mu -> lockorder.A.mu"
+	defer b.mu.Unlock()
+	a.n++
+	b.n++
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n++
+	b.n++
+}
+
+// N is acquired nested with itself: a self-edge in the graph, a
+// deadlock the moment both goroutines pick opposite instances.
+type N struct {
+	mu sync.Mutex
+	n  int
+}
+
+func transfer(from, to *N) {
+	from.mu.Lock()
+	defer from.mu.Unlock()
+	to.mu.Lock() // want "N.mu acquired while another lockorder.N.mu is already held"
+	defer to.mu.Unlock()
+	to.n += from.n
+	from.n = 0
+}

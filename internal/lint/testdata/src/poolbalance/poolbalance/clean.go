@@ -1,0 +1,83 @@
+package poolbalance
+
+import "errors"
+
+// deferred covers every return with one defer.
+func deferred(fail bool) error {
+	v := pool.Get().(*buf)
+	defer pool.Put(v)
+	if fail {
+		return errFixture
+	}
+	return nil
+}
+
+// branches release on each path separately.
+func branches(fail bool) {
+	v := getBuf()
+	if fail {
+		putBuf(v)
+		return
+	}
+	putBuf(v)
+}
+
+// errGuarded follows the error-return idiom: encode returns nil on
+// error, so the guarded return carries no pooled value.
+func errGuarded(data []byte) error {
+	v, err := encode(data)
+	if err != nil {
+		return err
+	}
+	putBuf(v)
+	return nil
+}
+
+// encode is a source with an error result: on failure it returns no
+// pooled value, on success ownership moves to the caller.
+func encode(data []byte) (*buf, error) {
+	if len(data) == 0 {
+		return nil, errors.New("empty")
+	}
+	v := pool.Get().(*buf)
+	v.b = append(v.b[:0], data...)
+	return v, nil
+}
+
+// nilGuarded allocates on pool miss, the production getBuf idiom:
+// inside the guard the value is returned, past it there is nothing
+// pooled to release.
+func nilGuarded() *buf {
+	if v := pool.Get(); v != nil {
+		return v.(*buf)
+	}
+	return new(buf)
+}
+
+// stored hands the value to a struct that owns it from then on.
+type owner struct {
+	v *buf
+}
+
+func (o *owner) fill() {
+	o.v = getBuf()
+}
+
+// loop balances within each iteration.
+func loop(n int) {
+	for i := 0; i < n; i++ {
+		v := getBuf()
+		v.b = v.b[:0]
+		putBuf(v)
+	}
+}
+
+// escapes passes the value to an unknown callee, which owns it after.
+func escapes() {
+	v := getBuf()
+	sink(v)
+}
+
+func sink(v *buf) { sunk = v }
+
+var sunk *buf

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Pre-commit gate: vet and build everything, run the project lint suite
 # (internal/lint: context, locking, goroutine-leak, determinism, error
-# wrapping and metric naming rules), run the quick test suite under the
+# wrapping, metric naming, lock-order and pool-balance rules), run the
+# quick test suite under the
 # race detector, then smoke-run the fault-tolerance example end to end
 # (degraded reads, repair, recovery), the scrubbing example (injected
 # bit rot -> nonzero scrub_corrupt_detected), and a cache on/off
@@ -29,3 +30,4 @@ pack=$(go run ./cmd/ecbench -exp ab-pack -scale quick)
 echo "$pack"
 echo "$pack" | grep -Eq 'packed=[1-9]'
 go test -run FuzzLayoutWindow -fuzz FuzzLayoutWindow -fuzztime 10s ./internal/erasure
+go test -run FuzzIgnoreDirective -fuzz FuzzIgnoreDirective -fuzztime 10s ./internal/lint
