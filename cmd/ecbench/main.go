@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -118,6 +119,10 @@ func runners() map[string]runner {
 			r, _, err := bench.AblationPack(sc)
 			return r, err
 		},
+		"ab-gateway": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.AblationGateway(sc)
+			return r, err
+		},
 	}
 }
 
@@ -131,13 +136,26 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ecbench", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment id (or 'all')")
+	mode := fs.String("mode", "", "alias for -exp")
 	scaleName := fs.String("scale", "full", "experiment scale: quick | mid | full")
 	seed := fs.Int64("seed", 42, "simulation seed")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	faultsOnly := fs.Bool("faults", false, "measure degraded-mode read latency under injected faults and exit")
 	cacheBytes := fs.Int64("cache-bytes", 0, "run a cache on/off comparison with this byte budget and exit")
+	jsonOut := fs.String("json", "", "write machine-readable results to this file (ab-gateway defaults to BENCH_9.json)")
+	gwAddr := fs.String("gateway", "", "sweep a live gateway over HTTP at this base URL (e.g. http://localhost:8080) and exit")
+	gwTenant := fs.String("gw-tenant", "", "tenant header for the live gateway sweep (empty = default)")
+	gwRates := fs.String("gw-rates", "50,200,1000", "comma-separated offered rates (req/s) for the live gateway sweep")
+	gwDur := fs.Duration("gw-duration", 2*time.Second, "duration of each live gateway sweep point")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *mode != "" {
+		*exp = *mode
+	}
+
+	if *gwAddr != "" {
+		return runGatewaySweep(*gwAddr, *gwTenant, *gwRates, *gwDur)
 	}
 
 	all := runners()
@@ -200,15 +218,47 @@ func run(args []string) error {
 		}
 		selected = []string{*exp}
 	}
+	if *jsonOut == "" && *exp == "ab-gateway" {
+		*jsonOut = "BENCH_9.json"
+	}
 
+	var reports []*bench.Report
 	for _, id := range selected {
 		start := time.Now()
 		report, err := all[id](sc)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
+		reports = append(reports, report)
 		fmt.Println(report)
 		fmt.Printf("(%s scale, seed %d, %s)\n\n", sc.Name, sc.Seed, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, sc, reports); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// writeJSON emits the run's machine-readable results: one object per
+// report, each carrying its raw sweep data, under the scale/seed that
+// produced them. A single-report run (e.g. -mode ab-gateway) still
+// writes the array form so consumers parse one shape.
+func writeJSON(path string, sc bench.Scale, reports []*bench.Report) error {
+	doc := struct {
+		Scale   string          `json:"scale"`
+		Seed    int64           `json:"seed"`
+		Reports []*bench.Report `json:"reports"`
+	}{Scale: sc.Name, Seed: sc.Seed, Reports: reports}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal %s: %w", path, err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
 	}
 	return nil
 }

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"ecstore/internal/gateway"
+)
+
+// runViaGateway services put/get/del through a gateway's HTTP front:
+// the gateway owns the erasure coding, caching and placement, so the
+// CLI degenerates to plain HTTP with a tenant header. Commands that
+// need the cluster topology (stat, stats) still require direct mode.
+func runViaGateway(base, tenant string, rest []string) error {
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{}
+	url := func(key string) string { return base + "/v1/blocks/" + key }
+
+	do := func(req *http.Request) (*http.Response, error) {
+		if tenant != "" {
+			req.Header.Set(gateway.TenantHeader, tenant)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode >= 400 {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			_ = resp.Body.Close()
+			return nil, fmt.Errorf("gateway: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		return resp, nil
+	}
+
+	switch rest[0] {
+	case "put":
+		pfs := flag.NewFlagSet("put", flag.ContinueOnError)
+		stream := pfs.Bool("stream", false, "stream the file; \"-\" reads stdin (the gateway streams either way)")
+		if err := pfs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		prest := pfs.Args()
+		if len(prest) != 2 {
+			return errors.New("usage: put [-stream] <key> <file>")
+		}
+		var src io.Reader
+		if *stream && prest[1] == "-" {
+			src = os.Stdin
+		} else {
+			f, err := os.Open(prest[1])
+			if err != nil {
+				return err
+			}
+			defer func() { _ = f.Close() }()
+			src = f
+		}
+		req, err := http.NewRequest(http.MethodPut, url(prest[0]), src)
+		if err != nil {
+			return err
+		}
+		resp, err := do(req)
+		if err != nil {
+			return err
+		}
+		_ = resp.Body.Close()
+		fmt.Printf("stored %s via gateway\n", prest[0])
+		return nil
+
+	case "get":
+		gfs := flag.NewFlagSet("get", flag.ContinueOnError)
+		rng := gfs.String("range", "", "byte range off:len")
+		if err := gfs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		grest := gfs.Args()
+		if len(grest) != 1 {
+			return errors.New("usage: get [-range off:len] <key>")
+		}
+		target := url(grest[0])
+		if *rng != "" {
+			off, n, err := parseRange(*rng)
+			if err != nil {
+				return err
+			}
+			target = fmt.Sprintf("%s?off=%d&len=%d", target, off, n)
+		}
+		req, err := http.NewRequest(http.MethodGet, target, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := do(req)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+			return err
+		}
+		return nil
+
+	case "del":
+		if len(rest) != 2 {
+			return errors.New("usage: del <key>")
+		}
+		req, err := http.NewRequest(http.MethodDelete, url(rest[1]), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := do(req)
+		if err != nil {
+			return err
+		}
+		_ = resp.Body.Close()
+		fmt.Printf("deleted %s via gateway\n", rest[1])
+		return nil
+
+	default:
+		return fmt.Errorf("command %q needs direct mode (-meta/-sites); -gateway supports put, get, del", rest[0])
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ecstore/internal/core"
+	"ecstore/internal/gateway"
+	"ecstore/internal/obs"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	rPipe, wPipe, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = wPipe
+	done := make(chan string, 1)
+	go func() {
+		buf, _ := io.ReadAll(rPipe)
+		done <- string(buf)
+	}()
+	fn()
+	_ = wPipe.Close()
+	os.Stdout = old
+	return <-done
+}
+
+// startHTTPGateway serves a real gateway (full in-process cluster behind
+// it) over HTTP and returns the base URL.
+func startHTTPGateway(t *testing.T) string {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cl, err := core.NewCluster(core.ClusterConfig{
+		NumSites: 4,
+		Client:   core.Config{K: 2, R: 2, StripeUnit: 1 << 10},
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	gw := gateway.New(gateway.Config{
+		Metrics:       reg,
+		DefaultTenant: &gateway.TenantConfig{RatePerSec: -1},
+		Tenants:       map[string]gateway.TenantConfig{"suspended": {RatePerSec: 0, Burst: 0}},
+	}, cl.Client)
+	srv := httptest.NewServer(gateway.NewHTTPHandler(gw, reg, nil))
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func TestCLIGatewayPutGetDel(t *testing.T) {
+	base := startHTTPGateway(t)
+
+	dir := t.TempDir()
+	file := filepath.Join(dir, "payload")
+	content := []byte("cli through the access tier")
+	if err := os.WriteFile(file, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run([]string{"-gateway", base, "put", "gw-key", file}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	out := captureStdout(t, func() {
+		if err := run([]string{"-gateway", base, "get", "gw-key"}); err != nil {
+			t.Fatalf("get: %v", err)
+		}
+	})
+	if out != string(content) {
+		t.Fatalf("get = %q, want %q", out, content)
+	}
+	out = captureStdout(t, func() {
+		if err := run([]string{"-gateway", base, "get", "-range", "4:7", "gw-key"}); err != nil {
+			t.Fatalf("range get: %v", err)
+		}
+	})
+	if out != "through" {
+		t.Fatalf("range = %q", out)
+	}
+	if err := run([]string{"-gateway", base, "del", "gw-key"}); err != nil {
+		t.Fatalf("del: %v", err)
+	}
+	if err := run([]string{"-gateway", base, "get", "gw-key"}); err == nil {
+		t.Fatal("get after delete should fail")
+	}
+}
+
+func TestCLIGatewayErrors(t *testing.T) {
+	base := startHTTPGateway(t)
+	dir := t.TempDir()
+	file := filepath.Join(dir, "f")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Suspended tenant surfaces the gateway's 429.
+	err := run([]string{"-gateway", base, "-tenant", "suspended", "put", "k", file})
+	if err == nil {
+		t.Fatal("suspended tenant put should fail")
+	}
+	// Cluster-topology commands refuse gateway mode.
+	if err := run([]string{"-gateway", base, "stat"}); err == nil {
+		t.Fatal("stat should need direct mode")
+	}
+	// Missing file.
+	if err := run([]string{"-gateway", base, "put", "k", filepath.Join(dir, "absent")}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

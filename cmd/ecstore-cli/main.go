@@ -49,6 +49,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("ecstore-cli", flag.ContinueOnError)
 	metaAddr := fs.String("meta", "127.0.0.1:7100", "metadata server address")
 	sitesCSV := fs.String("sites", "", "comma-separated storage site addresses (site 1 first)")
+	gatewayURL := fs.String("gateway", "", "route put/get/del through a gateway's HTTP front at this base URL instead of dialing meta/sites directly")
+	tenant := fs.String("tenant", "", "tenant name for -gateway requests (empty = default)")
 	controlAddr := fs.String("control", "", "control-plane statistics service address (stats command only)")
 	k := fs.Int("k", 2, "RS data chunks")
 	r := fs.Int("r", 2, "RS parity chunks")
@@ -63,6 +65,9 @@ func run(args []string) error {
 	rest := fs.Args()
 	if len(rest) == 0 {
 		return errors.New("usage: ecstore-cli [flags] put|get|del|stat ...")
+	}
+	if *gatewayURL != "" {
+		return runViaGateway(*gatewayURL, *tenant, rest)
 	}
 	if *sitesCSV == "" {
 		return errors.New("-sites is required")

@@ -1,0 +1,248 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ecstore/internal/gateway"
+	"ecstore/internal/metadata"
+	"ecstore/internal/model"
+	"ecstore/internal/rpc"
+	"ecstore/internal/storage"
+	"ecstore/internal/transport"
+)
+
+func TestParseTenants(t *testing.T) {
+	got, err := parseTenants("alice:100:200:1048576, bob:-1, carol:0:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := got["alice"]
+	if a.RatePerSec != 100 || a.Burst != 200 || a.ByteQuota != 1<<20 {
+		t.Fatalf("alice = %+v", a)
+	}
+	if got["bob"].RatePerSec != -1 || got["bob"].ByteQuota != 0 {
+		t.Fatalf("bob = %+v", got["bob"])
+	}
+	c := got["carol"]
+	if c.RatePerSec != 0 || c.Burst != 0 {
+		t.Fatalf("carol = %+v", c)
+	}
+
+	if m, err := parseTenants("  "); err != nil || m != nil {
+		t.Fatalf("empty spec = %v, %v", m, err)
+	}
+	for _, bad := range []string{"noratehere", "x:abc", "x:1:y", "x:1:1:-3", "a:1,a:2", ":5"} {
+		if _, err := parseTenants(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+	if err := run([]string{"-sites", "x"}); err == nil {
+		t.Fatal("missing fronts accepted")
+	}
+	if err := run([]string{"-http", "127.0.0.1:0"}); err == nil {
+		t.Fatal("missing -sites accepted")
+	}
+	if err := run([]string{"-http", "127.0.0.1:0", "-sites", "x", "-tenants", "oops"}); err == nil {
+		t.Fatal("bad tenant spec accepted")
+	}
+}
+
+// startBackend brings up a real metadata server and n storage sites over
+// TCP, returning their addresses.
+func startBackend(t *testing.T, n int) (metaAddr string, siteAddrs []string) {
+	t.Helper()
+	ids := make([]model.SiteID, n)
+	for i := range ids {
+		ids[i] = model.SiteID(i + 1)
+	}
+	catalog := metadata.NewCatalog(ids)
+	tcp := &transport.TCP{}
+
+	ml, err := tcp.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msrv := rpc.NewServer(metadata.NewServer(catalog))
+	go msrv.Serve(ml) //lint:ignore goleak test server torn down by Close in cleanup
+	t.Cleanup(func() { msrv.Close() })
+	metaAddr = ml.Addr().String()
+
+	for _, id := range ids {
+		svc := storage.NewService(storage.ServiceConfig{Site: id}, storage.NewMemStore())
+		sl, err := tcp.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ssrv := rpc.NewServer(storage.NewRPCServer(svc))
+		go ssrv.Serve(sl) //lint:ignore goleak test server torn down by Close in cleanup
+		t.Cleanup(func() { ssrv.Close() })
+		siteAddrs = append(siteAddrs, sl.Addr().String())
+	}
+	return metaAddr, siteAddrs
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	_ = l.Close()
+	return addr
+}
+
+func TestGatewayDaemonHTTPEndToEnd(t *testing.T) {
+	metaAddr, siteAddrs := startBackend(t, 4)
+	httpAddr := freeAddr(t)
+
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{
+			"-http", httpAddr,
+			"-meta", metaAddr,
+			"-sites", strings.Join(siteAddrs, ","),
+			"-tenants", "blocked:0:0",
+			"-default-rate", "-1",
+		})
+	}()
+
+	base := "http://" + httpAddr
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		select {
+		case e := <-errCh:
+			t.Fatalf("daemon exited early: %v", e)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	payload := []byte("through the daemon, erasure coded, over real TCP")
+	req, _ := http.NewRequest(http.MethodPut, base+"/v1/blocks/e2e", bytes.NewReader(payload))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put status = %d", resp.StatusCode)
+	}
+
+	resp, err = client.Get(base + "/v1/blocks/e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, payload) {
+		t.Fatalf("get = %d %q", resp.StatusCode, got)
+	}
+
+	resp, err = client.Get(base + "/v1/blocks/e2e?off=12&len=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(got) != "daemon" {
+		t.Fatalf("range = %q", got)
+	}
+
+	// The suspended tenant is shed with 429 and a Retry-After hint.
+	req, _ = http.NewRequest(http.MethodPut, base+"/v1/blocks/x", bytes.NewReader([]byte("y")))
+	req.Header.Set("X-EC-Tenant", "blocked")
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("blocked tenant status = %d", resp.StatusCode)
+	}
+
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"gateway_admitted_total", `gateway_shed_total{reason="rate"} 1`} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestGatewayDaemonRPCFront(t *testing.T) {
+	metaAddr, siteAddrs := startBackend(t, 4)
+	rpcAddr := freeAddr(t)
+
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{
+			"-addr", rpcAddr,
+			"-meta", metaAddr,
+			"-sites", strings.Join(siteAddrs, ","),
+			"-default-rate", "-1",
+		})
+	}()
+
+	tcp := &transport.TCP{DialTimeout: time.Second}
+	var conn net.Conn
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err = tcp.Dial(rpcAddr)
+		if err == nil {
+			break
+		}
+		select {
+		case e := <-errCh:
+			t.Fatalf("daemon exited early: %v", e)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	rc := rpc.NewClient(conn)
+	t.Cleanup(func() { rc.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	cli := gateway.NewRPCClient(rc, "rpc-tenant")
+	if err := cli.Put(ctx, "rpc-blk", []byte("native front over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.Get(ctx, "rpc-blk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "native front over tcp" {
+		t.Fatalf("get = %q", got)
+	}
+}

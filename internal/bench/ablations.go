@@ -34,7 +34,7 @@ func AblationDelta(sc Scale) (*Report, map[int]float64, error) {
 		fmt.Fprintf(&b, "%-8d %10.2fms %10.2fms\n",
 			delta, res.Mean.Total()*1000, res.Metrics.Percentile(99)*1000)
 	}
-	rep := &Report{ID: "ab-delta", Title: "Late-binding δ sweep (EC+C+M, YCSB-E 100 KB)", Body: b.String()}
+	rep := &Report{ID: "ab-delta", Title: "Late-binding δ sweep (EC+C+M, YCSB-E 100 KB)", Body: b.String(), Data: out}
 	return rep, out, nil
 }
 
@@ -59,7 +59,7 @@ func AblationK(sc Scale) (*Report, map[int]float64, error) {
 		fmt.Fprintf(&b, "%-6d %9.2fx %10.2fms %10.2fms\n",
 			k, res.StorageOverhead, res.Mean.Total()*1000, res.Metrics.Percentile(99)*1000)
 	}
-	rep := &Report{ID: "ab-k", Title: "RS(k, 2) parameter sweep (EC+C, YCSB-E 100 KB)", Body: b.String()}
+	rep := &Report{ID: "ab-k", Title: "RS(k, 2) parameter sweep (EC+C, YCSB-E 100 KB)", Body: b.String(), Data: out}
 	return rep, out, nil
 }
 
@@ -87,7 +87,7 @@ func AblationW2(sc Scale) (*Report, map[float64]float64, error) {
 		out[w2] = res.Mean.Total()
 		fmt.Fprintf(&b, "%-8.1f %10.2fms %8.1f\n", w2, res.Mean.Total()*1000, res.Lambda)
 	}
-	rep := &Report{ID: "ab-w2", Title: "Movement weight w2 sweep (EC+C+M, YCSB-E 100 KB)", Body: b.String()}
+	rep := &Report{ID: "ab-w2", Title: "Movement weight w2 sweep (EC+C+M, YCSB-E 100 KB)", Body: b.String(), Data: floatKeys(out)}
 	return rep, out, nil
 }
 
@@ -116,7 +116,7 @@ func AblationMoverRate(sc Scale) (*Report, map[float64]float64, error) {
 		fmt.Fprintf(&b, "%-12.2f %10.2fms %8d %8.1f\n",
 			interval, res.Mean.Total()*1000, res.Moves, res.Lambda)
 	}
-	rep := &Report{ID: "ab-mrate", Title: "Mover throttle sweep (EC+C+M, YCSB-E 100 KB)", Body: b.String()}
+	rep := &Report{ID: "ab-mrate", Title: "Mover throttle sweep (EC+C+M, YCSB-E 100 KB)", Body: b.String(), Data: floatKeys(out)}
 	return rep, out, nil
 }
 
@@ -149,6 +149,7 @@ func AblationScrub(sc Scale) (*Report, map[float64]float64, error) {
 		ID:    "ab-scrub",
 		Title: "Scrub throttle sweep (EC+C+M, YCSB-E 100 KB)",
 		Body:  b.String(),
+		Data:  floatKeys(out),
 	}
 	return rep, out, nil
 }
@@ -182,7 +183,7 @@ func AblationPlanQuality(sc Scale) (*Report, map[string]float64, error) {
 		out[mode.name] = res.Mean.Total()
 		fmt.Fprintf(&b, "%-14s %10.2fms %8.1f\n", mode.name, res.Mean.Total()*1000, res.VisitsPerRequest)
 	}
-	rep := &Report{ID: "ab-plan", Title: "Greedy vs ILP-upgraded planning (EC+C, YCSB-E 100 KB)", Body: b.String()}
+	rep := &Report{ID: "ab-plan", Title: "Greedy vs ILP-upgraded planning (EC+C, YCSB-E 100 KB)", Body: b.String(), Data: out}
 	return rep, out, nil
 }
 
@@ -215,7 +216,7 @@ func AblationBlockSize(sc Scale) (*Report, map[string]float64, error) {
 		fmt.Fprintf(&b, "%-10s %10.2fms %10.2fms %9.1f%%\n",
 			size.name, ec.Mean.Total()*1000, ecm.Mean.Total()*1000, 100*gain)
 	}
-	rep := &Report{ID: "ab-size", Title: "Block-size sweep: EC vs EC+C+M (YCSB-E)", Body: b.String()}
+	rep := &Report{ID: "ab-size", Title: "Block-size sweep: EC vs EC+C+M (YCSB-E)", Body: b.String(), Data: out}
 	return rep, out, nil
 }
 
@@ -256,7 +257,7 @@ func AblationCache(sc Scale) (*Report, map[int64]float64, error) {
 			label, res.Mean.Total()*1000, res.Metrics.Percentile(99)*1000,
 			100*res.CacheHitRatio(), 100*cl.CacheHotCoverage(64))
 	}
-	rep := &Report{ID: "ab-cache", Title: "Decoded-block cache budget sweep (EC+C+M+LB, YCSB-E 100 KB)", Body: b.String()}
+	rep := &Report{ID: "ab-cache", Title: "Decoded-block cache budget sweep (EC+C+M+LB, YCSB-E 100 KB)", Body: b.String(), Data: out}
 	return rep, out, nil
 }
 
@@ -311,7 +312,7 @@ func AblationCodec(sc Scale) (*Report, map[string]float64, error) {
 		fmt.Fprintf(&b, "%-24s %8.0f MB/s %8.0f MB/s %7.1fx\n", o.label, mbps[0], mbps[1], mbps[0]/mbps[1])
 	}
 	fmt.Fprintf(&b, "wide kernel: %s\n", gf256.Kernel())
-	rep := &Report{ID: "ab-codec", Title: "Erasure codec throughput, wide kernel vs scalar (real codec, not simulated)", Body: b.String()}
+	rep := &Report{ID: "ab-codec", Title: "Erasure codec throughput, wide kernel vs scalar (real codec, not simulated)", Body: b.String(), Data: out}
 	return rep, out, nil
 }
 

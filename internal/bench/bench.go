@@ -12,6 +12,7 @@ package bench
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"ecstore/internal/model"
@@ -96,11 +97,26 @@ func Configs() []sim.Options {
 	}
 }
 
-// Report is a rendered experiment.
+// Report is a rendered experiment. Data optionally carries the raw
+// machine-readable results behind the text body (sweep maps, gateway
+// sweep points); ecbench -json marshals the whole report, so Data must
+// hold only JSON-encodable values — number-keyed sweep maps go through
+// floatKeys first.
 type Report struct {
-	ID    string
-	Title string
-	Body  string
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Body  string `json:"body"`
+	Data  any    `json:"data,omitempty"`
+}
+
+// floatKeys converts a float-keyed sweep map into the string-keyed form
+// encoding/json can marshal (float64 map keys are unsupported).
+func floatKeys(in map[float64]float64) map[string]float64 {
+	out := make(map[string]float64, len(in))
+	for k, v := range in {
+		out[strconv.FormatFloat(k, 'g', -1, 64)] = v
+	}
+	return out
 }
 
 func (r *Report) String() string {

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ecstore/internal/sim"
+	"ecstore/internal/workload"
+)
+
+// GatewayPoint is one offered-load level of the gateway sweep.
+type GatewayPoint struct {
+	OfferedRPS   float64 `json:"offered_rps"`
+	CarriedRPS   float64 `json:"carried_rps"`
+	ShedFraction float64 `json:"shed_fraction"`
+	P50Millis    float64 `json:"p50_ms"`
+	P99Millis    float64 `json:"p99_ms"`
+	Admitted     int     `json:"admitted"`
+	Shed         int     `json:"shed"`
+	Completed    int     `json:"completed"`
+	Failed       int     `json:"failed"`
+	// SLOMet marks a sustainable point: p99 within the SLO and the shed
+	// fraction at most 1%.
+	SLOMet bool `json:"slo_met"`
+}
+
+// GatewaySweep is the machine-readable ab-gateway result (BENCH_9.json).
+type GatewaySweep struct {
+	SLOMillis         float64        `json:"slo_ms"`
+	Concurrency       int            `json:"concurrency"`
+	QueueDepth        int            `json:"queue_depth"`
+	Points            []GatewayPoint `json:"points"`
+	MaxSustainableRPS float64        `json:"max_sustainable_rps"`
+}
+
+// gatewaySLOMillis is the p99 sojourn objective the sweep holds the
+// gateway to. The unloaded request path costs a few milliseconds
+// (metadata + planning + parallel chunk fetch), so 50 ms of headroom
+// admits healthy queueing while still failing a collapsed tail.
+const gatewaySLOMillis = 50
+
+// AblationGateway sweeps offered load through the simulated gateway
+// (internal/sim RunOpenLoop): a Poisson arrival process drives a bounded
+// admission stage in front of the cluster, the rate doubling each point
+// until the gateway is visibly past saturation (shed fraction > 20% or
+// p99 beyond 4× the SLO) or the point budget runs out. The headline
+// number is the max sustainable throughput: the highest offered rate
+// whose p99 sojourn meets the SLO with at most 1% shed. Overload points
+// demonstrate the design goal — p99 stays bounded by the finite queue
+// while the shed fraction absorbs the excess.
+func AblationGateway(sc Scale) (*Report, *GatewaySweep, error) {
+	gp := sim.GatewayParams{Concurrency: 16, QueueDepth: 32}
+	sweep := &GatewaySweep{
+		SLOMillis:   gatewaySLOMillis,
+		Concurrency: gp.Concurrency,
+		QueueDepth:  gp.QueueDepth,
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "gateway: concurrency=%d queue=%d SLO p99<=%.0fms (shed<=1%%)\n",
+		gp.Concurrency, gp.QueueDepth, sweep.SLOMillis)
+	fmt.Fprintf(&b, "%-12s %-12s %8s %10s %10s %6s\n",
+		"offered/s", "carried/s", "shed", "p50", "p99", "SLO")
+
+	const maxPoints = 8
+	rate := 100.0
+	for i := 0; i < maxPoints; i++ {
+		cl, err := sim.New(sim.DefaultParams(sc.Seed), sim.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := cl.Populate(sc.Blocks, func(int) int64 { return BlockSize100KB }); err != nil {
+			return nil, nil, err
+		}
+		wl := workload.NewYCSBE(sc.Blocks, 4, 1.0)
+		res := cl.RunOpenLoop(wl, workload.Poisson{Rate: rate}, gp, sc.Warmup, sc.Measure)
+		res.OfferedRate = rate
+
+		pt := GatewayPoint{
+			OfferedRPS:   rate,
+			CarriedRPS:   res.Throughput,
+			ShedFraction: res.ShedFraction(),
+			P50Millis:    res.P50Sojourn * 1000,
+			P99Millis:    res.P99Sojourn * 1000,
+			Admitted:     res.Admitted,
+			Shed:         res.Shed,
+			Completed:    res.Completed,
+			Failed:       res.Failed,
+		}
+		pt.SLOMet = pt.P99Millis <= sweep.SLOMillis && pt.ShedFraction <= 0.01
+		sweep.Points = append(sweep.Points, pt)
+		if pt.SLOMet && rate > sweep.MaxSustainableRPS {
+			sweep.MaxSustainableRPS = rate
+		}
+
+		mark := "miss"
+		if pt.SLOMet {
+			mark = "ok"
+		}
+		fmt.Fprintf(&b, "%-12.0f %-12.1f %7.1f%% %8.2fms %8.2fms %6s\n",
+			pt.OfferedRPS, pt.CarriedRPS, 100*pt.ShedFraction, pt.P50Millis, pt.P99Millis, mark)
+
+		// Past saturation: the remaining points would only repeat the
+		// overload story.
+		if pt.ShedFraction > 0.20 || pt.P99Millis > 4*sweep.SLOMillis {
+			break
+		}
+		rate *= 2
+	}
+	fmt.Fprintf(&b, "max sustainable: %.0f req/s at p99<=%.0fms\n",
+		sweep.MaxSustainableRPS, sweep.SLOMillis)
+
+	rep := &Report{
+		ID:    "ab-gateway",
+		Title: "Gateway offered-load sweep: throughput under a p99 SLO (open loop)",
+		Body:  b.String(),
+		Data:  sweep,
+	}
+	return rep, sweep, nil
+}

@@ -161,7 +161,7 @@ func AblationRange(sc Scale) (*Report, map[string]float64, error) {
 		fmt.Fprintf(&b, "%-12s %10.2fms %13.0fB %14.1f\n", row.name, mean*1000, readBytes, stripes)
 	}
 	b.WriteString("\n(real data path: RS(2,2), 64 KiB stripe unit, 1 MiB blocks, 8 stripes;\n emulated medium 10 ns/B + 100 µs/read; wall-clock, machine-dependent)\n")
-	rep := &Report{ID: "ab-range", Title: "Whole-block Get vs GetRange (real data path)", Body: b.String()}
+	rep := &Report{ID: "ab-range", Title: "Whole-block Get vs GetRange (real data path)", Body: b.String(), Data: out}
 	return rep, out, nil
 }
 
@@ -253,6 +253,6 @@ func AblationPack(sc Scale) (*Report, map[string]float64, error) {
 	}
 	fmt.Fprintf(&b, "\npacked=%d blocks in %d containers\n", packedBlocks, packedContainers)
 	b.WriteString("(real data path: 4 KiB objects, RS(2,2); packed mode seals 256 KiB\n containers; chunk-RPCs counts storage write operations; wall-clock)\n")
-	rep := &Report{ID: "ab-pack", Title: "Small-object packing vs per-object blocks (real data path)", Body: b.String()}
+	rep := &Report{ID: "ab-pack", Title: "Small-object packing vs per-object blocks (real data path)", Body: b.String(), Data: out}
 	return rep, out, nil
 }

@@ -229,9 +229,10 @@ type Client struct {
 	// packing is disabled (cfg.PackThreshold == 0).
 	packer *packer
 
-	obs    clientObs
-	tracer *obs.Tracer
-	health *health.Tracker
+	obs      clientObs
+	tracer   *obs.Tracer
+	health   *health.Tracker
+	pressure *health.Pressure // nil unless an access tier feeds one
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -249,9 +250,10 @@ type clientObs struct {
 	lateDiscarded *obs.Counter
 	replans       *obs.Counter
 	retries       *obs.Counter
-	hedges        *obs.Counter
-	hedgesWon     *obs.Counter
-	hedgesLost    *obs.Counter
+	hedges           *obs.Counter
+	hedgesWon        *obs.Counter
+	hedgesLost       *obs.Counter
+	hedgesSuppressed *obs.Counter
 	deadlines     *obs.Counter
 	putCleanups   *obs.Counter
 
@@ -290,7 +292,8 @@ func newClientObs(reg *obs.Registry) clientObs {
 		retries:       reg.Counter("client_retries_total", "chunk and probe attempts retried after transient errors"),
 		hedges:        reg.Counter("client_hedged_reads_total", "extra chunk reads issued for slow blocks"),
 		hedgesWon:     reg.Counter("client_hedges_won_total", "hedged reads whose chunk was used"),
-		hedgesLost:    reg.Counter("client_hedges_lost_total", "hedged reads that arrived too late, failed or were discarded"),
+		hedgesLost:       reg.Counter("client_hedges_lost_total", "hedged reads that arrived too late, failed or were discarded"),
+		hedgesSuppressed: reg.Counter("client_hedges_suppressed_total", "hedge opportunities skipped because the access tier reported overload"),
 		deadlines:     reg.Counter("client_deadline_expirations_total", "requests abandoned because their deadline expired"),
 		putCleanups:   reg.Counter("client_put_cleanups_total", "aborted writes whose stored chunks were rolled back"),
 		streamPuts:    reg.Counter("stream_puts_total", "blocks written through the streaming pipeline (PutReader)"),
@@ -361,6 +364,12 @@ type Deps struct {
 	// model.MaxChunksPerZone(R) so one zone outage stays within the
 	// erasure margin. Nil places on all connected sites, zone-blind.
 	Zones func() map[model.SiteID]model.SiteInfo
+	// Pressure optionally feeds access-tier load (the gateway's
+	// admission-queue depth) into the read path: while it reports
+	// overload, hedged reads are suppressed — duplicate speculative
+	// work is the wrong response to a system that is already queueing.
+	// Nil disables the coupling.
+	Pressure *health.Pressure
 	// Metrics optionally exports client instrumentation (request counts,
 	// per-phase latency histograms, late-binding waste, plan-cache
 	// counters) into a shared registry. Nil disables it at zero cost.
@@ -441,6 +450,7 @@ func NewClient(cfg Config, deps Deps) (*Client, error) {
 		obs:      newClientObs(deps.Metrics),
 		tracer:   deps.Tracer,
 		health:   tracker,
+		pressure: deps.Pressure,
 		rng:      rand.New(rand.NewSource(cfg.Seed + 2)),
 	}
 	if cfg.PackThreshold > 0 && cfg.Scheme == model.SchemeErasure {
@@ -1128,15 +1138,21 @@ func (c *Client) fetchSite(ctx context.Context, site model.SiteID, refs []model.
 // fixed, else the observed fetch-latency quantile once enough requests
 // have been recorded. Zero disables hedging.
 func (c *Client) hedgeThreshold() time.Duration {
+	th := time.Duration(0)
 	if c.cfg.HedgeDelay > 0 {
-		return c.cfg.HedgeDelay
-	}
-	if c.cfg.HedgeQuantile > 0 && c.cfg.HedgeQuantile < 1 && c.obs.fetchH.Count() >= hedgeMinSamples {
+		th = c.cfg.HedgeDelay
+	} else if c.cfg.HedgeQuantile > 0 && c.cfg.HedgeQuantile < 1 && c.obs.fetchH.Count() >= hedgeMinSamples {
 		if q := c.obs.fetchH.Quantile(c.cfg.HedgeQuantile); q > 0 {
-			return time.Duration(q * float64(time.Second))
+			th = time.Duration(q * float64(time.Second))
 		}
 	}
-	return 0
+	// Under access-tier overload (gateway queue occupied), speculative
+	// duplicate reads only add load; shed them first.
+	if th > 0 && c.pressure.Overloaded() {
+		c.obs.hedgesSuppressed.Inc()
+		return 0
+	}
+	return th
 }
 
 // launchHedges issues at most one extra chunk read per unsatisfied block,

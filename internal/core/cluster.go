@@ -62,6 +62,9 @@ type ClusterConfig struct {
 	// enables per-request tracing. Nil disables observability at zero
 	// cost on the hot path.
 	Metrics *obs.Registry
+	// Pressure optionally couples the client's hedging policy to an
+	// access tier (see Deps.Pressure). Nil disables it.
+	Pressure *health.Pressure
 }
 
 // Cluster is a fully wired in-process EC-Store instance: every paper
@@ -143,6 +146,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Probes:   probes,
 		Loads:    loads,
 		Health:   tracker,
+		Pressure: cfg.Pressure,
 		Metrics:  cfg.Metrics,
 		Tracer:   tracer,
 		Zones:    catalog.SiteInfos,

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ecstore/internal/health"
+	"ecstore/internal/obs"
+)
+
+// TestHedgeSuppressionUnderPressure pins the access-tier coupling: a
+// client with a fixed hedge delay stops hedging the moment the gateway
+// reports admission-queue pressure, and resumes when it clears.
+func TestHedgeSuppressionUnderPressure(t *testing.T) {
+	pressure := health.NewPressure(1)
+	reg := obs.NewRegistry()
+	cl := newTestCluster(t, ClusterConfig{
+		Client: Config{
+			K: 2, R: 1, Delta: 1,
+			HedgeDelay: 5 * time.Millisecond,
+		},
+		Metrics:  reg,
+		Pressure: pressure,
+	})
+	c := cl.Client
+
+	if got := c.hedgeThreshold(); got != 5*time.Millisecond {
+		t.Fatalf("unpressured hedgeThreshold = %v, want 5ms", got)
+	}
+	pressure.SetQueueDepth(3)
+	if got := c.hedgeThreshold(); got != 0 {
+		t.Fatalf("overloaded hedgeThreshold = %v, want 0 (suppressed)", got)
+	}
+	if reg.Snapshot().CounterValue("client_hedges_suppressed_total", "") == 0 {
+		t.Fatal("client_hedges_suppressed_total should count the suppression")
+	}
+	pressure.SetQueueDepth(0)
+	if got := c.hedgeThreshold(); got != 5*time.Millisecond {
+		t.Fatalf("recovered hedgeThreshold = %v, want 5ms", got)
+	}
+}

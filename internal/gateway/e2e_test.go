@@ -1,0 +1,151 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ecstore/internal/core"
+	"ecstore/internal/model"
+	"ecstore/internal/obs"
+)
+
+func newGatewayCluster(t *testing.T, gwCfg Config) (*Gateway, *core.Cluster) {
+	t.Helper()
+	cl, err := core.NewCluster(core.ClusterConfig{
+		NumSites: 6,
+		Client: core.Config{
+			K: 2, R: 2, Delta: 1,
+			InlineExact: true,
+			StripeUnit:  1 << 10, // small stripes so PutReader streams many segments
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	gw := New(gwCfg, cl.Client)
+	return gw, cl
+}
+
+// TestConcurrentTenantsSharedProxy drives many tenants through one
+// pooled core.Client at once (run under -race in the full suite): the
+// shared cache/breaker/hedging state must stay consistent and each
+// tenant's accounting must remain isolated.
+func TestConcurrentTenantsSharedProxy(t *testing.T) {
+	reg := obs.NewRegistry()
+	gw, _ := newGatewayCluster(t, Config{
+		Metrics:     reg,
+		Concurrency: 8,
+		QueueDepth:  64,
+		Tenants: map[string]TenantConfig{
+			"throttled": {RatePerSec: 0, Burst: 3},
+		},
+		DefaultTenant: &TenantConfig{RatePerSec: -1},
+	})
+	ctx := context.Background()
+
+	const tenants, opsPerTenant = 6, 12
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for i := 0; i < tenants; i++ {
+		name := fmt.Sprintf("tenant-%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(len(name))))
+			for op := 0; op < opsPerTenant; op++ {
+				id := blockID(name, op)
+				payload := make([]byte, 512+rng.Intn(2048))
+				for b := range payload {
+					payload[b] = byte(op)
+				}
+				if err := gw.Put(ctx, name, id, payload); err != nil {
+					t.Errorf("%s put %d: %v", name, op, err)
+					failures.Add(1)
+					return
+				}
+				got, err := gw.Get(ctx, name, id)
+				if err != nil {
+					t.Errorf("%s get %d: %v", name, op, err)
+					failures.Add(1)
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					t.Errorf("%s block %d: payload mismatch", name, op)
+					failures.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	// A rate-limited tenant competes for the same proxy concurrently.
+	wg.Add(1)
+	var limited atomic.Int64
+	go func() {
+		defer wg.Done()
+		for op := 0; op < 10; op++ {
+			err := gw.Put(ctx, "throttled", blockID("throttled", op), []byte("x"))
+			if errors.Is(err, ErrRateLimited) {
+				limited.Add(1)
+			}
+		}
+	}()
+	wg.Wait()
+
+	if failures.Load() != 0 {
+		t.Fatalf("%d tenant operations failed", failures.Load())
+	}
+	if got := limited.Load(); got != 7 {
+		t.Fatalf("throttled tenant: %d rate-limited ops, want 7 (burst 3 of 10)", got)
+	}
+	snap := reg.Snapshot()
+	if snap.CounterValue("gateway_admitted_total", "") == 0 {
+		t.Fatal("gateway_admitted_total should be nonzero")
+	}
+	if snap.CounterValue("gateway_shed_total", "rate") == 0 {
+		t.Fatal("gateway_shed_total{rate} should be nonzero")
+	}
+}
+
+func blockID(tenant string, op int) model.BlockID {
+	return model.BlockID(fmt.Sprintf("%s/blk-%d", tenant, op))
+}
+
+// TestQuotaExhaustionMidStreamRealClient streams an upload through the
+// actual core.Client stripe pipeline: the quota trips partway through
+// the 64 KiB body, PutReader aborts, and the rollback leaves no
+// readable block behind.
+func TestQuotaExhaustionMidStreamRealClient(t *testing.T) {
+	gw, _ := newGatewayCluster(t, Config{
+		Tenants: map[string]TenantConfig{
+			"metered": {RatePerSec: -1, ByteQuota: 4 << 10},
+		},
+	})
+	ctx := context.Background()
+
+	body := make([]byte, 64<<10)
+	_, err := gw.PutReader(ctx, "metered", "big", bytes.NewReader(body))
+	if !errors.Is(err, ErrQuotaExhausted) {
+		t.Fatalf("err = %v, want ErrQuotaExhausted", err)
+	}
+	spent := gw.TenantBytes("metered")
+	if spent == 0 || spent >= int64(len(body)) {
+		t.Fatalf("spent %d bytes, want mid-stream cutoff in (0, %d)", spent, len(body))
+	}
+	// The aborted upload must not have committed; unlimited tenants see
+	// no trace of it.
+	def := TenantConfig{RatePerSec: -1}
+	gw2 := New(Config{DefaultTenant: &def}, gwProxy(gw))
+	if _, err := gw2.Get(ctx, "reader", "big"); err == nil {
+		t.Fatal("aborted upload should not be readable")
+	}
+}
+
+// gwProxy recovers the shared proxy from a gateway for a second front.
+func gwProxy(g *Gateway) Proxy { return g.proxy }

@@ -1,0 +1,169 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ecstore/internal/metadata"
+	"ecstore/internal/obs"
+)
+
+func newHTTPGateway(t *testing.T, proxy Proxy, cfg Config) *httptest.Server {
+	t.Helper()
+	reg := cfg.Metrics
+	gw := New(cfg, proxy)
+	srv := httptest.NewServer(NewHTTPHandler(gw, reg, nil))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func doReq(t *testing.T, method, url, tenant string, body io.Reader) *http.Response {
+	t.Helper()
+	req, err := http.NewRequestWithContext(context.Background(), method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	proxy := newStubProxy()
+	srv := newHTTPGateway(t, proxy, Config{
+		Metrics:       reg,
+		DefaultTenant: &TenantConfig{RatePerSec: -1},
+	})
+
+	payload := []byte("hello, erasure-coded world")
+	resp := doReq(t, http.MethodPut, srv.URL+"/v1/blocks/greeting", "alice", bytes.NewReader(payload))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT status = %d, want 201", resp.StatusCode)
+	}
+
+	resp = doReq(t, http.MethodGet, srv.URL+"/v1/blocks/greeting", "alice", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d, want 200", resp.StatusCode)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("GET body = %q, want %q", got, payload)
+	}
+
+	// Range read via query parameters.
+	resp = doReq(t, http.MethodGet, srv.URL+"/v1/blocks/greeting?off=7&len=7", "alice", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("range GET status = %d, want 200", resp.StatusCode)
+	}
+	got, _ = io.ReadAll(resp.Body)
+	if string(got) != "erasure" {
+		t.Fatalf("range GET body = %q, want %q", got, "erasure")
+	}
+
+	resp = doReq(t, http.MethodDelete, srv.URL+"/v1/blocks/greeting", "alice", nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE status = %d, want 204", resp.StatusCode)
+	}
+	if _, ok := proxy.blocks["greeting"]; ok {
+		t.Fatal("block should be deleted")
+	}
+
+	// The admitted counter is visible on the gateway's own /metrics.
+	resp = doReq(t, http.MethodGet, srv.URL+"/metrics", "", nil)
+	text, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(text), "gateway_admitted_total") {
+		t.Fatal("/metrics should expose gateway_admitted_total")
+	}
+}
+
+func TestHTTPStatusMapping(t *testing.T) {
+	proxy := newStubProxy()
+	srv := newHTTPGateway(t, proxy, Config{
+		Tenants: map[string]TenantConfig{
+			"limited": {RatePerSec: 0, Burst: 1},
+			"metered": {RatePerSec: -1, ByteQuota: 4},
+			"open":    {RatePerSec: -1},
+		},
+	})
+
+	// Rate limit -> 429 with Retry-After.
+	resp := doReq(t, http.MethodGet, srv.URL+"/v1/blocks/x", "limited", nil)
+	resp = doReq(t, http.MethodGet, srv.URL+"/v1/blocks/x", "limited", nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+
+	// Quota exhausted -> 403 (the first PUT's crossing charge lands,
+	// the second request finds the budget spent).
+	resp = doReq(t, http.MethodPut, srv.URL+"/v1/blocks/q", "metered", strings.NewReader("12345678"))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("crossing PUT status = %d, want 201", resp.StatusCode)
+	}
+	resp = doReq(t, http.MethodPut, srv.URL+"/v1/blocks/q2", "metered", strings.NewReader("x"))
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("quota PUT status = %d, want 403", resp.StatusCode)
+	}
+
+	// Unknown tenant (no default policy) -> 403.
+	resp = doReq(t, http.MethodGet, srv.URL+"/v1/blocks/x", "stranger", nil)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("unknown tenant status = %d, want 403", resp.StatusCode)
+	}
+
+	// Not found (flattened through the RPC boundary) -> 404.
+	proxy.err = metadata.ErrNotFound
+	resp = doReq(t, http.MethodGet, srv.URL+"/v1/blocks/missing", "open", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("not-found status = %d, want 404", resp.StatusCode)
+	}
+	proxy.err = nil
+
+	// Bad range parameters -> 400.
+	resp = doReq(t, http.MethodGet, srv.URL+"/v1/blocks/x?off=zero&len=nope", "open", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-range status = %d, want 400", resp.StatusCode)
+	}
+
+	// Missing key -> 400; bad method -> 405.
+	resp = doReq(t, http.MethodGet, srv.URL+"/v1/blocks/", "open", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty-key status = %d, want 400", resp.StatusCode)
+	}
+	resp = doReq(t, http.MethodPatch, srv.URL+"/v1/blocks/x", "open", nil)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("PATCH status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPQuotaMidStream(t *testing.T) {
+	proxy := newStubProxy()
+	proxy.readChunk = 128
+	srv := newHTTPGateway(t, proxy, Config{
+		Tenants: map[string]TenantConfig{
+			"metered": {RatePerSec: -1, ByteQuota: 300},
+		},
+	})
+	resp := doReq(t, http.MethodPut, srv.URL+"/v1/blocks/big", "metered",
+		bytes.NewReader(make([]byte, 4096)))
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("mid-stream quota status = %d, want 403", resp.StatusCode)
+	}
+	if _, ok := proxy.blocks["big"]; ok {
+		t.Fatal("aborted upload must not be stored")
+	}
+}

@@ -1,0 +1,100 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// TenantConfig is the QoS contract for one tenant.
+type TenantConfig struct {
+	// RatePerSec is the request rate limit. Negative means unlimited;
+	// zero means no refill — the tenant gets Burst requests total and is
+	// then rejected (a suspended tenant).
+	RatePerSec float64
+	// Burst is the token-bucket capacity. Zero defaults to
+	// max(RatePerSec, 1) so a plain {RatePerSec: 100} config behaves
+	// sensibly; set it explicitly to shape burst tolerance.
+	Burst float64
+	// ByteQuota is a cumulative byte budget covering payload bytes in
+	// both directions (PUT bodies charged as they stream in, GET
+	// responses as they go out). Zero means unlimited. Once spent the
+	// tenant's requests are rejected with ErrQuotaExhausted — including
+	// mid-stream, aborting the upload.
+	ByteQuota int64
+}
+
+// Unlimited is a TenantConfig with no rate limit and no quota.
+func Unlimited() TenantConfig { return TenantConfig{RatePerSec: -1} }
+
+// tenant is the runtime state for one tenant. The mutex only guards
+// short token/quota arithmetic — never I/O.
+type tenant struct {
+	name string
+	cfg  TenantConfig
+
+	mu        sync.Mutex
+	bucket    *tokenBucket // nil when rate is unlimited
+	bytesUsed int64
+}
+
+func newTenant(name string, cfg TenantConfig, now time.Time) *tenant {
+	t := &tenant{name: name, cfg: cfg}
+	if cfg.RatePerSec >= 0 {
+		burst := cfg.Burst
+		if burst <= 0 {
+			burst = cfg.RatePerSec
+			if burst < 1 {
+				burst = 1
+			}
+			if cfg.RatePerSec == 0 && cfg.Burst == 0 {
+				// Explicit zero-rate zero-burst: fully suspended.
+				burst = 0
+			}
+		}
+		t.bucket = newTokenBucket(cfg.RatePerSec, burst, now)
+	}
+	return t
+}
+
+// allowRequest takes one rate token, or reports the request must be shed.
+func (t *tenant) allowRequest(now time.Time) bool {
+	if t.bucket == nil {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bucket.allow(now)
+}
+
+// chargeBytes spends n bytes of quota; it reports false once the budget
+// is exceeded. The charge that crosses the limit still lands, so the
+// accounting reflects bytes actually moved before the cutoff.
+func (t *tenant) chargeBytes(n int64) bool {
+	if t.cfg.ByteQuota <= 0 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.bytesUsed >= t.cfg.ByteQuota {
+		return false
+	}
+	t.bytesUsed += n
+	return true
+}
+
+func (t *tenant) quotaLeft() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	left := t.cfg.ByteQuota - t.bytesUsed
+	if left < 0 {
+		return 0
+	}
+	return left
+}
+
+// bytesSpent returns the cumulative quota bytes charged.
+func (t *tenant) bytesSpent() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bytesUsed
+}

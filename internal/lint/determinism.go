@@ -11,10 +11,13 @@ import (
 // sketch and eviction order feed the simulator's results), the codec
 // layers gf256/erasure (whose output must not depend on wall clock, the
 // global rand source, or map order — stripe sharding may reorder the
-// work, never the bytes), and the background task scheduler (whose
+// work, never the bytes), the background task scheduler (whose
 // admission order must replay identically under the simulator's virtual
-// clock). Matched on the final import path segment.
-var deterministicPackages = []string{"sim", "faults", "workload", "cache", "gf256", "erasure", "tasks"}
+// clock), and the multi-tenant gateway (whose token buckets and
+// admission decisions must be testable against an injected clock — the
+// same refill arithmetic runs under the simulator's open-loop model).
+// Matched on the final import path segment.
+var deterministicPackages = []string{"sim", "faults", "workload", "cache", "gf256", "erasure", "tasks", "gateway"}
 
 // randConstructors are the math/rand package functions that build seeded
 // generators rather than consuming the global source.

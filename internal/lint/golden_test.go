@@ -101,9 +101,11 @@ func TestGoldenFiles(t *testing.T) {
 		{"ctxfirst", "internal/lint/testdata/src/ctxfirst/storage"},
 		{"lockblock", "internal/lint/testdata/src/lockblock/lockblock"},
 		{"goleak", "internal/lint/testdata/src/goleak/goleak"},
+		{"goleak", "internal/lint/testdata/src/goleak/gateway"},
 		{"determinism", "internal/lint/testdata/src/determinism/sim"},
 		{"determinism", "internal/lint/testdata/src/determinism/cache"},
 		{"determinism", "internal/lint/testdata/src/determinism/tasks"},
+		{"determinism", "internal/lint/testdata/src/determinism/gateway"},
 		{"errwrap", "internal/lint/testdata/src/errwrap/errwrap"},
 		{"metricname", "internal/lint/testdata/src/metricname/metricname"},
 		{"lockorder", "internal/lint/testdata/src/lockorder/lockorder"},

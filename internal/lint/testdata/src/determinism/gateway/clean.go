@@ -1,0 +1,43 @@
+// Package gateway is a determinism golden-file fixture. Its directory's
+// final path segment matches the real access-tier gateway, so the
+// reproducibility rules apply the same way: rate-limit refills and
+// admission decisions must be drivable by an injected clock, never the
+// wall clock, so tests and the simulator replay identically.
+package gateway
+
+import (
+	"sort"
+	"time"
+)
+
+// contract mirrors a tenant's QoS settings.
+type contract struct {
+	rate   float64
+	tokens float64
+	last   time.Time
+}
+
+// limiter is a miniature gateway: tenant buckets plus an injected clock.
+type limiter struct {
+	tenants map[string]*contract
+	clock   func() time.Time
+}
+
+// refill advances one bucket to the injected now: the sanctioned idiom
+// for token arithmetic.
+func (l *limiter) refill(c *contract) {
+	now := l.clock()
+	c.tokens += c.rate * now.Sub(c.last).Seconds()
+	c.last = now
+}
+
+// names iterates tenants in sorted order before output, the sanctioned
+// idiom for rendering per-tenant state.
+func (l *limiter) names() []string {
+	keys := make([]string, 0, len(l.tenants))
+	for k := range l.tenants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,12 @@
+package gateway
+
+import "time"
+
+// defaultClock is suppressed: it only seeds Config.Clock's default for
+// the production daemon; tests and the simulator always inject their
+// own clock.
+//
+//lint:ignore determinism fixture: production default, tests inject a fake clock
+func defaultClock() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,30 @@
+package gateway
+
+import (
+	"math/rand"
+	"time"
+)
+
+// bucketAge reads the wall clock directly, so a test cannot pin refill
+// arithmetic and the simulator cannot replay an admission trace.
+func bucketAge(last time.Time) time.Duration {
+	return time.Since(last) // want "time.Since in a deterministic package"
+}
+
+// jitteredRetryAfter draws from the process-wide source, making shed
+// responses irreproducible across runs.
+func jitteredRetryAfter() time.Duration {
+	return time.Duration(rand.Int63n(int64(time.Second))) // want "global rand.Int63n uses the process-wide source"
+}
+
+// shedTable leaks map iteration order into the rendered shed report, so
+// identical overloads print different tables every run.
+func shedTable(waiting map[string]int) []string {
+	var out []string
+	for name, n := range waiting { // want "map iteration order reaches output"
+		out = append(out, render(name, n))
+	}
+	return out
+}
+
+func render(name string, n int) string { return name + string(rune('0'+n)) }

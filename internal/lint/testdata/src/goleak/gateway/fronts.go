@@ -1,0 +1,43 @@
+// Package gateway is a goleak golden-file fixture in the access tier's
+// shape: long-lived front-end serving loops must either carry a
+// cancellation path or a deliberate process-lifetime suppression, and
+// per-request helpers must be bounded by their done channels.
+package gateway
+
+import "context"
+
+// serveFront blocks a goroutine on an accept loop nothing can stop.
+func serveFront(accept chan struct{}) {
+	go func() { // want "no cancellation path"
+		for range accept {
+		}
+	}()
+}
+
+// serveFrontForLifetime is the daemon idiom: the front serves until the
+// process exits, and says so.
+func serveFrontForLifetime(accept chan struct{}) {
+	//lint:ignore goleak fixture: front serves for the process lifetime by design
+	go func() {
+		for range accept {
+		}
+	}()
+}
+
+// proxyOne is the sanctioned per-request shape: the goroutine itself
+// selects on ctx.Done, so an abandoned admission wait cannot strand it.
+func proxyOne(ctx context.Context, work func() error) error {
+	done := make(chan error, 1)
+	go func() {
+		select {
+		case done <- work():
+		case <-ctx.Done():
+		}
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

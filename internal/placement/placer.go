@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"ecstore/internal/model"
 	"ecstore/internal/stats"
@@ -37,8 +38,12 @@ func (s PlaceStrategy) String() string {
 // one block always land on distinct sites to preserve r-fault tolerance.
 type Placer struct {
 	strategy PlaceStrategy
-	rng      *rand.Rand
 	loads    *stats.LoadTracker // may be nil for PlaceRandom
+
+	// rngMu serializes rng: concurrent writers (multi-tenant gateway
+	// traffic) all place through one shared Placer.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // NewPlacer returns a placer. loads may be nil unless strategy is
@@ -141,13 +146,20 @@ func (p *Placer) ordered(sites []model.SiteID, chunks int) ([]model.SiteID, erro
 			pool = len(uniq)
 		}
 		cand := append([]model.SiteID(nil), uniq...)
-		p.rng.Shuffle(pool, func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+		p.shuffle(cand, pool)
 		return cand, nil
 	default:
 		cand := append([]model.SiteID(nil), uniq...)
-		p.rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+		p.shuffle(cand, len(cand))
 		return cand, nil
 	}
+}
+
+// shuffle permutes the first n sites of cand under the rng lock.
+func (p *Placer) shuffle(cand []model.SiteID, n int) {
+	p.rngMu.Lock()
+	defer p.rngMu.Unlock()
+	p.rng.Shuffle(n, func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
 }
 
 func dedupSites(sites []model.SiteID) []model.SiteID {

@@ -481,6 +481,7 @@ type request struct {
 	remaining int                   // blocks not yet satisfied
 	bytes     float64               // total logical block bytes (decode cost)
 	factor    float64               // fraction of each block actually read (1 = whole block)
+	done      func(ok bool)         // completion callback (closed loop re-issues, open loop records)
 }
 
 // rangeFactor samples what fraction of each block this request reads.
@@ -716,13 +717,30 @@ func (c *Cluster) moveOnce() {
 }
 
 // issue starts one client request and schedules the next upon completion
-// (closed loop, zero think time).
+// (closed loop, zero think time). A failed attempt (lookup error,
+// infeasible plan, every planned site dead) retries after a beat —
+// exactly the historical client behaviour.
 func (c *Cluster) issue(wl Workload, rng *rand.Rand) {
 	ids := wl.NextRequest(rng)
 	if len(ids) == 0 {
 		c.eng.After(0.001, func() { c.issue(wl, rng) })
 		return
 	}
+	c.startRequest(rng, ids, func(ok bool) {
+		if ok {
+			c.issue(wl, rng)
+			return
+		}
+		c.eng.After(0.001, func() { c.issue(wl, rng) })
+	})
+}
+
+// startRequest drives one request through the full pipeline — metadata,
+// cache probe, planning, fetch, decode — and calls done exactly once:
+// done(true) on completion, done(false) when the attempt failed and no
+// response will ever arrive. Both the closed-loop clients (Run) and the
+// open-loop gateway model (RunOpenLoop) share this path.
+func (c *Cluster) startRequest(rng *rand.Rand, ids []model.BlockID, done func(ok bool)) {
 	start := c.eng.Now()
 	c.reqSeen++
 	if c.reqSeen%int64(c.p.CoAccessSampleEvery) == 0 {
@@ -734,7 +752,7 @@ func (c *Cluster) issue(wl Workload, rng *rand.Rand) {
 	c.eng.After(c.p.MetaAccessTime, func() {
 		metas, err := c.catalog.Lookup(ids)
 		if err != nil {
-			c.eng.After(0.001, func() { c.issue(wl, rng) })
+			done(false)
 			return
 		}
 		// Cache phase: hits are served from client memory and stripped
@@ -743,7 +761,7 @@ func (c *Cluster) issue(wl Workload, rng *rand.Rand) {
 			metas = c.cachePhase(metas)
 			if len(metas) == 0 {
 				c.metrics.record(c.eng.Now(), model.Breakdown{Metadata: c.p.MetaAccessTime})
-				c.issue(wl, rng)
+				done(true)
 				return
 			}
 		}
@@ -751,8 +769,8 @@ func (c *Cluster) issue(wl Workload, rng *rand.Rand) {
 		// latency.
 		plan, _, err := c.planner.Plan(placement.PlanRequest{Metas: metas, Available: c.available}, c.costs())
 		if err != nil {
-			// Infeasible under failures: clients retry after a beat.
-			c.eng.After(0.001, func() { c.issue(wl, rng) })
+			// Infeasible under failures.
+			done(false)
 			return
 		}
 		factor := c.rangeFactor(rng)
@@ -760,20 +778,21 @@ func (c *Cluster) issue(wl Workload, rng *rand.Rand) {
 			c.rangeReqs++
 		}
 		c.eng.After(c.p.PlanTime, func() {
-			c.fetch(wl, rng, start, metas, plan, factor)
+			c.fetch(start, metas, plan, factor, done)
 		})
 	})
 }
 
 // fetch dispatches the plan's site visits and completes the request when
 // every block has k chunks (late binding discards the surplus).
-func (c *Cluster) fetch(wl Workload, rng *rand.Rand, start float64, metas map[model.BlockID]*model.BlockMeta, plan *model.AccessPlan, factor float64) {
+func (c *Cluster) fetch(start float64, metas map[model.BlockID]*model.BlockMeta, plan *model.AccessPlan, factor float64, done func(ok bool)) {
 	now := c.eng.Now()
 	req := &request{
 		start:    start,
 		planDone: now,
 		needs:    make(map[model.BlockID]int, len(metas)),
 		factor:   factor,
+		done:     done,
 	}
 	// Accumulate in sorted block order: req.bytes is a float sum, and
 	// float addition is order-sensitive, so map order would leak into
@@ -810,13 +829,13 @@ func (c *Cluster) fetch(wl Workload, rng *rand.Rand, start float64, metas map[mo
 			doneAt := s.serviceRead(arrive, visitBytes)
 			back := doneAt + c.net()
 			c.eng.At(back, func() {
-				c.chunkArrived(wl, rng, req, metas, refsCopy)
+				c.chunkArrived(req, metas, refsCopy)
 			})
 		})
 	}
 	if dispatched == 0 {
-		// Every planned site failed since planning; retry.
-		c.eng.After(0.001, func() { c.issue(wl, rng) })
+		// Every planned site failed since planning.
+		done(false)
 		return
 	}
 	if c.eng.Now() >= c.measureFrom {
@@ -864,7 +883,7 @@ func (c *Cluster) cachePopulate(metas map[model.BlockID]*model.BlockMeta) {
 }
 
 // chunkArrived processes one site visit's responses.
-func (c *Cluster) chunkArrived(wl Workload, rng *rand.Rand, req *request, metas map[model.BlockID]*model.BlockMeta, refs []model.ChunkRef) {
+func (c *Cluster) chunkArrived(req *request, metas map[model.BlockID]*model.BlockMeta, refs []model.ChunkRef) {
 	if req.remaining == 0 {
 		return // already satisfied: late-binding surplus
 	}
@@ -898,6 +917,6 @@ func (c *Cluster) chunkArrived(wl Workload, rng *rand.Rand, req *request, metas 
 			Decode:   decode,
 		}
 		c.metrics.record(c.eng.Now(), bd)
-		c.issue(wl, rng)
+		req.done(true)
 	})
 }

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ecstore/internal/model"
+)
+
+// GatewayParams models the access-tier gateway sitting between an
+// open-loop client population and the cluster: a bounded admission
+// stage (Concurrency requests in service, QueueDepth waiting) that
+// sheds arrivals once both are full — the simulation twin of
+// internal/gateway's admission control.
+type GatewayParams struct {
+	// Concurrency is the number of requests the gateway proxies
+	// concurrently; zero means 64, matching the daemon default.
+	Concurrency int
+	// QueueDepth bounds the admission queue; zero means 2×Concurrency.
+	QueueDepth int
+}
+
+func (gp GatewayParams) withDefaults() GatewayParams {
+	if gp.Concurrency <= 0 {
+		gp.Concurrency = 64
+	}
+	if gp.QueueDepth <= 0 {
+		gp.QueueDepth = 2 * gp.Concurrency
+	}
+	return gp
+}
+
+// Arrival mirrors workload.Arrival without importing the package: the
+// wait in seconds until the next request arrives. workload.Poisson and
+// workload.Constant satisfy it.
+type Arrival interface {
+	Next(rng *rand.Rand) float64
+}
+
+// OpenLoopResult summarizes one open-loop gateway run. All counters
+// cover arrivals inside the measurement window; sojourn times span
+// arrival at the gateway to completion, so queueing delay is included —
+// the latency a tenant actually observes, not just service time.
+type OpenLoopResult struct {
+	// OfferedRate is the nominal arrival rate in requests/second (as
+	// reported by the caller; zero when unknown).
+	OfferedRate float64
+
+	// Arrivals counts measured-window arrivals; Admitted the subset
+	// that entered service or the queue; Shed the rejected remainder.
+	Arrivals int
+	Admitted int
+	Shed     int
+	// Completed counts admitted requests that finished successfully
+	// (including during the post-window drain); Failed those whose
+	// attempt died (lookup error, infeasible plan, dead sites).
+	Completed int
+	Failed    int
+
+	// Throughput is completed requests per simulated second of the
+	// measurement window — the carried load, not the offered load.
+	Throughput float64
+
+	// Sojourn percentiles in seconds (queue wait + service).
+	MeanSojourn float64
+	P50Sojourn  float64
+	P95Sojourn  float64
+	P99Sojourn  float64
+
+	// MaxQueueDepth is the admission queue's high-water mark across the
+	// whole run (warmup included).
+	MaxQueueDepth int
+}
+
+// ShedFraction returns the measured-window rejection rate.
+func (r *OpenLoopResult) ShedFraction() float64 {
+	if r.Arrivals == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Arrivals)
+}
+
+// String renders a one-line sweep row.
+func (r *OpenLoopResult) String() string {
+	return fmt.Sprintf("offered=%7.1f/s carried=%7.1f/s shed=%5.1f%% p50=%6.2fms p99=%7.2fms qmax=%d",
+		r.OfferedRate, r.Throughput, 100*r.ShedFraction(),
+		r.P50Sojourn*1000, r.P99Sojourn*1000, r.MaxQueueDepth)
+}
+
+// openGateway is the simulated admission stage.
+type openGateway struct {
+	c           *Cluster
+	conc, qmax  int
+	rng         *rand.Rand
+	measureFrom float64
+	end         float64
+
+	inflight int
+	queue    []openReq
+
+	arrivals, admitted, shed int
+	completed, failed        int
+	maxQueue                 int
+	sojourns                 []float64
+}
+
+// openReq is one arrival waiting for or holding a gateway slot.
+type openReq struct {
+	ids      []model.BlockID
+	at       float64
+	measured bool
+}
+
+// RunOpenLoop executes an open-loop experiment: requests arrive on the
+// Arrival schedule regardless of completions (unlike Run's closed loop,
+// where each client waits for its previous request), pass the gateway's
+// bounded admission stage, and are shed once Concurrency requests are
+// in service and QueueDepth are waiting. `warmup` unmeasured seconds
+// precede `measure` measured seconds; after the window the arrival
+// process stops and admitted requests drain.
+//
+// This is how the ab-gateway ablation finds the knee: sweep the offered
+// rate upward and watch carried throughput saturate, sojourn p99 stay
+// bounded by the finite queue, and the shed fraction absorb the excess
+// — an overloaded gateway degrades by rejecting, not by collapsing.
+func (c *Cluster) RunOpenLoop(wl Workload, arr Arrival, gp GatewayParams, warmup, measure float64) *OpenLoopResult {
+	gp = gp.withDefaults()
+
+	// Control-plane processes, as in the closed-loop Run.
+	c.scheduleStats()
+	if c.mover != nil {
+		c.scheduleMover()
+	}
+	c.scheduleDegradedPhases()
+	if c.opt.ScrubBytesPerSec > 0 {
+		c.scheduleScrub()
+	}
+
+	end := warmup + measure
+	g := &openGateway{
+		c:    c,
+		conc: gp.Concurrency,
+		qmax: gp.QueueDepth,
+		// Request draws (workload choice, range factor) use their own
+		// stream so gateway runs never perturb closed-loop seeds.
+		rng:         rand.New(rand.NewSource(c.p.Seed + 9001)),
+		measureFrom: math.Inf(1),
+		end:         end,
+	}
+
+	// The arrival process: self-scheduling chain with its own RNG,
+	// terminating once the window closes.
+	arrRNG := rand.New(rand.NewSource(c.p.Seed + 9000))
+	var nextArrival func()
+	nextArrival = func() {
+		wait := arr.Next(arrRNG)
+		c.eng.After(wait, func() {
+			if c.eng.Now() >= end {
+				return
+			}
+			g.arrive(wl)
+			nextArrival()
+		})
+	}
+	nextArrival()
+
+	c.eng.Run(warmup)
+	if pa, ok := wl.(phaseAware); ok {
+		pa.OnMeasureStart()
+	}
+	c.measureFrom = c.eng.Now()
+	c.metrics.startMeasuring(c.measureFrom)
+	g.measureFrom = c.measureFrom
+	for id, s := range c.sites {
+		c.siteBytesAt[id] = s.totalBytes
+	}
+	c.eng.Run(end)
+	// Drain: arrivals have stopped; give admitted requests time to
+	// finish so window-arrived completions are counted. Per-request
+	// latencies are milliseconds-scale, so this is generous.
+	c.eng.Run(end + 30)
+	return g.result(measure)
+}
+
+// arrive handles one request arrival: service slot, queue slot, or shed.
+func (g *openGateway) arrive(wl Workload) {
+	now := g.c.eng.Now()
+	ids := wl.NextRequest(g.rng)
+	if len(ids) == 0 {
+		return
+	}
+	measured := now >= g.measureFrom && now < g.end
+	if measured {
+		g.arrivals++
+	}
+	req := openReq{ids: ids, at: now, measured: measured}
+	if g.inflight < g.conc {
+		if measured {
+			g.admitted++
+		}
+		g.start(req)
+		return
+	}
+	if len(g.queue) < g.qmax {
+		if measured {
+			g.admitted++
+		}
+		g.queue = append(g.queue, req)
+		if len(g.queue) > g.maxQueue {
+			g.maxQueue = len(g.queue)
+		}
+		return
+	}
+	if measured {
+		g.shed++
+	}
+}
+
+// start moves a request into service through the shared request path.
+func (g *openGateway) start(req openReq) {
+	g.inflight++
+	g.c.startRequest(g.rng, req.ids, func(ok bool) {
+		g.inflight--
+		now := g.c.eng.Now()
+		if req.measured {
+			if ok {
+				g.completed++
+				g.sojourns = append(g.sojourns, now-req.at)
+			} else {
+				// Open-loop clients don't retry: a failed attempt is a
+				// failed request.
+				g.failed++
+			}
+		}
+		g.dequeue()
+	})
+}
+
+// dequeue promotes the head of the admission queue when a slot frees.
+func (g *openGateway) dequeue() {
+	if len(g.queue) == 0 || g.inflight >= g.conc {
+		return
+	}
+	req := g.queue[0]
+	g.queue = g.queue[1:]
+	g.start(req)
+}
+
+// result assembles the OpenLoopResult.
+func (g *openGateway) result(measure float64) *OpenLoopResult {
+	r := &OpenLoopResult{
+		Arrivals:      g.arrivals,
+		Admitted:      g.admitted,
+		Shed:          g.shed,
+		Completed:     g.completed,
+		Failed:        g.failed,
+		MaxQueueDepth: g.maxQueue,
+	}
+	if measure > 0 {
+		r.Throughput = float64(g.completed) / measure
+	}
+	if len(g.sojourns) > 0 {
+		sorted := append([]float64(nil), g.sojourns...)
+		sort.Float64s(sorted)
+		var sum float64
+		for _, s := range sorted {
+			sum += s
+		}
+		r.MeanSojourn = sum / float64(len(sorted))
+		r.P50Sojourn = percentileOf(sorted, 50)
+		r.P95Sojourn = percentileOf(sorted, 95)
+		r.P99Sojourn = percentileOf(sorted, 99)
+	}
+	return r
+}
+
+// percentileOf interpolates the p-th percentile of a sorted sample.
+func percentileOf(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

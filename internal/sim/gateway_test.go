@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ecstore/internal/workload"
+)
+
+func runOpenLoop(t *testing.T, seed int64, rate float64, gp GatewayParams, blocks int, warm, measure float64) *OpenLoopResult {
+	t.Helper()
+	c, err := New(tinyParams(seed), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Populate(blocks, func(int) int64 { return 100 * 1024 }); err != nil {
+		t.Fatal(err)
+	}
+	wl := workload.NewYCSBE(blocks, 4, 1.0)
+	res := c.RunOpenLoop(wl, workload.Poisson{Rate: rate}, gp, warm, measure)
+	res.OfferedRate = rate
+	return res
+}
+
+func TestOpenLoopLightLoad(t *testing.T) {
+	// Far below capacity: nothing sheds and carried ≈ offered.
+	res := runOpenLoop(t, 1, 50, GatewayParams{}, 300, 1, 4)
+	if res.Arrivals == 0 || res.Completed == 0 {
+		t.Fatalf("no traffic: %+v", res)
+	}
+	if res.Shed != 0 {
+		t.Fatalf("light load shed %d requests", res.Shed)
+	}
+	if res.Throughput < 0.8*res.OfferedRate {
+		t.Fatalf("carried %v for offered %v", res.Throughput, res.OfferedRate)
+	}
+	if res.P99Sojourn <= 0 {
+		t.Fatalf("p99 sojourn = %v", res.P99Sojourn)
+	}
+}
+
+func TestOpenLoopOverloadShedsWithBoundedTail(t *testing.T) {
+	// A tiny gateway (2 in service, 4 queued) against a huge offered
+	// rate: the queue bound must cap sojourn and convert the excess to
+	// shed rather than collapse.
+	gp := GatewayParams{Concurrency: 2, QueueDepth: 4}
+	res := runOpenLoop(t, 2, 2000, gp, 300, 1, 3)
+	if res.Shed == 0 {
+		t.Fatalf("overload shed nothing: %+v", res)
+	}
+	if res.ShedFraction() < 0.2 {
+		t.Fatalf("shed fraction %v too low for 2000/s offered", res.ShedFraction())
+	}
+	if res.MaxQueueDepth > gp.QueueDepth {
+		t.Fatalf("queue grew to %d past bound %d", res.MaxQueueDepth, gp.QueueDepth)
+	}
+	// Bounded sojourn: at most (queue ahead + self) service times at
+	// millisecond scale — order 100 ms, never the unbounded queueing an
+	// open loop without admission control would produce. 1 s is a
+	// generous ceiling that still proves boundedness.
+	if res.P99Sojourn > 1.0 {
+		t.Fatalf("p99 sojourn %v not bounded by the finite queue", res.P99Sojourn)
+	}
+	if res.Completed == 0 {
+		t.Fatal("overloaded gateway should still carry admitted load")
+	}
+}
+
+func TestOpenLoopDeterministic(t *testing.T) {
+	gp := GatewayParams{Concurrency: 8, QueueDepth: 8}
+	a := runOpenLoop(t, 7, 400, gp, 300, 1, 2)
+	b := runOpenLoop(t, 7, 400, gp, 300, 1, 2)
+	if a.Arrivals != b.Arrivals || a.Admitted != b.Admitted || a.Shed != b.Shed ||
+		a.Completed != b.Completed || a.Failed != b.Failed || a.MaxQueueDepth != b.MaxQueueDepth {
+		t.Fatalf("counters differ:\n%+v\n%+v", a, b)
+	}
+	if math.Abs(a.P99Sojourn-b.P99Sojourn) > 1e-12 || math.Abs(a.MeanSojourn-b.MeanSojourn) > 1e-12 {
+		t.Fatalf("sojourns differ: %v/%v vs %v/%v", a.MeanSojourn, a.P99Sojourn, b.MeanSojourn, b.P99Sojourn)
+	}
+}
+
+func TestOpenLoopSeedChangesOutcome(t *testing.T) {
+	gp := GatewayParams{Concurrency: 8, QueueDepth: 8}
+	a := runOpenLoop(t, 7, 400, gp, 300, 1, 2)
+	b := runOpenLoop(t, 8, 400, gp, 300, 1, 2)
+	if a.Arrivals == b.Arrivals && a.MeanSojourn == b.MeanSojourn {
+		t.Fatal("different seeds produced identical open-loop runs")
+	}
+}
+
+func TestOpenLoopConstantArrival(t *testing.T) {
+	c, err := New(tinyParams(3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Populate(200, func(int) int64 { return 64 * 1024 }); err != nil {
+		t.Fatal(err)
+	}
+	wl := workload.NewYCSBE(200, 4, 1.0)
+	res := c.RunOpenLoop(wl, workload.Constant{Rate: 100}, GatewayParams{}, 1, 2)
+	// A constant schedule offers exactly rate*measure arrivals.
+	if res.Arrivals < 190 || res.Arrivals > 210 {
+		t.Fatalf("constant 100/s over 2s gave %d arrivals", res.Arrivals)
+	}
+	if res.Shed != 0 || res.Completed == 0 {
+		t.Fatalf("unexpected outcome: %+v", res)
+	}
+}

@@ -1,0 +1,43 @@
+package workload
+
+import "math/rand"
+
+// Arrival is an open-loop arrival schedule: Next returns the time until
+// the next request arrives, in seconds. Unlike the closed-loop harness
+// (N clients that each wait for a response before issuing again), an
+// open-loop generator keeps issuing at the offered rate regardless of
+// how the system is doing — which is what exposes queueing collapse and
+// makes "max throughput under a p99 SLO" a measurable quantity.
+type Arrival interface {
+	Next(rng *rand.Rand) float64
+}
+
+// Poisson models memoryless arrivals at Rate requests/second:
+// exponentially distributed interarrival times with mean 1/Rate. This is
+// the standard open-loop model for independent clients.
+type Poisson struct {
+	Rate float64 // requests per second; must be > 0
+}
+
+// Next draws an exponential interarrival gap.
+func (p Poisson) Next(rng *rand.Rand) float64 {
+	if p.Rate <= 0 {
+		return 0
+	}
+	return rng.ExpFloat64() / p.Rate
+}
+
+// Constant issues requests at fixed 1/Rate intervals — a deterministic
+// arrival schedule useful for pinning sim goldens and for worst-case
+// (perfectly bursty-free) comparisons against Poisson.
+type Constant struct {
+	Rate float64 // requests per second; must be > 0
+}
+
+// Next returns the fixed interarrival gap.
+func (c Constant) Next(rng *rand.Rand) float64 {
+	if c.Rate <= 0 {
+		return 0
+	}
+	return 1 / c.Rate
+}

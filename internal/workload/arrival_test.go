@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConstantArrival(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := Constant{Rate: 200}
+	for i := 0; i < 10; i++ {
+		if got := c.Next(rng); got != 0.005 {
+			t.Fatalf("Constant{200}.Next() = %v, want 0.005", got)
+		}
+	}
+	if (Constant{}).Next(rng) != 0 {
+		t.Fatal("zero-rate Constant should return 0")
+	}
+}
+
+func TestPoissonArrivalMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := Poisson{Rate: 500}
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		g := p.Next(rng)
+		if g < 0 {
+			t.Fatalf("negative interarrival gap %v", g)
+		}
+		sum += g
+	}
+	mean := sum / n
+	if math.Abs(mean-1.0/500) > 0.0002 {
+		t.Fatalf("Poisson{500} mean gap = %v, want ~0.002", mean)
+	}
+}
+
+func TestPoissonArrivalDeterministic(t *testing.T) {
+	a := Poisson{Rate: 100}
+	r1 := rand.New(rand.NewSource(42))
+	r2 := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		if a.Next(r1) != a.Next(r2) {
+			t.Fatal("same seed must give the same arrival sequence")
+		}
+	}
+}

@@ -8,7 +8,10 @@
 # bit rot -> nonzero scrub_corrupt_detected), and a cache on/off
 # comparison on a zipfian workload, asserting the decoded-block cache
 # actually serves hits, plus the small-object packing ablation, asserting
-# a nonzero packed-block count, and a fuzz smoke of the range->stripe
+# a nonzero packed-block count, then the gateway smoke (live open-loop
+# sweep through the access daemon: nonzero admissions and at least one
+# shed under overload) and the simulated gateway SLO sweep (BENCH_9.json
+# must contain overload rows), and a fuzz smoke of the range->stripe
 # window math.
 # The full suite (go test ./...) additionally runs the paper-scale
 # simulator experiments and takes several minutes.
@@ -29,5 +32,10 @@ echo "$out" | grep -Eq 'hits=[1-9]'
 pack=$(go run ./cmd/ecbench -exp ab-pack -scale quick)
 echo "$pack"
 echo "$pack" | grep -Eq 'packed=[1-9]'
+sh scripts/gateway_smoke.sh
+gw=$(go run ./cmd/ecbench -mode ab-gateway -scale quick)
+echo "$gw"
+echo "$gw" | grep -Eq 'max sustainable: [1-9]'
+grep -q '"slo_met": false' BENCH_9.json
 go test -run FuzzLayoutWindow -fuzz FuzzLayoutWindow -fuzztime 10s ./internal/erasure
 go test -run FuzzIgnoreDirective -fuzz FuzzIgnoreDirective -fuzztime 10s ./internal/lint
