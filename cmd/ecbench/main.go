@@ -123,6 +123,10 @@ func runners() map[string]runner {
 			r, _, err := bench.AblationGateway(sc)
 			return r, err
 		},
+		"ab-meta": func(sc bench.Scale) (*bench.Report, error) {
+			r, _, err := bench.AblationMeta(sc)
+			return r, err
+		},
 	}
 }
 
@@ -142,7 +146,7 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	faultsOnly := fs.Bool("faults", false, "measure degraded-mode read latency under injected faults and exit")
 	cacheBytes := fs.Int64("cache-bytes", 0, "run a cache on/off comparison with this byte budget and exit")
-	jsonOut := fs.String("json", "", "write machine-readable results to this file (ab-gateway defaults to BENCH_9.json)")
+	jsonOut := fs.String("json", "", "write machine-readable results to this file (ab-gateway defaults to BENCH_9.json, ab-meta to BENCH_10.json)")
 	gwAddr := fs.String("gateway", "", "sweep a live gateway over HTTP at this base URL (e.g. http://localhost:8080) and exit")
 	gwTenant := fs.String("gw-tenant", "", "tenant header for the live gateway sweep (empty = default)")
 	gwRates := fs.String("gw-rates", "50,200,1000", "comma-separated offered rates (req/s) for the live gateway sweep")
@@ -220,6 +224,9 @@ func run(args []string) error {
 	}
 	if *jsonOut == "" && *exp == "ab-gateway" {
 		*jsonOut = "BENCH_9.json"
+	}
+	if *jsonOut == "" && *exp == "ab-meta" {
+		*jsonOut = "BENCH_10.json"
 	}
 
 	var reports []*bench.Report

@@ -9,7 +9,7 @@ func TestRunnersCoverExperimentIndex(t *testing.T) {
 		"fig4g", "fig4h", "tab2", "tab3",
 		"ab-delta", "ab-k", "ab-w2", "ab-mrate", "ab-plan", "ab-size",
 		"ab-cache", "ab-codec", "ab-range", "ab-pack", "ab-scrub",
-		"ab-gateway",
+		"ab-gateway", "ab-meta",
 	}
 	all := runners()
 	if len(all) != len(want) {

@@ -8,6 +8,7 @@
 //	ecstore-cli ... get -range 65536:4096 key   # print 4096 bytes from offset 65536
 //	ecstore-cli ... del key
 //	ecstore-cli ... stat               # cluster health and plan stats
+//	ecstore-cli ... stat key           # one block's catalog record (version, sites)
 //	ecstore-cli ... stats              # cluster-wide metrics snapshot
 //	ecstore-cli ... stats -full        # raw dump of every remote metric
 //
@@ -216,6 +217,23 @@ func run(args []string) error {
 		return nil
 
 	case "stat":
+		if len(rest) == 2 {
+			// stat <key>: print the block's catalog record — the version
+			// line lets scripts assert monotonicity across delete,
+			// re-register and metadata-server restarts.
+			id := model.BlockID(rest[1])
+			metas, err := meta.Lookup([]model.BlockID{id})
+			if err != nil {
+				return err
+			}
+			m, ok := metas[id]
+			if !ok {
+				return fmt.Errorf("stat %s: not found", rest[1])
+			}
+			fmt.Printf("key=%s version=%d size=%d scheme=%d k=%d r=%d sites=%v\n",
+				m.ID, m.Version, m.Size, m.Scheme, m.K, m.R, m.Sites)
+			return nil
+		}
 		client.ProbeAll()
 		fmt.Printf("sites: %d configured\n", len(sites))
 		for id, api := range sites {

@@ -1,7 +1,9 @@
 // Command ecstore-meta runs the EC-Store metadata service (the control
-// plane's block catalog) over TCP, with optional snapshot persistence.
+// plane's block catalog) over TCP, with optional persistence: either a
+// write-ahead-logged catalog (-wal-dir, crash-safe to the last group
+// commit) or legacy periodic snapshots (-snapshot).
 //
-//	ecstore-meta -addr 127.0.0.1:7100 -sites 4 -snapshot /var/lib/ecstore/meta.snap
+//	ecstore-meta -addr 127.0.0.1:7100 -sites 4 -wal-dir /var/lib/ecstore/meta
 package main
 
 import (
@@ -32,8 +34,12 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("ecstore-meta", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7100", "listen address")
 	numSites := fs.Int("sites", 4, "number of storage sites (ids 1..n)")
-	snapshot := fs.String("snapshot", "", "snapshot file for catalog persistence (empty = in-memory only)")
-	snapshotEvery := fs.Duration("snapshot-interval", time.Minute, "periodic snapshot interval")
+	snapshot := fs.String("snapshot", "", "legacy snapshot file for catalog persistence (empty = disabled; superseded by -wal-dir)")
+	snapshotEvery := fs.Duration("snapshot-interval", time.Minute, "periodic snapshot interval (legacy -snapshot mode)")
+	walDir := fs.String("wal-dir", "", "directory for the partitioned write-ahead log (empty = no WAL)")
+	walPartitions := fs.Int("wal-partitions", metadata.DefaultPartitions, "catalog partition count (WAL mode; safe to change across restarts)")
+	walFsync := fs.Duration("wal-fsync-interval", 0, "group-commit window: 0 fsyncs every operation; >0 batches fsyncs and bounds loss on power failure to the window")
+	walCompact := fs.Int64("wal-compact-bytes", 8<<20, "per-partition WAL bytes between snapshot+truncate compactions")
 	metricsAddr := fs.String("metrics-addr", "", "HTTP address for /metrics (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -41,8 +47,15 @@ func run(args []string) error {
 	if *numSites < 2 {
 		return fmt.Errorf("need at least 2 sites, got %d", *numSites)
 	}
+	if *walDir != "" && *snapshot != "" {
+		return fmt.Errorf("-wal-dir and -snapshot are mutually exclusive")
+	}
 
-	catalog, err := openCatalog(*numSites, *snapshot)
+	catalog, err := openCatalog(*numSites, *snapshot, *walDir, metadata.WALOptions{
+		Partitions:    *walPartitions,
+		FsyncInterval: *walFsync,
+		CompactBytes:  *walCompact,
+	})
 	if err != nil {
 		return err
 	}
@@ -63,16 +76,39 @@ func run(args []string) error {
 		//lint:ignore goleak metrics endpoint serves for the process lifetime by design
 		go func() { _ = obs.Serve(ml, reg, nil) }()
 	}
-	fmt.Printf("ecstore-meta serving on %s (%d sites, %d blocks loaded)\n",
-		l.Addr(), *numSites, catalog.Len())
+	fmt.Printf("ecstore-meta serving on %s (%d sites, %d blocks loaded, %d partitions)\n",
+		l.Addr(), *numSites, catalog.Len(), catalog.Partitions())
 	srv := rpc.NewServer(metadata.NewServer(catalog))
 	srv.SetMetrics(rpc.NewMetrics(reg, "rpc_server"))
+
+	if *walDir != "" {
+		// WAL mode: every acknowledged mutation is already durable (or
+		// within the group-commit window); shutdown just flushes and
+		// releases the logs.
+		serveErr := make(chan error, 1)
+		//lint:ignore goleak accept loop; srv.Close on signal makes Serve return into the buffered channel
+		go func() { serveErr <- srv.Serve(l) }()
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		select {
+		case <-sig:
+			_ = srv.Close()
+			<-serveErr
+			return catalog.Close()
+		case err := <-serveErr:
+			if closeErr := catalog.Close(); closeErr != nil {
+				log.Printf("wal close: %v", closeErr)
+			}
+			return err
+		}
+	}
 
 	if *snapshot == "" {
 		return srv.Serve(l)
 	}
 
-	// With persistence: snapshot periodically and on SIGINT/SIGTERM.
+	// Legacy snapshot persistence: snapshot periodically and on
+	// SIGINT/SIGTERM.
 	serveErr := make(chan error, 1)
 	//lint:ignore goleak accept loop; srv.Close on signal makes Serve return into the buffered channel
 	go func() { serveErr <- srv.Serve(l) }()
@@ -100,8 +136,16 @@ func run(args []string) error {
 	}
 }
 
-// openCatalog loads the snapshot if one exists, otherwise starts fresh.
-func openCatalog(numSites int, snapshot string) (*metadata.Catalog, error) {
+// openCatalog opens the WAL-backed catalog when walDir is set, loads the
+// legacy snapshot if one exists, and otherwise starts fresh.
+func openCatalog(numSites int, snapshot, walDir string, walOpts metadata.WALOptions) (*metadata.Catalog, error) {
+	ids := make([]model.SiteID, numSites)
+	for i := range ids {
+		ids[i] = model.SiteID(i + 1)
+	}
+	if walDir != "" {
+		return metadata.Open(walDir, ids, walOpts)
+	}
 	if snapshot != "" {
 		catalog, err := metadata.LoadFile(snapshot)
 		switch {
@@ -116,10 +160,6 @@ func openCatalog(numSites int, snapshot string) (*metadata.Catalog, error) {
 		default:
 			return nil, err
 		}
-	}
-	ids := make([]model.SiteID, numSites)
-	for i := range ids {
-		ids[i] = model.SiteID(i + 1)
 	}
 	return metadata.NewCatalog(ids), nil
 }

@@ -74,7 +74,7 @@ func TestOpenCatalogPersistence(t *testing.T) {
 	snap := dir + "/meta.snap"
 
 	// First boot: fresh catalog.
-	c1, err := openCatalog(4, snap)
+	c1, err := openCatalog(4, snap, "", metadata.WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestOpenCatalogPersistence(t *testing.T) {
 
 	// Second boot with a larger site count: block survives, new sites
 	// are registered.
-	c2, err := openCatalog(6, snap)
+	c2, err := openCatalog(6, snap, "", metadata.WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,11 +106,48 @@ func TestOpenCatalogPersistence(t *testing.T) {
 	}
 
 	// No snapshot configured: always fresh.
-	c3, err := openCatalog(2, "")
+	c3, err := openCatalog(2, "", "", metadata.WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c3.Len() != 0 {
 		t.Fatal("in-memory catalog not fresh")
+	}
+}
+
+func TestOpenCatalogWAL(t *testing.T) {
+	dir := t.TempDir()
+
+	c1, err := openCatalog(4, "", dir, metadata.WALOptions{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c1.Register(&model.BlockMeta{
+		ID: "walblock", Scheme: model.SchemeErasure, K: 2, R: 1,
+		Size: 10, ChunkSize: 5, Sites: []model.SiteID{1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := openCatalog(6, "", dir, metadata.WALOptions{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c2.Close() }()
+	if _, ok := c2.BlockMeta("walblock"); !ok {
+		t.Fatal("block lost across WAL restart")
+	}
+	if got := len(c2.Sites()); got != 6 {
+		t.Fatalf("sites after growth = %d", got)
+	}
+}
+
+func TestRunRejectsConflictingPersistence(t *testing.T) {
+	if err := run([]string{"-snapshot", "/tmp/x.snap", "-wal-dir", "/tmp/wal"}); err == nil {
+		t.Fatal("conflicting -snapshot and -wal-dir accepted")
 	}
 }

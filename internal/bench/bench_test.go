@@ -280,3 +280,34 @@ func TestAblationPack(t *testing.T) {
 			out["packed/catalog"], out["unpacked/catalog"])
 	}
 }
+
+func TestAblationMeta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fsync-bound durable sweeps")
+	}
+	rep, sweep, err := AblationMeta(tinyScale(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "ab-meta" {
+		t.Fatalf("id = %s", rep.ID)
+	}
+	kinds := map[string]int{}
+	for _, row := range sweep.Rows {
+		kinds[row.Kind]++
+		if row.Partitions <= 0 {
+			t.Fatalf("%s row with %d partitions", row.Kind, row.Partitions)
+		}
+		if row.OpsPerSec <= 0 {
+			t.Fatalf("%s row with %.0f ops/s", row.Kind, row.OpsPerSec)
+		}
+	}
+	if kinds["partition-sweep"] != 6 || kinds["fsync-sweep"] != 3 || kinds["recovery-replay"] != 1 {
+		t.Fatalf("row kinds = %v", kinds)
+	}
+	for _, row := range sweep.Rows {
+		if row.Kind == "recovery-replay" && row.ReplayedRecords < int64(row.Blocks) {
+			t.Fatalf("recovery replayed %d records for %d blocks", row.ReplayedRecords, row.Blocks)
+		}
+	}
+}

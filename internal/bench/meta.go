@@ -1,0 +1,342 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"ecstore/internal/metadata"
+	"ecstore/internal/model"
+)
+
+// The ab-meta ablation exercises the metadata catalog at catalog scale
+// (10^6 blocks at the full scale, smaller at quick/mid) along the three
+// axes the sharded-WAL redesign introduces:
+//
+//   - partition count: concurrent UpdatePlacement throughput on a
+//     volatile catalog, sweeping the shard count (1 reproduces the old
+//     single-lock catalog, so the row's speedup column is the direct
+//     before/after of the refactor);
+//   - fsync interval: durable Register throughput through the WAL,
+//     comparing per-op fsync against group commit;
+//   - recovery replay: crash a loaded durable catalog and measure the
+//     wall time and record count of snapshot+WAL-tail recovery.
+//
+// Update throughput numbers are wall-clock on whatever machine runs the
+// bench; on a single-CPU container the partition sweep measures lock
+// hand-off overhead rather than parallelism, so expect modest speedups
+// there and real ones only with GOMAXPROCS > 1.
+
+// metaSites is the modelled cluster size for the catalog benches; 16
+// sites leaves every 4-chunk block two spare destinations per move.
+const metaSites = 16
+
+// MetaRow is one measured configuration in the ab-meta sweep.
+type MetaRow struct {
+	// Kind is "partition-sweep", "fsync-sweep" or "recovery-replay".
+	Kind string `json:"kind"`
+	// Partitions is the catalog shard count for this row.
+	Partitions int `json:"partitions"`
+	// Blocks is the preloaded catalog size.
+	Blocks int `json:"blocks"`
+	// Ops is the number of operations timed (updates or registers).
+	Ops int `json:"ops"`
+	// OpsPerSec is the measured throughput.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Speedup is OpsPerSec relative to the partitions=1 row of the same
+	// kind (partition-sweep rows only).
+	Speedup float64 `json:"speedup,omitempty"`
+	// FsyncIntervalMS is the group-commit window (fsync-sweep rows; 0
+	// means fsync on every operation).
+	FsyncIntervalMS float64 `json:"fsync_interval_ms"`
+	// ReplayedRecords and RecoverySec describe the recovery-replay row.
+	ReplayedRecords int64   `json:"replayed_records,omitempty"`
+	RecoverySec     float64 `json:"recovery_sec,omitempty"`
+}
+
+// MetaSweep is the machine-readable Data payload of the ab-meta report.
+type MetaSweep struct {
+	Rows []MetaRow `json:"rows"`
+}
+
+// metaCatalogBlocks maps the bench scale to the catalog-scale axis: the
+// full scale hits the paper-sized 10^6-block catalog, quick and mid stay
+// proportional so CI smokes finish in seconds.
+func metaCatalogBlocks(sc Scale) int {
+	if sc.Blocks >= FullScale(0).Blocks {
+		return 1_000_000
+	}
+	return sc.Blocks * 25
+}
+
+func metaSiteIDs() []model.SiteID {
+	ids := make([]model.SiteID, metaSites)
+	for i := range ids {
+		ids[i] = model.SiteID(i + 1)
+	}
+	return ids
+}
+
+// metaBlockID names block i; the hash-routed partitions see a uniform
+// id distribution.
+func metaBlockID(i int) model.BlockID {
+	return model.BlockID(fmt.Sprintf("blk-%07d", i))
+}
+
+// metaBlockSlots returns the four site slots (0-based) block i's chunks
+// start on. Slots b..b+3 leave b+8 and b+9 free as move targets.
+func metaBlockSlots(i int) int {
+	return (i * 7) % metaSites
+}
+
+func metaPreload(c *metadata.Catalog, blocks int) error {
+	for i := 0; i < blocks; i++ {
+		b := metaBlockSlots(i)
+		sites := []model.SiteID{
+			model.SiteID(b%metaSites + 1),
+			model.SiteID((b+1)%metaSites + 1),
+			model.SiteID((b+2)%metaSites + 1),
+			model.SiteID((b+3)%metaSites + 1),
+		}
+		meta := &model.BlockMeta{
+			ID:        metaBlockID(i),
+			Scheme:    model.SchemeErasure,
+			Size:      4 << 20,
+			K:         2,
+			R:         2,
+			ChunkSize: 2 << 20,
+			Sites:     sites,
+		}
+		if err := c.Register(meta); err != nil {
+			return fmt.Errorf("preload %s: %w", meta.ID, err)
+		}
+	}
+	return nil
+}
+
+// metaUpdateThroughput runs ops UpdatePlacement calls across workers on
+// a preloaded catalog and returns operations per second. Each worker
+// owns a disjoint id range and tracks versions locally, so every CAS
+// succeeds and the measurement isolates catalog-lock and WAL cost.
+func metaUpdateThroughput(c *metadata.Catalog, blocks, ops, workers int) (float64, error) {
+	if workers > blocks {
+		workers = blocks
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := w * blocks / workers
+			hi := (w + 1) * blocks / workers
+			n := ops / workers
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			versions := make(map[int]uint64, hi-lo)
+			for op := 0; op < n; op++ {
+				i := lo + rng.Intn(hi-lo)
+				b := metaBlockSlots(i)
+				// Bounce chunk 0 between two slots outside the
+				// block's initial placement.
+				slot := (b + 8 + op%2) % metaSites
+				v, err := c.UpdatePlacement(metaBlockID(i), 0, model.SiteID(slot+1), versions[i])
+				if err != nil {
+					errs[w] = fmt.Errorf("update %s: %w", metaBlockID(i), err)
+					return
+				}
+				versions[i] = v
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	return float64(ops) / elapsed, nil
+}
+
+// AblationMeta measures the metadata catalog at catalog scale: partition
+// count versus concurrent update throughput, WAL fsync interval versus
+// durable register throughput, and crash-recovery replay time.
+func AblationMeta(sc Scale) (*Report, *MetaSweep, error) {
+	blocks := metaCatalogBlocks(sc)
+	updateOps := blocks / 2
+	if updateOps > 250_000 {
+		updateOps = 250_000
+	}
+	workers := 8
+	sweep := &MetaSweep{}
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "catalog scale: %d blocks, %d update ops, %d workers\n\n", blocks, updateOps, workers)
+	fmt.Fprintf(&b, "%-12s %14s %10s\n", "partitions", "updates/s", "speedup")
+	var base float64
+	for _, parts := range []int{1, 2, 4, 8, 16, 32} {
+		c := metadata.NewCatalogParts(metaSiteIDs(), parts)
+		if err := metaPreload(c, blocks); err != nil {
+			return nil, nil, err
+		}
+		tput, err := metaUpdateThroughput(c, blocks, updateOps, workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		if parts == 1 {
+			base = tput
+		}
+		speedup := tput / base
+		sweep.Rows = append(sweep.Rows, MetaRow{
+			Kind: "partition-sweep", Partitions: parts, Blocks: blocks,
+			Ops: updateOps, OpsPerSec: tput, Speedup: speedup,
+		})
+		fmt.Fprintf(&b, "%-12d %14.0f %9.2fx\n", parts, tput, speedup)
+	}
+
+	// Durable register throughput: the catalog-scale preload would make
+	// this sweep fsync-bound for minutes at interval 0, so it registers
+	// a fixed slice of the id space per configuration.
+	regOps := blocks / 50
+	if regOps > 5000 {
+		regOps = 5000
+	}
+	if regOps < 500 {
+		regOps = 500
+	}
+	fmt.Fprintf(&b, "\n%-16s %14s   (%d registers, %d partitions)\n", "fsync interval", "registers/s", regOps, metadata.DefaultPartitions)
+	for _, iv := range []time.Duration{0, time.Millisecond, 10 * time.Millisecond} {
+		dir, err := os.MkdirTemp("", "ab-meta-fsync-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		tput, err := metaRegisterThroughput(dir, iv, regOps)
+		_ = os.RemoveAll(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		sweep.Rows = append(sweep.Rows, MetaRow{
+			Kind: "fsync-sweep", Partitions: metadata.DefaultPartitions,
+			Blocks: regOps, Ops: regOps, OpsPerSec: tput,
+			FsyncIntervalMS: float64(iv) / float64(time.Millisecond),
+		})
+		label := "every op"
+		if iv > 0 {
+			label = iv.String()
+		}
+		fmt.Fprintf(&b, "%-16s %14.0f\n", label, tput)
+	}
+
+	recRow, err := metaRecoveryReplay(blocks)
+	if err != nil {
+		return nil, nil, err
+	}
+	sweep.Rows = append(sweep.Rows, *recRow)
+	fmt.Fprintf(&b, "\nrecovery: %d blocks, %d WAL records replayed in %.3fs (%d partitions)\n",
+		recRow.Blocks, recRow.ReplayedRecords, recRow.RecoverySec, recRow.Partitions)
+
+	rep := &Report{
+		ID:    "ab-meta",
+		Title: fmt.Sprintf("Metadata catalog scale sweep (%d blocks: partitions, fsync interval, recovery)", blocks),
+		Body:  b.String(),
+		Data:  sweep,
+	}
+	return rep, sweep, nil
+}
+
+// metaRegisterThroughput measures durable Register throughput through a
+// fresh WAL directory at the given group-commit interval.
+func metaRegisterThroughput(dir string, fsyncInterval time.Duration, ops int) (float64, error) {
+	c, err := metadata.Open(dir, metaSiteIDs(), metadata.WALOptions{
+		FsyncInterval: fsyncInterval,
+	})
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if err := metaPreload(c, ops); err != nil {
+		_ = c.Close()
+		return 0, err
+	}
+	if err := c.Sync(); err != nil {
+		_ = c.Close()
+		return 0, err
+	}
+	elapsed := time.Since(start).Seconds()
+	if err := c.Close(); err != nil {
+		return 0, err
+	}
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	return float64(ops) / elapsed, nil
+}
+
+// metaRecoveryReplay loads a durable catalog, closes it uncompacted (so
+// the whole load is WAL tail), reopens it and times recovery. The boot
+// path replays the records, rebuilds the derived indexes and compacts,
+// which is exactly the post-crash critical path.
+func metaRecoveryReplay(blocks int) (*MetaRow, error) {
+	recBlocks := blocks / 10
+	if recBlocks > 100_000 {
+		recBlocks = 100_000
+	}
+	if recBlocks < 1000 {
+		recBlocks = 1000
+	}
+	dir, err := os.MkdirTemp("", "ab-meta-recover-*")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	opts := metadata.WALOptions{
+		FsyncInterval: 2 * time.Millisecond,
+		// Keep the load out of the compactor so recovery replays the
+		// full op log rather than loading a snapshot.
+		CompactBytes: 1 << 40,
+	}
+	c, err := metadata.Open(dir, metaSiteIDs(), opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := metaPreload(c, recBlocks); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	if err := c.Close(); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	rc, err := metadata.Open(dir, metaSiteIDs(), opts)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start).Seconds()
+	replayed, _ := rc.ReplayStats()
+	n := rc.Len()
+	if err := rc.Close(); err != nil {
+		return nil, err
+	}
+	if n != recBlocks {
+		return nil, fmt.Errorf("recovery lost blocks: have %d, want %d", n, recBlocks)
+	}
+	if replayed < int64(recBlocks) {
+		return nil, fmt.Errorf("recovery replayed %d records for %d registers", replayed, recBlocks)
+	}
+	return &MetaRow{
+		Kind: "recovery-replay", Partitions: metadata.DefaultPartitions,
+		Blocks: recBlocks, Ops: recBlocks,
+		OpsPerSec:       float64(recBlocks) / elapsed,
+		ReplayedRecords: replayed,
+		RecoverySec:     elapsed,
+	}, nil
+}

@@ -15,9 +15,12 @@ import (
 // admission order must replay identically under the simulator's virtual
 // clock), and the multi-tenant gateway (whose token buckets and
 // admission decisions must be testable against an injected clock — the
-// same refill arithmetic runs under the simulator's open-loop model).
-// Matched on the final import path segment.
-var deterministicPackages = []string{"sim", "faults", "workload", "cache", "gf256", "erasure", "tasks", "gateway"}
+// same refill arithmetic runs under the simulator's open-loop model),
+// and the metadata catalog (whose snapshots, WAL records and recovery
+// replay must be byte-identical for a given state — a map-order-dependent
+// snapshot would break recovery equivalence checks and make compaction
+// output unstable). Matched on the final import path segment.
+var deterministicPackages = []string{"sim", "faults", "workload", "cache", "gf256", "erasure", "tasks", "gateway", "metadata"}
 
 // randConstructors are the math/rand package functions that build seeded
 // generators rather than consuming the global source.

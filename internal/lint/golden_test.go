@@ -106,6 +106,7 @@ func TestGoldenFiles(t *testing.T) {
 		{"determinism", "internal/lint/testdata/src/determinism/cache"},
 		{"determinism", "internal/lint/testdata/src/determinism/tasks"},
 		{"determinism", "internal/lint/testdata/src/determinism/gateway"},
+		{"determinism", "internal/lint/testdata/src/determinism/metadata"},
 		{"errwrap", "internal/lint/testdata/src/errwrap/errwrap"},
 		{"metricname", "internal/lint/testdata/src/metricname/metricname"},
 		{"lockorder", "internal/lint/testdata/src/lockorder/lockorder"},

@@ -1,0 +1,36 @@
+// Package metadata is a determinism golden-file fixture. Its directory's
+// final path segment matches the real metadata catalog, so the
+// reproducibility rules apply the same way: snapshot and WAL encoding
+// must be byte-identical for a given logical state, which means no map
+// iteration order can reach the encoded output.
+package metadata
+
+import "sort"
+
+// watermarks mirrors a partition's retired-version table.
+type watermarks map[string]uint64
+
+// encodeSorted is the sanctioned idiom: collect keys, sort, then walk
+// the slice — snapshot bytes come out identical on every run.
+func encodeSorted(w watermarks) []string {
+	keys := make([]string, 0, len(w))
+	for k := range w {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k)
+	}
+	return out
+}
+
+// merge folds one partition's table into a global view: map writes are
+// order-insensitive, so ranging directly is fine.
+func merge(dst, src watermarks) {
+	for k, v := range src {
+		if v > dst[k] {
+			dst[k] = v
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package metadata
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stampRecord puts the wall clock into a durable record, so replaying
+// the same op log writes different bytes every run.
+func stampRecord() int64 {
+	return time.Now().UnixNano() // want "time.Now in a deterministic package"
+}
+
+// jitterCompaction draws the compaction delay from the process-wide
+// source, making segment rotation points irreproducible.
+func jitterCompaction(base time.Duration) time.Duration {
+	return base + time.Duration(rand.Int63n(int64(base))) // want "global rand.Int63n uses the process-wide source"
+}
+
+// encodeUnsorted walks the watermark map directly into the snapshot
+// buffer: two runs of the same catalog produce different snapshot bytes.
+func encodeUnsorted(w watermarks, emit func(string)) {
+	for k := range w { // want "map iteration order reaches output"
+		emit(k)
+	}
+}

@@ -2,6 +2,13 @@
 // authoritative catalog mapping each block to the sites storing its encoded
 // chunks, with compare-and-swap placement updates so the chunk mover and
 // repair service can relocate chunks without racing readers.
+//
+// The catalog is sharded by block-id hash into independently locked
+// partitions (partition.go), each with an optional write-ahead log and
+// snapshot compaction (wal.go, recover.go) so a metadata restart replays
+// exactly the pre-crash state — including the retired version watermarks
+// that keep (BlockID, version) cache keys unique across a block's
+// lifetimes.
 package metadata
 
 import (
@@ -9,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ecstore/internal/model"
 	"ecstore/internal/obs"
@@ -34,27 +42,31 @@ type memberRef struct {
 
 // Catalog is the in-memory metadata store. It is safe for concurrent use
 // and implements placement.CatalogView.
+//
+// Block state (blocks, member refs, retired watermarks, the by-site
+// index) is sharded over partitions by id hash; each partition has its
+// own RWMutex, so updates to unrelated blocks never contend. Control
+// state shared by every operation — the site set, site administrative
+// records, and background task rows — stays global under gmu, which is
+// read-mostly. Lock order, enforced by the lockorder lint: partition.mu
+// before gmu before partLog.mu; no operation ever holds two partition
+// locks at once (cross-partition work releases one before taking the
+// next).
 type Catalog struct {
-	mu     sync.RWMutex
-	blocks map[model.BlockID]*model.BlockMeta
-	// bySite indexes blocks by the sites storing their chunks, for
-	// repair scans after a site failure. Pack members never appear here:
-	// they own no chunks, so repair and movement operate on the container.
-	bySite map[model.SiteID]map[model.BlockID]bool
-	// members resolves a packed block id to its container and byte range;
-	// lookups of member ids synthesize metadata from the container entry.
-	members map[model.BlockID]memberRef
-	sites   map[model.SiteID]bool
-	// retired remembers the final placement version of deleted blocks so
-	// a re-registered id resumes numbering instead of restarting at 0:
-	// (id, version) pairs are then unique across a block's lifetimes,
-	// which version-keyed caches (plan cache, decoded-block cache)
-	// depend on to never alias old bytes onto a recreated block.
-	retired map[model.BlockID]uint64
-	// tasks holds background task records keyed by task ID (tasks.go),
-	// and siteInfo per-site administrative state (zone, drain state).
-	tasks    map[string]*model.TaskRecord
+	parts []*partition
+
+	gmu      sync.RWMutex
+	sites    map[model.SiteID]bool
 	siteInfo map[model.SiteID]model.SiteInfo
+	tasks    map[string]*model.TaskRecord
+
+	// nblocks mirrors the total registered block count for the gauge
+	// without summing partition lengths on every mutation.
+	nblocks atomic.Int64
+
+	// wal is non-nil for catalogs opened with durability (Open); it
+	// owns the partition logs, the group-commit flusher and compaction.
+	wal *walSet
 
 	reg         *obs.Registry
 	registers   *obs.Counter
@@ -64,6 +76,8 @@ type Catalog struct {
 	updates     *obs.Counter
 	updateFails *obs.Counter
 	blocksGauge *obs.Gauge
+	partsGauge  *obs.Gauge
+	partMaxG    *obs.Gauge
 }
 
 // EnableMetrics exports catalog instrumentation into reg (nil disables it,
@@ -77,24 +91,54 @@ func (c *Catalog) EnableMetrics(reg *obs.Registry) {
 	c.updates = reg.Counter("meta_placement_updates_total", "successful chunk placement CAS updates")
 	c.updateFails = reg.Counter("meta_placement_conflicts_total", "placement CAS updates rejected (stale version or conflict)")
 	c.blocksGauge = reg.Gauge("meta_blocks", "blocks currently registered")
+	c.partsGauge = reg.Gauge("meta_partition_count", "catalog partition count")
+	c.partMaxG = reg.Gauge("meta_partition_blocks_max", "blocks in the fullest partition (hash-skew watch)")
+	c.partsGauge.Set(int64(len(c.parts)))
+	c.blocksGauge.Set(c.nblocks.Load())
+	c.wal.enableMetrics(reg)
 }
 
 // MetricsSnapshot captures the catalog's registry (empty when metrics are
-// disabled). Served remotely by the GetMetrics RPC method.
+// disabled). Served remotely by the GetMetrics RPC method. Scrape-time
+// gauges (partition skew) are refreshed here rather than on every
+// mutation.
 func (c *Catalog) MetricsSnapshot() *obs.Snapshot {
+	if c.partMaxG != nil {
+		var max int
+		for _, p := range c.parts {
+			p.mu.RLock()
+			if len(p.blocks) > max {
+				max = len(p.blocks)
+			}
+			p.mu.RUnlock()
+		}
+		c.partMaxG.Set(int64(max))
+	}
 	return c.reg.Snapshot()
 }
 
-// NewCatalog returns an empty catalog aware of the given sites.
+// NewCatalog returns an empty volatile catalog aware of the given sites,
+// sharded over DefaultPartitions partitions. Use Open for a durable
+// catalog backed by per-partition write-ahead logs.
 func NewCatalog(sites []model.SiteID) *Catalog {
+	return NewCatalogParts(sites, DefaultPartitions)
+}
+
+// NewCatalogParts returns an empty volatile catalog with an explicit
+// partition count (the ab-meta ablation sweeps it; 1 reproduces the old
+// single-lock catalog).
+func NewCatalogParts(sites []model.SiteID, partitions int) *Catalog {
+	if partitions < 1 {
+		partitions = 1
+	}
 	c := &Catalog{
-		blocks:   make(map[model.BlockID]*model.BlockMeta),
-		bySite:   make(map[model.SiteID]map[model.BlockID]bool),
-		members:  make(map[model.BlockID]memberRef),
+		parts:    make([]*partition, partitions),
 		sites:    make(map[model.SiteID]bool, len(sites)),
-		retired:  make(map[model.BlockID]uint64),
-		tasks:    make(map[string]*model.TaskRecord),
 		siteInfo: make(map[model.SiteID]model.SiteInfo),
+		tasks:    make(map[string]*model.TaskRecord),
+	}
+	for i := range c.parts {
+		c.parts[i] = newPartition()
 	}
 	for _, s := range sites {
 		c.sites[s] = true
@@ -102,23 +146,45 @@ func NewCatalog(sites []model.SiteID) *Catalog {
 	return c
 }
 
-// AddSite registers an additional site.
+// Partitions returns the catalog's shard count.
+func (c *Catalog) Partitions() int { return len(c.parts) }
+
+// AddSite registers an additional site (idempotent).
 func (c *Catalog) AddSite(s model.SiteID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	p := c.sitePart(s)
+	c.gmu.Lock()
+	if c.sites[s] {
+		c.gmu.Unlock()
+		return
+	}
 	c.sites[s] = true
+	lsn := p.log.appendSiteAdd(s)
+	c.gmu.Unlock()
+	c.wal.commit(p, lsn)
 }
 
 // Sites lists every known site in ascending order.
 func (c *Catalog) Sites() []model.SiteID {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.gmu.RLock()
+	defer c.gmu.RUnlock()
 	out := make([]model.SiteID, 0, len(c.sites))
 	for s := range c.sites {
 		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// knownSites checks every site in the list against the global site set.
+func (c *Catalog) knownSites(ss []model.SiteID) error {
+	c.gmu.RLock()
+	defer c.gmu.RUnlock()
+	for _, s := range ss {
+		if !c.sites[s] {
+			return fmt.Errorf("%w: site %d", ErrUnknownSite, s)
+		}
+	}
+	return nil
 }
 
 // Register adds a new block. Every chunk site must be known, chunks of one
@@ -158,61 +224,80 @@ func (c *Catalog) Register(meta *model.BlockMeta) error {
 			return fmt.Errorf("%w: %s range [%d,%d) outside container of %d bytes", ErrInvalidMember, m.ID, m.Off, m.Off+m.Len, meta.Size)
 		}
 	}
+	if err := c.knownSites(meta.Sites); err != nil {
+		return err
+	}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, s := range meta.Sites {
-		if !c.sites[s] {
-			return fmt.Errorf("%w: site %d", ErrUnknownSite, s)
+	// Reserve every member id in its own partition, one lock at a time.
+	// A reservation is a member ref whose container is not registered
+	// yet; lookups of it fail until the container lands, and a failure
+	// below rolls the reservations back.
+	reserved := make([]model.PackedMember, 0, len(meta.Members))
+	fail := func(err error) error {
+		for _, m := range reserved {
+			pm := c.part(m.ID)
+			pm.mu.Lock()
+			if ref, ok := pm.members[m.ID]; ok && ref.container == meta.ID {
+				delete(pm.members, m.ID)
+			}
+			pm.mu.Unlock()
 		}
+		return err
 	}
-	if _, exists := c.blocks[meta.ID]; exists {
-		return fmt.Errorf("%w: %s", ErrExists, meta.ID)
-	}
-	if _, exists := c.members[meta.ID]; exists {
-		return fmt.Errorf("%w: %s (is a pack member)", ErrExists, meta.ID)
-	}
-	for id := range memberIDs {
-		if _, exists := c.blocks[id]; exists {
-			return fmt.Errorf("%w: member %s", ErrExists, id)
+	for _, m := range meta.Members {
+		pm := c.part(m.ID)
+		pm.mu.Lock()
+		_, isBlock := pm.blocks[m.ID]
+		_, isMember := pm.members[m.ID]
+		if isBlock {
+			pm.mu.Unlock()
+			return fail(fmt.Errorf("%w: member %s", ErrExists, m.ID))
 		}
-		if _, exists := c.members[id]; exists {
-			return fmt.Errorf("%w: member %s (already packed)", ErrExists, id)
+		if isMember {
+			pm.mu.Unlock()
+			return fail(fmt.Errorf("%w: member %s (already packed)", ErrExists, m.ID))
 		}
+		pm.members[m.ID] = memberRef{container: meta.ID, off: m.Off, size: m.Len}
+		pm.mu.Unlock()
+		reserved = append(reserved, m)
+	}
+
+	p := c.part(meta.ID)
+	p.mu.Lock()
+	if _, exists := p.blocks[meta.ID]; exists {
+		p.mu.Unlock()
+		return fail(fmt.Errorf("%w: %s", ErrExists, meta.ID))
+	}
+	if ref, exists := p.members[meta.ID]; exists && ref.container != meta.ID {
+		p.mu.Unlock()
+		return fail(fmt.Errorf("%w: %s (is a pack member)", ErrExists, meta.ID))
 	}
 	stored := meta.Clone()
-	if last, wasDeleted := c.retired[meta.ID]; wasDeleted && stored.Version <= last {
+	if last, wasDeleted := p.retired[meta.ID]; wasDeleted && stored.Version <= last {
 		// Resume version numbering where the deleted incarnation left
 		// off, so version-keyed caches never alias its bytes.
 		stored.Version = last + 1
 	}
-	delete(c.retired, meta.ID)
-	c.blocks[meta.ID] = stored
+	delete(p.retired, meta.ID)
+	p.blocks[meta.ID] = stored
 	for _, s := range stored.Sites {
-		c.indexLocked(s, stored.ID)
+		p.indexLocked(s, stored.ID)
 	}
-	for _, m := range stored.Members {
-		c.members[m.ID] = memberRef{container: stored.ID, off: m.Off, size: m.Len}
-		delete(c.retired, m.ID)
-	}
+	lsn := p.log.appendRegister(stored)
+	p.mu.Unlock()
+	c.wal.commit(p, lsn)
+
+	c.nblocks.Add(1)
 	c.registers.Inc()
-	c.blocksGauge.Set(int64(len(c.blocks)))
+	c.blocksGauge.Set(c.nblocks.Load())
 	return nil
 }
 
-// memberMetaLocked synthesizes a pack member's metadata from its
-// container. The member mirrors the container's coding parameters,
-// placement and version (so version-keyed caches invalidate with the
-// container) but owns no chunks of its own.
-func (c *Catalog) memberMetaLocked(id model.BlockID) (*model.BlockMeta, bool) {
-	ref, ok := c.members[id]
-	if !ok {
-		return nil, false
-	}
-	cm, ok := c.blocks[ref.container]
-	if !ok {
-		return nil, false
-	}
+// memberMeta synthesizes a pack member's metadata from its container.
+// The member mirrors the container's coding parameters, placement and
+// version (so version-keyed caches invalidate with the container) but
+// owns no chunks of its own.
+func synthMemberMeta(id model.BlockID, cm *model.BlockMeta, ref memberRef) *model.BlockMeta {
 	return &model.BlockMeta{
 		ID:         id,
 		Scheme:     cm.Scheme,
@@ -225,57 +310,54 @@ func (c *Catalog) memberMetaLocked(id model.BlockID) (*model.BlockMeta, bool) {
 		StripeUnit: cm.StripeUnit,
 		PackedIn:   cm.ID,
 		PackedOff:  ref.off,
-	}, true
+	}
 }
 
-func (c *Catalog) indexLocked(s model.SiteID, id model.BlockID) {
-	m := c.bySite[s]
-	if m == nil {
-		m = make(map[model.BlockID]bool)
-		c.bySite[s] = m
+// lookupOne resolves one id — a registered block or a synthesized pack
+// member — taking at most two partition locks in sequence, never nested.
+func (c *Catalog) lookupOne(id model.BlockID) (*model.BlockMeta, bool) {
+	p := c.part(id)
+	p.mu.RLock()
+	if meta, ok := p.blocks[id]; ok {
+		out := meta.Clone()
+		p.mu.RUnlock()
+		return out, true
 	}
-	m[id] = true
-}
-
-func (c *Catalog) unindexLocked(s model.SiteID, id model.BlockID) {
-	if m := c.bySite[s]; m != nil {
-		delete(m, id)
-		if len(m) == 0 {
-			delete(c.bySite, s)
-		}
+	ref, isMember := p.members[id]
+	p.mu.RUnlock()
+	if !isMember {
+		return nil, false
 	}
+	pc := c.part(ref.container)
+	pc.mu.RLock()
+	defer pc.mu.RUnlock()
+	cm, ok := pc.blocks[ref.container]
+	if !ok {
+		// A reservation whose container never landed, or a racing
+		// container delete: the member does not resolve.
+		return nil, false
+	}
+	return synthMemberMeta(id, cm, ref), true
 }
 
 // BlockMeta returns a copy of a block's metadata. The boolean reports
 // existence (satisfying placement.CatalogView).
 func (c *Catalog) BlockMeta(id model.BlockID) (*model.BlockMeta, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	meta, ok := c.blocks[id]
-	if !ok {
-		return c.memberMetaLocked(id)
-	}
-	return meta.Clone(), true
+	return c.lookupOne(id)
 }
 
 // Lookup returns copies of the metadata for the given ids; missing blocks
 // yield ErrNotFound.
 func (c *Catalog) Lookup(ids []model.BlockID) (map[model.BlockID]*model.BlockMeta, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	c.lookups.Inc()
 	out := make(map[model.BlockID]*model.BlockMeta, len(ids))
 	for _, id := range ids {
-		meta, ok := c.blocks[id]
+		meta, ok := c.lookupOne(id)
 		if !ok {
-			if synth, isMember := c.memberMetaLocked(id); isMember {
-				out[id] = synth
-				continue
-			}
 			c.lookupMiss.Inc()
 			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 		}
-		out[id] = meta.Clone()
+		out[id] = meta
 	}
 	return out, nil
 }
@@ -289,39 +371,79 @@ func (c *Catalog) Lookup(ids []model.BlockID) (map[model.BlockID]*model.BlockMet
 // keeps its chunks until it is deleted itself). Deleting a container
 // cascades: every remaining member id stops resolving.
 func (c *Catalog) Delete(id model.BlockID) (*model.BlockMeta, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	meta, ok := c.blocks[id]
+	p := c.part(id)
+	p.mu.Lock()
+	meta, ok := p.blocks[id]
 	if !ok {
-		synth, isMember := c.memberMetaLocked(id)
+		ref, isMember := p.members[id]
+		p.mu.Unlock()
 		if !isMember {
 			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 		}
-		cm := c.blocks[synth.PackedIn]
-		for i, m := range cm.Members {
-			if m.ID == id {
-				cm.Members = append(cm.Members[:i], cm.Members[i+1:]...)
-				break
-			}
-		}
-		delete(c.members, id)
-		c.retired[id] = synth.Version
-		synth.Sites = nil
-		c.deletes.Inc()
-		return synth, nil
+		return c.deleteMember(id, ref)
 	}
-	delete(c.blocks, id)
-	c.retired[id] = meta.Version
+	delete(p.blocks, id)
+	p.retireLocked(id, meta.Version)
 	for _, s := range meta.Sites {
-		c.unindexLocked(s, id)
+		p.unindexLocked(s, id)
 	}
+	lsn := p.log.appendDelete(id, meta.Version)
+	p.mu.Unlock()
+	c.wal.commit(p, lsn)
+
+	// Cascade: retire every member id in its own partition. The member
+	// refs and watermarks live where the ids hash, so each mutation —
+	// and its WAL record — is confined to one partition.
 	for _, m := range meta.Members {
-		delete(c.members, m.ID)
-		c.retired[m.ID] = meta.Version
+		pm := c.part(m.ID)
+		pm.mu.Lock()
+		if ref, okm := pm.members[m.ID]; okm && ref.container == id {
+			delete(pm.members, m.ID)
+		}
+		pm.retireLocked(m.ID, meta.Version)
+		mlsn := pm.log.appendRetire(m.ID, meta.Version)
+		pm.mu.Unlock()
+		c.wal.commit(pm, mlsn)
 	}
+	c.nblocks.Add(-1)
 	c.deletes.Inc()
-	c.blocksGauge.Set(int64(len(c.blocks)))
+	c.blocksGauge.Set(c.nblocks.Load())
 	return meta, nil
+}
+
+// deleteMember detaches one packed block from its container.
+func (c *Catalog) deleteMember(id model.BlockID, ref memberRef) (*model.BlockMeta, error) {
+	pc := c.part(ref.container)
+	pc.mu.Lock()
+	cm, ok := pc.blocks[ref.container]
+	if !ok {
+		pc.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	for i, m := range cm.Members {
+		if m.ID == id {
+			cm.Members = append(cm.Members[:i], cm.Members[i+1:]...)
+			break
+		}
+	}
+	synth := synthMemberMeta(id, cm, ref)
+	lsn := pc.log.appendMemberRemove(ref.container, id)
+	pc.mu.Unlock()
+	c.wal.commit(pc, lsn)
+
+	pm := c.part(id)
+	pm.mu.Lock()
+	if cur, okm := pm.members[id]; okm && cur.container == ref.container {
+		delete(pm.members, id)
+	}
+	pm.retireLocked(id, synth.Version)
+	mlsn := pm.log.appendRetire(id, synth.Version)
+	pm.mu.Unlock()
+	c.wal.commit(pm, mlsn)
+
+	synth.Sites = nil
+	c.deletes.Inc()
+	return synth, nil
 }
 
 // UpdatePlacement atomically relocates one chunk: it verifies the expected
@@ -329,58 +451,72 @@ func (c *Catalog) Delete(id model.BlockID) (*model.BlockMeta, error) {
 // already holding a chunk of the block (r-fault tolerance), updates the
 // index, and returns the new version.
 func (c *Catalog) UpdatePlacement(id model.BlockID, chunk int, to model.SiteID, expectVersion uint64) (uint64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	meta, ok := c.blocks[id]
+	if err := c.knownSites([]model.SiteID{to}); err != nil {
+		c.updateFails.Inc()
+		return 0, err
+	}
+	p := c.part(id)
+	p.mu.Lock()
+	meta, ok := p.blocks[id]
 	if !ok {
+		p.mu.Unlock()
 		c.updateFails.Inc()
 		return 0, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	if chunk < 0 || chunk >= len(meta.Sites) {
+		p.mu.Unlock()
 		c.updateFails.Inc()
 		return 0, fmt.Errorf("%w: %d", ErrInvalidChunk, chunk)
 	}
 	if meta.Version != expectVersion {
+		have := meta.Version
+		p.mu.Unlock()
 		c.updateFails.Inc()
-		return 0, fmt.Errorf("%w: have %d, expected %d", ErrStaleVersion, meta.Version, expectVersion)
-	}
-	if !c.sites[to] {
-		c.updateFails.Inc()
-		return 0, fmt.Errorf("%w: site %d", ErrUnknownSite, to)
+		return 0, fmt.Errorf("%w: have %d, expected %d", ErrStaleVersion, have, expectVersion)
 	}
 	for ci, s := range meta.Sites {
 		if s == to && ci != chunk {
+			p.mu.Unlock()
 			c.updateFails.Inc()
 			return 0, fmt.Errorf("%w: site %d", ErrChunkConflict, to)
 		}
 	}
 	from := meta.Sites[chunk]
 	if from == to {
-		return meta.Version, nil
+		v := meta.Version
+		p.mu.Unlock()
+		return v, nil
 	}
 	meta.Sites[chunk] = to
 	meta.Version++
-	c.unindexLocked(from, id)
+	p.unindexLocked(from, id)
 	// Keep the index entry if another chunk still lives at `from`.
 	for ci, s := range meta.Sites {
 		if s == from && ci != chunk {
-			c.indexLocked(from, id)
+			p.indexLocked(from, id)
 			break
 		}
 	}
-	c.indexLocked(to, id)
+	p.indexLocked(to, id)
+	version := meta.Version
+	lsn := p.log.appendUpdate(id, chunk, to, version)
+	p.mu.Unlock()
+	c.wal.commit(p, lsn)
 	c.updates.Inc()
-	return meta.Version, nil
+	return version, nil
 }
 
 // BlocksOnSite lists blocks with at least one chunk at the site, in sorted
-// order (used by the repair service).
+// order (used by the repair service). Partitions are scanned one at a
+// time; the result is a merge of their per-partition indexes.
 func (c *Catalog) BlocksOnSite(s model.SiteID) []model.BlockID {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]model.BlockID, 0, len(c.bySite[s]))
-	for id := range c.bySite[s] {
-		out = append(out, id)
+	var out []model.BlockID
+	for _, p := range c.parts {
+		p.mu.RLock()
+		for id := range p.bySite[s] {
+			out = append(out, id)
+		}
+		p.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -388,27 +524,71 @@ func (c *Catalog) BlocksOnSite(s model.SiteID) []model.BlockID {
 
 // Len returns the number of registered blocks.
 func (c *Catalog) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.blocks)
+	n := 0
+	for _, p := range c.parts {
+		p.mu.RLock()
+		n += len(p.blocks)
+		p.mu.RUnlock()
+	}
+	return n
 }
 
 // ForEach invokes fn with a copy of every block's metadata until fn
 // returns false. Iteration order is unspecified.
 func (c *Catalog) ForEach(fn func(*model.BlockMeta) bool) {
-	c.mu.RLock()
-	ids := make([]model.BlockID, 0, len(c.blocks))
-	for id := range c.blocks {
+	for _, p := range c.parts {
+		p.mu.RLock()
+		ids := make([]model.BlockID, 0, len(p.blocks))
+		for id := range p.blocks {
+			ids = append(ids, id)
+		}
+		p.mu.RUnlock()
+		for _, id := range ids {
+			meta, ok := c.lookupOne(id)
+			if !ok {
+				continue
+			}
+			if !fn(meta) {
+				return
+			}
+		}
+	}
+}
+
+// retiredWatermarks snapshots every partition's retired map (sorted ids)
+// for persistence.
+func (c *Catalog) retiredWatermarks() ([]model.BlockID, map[model.BlockID]uint64) {
+	out := make(map[model.BlockID]uint64)
+	for _, p := range c.parts {
+		p.mu.RLock()
+		for id, v := range p.retired {
+			out[id] = v
+		}
+		p.mu.RUnlock()
+	}
+	ids := make([]model.BlockID, 0, len(out))
+	for id := range out {
 		ids = append(ids, id)
 	}
-	c.mu.RUnlock()
-	for _, id := range ids {
-		meta, ok := c.BlockMeta(id)
-		if !ok {
-			continue
-		}
-		if !fn(meta) {
-			return
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, out
+}
+
+// restoreRetired seeds a retired watermark during snapshot load and WAL
+// replay.
+func (c *Catalog) restoreRetired(id model.BlockID, version uint64) {
+	p := c.part(id)
+	p.mu.Lock()
+	p.retireLocked(id, version)
+	p.mu.Unlock()
+}
+
+// RetiredVersion reports the recorded watermark for a deleted id (zero,
+// false when the id was never deleted or has been re-registered).
+func (c *Catalog) RetiredVersion(id model.BlockID) (uint64, bool) {
+	p := c.part(id)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	v, ok := p.retired[id]
+	return v, ok
 }

@@ -1,0 +1,102 @@
+package metadata
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"ecstore/internal/model"
+)
+
+// DefaultPartitions is the catalog's default shard count. Sixteen
+// partitions keep lock contention negligible up to millions of blocks
+// while costing nothing at small scale (each partition is just a set of
+// small maps).
+const DefaultPartitions = 16
+
+// partition is one independently locked shard of the catalog. Block
+// state routes to a partition by FNV-1a hash of the block id, so every
+// record concerning one id lives (and is logged) in exactly one
+// partition; the per-partition WAL therefore totally orders the history
+// of any single key without any cross-partition coordination.
+type partition struct {
+	mu sync.RWMutex
+	// blocks holds the partition's registered blocks (plain blocks and
+	// pack containers whose ids hash here).
+	blocks map[model.BlockID]*model.BlockMeta
+	// members resolves pack-member ids hashing here to their container
+	// (which may live in another partition). Derived state: rebuilt
+	// from container member tables on recovery, never persisted.
+	members map[model.BlockID]memberRef
+	// retired remembers the final placement version of deleted ids
+	// hashing here, so re-registered ids resume numbering (the ABA
+	// guard version-keyed caches depend on). Persisted in snapshots
+	// and WAL retire records — losing it across a restart was the
+	// durability hole this layout exists to close.
+	retired map[model.BlockID]uint64
+	// bySite indexes this partition's blocks by chunk site, for repair
+	// scans. Derived state, rebuilt on recovery.
+	bySite map[model.SiteID]map[model.BlockID]bool
+	// log is the partition's write-ahead log; nil for volatile
+	// catalogs (NewCatalog without Open).
+	log *partLog
+}
+
+func newPartition() *partition {
+	return &partition{
+		blocks:  make(map[model.BlockID]*model.BlockMeta),
+		members: make(map[model.BlockID]memberRef),
+		retired: make(map[model.BlockID]uint64),
+		bySite:  make(map[model.SiteID]map[model.BlockID]bool),
+	}
+}
+
+// fnvIndex routes a key to one of n partitions by FNV-1a.
+func fnvIndex(key string, n int) int {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum64() % uint64(n))
+}
+
+// part returns the partition owning a block id.
+func (c *Catalog) part(id model.BlockID) *partition {
+	return c.parts[fnvIndex(string(id), len(c.parts))]
+}
+
+// sitePart returns the partition whose WAL owns records about a site
+// (site additions and administrative state). The in-memory site maps
+// are global; only durability routes by hash, so that all records for
+// one site stay ordered within one log.
+func (c *Catalog) sitePart(s model.SiteID) *partition {
+	return c.parts[fnvIndex(siteKey(s), len(c.parts))]
+}
+
+// taskPart returns the partition whose WAL owns records about a task id.
+func (c *Catalog) taskPart(id string) *partition {
+	return c.parts[fnvIndex(id, len(c.parts))]
+}
+
+func (p *partition) indexLocked(s model.SiteID, id model.BlockID) {
+	m := p.bySite[s]
+	if m == nil {
+		m = make(map[model.BlockID]bool)
+		p.bySite[s] = m
+	}
+	m[id] = true
+}
+
+func (p *partition) unindexLocked(s model.SiteID, id model.BlockID) {
+	if m := p.bySite[s]; m != nil {
+		delete(m, id)
+		if len(m) == 0 {
+			delete(p.bySite, s)
+		}
+	}
+}
+
+// retireLocked records a deleted incarnation's final version, keeping
+// the highest watermark ever seen for the id.
+func (p *partition) retireLocked(id model.BlockID, version uint64) {
+	if last, ok := p.retired[id]; !ok || version > last {
+		p.retired[id] = version
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"ecstore/internal/model"
@@ -20,9 +21,14 @@ import (
 // V1 snapshots are not readable and must be regenerated. V3 inserts two
 // frames between the site list and the block frames: the site-info table
 // (zones, drain states) and the background-task table, so the scheduler's
-// queue survives a restart. V2 snapshots still load (both tables empty).
+// queue survives a restart. V4 adds the retired-version-watermark frame
+// after the task frame: without it a restart forgot every deleted block's
+// final version, so a re-registered id restarted at version 0 and
+// (BlockID, version)-keyed caches could alias the dead incarnation's
+// bytes. V3 and V2 snapshots still load (missing tables empty).
 var (
-	snapshotMagic   = []byte("ECSTORE-META-V3\n")
+	snapshotMagic   = []byte("ECSTORE-META-V4\n")
+	snapshotMagicV3 = []byte("ECSTORE-META-V3\n")
 	snapshotMagicV2 = []byte("ECSTORE-META-V2\n")
 )
 
@@ -71,9 +77,26 @@ func (c *Catalog) Save(w io.Writer) error {
 		return fmt.Errorf("write tasks: %w", err)
 	}
 
+	retiredIDs, retired := c.retiredWatermarks()
+	re := wire.NewEncoder(16 * len(retiredIDs))
+	re.Uint32(uint32(len(retiredIDs)))
+	for _, id := range retiredIDs {
+		re.String(string(id))
+		re.Uint64(retired[id])
+	}
+	if err := wire.WriteFrame(bw, re.Bytes()); err != nil {
+		return fmt.Errorf("write retired watermarks: %w", err)
+	}
+
 	var saveErr error
 	count := 0
 	c.ForEach(func(meta *model.BlockMeta) bool {
+		if meta.Packed() {
+			// Synthesized member entries are derived from their
+			// container's member table; only containers and plain
+			// blocks are persisted.
+			return true
+		}
 		be := wire.NewEncoder(64)
 		EncodeBlockMeta(be, meta)
 		if err := wire.WriteFrame(bw, be.Bytes()); err != nil {
@@ -96,8 +119,9 @@ func Load(r io.Reader) (*Catalog, error) {
 	if _, err := io.ReadFull(br, header); err != nil {
 		return nil, fmt.Errorf("%w: short header", ErrBadSnapshot)
 	}
-	v3 := string(header) == string(snapshotMagic)
-	if !v3 && string(header) != string(snapshotMagicV2) {
+	v4 := string(header) == string(snapshotMagic)
+	v3 := string(header) == string(snapshotMagicV3)
+	if !v4 && !v3 && string(header) != string(snapshotMagicV2) {
 		return nil, fmt.Errorf("%w: wrong magic", ErrBadSnapshot)
 	}
 
@@ -107,6 +131,9 @@ func Load(r io.Reader) (*Catalog, error) {
 	}
 	d := wire.NewDecoder(frame)
 	n := int(d.Uint32())
+	if err := boundedCount(n, d, minSiteEnc, "site"); err != nil {
+		return nil, err
+	}
 	sites := make([]model.SiteID, 0, n)
 	for i := 0; i < n; i++ {
 		sites = append(sites, model.SiteID(d.Int64()))
@@ -116,13 +143,17 @@ func Load(r io.Reader) (*Catalog, error) {
 	}
 	catalog := NewCatalog(sites)
 
-	if v3 {
+	if v4 || v3 {
 		frame, err := wire.ReadFrame(br)
 		if err != nil {
 			return nil, fmt.Errorf("%w: site infos: %w", ErrBadSnapshot, err)
 		}
 		d := wire.NewDecoder(frame)
-		for i, n := 0, int(d.Uint32()); i < n; i++ {
+		ni := int(d.Uint32())
+		if err := boundedCount(ni, d, minSiteInfoEnc, "site info"); err != nil {
+			return nil, err
+		}
+		for i := 0; i < ni; i++ {
 			info, err := DecodeSiteInfo(d)
 			if err != nil {
 				return nil, fmt.Errorf("%w: site info: %w", ErrBadSnapshot, err)
@@ -136,7 +167,11 @@ func Load(r io.Reader) (*Catalog, error) {
 			return nil, fmt.Errorf("%w: tasks: %w", ErrBadSnapshot, err)
 		}
 		d = wire.NewDecoder(frame)
-		for i, n := 0, int(d.Uint32()); i < n; i++ {
+		nt := int(d.Uint32())
+		if err := boundedCount(nt, d, minTaskEnc, "task"); err != nil {
+			return nil, err
+		}
+		for i := 0; i < nt; i++ {
 			t, err := DecodeTaskRecord(d)
 			if err != nil {
 				return nil, fmt.Errorf("%w: task record: %w", ErrBadSnapshot, err)
@@ -147,9 +182,42 @@ func Load(r io.Reader) (*Catalog, error) {
 		}
 	}
 
+	// Retired watermarks decode now but apply after the block frames:
+	// Register consults the watermark of its own id, so seeding first
+	// would corrupt versions if a corrupt snapshot listed an id in both
+	// tables.
+	retired := make(map[model.BlockID]uint64)
+	if v4 {
+		frame, err := wire.ReadFrame(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: retired watermarks: %w", ErrBadSnapshot, err)
+		}
+		d := wire.NewDecoder(frame)
+		nr := int(d.Uint32())
+		if err := boundedCount(nr, d, minRetiredEnc, "retired"); err != nil {
+			return nil, err
+		}
+		for i := 0; i < nr; i++ {
+			id := model.BlockID(d.String())
+			v := d.Uint64()
+			if d.Err() != nil {
+				return nil, fmt.Errorf("%w: retired watermarks: %w", ErrBadSnapshot, d.Err())
+			}
+			retired[id] = v
+		}
+	}
+
 	for {
 		frame, err := wire.ReadFrame(br)
 		if errors.Is(err, io.EOF) {
+			retiredIDs := make([]model.BlockID, 0, len(retired))
+			for id := range retired {
+				retiredIDs = append(retiredIDs, id)
+			}
+			sort.Slice(retiredIDs, func(i, j int) bool { return retiredIDs[i] < retiredIDs[j] })
+			for _, id := range retiredIDs {
+				catalog.restoreRetired(id, retired[id])
+			}
 			return catalog, nil
 		}
 		if err != nil {
@@ -165,9 +233,15 @@ func Load(r io.Reader) (*Catalog, error) {
 	}
 }
 
-// SaveFile atomically writes a snapshot to path (write temp + rename).
+// SaveFile atomically and durably writes a snapshot to path: write a
+// temp file, fsync it, fsync the directory (making the temp entry
+// durable), rename over the target, fsync the directory again (making
+// the rename durable). Without the fsyncs, "atomic" rename snapshots
+// could vanish entirely on a crash — the kernel was free to order the
+// rename before the data blocks.
 func (c *Catalog) SaveFile(path string) error {
 	tmp := path + ".tmp"
+	dir := filepath.Dir(path)
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("create snapshot: %w", err)
@@ -177,14 +251,23 @@ func (c *Catalog) SaveFile(path string) error {
 		_ = os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("sync snapshot: %w", err)
+	}
 	if err := f.Close(); err != nil {
 		_ = os.Remove(tmp)
 		return fmt.Errorf("close snapshot: %w", err)
 	}
+	if err := syncDir(dir); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("commit snapshot: %w", err)
 	}
-	return nil
+	return syncDir(dir)
 }
 
 // LoadFile reads a snapshot from path.

@@ -95,7 +95,10 @@ func DecodeBlockMeta(d *wire.Decoder) (*model.BlockMeta, error) {
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	if n > 1<<16 {
+	// Bound against the bytes actually present (8 per site id), not just
+	// an absolute cap: a corrupt count must fail decode, not drive a
+	// multi-gigabyte allocation.
+	if n > 1<<16 || n > d.Remaining()/8 {
 		return nil, fmt.Errorf("metadata: absurd site count %d", n)
 	}
 	m.Sites = make([]model.SiteID, n)
@@ -109,7 +112,8 @@ func DecodeBlockMeta(d *wire.Decoder) (*model.BlockMeta, error) {
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	if mn > 1<<20 {
+	// A member encodes to at least 20 bytes (empty id + two i64s).
+	if mn > 1<<20 || mn > d.Remaining()/20 {
 		return nil, fmt.Errorf("metadata: absurd member count %d", mn)
 	}
 	if mn > 0 {
@@ -151,6 +155,9 @@ func (s *Server) Handle(_ context.Context, method rpc.Method, body []byte) ([]by
 
 	case methodLookup:
 		n := int(d.Uint32())
+		if n < 0 || n > d.Remaining()/4 {
+			return nil, fmt.Errorf("metadata: absurd id count %d", n)
+		}
 		ids := make([]model.BlockID, 0, n)
 		for i := 0; i < n; i++ {
 			ids = append(ids, model.BlockID(d.String()))
@@ -301,6 +308,9 @@ func (c *Client) Lookup(ids []model.BlockID) (map[model.BlockID]*model.BlockMeta
 	}
 	d := wire.NewDecoder(resp)
 	n := int(d.Uint32())
+	if n < 0 || n > d.Remaining()/45 {
+		return nil, fmt.Errorf("metadata: absurd meta count %d", n)
+	}
 	out := make(map[model.BlockID]*model.BlockMeta, n)
 	for i := 0; i < n; i++ {
 		meta, err := DecodeBlockMeta(d)
@@ -350,6 +360,9 @@ func (c *Client) BlocksOnSite(s model.SiteID) []model.BlockID {
 	}
 	d := wire.NewDecoder(resp)
 	n := int(d.Uint32())
+	if n < 0 || n > d.Remaining()/4 {
+		return nil
+	}
 	out := make([]model.BlockID, 0, n)
 	for i := 0; i < n; i++ {
 		out = append(out, model.BlockID(d.String()))
@@ -377,6 +390,9 @@ func (c *Client) ListTasks() []*model.TaskRecord {
 	}
 	d := wire.NewDecoder(resp)
 	n := int(d.Uint32())
+	if n < 0 || n > d.Remaining()/45 {
+		return nil
+	}
 	out := make([]*model.TaskRecord, 0, n)
 	for i := 0; i < n; i++ {
 		t, err := DecodeTaskRecord(d)
@@ -413,6 +429,9 @@ func (c *Client) SiteInfos() map[model.SiteID]model.SiteInfo {
 	}
 	d := wire.NewDecoder(resp)
 	n := int(d.Uint32())
+	if n < 0 || n > d.Remaining()/13 {
+		return nil
+	}
 	out := make(map[model.SiteID]model.SiteInfo, n)
 	for i := 0; i < n; i++ {
 		info, err := DecodeSiteInfo(d)
@@ -441,6 +460,9 @@ func (c *Client) Sites() []model.SiteID {
 	}
 	d := wire.NewDecoder(resp)
 	n := int(d.Uint32())
+	if n < 0 || n > d.Remaining()/8 {
+		return nil
+	}
 	out := make([]model.SiteID, 0, n)
 	for i := 0; i < n; i++ {
 		out = append(out, model.SiteID(d.Int64()))

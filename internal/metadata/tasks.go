@@ -11,10 +11,13 @@ import (
 // The catalog doubles as the control plane's durable coordination point
 // for background work: task records and per-site administrative state
 // (zone label, active/draining/decommissioned) live here, persist in
-// snapshots, and are reachable over RPC — so the scheduler survives a
-// restart with its queue intact and the CLI can enqueue a drain or a
-// scrub against a running cluster with nothing but a metadata
-// connection.
+// snapshots and the write-ahead log, and are reachable over RPC — so
+// the scheduler survives a restart with its queue intact and the CLI
+// can enqueue a drain or a scrub against a running cluster with nothing
+// but a metadata connection. The in-memory maps are global (they are
+// read by every operation), but each record's durability routes to the
+// partition its key hashes to, so all WAL records about one task or one
+// site stay totally ordered within a single log.
 
 // ErrInvalidTask reports a task record missing its identity fields.
 var ErrInvalidTask = fmt.Errorf("metadata: invalid task record")
@@ -24,49 +27,68 @@ func (c *Catalog) PutTask(t *model.TaskRecord) error {
 	if t == nil || t.ID == "" || t.Type == "" {
 		return ErrInvalidTask
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.tasks[t.ID] = t.Clone()
+	p := c.taskPart(t.ID)
+	c.gmu.Lock()
+	stored := t.Clone()
+	c.tasks[t.ID] = stored
+	lsn := p.log.appendTaskPut(stored)
+	c.gmu.Unlock()
+	c.wal.commit(p, lsn)
 	return nil
 }
 
 // ListTasks returns copies of every task record, sorted by ID.
 func (c *Catalog) ListTasks() []*model.TaskRecord {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]*model.TaskRecord, 0, len(c.tasks))
-	for _, t := range c.tasks {
-		out = append(out, t.Clone())
+	c.gmu.RLock()
+	defer c.gmu.RUnlock()
+	ids := make([]string, 0, len(c.tasks))
+	for id := range c.tasks {
+		ids = append(ids, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sort.Strings(ids)
+	out := make([]*model.TaskRecord, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, c.tasks[id].Clone())
+	}
 	return out
 }
 
 // DeleteTask removes a task record; removing a missing id is a no-op.
 func (c *Catalog) DeleteTask(id string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	p := c.taskPart(id)
+	c.gmu.Lock()
+	if _, ok := c.tasks[id]; !ok {
+		c.gmu.Unlock()
+		return nil
+	}
 	delete(c.tasks, id)
+	lsn := p.log.appendTaskDel(id)
+	c.gmu.Unlock()
+	c.wal.commit(p, lsn)
 	return nil
 }
 
 // SetSiteInfo records a site's zone label and administrative state. The
 // site must be known to the catalog.
 func (c *Catalog) SetSiteInfo(info model.SiteInfo) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	p := c.sitePart(info.ID)
+	c.gmu.Lock()
 	if !c.sites[info.ID] {
+		c.gmu.Unlock()
 		return fmt.Errorf("%w: site %d", ErrUnknownSite, info.ID)
 	}
 	c.siteInfo[info.ID] = info
+	lsn := p.log.appendSiteInfo(info)
+	c.gmu.Unlock()
+	c.wal.commit(p, lsn)
 	return nil
 }
 
 // SiteInfos returns the administrative record of every known site. Sites
 // never configured get the zero record (no zone, active).
 func (c *Catalog) SiteInfos() map[model.SiteID]model.SiteInfo {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.gmu.RLock()
+	defer c.gmu.RUnlock()
 	out := make(map[model.SiteID]model.SiteInfo, len(c.sites))
 	for s := range c.sites {
 		info, ok := c.siteInfo[s]

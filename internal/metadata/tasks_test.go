@@ -126,14 +126,14 @@ func TestLoadAcceptsV2Snapshots(t *testing.T) {
 	if err := c.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	// Rewrite the V3 snapshot as a V2 one: swap the magic and drop the
-	// site-info and task frames (frames 2 and 3).
-	v3 := buf.Bytes()
-	body := v3[len(snapshotMagic):]
+	// Rewrite the V4 snapshot as a V2 one: swap the magic and drop the
+	// site-info, task and retired frames (frames 2, 3 and 4).
+	v4 := buf.Bytes()
+	body := v4[len(snapshotMagic):]
 	var v2 bytes.Buffer
 	v2.Write(snapshotMagicV2)
-	// Frame 1 (site list) passes through; frames 2 and 3 are dropped.
-	for i := 0; i < 3; i++ {
+	// Frame 1 (site list) passes through; frames 2 through 4 are dropped.
+	for i := 0; i < 4; i++ {
 		flen := int(uint32(body[0])<<24 | uint32(body[1])<<16 | uint32(body[2])<<8 | uint32(body[3]))
 		frame := body[:4+flen]
 		body = body[4+flen:]

@@ -163,6 +163,11 @@ type Options struct {
 	// scheduler's byte throttle — the ab-scrub ablation sweeps it. Zero
 	// disables scrub load.
 	ScrubBytesPerSec float64
+	// CatalogPartitions shards the metadata catalog into this many
+	// independently locked partitions (metadata.DefaultPartitions when
+	// zero). The ab-meta ablation sweeps it to expose metadata-plane
+	// contention at catalog scale.
+	CatalogPartitions int
 }
 
 func (o Options) withDefaults() Options {
@@ -295,7 +300,11 @@ func New(p Params, opt Options) (*Cluster, error) {
 			servers:  make([]float64, servers),
 		}
 	}
-	c.catalog = metadata.NewCatalog(c.siteIDs)
+	parts := opt.CatalogPartitions
+	if parts <= 0 {
+		parts = metadata.DefaultPartitions
+	}
+	c.catalog = metadata.NewCatalogParts(c.siteIDs, parts)
 	c.planner = placement.NewPlanner(placement.PlannerConfig{
 		Strategy:          opt.Strategy,
 		Delta:             opt.Delta,

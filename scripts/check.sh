@@ -11,8 +11,12 @@
 # a nonzero packed-block count, then the gateway smoke (live open-loop
 # sweep through the access daemon: nonzero admissions and at least one
 # shed under overload) and the simulated gateway SLO sweep (BENCH_9.json
-# must contain overload rows), and a fuzz smoke of the range->stripe
-# window math.
+# must contain overload rows), the metadata crash smoke (kill -9 the
+# WAL-backed metadata server mid-load, restart, verify every acked put
+# and the re-register version bump), the metadata catalog sweep
+# (BENCH_10.json must carry a recovery-replay row with a nonzero
+# partition count), and fuzz smokes of the range->stripe window math,
+# the lint ignore directive and the WAL record codec.
 # The full suite (go test ./...) additionally runs the paper-scale
 # simulator experiments and takes several minutes.
 set -eux
@@ -37,5 +41,12 @@ gw=$(go run ./cmd/ecbench -mode ab-gateway -scale quick)
 echo "$gw"
 echo "$gw" | grep -Eq 'max sustainable: [1-9]'
 grep -q '"slo_met": false' BENCH_9.json
+sh scripts/meta_crash_smoke.sh
+mt=$(go run ./cmd/ecbench -exp ab-meta -scale quick)
+echo "$mt"
+echo "$mt" | grep -Eq 'recovery: [1-9]'
+grep -q '"kind": "recovery-replay"' BENCH_10.json
+grep -Eq '"partitions": [1-9]' BENCH_10.json
 go test -run FuzzLayoutWindow -fuzz FuzzLayoutWindow -fuzztime 10s ./internal/erasure
 go test -run FuzzIgnoreDirective -fuzz FuzzIgnoreDirective -fuzztime 10s ./internal/lint
+go test -run FuzzWALRecord -fuzz FuzzWALRecord -fuzztime 10s ./internal/metadata
