@@ -152,7 +152,9 @@ func openCatalog(numSites int, snapshot, walDir string, walOpts metadata.WALOpti
 		case err == nil:
 			// Snapshot site list wins, but new sites may be added.
 			for i := 1; i <= numSites; i++ {
-				catalog.AddSite(model.SiteID(i))
+				if err := catalog.AddSite(model.SiteID(i)); err != nil {
+					return nil, err
+				}
 			}
 			return catalog, nil
 		case errors.Is(err, os.ErrNotExist):

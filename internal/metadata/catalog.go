@@ -149,18 +149,28 @@ func NewCatalogParts(sites []model.SiteID, partitions int) *Catalog {
 // Partitions returns the catalog's shard count.
 func (c *Catalog) Partitions() int { return len(c.parts) }
 
+// walFailed gates every mutation entry point: once a WAL write or fsync
+// has failed the catalog is fail-stopped and rejects mutations before
+// touching any state (always nil for volatile catalogs).
+func (c *Catalog) walFailed() error {
+	return c.wal.failErr()
+}
+
 // AddSite registers an additional site (idempotent).
-func (c *Catalog) AddSite(s model.SiteID) {
+func (c *Catalog) AddSite(s model.SiteID) error {
+	if err := c.walFailed(); err != nil {
+		return err
+	}
 	p := c.sitePart(s)
 	c.gmu.Lock()
 	if c.sites[s] {
 		c.gmu.Unlock()
-		return
+		return nil
 	}
 	c.sites[s] = true
 	lsn := p.log.appendSiteAdd(s)
 	c.gmu.Unlock()
-	c.wal.commit(p, lsn)
+	return c.wal.commit(p, lsn)
 }
 
 // Sites lists every known site in ascending order.
@@ -193,6 +203,9 @@ func (c *Catalog) knownSites(ss []model.SiteID) error {
 // resolvable through Lookup/BlockMeta as a synthesized entry, so member
 // ids must be unused too and their byte ranges must fit the container.
 func (c *Catalog) Register(meta *model.BlockMeta) error {
+	if err := c.walFailed(); err != nil {
+		return err
+	}
 	if meta == nil || meta.ID == "" || len(meta.Sites) == 0 {
 		return ErrInvalidBlock
 	}
@@ -203,6 +216,18 @@ func (c *Catalog) Register(meta *model.BlockMeta) error {
 	}
 	if len(meta.Sites) != meta.TotalChunks() {
 		return fmt.Errorf("%w: %d sites for %d chunks", ErrInvalidBlock, len(meta.Sites), meta.TotalChunks())
+	}
+	// Write-side bounds: anything past what DecodeBlockMeta or the WAL
+	// frame limit accepts must be rejected here — once logged, an
+	// oversized record would be unreadable at replay.
+	if len(meta.Sites) > maxBlockSites {
+		return fmt.Errorf("%w: %d sites exceeds bound %d", ErrInvalidBlock, len(meta.Sites), maxBlockSites)
+	}
+	if len(meta.Members) > maxPackMembers {
+		return fmt.Errorf("%w: %d members in %s exceeds bound %d", ErrInvalidMember, len(meta.Members), meta.ID, maxPackMembers)
+	}
+	if sz := encodedBlockMetaSize(meta); sz > maxWALBody {
+		return fmt.Errorf("%w: %s encodes to %d bytes, exceeding the %d-byte WAL record bound", ErrInvalidBlock, meta.ID, sz, maxWALBody)
 	}
 	seen := make(map[model.SiteID]bool, len(meta.Sites))
 	for _, s := range meta.Sites {
@@ -285,7 +310,9 @@ func (c *Catalog) Register(meta *model.BlockMeta) error {
 	}
 	lsn := p.log.appendRegister(stored)
 	p.mu.Unlock()
-	c.wal.commit(p, lsn)
+	if err := c.wal.commit(p, lsn); err != nil {
+		return err
+	}
 
 	c.nblocks.Add(1)
 	c.registers.Inc()
@@ -371,6 +398,9 @@ func (c *Catalog) Lookup(ids []model.BlockID) (map[model.BlockID]*model.BlockMet
 // keeps its chunks until it is deleted itself). Deleting a container
 // cascades: every remaining member id stops resolving.
 func (c *Catalog) Delete(id model.BlockID) (*model.BlockMeta, error) {
+	if err := c.walFailed(); err != nil {
+		return nil, err
+	}
 	p := c.part(id)
 	p.mu.Lock()
 	meta, ok := p.blocks[id]
@@ -389,11 +419,16 @@ func (c *Catalog) Delete(id model.BlockID) (*model.BlockMeta, error) {
 	}
 	lsn := p.log.appendDelete(id, meta.Version)
 	p.mu.Unlock()
-	c.wal.commit(p, lsn)
+	if err := c.wal.commit(p, lsn); err != nil {
+		return nil, err
+	}
 
 	// Cascade: retire every member id in its own partition. The member
 	// refs and watermarks live where the ids hash, so each mutation —
-	// and its WAL record — is confined to one partition.
+	// and its WAL record — is confined to one partition. The cascade is
+	// not crash-atomic with the container record; replay re-derives the
+	// member watermarks from the container's delete record (see
+	// applyWALRecord), so a crash here loses nothing.
 	for _, m := range meta.Members {
 		pm := c.part(m.ID)
 		pm.mu.Lock()
@@ -403,7 +438,9 @@ func (c *Catalog) Delete(id model.BlockID) (*model.BlockMeta, error) {
 		pm.retireLocked(m.ID, meta.Version)
 		mlsn := pm.log.appendRetire(m.ID, meta.Version)
 		pm.mu.Unlock()
-		c.wal.commit(pm, mlsn)
+		if err := c.wal.commit(pm, mlsn); err != nil {
+			return nil, err
+		}
 	}
 	c.nblocks.Add(-1)
 	c.deletes.Inc()
@@ -429,8 +466,13 @@ func (c *Catalog) deleteMember(id model.BlockID, ref memberRef) (*model.BlockMet
 	synth := synthMemberMeta(id, cm, ref)
 	lsn := pc.log.appendMemberRemove(ref.container, id)
 	pc.mu.Unlock()
-	c.wal.commit(pc, lsn)
+	if err := c.wal.commit(pc, lsn); err != nil {
+		return nil, err
+	}
 
+	// Like Delete's cascade, the member's retire record is separate from
+	// the container's member-remove record; replay re-derives the
+	// watermark from the latter if a crash lands between them.
 	pm := c.part(id)
 	pm.mu.Lock()
 	if cur, okm := pm.members[id]; okm && cur.container == ref.container {
@@ -439,7 +481,9 @@ func (c *Catalog) deleteMember(id model.BlockID, ref memberRef) (*model.BlockMet
 	pm.retireLocked(id, synth.Version)
 	mlsn := pm.log.appendRetire(id, synth.Version)
 	pm.mu.Unlock()
-	c.wal.commit(pm, mlsn)
+	if err := c.wal.commit(pm, mlsn); err != nil {
+		return nil, err
+	}
 
 	synth.Sites = nil
 	c.deletes.Inc()
@@ -451,6 +495,9 @@ func (c *Catalog) deleteMember(id model.BlockID, ref memberRef) (*model.BlockMet
 // already holding a chunk of the block (r-fault tolerance), updates the
 // index, and returns the new version.
 func (c *Catalog) UpdatePlacement(id model.BlockID, chunk int, to model.SiteID, expectVersion uint64) (uint64, error) {
+	if err := c.walFailed(); err != nil {
+		return 0, err
+	}
 	if err := c.knownSites([]model.SiteID{to}); err != nil {
 		c.updateFails.Inc()
 		return 0, err
@@ -501,7 +548,9 @@ func (c *Catalog) UpdatePlacement(id model.BlockID, chunk int, to model.SiteID, 
 	version := meta.Version
 	lsn := p.log.appendUpdate(id, chunk, to, version)
 	p.mu.Unlock()
-	c.wal.commit(p, lsn)
+	if err := c.wal.commit(p, lsn); err != nil {
+		return 0, err
+	}
 	c.updates.Inc()
 	return version, nil
 }

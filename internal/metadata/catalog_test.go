@@ -267,7 +267,9 @@ func TestAddSite(t *testing.T) {
 	if err := c.Register(blockMeta("a", 1, 2, 3)); !errors.Is(err, ErrUnknownSite) {
 		t.Fatalf("err = %v", err)
 	}
-	c.AddSite(3)
+	if err := c.AddSite(3); err != nil {
+		t.Fatal(err)
+	}
 	if err := c.Register(blockMeta("a", 1, 2, 3)); err != nil {
 		t.Fatal(err)
 	}

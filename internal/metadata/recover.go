@@ -134,7 +134,24 @@ func decodeWALRecord(payload []byte) (walRecord, error) {
 // because the record was validated before it was logged; routing uses
 // the *current* partition layout, which may differ from the one that
 // wrote the record.
-func (c *Catalog) applyWALRecord(rec walRecord) {
+//
+// derived collects member retire watermarks implied by container
+// delete/member-remove records. The live mutation logs those retires as
+// separate records in each member's own partition, so a crash between
+// the container record and the member records durably deletes the
+// container while losing the watermarks; re-deriving them here closes
+// that window. They are collected rather than applied because a member
+// re-registered later in the replay clears its watermark (exactly as a
+// live Register does) — Open resolves them after every record is in.
+func (c *Catalog) applyWALRecord(rec walRecord, derived map[model.BlockID]uint64) {
+	derive := func(id model.BlockID, version uint64) {
+		if derived == nil {
+			return
+		}
+		if v, ok := derived[id]; !ok || version > v {
+			derived[id] = version
+		}
+	}
 	switch rec.typ {
 	case recRegister:
 		p := c.part(rec.meta.ID)
@@ -145,9 +162,18 @@ func (c *Catalog) applyWALRecord(rec walRecord) {
 	case recDelete:
 		p := c.part(rec.id)
 		p.mu.Lock()
+		var members []model.PackedMember
+		if meta, ok := p.blocks[rec.id]; ok {
+			members = append(members, meta.Members...)
+		}
 		delete(p.blocks, rec.id)
 		p.retireLocked(rec.id, rec.version)
 		p.mu.Unlock()
+		// The live cascade retires every member at the container's final
+		// version; reproduce that from the container record alone.
+		for _, m := range members {
+			derive(m.ID, rec.version)
+		}
 	case recUpdate:
 		p := c.part(rec.id)
 		p.mu.Lock()
@@ -165,6 +191,11 @@ func (c *Catalog) applyWALRecord(rec walRecord) {
 			for i, m := range cm.Members {
 				if m.ID == rec.member {
 					cm.Members = append(cm.Members[:i], cm.Members[i+1:]...)
+					// Live deleteMember retires the member at the
+					// container's current version (its synthesized
+					// version); re-derive in case the member's own
+					// retire record was lost to a crash.
+					derive(rec.member, cm.Version)
 					break
 				}
 			}
@@ -213,8 +244,19 @@ func (c *Catalog) encodePartitionSnapshot(idx int) ([]byte, error) {
 	}
 
 	var buf []byte
+	var encErr error
 	buf = append(buf, partSnapMagic...)
 	appendFrame := func(payload []byte) {
+		// Mirror loadPartitionSnapshot's read-side bound: a frame it
+		// would reject must fail the compaction here (leaving the old
+		// snapshot and segments intact) rather than commit a snapshot
+		// that makes the partition unrecoverable.
+		if len(payload) > wire.MaxFrameSize {
+			if encErr == nil {
+				encErr = fmt.Errorf("metadata: partition %d snapshot frame %d bytes exceeds %d", idx, len(payload), wire.MaxFrameSize)
+			}
+			return
+		}
 		var hdr [8]byte
 		binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 		binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
@@ -305,7 +347,7 @@ func (c *Catalog) encodePartitionSnapshot(idx int) ([]byte, error) {
 		EncodeBlockMeta(be, p.blocks[id])
 		appendFrame(be.Bytes())
 	}
-	return buf, nil
+	return buf, encErr
 }
 
 // siteKey is the partition-routing key for a site id (shared between
@@ -456,7 +498,9 @@ func (c *Catalog) loadPartitionSnapshot(path string) (uint64, error) {
 // below snapLSN. final marks the partition's last segment, the only
 // place a torn tail is legal; it is reported (not applied, not an
 // error) so Open can count it and boot compaction can erase it.
-func (c *Catalog) replaySegment(path string, snapLSN uint64, final bool) (applied int64, maxLSN uint64, torn bool, err error) {
+// derived accumulates cascade-implied member retires (see
+// applyWALRecord).
+func (c *Catalog) replaySegment(path string, snapLSN uint64, final bool, derived map[model.BlockID]uint64) (applied int64, maxLSN uint64, torn bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, 0, false, err
@@ -502,7 +546,7 @@ func (c *Catalog) replaySegment(path string, snapLSN uint64, final bool) (applie
 		if rec.lsn <= snapLSN {
 			continue
 		}
-		c.applyWALRecord(rec)
+		c.applyWALRecord(rec, derived)
 		applied++
 	}
 }
@@ -607,6 +651,7 @@ func Open(dir string, sites []model.SiteID, opts WALOptions) (*Catalog, error) {
 
 	var maxLSN uint64
 	var replayed, tornTails int64
+	derived := make(map[model.BlockID]uint64)
 	for _, op := range olds {
 		var snapLSN uint64
 		snapPath := filepath.Join(op.path, partSnapshotName)
@@ -639,7 +684,7 @@ func Open(dir string, sites []model.SiteID, opts WALOptions) (*Catalog, error) {
 		}
 		sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
 		for i, s := range segs {
-			applied, segMax, torn, err := c.replaySegment(s.path, snapLSN, i == len(segs)-1)
+			applied, segMax, torn, err := c.replaySegment(s.path, snapLSN, i == len(segs)-1, derived)
 			if err != nil {
 				return nil, fmt.Errorf("metadata: recover %s: %w", s.path, err)
 			}
@@ -651,6 +696,25 @@ func Open(dir string, sites []model.SiteID, opts WALOptions) (*Catalog, error) {
 				maxLSN = segMax
 			}
 		}
+	}
+
+	// Resolve cascade-derived retires now that every record is in: a
+	// watermark applies only where the id is not a live block, because a
+	// re-register after the cascade clears it (as live Register does).
+	// Re-packed members keep theirs — live Register clears only the
+	// container's own watermark.
+	derivedIDs := make([]model.BlockID, 0, len(derived))
+	for id := range derived {
+		derivedIDs = append(derivedIDs, id)
+	}
+	sort.Slice(derivedIDs, func(i, j int) bool { return derivedIDs[i] < derivedIDs[j] })
+	for _, id := range derivedIDs {
+		p := c.part(id)
+		p.mu.Lock()
+		if _, live := p.blocks[id]; !live {
+			p.retireLocked(id, derived[id])
+		}
+		p.mu.Unlock()
 	}
 
 	c.deriveIndexes()
@@ -681,7 +745,9 @@ func Open(dir string, sites []model.SiteID, opts WALOptions) (*Catalog, error) {
 	}
 
 	for _, s := range sites {
-		c.AddSite(s)
+		if err := c.AddSite(s); err != nil {
+			return nil, fmt.Errorf("metadata: boot site add: %w", err)
+		}
 	}
 
 	// Boot compaction: re-snapshot everything under the current layout

@@ -54,6 +54,27 @@ const (
 	methodSiteInfos
 )
 
+// Bounds shared by the encoder's callers and the decoder: Register
+// rejects metadata past these caps so that every record the WAL or a
+// snapshot accepts is also decodable at replay (the decoder additionally
+// bounds counts against the bytes actually present).
+const (
+	maxBlockSites  = 1 << 16
+	maxPackMembers = 1 << 20
+)
+
+// encodedBlockMetaSize is the exact byte length EncodeBlockMeta produces
+// for m: 65 fixed bytes (3 string prefixes, sites/members counts, the
+// scalar fields) plus the variable payloads. Kept in lockstep with
+// EncodeBlockMeta so Register can bound a record before logging it.
+func encodedBlockMetaSize(m *model.BlockMeta) int {
+	n := 65 + len(m.ID) + 8*len(m.Sites) + len(m.PackedIn)
+	for _, pm := range m.Members {
+		n += 20 + len(pm.ID)
+	}
+	return n
+}
+
 // EncodeBlockMeta serializes block metadata. The layout extends the
 // original record in place (appended fields only, never reordered):
 // stripe unit, packed-member linkage, and the container member table.
@@ -98,7 +119,7 @@ func DecodeBlockMeta(d *wire.Decoder) (*model.BlockMeta, error) {
 	// Bound against the bytes actually present (8 per site id), not just
 	// an absolute cap: a corrupt count must fail decode, not drive a
 	// multi-gigabyte allocation.
-	if n > 1<<16 || n > d.Remaining()/8 {
+	if n > maxBlockSites || n > d.Remaining()/8 {
 		return nil, fmt.Errorf("metadata: absurd site count %d", n)
 	}
 	m.Sites = make([]model.SiteID, n)
@@ -113,7 +134,7 @@ func DecodeBlockMeta(d *wire.Decoder) (*model.BlockMeta, error) {
 		return nil, err
 	}
 	// A member encodes to at least 20 bytes (empty id + two i64s).
-	if mn > 1<<20 || mn > d.Remaining()/20 {
+	if mn > maxPackMembers || mn > d.Remaining()/20 {
 		return nil, fmt.Errorf("metadata: absurd member count %d", mn)
 	}
 	if mn > 0 {

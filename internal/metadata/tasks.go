@@ -22,10 +22,23 @@ import (
 // ErrInvalidTask reports a task record missing its identity fields.
 var ErrInvalidTask = fmt.Errorf("metadata: invalid task record")
 
+// encodedTaskRecordSize is the exact byte length EncodeTaskRecord
+// produces for t: 65 fixed bytes (5 string prefixes, 3 u32, 4 i64, u8)
+// plus the string payloads.
+func encodedTaskRecordSize(t *model.TaskRecord) int {
+	return 65 + len(t.ID) + len(t.Type) + len(t.Block) + len(t.Cursor) + len(t.LastError)
+}
+
 // PutTask inserts or replaces a task record by ID.
 func (c *Catalog) PutTask(t *model.TaskRecord) error {
+	if err := c.walFailed(); err != nil {
+		return err
+	}
 	if t == nil || t.ID == "" || t.Type == "" {
 		return ErrInvalidTask
+	}
+	if sz := encodedTaskRecordSize(t); sz > maxWALBody {
+		return fmt.Errorf("%w: %d bytes encoded exceeds the %d-byte WAL record bound", ErrInvalidTask, sz, maxWALBody)
 	}
 	p := c.taskPart(t.ID)
 	c.gmu.Lock()
@@ -33,8 +46,7 @@ func (c *Catalog) PutTask(t *model.TaskRecord) error {
 	c.tasks[t.ID] = stored
 	lsn := p.log.appendTaskPut(stored)
 	c.gmu.Unlock()
-	c.wal.commit(p, lsn)
-	return nil
+	return c.wal.commit(p, lsn)
 }
 
 // ListTasks returns copies of every task record, sorted by ID.
@@ -55,6 +67,9 @@ func (c *Catalog) ListTasks() []*model.TaskRecord {
 
 // DeleteTask removes a task record; removing a missing id is a no-op.
 func (c *Catalog) DeleteTask(id string) error {
+	if err := c.walFailed(); err != nil {
+		return err
+	}
 	p := c.taskPart(id)
 	c.gmu.Lock()
 	if _, ok := c.tasks[id]; !ok {
@@ -64,13 +79,19 @@ func (c *Catalog) DeleteTask(id string) error {
 	delete(c.tasks, id)
 	lsn := p.log.appendTaskDel(id)
 	c.gmu.Unlock()
-	c.wal.commit(p, lsn)
-	return nil
+	return c.wal.commit(p, lsn)
 }
 
 // SetSiteInfo records a site's zone label and administrative state. The
 // site must be known to the catalog.
 func (c *Catalog) SetSiteInfo(info model.SiteInfo) error {
+	if err := c.walFailed(); err != nil {
+		return err
+	}
+	// i64 id + string prefix + u8 state ahead of the zone bytes.
+	if sz := 13 + len(info.Zone); sz > maxWALBody {
+		return fmt.Errorf("metadata: site %d zone label encodes to %d bytes, exceeding the %d-byte WAL record bound", info.ID, sz, maxWALBody)
+	}
 	p := c.sitePart(info.ID)
 	c.gmu.Lock()
 	if !c.sites[info.ID] {
@@ -80,8 +101,7 @@ func (c *Catalog) SetSiteInfo(info model.SiteInfo) error {
 	c.siteInfo[info.ID] = info
 	lsn := p.log.appendSiteInfo(info)
 	c.gmu.Unlock()
-	c.wal.commit(p, lsn)
-	return nil
+	return c.wal.commit(p, lsn)
 }
 
 // SiteInfos returns the administrative record of every known site. Sites

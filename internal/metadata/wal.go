@@ -51,10 +51,31 @@ const (
 // segment (tail corruption is tolerated and truncated instead).
 var ErrBadWALRecord = errors.New("metadata: bad WAL record")
 
+// ErrWALFailed marks the catalog fail-stopped: an earlier WAL write or
+// fsync failed, so the durable log may be behind the in-memory state and
+// every further mutation is rejected. Continuing past a failed fsync
+// would silently lose acknowledged records — the kernel may have dropped
+// the dirty pages, so a later "successful" fsync proves nothing about
+// them. Recovery is a process restart, which replays only what actually
+// reached disk.
+var ErrWALFailed = errors.New("metadata: WAL write failed, catalog no longer accepts mutations")
+
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // walFrameHeader is the on-disk byte overhead per record.
 const walFrameHeader = 8
+
+// walRecordOverhead is the payload byte overhead per record (u8 type +
+// u64 LSN) ahead of the record body.
+const walRecordOverhead = 9
+
+// maxWALBody bounds a record body at append time to what replay accepts:
+// replaySegment and loadPartitionSnapshot reject any frame payload above
+// wire.MaxFrameSize, so an oversized record that the WAL accepted would
+// make an acknowledged mutation unrecoverable (torn-tail truncation in
+// the final segment, ErrBadWALRecord elsewhere). Mutations whose encoded
+// body can exceed this must reject the input before logging it.
+const maxWALBody = wire.MaxFrameSize - walRecordOverhead
 
 // flushThresholdBytes forces an early flush in group-commit mode when a
 // partition buffers this much between ticks.
@@ -114,6 +135,11 @@ type walSet struct {
 	// flusher may already be running.
 	met atomic.Pointer[walMetrics]
 
+	// failed latches the first write/fsync error (wrapped in
+	// ErrWALFailed) for the whole catalog; once set, every mutation
+	// entry point returns it before touching any state.
+	failed atomic.Pointer[error]
+
 	// Recovery statistics, recorded single-threaded in Open and folded
 	// into the counters when metrics are enabled.
 	replayedRecords int64
@@ -135,6 +161,28 @@ func (w *walSet) metrics() *walMetrics {
 		return m
 	}
 	return noMetrics
+}
+
+// fail latches the first WAL failure, flipping the catalog into
+// fail-stop mode.
+func (w *walSet) fail(err error) {
+	if w == nil || err == nil {
+		return
+	}
+	wrapped := fmt.Errorf("%w: %w", ErrWALFailed, err)
+	w.failed.CompareAndSwap(nil, &wrapped)
+}
+
+// failErr reports the latched WAL failure, nil while the log is healthy
+// (and always nil for volatile catalogs, which have no log to fail).
+func (w *walSet) failErr() error {
+	if w == nil {
+		return nil
+	}
+	if p := w.failed.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // enableMetrics installs the meta_wal_* counters (no-op on volatile
@@ -199,6 +247,16 @@ func (l *partLog) append(recType uint8, body func(*wire.Encoder)) uint64 {
 	e.Uint64(0) // LSN placeholder, patched below
 	body(e)
 	payload := e.Bytes()
+	if len(payload) > wire.MaxFrameSize {
+		// Every mutation bounds its input before logging (Register's
+		// member caps, PutTask/SetSiteInfo string caps), so this is a
+		// backstop: buffering the record would poison replay, so drop
+		// it and fail-stop instead — commit surfaces the latched error.
+		l.set.fail(fmt.Errorf("metadata: wal p%d record type %d: %d-byte payload exceeds frame bound %d",
+			l.idx, recType, len(payload), wire.MaxFrameSize))
+		l.set.metrics().errorsTotal.Inc()
+		return 0
+	}
 
 	l.mu.Lock()
 	l.lsn++
@@ -269,8 +327,14 @@ func (l *partLog) buffered() int {
 }
 
 // flushLocked writes and fsyncs everything buffered. Caller holds
-// fileMu.
+// fileMu. Any failure latches lastErr (and the catalog-wide fail-stop):
+// a failed write leaves the segment in an unknown state — a partial
+// frame in the middle of what a retry would append — and a failed fsync
+// may have dropped the dirty pages entirely, so neither is retried.
 func (l *partLog) flushLocked() error {
+	if l.lastErr != nil {
+		return l.lastErr
+	}
 	l.mu.Lock()
 	buf := l.pending
 	l.pending = nil
@@ -279,7 +343,14 @@ func (l *partLog) flushLocked() error {
 	m := l.set.metrics()
 	if len(buf) > 0 {
 		if _, err := l.f.Write(buf); err != nil {
+			// Put the records back so synced can never advance past
+			// their LSNs and leave a silent gap in the log; lastErr
+			// guarantees they are never re-written either.
+			l.mu.Lock()
+			l.pending = append(buf, l.pending...)
+			l.mu.Unlock()
 			l.lastErr = fmt.Errorf("metadata: wal p%d write: %w", l.idx, err)
+			l.set.fail(l.lastErr)
 			m.errorsTotal.Inc()
 			return l.lastErr
 		}
@@ -289,6 +360,7 @@ func (l *partLog) flushLocked() error {
 	if mark > l.synced {
 		if err := l.f.Sync(); err != nil {
 			l.lastErr = fmt.Errorf("metadata: wal p%d fsync: %w", l.idx, err)
+			l.set.fail(l.lastErr)
 			m.errorsTotal.Inc()
 			return l.lastErr
 		}
@@ -310,20 +382,30 @@ func (l *partLog) flushTo(lsn uint64) error {
 }
 
 // commit enforces the durability contract after an append: in sync mode
-// the record is fsynced before the operation returns; in group-commit
-// mode an oversized buffer is flushed early, otherwise the flusher's
-// next tick picks it up.
-func (w *walSet) commit(p *partition, lsn uint64) {
-	if w == nil || lsn == 0 {
-		return
+// the record is fsynced before the operation returns and any failure is
+// the mutation's failure; in group-commit mode an oversized buffer is
+// flushed early, otherwise the flusher's next tick picks it up. A
+// latched WAL failure (from this flush, a flusher tick, or an oversized
+// append) is always surfaced so no caller acknowledges a mutation the
+// log cannot make durable.
+func (w *walSet) commit(p *partition, lsn uint64) error {
+	if w == nil {
+		return nil
+	}
+	if err := w.failErr(); err != nil {
+		return err
+	}
+	if lsn == 0 {
+		return nil
 	}
 	l := p.log
-	if w.opts.FsyncInterval == 0 {
-		_ = l.flushTo(lsn)
-	} else if l.buffered() >= flushThresholdBytes {
-		_ = l.flushTo(lsn)
+	if w.opts.FsyncInterval == 0 || l.buffered() >= flushThresholdBytes {
+		if err := l.flushTo(lsn); err != nil {
+			return err
+		}
 	}
 	w.maybeCompact(l)
+	return nil
 }
 
 // maybeCompact runs a partition compaction on the calling goroutine when

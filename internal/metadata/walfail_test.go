@@ -1,0 +1,292 @@
+package metadata
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ecstore/internal/model"
+)
+
+// closeSegments sabotages every partition's active segment file so the
+// next WAL write fails, simulating an I/O error (ENOSPC, dead disk).
+func closeSegments(c *Catalog) {
+	for _, p := range c.parts {
+		p.log.fileMu.Lock()
+		_ = p.log.f.Close()
+		p.log.fileMu.Unlock()
+	}
+}
+
+// TestWALWriteFailureFailStop: a failed WAL write must fail the mutation
+// that needed it, latch the catalog into fail-stop (every further
+// mutation rejected with ErrWALFailed), and never silently advance the
+// synced watermark past the lost records — a restart recovers exactly
+// the state that was durable before the failure.
+func TestWALWriteFailureFailStop(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, WALOptions{Partitions: 2}) // FsyncInterval 0: sync mode
+	if err := c.Register(blockMeta("ok", 1, 2, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	okVersion := mustVersion(t, c, "ok")
+
+	closeSegments(c)
+	if err := c.Register(blockMeta("lost", 1, 2, 3, 4)); err == nil {
+		t.Fatal("Register acknowledged a mutation whose WAL write failed")
+	}
+
+	// Every subsequent mutation is rejected with the latched error.
+	if err := c.Register(blockMeta("later", 2, 3, 4, 5)); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("Register after failure = %v, want ErrWALFailed", err)
+	}
+	if _, err := c.Delete("ok"); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("Delete after failure = %v, want ErrWALFailed", err)
+	}
+	if _, err := c.UpdatePlacement("ok", 0, 5, okVersion); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("UpdatePlacement after failure = %v, want ErrWALFailed", err)
+	}
+	if err := c.AddSite(9); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("AddSite after failure = %v, want ErrWALFailed", err)
+	}
+	if err := c.SetSiteInfo(model.SiteInfo{ID: 1, Zone: "z"}); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("SetSiteInfo after failure = %v, want ErrWALFailed", err)
+	}
+	if err := c.PutTask(taskRec("t1", model.TaskPending)); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("PutTask after failure = %v, want ErrWALFailed", err)
+	}
+	if err := c.DeleteTask("t1"); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("DeleteTask after failure = %v, want ErrWALFailed", err)
+	}
+	// Reads still work (fail-stop, not crash).
+	if _, ok := c.BlockMeta("ok"); !ok {
+		t.Fatal("read path broken after fail-stop")
+	}
+
+	// Restart: only the pre-failure durable state comes back.
+	r := mustOpen(t, dir, WALOptions{Partitions: 2})
+	defer func() { _ = r.Close() }()
+	if _, ok := r.BlockMeta("ok"); !ok {
+		t.Fatal("durable block lost across restart")
+	}
+	if _, ok := r.BlockMeta("lost"); ok {
+		t.Fatal("unacknowledged block resurrected across restart")
+	}
+}
+
+// TestGroupCommitFlushFailureSurfaces: in group-commit mode the write
+// error is hit by the flusher, not the mutation — but the latch must
+// still reject every later mutation instead of accepting writes into a
+// log that can no longer persist them.
+func TestGroupCommitFlushFailureSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, WALOptions{Partitions: 2, FsyncInterval: time.Hour})
+	if err := c.Register(blockMeta("buffered", 1, 2, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	closeSegments(c)
+	if err := c.Sync(); err == nil {
+		t.Fatal("Sync over closed segments succeeded")
+	}
+	if err := c.Register(blockMeta("later", 1, 2, 3, 4)); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("Register after flush failure = %v, want ErrWALFailed", err)
+	}
+}
+
+func mustVersion(t *testing.T, c *Catalog, id model.BlockID) uint64 {
+	t.Helper()
+	meta, ok := c.BlockMeta(id)
+	if !ok {
+		t.Fatalf("block %s missing", id)
+	}
+	return meta.Version
+}
+
+// TestRegisterBoundsRecordSize: metadata that would encode past what
+// replay accepts (member count, site count, or raw frame bytes) must be
+// rejected at Register — once logged, such a record is unrecoverable.
+func TestRegisterBoundsRecordSize(t *testing.T) {
+	c := NewCatalog(sites(6))
+
+	over := blockMeta("members", 1, 2, 3, 4)
+	over.Members = make([]model.PackedMember, maxPackMembers+1)
+	if err := c.Register(over); !errors.Is(err, ErrInvalidMember) {
+		t.Fatalf("member-count overflow = %v, want ErrInvalidMember", err)
+	}
+
+	wide := &model.BlockMeta{
+		ID:        "wide",
+		Scheme:    model.SchemeErasure,
+		K:         maxBlockSites,
+		R:         1,
+		Size:      200,
+		ChunkSize: 100,
+		Sites:     make([]model.SiteID, maxBlockSites+1),
+	}
+	for i := range wide.Sites {
+		wide.Sites[i] = model.SiteID(i + 1)
+	}
+	if err := c.Register(wide); !errors.Is(err, ErrInvalidBlock) {
+		t.Fatalf("site-count overflow = %v, want ErrInvalidBlock", err)
+	}
+
+	// ~70 MiB of member ids exceeds the 64 MiB frame bound even though
+	// the member count is legal.
+	big := blockMeta("big", 1, 2, 3, 4)
+	chunk := strings.Repeat("x", 1<<20)
+	big.Members = make([]model.PackedMember, 70)
+	for i := range big.Members {
+		big.Members[i] = model.PackedMember{ID: model.BlockID(fmt.Sprintf("%s-%02d", chunk, i))}
+	}
+	if err := c.Register(big); !errors.Is(err, ErrInvalidBlock) {
+		t.Fatalf("frame-size overflow = %v, want ErrInvalidBlock", err)
+	}
+
+	// Sanity: the same shapes under the bounds register fine.
+	small := blockMeta("small", 1, 2, 3, 4)
+	small.Members = []model.PackedMember{{ID: "m", Off: 0, Len: 10}}
+	if err := c.Register(small); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPutTaskBoundsRecordSize: task records are operator/driver input;
+// one that cannot be replayed must not be logged.
+func TestPutTaskBoundsRecordSize(t *testing.T) {
+	c := NewCatalog(sites(2))
+	rec := taskRec("big", model.TaskPending)
+	rec.LastError = strings.Repeat("e", maxWALBody)
+	if err := c.PutTask(rec); !errors.Is(err, ErrInvalidTask) {
+		t.Fatalf("oversized task = %v, want ErrInvalidTask", err)
+	}
+}
+
+// registerPack registers a 2-member container and returns its version.
+func registerPack(t *testing.T, c *Catalog) uint64 {
+	t.Helper()
+	pack := blockMeta("pack", 1, 2, 3, 4)
+	pack.Size = 200
+	pack.Members = []model.PackedMember{
+		{ID: "m1", Off: 0, Len: 100},
+		{ID: "m2", Off: 100, Len: 100},
+	}
+	if err := c.Register(pack); err != nil {
+		t.Fatal(err)
+	}
+	// Bump the version so the derived watermark is distinguishable from
+	// the map zero value.
+	if _, err := c.UpdatePlacement("pack", 0, 5, mustVersion(t, c, "pack")); err != nil {
+		t.Fatal(err)
+	}
+	return mustVersion(t, c, "pack")
+}
+
+// TestDeleteCascadeRetireDerivedOnReplay: the container's delete record
+// and its members' retire records commit independently, so a crash
+// between them durably deletes the container while losing the member
+// watermarks. Replay must re-derive them from the delete record alone —
+// otherwise a re-registered member id restarts its version low and
+// reopens the (BlockID, version) cache-ABA window.
+func TestDeleteCascadeRetireDerivedOnReplay(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, WALOptions{Partitions: 4})
+	ver := registerPack(t, c)
+
+	// Simulate the crash window: append ONLY the container's delete
+	// record (durable), never the member retires, then abandon the
+	// catalog without Close — exactly a kill -9 mid-cascade.
+	p := c.part("pack")
+	lsn := p.log.appendDelete("pack", ver)
+	if err := p.log.flushTo(lsn); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, WALOptions{Partitions: 4})
+	defer func() { _ = r.Close() }()
+	if _, ok := r.BlockMeta("pack"); ok {
+		t.Fatal("container survived its durable delete record")
+	}
+	for _, m := range []model.BlockID{"m1", "m2"} {
+		if _, ok := r.BlockMeta(m); ok {
+			t.Fatalf("member %s resolves after container delete", m)
+		}
+		if v, ok := r.RetiredVersion(m); !ok || v != ver {
+			t.Fatalf("member %s watermark = %d, %v; want %d (derived from container delete)", m, v, ok, ver)
+		}
+	}
+	// The watermark keeps a re-registered member id monotonic.
+	if err := r.Register(blockMeta("m1", 2, 3, 4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustVersion(t, r, "m1"); got <= ver {
+		t.Fatalf("re-registered member version %d not above watermark %d: cache ABA", got, ver)
+	}
+}
+
+// TestMemberRemoveRetireDerivedOnReplay: same crash window for the
+// single-member detach path (deleteMember's member-remove record lands
+// in the container's partition, the retire in the member's).
+func TestMemberRemoveRetireDerivedOnReplay(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, WALOptions{Partitions: 4})
+	ver := registerPack(t, c)
+
+	p := c.part("pack")
+	lsn := p.log.appendMemberRemove("pack", "m1")
+	if err := p.log.flushTo(lsn); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, WALOptions{Partitions: 4})
+	defer func() { _ = r.Close() }()
+	if _, ok := r.BlockMeta("m1"); ok {
+		t.Fatal("removed member still resolves")
+	}
+	if v, ok := r.RetiredVersion("m1"); !ok || v != ver {
+		t.Fatalf("removed member watermark = %d, %v; want %d", v, ok, ver)
+	}
+	if _, ok := r.BlockMeta("m2"); !ok {
+		t.Fatal("untouched member lost")
+	}
+}
+
+// TestDerivedRetireSkipsReregisteredBlock: a member re-registered as a
+// plain block after the cascade clears its watermark live; replay's
+// derivation must not resurrect it, or recovered state diverges from
+// the pre-crash state.
+func TestDerivedRetireSkipsReregisteredBlock(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, WALOptions{Partitions: 4})
+	ver := registerPack(t, c)
+	if _, err := c.Delete("pack"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(blockMeta("m1", 2, 3, 4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	newVer := mustVersion(t, c, "m1")
+	if newVer <= ver {
+		t.Fatalf("live re-register version %d not above watermark %d", newVer, ver)
+	}
+	if _, ok := c.RetiredVersion("m1"); ok {
+		t.Fatal("live re-register did not clear the watermark")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, WALOptions{Partitions: 4})
+	defer func() { _ = r.Close() }()
+	if _, ok := r.RetiredVersion("m1"); ok {
+		t.Fatal("replay resurrected a watermark the live path had cleared")
+	}
+	if got := mustVersion(t, r, "m1"); got != newVer {
+		t.Fatalf("recovered version %d, want %d", got, newVer)
+	}
+	// m2 was never re-registered: its derived watermark must be there.
+	if v, ok := r.RetiredVersion("m2"); !ok || v != ver {
+		t.Fatalf("m2 watermark = %d, %v; want %d", v, ok, ver)
+	}
+}
